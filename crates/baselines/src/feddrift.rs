@@ -1,0 +1,297 @@
+//! FedDrift (Jothimurugesan et al., 2023): multiple-model FL under
+//! distributed concept drift, with *loss-based* drift detection.
+//!
+//! At each window boundary every party evaluates its local data under every
+//! existing model; parties whose best achievable loss exceeds their previous
+//! loss by more than a tolerance are flagged as drifted, clustered by their
+//! loss vectors, and routed to fresh models. Unlike ShiftEx this reacts to
+//! the *symptom* (loss) rather than the distribution itself — "it offers
+//! only coarse adaptation and lacks explicit modeling of covariate or label
+//! shift dynamics".
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use shiftex_cluster::choose_k;
+use shiftex_core::strategy::{build_model, evaluate_assigned, ContinualStrategy};
+use shiftex_fl::{run_round, ParticipantSelector, Party, PartyId, RoundConfig, UniformSelector};
+use shiftex_nn::{ArchSpec, Sequential, TrainConfig};
+
+/// FedDrift tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FedDriftConfig {
+    /// Loss increase (absolute, nats) tolerated before a party counts as
+    /// drifted.
+    pub loss_tolerance: f32,
+    /// Maximum number of concurrently maintained models.
+    pub max_models: usize,
+    /// Maximum drift clusters formed per window.
+    pub max_clusters: usize,
+}
+
+impl Default for FedDriftConfig {
+    fn default() -> Self {
+        Self { loss_tolerance: 0.35, max_models: 6, max_clusters: 3 }
+    }
+}
+
+/// The FedDrift baseline strategy.
+#[derive(Debug)]
+pub struct FedDrift {
+    spec: ArchSpec,
+    models: Vec<Vec<f32>>,
+    assignment: HashMap<PartyId, usize>,
+    prev_loss: HashMap<PartyId, f32>,
+    round_cfg: RoundConfig,
+    cfg: FedDriftConfig,
+}
+
+impl FedDrift {
+    /// Creates a FedDrift strategy with one initial model.
+    pub fn new(
+        spec: ArchSpec,
+        train: TrainConfig,
+        participants_per_round: usize,
+        cfg: FedDriftConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        let params = Sequential::build(&spec, rng).params_flat();
+        Self {
+            spec,
+            models: vec![params],
+            assignment: HashMap::new(),
+            prev_loss: HashMap::new(),
+            round_cfg: RoundConfig { train, participants_per_round, parallel: false },
+            cfg,
+        }
+    }
+
+    fn model_of(&self, party: PartyId) -> usize {
+        self.assignment.get(&party).copied().unwrap_or(0)
+    }
+
+    /// Per-party loss of its local data under every model.
+    fn loss_matrix(&self, parties: &[Party]) -> Vec<Vec<f32>> {
+        let built: Vec<Sequential> =
+            self.models.iter().map(|m| build_model(&self.spec, m)).collect();
+        parties
+            .iter()
+            .map(|p| {
+                built
+                    .iter()
+                    .map(|m| {
+                        if p.train().is_empty() {
+                            0.0
+                        } else {
+                            m.evaluate(p.train_features(), p.train_labels()).loss
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+impl ContinualStrategy for FedDrift {
+    fn name(&self) -> &'static str {
+        "FedDrift"
+    }
+
+    fn begin_window(&mut self, window: usize, parties: &[Party], rng: &mut StdRng) {
+        let losses = self.loss_matrix(parties);
+        if window == 0 {
+            for (p, row) in parties.iter().zip(losses.iter()) {
+                self.assignment.insert(p.id(), 0);
+                self.prev_loss.insert(p.id(), row[0]);
+            }
+            return;
+        }
+        // Re-assign every party to its best existing model; flag drifted
+        // parties whose best loss regressed beyond the tolerance.
+        let mut drifted: Vec<usize> = Vec::new();
+        for (i, (p, row)) in parties.iter().zip(losses.iter()).enumerate() {
+            let (best_model, best_loss) = row
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(k, &l)| (k, l))
+                .unwrap_or((0, 0.0));
+            self.assignment.insert(p.id(), best_model);
+            let prev = self.prev_loss.get(&p.id()).copied().unwrap_or(best_loss);
+            if best_loss > prev + self.cfg.loss_tolerance {
+                drifted.push(i);
+            }
+            self.prev_loss.insert(p.id(), best_loss);
+        }
+        if drifted.is_empty() {
+            return;
+        }
+        // Cluster drifted parties by their loss vectors and spawn one model
+        // per cluster (bounded by capacity).
+        let points: Vec<Vec<f32>> = drifted.iter().map(|&i| losses[i].clone()).collect();
+        let selection = choose_k(&points, self.cfg.max_clusters, rng);
+        for group in selection.result.groups() {
+            if group.is_empty() {
+                continue;
+            }
+            let model_idx = if self.models.len() < self.cfg.max_models {
+                // New model initialised from the group's current best model
+                // (FedDrift's cluster-split initialisation).
+                let seed_from = self.model_of(parties[drifted[group[0]]].id());
+                self.models.push(self.models[seed_from].clone());
+                self.models.len() - 1
+            } else {
+                self.model_of(parties[drifted[group[0]]].id())
+            };
+            for &gi in &group {
+                self.assignment.insert(parties[drifted[gi]].id(), model_idx);
+            }
+        }
+    }
+
+    fn train_round(&mut self, parties: &[Party], rng: &mut StdRng) {
+        for model_idx in 0..self.models.len() {
+            let cohort_parties: Vec<&Party> = parties
+                .iter()
+                .filter(|p| self.model_of(p.id()) == model_idx && !p.train().is_empty())
+                .collect();
+            if cohort_parties.is_empty() {
+                continue;
+            }
+            let infos: Vec<_> = cohort_parties.iter().map(|p| p.info()).collect();
+            let chosen = UniformSelector.select(&infos, self.round_cfg.participants_per_round, rng);
+            let chosen_set: std::collections::HashSet<PartyId> = chosen.into_iter().collect();
+            let cohort: Vec<&Party> = cohort_parties
+                .into_iter()
+                .filter(|p| chosen_set.contains(&p.id()))
+                .collect();
+            if cohort.is_empty() {
+                continue;
+            }
+            let outcome =
+                run_round(&self.spec, &self.models[model_idx], &cohort, &self.round_cfg, None, rng);
+            self.models[model_idx] = outcome.params;
+            // Keep each party's reference loss fresh so window-boundary
+            // drift detection compares against the *trained* model.
+            for update in &outcome.updates {
+                self.prev_loss.insert(update.party, update.train_loss);
+            }
+        }
+    }
+
+    fn evaluate(&self, parties: &[Party]) -> f32 {
+        evaluate_assigned(&self.spec, parties, |id| self.models[self.model_of(id)].as_slice())
+    }
+
+    fn model_index(&self, party: PartyId) -> usize {
+        self.model_of(party)
+    }
+
+    fn num_models(&self) -> usize {
+        self.models.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use shiftex_data::{Corruption, ImageShape, PrototypeGenerator, Regime};
+
+    fn make(n: usize, rng: &mut StdRng) -> (PrototypeGenerator, Vec<Party>) {
+        let gen = PrototypeGenerator::new(ImageShape::new(1, 8, 8), 3, rng);
+        let parties = (0..n)
+            .map(|i| {
+                Party::new(
+                    PartyId(i),
+                    gen.generate_uniform(40, rng),
+                    gen.generate_uniform(16, rng),
+                )
+            })
+            .collect();
+        (gen, parties)
+    }
+
+    #[test]
+    fn drift_spawns_new_model() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (gen, mut parties) = make(8, &mut rng);
+        let spec = ArchSpec::mlp("t", 64, &[16], 3);
+        let mut strat =
+            FedDrift::new(spec, TrainConfig::default(), 8, FedDriftConfig::default(), &mut rng);
+        strat.begin_window(0, &parties, &mut rng);
+        for _ in 0..6 {
+            strat.train_round(&parties, &mut rng);
+        }
+        assert_eq!(strat.num_models(), 1);
+
+        // Window 1: severe corruption for half the population.
+        let regime = Regime::corrupted(Corruption::ImpulseNoise, 5);
+        for (i, p) in parties.iter_mut().enumerate() {
+            let (train, test) = if i < 4 {
+                (
+                    gen.generate_with_regime(40, &regime, &mut rng),
+                    gen.generate_with_regime(16, &regime, &mut rng),
+                )
+            } else {
+                (gen.generate_uniform(40, &mut rng), gen.generate_uniform(16, &mut rng))
+            };
+            p.advance_window(train, test);
+        }
+        strat.begin_window(1, &parties, &mut rng);
+        assert!(
+            strat.num_models() >= 2,
+            "loss regression should spawn a model, got {}",
+            strat.num_models()
+        );
+        // Drifted parties moved off model 0.
+        assert!(
+            (0..4).any(|i| strat.model_index(PartyId(i)) != 0),
+            "shifted parties should be re-routed"
+        );
+    }
+
+    #[test]
+    fn stable_windows_keep_one_model() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (gen, mut parties) = make(6, &mut rng);
+        let spec = ArchSpec::mlp("t", 64, &[16], 3);
+        let mut strat =
+            FedDrift::new(spec, TrainConfig::default(), 6, FedDriftConfig::default(), &mut rng);
+        strat.begin_window(0, &parties, &mut rng);
+        for w in 1..3 {
+            for p in parties.iter_mut() {
+                let train = gen.generate_uniform(40, &mut rng);
+                let test = gen.generate_uniform(16, &mut rng);
+                p.advance_window(train, test);
+            }
+            for _ in 0..3 {
+                strat.train_round(&parties, &mut rng);
+            }
+            strat.begin_window(w, &parties, &mut rng);
+        }
+        assert_eq!(strat.num_models(), 1, "no drift, no models");
+    }
+
+    #[test]
+    fn model_cap_is_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (gen, mut parties) = make(6, &mut rng);
+        let spec = ArchSpec::mlp("t", 64, &[16], 3);
+        let cfg = FedDriftConfig { max_models: 2, loss_tolerance: 0.01, ..Default::default() };
+        let mut strat = FedDrift::new(spec, TrainConfig::default(), 6, cfg, &mut rng);
+        strat.begin_window(0, &parties, &mut rng);
+        for w in 1..5 {
+            let regime = Regime::corrupted(Corruption::GaussianNoise, (w as u8 % 5) + 1);
+            for p in parties.iter_mut() {
+                p.advance_window(
+                    gen.generate_with_regime(40, &regime, &mut rng),
+                    gen.generate_with_regime(16, &regime, &mut rng),
+                );
+            }
+            strat.begin_window(w, &parties, &mut rng);
+        }
+        assert!(strat.num_models() <= 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! FedProx (Li et al., MLSys 2020): FedAvg plus a proximal term that keeps
+//! local updates near the global model. One global model, uniform random
+//! selection, no shift awareness — the canonical "traditional FL" baseline.
+
+use rand::rngs::StdRng;
+use shiftex_core::strategy::{evaluate_assigned, ContinualStrategy};
+use shiftex_fl::{run_round, Party, PartyId, RoundConfig, UniformSelector};
+use shiftex_fl::ParticipantSelector;
+use shiftex_nn::{ArchSpec, Sequential, TrainConfig};
+
+/// The FedProx baseline strategy.
+#[derive(Debug)]
+pub struct FedProx {
+    spec: ArchSpec,
+    params: Vec<f32>,
+    round_cfg: RoundConfig,
+}
+
+impl FedProx {
+    /// Creates a FedProx strategy with proximal coefficient `mu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu < 0`.
+    pub fn new(
+        spec: ArchSpec,
+        train: TrainConfig,
+        participants_per_round: usize,
+        mu: f32,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(mu >= 0.0, "prox coefficient must be non-negative");
+        let params = Sequential::build(&spec, rng).params_flat();
+        let round_cfg = RoundConfig {
+            train: TrainConfig { prox_mu: Some(mu), ..train },
+            participants_per_round,
+            parallel: false,
+        };
+        Self { spec, params, round_cfg }
+    }
+
+    /// Current global parameters.
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+}
+
+impl ContinualStrategy for FedProx {
+    fn name(&self) -> &'static str {
+        "FedProx"
+    }
+
+    fn begin_window(&mut self, _window: usize, _parties: &[Party], _rng: &mut StdRng) {
+        // Single global model: nothing to reorganise at window boundaries.
+    }
+
+    fn train_round(&mut self, parties: &[Party], rng: &mut StdRng) {
+        let infos: Vec<_> = parties.iter().map(Party::info).collect();
+        let chosen = UniformSelector.select(&infos, self.round_cfg.participants_per_round, rng);
+        let chosen: std::collections::HashSet<PartyId> = chosen.into_iter().collect();
+        let cohort: Vec<&Party> = parties
+            .iter()
+            .filter(|p| chosen.contains(&p.id()) && !p.train().is_empty())
+            .collect();
+        if cohort.is_empty() {
+            return;
+        }
+        let outcome = run_round(&self.spec, &self.params, &cohort, &self.round_cfg, None, rng);
+        self.params = outcome.params;
+    }
+
+    fn evaluate(&self, parties: &[Party]) -> f32 {
+        evaluate_assigned(&self.spec, parties, |_| self.params.as_slice())
+    }
+
+    fn model_index(&self, _party: PartyId) -> usize {
+        0
+    }
+
+    fn num_models(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use shiftex_data::{ImageShape, PrototypeGenerator};
+
+    #[test]
+    fn fedprox_trains_a_single_model() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let gen = PrototypeGenerator::new(ImageShape::new(1, 4, 4), 3, &mut rng);
+        let parties: Vec<Party> = (0..6)
+            .map(|i| {
+                Party::new(
+                    PartyId(i),
+                    gen.generate_uniform(32, &mut rng),
+                    gen.generate_uniform(16, &mut rng),
+                )
+            })
+            .collect();
+        let spec = ArchSpec::mlp("t", 16, &[10], 3);
+        let mut strat = FedProx::new(spec, TrainConfig::default(), 6, 0.01, &mut rng);
+        strat.begin_window(0, &parties, &mut rng);
+        let before = strat.evaluate(&parties);
+        for _ in 0..8 {
+            strat.train_round(&parties, &mut rng);
+        }
+        let after = strat.evaluate(&parties);
+        assert!(after > before, "{before} -> {after}");
+        assert_eq!(strat.num_models(), 1);
+        assert_eq!(strat.model_index(PartyId(3)), 0);
+    }
+}

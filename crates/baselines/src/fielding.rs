@@ -1,0 +1,127 @@
+//! Fielding (Li et al., 2024): re-clusters parties by *label distribution*
+//! at window boundaries and trains a single global model with
+//! cluster-balanced participant selection.
+//!
+//! Per the paper's characterisation: it "re-clusters parties based on label
+//! distributions to train balanced experts, as in FLIPS, but overlooks
+//! covariate shifts and does not adapt clusters as party distributions
+//! change across windows" — the re-clustering reacts to label histograms
+//! only, so weather-style covariate shifts pass undetected.
+
+use rand::rngs::StdRng;
+use shiftex_core::strategy::{evaluate_assigned, ContinualStrategy};
+use shiftex_fl::{run_round, ParticipantSelector, Party, PartyId, RoundConfig};
+use shiftex_flips::FlipsSelector;
+use shiftex_nn::{ArchSpec, Sequential, TrainConfig};
+
+/// The Fielding baseline strategy.
+#[derive(Debug)]
+pub struct Fielding {
+    spec: ArchSpec,
+    params: Vec<f32>,
+    round_cfg: RoundConfig,
+    selector: Option<FlipsSelector>,
+    max_label_clusters: usize,
+}
+
+impl Fielding {
+    /// Creates a Fielding strategy.
+    pub fn new(
+        spec: ArchSpec,
+        train: TrainConfig,
+        participants_per_round: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let params = Sequential::build(&spec, rng).params_flat();
+        Self {
+            spec,
+            params,
+            round_cfg: RoundConfig { train, participants_per_round, parallel: false },
+            selector: None,
+            max_label_clusters: 4,
+        }
+    }
+
+    /// The current number of label clusters (after the last re-cluster).
+    pub fn num_label_clusters(&self) -> usize {
+        self.selector.as_ref().map_or(0, |s| s.clusters().clusters.len())
+    }
+}
+
+impl ContinualStrategy for Fielding {
+    fn name(&self) -> &'static str {
+        "Fielding"
+    }
+
+    fn begin_window(&mut self, _window: usize, parties: &[Party], rng: &mut StdRng) {
+        // Window boundary: re-cluster on the *new* label distributions.
+        let infos: Vec<_> = parties.iter().map(Party::info).collect();
+        if infos.is_empty() {
+            return;
+        }
+        match self.selector.as_mut() {
+            Some(s) => s.refit(&infos, self.max_label_clusters, rng),
+            None => self.selector = Some(FlipsSelector::fit(&infos, self.max_label_clusters, rng)),
+        }
+    }
+
+    fn train_round(&mut self, parties: &[Party], rng: &mut StdRng) {
+        let infos: Vec<_> = parties.iter().map(Party::info).collect();
+        let Some(selector) = self.selector.as_mut() else { return };
+        let chosen = selector.select(&infos, self.round_cfg.participants_per_round, rng);
+        let chosen_set: std::collections::HashSet<PartyId> = chosen.into_iter().collect();
+        let cohort: Vec<&Party> = parties
+            .iter()
+            .filter(|p| chosen_set.contains(&p.id()) && !p.train().is_empty())
+            .collect();
+        if cohort.is_empty() {
+            return;
+        }
+        let outcome = run_round(&self.spec, &self.params, &cohort, &self.round_cfg, None, rng);
+        self.params = outcome.params;
+    }
+
+    fn evaluate(&self, parties: &[Party]) -> f32 {
+        evaluate_assigned(&self.spec, parties, |_| self.params.as_slice())
+    }
+
+    fn model_index(&self, _party: PartyId) -> usize {
+        0
+    }
+
+    fn num_models(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use shiftex_data::{ImageShape, PrototypeGenerator};
+
+    #[test]
+    fn fielding_reclusters_each_window() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let gen = PrototypeGenerator::new(ImageShape::new(1, 4, 4), 4, &mut rng);
+        // Half the parties class-0-heavy, half class-3-heavy.
+        let parties: Vec<Party> = (0..8)
+            .map(|i| {
+                let weights = if i < 4 { vec![8.0, 1.0, 1.0, 1.0] } else { vec![1.0, 1.0, 1.0, 8.0] };
+                Party::new(
+                    PartyId(i),
+                    gen.generate(32, &weights, &mut rng),
+                    gen.generate_uniform(16, &mut rng),
+                )
+            })
+            .collect();
+        let spec = ArchSpec::mlp("t", 16, &[10], 4);
+        let mut strat = Fielding::new(spec, TrainConfig::default(), 4, &mut rng);
+        strat.begin_window(0, &parties, &mut rng);
+        assert_eq!(strat.num_label_clusters(), 2);
+        for _ in 0..6 {
+            strat.train_round(&parties, &mut rng);
+        }
+        assert!(strat.evaluate(&parties) > 0.3);
+    }
+}

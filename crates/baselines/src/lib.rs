@@ -1,0 +1,24 @@
+//! Comparison baselines for the ShiftEx evaluation (§6 "Comparative
+//! Techniques"): FedProx, OORT, Fielding and FedDrift, each implementing
+//! the same [`ContinualStrategy`](shiftex_core::ContinualStrategy) interface
+//! as ShiftEx so the harness can sweep all five over identical scenarios.
+//!
+//! | Baseline | Handles | Blind to |
+//! |----------|---------|----------|
+//! | [`FedProx`] | non-IID drift via proximal regularisation | any shift structure (single global model) |
+//! | [`Oort`] | system/statistical utility in selection | temporal shifts (utility assumed static) |
+//! | [`Fielding`] | label-distribution changes via re-clustering | covariate shifts |
+//! | [`FedDrift`] | drift via loss-pattern clustering into multiple models | explicit covariate/label shift signals |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod feddrift;
+mod fedprox;
+mod fielding;
+mod oort;
+
+pub use feddrift::{FedDrift, FedDriftConfig};
+pub use fedprox::FedProx;
+pub use fielding::Fielding;
+pub use oort::{Oort, OortConfig};

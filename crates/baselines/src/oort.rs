@@ -1,0 +1,211 @@
+//! OORT (Lai et al., OSDI 2021): utility-guided participant selection.
+//!
+//! Each party carries a *statistical utility* derived from its recent
+//! training loss; selection exploits high-utility parties while reserving an
+//! exploration fraction for unexplored ones. As the paper notes, OORT
+//! "assumes static utility and ignores temporal shifts", which is exactly
+//! the failure mode the evaluation exposes: its utility estimates mask
+//! distribution changes instead of reacting to them.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use shiftex_core::strategy::{evaluate_assigned, ContinualStrategy};
+use shiftex_fl::{run_round, Party, PartyId, RoundConfig};
+use shiftex_nn::{ArchSpec, Sequential, TrainConfig};
+use shiftex_tensor::rngx;
+
+/// OORT tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OortConfig {
+    /// Fraction of each cohort reserved for exploration.
+    pub exploration_fraction: f32,
+    /// Exponential decay applied to stale utilities each round.
+    pub utility_decay: f32,
+}
+
+impl Default for OortConfig {
+    fn default() -> Self {
+        Self { exploration_fraction: 0.3, utility_decay: 0.98 }
+    }
+}
+
+/// The OORT baseline strategy.
+#[derive(Debug)]
+pub struct Oort {
+    spec: ArchSpec,
+    params: Vec<f32>,
+    round_cfg: RoundConfig,
+    cfg: OortConfig,
+    /// Statistical utility per party: `|B| · sqrt(mean loss²)`.
+    utilities: HashMap<PartyId, f32>,
+}
+
+impl Oort {
+    /// Creates an OORT strategy.
+    pub fn new(
+        spec: ArchSpec,
+        train: TrainConfig,
+        participants_per_round: usize,
+        cfg: OortConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        let params = Sequential::build(&spec, rng).params_flat();
+        Self {
+            spec,
+            params,
+            round_cfg: RoundConfig { train, participants_per_round, parallel: false },
+            cfg,
+            utilities: HashMap::new(),
+        }
+    }
+
+    /// Current utility estimate for a party (None if never selected).
+    pub fn utility(&self, party: PartyId) -> Option<f32> {
+        self.utilities.get(&party).copied()
+    }
+
+    /// OORT cohort selection: exploit top-utility explored parties, explore
+    /// a random slice of unexplored ones.
+    fn select(&self, parties: &[Party], m: usize, rng: &mut StdRng) -> Vec<PartyId> {
+        let m = m.min(parties.len());
+        let explore_n = ((m as f32) * self.cfg.exploration_fraction).round() as usize;
+        let mut explored: Vec<(PartyId, f32)> = parties
+            .iter()
+            .filter_map(|p| self.utilities.get(&p.id()).map(|&u| (p.id(), u)))
+            .collect();
+        explored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut unexplored: Vec<PartyId> = parties
+            .iter()
+            .map(Party::id)
+            .filter(|id| !self.utilities.contains_key(id))
+            .collect();
+        rngx::shuffle(rng, &mut unexplored);
+
+        let mut chosen: Vec<PartyId> = Vec::with_capacity(m);
+        chosen.extend(unexplored.iter().take(explore_n).copied());
+        for (id, _) in &explored {
+            if chosen.len() >= m {
+                break;
+            }
+            chosen.push(*id);
+        }
+        // Top up with the rest of the unexplored pool.
+        for id in unexplored.into_iter().skip(explore_n) {
+            if chosen.len() >= m {
+                break;
+            }
+            chosen.push(id);
+        }
+        chosen
+    }
+}
+
+impl ContinualStrategy for Oort {
+    fn name(&self) -> &'static str {
+        "OORT"
+    }
+
+    fn begin_window(&mut self, _window: usize, _parties: &[Party], _rng: &mut StdRng) {
+        // OORT keeps its utility table across windows — the staleness the
+        // paper calls out. Nothing is reset here by design.
+    }
+
+    fn train_round(&mut self, parties: &[Party], rng: &mut StdRng) {
+        let chosen = self.select(parties, self.round_cfg.participants_per_round, rng);
+        let chosen_set: std::collections::HashSet<PartyId> = chosen.into_iter().collect();
+        let cohort: Vec<&Party> = parties
+            .iter()
+            .filter(|p| chosen_set.contains(&p.id()) && !p.train().is_empty())
+            .collect();
+        if cohort.is_empty() {
+            return;
+        }
+        let outcome = run_round(&self.spec, &self.params, &cohort, &self.round_cfg, None, rng);
+        self.params = outcome.params;
+        // Decay all utilities, then refresh the cohort's from observed loss.
+        for u in self.utilities.values_mut() {
+            *u *= self.cfg.utility_decay;
+        }
+        for update in &outcome.updates {
+            let util = update.num_samples as f32
+                * (update.train_loss * update.train_loss).sqrt().max(1e-6);
+            self.utilities.insert(update.party, util);
+        }
+    }
+
+    fn evaluate(&self, parties: &[Party]) -> f32 {
+        evaluate_assigned(&self.spec, parties, |_| self.params.as_slice())
+    }
+
+    fn model_index(&self, _party: PartyId) -> usize {
+        0
+    }
+
+    fn num_models(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use shiftex_data::{ImageShape, PrototypeGenerator};
+
+    fn parties(n: usize, rng: &mut StdRng) -> Vec<Party> {
+        let gen = PrototypeGenerator::new(ImageShape::new(1, 4, 4), 3, rng);
+        (0..n)
+            .map(|i| {
+                Party::new(
+                    PartyId(i),
+                    gen.generate_uniform(32, rng),
+                    gen.generate_uniform(16, rng),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn oort_learns_utilities_and_improves() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let parties = parties(8, &mut rng);
+        let spec = ArchSpec::mlp("t", 16, &[10], 3);
+        let mut strat = Oort::new(spec, TrainConfig::default(), 4, OortConfig::default(), &mut rng);
+        let before = strat.evaluate(&parties);
+        for _ in 0..10 {
+            strat.train_round(&parties, &mut rng);
+        }
+        let after = strat.evaluate(&parties);
+        assert!(after > before, "{before} -> {after}");
+        // At least the selected parties have utilities now.
+        assert!(strat.utilities.len() >= 4);
+    }
+
+    #[test]
+    fn exploration_eventually_covers_all_parties() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let parties = parties(10, &mut rng);
+        let spec = ArchSpec::mlp("t", 16, &[8], 3);
+        let mut strat = Oort::new(spec, TrainConfig::default(), 3, OortConfig::default(), &mut rng);
+        for _ in 0..20 {
+            strat.train_round(&parties, &mut rng);
+        }
+        assert_eq!(strat.utilities.len(), 10, "all parties should get explored");
+    }
+
+    #[test]
+    fn selection_prefers_high_utility() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let parties = parties(6, &mut rng);
+        let spec = ArchSpec::mlp("t", 16, &[8], 3);
+        let mut strat =
+            Oort::new(spec, TrainConfig::default(), 2, OortConfig { exploration_fraction: 0.0, utility_decay: 1.0 }, &mut rng);
+        strat.utilities.insert(PartyId(3), 100.0);
+        strat.utilities.insert(PartyId(4), 50.0);
+        strat.utilities.insert(PartyId(0), 1.0);
+        let chosen = strat.select(&parties, 2, &mut rng);
+        assert_eq!(chosen, vec![PartyId(3), PartyId(4)]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Criterion benches for the federated runtime itself: one communication
+//! round, federated averaging, and a full ShiftEx window step — the costs a
+//! deployment pays per round versus the per-shift adaptation overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use shiftex_core::{ShiftEx, ShiftExConfig};
+use shiftex_data::{Corruption, ImageShape, PrototypeGenerator, Regime};
+use shiftex_fl::{run_round, Party, PartyId, RoundConfig};
+use shiftex_nn::{fedavg, ArchSpec, Sequential};
+
+fn make_parties(n: usize, samples: usize, seed: u64) -> (PrototypeGenerator, Vec<Party>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gen = PrototypeGenerator::new(ImageShape::new(3, 8, 8), 10, &mut rng);
+    let parties = (0..n)
+        .map(|i| {
+            Party::new(
+                PartyId(i),
+                gen.generate_uniform(samples, &mut rng),
+                gen.generate_uniform(samples / 2, &mut rng),
+            )
+        })
+        .collect();
+    (gen, parties)
+}
+
+fn bench_round(c: &mut Criterion) {
+    let (_, parties) = make_parties(8, 40, 0);
+    let spec = ArchSpec::resnet18_lite(shiftex_nn::InputShape { c: 3, h: 8, w: 8 }, 10, 24);
+    let mut rng = StdRng::seed_from_u64(1);
+    let init = Sequential::build(&spec, &mut rng).params_flat();
+    let cohort: Vec<&Party> = parties.iter().collect();
+    let mut group = c.benchmark_group("federated_round");
+    group.sample_size(10);
+    for parallel in [false, true] {
+        let cfg = RoundConfig { parallel, ..RoundConfig::default() };
+        let label = if parallel { "parallel" } else { "serial" };
+        group.bench_function(format!("8_parties_{label}"), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                run_round(&spec, &init, &cohort, &cfg, None, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fedavg(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let models: Vec<Vec<f32>> = (0..10)
+        .map(|_| shiftex_tensor::Matrix::randn(1, 100_000, 0.0, 1.0, &mut rng).into_vec())
+        .collect();
+    let refs: Vec<&[f32]> = models.iter().map(Vec::as_slice).collect();
+    let counts = vec![32usize; 10];
+    c.bench_function("fedavg_10x100k_params", |b| b.iter(|| fedavg(&refs, &counts)));
+}
+
+fn bench_window_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shiftex_window");
+    group.sample_size(10);
+    group.bench_function("process_window_8_parties", |b| {
+        b.iter_with_setup(
+            || {
+                let (gen, mut parties) = make_parties(8, 40, 4);
+                let spec =
+                    ArchSpec::resnet18_lite(shiftex_nn::InputShape { c: 3, h: 8, w: 8 }, 10, 24);
+                let mut rng = StdRng::seed_from_u64(5);
+                let mut shiftex = ShiftEx::new(
+                    ShiftExConfig { participants_per_round: 8, ..Default::default() },
+                    spec,
+                    &mut rng,
+                );
+                shiftex.bootstrap(&parties, 2, &mut rng);
+                let fog = Regime::corrupted(Corruption::Fog, 5);
+                for (i, p) in parties.iter_mut().enumerate() {
+                    let (tr, te) = if i < 4 {
+                        (
+                            gen.generate_with_regime(40, &fog, &mut rng),
+                            gen.generate_with_regime(20, &fog, &mut rng),
+                        )
+                    } else {
+                        (gen.generate_uniform(40, &mut rng), gen.generate_uniform(20, &mut rng))
+                    };
+                    p.advance_window(tr, te);
+                }
+                (shiftex, parties, rng)
+            },
+            |(mut shiftex, parties, mut rng)| shiftex.process_window(&parties, &mut rng),
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_round, bench_fedavg, bench_window_step);
+criterion_main!(benches);

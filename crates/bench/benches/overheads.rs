@@ -1,0 +1,104 @@
+//! Criterion benches for the aggregator-side adaptation pipeline — the §7
+//! "ShiftEx Overheads" clustering (paper: 1389 ms for 200 parties) and
+//! expert-assignment (paper: 0.15 ms) latencies, plus consolidation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use shiftex_cluster::{choose_k, KMeans};
+use shiftex_core::assignment::AssignmentProblem;
+use shiftex_core::consolidate::consolidate_experts;
+use shiftex_core::ExpertRegistry;
+use shiftex_detect::EmbeddingProfile;
+use shiftex_tensor::Matrix;
+
+fn latent_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let mean = (i % 3) as f32 * 2.0;
+            Matrix::randn(1, dim, mean, 1.0, &mut rng).into_vec()
+        })
+        .collect()
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("latent_clustering");
+    group.sample_size(10);
+    for &(n, dim) in &[(200usize, 64usize), (200, 2048)] {
+        let points = latent_points(n, dim, 3);
+        group.bench_with_input(
+            BenchmarkId::new("choose_k_sweep6", format!("{n}x{dim}")),
+            &points,
+            |b, pts| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(4);
+                    choose_k(pts, 6, &mut rng)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("kmeans_k3", format!("{n}x{dim}")),
+            &points,
+            |b, pts| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(5);
+                    KMeans::new(3).fit(pts, &mut rng)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expert_assignment");
+    for &parties in &[200usize, 1000] {
+        let problem = AssignmentProblem {
+            cost: (0..parties).map(|i| vec![0.1 * (i % 7) as f32, 0.2, 0.35]).collect(),
+            is_new: vec![false, false, true],
+            party_hists: vec![vec![0.1; 10]; parties],
+            lambda: 0.5,
+            mu: 0.5,
+            u_max: parties,
+        };
+        group.bench_with_input(BenchmarkId::new("greedy", parties), &problem, |b, p| {
+            b.iter(|| p.solve_greedy())
+        });
+    }
+    // Exact solver on a small instance (ablation reference point).
+    let small = AssignmentProblem {
+        cost: (0..7).map(|i| vec![0.1 * i as f32, 0.3, 0.5]).collect(),
+        is_new: vec![false, true, true],
+        party_hists: vec![vec![0.25; 4]; 7],
+        lambda: 0.4,
+        mu: 0.5,
+        u_max: 7,
+    };
+    group.bench_function("exact_7x3", |b| b.iter(|| small.solve_exact()));
+    group.finish();
+}
+
+fn bench_consolidation(c: &mut Criterion) {
+    c.bench_function("consolidation_6_experts_50k_params", |b| {
+        b.iter_with_setup(
+            || {
+                let mut rng = StdRng::seed_from_u64(6);
+                let mut registry = ExpertRegistry::new();
+                for i in 0..6 {
+                    let params = Matrix::randn(1, 50_000, i as f32 * 0.001, 1.0, &mut rng).into_vec();
+                    let profile = EmbeddingProfile::from_embeddings(
+                        &Matrix::randn(32, 24, i as f32, 1.0, &mut rng),
+                        32,
+                        &mut rng,
+                    );
+                    registry.create(params, &profile, 0);
+                }
+                registry
+            },
+            |mut registry| consolidate_experts(&mut registry, 0.995, 1, f32::INFINITY, None),
+        )
+    });
+}
+
+criterion_group!(benches, bench_clustering, bench_assignment, bench_consolidation);
+criterion_main!(benches);

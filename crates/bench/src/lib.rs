@@ -1,0 +1,1 @@
+//! Criterion benchmark crate for the ShiftEx overhead evaluation; see `benches/`.

@@ -1,0 +1,247 @@
+//! Lloyd's k-means with k-means++ initialisation.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use shiftex_tensor::{rngx, vector};
+
+/// K-means configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on total centroid movement.
+    pub tol: f32,
+}
+
+/// Result of a k-means fit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansResult {
+    /// Final centroids (`k` vectors; empty clusters are dropped, so the
+    /// actual count may be smaller than requested).
+    pub centroids: Vec<Vec<f32>>,
+    /// Cluster index per input point.
+    pub assignment: Vec<usize>,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f32,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Point indices grouped per cluster.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.centroids.len()];
+        for (i, &c) in self.assignment.iter().enumerate() {
+            groups[c].push(i);
+        }
+        groups
+    }
+}
+
+impl KMeans {
+    /// Creates a k-means configuration with defaults (`max_iter` 50,
+    /// `tol` 1e-4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self { k, max_iter: 50, tol: 1e-4 }
+    }
+
+    /// Fits k-means to `points` (each a feature vector of equal length).
+    ///
+    /// Uses k-means++ seeding; when `points.len() <= k` each point becomes
+    /// its own cluster. Empty clusters are removed from the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or dimensions differ.
+    pub fn fit(&self, points: &[Vec<f32>], rng: &mut impl Rng) -> KMeansResult {
+        assert!(!points.is_empty(), "kmeans on empty point set");
+        let dim = points[0].len();
+        assert!(points.iter().all(|p| p.len() == dim), "point dimension mismatch");
+        let k = self.k.min(points.len());
+
+        let mut centroids = plus_plus_init(points, k, rng);
+        let mut assignment = vec![0usize; points.len()];
+        let mut iterations = 0;
+        for iter in 0..self.max_iter {
+            iterations = iter + 1;
+            // Assign.
+            for (i, p) in points.iter().enumerate() {
+                assignment[i] = nearest(p, &centroids).0;
+            }
+            // Update.
+            let mut sums = vec![vec![0.0f32; dim]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (p, &a) in points.iter().zip(assignment.iter()) {
+                vector::axpy(&mut sums[a], 1.0, p);
+                counts[a] += 1;
+            }
+            let mut movement = 0.0;
+            for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(counts.iter())) {
+                if count == 0 {
+                    continue; // keep old centroid; may be dropped below
+                }
+                let new: Vec<f32> = sum.iter().map(|&s| s / count as f32).collect();
+                movement += vector::l2_dist(c, &new);
+                *c = new;
+            }
+            if movement < self.tol {
+                break;
+            }
+        }
+
+        // Final assignment, then drop empty clusters and re-index.
+        for (i, p) in points.iter().enumerate() {
+            assignment[i] = nearest(p, &centroids).0;
+        }
+        let mut used: Vec<usize> = assignment.clone();
+        used.sort_unstable();
+        used.dedup();
+        let remap: std::collections::HashMap<usize, usize> =
+            used.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        let centroids: Vec<Vec<f32>> = used.iter().map(|&i| centroids[i].clone()).collect();
+        for a in assignment.iter_mut() {
+            *a = remap[a];
+        }
+        let inertia = points
+            .iter()
+            .zip(assignment.iter())
+            .map(|(p, &a)| vector::sq_dist(p, &centroids[a]))
+            .sum();
+        KMeansResult { centroids, assignment, inertia, iterations }
+    }
+}
+
+/// k-means++ seeding: first centre uniform, subsequent centres with
+/// probability proportional to squared distance to the nearest chosen one.
+fn plus_plus_init(points: &[Vec<f32>], k: usize, rng: &mut impl Rng) -> Vec<Vec<f32>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f32> = points
+            .iter()
+            .map(|p| nearest(p, &centroids).1)
+            .collect();
+        let total: f32 = d2.iter().sum();
+        let next = if total <= 1e-12 {
+            // All points coincide with chosen centroids; pick uniformly.
+            points[rng.random_range(0..points.len())].clone()
+        } else {
+            points[rngx::categorical(rng, &d2)].clone()
+        };
+        centroids.push(next);
+    }
+    centroids
+}
+
+/// Returns `(index, squared distance)` of the closest centroid.
+fn nearest(p: &[f32], centroids: &[Vec<f32>]) -> (usize, f32) {
+    let mut best = (0usize, f32::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = vector::sq_dist(p, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_blobs(n_per: usize, sep: f32, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut points = Vec::new();
+        for i in 0..2 * n_per {
+            let center = if i < n_per { 0.0 } else { sep };
+            points.push(vec![
+                center + rngx::normal(&mut rng, 0.0, 0.3),
+                center + rngx::normal(&mut rng, 0.0, 0.3),
+            ]);
+        }
+        points
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let points = two_blobs(20, 8.0, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let result = KMeans::new(2).fit(&points, &mut rng);
+        assert_eq!(result.centroids.len(), 2);
+        // All members of each blob share a cluster.
+        let first = result.assignment[0];
+        assert!(result.assignment[..20].iter().all(|&a| a == first));
+        assert!(result.assignment[20..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn k_larger_than_points_degrades_gracefully() {
+        let points = vec![vec![0.0], vec![5.0]];
+        let mut rng = StdRng::seed_from_u64(2);
+        let result = KMeans::new(10).fit(&points, &mut rng);
+        assert!(result.centroids.len() <= 2);
+        assert_eq!(result.assignment.len(), 2);
+    }
+
+    #[test]
+    fn identical_points_collapse_to_one_cluster_worth_of_inertia() {
+        let points = vec![vec![1.0, 1.0]; 12];
+        let mut rng = StdRng::seed_from_u64(3);
+        let result = KMeans::new(3).fit(&points, &mut rng);
+        assert!(result.inertia < 1e-9);
+    }
+
+    #[test]
+    fn groups_partition_points() {
+        let points = two_blobs(10, 6.0, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let result = KMeans::new(2).fit(&points, &mut rng);
+        let groups = result.groups();
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, points.len());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Every point is assigned to its nearest final centroid.
+        #[test]
+        fn prop_assignment_is_nearest_centroid(seed in 0u64..500, k in 1usize..5) {
+            let points = two_blobs(8, 5.0, seed);
+            let mut rng = StdRng::seed_from_u64(seed + 1);
+            let result = KMeans::new(k).fit(&points, &mut rng);
+            for (p, &a) in points.iter().zip(result.assignment.iter()) {
+                let (nearest_idx, _) = super::nearest(p, &result.centroids);
+                let d_assigned = shiftex_tensor::vector::sq_dist(p, &result.centroids[a]);
+                let d_nearest = shiftex_tensor::vector::sq_dist(p, &result.centroids[nearest_idx]);
+                prop_assert!(d_assigned <= d_nearest + 1e-5);
+            }
+        }
+
+        /// Inertia never increases when k grows (given same data/seed family).
+        #[test]
+        fn prop_inertia_nonincreasing_in_k(seed in 0u64..200) {
+            let points = two_blobs(12, 4.0, seed);
+            let fit = |k: usize| {
+                let mut best = f32::INFINITY;
+                // Best of 3 restarts to smooth out seeding noise.
+                for s in 0..3u64 {
+                    let mut rng = StdRng::seed_from_u64(seed * 10 + s);
+                    best = best.min(KMeans::new(k).fit(&points, &mut rng).inertia);
+                }
+                best
+            };
+            prop_assert!(fit(3) <= fit(1) + 1e-3);
+        }
+    }
+}

@@ -1,0 +1,873 @@
+//! Aggregator-side ShiftEx — the paper's **Algorithm 2**.
+//!
+//! Per window: receive party shift statistics, threshold them into the
+//! shifted set, cluster shifted parties by latent profile, match clusters to
+//! existing experts through the latent memory (or create new experts),
+//! train each expert with FLIPS label-balanced cohorts, locally fine-tune
+//! sub-γ clusters, and consolidate near-duplicate experts.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use shiftex_cluster::choose_k;
+use shiftex_detect::{CalibratedThresholds, EmbeddingProfile, RbfKernel, ThresholdCalibrator};
+use shiftex_fl::{run_round, Party, PartyId, PartyInfo, RoundConfig, UniformSelector};
+use shiftex_flips::FlipsSelector;
+use shiftex_nn::{train_local_params, ArchSpec, Sequential};
+use shiftex_tensor::Matrix;
+
+use crate::config::ShiftExConfig;
+use crate::consolidate::{consolidate_experts, MergeEvent};
+use crate::party::{compute_shift_stats, ShiftStats};
+use crate::registry::{ExpertId, ExpertRegistry};
+use crate::strategy::{build_model, evaluate_assigned, ContinualStrategy};
+
+/// What happened in one window of aggregator-side processing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowReport {
+    /// Window index (1-based; 0 is bootstrap).
+    pub window: usize,
+    /// Parties whose MMD exceeded `δ_cov`.
+    pub cov_shifted: Vec<PartyId>,
+    /// Parties whose JSD exceeded `δ_label`.
+    pub label_shifted: Vec<PartyId>,
+    /// Number of covariate clusters formed among shifted parties.
+    pub num_clusters: usize,
+    /// Experts created this window.
+    pub created: Vec<ExpertId>,
+    /// Experts reused via latent-memory matching this window.
+    pub reused: Vec<ExpertId>,
+    /// Parties sent to local fine-tuning (cluster smaller than γ).
+    pub finetuned: Vec<PartyId>,
+    /// Consolidation merges performed.
+    pub merges: Vec<MergeEvent>,
+    /// Post-window cohort sizes per expert (the expert-distribution figures).
+    pub cohort_sizes: Vec<(ExpertId, usize)>,
+    /// Threshold on MMD² in force this window.
+    pub delta_cov: f32,
+    /// Threshold on JSD in force this window.
+    pub delta_label: f32,
+}
+
+/// The ShiftEx middleware: expert registry + assignment map + detection
+/// thresholds, orchestrated per window.
+#[derive(Debug)]
+pub struct ShiftEx {
+    cfg: ShiftExConfig,
+    spec: ArchSpec,
+    registry: ExpertRegistry,
+    assignment: BTreeMap<PartyId, ExpertId>,
+    /// Personalised parameters for parties in sub-γ clusters.
+    personal: BTreeMap<PartyId, Vec<f32>>,
+    thresholds: Option<CalibratedThresholds>,
+    /// Kernel fixed at calibration time; all MMD scores (detection, memory
+    /// matching) use this bandwidth so they are comparable to `δ_cov`.
+    kernel: Option<RbfKernel>,
+    /// θ0 — the bootstrap template cloned for new experts (Algorithm 2
+    /// line 20).
+    bootstrap_params: Vec<f32>,
+    /// Frozen encoder parameters for embedding extraction. Fixed at the end
+    /// of the bootstrap phase so profiles are comparable across windows,
+    /// parties and the latent memory (the paper's "reliance on frozen
+    /// encoders", §9).
+    encoder_params: Vec<f32>,
+    window: usize,
+    stats: BTreeMap<PartyId, ShiftStats>,
+    last_report: Option<WindowReport>,
+}
+
+impl ShiftEx {
+    /// Creates a ShiftEx instance with a freshly initialised model template.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: ShiftExConfig, spec: ArchSpec, rng: &mut StdRng) -> Self {
+        cfg.validate();
+        let bootstrap_params = Sequential::build(&spec, rng).params_flat();
+        Self {
+            cfg,
+            spec,
+            registry: ExpertRegistry::new(),
+            assignment: BTreeMap::new(),
+            personal: BTreeMap::new(),
+            thresholds: None,
+            kernel: None,
+            encoder_params: bootstrap_params.clone(),
+            bootstrap_params,
+            window: 0,
+            stats: BTreeMap::new(),
+            last_report: None,
+        }
+    }
+
+    /// The architecture every expert shares.
+    pub fn spec(&self) -> &ArchSpec {
+        &self.spec
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> &ShiftExConfig {
+        &self.cfg
+    }
+
+    /// Number of live experts.
+    pub fn num_experts(&self) -> usize {
+        self.registry.len().max(1)
+    }
+
+    /// The expert registry.
+    pub fn registry(&self) -> &ExpertRegistry {
+        &self.registry
+    }
+
+    /// Current party → expert assignment.
+    pub fn assignments(&self) -> &BTreeMap<PartyId, ExpertId> {
+        &self.assignment
+    }
+
+    /// Calibrated thresholds, once available.
+    pub fn thresholds(&self) -> Option<CalibratedThresholds> {
+        self.thresholds
+    }
+
+    /// Report of the most recent window.
+    pub fn last_report(&self) -> Option<&WindowReport> {
+        self.last_report.as_ref()
+    }
+
+    /// The frozen encoder parameters used for embedding extraction
+    /// (fixed at the end of the bootstrap phase).
+    pub fn encoder_params(&self) -> &[f32] {
+        &self.encoder_params
+    }
+
+    /// Current window index (0 until the first `process_window`).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Personalised (sub-γ fine-tuned) parameters currently in force.
+    pub fn personal_params(&self) -> impl Iterator<Item = (PartyId, &[f32])> {
+        self.personal.iter().map(|(p, v)| (*p, v.as_slice()))
+    }
+
+    /// Restores serving state (used by [`crate::snapshot`]).
+    pub(crate) fn restore_parts(
+        &mut self,
+        window: usize,
+        registry: ExpertRegistry,
+        assignment: Vec<(PartyId, ExpertId)>,
+        personal: Vec<(PartyId, Vec<f32>)>,
+        thresholds: Option<CalibratedThresholds>,
+    ) {
+        assert!(!registry.is_empty(), "cannot restore an empty registry");
+        self.window = window;
+        // The first expert's parameters double as encoder/θ0 on restore;
+        // they were frozen from the same model at snapshot time.
+        let first = registry.ids()[0];
+        let params = registry.get(first).expect("expert exists").params.clone();
+        self.encoder_params = params.clone();
+        self.bootstrap_params = params;
+        self.registry = registry;
+        self.assignment = assignment.into_iter().collect();
+        self.personal = personal.into_iter().collect();
+        self.thresholds = thresholds;
+        self.stats.clear();
+        self.kernel = None; // re-derived at the next calibration
+    }
+
+    /// The most recent shift statistics per party (diagnostics, TEE export).
+    pub fn party_stats(&self) -> impl Iterator<Item = &ShiftStats> {
+        self.stats.values()
+    }
+
+    /// Bootstrap phase (§4.1): creates expert 0 from the template, assigns
+    /// every party to it, runs `rounds` FLIPS-balanced federated rounds, and
+    /// records each party's initial profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is empty.
+    pub fn bootstrap(&mut self, parties: &[Party], rounds: usize, rng: &mut StdRng) {
+        assert!(!parties.is_empty(), "bootstrap needs parties");
+        self.window = 0;
+        // Provisional stats (for FLIPS label histograms during the burn-in
+        // rounds) under the untrained template.
+        let template = build_model(&self.spec, &self.bootstrap_params);
+        let provisional: Vec<ShiftStats> = parties
+            .iter()
+            .map(|p| compute_shift_stats(p, &template, self.cfg.profile_rows, None, rng))
+            .collect();
+        let profile_refs: Vec<&EmbeddingProfile> =
+            provisional.iter().map(|s| &s.profile).collect();
+        let pooled = EmbeddingProfile::pool(&profile_refs, self.cfg.profile_rows * 2, rng);
+        let expert0 = self.registry.create(self.bootstrap_params.clone(), &pooled, 0);
+        for p in parties {
+            self.assignment.insert(p.id(), expert0);
+        }
+        for s in provisional {
+            self.stats.insert(s.party, s);
+        }
+        self.refresh_cohort_sizes();
+        for _ in 0..rounds {
+            self.train_round_impl(parties, rng);
+        }
+        // Freeze the encoder at the bootstrap-trained global model and keep
+        // θ0 = that model as the clone template for new experts.
+        let trained = self.registry.get(expert0).expect("expert 0 lives").params.clone();
+        self.bootstrap_params = trained.clone();
+        self.encoder_params = trained;
+
+        // Recompute stats and the expert-0 latent signature under the frozen
+        // encoder so every later comparison shares one embedding space.
+        let encoder = build_model(&self.spec, &self.encoder_params);
+        let final_stats: Vec<ShiftStats> = parties
+            .iter()
+            .map(|p| compute_shift_stats(p, &encoder, self.cfg.profile_rows, None, rng))
+            .collect();
+        let profile_refs: Vec<&EmbeddingProfile> =
+            final_stats.iter().map(|s| &s.profile).collect();
+        let pooled = EmbeddingProfile::pool(&profile_refs, self.cfg.profile_rows * 2, rng);
+        self.registry.get_mut(expert0).expect("expert 0 lives").memory =
+            crate::memory::LatentMemory::from_profile(&pooled);
+        self.stats = final_stats.into_iter().map(|s| (s.party, s)).collect();
+    }
+
+    /// Processes one new window (Algorithm 2 body). Parties' data must have
+    /// been advanced first.
+    pub fn process_window(&mut self, parties: &[Party], rng: &mut StdRng) -> WindowReport {
+        self.window += 1;
+        if self.window == 1 {
+            // End of the burn-in: W0 training (however it was driven — via
+            // `bootstrap(…, rounds)` or external `train_round` calls) is
+            // complete, so *now* freeze the encoder and the θ0 clone
+            // template at the trained global model, and re-tag expert 0's
+            // latent memory in the frozen embedding space.
+            self.freeze_encoder(parties, rng);
+        }
+        // --- Thresholds and kernel: calibrate lazily from the previous
+        // (stable) window before any score is computed, so every MMD below
+        // shares the calibrated bandwidth.
+        let thresholds = self.ensure_thresholds(parties, rng);
+
+        // --- Party side (Algorithm 1): compute and "transmit" statistics.
+        // All embeddings come from the frozen encoder so windows, parties
+        // and the latent memory share one comparable embedding space.
+        let encoder = build_model(&self.spec, &self.encoder_params);
+        let kernel = self.kernel;
+        let all_stats: Vec<ShiftStats> = parties
+            .iter()
+            .map(|party| {
+                compute_shift_stats(party, &encoder, self.cfg.profile_rows, kernel.as_ref(), rng)
+            })
+            .collect();
+
+        // --- Detection.
+        let cov_shifted: Vec<PartyId> = all_stats
+            .iter()
+            .filter(|s| s.mmd > thresholds.delta_cov)
+            .map(|s| s.party)
+            .collect();
+        let label_shifted: Vec<PartyId> = all_stats
+            .iter()
+            .filter(|s| s.jsd > thresholds.delta_label)
+            .map(|s| s.party)
+            .collect();
+        let mut shifted: Vec<PartyId> = cov_shifted.clone();
+        for id in &label_shifted {
+            if !shifted.contains(id) {
+                shifted.push(*id);
+            }
+        }
+
+        let mut report = WindowReport {
+            window: self.window,
+            cov_shifted,
+            label_shifted,
+            num_clusters: 0,
+            created: Vec::new(),
+            reused: Vec::new(),
+            finetuned: Vec::new(),
+            merges: Vec::new(),
+            cohort_sizes: Vec::new(),
+            delta_cov: thresholds.delta_cov,
+            delta_label: thresholds.delta_label,
+        };
+
+        let stats_by_id: HashMap<PartyId, &ShiftStats> =
+            all_stats.iter().map(|s| (s.party, s)).collect();
+
+        if !shifted.is_empty() {
+            // --- Cluster shifted parties on their latent profile means.
+            let points: Vec<Vec<f32>> = shifted
+                .iter()
+                .map(|id| stats_by_id[id].profile.mean().to_vec())
+                .collect();
+            let selection = choose_k(&points, self.cfg.max_clusters_per_window, rng);
+            let groups = selection.result.groups();
+            report.num_clusters = groups.len();
+
+            for group in &groups {
+                let members: Vec<PartyId> = group.iter().map(|&i| shifted[i]).collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let profiles: Vec<&EmbeddingProfile> =
+                    members.iter().map(|id| &stats_by_id[id].profile).collect();
+                let pooled = EmbeddingProfile::pool(&profiles, self.cfg.profile_rows * 2, rng);
+
+                if members.len() >= self.cfg.gamma_min_cluster {
+                    let target = self.match_or_create(&pooled, thresholds.delta_cov, &mut report);
+                    for id in &members {
+                        self.assignment.insert(*id, target);
+                        self.personal.remove(id);
+                    }
+                } else {
+                    // Sub-γ cluster: local fine-tuning on the assigned expert.
+                    for id in &members {
+                        let base = self
+                            .personal
+                            .get(id)
+                            .cloned()
+                            .unwrap_or_else(|| {
+                                self.registry
+                                    .get(self.expert_of(*id))
+                                    .expect("live expert")
+                                    .params
+                                    .clone()
+                            });
+                        let party = parties.iter().find(|p| p.id() == *id).expect("party exists");
+                        let mut cfg = self.cfg.train;
+                        cfg.epochs = self.cfg.finetune_epochs;
+                        let fit = train_local_params(
+                            &self.spec,
+                            &base,
+                            party.train_features(),
+                            party.train_labels(),
+                            &cfg,
+                            rng,
+                        );
+                        self.personal.insert(*id, fit.params);
+                        report.finetuned.push(*id);
+                    }
+                }
+            }
+        }
+
+        // --- Consolidation.
+        self.refresh_cohort_sizes();
+        if !self.cfg.disable_consolidation {
+            let merges = consolidate_experts(
+                &mut self.registry,
+                self.cfg.tau,
+                self.window,
+                self.cfg.epsilon_factor * thresholds.delta_cov,
+                self.kernel.as_ref(),
+            );
+            for m in &merges {
+                for target in self.assignment.values_mut() {
+                    if *target == m.removed {
+                        *target = m.kept;
+                    }
+                }
+            }
+            report.merges = merges;
+            self.refresh_cohort_sizes();
+        }
+
+        report.cohort_sizes = self
+            .registry
+            .iter()
+            .map(|e| (e.id, e.cohort_size))
+            .collect();
+
+        self.stats = all_stats.into_iter().map(|s| (s.party, s)).collect();
+        self.last_report = Some(report.clone());
+        report
+    }
+
+    /// Latent-memory matching, falling back to expert creation
+    /// (§5.2.2 / §5.2.4).
+    fn match_or_create(
+        &mut self,
+        pooled: &EmbeddingProfile,
+        delta_cov: f32,
+        report: &mut WindowReport,
+    ) -> ExpertId {
+        let epsilon = self.cfg.epsilon_factor * delta_cov;
+        if !self.cfg.disable_memory {
+            if let Some((id, score)) = self.registry.best_match(pooled, self.kernel.as_ref()) {
+                if score <= epsilon {
+                    let beta = self.cfg.memory_beta;
+                    self.registry
+                        .get_mut(id)
+                        .expect("live expert")
+                        .memory
+                        .update(pooled, beta);
+                    report.reused.push(id);
+                    return id;
+                }
+            }
+        }
+        if self.registry.len() >= self.cfg.max_experts {
+            // Capacity guard: reuse the best match even above ε.
+            let (id, _) = self
+                .registry
+                .best_match(pooled, self.kernel.as_ref())
+                .expect("registry non-empty");
+            report.reused.push(id);
+            return id;
+        }
+        let id = self
+            .registry
+            .create(self.bootstrap_params.clone(), pooled, self.window);
+        report.created.push(id);
+        id
+    }
+
+    /// Runs one communication round: every expert trains on its cohort with
+    /// FLIPS (or uniform, per config) selection; personalised parties run a
+    /// local step instead.
+    pub fn train_round(&mut self, parties: &[Party], rng: &mut StdRng) {
+        self.train_round_impl(parties, rng);
+    }
+
+    fn train_round_impl(&mut self, parties: &[Party], rng: &mut StdRng) {
+        let by_id: HashMap<PartyId, &Party> = parties.iter().map(|p| (p.id(), p)).collect();
+        let round_cfg = RoundConfig {
+            train: self.cfg.train,
+            participants_per_round: self.cfg.participants_per_round,
+            parallel: false,
+        };
+        for expert_id in self.registry.ids() {
+            let cohort_ids: Vec<PartyId> = self
+                .assignment
+                .iter()
+                .filter(|(pid, &eid)| {
+                    eid == expert_id && !self.personal.contains_key(pid) && by_id.contains_key(pid)
+                })
+                .map(|(pid, _)| *pid)
+                .collect();
+            if cohort_ids.is_empty() {
+                continue;
+            }
+            let infos: Vec<PartyInfo> = cohort_ids
+                .iter()
+                .map(|id| {
+                    let p = by_id[id];
+                    let mut info = p.info();
+                    if let Some(s) = self.stats.get(id) {
+                        info.label_hist = s.label_hist.clone();
+                    }
+                    info
+                })
+                .collect();
+            let chosen: Vec<PartyId> = if self.cfg.uniform_selection {
+                use shiftex_fl::ParticipantSelector;
+                UniformSelector.select(&infos, self.cfg.participants_per_round, rng)
+            } else {
+                use shiftex_fl::ParticipantSelector;
+                let mut flips = FlipsSelector::fit(&infos, 4, rng);
+                flips.select(&infos, self.cfg.participants_per_round, rng)
+            };
+            let cohort: Vec<&Party> = chosen
+                .iter()
+                .filter_map(|id| by_id.get(id).copied())
+                .filter(|p| !p.train().is_empty())
+                .collect();
+            if cohort.is_empty() {
+                continue;
+            }
+            let params = self.registry.get(expert_id).expect("live expert").params.clone();
+            let outcome = run_round(&self.spec, &params, &cohort, &round_cfg, None, rng);
+            self.registry.get_mut(expert_id).expect("live expert").params = outcome.params;
+        }
+        // Personalised parties: one local continuation step.
+        let personal_ids: Vec<PartyId> = self.personal.keys().copied().collect();
+        for id in personal_ids {
+            let Some(party) = by_id.get(&id) else { continue };
+            if party.train().is_empty() {
+                continue;
+            }
+            let base = self.personal[&id].clone();
+            let mut cfg = self.cfg.train;
+            cfg.epochs = 1;
+            let fit = train_local_params(
+                &self.spec,
+                &base,
+                party.train_features(),
+                party.train_labels(),
+                &cfg,
+                rng,
+            );
+            self.personal.insert(id, fit.params);
+        }
+    }
+
+    /// Population accuracy under the current assignment (personal params
+    /// take precedence over the assigned expert's).
+    pub fn evaluate(&self, parties: &[Party]) -> f32 {
+        evaluate_assigned(&self.spec, parties, |id| {
+            if let Some(p) = self.personal.get(&id) {
+                p.as_slice()
+            } else {
+                &self
+                    .registry
+                    .get(self.expert_of(id))
+                    .expect("live expert")
+                    .params
+            }
+        })
+    }
+
+    /// The expert currently assigned to `party` (defaults to the first
+    /// expert for parties never seen before).
+    pub fn expert_of(&self, party: PartyId) -> ExpertId {
+        self.assignment
+            .get(&party)
+            .copied()
+            .unwrap_or_else(|| self.registry.ids()[0])
+    }
+
+    fn refresh_cohort_sizes(&mut self) {
+        let mut counts: HashMap<ExpertId, usize> = HashMap::new();
+        for eid in self.assignment.values() {
+            *counts.entry(*eid).or_default() += 1;
+        }
+        for e in self.registry.iter_mut() {
+            e.cohort_size = counts.get(&e.id).copied().unwrap_or(0);
+        }
+    }
+
+    /// Freezes the encoder / θ0 template at the current first expert's
+    /// (bootstrap-trained) parameters and rebuilds that expert's latent
+    /// memory from the previous window's data in the frozen embedding space.
+    fn freeze_encoder(&mut self, parties: &[Party], rng: &mut StdRng) {
+        let expert0 = self.registry.ids()[0];
+        let trained = self.registry.get(expert0).expect("expert 0 lives").params.clone();
+        self.bootstrap_params = trained.clone();
+        self.encoder_params = trained;
+        let encoder = build_model(&self.spec, &self.encoder_params);
+        let mut profiles = Vec::new();
+        for p in parties {
+            let data = match p.prev_train() {
+                Some(prev) if !prev.is_empty() => prev,
+                _ => p.train(),
+            };
+            if data.is_empty() {
+                continue;
+            }
+            let emb = encoder.embed(data.features());
+            profiles.push(EmbeddingProfile::from_embeddings(&emb, self.cfg.profile_rows, rng));
+        }
+        if !profiles.is_empty() {
+            let refs: Vec<&EmbeddingProfile> = profiles.iter().collect();
+            let pooled = EmbeddingProfile::pool(&refs, self.cfg.profile_rows * 2, rng);
+            self.registry.get_mut(expert0).expect("expert 0 lives").memory =
+                crate::memory::LatentMemory::from_profile(&pooled);
+        }
+    }
+
+    /// Calibrates thresholds from the previous (assumed stable) window's
+    /// data if not yet fixed.
+    fn ensure_thresholds(&mut self, parties: &[Party], rng: &mut StdRng) -> CalibratedThresholds {
+        if let (Some(dc), Some(dl)) = (self.cfg.delta_cov, self.cfg.delta_label) {
+            let t = CalibratedThresholds { delta_cov: dc, delta_label: dl };
+            self.thresholds = Some(t);
+            return t;
+        }
+        if let Some(t) = self.thresholds {
+            return t;
+        }
+        // Per-party null distributions under the frozen encoder
+        // ("bootstrapped client feature representations assuming no shift",
+        // §5): each party's previous-window embeddings are split into random
+        // halves and compared with the shared kernel. Pooling *across*
+        // parties would confound the null with cross-party heterogeneity
+        // (different label mixes), inflating δ_cov and masking real shifts.
+        let model = build_model(&self.spec, &self.encoder_params);
+        let mut mats: Vec<Matrix> = Vec::new();
+        let mut hists: Vec<Vec<f32>> = Vec::new();
+        let mut count = 0usize;
+        for p in parties {
+            if let Some(prev) = p.prev_train() {
+                if prev.is_empty() {
+                    continue;
+                }
+                let emb = model.embed(prev.features());
+                let rows = emb.rows().min(self.cfg.profile_rows);
+                let idx: Vec<usize> = (0..rows).collect();
+                mats.push(emb.select_rows(&idx));
+                hists.push(prev.label_histogram());
+                count = count.max(prev.len());
+            }
+        }
+        let calibrator = ThresholdCalibrator::new(self.cfg.calibration_p_value, 40, 32);
+        let mut t = if mats.is_empty() {
+            // No stable window available: fall back to permissive defaults.
+            CalibratedThresholds { delta_cov: 0.05, delta_label: 0.1 }
+        } else {
+            // Shared kernel from the pooled stable embeddings.
+            let mat_refs: Vec<&Matrix> = mats.iter().collect();
+            let pooled = Matrix::vstack(&mat_refs);
+            let kernel = shiftex_detect::RbfKernel::median_heuristic(&pooled, &pooled);
+            // Within-party split-half null scores.
+            let mut nulls = Vec::new();
+            for m in &mats {
+                if m.rows() < 4 {
+                    continue;
+                }
+                let half = (m.rows() / 2).min(self.cfg.profile_rows);
+                for _ in 0..calibrator.iterations.min(20) {
+                    let idx = shiftex_tensor::rngx::sample_without_replacement(
+                        rng,
+                        m.rows(),
+                        2 * half,
+                    );
+                    let a = m.select_rows(&idx[..half]);
+                    let b = m.select_rows(&idx[half..]);
+                    nulls.push(shiftex_detect::mmd2_unbiased(&a, &b, &kernel));
+                }
+            }
+            let delta_cov = if nulls.is_empty() {
+                0.05
+            } else {
+                shiftex_tensor::stats::quantile(&nulls, 1.0 - self.cfg.calibration_p_value)
+            };
+            let delta_label = calibrator.calibrate_label(&hists, count.max(1), rng);
+            self.kernel = Some(kernel);
+            CalibratedThresholds { delta_cov, delta_label }
+        };
+        if let Some(dc) = self.cfg.delta_cov {
+            t.delta_cov = dc;
+        }
+        if let Some(dl) = self.cfg.delta_label {
+            t.delta_label = dl;
+        }
+        self.thresholds = Some(t);
+        t
+    }
+}
+
+impl ContinualStrategy for ShiftEx {
+    fn name(&self) -> &'static str {
+        "ShiftEx"
+    }
+
+    fn begin_window(&mut self, window: usize, parties: &[Party], rng: &mut StdRng) {
+        if window == 0 {
+            self.bootstrap(parties, 0, rng);
+        } else {
+            self.process_window(parties, rng);
+        }
+    }
+
+    fn train_round(&mut self, parties: &[Party], rng: &mut StdRng) {
+        ShiftEx::train_round(self, parties, rng);
+    }
+
+    fn evaluate(&self, parties: &[Party]) -> f32 {
+        ShiftEx::evaluate(self, parties)
+    }
+
+    fn model_index(&self, party: PartyId) -> usize {
+        let eid = self.expert_of(party);
+        self.registry.ids().iter().position(|&id| id == eid).unwrap_or(0)
+    }
+
+    fn num_models(&self) -> usize {
+        self.num_experts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use shiftex_data::{Corruption, ImageShape, PrototypeGenerator, Regime};
+
+    fn make_parties(
+        gen: &PrototypeGenerator,
+        n: usize,
+        samples: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Party> {
+        (0..n)
+            .map(|i| {
+                Party::new(
+                    PartyId(i),
+                    gen.generate_uniform(samples, rng),
+                    gen.generate_uniform(samples / 2, rng),
+                )
+            })
+            .collect()
+    }
+
+    fn advance_with_regime(
+        parties: &mut [Party],
+        gen: &PrototypeGenerator,
+        regime: &Regime,
+        which: &[usize],
+        samples: usize,
+        rng: &mut StdRng,
+    ) {
+        for (i, p) in parties.iter_mut().enumerate() {
+            let (train, test) = if which.contains(&i) {
+                (
+                    gen.generate_with_regime(samples, regime, rng),
+                    gen.generate_with_regime(samples / 2, regime, rng),
+                )
+            } else {
+                (gen.generate_uniform(samples, rng), gen.generate_uniform(samples / 2, rng))
+            };
+            p.advance_window(train, test);
+        }
+    }
+
+    fn setup(n: usize) -> (PrototypeGenerator, Vec<Party>, ShiftEx, StdRng) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let gen = PrototypeGenerator::new(ImageShape::new(1, 8, 8), 4, &mut rng);
+        let parties = make_parties(&gen, n, 48, &mut rng);
+        let spec = ArchSpec::mlp("t", 64, &[24, 12], 4);
+        let cfg = ShiftExConfig { participants_per_round: n, ..ShiftExConfig::default() };
+        let shiftex = ShiftEx::new(cfg, spec, &mut rng);
+        (gen, parties, shiftex, rng)
+    }
+
+    #[test]
+    fn bootstrap_creates_single_expert_and_assigns_all() {
+        let (_gen, parties, mut shiftex, mut rng) = setup(6);
+        shiftex.bootstrap(&parties, 2, &mut rng);
+        assert_eq!(shiftex.num_experts(), 1);
+        assert_eq!(shiftex.assignments().len(), 6);
+    }
+
+    #[test]
+    fn stable_window_creates_no_experts() {
+        let (gen, mut parties, mut shiftex, mut rng) = setup(6);
+        shiftex.bootstrap(&parties, 3, &mut rng);
+        advance_with_regime(&mut parties, &gen, &Regime::clear(), &[], 48, &mut rng);
+        let report = shiftex.process_window(&parties, &mut rng);
+        assert!(report.created.is_empty(), "stable window spawned {:?}", report.created);
+        assert_eq!(shiftex.num_experts(), 1);
+    }
+
+    #[test]
+    fn covariate_shift_spawns_expert_for_shifted_group() {
+        let (gen, mut parties, mut shiftex, mut rng) = setup(8);
+        shiftex.bootstrap(&parties, 3, &mut rng);
+        let fog = Regime::corrupted(Corruption::Fog, 4);
+        advance_with_regime(&mut parties, &gen, &fog, &[0, 1, 2, 3], 48, &mut rng);
+        let report = shiftex.process_window(&parties, &mut rng);
+        assert!(
+            report.cov_shifted.len() >= 3,
+            "expected most of the fog group detected, got {:?}",
+            report.cov_shifted
+        );
+        assert_eq!(report.created.len(), 1, "one new expert for the fog regime");
+        assert_eq!(shiftex.num_experts(), 2);
+        // The shifted parties point at the new expert.
+        let new_expert = report.created[0];
+        for i in 0..4 {
+            assert_eq!(shiftex.expert_of(PartyId(i)), new_expert);
+        }
+    }
+
+    #[test]
+    fn recurring_regime_reuses_expert_via_latent_memory() {
+        let (gen, mut parties, mut shiftex, mut rng) = setup(8);
+        shiftex.bootstrap(&parties, 3, &mut rng);
+        let fog = Regime::corrupted(Corruption::Fog, 4);
+        let mut rounds = |s: &mut ShiftEx, parties: &[Party], rng: &mut StdRng| {
+            for _ in 0..2 {
+                ShiftEx::train_round(s, parties, rng);
+            }
+        };
+
+        // W1: fog arrives for half the parties → new expert.
+        advance_with_regime(&mut parties, &gen, &fog, &[0, 1, 2, 3], 48, &mut rng);
+        let r1 = shiftex.process_window(&parties, &mut rng);
+        assert_eq!(r1.created.len(), 1);
+        let fog_expert = r1.created[0];
+        rounds(&mut shiftex, &parties, &mut rng);
+
+        // W2: everyone clear again → shifted-back parties should go to an
+        // existing expert (the clear expert 0), not a new one.
+        advance_with_regime(&mut parties, &gen, &Regime::clear(), &[], 48, &mut rng);
+        let r2 = shiftex.process_window(&parties, &mut rng);
+        assert!(r2.created.is_empty(), "clear regime must reuse: {r2:?}");
+        rounds(&mut shiftex, &parties, &mut rng);
+
+        // W3: fog recurs for a different subset → reuse the fog expert.
+        advance_with_regime(&mut parties, &gen, &fog, &[4, 5, 6, 7], 48, &mut rng);
+        let r3 = shiftex.process_window(&parties, &mut rng);
+        assert!(
+            r3.created.is_empty() && !r3.reused.is_empty(),
+            "recurring fog should reuse the fog expert: {r3:?}"
+        );
+        assert!(
+            r3.reused.contains(&fog_expert) || shiftex.registry().get(fog_expert).is_none(),
+            "the fog expert (or its consolidation survivor) should be reused: {r3:?}"
+        );
+    }
+
+    #[test]
+    fn training_rounds_improve_shifted_accuracy() {
+        let (gen, mut parties, mut shiftex, mut rng) = setup(8);
+        shiftex.bootstrap(&parties, 5, &mut rng);
+        let fog = Regime::corrupted(Corruption::Fog, 4);
+        advance_with_regime(&mut parties, &gen, &fog, &[0, 1, 2, 3], 48, &mut rng);
+        shiftex.process_window(&parties, &mut rng);
+        let before = shiftex.evaluate(&parties);
+        for _ in 0..6 {
+            ShiftEx::train_round(&mut shiftex, &parties, &mut rng);
+        }
+        let after = shiftex.evaluate(&parties);
+        assert!(after > before, "training should recover accuracy: {before} -> {after}");
+    }
+
+    #[test]
+    fn max_experts_cap_is_respected() {
+        let (gen, mut parties, mut shiftex, mut rng) = setup(8);
+        shiftex.cfg.max_experts = 2;
+        shiftex.bootstrap(&parties, 2, &mut rng);
+        for (w, corruption) in [
+            Corruption::Fog,
+            Corruption::Snow,
+            Corruption::ImpulseNoise,
+            Corruption::Brightness,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let regime = Regime::corrupted(corruption, 5)
+                .with_id(shiftex_data::RegimeId(w as u32 + 1));
+            advance_with_regime(&mut parties, &gen, &regime, &[0, 1, 2, 3], 48, &mut rng);
+            shiftex.process_window(&parties, &mut rng);
+        }
+        assert!(shiftex.num_experts() <= 2);
+    }
+
+    #[test]
+    fn strategy_interface_reports_models() {
+        let (gen, mut parties, mut shiftex, mut rng) = setup(6);
+        ContinualStrategy::begin_window(&mut shiftex, 0, &parties, &mut rng);
+        assert_eq!(shiftex.name(), "ShiftEx");
+        assert_eq!(ContinualStrategy::num_models(&shiftex), 1);
+        advance_with_regime(
+            &mut parties,
+            &gen,
+            &Regime::corrupted(Corruption::Fog, 4),
+            &[0, 1, 2],
+            48,
+            &mut rng,
+        );
+        ContinualStrategy::begin_window(&mut shiftex, 1, &parties, &mut rng);
+        for p in &parties {
+            let idx = shiftex.model_index(p.id());
+            assert!(idx < ContinualStrategy::num_models(&shiftex));
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Latent memory: exponential-moving-average embedding signatures that let
+//! recurring covariate regimes reuse existing experts (§5.2.2).
+
+use serde::{Deserialize, Serialize};
+use shiftex_detect::EmbeddingProfile;
+use shiftex_tensor::{stats, Matrix};
+
+/// The latent signature `M(k)` of one expert: an EMA of the mean embedding
+/// of the cohorts it has served, plus a bounded sample of recent embeddings
+/// for MMD comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatentMemory {
+    ema_mean: Vec<f32>,
+    sample: Matrix,
+    updates: usize,
+}
+
+impl LatentMemory {
+    /// Initialises a memory from the first profile an expert serves.
+    pub fn from_profile(profile: &EmbeddingProfile) -> Self {
+        Self {
+            ema_mean: profile.mean().to_vec(),
+            sample: profile.sample().clone(),
+            updates: 1,
+        }
+    }
+
+    /// EMA mean embedding.
+    pub fn mean(&self) -> &[f32] {
+        &self.ema_mean
+    }
+
+    /// Retained embedding sample.
+    pub fn sample(&self) -> &Matrix {
+        &self.sample
+    }
+
+    /// Number of updates applied (including initialisation).
+    pub fn updates(&self) -> usize {
+        self.updates
+    }
+
+    /// Folds a new cohort profile into the memory:
+    /// `mean ← β·mean + (1−β)·new_mean`, and the sample is replaced by the
+    /// newest profile's sample (most recent regime snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ or `beta ∉ [0,1]`.
+    pub fn update(&mut self, profile: &EmbeddingProfile, beta: f32) {
+        assert_eq!(profile.dim(), self.ema_mean.len(), "memory dimension mismatch");
+        self.ema_mean = stats::ema_update(&self.ema_mean, profile.mean(), beta);
+        self.sample = profile.sample().clone();
+        self.updates += 1;
+    }
+
+    /// MMD² between the memory's sample and a candidate profile — the
+    /// matching score `MMD(P̄_j(X), M(k))` of §5.2.2.
+    pub fn mmd_to(&self, profile: &EmbeddingProfile) -> f32 {
+        EmbeddingProfile::from_sample(self.sample.clone()).mmd_to(profile)
+    }
+
+    /// Like [`LatentMemory::mmd_to`] but under a fixed calibrated kernel,
+    /// making scores comparable to the detection threshold.
+    pub fn mmd_to_with(&self, profile: &EmbeddingProfile, kernel: &shiftex_detect::RbfKernel) -> f32 {
+        EmbeddingProfile::from_sample(self.sample.clone()).mmd_to_with(profile, kernel)
+    }
+
+    /// Merges two memories (expert consolidation), weighting the EMA means
+    /// by each expert's cohort size and keeping the larger sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ or both weights are zero.
+    pub fn merge(&self, other: &LatentMemory, w_self: f32, w_other: f32) -> LatentMemory {
+        let mean =
+            shiftex_tensor::vector::weighted_mean(&[&self.ema_mean, &other.ema_mean], &[w_self, w_other]);
+        let sample = if self.sample.rows() >= other.sample.rows() {
+            self.sample.clone()
+        } else {
+            other.sample.clone()
+        };
+        LatentMemory { ema_mean: mean, sample, updates: self.updates + other.updates }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn profile(mean: f32, seed: u64) -> EmbeddingProfile {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Matrix::randn(32, 4, mean, 0.5, &mut rng);
+        EmbeddingProfile::from_embeddings(&m, 32, &mut rng)
+    }
+
+    #[test]
+    fn init_copies_profile() {
+        let p = profile(1.0, 0);
+        let mem = LatentMemory::from_profile(&p);
+        assert_eq!(mem.mean(), p.mean());
+        assert_eq!(mem.updates(), 1);
+    }
+
+    #[test]
+    fn update_moves_mean_towards_new_profile() {
+        let p0 = profile(0.0, 1);
+        let p1 = profile(10.0, 2);
+        let mut mem = LatentMemory::from_profile(&p0);
+        mem.update(&p1, 0.5);
+        let m = shiftex_tensor::vector::mean(mem.mean());
+        assert!(m > 2.0 && m < 8.0, "EMA mean should be between regimes: {m}");
+        assert_eq!(mem.updates(), 2);
+    }
+
+    #[test]
+    fn matching_score_prefers_own_regime() {
+        let p_fog = profile(3.0, 3);
+        let p_fog2 = profile(3.0, 4);
+        let p_snow = profile(-3.0, 5);
+        let mem = LatentMemory::from_profile(&p_fog);
+        assert!(mem.mmd_to(&p_fog2) < mem.mmd_to(&p_snow));
+    }
+
+    #[test]
+    fn merge_blends_means() {
+        let a = LatentMemory::from_profile(&profile(0.0, 6));
+        let b = LatentMemory::from_profile(&profile(4.0, 7));
+        let merged = a.merge(&b, 1.0, 1.0);
+        let m = shiftex_tensor::vector::mean(merged.mean());
+        assert!(m > 1.0 && m < 3.0, "merged mean {m}");
+        assert_eq!(merged.updates(), 2);
+    }
+
+    #[test]
+    fn beta_one_freezes_memory() {
+        let p0 = profile(0.0, 8);
+        let p1 = profile(5.0, 9);
+        let mut mem = LatentMemory::from_profile(&p0);
+        let before = mem.mean().to_vec();
+        mem.update(&p1, 1.0);
+        assert_eq!(mem.mean(), &before[..]);
+    }
+}

@@ -1,0 +1,178 @@
+//! The expert registry: the aggregator's pool of specialised global models,
+//! each tagged with its covariate regime via a latent-memory signature.
+
+use serde::{Deserialize, Serialize};
+use shiftex_detect::EmbeddingProfile;
+
+use crate::memory::LatentMemory;
+
+/// Stable expert identifier (survives consolidation of *other* experts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ExpertId(pub u32);
+
+impl std::fmt::Display for ExpertId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expert#{}", self.0)
+    }
+}
+
+/// One specialised global model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Expert {
+    /// Identifier.
+    pub id: ExpertId,
+    /// Flattened model parameters.
+    pub params: Vec<f32>,
+    /// Latent signature of the covariate regime this expert serves.
+    pub memory: LatentMemory,
+    /// Window index at which the expert was created.
+    pub created_window: usize,
+    /// Number of parties currently assigned (refreshed by the aggregator).
+    pub cohort_size: usize,
+}
+
+/// The aggregator's expert pool (`Θ_t` in Algorithm 2).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExpertRegistry {
+    experts: Vec<Expert>,
+    next_id: u32,
+}
+
+impl ExpertRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live experts.
+    pub fn len(&self) -> usize {
+        self.experts.len()
+    }
+
+    /// `true` when no experts exist yet.
+    pub fn is_empty(&self) -> bool {
+        self.experts.is_empty()
+    }
+
+    /// Iterates over live experts.
+    pub fn iter(&self) -> impl Iterator<Item = &Expert> {
+        self.experts.iter()
+    }
+
+    /// Mutable iteration (training updates).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Expert> {
+        self.experts.iter_mut()
+    }
+
+    /// Looks up an expert.
+    pub fn get(&self, id: ExpertId) -> Option<&Expert> {
+        self.experts.iter().find(|e| e.id == id)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, id: ExpertId) -> Option<&mut Expert> {
+        self.experts.iter_mut().find(|e| e.id == id)
+    }
+
+    /// Registers a new expert initialised from `params` and tagged with the
+    /// profile that triggered its creation. Returns the new id.
+    pub fn create(
+        &mut self,
+        params: Vec<f32>,
+        profile: &EmbeddingProfile,
+        window: usize,
+    ) -> ExpertId {
+        let id = ExpertId(self.next_id);
+        self.next_id += 1;
+        self.experts.push(Expert {
+            id,
+            params,
+            memory: LatentMemory::from_profile(profile),
+            created_window: window,
+            cohort_size: 0,
+        });
+        id
+    }
+
+    /// Removes an expert (consolidation), returning it.
+    pub fn remove(&mut self, id: ExpertId) -> Option<Expert> {
+        let idx = self.experts.iter().position(|e| e.id == id)?;
+        Some(self.experts.remove(idx))
+    }
+
+    /// Finds the expert whose latent memory best matches `profile`,
+    /// returning `(id, mmd_score)` — the `MATCHEXPERT` primitive of
+    /// Algorithm 2. When `kernel` is given, scores use the calibrated
+    /// bandwidth (comparable to `δ_cov`).
+    pub fn best_match(
+        &self,
+        profile: &EmbeddingProfile,
+        kernel: Option<&shiftex_detect::RbfKernel>,
+    ) -> Option<(ExpertId, f32)> {
+        self.experts
+            .iter()
+            .map(|e| {
+                let score = match kernel {
+                    Some(k) => e.memory.mmd_to_with(profile, k),
+                    None => e.memory.mmd_to(profile),
+                };
+                (e.id, score)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// All expert ids, in creation order.
+    pub fn ids(&self) -> Vec<ExpertId> {
+        self.experts.iter().map(|e| e.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use shiftex_tensor::Matrix;
+
+    fn profile(mean: f32, seed: u64) -> EmbeddingProfile {
+        let mut rng = StdRng::seed_from_u64(seed);
+        EmbeddingProfile::from_embeddings(&Matrix::randn(24, 4, mean, 0.5, &mut rng), 24, &mut rng)
+    }
+
+    #[test]
+    fn create_assigns_monotonic_ids() {
+        let mut reg = ExpertRegistry::new();
+        let a = reg.create(vec![0.0], &profile(0.0, 0), 0);
+        let b = reg.create(vec![1.0], &profile(1.0, 1), 1);
+        assert_eq!(a, ExpertId(0));
+        assert_eq!(b, ExpertId(1));
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn ids_survive_removal() {
+        let mut reg = ExpertRegistry::new();
+        let a = reg.create(vec![0.0], &profile(0.0, 0), 0);
+        let _b = reg.create(vec![1.0], &profile(1.0, 1), 0);
+        reg.remove(a);
+        let c = reg.create(vec![2.0], &profile(2.0, 2), 1);
+        assert_eq!(c, ExpertId(2), "ids must never be recycled");
+        assert!(reg.get(a).is_none());
+    }
+
+    #[test]
+    fn best_match_picks_closest_regime() {
+        let mut reg = ExpertRegistry::new();
+        let fog = reg.create(vec![0.0], &profile(5.0, 3), 0);
+        let snow = reg.create(vec![1.0], &profile(-5.0, 4), 0);
+        let (m, score) = reg.best_match(&profile(5.0, 5), None).expect("non-empty registry");
+        assert_eq!(m, fog);
+        assert!(score < reg.get(snow).unwrap().memory.mmd_to(&profile(5.0, 6)));
+    }
+
+    #[test]
+    fn best_match_on_empty_is_none() {
+        let reg = ExpertRegistry::new();
+        assert!(reg.best_match(&profile(0.0, 7), None).is_none());
+    }
+}

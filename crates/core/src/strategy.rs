@@ -1,0 +1,142 @@
+//! The common interface every continual-FL strategy implements — ShiftEx
+//! here, FedProx/OORT/Fielding/FedDrift in `shiftex-baselines` — so the
+//! experiment harness can sweep all five over identical scenarios.
+
+use rand::rngs::StdRng;
+use shiftex_fl::{Party, PartyId};
+use shiftex_nn::{ArchSpec, Sequential};
+
+/// A strategy for federated learning over a windowed data stream.
+///
+/// The harness drives one window as:
+///
+/// 1. advance every party's window data per the shift schedule,
+/// 2. call [`ContinualStrategy::begin_window`] (shift detection, expert
+///    management, re-clustering — whatever the strategy does),
+/// 3. call [`ContinualStrategy::train_round`] once per communication round,
+///    recording [`ContinualStrategy::evaluate`] after each.
+pub trait ContinualStrategy {
+    /// Strategy name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Window-start hook: parties' data has just advanced to `window`.
+    fn begin_window(&mut self, window: usize, parties: &[Party], rng: &mut StdRng);
+
+    /// Runs one communication round of training.
+    fn train_round(&mut self, parties: &[Party], rng: &mut StdRng);
+
+    /// Population test accuracy with every party evaluated under the model
+    /// this strategy currently assigns to it.
+    fn evaluate(&self, parties: &[Party]) -> f32;
+
+    /// Dense model index currently assigned to `party` (for the
+    /// expert-distribution figures); single-model strategies return 0.
+    fn model_index(&self, party: PartyId) -> usize;
+
+    /// Number of distinct models currently maintained.
+    fn num_models(&self) -> usize;
+}
+
+/// Builds a model with the given flat parameters (helper shared by all
+/// strategies).
+pub fn build_model(spec: &ArchSpec, params: &[f32]) -> Sequential {
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = Sequential::build(spec, &mut rng);
+    model.set_params_flat(params);
+    model
+}
+
+/// Sample-weighted population accuracy where `params_of` supplies each
+/// party's assigned parameters.
+pub fn evaluate_assigned<'a>(
+    spec: &ArchSpec,
+    parties: &[Party],
+    mut params_of: impl FnMut(PartyId) -> &'a [f32],
+) -> f32 {
+    let mut correct = 0.0f64;
+    let mut total = 0usize;
+    // Cache built models by parameter pointer identity is overkill here;
+    // group parties by identical parameter slices instead.
+    let mut cache: Vec<(&[f32], Sequential)> = Vec::new();
+    for party in parties {
+        if party.test().is_empty() {
+            continue;
+        }
+        let params = params_of(party.id());
+        let model = match cache.iter().position(|(p, _)| std::ptr::eq(p.as_ptr(), params.as_ptr())) {
+            Some(i) => &cache[i].1,
+            None => {
+                cache.push((params, build_model(spec, params)));
+                &cache.last().unwrap().1
+            }
+        };
+        let report = model.evaluate(party.test_features(), party.test_labels());
+        correct += report.accuracy as f64 * report.n as f64;
+        total += report.n;
+    }
+    if total == 0 {
+        0.0
+    } else {
+        (correct / total as f64) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use shiftex_data::{ImageShape, PrototypeGenerator};
+
+    #[test]
+    fn evaluate_assigned_uses_per_party_models() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let gen = PrototypeGenerator::new(ImageShape::new(1, 4, 4), 2, &mut rng);
+        let parties: Vec<Party> = (0..3)
+            .map(|i| {
+                Party::new(
+                    PartyId(i),
+                    gen.generate_uniform(16, &mut rng),
+                    gen.generate_uniform(16, &mut rng),
+                )
+            })
+            .collect();
+        let spec = ArchSpec::mlp("t", 16, &[6], 2);
+        let good = {
+            // Train a model on pooled data so it beats random.
+            let pooled = shiftex_data::Dataset::concat(&[
+                parties[0].train(),
+                parties[1].train(),
+                parties[2].train(),
+            ]);
+            let mut m = Sequential::build(&spec, &mut rng);
+            let cfg = shiftex_nn::TrainConfig { epochs: 25, ..Default::default() };
+            m.train(pooled.features(), pooled.labels(), &cfg, &mut rng);
+            m.params_flat()
+        };
+        let bad = Sequential::build(&spec, &mut StdRng::seed_from_u64(99)).params_flat();
+
+        let acc_good = evaluate_assigned(&spec, &parties, |_| &good);
+        let acc_bad = evaluate_assigned(&spec, &parties, |_| &bad);
+        assert!(acc_good > acc_bad, "trained {acc_good} vs fresh {acc_bad}");
+
+        // Mixed assignment lands between the two pure assignments.
+        let acc_mixed = evaluate_assigned(&spec, &parties, |id| {
+            if id.0 == 0 {
+                &bad
+            } else {
+                &good
+            }
+        });
+        assert!(acc_mixed <= acc_good + 1e-6 && acc_mixed >= acc_bad - 1e-6);
+    }
+
+    #[test]
+    fn build_model_roundtrips_params() {
+        let spec = ArchSpec::mlp("t", 4, &[3], 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let params = Sequential::build(&spec, &mut rng).params_flat();
+        let model = build_model(&spec, &params);
+        assert_eq!(model.params_flat(), params);
+    }
+}

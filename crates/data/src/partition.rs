@@ -1,0 +1,151 @@
+//! Federated data partitioning: IID and Dirichlet label-skew splits.
+
+use rand::Rng;
+use shiftex_tensor::rngx;
+
+use crate::dataset::Dataset;
+
+/// Splits sample indices IID across `num_parties` (sizes differ by ≤ 1).
+///
+/// # Panics
+///
+/// Panics if `num_parties == 0`.
+pub fn iid_partition(n: usize, num_parties: usize, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+    assert!(num_parties > 0, "need at least one party");
+    let mut order: Vec<usize> = (0..n).collect();
+    rngx::shuffle(rng, &mut order);
+    let mut parts = vec![Vec::new(); num_parties];
+    for (i, idx) in order.into_iter().enumerate() {
+        parts[i % num_parties].push(idx);
+    }
+    parts
+}
+
+/// Dirichlet label-skew partition: for each class, the class's samples are
+/// split across parties with proportions drawn from `Dirichlet(alpha)`.
+/// Smaller `alpha` produces more skewed (non-IID) parties — the standard
+/// federated-learning heterogeneity protocol.
+///
+/// # Panics
+///
+/// Panics if `num_parties == 0` or `alpha <= 0`.
+pub fn dirichlet_partition(
+    dataset: &Dataset,
+    num_parties: usize,
+    alpha: f32,
+    rng: &mut impl Rng,
+) -> Vec<Vec<usize>> {
+    assert!(num_parties > 0, "need at least one party");
+    assert!(alpha > 0.0, "alpha must be positive");
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); dataset.num_classes()];
+    for (i, &l) in dataset.labels().iter().enumerate() {
+        per_class[l].push(i);
+    }
+    let mut parts = vec![Vec::new(); num_parties];
+    for class_indices in per_class.iter_mut() {
+        rngx::shuffle(rng, class_indices);
+        let props = rngx::dirichlet(rng, alpha, num_parties);
+        // Convert proportions to cumulative cut points over this class.
+        let n = class_indices.len();
+        let mut start = 0usize;
+        let mut acc = 0.0f32;
+        for (p, part) in props.iter().zip(parts.iter_mut()) {
+            acc += p;
+            let end = ((acc * n as f32).round() as usize).min(n);
+            part.extend_from_slice(&class_indices[start..end]);
+            start = end;
+        }
+        // Rounding may leave a tail; give it to a random party.
+        if start < n {
+            let k = rng.random_range(0..num_parties);
+            parts[k].extend_from_slice(&class_indices[start..]);
+        }
+    }
+    parts
+}
+
+/// Per-party class-probability vectors drawn from `Dirichlet(alpha)` — used
+/// when parties *generate* windowed data rather than splitting a fixed pool.
+pub fn dirichlet_label_dists(
+    num_parties: usize,
+    num_classes: usize,
+    alpha: f32,
+    rng: &mut impl Rng,
+) -> Vec<Vec<f32>> {
+    (0..num_parties)
+        .map(|_| rngx::dirichlet(rng, alpha, num_classes))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::ImageShape;
+    use crate::synth::PrototypeGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use shiftex_tensor::stats;
+
+    fn dataset(n: usize, classes: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = PrototypeGenerator::new(ImageShape::new(1, 4, 4), classes, &mut rng);
+        g.generate_uniform(n, &mut rng)
+    }
+
+    #[test]
+    fn iid_partition_covers_everything_once() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let parts = iid_partition(103, 10, &mut rng);
+        let mut all: Vec<usize> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+        assert!(parts.iter().all(|p| p.len() == 10 || p.len() == 11));
+    }
+
+    #[test]
+    fn dirichlet_partition_covers_everything_once() {
+        let ds = dataset(200, 5, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let parts = dirichlet_partition(&ds, 8, 0.5, &mut rng);
+        let mut all: Vec<usize> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_alpha_is_more_skewed_than_large() {
+        let ds = dataset(2000, 10, 3);
+        let skew_of = |alpha: f32, seed: u64| -> f32 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let parts = dirichlet_partition(&ds, 10, alpha, &mut rng);
+            // Mean max-class share across parties: higher = more skewed.
+            let mut total = 0.0;
+            let mut count = 0;
+            for p in &parts {
+                if p.is_empty() {
+                    continue;
+                }
+                let hist = stats::label_histogram(p.iter().map(|&i| ds.labels()[i]), 10);
+                total += hist.iter().cloned().fold(0.0, f32::max);
+                count += 1;
+            }
+            total / count as f32
+        };
+        let skewed = skew_of(0.1, 4);
+        let uniform = skew_of(100.0, 4);
+        assert!(
+            skewed > uniform + 0.1,
+            "alpha=0.1 skew {skewed} should exceed alpha=100 skew {uniform}"
+        );
+    }
+
+    #[test]
+    fn label_dists_are_distributions() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dists = dirichlet_label_dists(6, 4, 0.5, &mut rng);
+        assert_eq!(dists.len(), 6);
+        for d in dists {
+            assert!((d.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Alternative covariate-shift detectors.
+//!
+//! The paper selects MMD "because [it is] non-parametric and lightweight …
+//! however, the framework itself is detector-agnostic and can readily
+//! accommodate alternative choices if desired" (§3.2). This module provides
+//! two drop-in alternatives with the same `(P, Q) → score` contract:
+//!
+//! * [`energy_distance`] — Székely–Rizzo energy distance, kernel-free;
+//! * [`ks_max`] — the maximum per-dimension two-sample Kolmogorov–Smirnov
+//!   statistic, sensitive to marginal changes and O(n log n) per dimension.
+
+use shiftex_tensor::{vector, Matrix};
+
+/// Squared energy distance between two samples:
+/// `2·E‖x−y‖ − E‖x−x′‖ − E‖y−y′‖` (non-negative; 0 iff `P = Q`).
+///
+/// # Panics
+///
+/// Panics if either sample is empty or dimensions differ.
+pub fn energy_distance(p: &Matrix, q: &Matrix) -> f32 {
+    assert!(p.rows() > 0 && q.rows() > 0, "energy distance of empty sample");
+    assert_eq!(p.cols(), q.cols(), "dimension mismatch");
+    let cross = mean_pair_dist(p, q);
+    let within_p = mean_self_dist(p);
+    let within_q = mean_self_dist(q);
+    (2.0 * cross - within_p - within_q).max(0.0)
+}
+
+fn mean_pair_dist(a: &Matrix, b: &Matrix) -> f32 {
+    let mut acc = 0.0f64;
+    for i in 0..a.rows() {
+        for j in 0..b.rows() {
+            acc += vector::l2_dist(a.row(i), b.row(j)) as f64;
+        }
+    }
+    (acc / (a.rows() as f64 * b.rows() as f64)) as f32
+}
+
+fn mean_self_dist(a: &Matrix) -> f32 {
+    if a.rows() < 2 {
+        return 0.0;
+    }
+    let mut acc = 0.0f64;
+    let mut count = 0.0f64;
+    for i in 0..a.rows() {
+        for j in (i + 1)..a.rows() {
+            acc += vector::l2_dist(a.row(i), a.row(j)) as f64;
+            count += 1.0;
+        }
+    }
+    (acc / count) as f32
+}
+
+/// Maximum over dimensions of the two-sample Kolmogorov–Smirnov statistic
+/// `sup_t |F_p(t) − F_q(t)|`, in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or dimensions differ.
+pub fn ks_max(p: &Matrix, q: &Matrix) -> f32 {
+    assert!(p.rows() > 0 && q.rows() > 0, "ks of empty sample");
+    assert_eq!(p.cols(), q.cols(), "dimension mismatch");
+    let mut worst = 0.0f32;
+    for d in 0..p.cols() {
+        worst = worst.max(ks_1d(&p.col(d), &q.col(d)));
+    }
+    worst
+}
+
+/// One-dimensional two-sample KS statistic.
+fn ks_1d(a: &[f32], b: &[f32]) -> f32 {
+    let mut xa = a.to_vec();
+    let mut xb = b.to_vec();
+    xa.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    xb.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    let (na, nb) = (xa.len() as f32, xb.len() as f32);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f32;
+    while i < xa.len() && j < xb.len() {
+        if xa[i] <= xb[j] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        d = d.max((i as f32 / na - j as f32 / nb).abs());
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(n: usize, mean: f32, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::randn(n, 4, mean, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn energy_distance_zero_for_identical() {
+        let p = sample(32, 0.0, 0);
+        assert!(energy_distance(&p, &p) < 1e-4);
+    }
+
+    #[test]
+    fn energy_distance_grows_with_shift() {
+        let p = sample(48, 0.0, 1);
+        let near = sample(48, 0.3, 2);
+        let far = sample(48, 3.0, 3);
+        assert!(energy_distance(&p, &far) > energy_distance(&p, &near));
+    }
+
+    #[test]
+    fn ks_detects_mean_shift() {
+        let p = sample(64, 0.0, 4);
+        let q_same = sample(64, 0.0, 5);
+        let q_far = sample(64, 2.0, 6);
+        assert!(ks_max(&p, &q_far) > ks_max(&p, &q_same) * 2.0);
+        assert!(ks_max(&p, &q_far) > 0.5);
+    }
+
+    #[test]
+    fn ks_bounded_by_one() {
+        let p = sample(16, -100.0, 7);
+        let q = sample(16, 100.0, 8);
+        let v = ks_max(&p, &q);
+        assert!(v <= 1.0 + 1e-6 && v > 0.99, "disjoint samples should hit 1: {v}");
+    }
+
+    #[test]
+    fn detectors_agree_on_ordering() {
+        // All three detector families must order a strong shift above a
+        // weak one — the property that makes them interchangeable in
+        // ShiftEx's thresholding pipeline.
+        let p = sample(48, 0.0, 9);
+        let weak = sample(48, 0.5, 10);
+        let strong = sample(48, 4.0, 11);
+        let kernel = crate::RbfKernel::median_heuristic(&p, &p);
+        assert!(crate::mmd2_biased(&p, &strong, &kernel) > crate::mmd2_biased(&p, &weak, &kernel));
+        assert!(energy_distance(&p, &strong) > energy_distance(&p, &weak));
+        assert!(ks_max(&p, &strong) > ks_max(&p, &weak));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_energy_symmetric_nonnegative(sa in 0u64..500, sb in 0u64..500, m in -2.0f32..2.0) {
+            let p = sample(12, 0.0, sa);
+            let q = sample(12, m, sb);
+            let d1 = energy_distance(&p, &q);
+            let d2 = energy_distance(&q, &p);
+            prop_assert!(d1 >= 0.0);
+            prop_assert!((d1 - d2).abs() < 1e-3);
+        }
+
+        #[test]
+        fn prop_ks_in_unit_interval(sa in 0u64..500, m in -5.0f32..5.0) {
+            let p = sample(16, 0.0, sa);
+            let q = sample(16, m, sa + 1);
+            let v = ks_max(&p, &q);
+            prop_assert!((0.0..=1.0 + 1e-6).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Bootstrap threshold calibration (§5 of the paper).
+//!
+//! "The thresholds δ_cov and δ_label are derived during the bootstrap phase
+//! from the null distributions of MMD and JSD scores. δ_cov is set via
+//! p-value estimation from bootstrapped client feature representations
+//! assuming no shift, while δ_label is based on JSD statistics between
+//! predicted and prior label distributions under stable conditions."
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use shiftex_tensor::{rngx, stats, Matrix};
+
+use crate::divergence::jsd;
+use crate::kernel::RbfKernel;
+use crate::mmd::mmd2_biased;
+
+/// Calibrated detection thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibratedThresholds {
+    /// Covariate-shift threshold on MMD².
+    pub delta_cov: f32,
+    /// Label-shift threshold on JSD (nats).
+    pub delta_label: f32,
+}
+
+/// Bootstrap calibrator: estimates null distributions under "no shift" and
+/// places thresholds at the `1 − p_value` quantile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdCalibrator {
+    /// Significance level (probability of a false shift alarm per test).
+    pub p_value: f32,
+    /// Number of bootstrap resamples.
+    pub iterations: usize,
+    /// Rows per split when bootstrapping MMD.
+    pub split_size: usize,
+}
+
+impl Default for ThresholdCalibrator {
+    fn default() -> Self {
+        Self { p_value: 0.05, iterations: 100, split_size: 32 }
+    }
+}
+
+impl ThresholdCalibrator {
+    /// Creates a calibrator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_value ∉ (0, 1)` or `iterations == 0`.
+    pub fn new(p_value: f32, iterations: usize, split_size: usize) -> Self {
+        assert!(p_value > 0.0 && p_value < 1.0, "p_value must be in (0,1)");
+        assert!(iterations > 0, "need at least one bootstrap iteration");
+        assert!(split_size >= 2, "split_size must be >= 2");
+        Self { p_value, iterations, split_size }
+    }
+
+    /// Calibrates `δ_cov` from stable-period embeddings, returning the
+    /// threshold **and the kernel it is valid for**.
+    ///
+    /// Repeatedly splits the pooled no-shift embeddings into two random
+    /// halves and records the MMD² between them; since both halves come from
+    /// the same distribution, these scores sample the null. The threshold is
+    /// the `1 − p` quantile.
+    ///
+    /// The kernel bandwidth is fixed once here (median heuristic over the
+    /// stable pool) and must be reused for every subsequent detection: MMD
+    /// scores under different bandwidths are not comparable, and re-running
+    /// the median heuristic on *shifted* pairs adaptively normalises the
+    /// very shift being measured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `embeddings` has fewer than 4 rows.
+    pub fn calibrate_cov(&self, embeddings: &Matrix, rng: &mut impl Rng) -> (f32, RbfKernel) {
+        assert!(embeddings.rows() >= 4, "need >= 4 embeddings to calibrate");
+        let n = embeddings.rows();
+        let half = self.split_size.min(n / 2).max(2);
+        let kernel = RbfKernel::median_heuristic(embeddings, embeddings);
+        let mut nulls = Vec::with_capacity(self.iterations);
+        for _ in 0..self.iterations {
+            let idx = rngx::sample_without_replacement(rng, n, 2 * half);
+            let a = embeddings.select_rows(&idx[..half]);
+            let b = embeddings.select_rows(&idx[half..]);
+            nulls.push(mmd2_biased(&a, &b, &kernel));
+        }
+        (stats::quantile(&nulls, 1.0 - self.p_value), kernel)
+    }
+
+    /// Calibrates `δ_label` from stable-period label histograms.
+    ///
+    /// For each bootstrap iteration a party histogram is chosen and a fresh
+    /// multinomial sample of `count` draws is taken from it; the JSD between
+    /// the histogram and its resample estimates the no-shift JSD noise floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `histograms` is empty or `count == 0`.
+    pub fn calibrate_label(
+        &self,
+        histograms: &[Vec<f32>],
+        count: usize,
+        rng: &mut impl Rng,
+    ) -> f32 {
+        assert!(!histograms.is_empty(), "need at least one histogram");
+        assert!(count > 0, "resample count must be positive");
+        let mut nulls = Vec::with_capacity(self.iterations);
+        for _ in 0..self.iterations {
+            let h = &histograms[rng.random_range(0..histograms.len())];
+            let resampled = multinomial_histogram(h, count, rng);
+            nulls.push(jsd(h, &resampled));
+        }
+        stats::quantile(&nulls, 1.0 - self.p_value)
+    }
+
+    /// Runs both calibrations, returning thresholds plus the fixed kernel.
+    pub fn calibrate(
+        &self,
+        embeddings: &Matrix,
+        histograms: &[Vec<f32>],
+        label_count: usize,
+        rng: &mut impl Rng,
+    ) -> (CalibratedThresholds, RbfKernel) {
+        let (delta_cov, kernel) = self.calibrate_cov(embeddings, rng);
+        let delta_label = self.calibrate_label(histograms, label_count, rng);
+        (CalibratedThresholds { delta_cov, delta_label }, kernel)
+    }
+}
+
+/// Draws `count` samples from the categorical distribution `probs` and
+/// returns the normalised empirical histogram.
+fn multinomial_histogram(probs: &[f32], count: usize, rng: &mut impl Rng) -> Vec<f32> {
+    let mut counts = vec![0usize; probs.len()];
+    for _ in 0..count {
+        counts[rngx::categorical(rng, probs)] += 1;
+    }
+    counts.into_iter().map(|c| c as f32 / count as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cov_threshold_separates_null_from_shift() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let stable = Matrix::randn(128, 6, 0.0, 1.0, &mut rng);
+        let cal = ThresholdCalibrator::default();
+        let (delta, kernel) = cal.calibrate_cov(&stable, &mut rng);
+        assert!(delta > 0.0);
+
+        // A genuinely shifted sample must exceed the threshold.
+        let shifted = Matrix::randn(64, 6, 3.0, 1.0, &mut rng);
+        let score = mmd2_biased(&stable, &shifted, &kernel);
+        assert!(score > delta, "shift score {score} <= threshold {delta}");
+
+        // A same-distribution sample should usually stay below it.
+        let same = Matrix::randn(64, 6, 0.0, 1.0, &mut rng);
+        let score_same = mmd2_biased(&stable.select_rows(&(0..64).collect::<Vec<_>>()), &same, &kernel);
+        assert!(
+            score_same < delta * 4.0,
+            "null score {score_same} wildly exceeds threshold {delta}"
+        );
+    }
+
+    #[test]
+    fn label_threshold_separates_stable_from_shifted() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let stable_hists = vec![vec![0.25; 4], vec![0.3, 0.2, 0.3, 0.2]];
+        let cal = ThresholdCalibrator::default();
+        let delta = cal.calibrate_label(&stable_hists, 100, &mut rng);
+        assert!(delta > 0.0 && delta < crate::divergence::jsd_max());
+
+        // A hard label shift must exceed the threshold.
+        let shifted = vec![0.85, 0.05, 0.05, 0.05];
+        assert!(jsd(&stable_hists[0], &shifted) > delta);
+    }
+
+    #[test]
+    fn smaller_p_value_gives_larger_threshold() {
+        let mut rng1 = StdRng::seed_from_u64(2);
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let stable = Matrix::randn(128, 4, 0.0, 1.0, &mut StdRng::seed_from_u64(3));
+        let (strict, _) = ThresholdCalibrator::new(0.01, 200, 32).calibrate_cov(&stable, &mut rng1);
+        let (loose, _) = ThresholdCalibrator::new(0.25, 200, 32).calibrate_cov(&stable, &mut rng2);
+        assert!(strict >= loose, "strict {strict} < loose {loose}");
+    }
+
+    #[test]
+    #[should_panic(expected = "p_value must be in (0,1)")]
+    fn rejects_bad_p_value() {
+        let _ = ThresholdCalibrator::new(0.0, 10, 8);
+    }
+}

@@ -1,0 +1,119 @@
+//! Discrete divergences for label-shift detection (§4.3 of the paper).
+
+/// Kullback–Leibler divergence `D_KL(P ‖ Q)` in nats.
+///
+/// Terms with `p == 0` contribute zero; terms with `q == 0 < p` are clamped
+/// (q floored at 1e-12), matching the usual numerical treatment.
+///
+/// # Panics
+///
+/// Panics if the distributions have different lengths.
+pub fn kl_divergence(p: &[f32], q: &[f32]) -> f32 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    p.iter()
+        .zip(q.iter())
+        .map(|(&pi, &qi)| {
+            if pi <= 0.0 {
+                0.0
+            } else {
+                pi * (pi / qi.max(1e-12)).ln()
+            }
+        })
+        .sum()
+}
+
+/// Jensen–Shannon divergence in nats:
+/// `JSD(P‖Q) = ½·D_KL(P‖M) + ½·D_KL(Q‖M)` with `M = ½(P+Q)`.
+///
+/// Symmetric, bounded by `ln 2`, and finite even for disjoint supports —
+/// the properties the paper cites for preferring it over KL for label
+/// histograms.
+///
+/// # Panics
+///
+/// Panics if the distributions have different lengths.
+pub fn jsd(p: &[f32], q: &[f32]) -> f32 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let m: Vec<f32> = p.iter().zip(q.iter()).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    (0.5 * kl_divergence(p, &m) + 0.5 * kl_divergence(q, &m)).max(0.0)
+}
+
+/// The upper bound of [`jsd`]: `ln 2`, attained by disjoint distributions.
+pub fn jsd_max() -> f32 {
+    std::f32::consts::LN_2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use shiftex_tensor::vector::normalize_distribution;
+
+    #[test]
+    fn kl_of_identical_is_zero() {
+        let p = [0.2, 0.3, 0.5];
+        assert!(kl_divergence(&p, &p).abs() < 1e-7);
+    }
+
+    #[test]
+    fn kl_is_asymmetric() {
+        let p = [0.9, 0.1];
+        let q = [0.5, 0.5];
+        assert!((kl_divergence(&p, &q) - kl_divergence(&q, &p)).abs() > 1e-3);
+    }
+
+    #[test]
+    fn jsd_of_identical_is_zero() {
+        let p = [0.25; 4];
+        assert!(jsd(&p, &p).abs() < 1e-7);
+    }
+
+    #[test]
+    fn jsd_of_disjoint_is_ln2() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!((jsd(&p, &q) - jsd_max()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn jsd_is_symmetric() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.1, 0.1, 0.8];
+        assert!((jsd(&p, &q) - jsd(&q, &p)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn jsd_finite_for_partial_overlap() {
+        let p = [0.5, 0.5, 0.0];
+        let q = [0.0, 0.5, 0.5];
+        let v = jsd(&p, &q);
+        assert!(v.is_finite());
+        assert!(v > 0.0 && v < jsd_max() + 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_jsd_symmetric_and_bounded(
+            pa in proptest::collection::vec(0.0f32..1.0, 5),
+            qa in proptest::collection::vec(0.0f32..1.0, 5),
+        ) {
+            let p = normalize_distribution(&pa);
+            let q = normalize_distribution(&qa);
+            let a = jsd(&p, &q);
+            let b = jsd(&q, &p);
+            prop_assert!((a - b).abs() < 1e-5);
+            prop_assert!(a >= 0.0);
+            prop_assert!(a <= jsd_max() + 1e-5);
+        }
+
+        #[test]
+        fn prop_kl_nonnegative(
+            pa in proptest::collection::vec(0.01f32..1.0, 4),
+            qa in proptest::collection::vec(0.01f32..1.0, 4),
+        ) {
+            let p = normalize_distribution(&pa);
+            let q = normalize_distribution(&qa);
+            prop_assert!(kl_divergence(&p, &q) >= -1e-6);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! RBF (Gaussian) kernel with the median-distance bandwidth heuristic.
+
+use serde::{Deserialize, Serialize};
+use shiftex_tensor::{stats, vector, Matrix};
+
+/// Radial-basis-function kernel `k(x, y) = exp(-γ ‖x − y‖²)`.
+///
+/// The paper's MMD detector (Eq. 1) uses this kernel; `γ` is typically set
+/// with [`RbfKernel::median_heuristic`], the standard choice for kernel
+/// two-sample tests (Gretton et al., 2012).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RbfKernel {
+    /// Bandwidth parameter γ.
+    pub gamma: f32,
+}
+
+impl RbfKernel {
+    /// Creates a kernel with explicit bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma <= 0`.
+    pub fn new(gamma: f32) -> Self {
+        assert!(gamma > 0.0, "gamma must be positive");
+        Self { gamma }
+    }
+
+    /// Sets γ = 1 / median(‖x − y‖²) over the pooled samples of `p` and `q`
+    /// (subsampled to at most 256 rows for O(n²) safety).
+    ///
+    /// Falls back to γ = 1 when the median distance is degenerate (identical
+    /// points).
+    pub fn median_heuristic(p: &Matrix, q: &Matrix) -> Self {
+        let mut rows: Vec<&[f32]> = Vec::new();
+        for m in [p, q] {
+            let step = (m.rows() / 128).max(1);
+            for r in (0..m.rows()).step_by(step) {
+                rows.push(m.row(r));
+            }
+        }
+        let mut dists = Vec::new();
+        for i in 0..rows.len() {
+            for j in (i + 1)..rows.len() {
+                dists.push(vector::sq_dist(rows[i], rows[j]));
+            }
+        }
+        if dists.is_empty() {
+            return Self { gamma: 1.0 };
+        }
+        let median = stats::quantile(&dists, 0.5);
+        if median <= 1e-12 {
+            Self { gamma: 1.0 }
+        } else {
+            Self { gamma: 1.0 / median }
+        }
+    }
+
+    /// Evaluates `k(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    #[inline]
+    pub fn eval(&self, x: &[f32], y: &[f32]) -> f32 {
+        (-self.gamma * vector::sq_dist(x, y)).exp()
+    }
+
+    /// Mean kernel value between all row pairs of `a` and `b`
+    /// (`E[k(x, y)]` with x ~ a, y ~ b), including identical-index pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either matrix has no rows.
+    pub fn mean_cross(&self, a: &Matrix, b: &Matrix) -> f32 {
+        assert!(a.rows() > 0 && b.rows() > 0, "mean_cross of empty sample");
+        let mut acc = 0.0f64;
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                acc += self.eval(a.row(i), b.row(j)) as f64;
+            }
+        }
+        (acc / (a.rows() as f64 * b.rows() as f64)) as f32
+    }
+
+    /// Mean kernel value over distinct row pairs of `a` (`i ≠ j`), the
+    /// U-statistic form used by the unbiased MMD estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` has fewer than 2 rows.
+    pub fn mean_within_distinct(&self, a: &Matrix) -> f32 {
+        let n = a.rows();
+        assert!(n >= 2, "need at least 2 samples for distinct-pair mean");
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    acc += self.eval(a.row(i), a.row(j)) as f64;
+                }
+            }
+        }
+        (acc / (n as f64 * (n as f64 - 1.0))) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kernel_is_one_at_zero_distance() {
+        let k = RbfKernel::new(0.5);
+        assert!((k.eval(&[1.0, 2.0], &[1.0, 2.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kernel_decays_with_distance() {
+        let k = RbfKernel::new(0.5);
+        let near = k.eval(&[0.0], &[0.1]);
+        let far = k.eval(&[0.0], &[2.0]);
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn median_heuristic_scales_with_data_spread() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let tight = Matrix::randn(32, 4, 0.0, 0.1, &mut rng);
+        let wide = Matrix::randn(32, 4, 0.0, 10.0, &mut rng);
+        let k_tight = RbfKernel::median_heuristic(&tight, &tight);
+        let k_wide = RbfKernel::median_heuristic(&wide, &wide);
+        assert!(k_tight.gamma > k_wide.gamma);
+    }
+
+    #[test]
+    fn median_heuristic_on_identical_points_falls_back() {
+        let m = Matrix::ones(8, 3);
+        let k = RbfKernel::median_heuristic(&m, &m);
+        assert_eq!(k.gamma, 1.0);
+    }
+
+    #[test]
+    fn mean_cross_of_identical_sets_is_high() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Matrix::randn(16, 4, 0.0, 1.0, &mut rng);
+        let k = RbfKernel::median_heuristic(&m, &m);
+        assert!(k.mean_cross(&m, &m) > 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be positive")]
+    fn rejects_nonpositive_gamma() {
+        let _ = RbfKernel::new(0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Online drift monitoring for *gradual* distribution change.
+//!
+//! §2.1 of the paper distinguishes abrupt **shift** from gradual **drift**:
+//! "a sequence of small shifts that accumulate and degrade model performance
+//! over time … often requiring sustained monitoring". Per-window
+//! thresholding catches abrupt shifts but misses slow drift whose
+//! window-to-window scores each stay below δ. [`DriftMonitor`] closes that
+//! gap with a one-sided CUSUM accumulator over the per-window scores.
+
+use serde::{Deserialize, Serialize};
+
+/// One-sided CUSUM drift accumulator.
+///
+/// Each window's detector score `s_t` (MMD², energy distance, …) updates
+/// `C_t = max(0, C_{t-1} + s_t − reference)`; drift is signalled when
+/// `C_t > decision_threshold`. A sequence of sub-δ scores that sit above
+/// the stable-period reference accumulates to an alarm, while noise around
+/// the reference keeps resetting to zero.
+///
+/// # Example
+///
+/// ```
+/// use shiftex_detect::DriftMonitor;
+///
+/// let mut monitor = DriftMonitor::new(0.02, 0.15);
+/// // Stable windows: scores at the noise floor — no alarm.
+/// for _ in 0..10 {
+///     assert!(!monitor.observe(0.015));
+/// }
+/// // Slow drift: each window is individually unremarkable…
+/// let mut fired = false;
+/// for _ in 0..10 {
+///     fired |= monitor.observe(0.06);
+/// }
+/// assert!(fired, "accumulated drift must raise the alarm");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftMonitor {
+    /// Expected score under "no drift" (e.g. the calibrated null mean).
+    pub reference: f32,
+    /// Alarm threshold on the accumulated excess.
+    pub decision_threshold: f32,
+    cusum: f32,
+    windows_observed: usize,
+    alarms: usize,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decision_threshold <= 0`.
+    pub fn new(reference: f32, decision_threshold: f32) -> Self {
+        assert!(decision_threshold > 0.0, "decision threshold must be positive");
+        Self { reference, decision_threshold, cusum: 0.0, windows_observed: 0, alarms: 0 }
+    }
+
+    /// Feeds one window's detector score; returns `true` when the
+    /// accumulated drift crosses the decision threshold (the accumulator
+    /// resets after an alarm, so consecutive alarms indicate sustained
+    /// drift pressure).
+    pub fn observe(&mut self, score: f32) -> bool {
+        self.windows_observed += 1;
+        self.cusum = (self.cusum + score - self.reference).max(0.0);
+        if self.cusum > self.decision_threshold {
+            self.alarms += 1;
+            self.cusum = 0.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current accumulator value.
+    pub fn pressure(&self) -> f32 {
+        self.cusum
+    }
+
+    /// Number of windows observed so far.
+    pub fn windows_observed(&self) -> usize {
+        self.windows_observed
+    }
+
+    /// Number of alarms raised so far.
+    pub fn alarms(&self) -> usize {
+        self.alarms
+    }
+
+    /// Resets the accumulator (e.g. after the federation adapted).
+    pub fn reset(&mut self) {
+        self.cusum = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_scores_never_alarm() {
+        let mut m = DriftMonitor::new(0.02, 0.1);
+        for _ in 0..100 {
+            assert!(!m.observe(0.02));
+        }
+        assert_eq!(m.alarms(), 0);
+    }
+
+    #[test]
+    fn abrupt_shift_alarms_immediately() {
+        let mut m = DriftMonitor::new(0.02, 0.1);
+        assert!(m.observe(0.5), "one huge score should fire at once");
+    }
+
+    #[test]
+    fn gradual_drift_accumulates_to_alarm() {
+        let mut m = DriftMonitor::new(0.02, 0.2);
+        let mut fired_at = None;
+        for w in 0..20 {
+            if m.observe(0.05) {
+                fired_at = Some(w);
+                break;
+            }
+        }
+        // Excess 0.03/window → alarm after ~7 windows.
+        let w = fired_at.expect("drift must eventually alarm");
+        assert!((5..=9).contains(&w), "alarm at window {w}");
+    }
+
+    #[test]
+    fn noise_below_reference_resets_pressure() {
+        let mut m = DriftMonitor::new(0.05, 0.2);
+        m.observe(0.1); // pressure 0.05
+        assert!(m.pressure() > 0.0);
+        m.observe(0.0); // pressure max(0, 0.05 - 0.05) = 0
+        assert_eq!(m.pressure(), 0.0);
+    }
+
+    #[test]
+    fn alarm_resets_accumulator() {
+        let mut m = DriftMonitor::new(0.0, 0.1);
+        assert!(m.observe(0.2));
+        assert_eq!(m.pressure(), 0.0);
+        assert!(!m.observe(0.05));
+    }
+}

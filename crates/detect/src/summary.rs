@@ -1,0 +1,175 @@
+//! Embedding profiles: the covariate statistic `P_c_t(X)` parties transmit.
+//!
+//! A party never ships raw data — it ships a bounded sample of
+//! penultimate-layer embeddings (plus the mean vector). The aggregator
+//! compares profiles with MMD, clusters their means, and maintains expert
+//! latent-memory signatures from them.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use shiftex_tensor::{rngx, Matrix};
+
+use crate::kernel::RbfKernel;
+use crate::mmd::{mmd2_biased, mmd2_unbiased};
+
+/// A compact representation of an embedding distribution: a bounded sample
+/// of embedding vectors and their mean.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbeddingProfile {
+    sample: Matrix,
+    mean: Vec<f32>,
+}
+
+impl EmbeddingProfile {
+    /// Builds a profile from raw embeddings, keeping at most `max_rows`
+    /// uniformly-subsampled rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `embeddings` has no rows or `max_rows == 0`.
+    pub fn from_embeddings(embeddings: &Matrix, max_rows: usize, rng: &mut impl Rng) -> Self {
+        assert!(embeddings.rows() > 0, "profile of empty embedding set");
+        assert!(max_rows > 0, "max_rows must be positive");
+        let sample = if embeddings.rows() <= max_rows {
+            embeddings.clone()
+        } else {
+            let idx = rngx::sample_without_replacement(rng, embeddings.rows(), max_rows);
+            embeddings.select_rows(&idx)
+        };
+        let mean = sample.col_means();
+        Self { sample, mean }
+    }
+
+    /// Builds a profile directly from an already-bounded sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` has no rows.
+    pub fn from_sample(sample: Matrix) -> Self {
+        assert!(sample.rows() > 0, "profile of empty sample");
+        let mean = sample.col_means();
+        Self { sample, mean }
+    }
+
+    /// The retained embedding sample.
+    pub fn sample(&self) -> &Matrix {
+        &self.sample
+    }
+
+    /// Mean embedding vector (the profile centroid).
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.sample.cols()
+    }
+
+    /// Number of retained rows.
+    pub fn len(&self) -> usize {
+        self.sample.rows()
+    }
+
+    /// `true` when the profile holds no rows (cannot occur via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.sample.rows() == 0
+    }
+
+    /// Pools several profiles into one (the cluster aggregate `P_j(X)` of
+    /// Algorithm 2 line 14), re-subsampling to `max_rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty or dimensions differ.
+    pub fn pool(profiles: &[&EmbeddingProfile], max_rows: usize, rng: &mut impl Rng) -> Self {
+        assert!(!profiles.is_empty(), "pool of no profiles");
+        let dim = profiles[0].dim();
+        assert!(profiles.iter().all(|p| p.dim() == dim), "profile dimension mismatch");
+        let mats: Vec<&Matrix> = profiles.iter().map(|p| &p.sample).collect();
+        let stacked = Matrix::vstack(&mats);
+        Self::from_embeddings(&stacked, max_rows, rng)
+    }
+
+    /// MMD² between two profiles with a median-heuristic RBF kernel — the
+    /// comparison primitive for shift detection and latent-memory matching.
+    ///
+    /// Uses the unbiased (U-statistic) estimator when both profiles have at
+    /// least two rows, so scores are comparable across different profile
+    /// sizes (the biased estimator carries an O(1/n) offset that would make
+    /// small-sample null distributions incomparable to large-sample window
+    /// comparisons).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn mmd_to(&self, other: &EmbeddingProfile) -> f32 {
+        let kernel = RbfKernel::median_heuristic(&self.sample, &other.sample);
+        self.mmd_to_with(other, &kernel)
+    }
+
+    /// MMD² with an explicit kernel (for calibrated pipelines that fix γ).
+    pub fn mmd_to_with(&self, other: &EmbeddingProfile, kernel: &RbfKernel) -> f32 {
+        if self.sample.rows() >= 2 && other.sample.rows() >= 2 {
+            mmd2_unbiased(&self.sample, &other.sample, kernel)
+        } else {
+            mmd2_biased(&self.sample, &other.sample, kernel)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn profile(n: usize, mean: f32, seed: u64) -> EmbeddingProfile {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Matrix::randn(n, 6, mean, 1.0, &mut rng);
+        EmbeddingProfile::from_embeddings(&m, 64, &mut rng)
+    }
+
+    #[test]
+    fn subsamples_to_bound() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = Matrix::randn(100, 4, 0.0, 1.0, &mut rng);
+        let p = EmbeddingProfile::from_embeddings(&m, 32, &mut rng);
+        assert_eq!(p.len(), 32);
+        assert_eq!(p.dim(), 4);
+    }
+
+    #[test]
+    fn keeps_small_samples_intact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Matrix::randn(10, 4, 0.0, 1.0, &mut rng);
+        let p = EmbeddingProfile::from_embeddings(&m, 32, &mut rng);
+        assert_eq!(p.len(), 10);
+    }
+
+    #[test]
+    fn mean_tracks_distribution() {
+        let p = profile(200, 5.0, 2);
+        let avg: f32 = p.mean().iter().sum::<f32>() / p.dim() as f32;
+        assert!((avg - 5.0).abs() < 0.5, "profile mean {avg}");
+    }
+
+    #[test]
+    fn mmd_separates_shifted_profiles() {
+        let a = profile(64, 0.0, 3);
+        let b = profile(64, 0.0, 4);
+        let c = profile(64, 4.0, 5);
+        assert!(a.mmd_to(&c) > a.mmd_to(&b) * 3.0);
+    }
+
+    #[test]
+    fn pool_combines_profiles() {
+        let a = profile(40, 0.0, 6);
+        let b = profile(40, 2.0, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let pooled = EmbeddingProfile::pool(&[&a, &b], 50, &mut rng);
+        assert_eq!(pooled.len(), 50);
+        let avg: f32 = pooled.mean().iter().sum::<f32>() / pooled.dim() as f32;
+        assert!(avg > 0.4 && avg < 1.6, "pooled mean should be between components: {avg}");
+    }
+}

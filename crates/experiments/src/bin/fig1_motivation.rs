@@ -1,0 +1,71 @@
+//! Regenerates **Figure 1**: accuracy of a clear-trained model on
+//! weather-shifted images vs weather-specific expert models.
+//!
+//! ```text
+//! cargo run --release -p shiftex-experiments --bin fig1_motivation [-- --seed N]
+//! ```
+
+use rand::{rngs::StdRng, SeedableRng};
+use shiftex_data::{Corruption, ImageShape, PrototypeGenerator, Regime};
+use shiftex_experiments::cli::Args;
+use shiftex_nn::{ArchSpec, InputShape, Sequential, TrainConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let seed: u64 = args.value_or("seed", 0);
+    let train_n: usize = args.value_or("train", 600);
+    let test_n: usize = args.value_or("test", 300);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shape = ImageShape::new(3, 8, 8);
+    let gen = PrototypeGenerator::new(shape, 10, &mut rng);
+    let spec = ArchSpec::resnet18_lite(InputShape { c: 3, h: 8, w: 8 }, 10, 24);
+    let cfg = TrainConfig { epochs: 30, ..TrainConfig::default() };
+
+    // Clear-trained model.
+    let clear_train = gen.generate_uniform(train_n, &mut rng);
+    let mut clear_model = Sequential::build(&spec, &mut rng);
+    clear_model.train(clear_train.features(), clear_train.labels(), &cfg, &mut rng);
+    let clear_test = gen.generate_uniform(test_n, &mut rng);
+    let clear_acc = clear_model.evaluate(clear_test.features(), clear_test.labels()).accuracy;
+
+    println!("Figure 1 — Covariate Shift: Weather-induced variations");
+    println!("(synthetic stand-in; see DESIGN.md §3 for the substitution)\n");
+    println!("{:<22} {:>8} {:>8} {:>8} {:>8} {:>8}", "", "Clear", "Fog", "Rain", "Snow", "Frost");
+
+    let severities = [4u8];
+    for &sev in &severities {
+        let mut clear_row = vec![clear_acc];
+        let mut expert_row = vec![clear_acc];
+        for c in Corruption::weather() {
+            let regime = Regime::corrupted(c, sev);
+            let shifted_test = gen.generate_with_regime(test_n, &regime, &mut rng);
+            clear_row
+                .push(clear_model.evaluate(shifted_test.features(), shifted_test.labels()).accuracy);
+
+            // Weather-specific expert: fine-tune the clear model on the
+            // shifted distribution.
+            let shifted_train = gen.generate_with_regime(train_n, &regime, &mut rng);
+            let mut expert = clear_model.clone();
+            expert.train(shifted_train.features(), shifted_train.labels(), &cfg, &mut rng);
+            expert_row
+                .push(expert.evaluate(shifted_test.features(), shifted_test.labels()).accuracy);
+        }
+        print_row(&format!("clear-trained (s{sev})"), &clear_row);
+        print_row(&format!("weather experts (s{sev})"), &expert_row);
+    }
+    println!(
+        "\nPaper reference (real CIFAR weather shifts): clear-trained 75.8% on clear\n\
+         drops to 26–36% under weather; weather-specific experts recover 67–77%.\n\
+         The reproduction preserves the *shape*: large drop under shift, near-full\n\
+         recovery by shift-specific experts."
+    );
+}
+
+fn print_row(label: &str, accs: &[f32]) {
+    print!("{label:<22}");
+    for a in accs {
+        print!(" {:>7.1}%", a * 100.0);
+    }
+    println!();
+}

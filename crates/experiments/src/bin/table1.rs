@@ -1,0 +1,82 @@
+//! Regenerates **Table 1** (FMoW and CIFAR-10-C: Accuracy Drop / Recovery
+//! Time / Max Accuracy per window) and, with flags, the corresponding
+//! figures: `--series` → Fig. 3 convergence curves, `--experts` → Fig. 7
+//! expert distributions, `--max` → Fig. 5 per-window maxima.
+//!
+//! ```text
+//! cargo run --release -p shiftex-experiments --bin table1 -- \
+//!     [--dataset fmow|cifar10c] [--scale smoke|small|paper] [--runs N] \
+//!     [--series] [--experts] [--max] [--csv DIR] [--seed N]
+//! ```
+
+use std::collections::BTreeMap;
+
+use shiftex_core::ShiftExConfig;
+use shiftex_data::{DatasetKind, SimScale};
+use shiftex_experiments::cli::Args;
+use shiftex_experiments::{aggregate_windows, report, run_scenario, Scenario, StrategyKind};
+
+fn main() {
+    let args = Args::from_env();
+    let datasets: Vec<DatasetKind> = match args.value("dataset") {
+        Some(name) => vec![DatasetKind::parse(name).expect("unknown dataset")],
+        None => vec![DatasetKind::Fmow, DatasetKind::Cifar10C],
+    };
+    run_tables(&args, &datasets);
+}
+
+/// Shared driver for the table1/table2 binaries.
+pub fn run_tables(args: &Args, datasets: &[DatasetKind]) {
+    let scale = SimScale::parse(args.value("scale").unwrap_or("small")).expect("unknown scale");
+    let runs: usize = args.value_or("runs", 1);
+    let seed: u64 = args.value_or("seed", 42);
+    let cfg = ShiftExConfig::default();
+
+    for &kind in datasets {
+        let scenario = Scenario::build(kind, scale, seed);
+        eprintln!(
+            "# {kind}: {} parties, {} eval windows, {} rounds/window, {} run(s)",
+            scenario.profile.num_parties,
+            scenario.eval_windows(),
+            scenario.rounds_per_window,
+            runs
+        );
+        let mut per_strategy = BTreeMap::new();
+        let mut first_runs = BTreeMap::new();
+        let mut shiftex_run = None;
+        for strat in StrategyKind::all() {
+            let results = run_scenario(strat, &scenario, runs, &cfg);
+            let windows: Vec<_> = results.iter().map(|r| r.windows.clone()).collect();
+            per_strategy.insert(
+                strat.to_string(),
+                aggregate_windows(&windows, scenario.rounds_per_window),
+            );
+            if strat == StrategyKind::ShiftEx {
+                shiftex_run = Some(results[0].clone());
+            }
+            first_runs.insert(strat.to_string(), results.into_iter().next().expect("1+ runs"));
+        }
+
+        println!("{}", report::render_table(&kind.to_string(), &per_strategy));
+        if args.switch("series") {
+            println!("{}", report::render_series(&kind.to_string(), &first_runs));
+        }
+        if args.switch("max") {
+            println!("{}", report::render_max_per_window(&kind.to_string(), &per_strategy));
+        }
+        if args.switch("experts") {
+            let sx = shiftex_run.as_ref().expect("shiftex ran");
+            println!("{}", report::render_expert_distribution(&kind.to_string(), sx));
+        }
+        if let Some(dir) = args.value("csv") {
+            let dir = std::path::Path::new(dir);
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let stem = kind.to_string().to_lowercase().replace('-', "");
+            report::write_table_csv(&dir.join(format!("{stem}_table.csv")), &per_strategy)
+                .expect("write table csv");
+            report::write_series_csv(&dir.join(format!("{stem}_series.csv")), &first_runs)
+                .expect("write series csv");
+            eprintln!("# CSVs written to {}", dir.display());
+        }
+    }
+}

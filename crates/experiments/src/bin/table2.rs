@@ -1,0 +1,82 @@
+//! Regenerates **Table 2** (Tiny-ImageNet-C, FEMNIST, Fashion-MNIST:
+//! Accuracy Drop / Recovery Time / Max Accuracy across windows W1–W5) and,
+//! with flags, Figures 3b/4 (`--series`), 5b/6 (`--max`) and 7b/8
+//! (`--experts`).
+//!
+//! ```text
+//! cargo run --release -p shiftex-experiments --bin table2 -- \
+//!     [--dataset tinyimagenetc|femnist|fashionmnist] [--scale smoke|small|paper] \
+//!     [--runs N] [--series] [--experts] [--max] [--csv DIR] [--seed N]
+//! ```
+
+use std::collections::BTreeMap;
+
+use shiftex_core::ShiftExConfig;
+use shiftex_data::{DatasetKind, SimScale};
+use shiftex_experiments::cli::Args;
+use shiftex_experiments::{aggregate_windows, report, run_scenario, Scenario, StrategyKind};
+
+fn main() {
+    let args = Args::from_env();
+    let datasets: Vec<DatasetKind> = match args.value("dataset") {
+        Some(name) => vec![DatasetKind::parse(name).expect("unknown dataset")],
+        None => vec![
+            DatasetKind::TinyImagenetC,
+            DatasetKind::Femnist,
+            DatasetKind::FashionMnist,
+        ],
+    };
+    // Same driver as table1 (duplicated to keep each binary self-contained).
+    let scale = SimScale::parse(args.value("scale").unwrap_or("small")).expect("unknown scale");
+    let runs: usize = args.value_or("runs", 1);
+    let seed: u64 = args.value_or("seed", 42);
+    let cfg = ShiftExConfig::default();
+
+    for kind in datasets {
+        let scenario = Scenario::build(kind, scale, seed);
+        eprintln!(
+            "# {kind}: {} parties, {} eval windows, {} rounds/window, {} run(s)",
+            scenario.profile.num_parties,
+            scenario.eval_windows(),
+            scenario.rounds_per_window,
+            runs
+        );
+        let mut per_strategy = BTreeMap::new();
+        let mut first_runs = BTreeMap::new();
+        let mut shiftex_run = None;
+        for strat in StrategyKind::all() {
+            let results = run_scenario(strat, &scenario, runs, &cfg);
+            let windows: Vec<_> = results.iter().map(|r| r.windows.clone()).collect();
+            per_strategy.insert(
+                strat.to_string(),
+                aggregate_windows(&windows, scenario.rounds_per_window),
+            );
+            if strat == StrategyKind::ShiftEx {
+                shiftex_run = Some(results[0].clone());
+            }
+            first_runs.insert(strat.to_string(), results.into_iter().next().expect("1+ runs"));
+        }
+
+        println!("{}", report::render_table(&kind.to_string(), &per_strategy));
+        if args.switch("series") {
+            println!("{}", report::render_series(&kind.to_string(), &first_runs));
+        }
+        if args.switch("max") {
+            println!("{}", report::render_max_per_window(&kind.to_string(), &per_strategy));
+        }
+        if args.switch("experts") {
+            let sx = shiftex_run.as_ref().expect("shiftex ran");
+            println!("{}", report::render_expert_distribution(&kind.to_string(), sx));
+        }
+        if let Some(dir) = args.value("csv") {
+            let dir = std::path::Path::new(dir);
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let stem = kind.to_string().to_lowercase().replace('-', "");
+            report::write_table_csv(&dir.join(format!("{stem}_table.csv")), &per_strategy)
+                .expect("write table csv");
+            report::write_series_csv(&dir.join(format!("{stem}_series.csv")), &first_runs)
+                .expect("write series csv");
+            eprintln!("# CSVs written to {}", dir.display());
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Minimal flag parser shared by the experiment binaries (no external CLI
+//! dependency).
+
+use std::collections::HashMap;
+
+/// Parsed command line: `--key value` pairs and bare `--switch`es.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args` (skipping the binary name).
+    pub fn from_env() -> Args {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument iterator.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Args {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        out.values.insert(key.to_string(), value);
+                    }
+                    _ => out.switches.push(key.to_string()),
+                }
+            }
+        }
+        out
+    }
+
+    /// Value of `--key value`, if present.
+    pub fn value(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Value parsed into `T`, or `default` when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a readable message when the value fails to parse.
+    pub fn value_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.value(key) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("invalid value for --{key}: {v:?}")),
+            None => default,
+        }
+    }
+
+    /// `true` when `--switch` was given.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let args = parse("--dataset fmow --runs 3 --series --csv /tmp/out");
+        assert_eq!(args.value("dataset"), Some("fmow"));
+        assert_eq!(args.value_or("runs", 1usize), 3);
+        assert!(args.switch("series"));
+        assert!(!args.switch("experts"));
+        assert_eq!(args.value("csv"), Some("/tmp/out"));
+    }
+
+    #[test]
+    fn missing_value_defaults() {
+        let args = parse("--series");
+        assert_eq!(args.value_or("runs", 2usize), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value for --runs")]
+    fn bad_value_panics_with_message() {
+        let args = parse("--runs banana");
+        let _: usize = args.value_or("runs", 1);
+    }
+}

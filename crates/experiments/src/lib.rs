@@ -1,0 +1,31 @@
+//! Experiment harness regenerating every table and figure of the ShiftEx
+//! paper's evaluation (§6–7).
+//!
+//! * [`scenario`] — builds the five dataset scenarios (FMoW,
+//!   Tiny-ImageNet-C, CIFAR-10-C, FEMNIST, Fashion-MNIST) at smoke/small/
+//!   paper scale, with the paper's windowing modes and 50 % partial
+//!   population shift.
+//! * [`strategies`] — constructs the five techniques behind one factory.
+//! * [`runner`] — drives a strategy through all windows, recording
+//!   per-round accuracy and expert distributions.
+//! * [`metrics`] — Accuracy Drop / Recovery Time / Max Accuracy per window,
+//!   aggregated over repeated runs.
+//! * [`report`] — text tables, figure series and CSV dumps.
+//!
+//! Binaries under `src/bin/` map one-to-one onto the paper's artifacts; see
+//! `DESIGN.md` §4 for the index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod strategies;
+
+pub use metrics::{aggregate_windows, WindowMetrics, WindowMetricsAgg};
+pub use runner::{run_scenario, RunResult};
+pub use scenario::Scenario;
+pub use strategies::{make_strategy, StrategyKind};

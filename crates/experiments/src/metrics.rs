@@ -1,0 +1,158 @@
+//! The paper's three evaluation metrics (§6 "Metrics Captured"):
+//! Accuracy Drop, Recovery Time and Max Accuracy, per window, aggregated
+//! over repeated runs with mean ± std.
+
+use serde::{Deserialize, Serialize};
+use shiftex_tensor::stats::Summary;
+
+/// Metrics of one window for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowMetrics {
+    /// Immediate post-shift decline: pre-shift accuracy minus the first
+    /// accuracy measured after the shift (percentage points).
+    pub drop_pct: f32,
+    /// Rounds needed to regain 95 % of pre-shift accuracy; `None` when the
+    /// window's round budget was exhausted without recovery (reported as
+    /// "> R" in the tables).
+    pub recovery_rounds: Option<usize>,
+    /// Highest accuracy reached within the window (percent).
+    pub max_acc_pct: f32,
+}
+
+/// Computes one window's metrics from its accuracy trace.
+///
+/// * `pre_shift_acc` — accuracy at the end of the previous window, in `[0,1]`
+/// * `post_shift` — accuracy immediately after the shift (before training)
+/// * `per_round` — accuracy after each training round of this window
+pub fn window_metrics(pre_shift_acc: f32, post_shift: f32, per_round: &[f32]) -> WindowMetrics {
+    let drop_pct = (pre_shift_acc - post_shift) * 100.0;
+    let target = 0.95 * pre_shift_acc;
+    let recovery_rounds = if post_shift >= target {
+        Some(0)
+    } else {
+        per_round.iter().position(|&a| a >= target).map(|i| i + 1)
+    };
+    let max_acc_pct = per_round
+        .iter()
+        .copied()
+        .chain(std::iter::once(post_shift))
+        .fold(f32::NEG_INFINITY, f32::max)
+        * 100.0;
+    WindowMetrics { drop_pct, recovery_rounds, max_acc_pct }
+}
+
+/// Aggregate of one window's metrics over several runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowMetricsAgg {
+    /// Drop (percentage points): mean ± std over runs.
+    pub drop: Summary,
+    /// Max accuracy (percent): mean ± std over runs.
+    pub max_acc: Summary,
+    /// Median recovery rounds among runs that recovered.
+    pub recovery_rounds: Option<usize>,
+    /// Number of runs that failed to recover within budget.
+    pub unrecovered_runs: usize,
+    /// Round budget (for "> R" rendering).
+    pub round_budget: usize,
+}
+
+/// Aggregates per-run window metrics (all runs must report the same number
+/// of windows).
+///
+/// # Panics
+///
+/// Panics if `runs` is empty or window counts differ.
+pub fn aggregate_windows(runs: &[Vec<WindowMetrics>], round_budget: usize) -> Vec<WindowMetricsAgg> {
+    assert!(!runs.is_empty(), "no runs to aggregate");
+    let windows = runs[0].len();
+    assert!(runs.iter().all(|r| r.len() == windows), "window count mismatch across runs");
+    (0..windows)
+        .map(|w| {
+            let drops: Vec<f32> = runs.iter().map(|r| r[w].drop_pct).collect();
+            let maxes: Vec<f32> = runs.iter().map(|r| r[w].max_acc_pct).collect();
+            let mut recoveries: Vec<usize> =
+                runs.iter().filter_map(|r| r[w].recovery_rounds).collect();
+            recoveries.sort_unstable();
+            let unrecovered = runs.len() - recoveries.len();
+            let recovery = if recoveries.is_empty() {
+                None
+            } else {
+                Some(recoveries[recoveries.len() / 2])
+            };
+            WindowMetricsAgg {
+                drop: Summary::of(&drops),
+                max_acc: Summary::of(&maxes),
+                recovery_rounds: recovery,
+                unrecovered_runs: unrecovered,
+                round_budget,
+            }
+        })
+        .collect()
+}
+
+impl WindowMetricsAgg {
+    /// Renders recovery as the paper does: a round count, or `>R` when most
+    /// runs failed to recover within the budget.
+    pub fn recovery_display(&self) -> String {
+        match self.recovery_rounds {
+            Some(r) if self.unrecovered_runs * 2 <= self.round_budget_runs() => r.to_string(),
+            _ => format!(">{}", self.round_budget),
+        }
+    }
+
+    fn round_budget_runs(&self) -> usize {
+        // Total runs = recovered + unrecovered; recovered count is implicit.
+        self.unrecovered_runs + usize::from(self.recovery_rounds.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_and_max_computed_in_percent() {
+        let m = window_metrics(0.8, 0.5, &[0.6, 0.7, 0.82]);
+        assert!((m.drop_pct - 30.0).abs() < 1e-4);
+        assert!((m.max_acc_pct - 82.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn recovery_at_95_percent_of_preshift() {
+        // Pre-shift 0.8 → target 0.76; first round ≥ target is round 3.
+        let m = window_metrics(0.8, 0.5, &[0.6, 0.7, 0.77, 0.8]);
+        assert_eq!(m.recovery_rounds, Some(3));
+    }
+
+    #[test]
+    fn no_drop_means_zero_recovery() {
+        let m = window_metrics(0.8, 0.79, &[0.8]);
+        assert_eq!(m.recovery_rounds, Some(0));
+    }
+
+    #[test]
+    fn never_recovering_is_none() {
+        let m = window_metrics(0.9, 0.4, &[0.5, 0.6]);
+        assert_eq!(m.recovery_rounds, None);
+    }
+
+    #[test]
+    fn aggregate_reports_mean_and_unrecovered() {
+        let runs = vec![
+            vec![window_metrics(0.8, 0.5, &[0.8])],
+            vec![window_metrics(0.8, 0.6, &[0.65])],
+        ];
+        let agg = aggregate_windows(&runs, 10);
+        assert_eq!(agg.len(), 1);
+        assert!((agg[0].drop.mean - 25.0).abs() < 1e-3);
+        assert_eq!(agg[0].unrecovered_runs, 1);
+        assert_eq!(agg[0].recovery_rounds, Some(1));
+    }
+
+    #[test]
+    fn recovery_display_uses_budget_sentinel() {
+        let runs = vec![vec![window_metrics(0.9, 0.4, &[0.5])]];
+        let agg = aggregate_windows(&runs, 51);
+        assert_eq!(agg[0].recovery_display(), ">51");
+    }
+}

@@ -1,0 +1,239 @@
+//! Rendering: the paper's table layout, figure series as aligned text, and
+//! CSV dumps for re-plotting.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+use crate::metrics::WindowMetricsAgg;
+use crate::runner::RunResult;
+use crate::strategies::StrategyKind;
+
+/// Renders one dataset's block of Table 1/2: rows = techniques, columns =
+/// `Drop | Time | Max` per window.
+pub fn render_table(
+    dataset: &str,
+    per_strategy: &BTreeMap<String, Vec<WindowMetricsAgg>>,
+) -> String {
+    let windows = per_strategy.values().next().map_or(0, Vec::len);
+    let mut out = String::new();
+    out.push_str(&format!("{dataset}\n"));
+    out.push_str(&format!("{:<10}", "Tech."));
+    for w in 1..=windows {
+        out.push_str(&format!(
+            "| {:>13} {:>5} {:>13} ",
+            format!("W{w} Drop"),
+            "Time",
+            "Max"
+        ));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(10 + windows * 37));
+    out.push('\n');
+    // Paper row order.
+    let order = ["FedProx", "Fielding", "OORT", "ShiftEx", "FedDrift"];
+    for name in order {
+        let Some(aggs) = per_strategy.get(name) else { continue };
+        out.push_str(&format!("{name:<10}"));
+        for agg in aggs {
+            out.push_str(&format!(
+                "| {:>6.2}±{:<5.2} {:>5} {:>6.2}±{:<5.2} ",
+                agg.drop.mean,
+                agg.drop.std,
+                agg.recovery_display(),
+                agg.max_acc.mean,
+                agg.max_acc.std,
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders convergence curves (Figures 3–4) as aligned columns:
+/// round index then one accuracy column per technique.
+pub fn render_series(dataset: &str, results: &BTreeMap<String, RunResult>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# Convergence — {dataset} (accuracy % per round)\n"));
+    out.push_str(&format!("{:>6}", "round"));
+    for name in results.keys() {
+        out.push_str(&format!(" {name:>10}"));
+    }
+    out.push('\n');
+    let rounds = results.values().map(|r| r.accuracy_series.len()).max().unwrap_or(0);
+    for round in 0..rounds {
+        out.push_str(&format!("{round:>6}"));
+        for r in results.values() {
+            match r.accuracy_series.get(round) {
+                Some(a) => out.push_str(&format!(" {:>10.2}", a * 100.0)),
+                None => out.push_str(&format!(" {:>10}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders max-accuracy-per-window (Figures 5–6).
+pub fn render_max_per_window(
+    dataset: &str,
+    per_strategy: &BTreeMap<String, Vec<WindowMetricsAgg>>,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# Max accuracy per window — {dataset}\n"));
+    out.push_str(&format!("{:>8}", "window"));
+    for name in per_strategy.keys() {
+        out.push_str(&format!(" {name:>10}"));
+    }
+    out.push('\n');
+    let windows = per_strategy.values().next().map_or(0, Vec::len);
+    for w in 0..windows {
+        out.push_str(&format!("{:>8}", w + 1));
+        for aggs in per_strategy.values() {
+            out.push_str(&format!(" {:>10.2}", aggs[w].max_acc.mean));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the expert-distribution stacks (Figures 7–8) for one strategy.
+pub fn render_expert_distribution(dataset: &str, result: &RunResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# Expert distribution — {dataset} ({}; parties per expert per window)\n",
+        result.strategy
+    ));
+    let max_models = result
+        .expert_distribution
+        .iter()
+        .map(Vec::len)
+        .max()
+        .unwrap_or(0);
+    out.push_str(&format!("{:>8}", "window"));
+    for m in 0..max_models {
+        out.push_str(&format!(" {:>9}", format!("expert{m}")));
+    }
+    out.push('\n');
+    for (w, dist) in result.expert_distribution.iter().enumerate() {
+        out.push_str(&format!("{w:>8}"));
+        for m in 0..max_models {
+            out.push_str(&format!(" {:>9}", dist.get(m).copied().unwrap_or(0)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a CSV of the convergence series.
+///
+/// # Errors
+///
+/// Returns any I/O error from file creation or writing.
+pub fn write_series_csv(
+    path: &Path,
+    results: &BTreeMap<String, RunResult>,
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "round")?;
+    for name in results.keys() {
+        write!(f, ",{name}")?;
+    }
+    writeln!(f)?;
+    let rounds = results.values().map(|r| r.accuracy_series.len()).max().unwrap_or(0);
+    for round in 0..rounds {
+        write!(f, "{round}")?;
+        for r in results.values() {
+            match r.accuracy_series.get(round) {
+                Some(a) => write!(f, ",{:.4}", a * 100.0)?,
+                None => write!(f, ",")?,
+            }
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+/// Writes a CSV of the per-window aggregates (drop/time/max).
+///
+/// # Errors
+///
+/// Returns any I/O error from file creation or writing.
+pub fn write_table_csv(
+    path: &Path,
+    per_strategy: &BTreeMap<String, Vec<WindowMetricsAgg>>,
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "strategy,window,drop_mean,drop_std,recovery,max_mean,max_std")?;
+    for (name, aggs) in per_strategy {
+        for (w, agg) in aggs.iter().enumerate() {
+            writeln!(
+                f,
+                "{},{},{:.3},{:.3},{},{:.3},{:.3}",
+                name,
+                w + 1,
+                agg.drop.mean,
+                agg.drop.std,
+                agg.recovery_display(),
+                agg.max_acc.mean,
+                agg.max_acc.std
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Stable display ordering for strategies in figures.
+pub fn ordered_names() -> Vec<String> {
+    StrategyKind::all().iter().map(|k| k.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{aggregate_windows, window_metrics};
+
+    fn agg() -> Vec<WindowMetricsAgg> {
+        aggregate_windows(&[vec![window_metrics(0.8, 0.5, &[0.7, 0.8])]], 12)
+    }
+
+    #[test]
+    fn table_contains_all_strategies_present() {
+        let mut per = BTreeMap::new();
+        per.insert("ShiftEx".to_string(), agg());
+        per.insert("FedProx".to_string(), agg());
+        let s = render_table("CIFAR-10-C", &per);
+        assert!(s.contains("ShiftEx"));
+        assert!(s.contains("FedProx"));
+        assert!(s.contains("W1 Drop"));
+    }
+
+    #[test]
+    fn expert_distribution_renders_all_windows() {
+        let result = RunResult {
+            strategy: "ShiftEx".into(),
+            accuracy_series: vec![0.5],
+            post_shift_accuracy: vec![0.4],
+            windows: vec![],
+            expert_distribution: vec![vec![8], vec![5, 3]],
+            final_models: 2,
+        };
+        let s = render_expert_distribution("FMoW", &result);
+        assert!(s.contains("expert0"));
+        assert!(s.contains("expert1"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn csv_writers_produce_files() {
+        let dir = std::env::temp_dir().join("shiftex_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut per = BTreeMap::new();
+        per.insert("ShiftEx".to_string(), agg());
+        let table_path = dir.join("table.csv");
+        write_table_csv(&table_path, &per).unwrap();
+        let content = std::fs::read_to_string(&table_path).unwrap();
+        assert!(content.starts_with("strategy,window"));
+        assert!(content.contains("ShiftEx,1"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Scenario construction: dataset profile + generator + shift schedule +
+//! model architecture + round budget, matching the paper's protocol (§6).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shiftex_data::{
+    profile, DatasetKind, DatasetProfile, Dataset, PrototypeGenerator, SimScale, WindowingMode,
+};
+use shiftex_fl::{Party, PartyId};
+use shiftex_nn::{ArchSpec, InputShape};
+use shiftex_stream::{ScheduleBuilder, ShiftSchedule};
+
+/// A fully-specified experiment scenario.
+#[derive(Debug)]
+pub struct Scenario {
+    /// Dataset profile (parties, windows, windowing mode, shapes).
+    pub profile: DatasetProfile,
+    /// Synthetic data generator shared by every party.
+    pub generator: PrototypeGenerator,
+    /// Which regime each party sees in each window.
+    pub schedule: ShiftSchedule,
+    /// Model architecture (the paper's per-dataset pairing).
+    pub spec: ArchSpec,
+    /// Communication rounds per window.
+    pub rounds_per_window: usize,
+    /// Base seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Builds the scenario for `kind` at `scale` with deterministic seeding.
+    pub fn build(kind: DatasetKind, scale: SimScale, seed: u64) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let profile = profile(kind, scale);
+        let generator =
+            PrototypeGenerator::new(profile.shape, profile.classes, &mut rng);
+        let schedule = ScheduleBuilder::from_profile(&profile, &mut rng).build(&mut rng);
+        let spec = arch_for(kind, &profile);
+        let rounds_per_window = match (kind, scale) {
+            (_, SimScale::Smoke) => 6,
+            (_, SimScale::Small) => 12,
+            // Paper: >51-round recovery ceiling everywhere except
+            // Tiny-ImageNet-C, which reports a 40-round ceiling.
+            (DatasetKind::TinyImagenetC, SimScale::Paper) => 40,
+            (_, SimScale::Paper) => 51,
+        };
+        Scenario { profile, generator, schedule, spec, rounds_per_window, seed }
+    }
+
+    /// Cohort size per round, scaled to the population.
+    pub fn participants_per_round(&self) -> usize {
+        (self.profile.num_parties / 2).clamp(4, 10)
+    }
+
+    /// Round budget for the W0 burn-in: long enough that every technique
+    /// reaches its plateau before the first shift arrives.
+    pub fn bootstrap_rounds(&self) -> usize {
+        self.rounds_per_window * 3
+    }
+
+    /// Initial (window 0, bootstrap) party population.
+    pub fn initial_parties(&self, rng: &mut StdRng) -> Vec<Party> {
+        (0..self.profile.num_parties)
+            .map(|i| {
+                let regime = self.schedule.regime(0, i);
+                let train = self
+                    .generator
+                    .generate_with_regime(self.profile.samples_per_party, regime, rng);
+                let test = self
+                    .generator
+                    .generate_with_regime(self.profile.test_samples_per_party, regime, rng);
+                Party::new(PartyId(i), train, test)
+            })
+            .collect()
+    }
+
+    /// Advances every party to `window` per the schedule.
+    ///
+    /// Tumbling windows draw entirely fresh data; sliding windows carry half
+    /// of the previous window's training samples forward (the overlap that
+    /// "captures gradual change", §6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is 0 or out of schedule range.
+    pub fn advance(&self, parties: &mut [Party], window: usize, rng: &mut StdRng) {
+        assert!(window > 0 && window < self.schedule.num_windows(), "window out of range");
+        for (i, party) in parties.iter_mut().enumerate() {
+            let regime = self.schedule.regime(window, i);
+            let fresh_n = match self.profile.windowing {
+                WindowingMode::Tumbling => self.profile.samples_per_party,
+                WindowingMode::Sliding => self.profile.samples_per_party / 2,
+            };
+            let fresh = self.generator.generate_with_regime(fresh_n, regime, rng);
+            let train = match self.profile.windowing {
+                WindowingMode::Tumbling => fresh,
+                WindowingMode::Sliding => {
+                    // Keep the most recent half of the old window.
+                    let old = party.train();
+                    let keep = old.len().min(self.profile.samples_per_party - fresh_n);
+                    let idx: Vec<usize> = (old.len() - keep..old.len()).collect();
+                    let carried = old.subset(&idx);
+                    Dataset::concat(&[&carried, &fresh])
+                }
+            };
+            let test = self
+                .generator
+                .generate_with_regime(self.profile.test_samples_per_party, regime, rng);
+            party.advance_window(train, test);
+        }
+    }
+
+    /// Number of evaluation windows (W1..Wn).
+    pub fn eval_windows(&self) -> usize {
+        self.profile.eval_windows
+    }
+}
+
+/// The paper's architecture pairing (§6 "Models"), in Lite form.
+fn arch_for(kind: DatasetKind, profile: &DatasetProfile) -> ArchSpec {
+    let input = InputShape { c: profile.shape.c, h: profile.shape.h, w: profile.shape.w };
+    match kind {
+        DatasetKind::Fmow => ArchSpec::densenet121_lite(input, profile.classes, 24),
+        DatasetKind::TinyImagenetC => ArchSpec::resnet50_lite(input, profile.classes, 24),
+        DatasetKind::Cifar10C => ArchSpec::resnet18_lite(input, profile.classes, 24),
+        DatasetKind::Femnist | DatasetKind::FashionMnist => {
+            ArchSpec::lenet5_lite(input, profile.classes, 24)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_consistent_scenario() {
+        let s = Scenario::build(DatasetKind::Cifar10C, SimScale::Smoke, 1);
+        assert_eq!(s.profile.kind, DatasetKind::Cifar10C);
+        assert_eq!(s.schedule.num_parties(), s.profile.num_parties);
+        assert_eq!(s.schedule.num_windows(), s.profile.eval_windows + 1);
+        assert_eq!(s.spec.input.dim(), s.profile.shape.dim());
+    }
+
+    #[test]
+    fn initial_parties_have_window_data() {
+        let s = Scenario::build(DatasetKind::Femnist, SimScale::Smoke, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let parties = s.initial_parties(&mut rng);
+        assert_eq!(parties.len(), s.profile.num_parties);
+        assert!(parties.iter().all(|p| p.train().len() == s.profile.samples_per_party));
+    }
+
+    #[test]
+    fn advance_respects_windowing_mode() {
+        // Sliding: half the samples are carried over.
+        let s = Scenario::build(DatasetKind::FashionMnist, SimScale::Smoke, 4);
+        assert_eq!(s.profile.windowing, WindowingMode::Sliding);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut parties = s.initial_parties(&mut rng);
+        let before = parties[0].train().clone();
+        s.advance(&mut parties, 1, &mut rng);
+        let after = parties[0].train();
+        assert_eq!(after.len(), s.profile.samples_per_party);
+        // First half of the new window equals the last half of the old one.
+        let carried = before.subset(&(before.len() / 2..before.len()).collect::<Vec<_>>());
+        assert_eq!(after.features().row(0), carried.features().row(0));
+
+        // Tumbling: all fresh.
+        let s = Scenario::build(DatasetKind::Fmow, SimScale::Smoke, 6);
+        assert_eq!(s.profile.windowing, WindowingMode::Tumbling);
+        let mut parties = s.initial_parties(&mut rng);
+        let before = parties[0].train().clone();
+        s.advance(&mut parties, 1, &mut rng);
+        assert_ne!(parties[0].train().features(), before.features());
+    }
+
+    #[test]
+    fn all_five_scenarios_build() {
+        for kind in DatasetKind::all() {
+            let s = Scenario::build(kind, SimScale::Smoke, 7);
+            assert!(s.eval_windows() >= 4);
+            assert!(s.rounds_per_window >= 4);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_scenario() {
+        let a = Scenario::build(DatasetKind::Fmow, SimScale::Smoke, 9);
+        let b = Scenario::build(DatasetKind::Fmow, SimScale::Smoke, 9);
+        let mut ra = StdRng::seed_from_u64(1);
+        let mut rb = StdRng::seed_from_u64(1);
+        let pa = a.initial_parties(&mut ra);
+        let pb = b.initial_parties(&mut rb);
+        assert_eq!(pa[0].train().features(), pb[0].train().features());
+    }
+}

@@ -1,0 +1,126 @@
+//! Factory for the five evaluated techniques.
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use shiftex_baselines::{FedDrift, FedDriftConfig, FedProx, Fielding, Oort, OortConfig};
+use shiftex_core::{ContinualStrategy, ShiftEx, ShiftExConfig};
+use shiftex_nn::TrainConfig;
+
+use crate::scenario::Scenario;
+
+/// The five techniques of the paper's comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// FedProx (single global model + proximal term).
+    FedProx,
+    /// Fielding (label-distribution re-clustering).
+    Fielding,
+    /// OORT (utility-guided selection).
+    Oort,
+    /// ShiftEx (this paper).
+    ShiftEx,
+    /// FedDrift (loss-clustered multiple models).
+    FedDrift,
+}
+
+impl StrategyKind {
+    /// All five, in the row order of the paper's tables.
+    pub fn all() -> [StrategyKind; 5] {
+        [
+            StrategyKind::FedProx,
+            StrategyKind::Fielding,
+            StrategyKind::Oort,
+            StrategyKind::ShiftEx,
+            StrategyKind::FedDrift,
+        ]
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<StrategyKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "fedprox" => Some(StrategyKind::FedProx),
+            "fielding" => Some(StrategyKind::Fielding),
+            "oort" => Some(StrategyKind::Oort),
+            "shiftex" => Some(StrategyKind::ShiftEx),
+            "feddrift" => Some(StrategyKind::FedDrift),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            StrategyKind::FedProx => "FedProx",
+            StrategyKind::Fielding => "Fielding",
+            StrategyKind::Oort => "OORT",
+            StrategyKind::ShiftEx => "ShiftEx",
+            StrategyKind::FedDrift => "FedDrift",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Instantiates a strategy for a scenario with shared hyper-parameters, so
+/// comparisons differ only in the strategy itself.
+pub fn make_strategy(
+    kind: StrategyKind,
+    scenario: &Scenario,
+    rng: &mut StdRng,
+) -> Box<dyn ContinualStrategy> {
+    make_strategy_with(kind, scenario, &ShiftExConfig::default(), rng)
+}
+
+/// Like [`make_strategy`] but with explicit ShiftEx configuration overrides
+/// (used by the ablation binary; ignored by the baselines except the shared
+/// training hyper-parameters).
+pub fn make_strategy_with(
+    kind: StrategyKind,
+    scenario: &Scenario,
+    shiftex_cfg: &ShiftExConfig,
+    rng: &mut StdRng,
+) -> Box<dyn ContinualStrategy> {
+    let train = TrainConfig::default();
+    let ppr = scenario.participants_per_round();
+    let spec = scenario.spec.clone();
+    match kind {
+        StrategyKind::FedProx => Box::new(FedProx::new(spec, train, ppr, 0.01, rng)),
+        StrategyKind::Fielding => Box::new(Fielding::new(spec, train, ppr, rng)),
+        StrategyKind::Oort => Box::new(Oort::new(spec, train, ppr, OortConfig::default(), rng)),
+        StrategyKind::FedDrift => {
+            Box::new(FedDrift::new(spec, train, ppr, FedDriftConfig::default(), rng))
+        }
+        StrategyKind::ShiftEx => {
+            let cfg = ShiftExConfig {
+                participants_per_round: ppr,
+                train,
+                ..shiftex_cfg.clone()
+            };
+            Box::new(ShiftEx::new(cfg, spec, rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use shiftex_data::{DatasetKind, SimScale};
+
+    #[test]
+    fn factory_builds_all_five() {
+        let scenario = Scenario::build(DatasetKind::Cifar10C, SimScale::Smoke, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in StrategyKind::all() {
+            let s = make_strategy(kind, &scenario, &mut rng);
+            assert_eq!(s.name(), kind.to_string());
+        }
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(StrategyKind::parse("shiftex"), Some(StrategyKind::ShiftEx));
+        assert_eq!(StrategyKind::parse("OORT"), Some(StrategyKind::Oort));
+        assert_eq!(StrategyKind::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,99 @@
+//! Communication accounting: upload/download byte ledger shared across
+//! threads.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate communication counters for one simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommTotals {
+    /// Bytes uploaded party → aggregator.
+    pub up_bytes: u64,
+    /// Bytes downloaded aggregator → party.
+    pub down_bytes: u64,
+    /// Message count in either direction.
+    pub messages: u64,
+}
+
+/// Thread-safe communication ledger.
+///
+/// Every simulated exchange is metered here, which is how the harness
+/// reports ShiftEx's communication overhead next to the baselines'.
+#[derive(Debug, Default)]
+pub struct CommLedger {
+    totals: Mutex<CommTotals>,
+}
+
+impl CommLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a party → aggregator payload.
+    pub fn record_upload(&self, bytes: usize) {
+        let mut t = self.totals.lock();
+        t.up_bytes += bytes as u64;
+        t.messages += 1;
+    }
+
+    /// Records an aggregator → party payload.
+    pub fn record_download(&self, bytes: usize) {
+        let mut t = self.totals.lock();
+        t.down_bytes += bytes as u64;
+        t.messages += 1;
+    }
+
+    /// Snapshot of the counters.
+    pub fn totals(&self) -> CommTotals {
+        *self.totals.lock()
+    }
+
+    /// Resets all counters.
+    pub fn reset(&self) {
+        *self.totals.lock() = CommTotals::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_both_directions() {
+        let ledger = CommLedger::new();
+        ledger.record_upload(100);
+        ledger.record_download(40);
+        ledger.record_upload(60);
+        let t = ledger.totals();
+        assert_eq!(t.up_bytes, 160);
+        assert_eq!(t.down_bytes, 40);
+        assert_eq!(t.messages, 3);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let ledger = CommLedger::new();
+        ledger.record_upload(10);
+        ledger.reset();
+        assert_eq!(ledger.totals(), CommTotals::default());
+    }
+
+    #[test]
+    fn ledger_is_thread_safe() {
+        let ledger = std::sync::Arc::new(CommLedger::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = ledger.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    l.record_upload(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        assert_eq!(ledger.totals().up_bytes, 4000);
+    }
+}

@@ -1,0 +1,238 @@
+//! One federated round: local training on a cohort, metered exchange,
+//! federated averaging.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use shiftex_nn::{fedavg, train_local_params, ArchSpec, TrainConfig};
+
+use crate::comm::CommLedger;
+use crate::party::Party;
+use crate::update::ModelUpdate;
+
+/// Configuration of a federated round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundConfig {
+    /// Local-training hyper-parameters.
+    pub train: TrainConfig,
+    /// Cohort size per round (capped at the eligible-pool size).
+    pub participants_per_round: usize,
+    /// Run local training on parallel threads.
+    pub parallel: bool,
+}
+
+impl Default for RoundConfig {
+    fn default() -> Self {
+        Self { train: TrainConfig::default(), participants_per_round: 10, parallel: false }
+    }
+}
+
+/// Result of one round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundOutcome {
+    /// Aggregated (FedAvg) parameters.
+    pub params: Vec<f32>,
+    /// Per-participant updates (metadata retained; params already folded).
+    pub updates: Vec<ModelUpdate>,
+    /// Sample-weighted mean training loss across the cohort.
+    pub mean_loss: f32,
+}
+
+/// Runs local training for `cohort` from `global_params` and aggregates.
+///
+/// Each cohort member gets an independent RNG seeded from `rng`, so results
+/// are identical whether `parallel` is on or off.
+///
+/// # Panics
+///
+/// Panics if `cohort` is empty or every member has zero training samples.
+pub fn run_round(
+    spec: &ArchSpec,
+    global_params: &[f32],
+    cohort: &[&Party],
+    cfg: &RoundConfig,
+    ledger: Option<&CommLedger>,
+    rng: &mut StdRng,
+) -> RoundOutcome {
+    assert!(!cohort.is_empty(), "round with empty cohort");
+    let seeds: Vec<u64> = cohort.iter().map(|_| rng.random::<u64>()).collect();
+
+    let updates: Vec<ModelUpdate> = if cfg.parallel {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = cohort
+                .iter()
+                .zip(seeds.iter())
+                .map(|(party, &seed)| {
+                    scope.spawn(move |_| train_one(spec, global_params, party, &cfg.train, seed))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("local training panicked")).collect()
+        })
+        .expect("training scope panicked")
+    } else {
+        cohort
+            .iter()
+            .zip(seeds.iter())
+            .map(|(party, &seed)| train_one(spec, global_params, party, &cfg.train, seed))
+            .collect()
+    };
+
+    if let Some(ledger) = updates.first().and(ledger) {
+        for u in &updates {
+            // Download of globals + upload of the update.
+            ledger.record_download(u.nominal_size_bytes());
+            ledger.record_upload(u.nominal_size_bytes());
+        }
+    }
+
+    let weighted: Vec<(&[f32], usize)> = updates
+        .iter()
+        .filter(|u| u.num_samples > 0)
+        .map(|u| (u.params.as_slice(), u.num_samples))
+        .collect();
+    assert!(!weighted.is_empty(), "no cohort member had training data");
+    let params = fedavg(
+        &weighted.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+        &weighted.iter().map(|(_, n)| *n).collect::<Vec<_>>(),
+    );
+    let total: usize = weighted.iter().map(|(_, n)| *n).sum();
+    let mean_loss = updates
+        .iter()
+        .map(|u| u.train_loss * u.num_samples as f32)
+        .sum::<f32>()
+        / total as f32;
+    RoundOutcome { params, updates, mean_loss }
+}
+
+fn train_one(
+    spec: &ArchSpec,
+    global_params: &[f32],
+    party: &Party,
+    train: &TrainConfig,
+    seed: u64,
+) -> ModelUpdate {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if party.train().is_empty() {
+        return ModelUpdate {
+            party: party.id(),
+            params: global_params.to_vec(),
+            num_samples: 0,
+            train_loss: 0.0,
+        };
+    }
+    let fit = train_local_params(
+        spec,
+        global_params,
+        party.train_features(),
+        party.train_labels(),
+        train,
+        &mut rng,
+    );
+    ModelUpdate {
+        party: party.id(),
+        params: fit.params,
+        num_samples: fit.num_samples,
+        train_loss: fit.final_loss,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::party::PartyId;
+    use shiftex_data::{ImageShape, PrototypeGenerator};
+    use shiftex_nn::Sequential;
+
+    fn setup(n_parties: usize, seed: u64) -> (ArchSpec, Vec<f32>, Vec<Party>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gen = PrototypeGenerator::new(ImageShape::new(1, 4, 4), 3, &mut rng);
+        let parties: Vec<Party> = (0..n_parties)
+            .map(|i| {
+                Party::new(
+                    PartyId(i),
+                    gen.generate_uniform(24, &mut rng),
+                    gen.generate_uniform(12, &mut rng),
+                )
+            })
+            .collect();
+        let spec = ArchSpec::mlp("t", 16, &[12], 3);
+        let init = Sequential::build(&spec, &mut rng).params_flat();
+        (spec, init, parties)
+    }
+
+    #[test]
+    fn round_produces_update_per_participant() {
+        let (spec, init, parties) = setup(4, 0);
+        let cohort: Vec<&Party> = parties.iter().collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = run_round(&spec, &init, &cohort, &RoundConfig::default(), None, &mut rng);
+        assert_eq!(out.updates.len(), 4);
+        assert_eq!(out.params.len(), init.len());
+        assert!(out.mean_loss.is_finite());
+    }
+
+    #[test]
+    fn parallel_and_serial_rounds_agree() {
+        let (spec, init, parties) = setup(4, 2);
+        let cohort: Vec<&Party> = parties.iter().collect();
+        let mut cfg = RoundConfig::default();
+
+        let mut rng1 = StdRng::seed_from_u64(3);
+        cfg.parallel = false;
+        let serial = run_round(&spec, &init, &cohort, &cfg, None, &mut rng1);
+
+        let mut rng2 = StdRng::seed_from_u64(3);
+        cfg.parallel = true;
+        let parallel = run_round(&spec, &init, &cohort, &cfg, None, &mut rng2);
+
+        assert_eq!(serial.params, parallel.params);
+    }
+
+    #[test]
+    fn rounds_improve_global_accuracy() {
+        let (spec, init, parties) = setup(6, 4);
+        let cohort: Vec<&Party> = parties.iter().collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let before = crate::evaluate_on_parties(&spec, &init, &parties);
+        let mut params = init;
+        for _ in 0..5 {
+            params = run_round(&spec, &params, &cohort, &RoundConfig::default(), None, &mut rng)
+                .params;
+        }
+        let after = crate::evaluate_on_parties(&spec, &params, &parties);
+        assert!(after > before, "federated training should help: {before} -> {after}");
+        // The synthetic generator is deliberately hard (class signal ~0.25 of
+        // noise scale); 5 rounds on 16-dim data lands well above the 33 %
+        // chance level without saturating.
+        assert!(after > 0.38, "post-training accuracy {after}");
+    }
+
+    #[test]
+    fn ledger_meters_both_directions() {
+        let (spec, init, parties) = setup(3, 6);
+        let cohort: Vec<&Party> = parties.iter().collect();
+        let ledger = CommLedger::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        run_round(&spec, &init, &cohort, &RoundConfig::default(), Some(&ledger), &mut rng);
+        let totals = ledger.totals();
+        assert_eq!(totals.messages, 6); // 3 downloads + 3 uploads
+        assert!(totals.up_bytes > 0 && totals.down_bytes > 0);
+    }
+
+    #[test]
+    fn empty_party_contributes_nothing() {
+        let (spec, init, mut parties) = setup(2, 8);
+        // Give party 0 no data.
+        let shape = parties[0].train().shape();
+        let classes = parties[0].train().num_classes();
+        parties[0].advance_window(
+            shiftex_data::Dataset::empty(classes, shape),
+            shiftex_data::Dataset::empty(classes, shape),
+        );
+        let cohort: Vec<&Party> = parties.iter().collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        let out = run_round(&spec, &init, &cohort, &RoundConfig::default(), None, &mut rng);
+        assert_eq!(out.updates[0].num_samples, 0);
+        assert_eq!(out.updates.len(), 2);
+    }
+}

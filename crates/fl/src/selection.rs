@@ -1,0 +1,96 @@
+//! Participant selection interface.
+//!
+//! Different strategies plug different policies in here: uniform sampling
+//! (FedAvg/FedProx), label-cluster-balanced FLIPS, utility-guided OORT.
+
+use rand::rngs::StdRng;
+
+use crate::party::{PartyId, PartyInfo};
+
+/// A participant-selection policy.
+///
+/// Implementations may keep state across rounds (exploration/exploitation
+/// balances, cluster assignments); `select` is handed the published metadata
+/// of the *eligible* parties for this round and must return a subset of
+/// their ids.
+pub trait ParticipantSelector {
+    /// Picks `m` parties (or all, when fewer are eligible).
+    fn select(&mut self, pool: &[PartyInfo], m: usize, rng: &mut StdRng) -> Vec<PartyId>;
+
+    /// Feedback hook: called after a round with each participant's training
+    /// loss, for utility-driven selectors. Default: ignored.
+    fn observe(&mut self, _party: PartyId, _train_loss: f32) {}
+
+    /// Human-readable policy name.
+    fn name(&self) -> &str {
+        "selector"
+    }
+}
+
+/// Uniform random selection without replacement.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformSelector;
+
+impl ParticipantSelector for UniformSelector {
+    fn select(&mut self, pool: &[PartyInfo], m: usize, rng: &mut StdRng) -> Vec<PartyId> {
+        let m = m.min(pool.len());
+        shiftex_tensor::rngx::sample_without_replacement(rng, pool.len(), m)
+            .into_iter()
+            .map(|i| pool[i].id)
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        "uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn pool(n: usize) -> Vec<PartyInfo> {
+        (0..n)
+            .map(|i| PartyInfo {
+                id: PartyId(i),
+                num_samples: 10,
+                label_hist: vec![0.5, 0.5],
+                last_loss: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn selects_requested_count_without_duplicates() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut sel = UniformSelector;
+        let picked = sel.select(&pool(20), 8, &mut rng);
+        assert_eq!(picked.len(), 8);
+        let mut ids: Vec<usize> = picked.iter().map(|p| p.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8);
+    }
+
+    #[test]
+    fn caps_at_pool_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sel = UniformSelector;
+        assert_eq!(sel.select(&pool(3), 10, &mut rng).len(), 3);
+    }
+
+    #[test]
+    fn covers_all_parties_over_many_rounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sel = UniformSelector;
+        let p = pool(10);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            for id in sel.select(&p, 3, &mut rng) {
+                seen.insert(id);
+            }
+        }
+        assert_eq!(seen.len(), 10, "uniform selection should cover the pool");
+    }
+}

@@ -1,0 +1,80 @@
+//! Model updates: the unit of party → aggregator communication.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::party::PartyId;
+
+/// One party's contribution to a federated round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelUpdate {
+    /// Originating party.
+    pub party: PartyId,
+    /// Updated flattened model parameters.
+    pub params: Vec<f32>,
+    /// Number of local training samples (FedAvg weight).
+    pub num_samples: usize,
+    /// Final local training loss (selector utility signal).
+    pub train_loss: f32,
+}
+
+impl ModelUpdate {
+    /// Serialises the update into a wire payload.
+    ///
+    /// The simulator meters these payloads through
+    /// [`CommLedger`](crate::CommLedger), so the byte size is the honest
+    /// cost of the exchange.
+    pub fn to_bytes(&self) -> Bytes {
+        Bytes::from(serde_json::to_vec(self).expect("update serialisation cannot fail"))
+    }
+
+    /// Deserialises a wire payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the payload is not a valid update.
+    pub fn from_bytes(bytes: &Bytes) -> Result<Self, serde_json::Error> {
+        serde_json::from_slice(bytes)
+    }
+
+    /// Nominal payload size in bytes (4 bytes per parameter + metadata),
+    /// used for communication accounting without paying serialisation cost
+    /// on the hot path.
+    pub fn nominal_size_bytes(&self) -> usize {
+        self.params.len() * 4 + 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update() -> ModelUpdate {
+        ModelUpdate {
+            party: PartyId(3),
+            params: vec![1.0, -2.0, 0.5],
+            num_samples: 42,
+            train_loss: 0.7,
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_bytes() {
+        let u = update();
+        let b = u.to_bytes();
+        let back = ModelUpdate::from_bytes(&b).expect("valid payload");
+        assert_eq!(back, u);
+    }
+
+    #[test]
+    fn nominal_size_scales_with_params() {
+        let u = update();
+        assert_eq!(u.nominal_size_bytes(), 3 * 4 + 32);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let b = Bytes::from_static(b"not json");
+        assert!(ModelUpdate::from_bytes(&b).is_err());
+    }
+}

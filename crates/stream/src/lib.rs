@@ -1,0 +1,35 @@
+//! Windowed stream processing for streaming federated learning.
+//!
+//! Each party "runs a stream processing engine … to collect, ingest, and
+//! preprocess incoming data streams" (§3.2 of the paper). This crate models
+//! that middleware layer: tumbling and sliding [`WindowSpec`]s segment
+//! unbounded per-party streams into finite windows, a [`ShiftSchedule`]
+//! decides which distribution [`Regime`](shiftex_data::Regime) each party
+//! experiences in each window (including the paper's 50 % partial-population
+//! shift protocol), and [`WindowedIngest`] assembles timestamped records
+//! into emitted windows with watermark semantics.
+//!
+//! # Example
+//!
+//! ```
+//! use shiftex_stream::WindowSpec;
+//!
+//! let spec = WindowSpec::tumbling(100);
+//! let w = spec.windows_covering(250);
+//! assert_eq!(w, vec![2]);
+//! let spec = WindowSpec::sliding(100, 50);
+//! assert_eq!(spec.windows_covering(125), vec![1, 2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod schedule;
+mod source;
+mod window;
+
+pub use engine::{run_pipeline, EmittedWindow, WindowedIngest};
+pub use schedule::{ScheduleBuilder, ShiftSchedule};
+pub use source::{stream_window, Record};
+pub use window::WindowSpec;

@@ -1,0 +1,177 @@
+//! Tumbling and sliding window specifications over event time.
+
+use serde::{Deserialize, Serialize};
+
+/// A windowing policy over `u64` event timestamps.
+///
+/// *Tumbling* windows are disjoint and contiguous; *sliding* windows of size
+/// `size` advance by `step < size`, so consecutive windows overlap — "a
+/// common special case of the sliding window is the tumbling window"
+/// (§1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WindowSpec {
+    /// Disjoint windows `[i·size, (i+1)·size)`.
+    Tumbling {
+        /// Window length in time units.
+        size: u64,
+    },
+    /// Overlapping windows `[i·step, i·step + size)`.
+    Sliding {
+        /// Window length in time units.
+        size: u64,
+        /// Advance per window; `step == size` degenerates to tumbling.
+        step: u64,
+    },
+}
+
+impl WindowSpec {
+    /// Tumbling windows of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn tumbling(size: u64) -> Self {
+        assert!(size > 0, "window size must be positive");
+        WindowSpec::Tumbling { size }
+    }
+
+    /// Sliding windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`, `step == 0` or `step > size`.
+    pub fn sliding(size: u64, step: u64) -> Self {
+        assert!(size > 0, "window size must be positive");
+        assert!(step > 0 && step <= size, "step must be in 1..=size");
+        WindowSpec::Sliding { size, step }
+    }
+
+    /// Window length.
+    pub fn size(&self) -> u64 {
+        match *self {
+            WindowSpec::Tumbling { size } | WindowSpec::Sliding { size, .. } => size,
+        }
+    }
+
+    /// Advance between consecutive windows.
+    pub fn step(&self) -> u64 {
+        match *self {
+            WindowSpec::Tumbling { size } => size,
+            WindowSpec::Sliding { step, .. } => step,
+        }
+    }
+
+    /// Time range `[start, end)` of window `index`.
+    pub fn bounds(&self, index: u64) -> (u64, u64) {
+        let start = index * self.step();
+        (start, start + self.size())
+    }
+
+    /// Indices of every window containing timestamp `ts`, ascending.
+    ///
+    /// Tumbling specs return exactly one index; sliding specs return
+    /// `⌈size/step⌉` indices once past the stream start.
+    pub fn windows_covering(&self, ts: u64) -> Vec<u64> {
+        let size = self.size();
+        let step = self.step();
+        let last = ts / step; // latest window starting at or before ts
+        let mut out = Vec::new();
+        // Earliest window that could still contain ts.
+        let first = if ts >= size { (ts - size) / step + 1 } else { 0 };
+        for i in first..=last {
+            let (s, e) = self.bounds(i);
+            if ts >= s && ts < e {
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    /// `true` once a watermark at `wm` guarantees window `index` is complete
+    /// (no record with `ts < end` can still arrive).
+    pub fn is_complete(&self, index: u64, watermark: u64) -> bool {
+        watermark >= self.bounds(index).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tumbling_bounds_are_disjoint_and_contiguous() {
+        let spec = WindowSpec::tumbling(10);
+        assert_eq!(spec.bounds(0), (0, 10));
+        assert_eq!(spec.bounds(3), (30, 40));
+    }
+
+    #[test]
+    fn tumbling_covers_each_ts_once() {
+        let spec = WindowSpec::tumbling(10);
+        assert_eq!(spec.windows_covering(0), vec![0]);
+        assert_eq!(spec.windows_covering(9), vec![0]);
+        assert_eq!(spec.windows_covering(10), vec![1]);
+    }
+
+    #[test]
+    fn sliding_overlap() {
+        let spec = WindowSpec::sliding(100, 50);
+        // ts=125 is inside [50,150) and [100,200).
+        assert_eq!(spec.windows_covering(125), vec![1, 2]);
+        // ts=25 only inside [0,100).
+        assert_eq!(spec.windows_covering(25), vec![0]);
+    }
+
+    #[test]
+    fn sliding_with_step_equal_size_is_tumbling() {
+        let s = WindowSpec::sliding(10, 10);
+        let t = WindowSpec::tumbling(10);
+        for ts in [0u64, 5, 10, 19, 100] {
+            assert_eq!(s.windows_covering(ts), t.windows_covering(ts));
+        }
+    }
+
+    #[test]
+    fn completeness_follows_watermark() {
+        let spec = WindowSpec::tumbling(10);
+        assert!(!spec.is_complete(0, 9));
+        assert!(spec.is_complete(0, 10));
+        assert!(!spec.is_complete(1, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be in 1..=size")]
+    fn rejects_step_larger_than_size() {
+        let _ = WindowSpec::sliding(10, 20);
+    }
+
+    proptest! {
+        /// Every covering window actually contains the timestamp, and the
+        /// count matches the theoretical overlap factor.
+        #[test]
+        fn prop_covering_windows_contain_ts(
+            ts in 0u64..10_000,
+            size in 1u64..200,
+            step_frac in 1u64..=4,
+        ) {
+            let step = (size / step_frac).max(1);
+            let spec = WindowSpec::sliding(size, step);
+            let covering = spec.windows_covering(ts);
+            prop_assert!(!covering.is_empty());
+            for &i in &covering {
+                let (s, e) = spec.bounds(i);
+                prop_assert!(ts >= s && ts < e);
+            }
+            // No window outside the returned set may contain ts.
+            if let (Some(&first), Some(&last)) = (covering.first(), covering.last()) {
+                if first > 0 {
+                    let (s, e) = spec.bounds(first - 1);
+                    prop_assert!(!(ts >= s && ts < e));
+                }
+                let (s, e) = spec.bounds(last + 1);
+                prop_assert!(!(ts >= s && ts < e));
+            }
+        }
+    }
+}

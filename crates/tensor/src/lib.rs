@@ -1,0 +1,50 @@
+//! Minimal, dependency-light f32 tensor math for the ShiftEx reproduction.
+//!
+//! This crate provides the numeric substrate used by every other crate in the
+//! workspace: a row-major [`Matrix`] type with the linear-algebra operations a
+//! small neural-network library needs, free-function vector helpers in
+//! [`vector`], seedable sampling distributions in [`rngx`] (normal, gamma,
+//! Dirichlet — implemented from scratch so the workspace depends only on the
+//! `rand` core), and descriptive statistics in [`stats`].
+//!
+//! # Example
+//!
+//! ```
+//! use shiftex_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matrix;
+pub mod rngx;
+pub mod stats;
+pub mod vector;
+
+pub use matrix::Matrix;
+
+/// Error type for shape mismatches and invalid numeric arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes; payload is a human-readable
+    /// description of the expected vs. actual shapes.
+    ShapeMismatch(String),
+    /// A numeric argument was outside its valid domain.
+    InvalidArgument(String),
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

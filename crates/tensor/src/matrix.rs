@@ -1,0 +1,559 @@
+//! Row-major `f32` matrix with the operations a small NN stack needs.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major matrix of `f32` values.
+///
+/// `Matrix` is the workhorse of the workspace: mini-batches are stored as
+/// `(batch, features)` matrices, dense-layer weights as `(in, out)` matrices.
+/// All operations panic on shape mismatch (they are internal programming
+/// errors, not recoverable conditions) — the panic message names the shapes.
+///
+/// # Example
+///
+/// ```
+/// use shiftex_tensor::Matrix;
+/// let m = Matrix::zeros(2, 3);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows × cols` matrix filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![1.0; rows * cols] }
+    }
+
+    /// Creates a matrix filled with a constant value.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from an owned backing vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "backing vector length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from a slice of row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows: expected {c}, got {}", row.len());
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Samples every element i.i.d. from `N(mean, std²)` using the Box–Muller
+    /// transform (see [`crate::rngx::normal`]).
+    pub fn randn(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut impl Rng) -> Self {
+        Self::from_fn(rows, cols, |_, _| crate::rngx::normal(rng, mean, std))
+    }
+
+    /// Xavier/Glorot-uniform initialisation for a dense-layer weight of shape
+    /// `(fan_in, fan_out)`: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    pub fn xavier(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Self {
+        let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Self::from_fn(fan_in, fan_out, |_, _| rng.random_range(-a..a))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its backing vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of one row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of one row.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies one column into a fresh vector.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Iterator over row slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// Uses an ikj loop order with a transposed accumulator access pattern,
+    /// which is cache-friendly enough for the model sizes in this workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: ({}x{}) x ({}x{})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · rhs` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != rhs.rows`.
+    pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "t_matmul shape mismatch: ({}x{})^T x ({}x{})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = rhs.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · rhsᵀ` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.cols`.
+    pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_t shape mismatch: ({}x{}) x ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..rhs.rows {
+                out.set(i, j, crate::vector::dot(a_row, rhs.row(j)));
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Element-wise addition. Panics on shape mismatch.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction. Panics on shape mismatch.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product. Panics on shape mismatch.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a * b)
+    }
+
+    /// Element-wise combination with a binary function. Panics on shape mismatch.
+    pub fn zip_with(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "elementwise shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Returns a new matrix with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Multiplies every element by a scalar, returning a new matrix.
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// `self += alpha * rhs`, in place. Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Adds `bias` (length `cols`) to every row, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != cols`.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "broadcast length mismatch");
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (v, &b) in row.iter_mut().zip(bias.iter()) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Column-wise sum, returning a vector of length `cols`.
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0; self.cols];
+        for row in self.iter_rows() {
+            for (s, &v) in sums.iter_mut().zip(row.iter()) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// Column-wise mean, returning a vector of length `cols`.
+    ///
+    /// Returns zeros when the matrix has no rows.
+    pub fn col_means(&self) -> Vec<f32> {
+        if self.rows == 0 {
+            return vec![0.0; self.cols];
+        }
+        let inv = 1.0 / self.rows as f32;
+        self.col_sums().into_iter().map(|s| s * inv).collect()
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Frobenius norm `sqrt(Σ v²)`.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Index of the maximum element in each row (ties go to the first).
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        self.iter_rows().map(crate::vector::argmax).collect()
+    }
+
+    /// Extracts the sub-matrix made of the given rows (copied).
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix { rows: indices.len(), cols: self.cols, data }
+    }
+
+    /// Stacks matrices vertically. All inputs must share `cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ or `mats` is empty.
+    pub fn vstack(mats: &[&Matrix]) -> Matrix {
+        assert!(!mats.is_empty(), "vstack of empty list");
+        let cols = mats[0].cols;
+        let rows: usize = mats.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for m in mats {
+            assert_eq!(m.cols, cols, "vstack column mismatch");
+            data.extend_from_slice(&m.data);
+        }
+        Matrix { rows, cols, data }
+    }
+}
+
+impl std::fmt::Display for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for row in self.iter_rows().take(6) {
+            write!(f, "  ")?;
+            for v in row.iter().take(8) {
+                write!(f, "{v:>9.4} ")?;
+            }
+            if self.cols > 8 {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 6 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let i = Matrix::identity(3);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Matrix::randn(4, 3, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(4, 5, 0.0, 1.0, &mut rng);
+        let fast = a.t_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = Matrix::randn(4, 3, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(5, 3, 0.0, 1.0, &mut rng);
+        let fast = a.matmul_t(&b);
+        let slow = a.matmul(&b.transpose());
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn broadcast_and_colsums() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_row_broadcast(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.col_sums(), vec![2.0, 4.0, 6.0]);
+        assert_eq!(m.col_means(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_max() {
+        let m = Matrix::from_rows(&[&[0.1, 0.9, 0.9], &[2.0, 1.0, 0.0]]);
+        assert_eq!(m.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn select_rows_copies() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s, Matrix::from_rows(&[&[5.0, 6.0], &[1.0, 2.0]]));
+    }
+
+    #[test]
+    fn vstack_concatenates() {
+        let a = Matrix::ones(1, 2);
+        let b = Matrix::zeros(2, 2);
+        let v = Matrix::vstack(&[&a, &b]);
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v.row(0), &[1.0, 1.0]);
+        assert_eq!(v.row(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Matrix::xavier(64, 32, &mut rng);
+        let a = (6.0f32 / 96.0).sqrt();
+        assert!(m.as_slice().iter().all(|&v| v.abs() <= a));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Matrix::ones(2, 2);
+        let b = Matrix::full(2, 2, 3.0);
+        a.axpy(0.5, &b);
+        assert_eq!(a, Matrix::full(2, 2, 2.5));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let m = Matrix::zeros(2, 2);
+        assert!(!format!("{m}").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,262 @@
+//! Free-function helpers over `&[f32]` slices.
+//!
+//! These are used pervasively for embedding vectors, label histograms and
+//! flattened model parameters, where allocating a full [`crate::Matrix`]
+//! would be overkill.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch: {} vs {}", a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "sq_dist length mismatch");
+    a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two equal-length slices.
+#[inline]
+pub fn l2_dist(a: &[f32], b: &[f32]) -> f32 {
+    sq_dist(a, b).sqrt()
+}
+
+/// Cosine similarity in `[-1, 1]`.
+///
+/// Returns `0.0` when either vector has (near-)zero norm, which is the
+/// conservative choice for the expert-consolidation test `cos(θi, θj) > τ`:
+/// degenerate experts are never considered similar.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na < 1e-12 || nb < 1e-12 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(a: &[f32]) -> f32 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f32>() / a.len() as f32
+    }
+}
+
+/// Population variance (0 for slices with < 2 elements).
+pub fn variance(a: &[f32]) -> f32 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / a.len() as f32
+}
+
+/// Population standard deviation.
+pub fn std_dev(a: &[f32]) -> f32 {
+    variance(a).sqrt()
+}
+
+/// Index of the maximum element (first on ties). Returns 0 for empty input.
+pub fn argmax(a: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in a.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Index of the minimum element (first on ties). Returns 0 for empty input.
+pub fn argmin(a: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::INFINITY;
+    for (i, &v) in a.iter().enumerate() {
+        if v < best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Numerically-stable softmax, returning a fresh probability vector.
+pub fn softmax(a: &[f32]) -> Vec<f32> {
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let max = a.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = a.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// `a += alpha * b`, elementwise in place.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(a: &mut [f32], alpha: f32, b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "axpy length mismatch");
+    for (x, &y) in a.iter_mut().zip(b.iter()) {
+        *x += alpha * y;
+    }
+}
+
+/// Scales every element in place.
+pub fn scale(a: &mut [f32], s: f32) {
+    for v in a.iter_mut() {
+        *v *= s;
+    }
+}
+
+/// Normalises a non-negative vector to sum to one.
+///
+/// If the sum is (near-)zero the uniform distribution is returned instead,
+/// which keeps downstream divergence computations well-defined.
+pub fn normalize_distribution(a: &[f32]) -> Vec<f32> {
+    let sum: f32 = a.iter().sum();
+    if sum <= 1e-12 {
+        if a.is_empty() {
+            return Vec::new();
+        }
+        return vec![1.0 / a.len() as f32; a.len()];
+    }
+    a.iter().map(|&v| v / sum).collect()
+}
+
+/// Weighted mean of several equal-length vectors; weights need not sum to 1.
+///
+/// # Panics
+///
+/// Panics if `vectors` is empty, lengths differ, or all weights are zero.
+pub fn weighted_mean(vectors: &[&[f32]], weights: &[f32]) -> Vec<f32> {
+    assert!(!vectors.is_empty(), "weighted_mean of empty set");
+    assert_eq!(vectors.len(), weights.len(), "weights length mismatch");
+    let total: f32 = weights.iter().sum();
+    assert!(total > 0.0, "weighted_mean with zero total weight");
+    let dim = vectors[0].len();
+    let mut out = vec![0.0; dim];
+    for (vec, &w) in vectors.iter().zip(weights.iter()) {
+        assert_eq!(vec.len(), dim, "weighted_mean dimension mismatch");
+        axpy(&mut out, w / total, vec);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_parallel_is_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        assert!((cosine_similarity(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_is_zero() {
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_zero() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_zero_gives_uniform() {
+        assert_eq!(normalize_distribution(&[0.0, 0.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn weighted_mean_recovers_average() {
+        let a = [1.0, 1.0];
+        let b = [3.0, 3.0];
+        let m = weighted_mean(&[&a, &b], &[1.0, 1.0]);
+        assert_eq!(m, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn weighted_mean_respects_weights() {
+        let a = [0.0];
+        let b = [10.0];
+        let m = weighted_mean(&[&a, &b], &[3.0, 1.0]);
+        assert!((m[0] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_argmin() {
+        assert_eq!(argmax(&[1.0, 5.0, 5.0, 2.0]), 1);
+        assert_eq!(argmin(&[1.0, -5.0, 2.0]), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cosine_bounded(a in proptest::collection::vec(-100.0f32..100.0, 1..32)) {
+            let b: Vec<f32> = a.iter().map(|v| v * 2.0 + 1.0).collect();
+            let c = cosine_similarity(&a, &b);
+            prop_assert!((-1.0..=1.0).contains(&c));
+        }
+
+        #[test]
+        fn prop_softmax_is_distribution(a in proptest::collection::vec(-50.0f32..50.0, 1..16)) {
+            let p = softmax(&a);
+            prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+            prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+
+        #[test]
+        fn prop_sq_dist_nonnegative_and_symmetric(
+            a in proptest::collection::vec(-10.0f32..10.0, 8),
+            b in proptest::collection::vec(-10.0f32..10.0, 8),
+        ) {
+            let d1 = sq_dist(&a, &b);
+            let d2 = sq_dist(&b, &a);
+            prop_assert!(d1 >= 0.0);
+            prop_assert!((d1 - d2).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: bootstrap a federation, inject a covariate shift, watch
+//! ShiftEx detect it, spawn an expert and recover.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::{rngs::StdRng, SeedableRng};
+use shiftex::core::{ContinualStrategy, ShiftEx, ShiftExConfig};
+use shiftex::data::{Corruption, ImageShape, PrototypeGenerator, Regime};
+use shiftex::fl::{Party, PartyId};
+use shiftex::nn::ArchSpec;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let gen = PrototypeGenerator::new(ImageShape::new(3, 8, 8), 10, &mut rng);
+
+    // 1. A 12-party federation on the clean distribution.
+    let mut parties: Vec<Party> = (0..12)
+        .map(|i| {
+            Party::new(
+                PartyId(i),
+                gen.generate_uniform(40, &mut rng),
+                gen.generate_uniform(20, &mut rng),
+            )
+        })
+        .collect();
+
+    // 2. Bootstrap: FLIPS-balanced federated training of the first expert.
+    let spec = ArchSpec::resnet18_lite(shiftex::nn::InputShape { c: 3, h: 8, w: 8 }, 10, 24);
+    let cfg = ShiftExConfig { participants_per_round: 8, ..ShiftExConfig::default() };
+    let mut shiftex = ShiftEx::new(cfg, spec, &mut rng);
+    shiftex.bootstrap(&parties, 12, &mut rng);
+    println!("after bootstrap: accuracy {:.1}%", shiftex.evaluate(&parties) * 100.0);
+
+    // 3. A new stream window arrives: fog rolls in for half the federation.
+    let fog = Regime::corrupted(Corruption::Fog, 5);
+    for (i, p) in parties.iter_mut().enumerate() {
+        let (train, test) = if i < 6 {
+            (
+                gen.generate_with_regime(40, &fog, &mut rng),
+                gen.generate_with_regime(20, &fog, &mut rng),
+            )
+        } else {
+            (gen.generate_uniform(40, &mut rng), gen.generate_uniform(20, &mut rng))
+        };
+        p.advance_window(train, test);
+    }
+
+    // 4. ShiftEx detects the shift and reorganises the expert pool.
+    let report = shiftex.process_window(&parties, &mut rng);
+    println!(
+        "window 1: {} covariate-shifted parties detected (δ_cov = {:.4}), \
+         {} expert(s) created, {} reused",
+        report.cov_shifted.len(),
+        report.delta_cov,
+        report.created.len(),
+        report.reused.len()
+    );
+    println!("post-shift accuracy: {:.1}%", shiftex.evaluate(&parties) * 100.0);
+
+    // 5. A few federated rounds recover the federation.
+    for round in 1..=6 {
+        ShiftEx::train_round(&mut shiftex, &parties, &mut rng);
+        println!(
+            "round {round}: accuracy {:.1}% ({} experts)",
+            shiftex.evaluate(&parties) * 100.0,
+            shiftex.num_experts()
+        );
+    }
+    for expert in shiftex.registry().iter() {
+        println!("  {} serves {} parties", expert.id, expert.cohort_size);
+    }
+}

@@ -1,0 +1,83 @@
+//! # ShiftEx — shift-aware mixture-of-experts middleware for federated learning
+//!
+//! A from-scratch Rust reproduction of *"Shift Happens: Mixture of Experts
+//! based Continual Adaptation in Federated Learning"* (MIDDLEWARE 2025).
+//!
+//! Streaming federated learning deployments face covariate and label shift:
+//! party data distributions change between stream windows, and a single
+//! global model degrades. ShiftEx detects both kinds of shift from privacy-
+//! preserving aggregate statistics (MMD over penultimate-layer embeddings,
+//! JSD over label histograms), clusters shifted parties by latent profile,
+//! reuses specialised experts through a latent memory, spawns new experts
+//! for unseen regimes, and consolidates redundant ones.
+//!
+//! This crate is a facade that re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`core`] | `shiftex-core` | the ShiftEx framework (Algorithms 1–2, Eq. 2) |
+//! | [`fl`] | `shiftex-fl` | federated runtime: parties, rounds, FedAvg/FedProx |
+//! | [`flips`] | `shiftex-flips` | FLIPS label-balanced participant selection |
+//! | [`baselines`] | `shiftex-baselines` | FedProx, OORT, Fielding, FedDrift |
+//! | [`detect`] | `shiftex-detect` | MMD / JSD detectors + threshold calibration |
+//! | [`cluster`] | `shiftex-cluster` | k-means + Davies–Bouldin model selection |
+//! | [`data`] | `shiftex-data` | synthetic shifted-stream datasets |
+//! | [`stream`] | `shiftex-stream` | tumbling/sliding windows, shift schedules |
+//! | [`nn`] | `shiftex-nn` | neural-network substrate with embeddings |
+//! | [`tensor`] | `shiftex-tensor` | matrix math + seedable distributions |
+//! | [`tee`] | `shiftex-tee` | simulated trusted execution environment |
+//! | [`experiments`] | `shiftex-experiments` | the paper's evaluation harness |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use shiftex::core::{ShiftEx, ShiftExConfig};
+//! use shiftex::data::{Corruption, ImageShape, PrototypeGenerator, Regime};
+//! use shiftex::fl::{Party, PartyId};
+//! use shiftex::nn::ArchSpec;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let gen = PrototypeGenerator::new(ImageShape::new(1, 8, 8), 4, &mut rng);
+//!
+//! // A small federation on the clean distribution.
+//! let mut parties: Vec<Party> = (0..8)
+//!     .map(|i| Party::new(PartyId(i),
+//!                         gen.generate_uniform(40, &mut rng),
+//!                         gen.generate_uniform(20, &mut rng)))
+//!     .collect();
+//!
+//! // Bootstrap a global model, then let fog arrive for half the parties.
+//! let spec = ArchSpec::mlp("quickstart", 64, &[24, 12], 4);
+//! let mut shiftex = ShiftEx::new(ShiftExConfig::default(), spec, &mut rng);
+//! shiftex.bootstrap(&parties, 3, &mut rng);
+//!
+//! let fog = Regime::corrupted(Corruption::Fog, 5);
+//! for (i, p) in parties.iter_mut().enumerate() {
+//!     let (train, test) = if i < 4 {
+//!         (gen.generate_with_regime(40, &fog, &mut rng),
+//!          gen.generate_with_regime(20, &fog, &mut rng))
+//!     } else {
+//!         (gen.generate_uniform(40, &mut rng), gen.generate_uniform(20, &mut rng))
+//!     };
+//!     p.advance_window(train, test);
+//! }
+//! let report = shiftex.process_window(&parties, &mut rng);
+//! assert!(report.cov_shifted.len() >= 2, "the fog cohort is detected");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use shiftex_baselines as baselines;
+pub use shiftex_cluster as cluster;
+pub use shiftex_core as core;
+pub use shiftex_data as data;
+pub use shiftex_detect as detect;
+pub use shiftex_experiments as experiments;
+pub use shiftex_fl as fl;
+pub use shiftex_flips as flips;
+pub use shiftex_nn as nn;
+pub use shiftex_stream as stream;
+pub use shiftex_tee as tee;
+pub use shiftex_tensor as tensor;

@@ -1,0 +1,126 @@
+//! Cross-crate integration tests: full scenario runs for every strategy,
+//! the ShiftEx expert lifecycle, and determinism guarantees.
+
+use rand::{rngs::StdRng, SeedableRng};
+use shiftex::core::{ContinualStrategy, ShiftEx, ShiftExConfig};
+use shiftex::data::{Corruption, DatasetKind, ImageShape, PrototypeGenerator, Regime, SimScale};
+use shiftex::experiments::runner::run_once;
+use shiftex::experiments::{Scenario, StrategyKind};
+use shiftex::fl::{Party, PartyId};
+use shiftex::nn::ArchSpec;
+
+#[test]
+fn all_five_strategies_complete_a_scenario() {
+    let scenario = Scenario::build(DatasetKind::FashionMnist, SimScale::Smoke, 21);
+    let cfg = ShiftExConfig::default();
+    for kind in StrategyKind::all() {
+        let result = run_once(kind, &scenario, 3, &cfg);
+        assert_eq!(result.windows.len(), scenario.eval_windows(), "{kind}: window count");
+        assert!(
+            result.accuracy_series.iter().all(|a| (0.0..=1.0).contains(a)),
+            "{kind}: accuracies must be probabilities"
+        );
+        // Every strategy must actually learn during burn-in. Smoke scale is
+        // deliberately tiny (8 parties × 30 non-IID samples over 10
+        // classes), so the bar is "clearly above the 10 % chance level";
+        // utility-skewed selectors (OORT) converge slowest here.
+        let burn_in_best = result.accuracy_series[..scenario.bootstrap_rounds()]
+            .iter()
+            .cloned()
+            .fold(0.0f32, f32::max);
+        assert!(burn_in_best > 0.15, "{kind}: best burn-in accuracy {burn_in_best}");
+    }
+}
+
+#[test]
+fn every_dataset_scenario_runs_shiftex() {
+    for kind in DatasetKind::all() {
+        let scenario = Scenario::build(kind, SimScale::Smoke, 5);
+        let result = run_once(StrategyKind::ShiftEx, &scenario, 9, &ShiftExConfig::default());
+        assert_eq!(result.expert_distribution.len(), scenario.eval_windows() + 1);
+        for dist in &result.expert_distribution {
+            assert_eq!(
+                dist.iter().sum::<usize>(),
+                scenario.profile.num_parties,
+                "{kind}: every party assigned exactly once"
+            );
+        }
+    }
+}
+
+#[test]
+fn expert_lifecycle_create_reuse_and_bounded_pool() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let gen = PrototypeGenerator::new(ImageShape::new(3, 8, 8), 6, &mut rng);
+    let spec = ArchSpec::resnet18_lite(shiftex::nn::InputShape { c: 3, h: 8, w: 8 }, 6, 16);
+    let mut parties: Vec<Party> = (0..10)
+        .map(|i| {
+            Party::new(
+                PartyId(i),
+                gen.generate_uniform(40, &mut rng),
+                gen.generate_uniform(20, &mut rng),
+            )
+        })
+        .collect();
+    let cfg = ShiftExConfig { participants_per_round: 8, ..ShiftExConfig::default() };
+    let mut shiftex = ShiftEx::new(cfg, spec, &mut rng);
+    shiftex.bootstrap(&parties, 8, &mut rng);
+
+    let fog = Regime::corrupted(Corruption::Fog, 5);
+    let mut created_total = 0;
+    let mut reused_total = 0;
+    for window in 0..6 {
+        // Alternate fog and clear for the first half of the federation.
+        let regime = if window % 2 == 0 { fog.clone() } else { Regime::clear() };
+        for (i, p) in parties.iter_mut().enumerate() {
+            let r = if i < 5 { regime.clone() } else { Regime::clear() };
+            p.advance_window(
+                gen.generate_with_regime(40, &r, &mut rng),
+                gen.generate_with_regime(20, &r, &mut rng),
+            );
+        }
+        let report = shiftex.process_window(&parties, &mut rng);
+        created_total += report.created.len();
+        reused_total += report.reused.len();
+        for _ in 0..4 {
+            ShiftEx::train_round(&mut shiftex, &parties, &mut rng);
+        }
+    }
+    assert!(created_total >= 1, "the fog regime must have spawned an expert");
+    assert!(
+        reused_total >= 2,
+        "alternating regimes must trigger latent-memory reuse (got {reused_total})"
+    );
+    assert!(
+        shiftex.num_experts() <= 4,
+        "recurring regimes must not proliferate experts: {}",
+        shiftex.num_experts()
+    );
+}
+
+#[test]
+fn strategy_trait_objects_are_interchangeable() {
+    let scenario = Scenario::build(DatasetKind::Cifar10C, SimScale::Smoke, 8);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut strategies: Vec<Box<dyn ContinualStrategy>> = StrategyKind::all()
+        .into_iter()
+        .map(|k| shiftex::experiments::make_strategy(k, &scenario, &mut rng))
+        .collect();
+    let parties = scenario.initial_parties(&mut rng);
+    for s in strategies.iter_mut() {
+        s.begin_window(0, &parties, &mut rng);
+        s.train_round(&parties, &mut rng);
+        let acc = s.evaluate(&parties);
+        assert!((0.0..=1.0).contains(&acc), "{}: accuracy {acc}", s.name());
+        assert!(s.num_models() >= 1);
+    }
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_runs() {
+    let scenario = Scenario::build(DatasetKind::Femnist, SimScale::Smoke, 13);
+    let cfg = ShiftExConfig::default();
+    let a = run_once(StrategyKind::ShiftEx, &scenario, 77, &cfg);
+    let b = run_once(StrategyKind::ShiftEx, &scenario, 77, &cfg);
+    assert_eq!(a, b, "runs must be bit-identical under one seed");
+}

@@ -1,0 +1,118 @@
+//! Privacy-boundary integration tests: what crosses the party → aggregator
+//! boundary is bounded aggregate statistics, the TEE path protects them, and
+//! communication is metered.
+
+use rand::{rngs::StdRng, SeedableRng};
+use shiftex::core::{compute_shift_stats, ShiftEx, ShiftExConfig};
+use shiftex::data::{ImageShape, PrototypeGenerator};
+use shiftex::fl::{CommLedger, Party, PartyId};
+use shiftex::nn::{ArchSpec, Sequential};
+use shiftex::tee::{Enclave, TeeError};
+
+fn party(samples: usize, rng: &mut StdRng) -> (Party, PrototypeGenerator) {
+    let gen = PrototypeGenerator::new(ImageShape::new(1, 8, 8), 4, rng);
+    let p = Party::new(
+        PartyId(0),
+        gen.generate_uniform(samples, rng),
+        gen.generate_uniform(samples / 2, rng),
+    );
+    (p, gen)
+}
+
+#[test]
+fn shift_stats_are_bounded_aggregates_not_raw_data() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let (party, _gen) = party(500, &mut rng);
+    let spec = ArchSpec::mlp("t", 64, &[16], 4);
+    let model = Sequential::build(&spec, &mut rng);
+
+    let profile_rows = 32;
+    let stats = compute_shift_stats(&party, &model, profile_rows, None, &mut rng);
+
+    // The profile is capped regardless of how much raw data the party holds…
+    assert_eq!(stats.profile.len(), profile_rows);
+    // …lives in embedding space, not input space…
+    assert_eq!(stats.profile.dim(), model.embed_dim());
+    assert_ne!(stats.profile.dim(), party.train().shape().dim());
+    // …and the histogram is normalised (no raw counts leak).
+    assert!((stats.label_hist.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+}
+
+#[test]
+fn enclave_protects_statistics_in_transit() {
+    let enclave = Enclave::new(42, 0.05);
+    let scores = vec![0.01f32, 0.42, 0.03];
+    let sealed = enclave.seal_value(&scores);
+
+    // The aggregator-side ciphertext reveals nothing readable.
+    let plaintext_json = serde_json::to_vec(&scores).unwrap();
+    assert_ne!(sealed.ciphertext(), plaintext_json.as_slice());
+
+    // Only the owning enclave can unseal; a different enclave fails closed.
+    let other = Enclave::new(43, 0.05);
+    assert_eq!(other.unseal_value::<Vec<f32>>(&sealed), Err(TeeError::IntegrityFailure));
+
+    // Enclave-side thresholding matches the plaintext computation.
+    let sealed_verdicts = enclave
+        .run(&sealed, |s: Vec<f32>| s.into_iter().map(|v| v > 0.1).collect::<Vec<bool>>())
+        .unwrap();
+    let verdicts: Vec<bool> = enclave.unseal_value(&sealed_verdicts).unwrap();
+    assert_eq!(verdicts, vec![false, true, false]);
+}
+
+#[test]
+fn communication_is_metered_per_exchange() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let gen = PrototypeGenerator::new(ImageShape::new(1, 4, 4), 3, &mut rng);
+    let parties: Vec<Party> = (0..4)
+        .map(|i| {
+            Party::new(
+                PartyId(i),
+                gen.generate_uniform(24, &mut rng),
+                gen.generate_uniform(12, &mut rng),
+            )
+        })
+        .collect();
+    let spec = ArchSpec::mlp("t", 16, &[8], 3);
+    let init = Sequential::build(&spec, &mut rng).params_flat();
+    let ledger = CommLedger::new();
+    let cohort: Vec<&Party> = parties.iter().collect();
+    shiftex::fl::run_round(
+        &spec,
+        &init,
+        &cohort,
+        &shiftex::fl::RoundConfig::default(),
+        Some(&ledger),
+        &mut rng,
+    );
+    let totals = ledger.totals();
+    // One download + one upload per participant, each ≈ 4 bytes/param.
+    assert_eq!(totals.messages, 8);
+    let expected = (init.len() * 4 + 32) as u64 * 4;
+    assert_eq!(totals.up_bytes, expected);
+    assert_eq!(totals.down_bytes, expected);
+}
+
+#[test]
+fn aggregator_state_contains_no_raw_samples() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let gen = PrototypeGenerator::new(ImageShape::new(1, 8, 8), 4, &mut rng);
+    let parties: Vec<Party> = (0..6)
+        .map(|i| {
+            Party::new(
+                PartyId(i),
+                gen.generate_uniform(30, &mut rng),
+                gen.generate_uniform(15, &mut rng),
+            )
+        })
+        .collect();
+    let spec = ArchSpec::mlp("t", 64, &[16], 4);
+    let mut shiftex = ShiftEx::new(ShiftExConfig::default(), spec, &mut rng);
+    shiftex.bootstrap(&parties, 2, &mut rng);
+
+    // Everything the aggregator retains per party is embedding-space.
+    for stats in shiftex.party_stats() {
+        assert_eq!(stats.profile.dim(), 16, "profiles must be embeddings, not inputs");
+        assert!(stats.profile.len() <= shiftex.config().profile_rows);
+    }
+}

@@ -1,0 +1,112 @@
+//! Integration tests for the middleware-operations features: aggregator
+//! crash/recovery via registry snapshots, and expert-pool compression via
+//! distillation — run against a live end-to-end scenario.
+
+use rand::{rngs::StdRng, SeedableRng};
+use shiftex::core::{
+    distill_experts, ContinualStrategy, DistillConfig, RegistrySnapshot, ShiftEx, ShiftExConfig,
+};
+use shiftex::data::{DatasetKind, SimScale};
+use shiftex::experiments::Scenario;
+
+/// Runs a scenario half-way, snapshots, "restarts" the aggregator, restores,
+/// and verifies the restored instance serves identically and can continue.
+#[test]
+fn aggregator_recovers_from_snapshot_mid_scenario() {
+    let scenario = Scenario::build(DatasetKind::Cifar10C, SimScale::Smoke, 17);
+    let mut rng = StdRng::seed_from_u64(1);
+    let cfg = ShiftExConfig {
+        participants_per_round: scenario.participants_per_round(),
+        ..ShiftExConfig::default()
+    };
+    let mut sx = ShiftEx::new(cfg.clone(), scenario.spec.clone(), &mut rng);
+    let mut parties = scenario.initial_parties(&mut rng);
+    sx.begin_window(0, &parties, &mut rng);
+    for _ in 0..scenario.bootstrap_rounds() {
+        ShiftEx::train_round(&mut sx, &parties, &mut rng);
+    }
+    // Two shifted windows so the registry holds real structure.
+    for w in 1..=2 {
+        scenario.advance(&mut parties, w, &mut rng);
+        sx.process_window(&parties, &mut rng);
+        for _ in 0..scenario.rounds_per_window {
+            ShiftEx::train_round(&mut sx, &parties, &mut rng);
+        }
+    }
+
+    // Snapshot → JSON → fresh process → restore.
+    let json = sx.snapshot().to_json().expect("snapshot serialises");
+    let mut restored = ShiftEx::new(cfg, scenario.spec.clone(), &mut rng);
+    restored.restore(RegistrySnapshot::from_json(&json).expect("snapshot parses"));
+
+    assert_eq!(restored.num_experts(), sx.num_experts());
+    assert_eq!(restored.assignments(), sx.assignments());
+    let a = sx.evaluate(&parties);
+    let b = restored.evaluate(&parties);
+    assert!((a - b).abs() < 1e-6, "restored serving accuracy {b} != {a}");
+
+    // The restored aggregator keeps operating: next window processes and
+    // trains without panicking, and thresholds carried over.
+    scenario.advance(&mut parties, 3, &mut rng);
+    let report = restored.process_window(&parties, &mut rng);
+    assert!(report.delta_cov > 0.0, "thresholds must survive restore");
+    ShiftEx::train_round(&mut restored, &parties, &mut rng);
+}
+
+/// Distils a multi-expert pool into one student on regime-covering reference
+/// data and verifies the student retains most of the mixture's accuracy.
+#[test]
+fn expert_pool_compresses_via_distillation() {
+    let scenario = Scenario::build(DatasetKind::Cifar10C, SimScale::Smoke, 23);
+    let mut rng = StdRng::seed_from_u64(2);
+    let cfg = ShiftExConfig {
+        participants_per_round: scenario.participants_per_round(),
+        ..ShiftExConfig::default()
+    };
+    let mut sx = ShiftEx::new(cfg, scenario.spec.clone(), &mut rng);
+    let mut parties = scenario.initial_parties(&mut rng);
+    sx.begin_window(0, &parties, &mut rng);
+    for _ in 0..scenario.bootstrap_rounds() {
+        ShiftEx::train_round(&mut sx, &parties, &mut rng);
+    }
+    for w in 1..=scenario.eval_windows() {
+        scenario.advance(&mut parties, w, &mut rng);
+        sx.process_window(&parties, &mut rng);
+        for _ in 0..scenario.rounds_per_window {
+            ShiftEx::train_round(&mut sx, &parties, &mut rng);
+        }
+    }
+
+    // Regime-covering reference set (clear + every pool regime).
+    let mut pool_rng = StdRng::seed_from_u64(3);
+    let pool = scenario.profile.regime_pool(&mut pool_rng);
+    let parts: Vec<_> = pool
+        .iter()
+        .map(|r| scenario.generator.generate_with_regime(120, r, &mut rng))
+        .collect();
+    let refs: Vec<_> = parts.iter().collect();
+    let reference = shiftex::data::Dataset::concat(&refs);
+
+    let experts: Vec<_> = sx.registry().iter().collect();
+    let report = distill_experts(
+        &scenario.spec,
+        &experts,
+        reference.features(),
+        &DistillConfig::default(),
+        &mut rng,
+    );
+    assert!(
+        report.teacher_agreement > 0.8,
+        "student must track the teacher mixture: {}",
+        report.teacher_agreement
+    );
+
+    let moe_acc = sx.evaluate(&parties);
+    let student_acc = shiftex::core::strategy::evaluate_assigned(&scenario.spec, &parties, |_| {
+        report.student_params.as_slice()
+    });
+    assert!(
+        student_acc > moe_acc - 0.25,
+        "student {student_acc} should retain most of the mixture's {moe_acc}"
+    );
+}
