@@ -32,7 +32,11 @@ pub struct FedDriftConfig {
 
 impl Default for FedDriftConfig {
     fn default() -> Self {
-        Self { loss_tolerance: 0.35, max_models: 6, max_clusters: 3 }
+        Self {
+            loss_tolerance: 0.35,
+            max_models: 6,
+            max_clusters: 3,
+        }
     }
 }
 
@@ -62,7 +66,11 @@ impl FedDrift {
             models: vec![params],
             assignment: HashMap::new(),
             prev_loss: HashMap::new(),
-            round_cfg: RoundConfig { train, participants_per_round, parallel: false },
+            round_cfg: RoundConfig {
+                train,
+                participants_per_round,
+                parallel: false,
+            },
             cfg,
         }
     }
@@ -73,8 +81,11 @@ impl FedDrift {
 
     /// Per-party loss of its local data under every model.
     fn loss_matrix(&self, parties: &[Party]) -> Vec<Vec<f32>> {
-        let built: Vec<Sequential> =
-            self.models.iter().map(|m| build_model(&self.spec, m)).collect();
+        let built: Vec<Sequential> = self
+            .models
+            .iter()
+            .map(|m| build_model(&self.spec, m))
+            .collect();
         parties
             .iter()
             .map(|p| {
@@ -169,8 +180,14 @@ impl ContinualStrategy for FedDrift {
             if cohort.is_empty() {
                 continue;
             }
-            let outcome =
-                run_round(&self.spec, &self.models[model_idx], &cohort, &self.round_cfg, None, rng);
+            let outcome = run_round(
+                &self.spec,
+                &self.models[model_idx],
+                &cohort,
+                &self.round_cfg,
+                None,
+                rng,
+            );
             self.models[model_idx] = outcome.params;
             // Keep each party's reference loss fresh so window-boundary
             // drift detection compares against the *trained* model.
@@ -181,7 +198,9 @@ impl ContinualStrategy for FedDrift {
     }
 
     fn evaluate(&self, parties: &[Party]) -> f32 {
-        evaluate_assigned(&self.spec, parties, |id| self.models[self.model_of(id)].as_slice())
+        evaluate_assigned(&self.spec, parties, |id| {
+            self.models[self.model_of(id)].as_slice()
+        })
     }
 
     fn model_index(&self, party: PartyId) -> usize {
@@ -218,8 +237,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let (gen, mut parties) = make(8, &mut rng);
         let spec = ArchSpec::mlp("t", 64, &[16], 3);
-        let mut strat =
-            FedDrift::new(spec, TrainConfig::default(), 8, FedDriftConfig::default(), &mut rng);
+        let mut strat = FedDrift::new(
+            spec,
+            TrainConfig::default(),
+            8,
+            FedDriftConfig::default(),
+            &mut rng,
+        );
         strat.begin_window(0, &parties, &mut rng);
         for _ in 0..6 {
             strat.train_round(&parties, &mut rng);
@@ -235,7 +259,10 @@ mod tests {
                     gen.generate_with_regime(16, &regime, &mut rng),
                 )
             } else {
-                (gen.generate_uniform(40, &mut rng), gen.generate_uniform(16, &mut rng))
+                (
+                    gen.generate_uniform(40, &mut rng),
+                    gen.generate_uniform(16, &mut rng),
+                )
             };
             p.advance_window(train, test);
         }
@@ -257,8 +284,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let (gen, mut parties) = make(6, &mut rng);
         let spec = ArchSpec::mlp("t", 64, &[16], 3);
-        let mut strat =
-            FedDrift::new(spec, TrainConfig::default(), 6, FedDriftConfig::default(), &mut rng);
+        let mut strat = FedDrift::new(
+            spec,
+            TrainConfig::default(),
+            6,
+            FedDriftConfig::default(),
+            &mut rng,
+        );
         strat.begin_window(0, &parties, &mut rng);
         for w in 1..3 {
             for p in parties.iter_mut() {
@@ -279,7 +311,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let (gen, mut parties) = make(6, &mut rng);
         let spec = ArchSpec::mlp("t", 64, &[16], 3);
-        let cfg = FedDriftConfig { max_models: 2, loss_tolerance: 0.01, ..Default::default() };
+        let cfg = FedDriftConfig {
+            max_models: 2,
+            loss_tolerance: 0.01,
+            ..Default::default()
+        };
         let mut strat = FedDrift::new(spec, TrainConfig::default(), 6, cfg, &mut rng);
         strat.begin_window(0, &parties, &mut rng);
         for w in 1..5 {

@@ -4,8 +4,8 @@
 
 use rand::rngs::StdRng;
 use shiftex_core::strategy::{evaluate_assigned, ContinualStrategy};
-use shiftex_fl::{run_round, Party, PartyId, RoundConfig, UniformSelector};
 use shiftex_fl::ParticipantSelector;
+use shiftex_fl::{run_round, Party, PartyId, RoundConfig, UniformSelector};
 use shiftex_nn::{ArchSpec, Sequential, TrainConfig};
 
 /// The FedProx baseline strategy.
@@ -32,11 +32,18 @@ impl FedProx {
         assert!(mu >= 0.0, "prox coefficient must be non-negative");
         let params = Sequential::build(&spec, rng).params_flat();
         let round_cfg = RoundConfig {
-            train: TrainConfig { prox_mu: Some(mu), ..train },
+            train: TrainConfig {
+                prox_mu: Some(mu),
+                ..train
+            },
             participants_per_round,
             parallel: false,
         };
-        Self { spec, params, round_cfg }
+        Self {
+            spec,
+            params,
+            round_cfg,
+        }
     }
 
     /// Current global parameters.
@@ -65,7 +72,14 @@ impl ContinualStrategy for FedProx {
         if cohort.is_empty() {
             return;
         }
-        let outcome = run_round(&self.spec, &self.params, &cohort, &self.round_cfg, None, rng);
+        let outcome = run_round(
+            &self.spec,
+            &self.params,
+            &cohort,
+            &self.round_cfg,
+            None,
+            rng,
+        );
         self.params = outcome.params;
     }
 

@@ -36,7 +36,11 @@ impl Fielding {
         Self {
             spec,
             params,
-            round_cfg: RoundConfig { train, participants_per_round, parallel: false },
+            round_cfg: RoundConfig {
+                train,
+                participants_per_round,
+                parallel: false,
+            },
             selector: None,
             max_label_clusters: 4,
         }
@@ -44,7 +48,9 @@ impl Fielding {
 
     /// The current number of label clusters (after the last re-cluster).
     pub fn num_label_clusters(&self) -> usize {
-        self.selector.as_ref().map_or(0, |s| s.clusters().clusters.len())
+        self.selector
+            .as_ref()
+            .map_or(0, |s| s.clusters().clusters.len())
     }
 }
 
@@ -67,7 +73,9 @@ impl ContinualStrategy for Fielding {
 
     fn train_round(&mut self, parties: &[Party], rng: &mut StdRng) {
         let infos: Vec<_> = parties.iter().map(Party::info).collect();
-        let Some(selector) = self.selector.as_mut() else { return };
+        let Some(selector) = self.selector.as_mut() else {
+            return;
+        };
         let chosen = selector.select(&infos, self.round_cfg.participants_per_round, rng);
         let chosen_set: std::collections::HashSet<PartyId> = chosen.into_iter().collect();
         let cohort: Vec<&Party> = parties
@@ -77,7 +85,14 @@ impl ContinualStrategy for Fielding {
         if cohort.is_empty() {
             return;
         }
-        let outcome = run_round(&self.spec, &self.params, &cohort, &self.round_cfg, None, rng);
+        let outcome = run_round(
+            &self.spec,
+            &self.params,
+            &cohort,
+            &self.round_cfg,
+            None,
+            rng,
+        );
         self.params = outcome.params;
     }
 
@@ -107,7 +122,11 @@ mod tests {
         // Half the parties class-0-heavy, half class-3-heavy.
         let parties: Vec<Party> = (0..8)
             .map(|i| {
-                let weights = if i < 4 { vec![8.0, 1.0, 1.0, 1.0] } else { vec![1.0, 1.0, 1.0, 8.0] };
+                let weights = if i < 4 {
+                    vec![8.0, 1.0, 1.0, 1.0]
+                } else {
+                    vec![1.0, 1.0, 1.0, 8.0]
+                };
                 Party::new(
                     PartyId(i),
                     gen.generate(32, &weights, &mut rng),

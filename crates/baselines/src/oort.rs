@@ -27,7 +27,10 @@ pub struct OortConfig {
 
 impl Default for OortConfig {
     fn default() -> Self {
-        Self { exploration_fraction: 0.3, utility_decay: 0.98 }
+        Self {
+            exploration_fraction: 0.3,
+            utility_decay: 0.98,
+        }
     }
 }
 
@@ -55,7 +58,11 @@ impl Oort {
         Self {
             spec,
             params,
-            round_cfg: RoundConfig { train, participants_per_round, parallel: false },
+            round_cfg: RoundConfig {
+                train,
+                participants_per_round,
+                parallel: false,
+            },
             cfg,
             utilities: HashMap::new(),
         }
@@ -122,7 +129,14 @@ impl ContinualStrategy for Oort {
         if cohort.is_empty() {
             return;
         }
-        let outcome = run_round(&self.spec, &self.params, &cohort, &self.round_cfg, None, rng);
+        let outcome = run_round(
+            &self.spec,
+            &self.params,
+            &cohort,
+            &self.round_cfg,
+            None,
+            rng,
+        );
         self.params = outcome.params;
         // Decay all utilities, then refresh the cohort's from observed loss.
         for u in self.utilities.values_mut() {
@@ -172,7 +186,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let parties = parties(8, &mut rng);
         let spec = ArchSpec::mlp("t", 16, &[10], 3);
-        let mut strat = Oort::new(spec, TrainConfig::default(), 4, OortConfig::default(), &mut rng);
+        let mut strat = Oort::new(
+            spec,
+            TrainConfig::default(),
+            4,
+            OortConfig::default(),
+            &mut rng,
+        );
         let before = strat.evaluate(&parties);
         for _ in 0..10 {
             strat.train_round(&parties, &mut rng);
@@ -188,7 +208,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let parties = parties(10, &mut rng);
         let spec = ArchSpec::mlp("t", 16, &[8], 3);
-        let mut strat = Oort::new(spec, TrainConfig::default(), 3, OortConfig::default(), &mut rng);
+        let mut strat = Oort::new(
+            spec,
+            TrainConfig::default(),
+            3,
+            OortConfig::default(),
+            &mut rng,
+        );
         for _ in 0..20 {
             strat.train_round(&parties, &mut rng);
         }
@@ -200,8 +226,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let parties = parties(6, &mut rng);
         let spec = ArchSpec::mlp("t", 16, &[8], 3);
-        let mut strat =
-            Oort::new(spec, TrainConfig::default(), 2, OortConfig { exploration_fraction: 0.0, utility_decay: 1.0 }, &mut rng);
+        let mut strat = Oort::new(
+            spec,
+            TrainConfig::default(),
+            2,
+            OortConfig {
+                exploration_fraction: 0.0,
+                utility_decay: 1.0,
+            },
+            &mut rng,
+        );
         strat.utilities.insert(PartyId(3), 100.0);
         strat.utilities.insert(PartyId(4), 50.0);
         strat.utilities.insert(PartyId(0), 1.0);

@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{rngs::StdRng, SeedableRng};
-use shiftex_detect::{jsd, mmd2_biased, mmd2_linear, mmd2_unbiased, RbfKernel, ThresholdCalibrator};
+use shiftex_detect::{
+    jsd, mmd2_biased, mmd2_linear, mmd2_unbiased, RbfKernel, ThresholdCalibrator,
+};
 use shiftex_tensor::Matrix;
 
 fn bench_mmd(c: &mut Criterion) {

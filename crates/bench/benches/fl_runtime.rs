@@ -33,7 +33,10 @@ fn bench_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("federated_round");
     group.sample_size(10);
     for parallel in [false, true] {
-        let cfg = RoundConfig { parallel, ..RoundConfig::default() };
+        let cfg = RoundConfig {
+            parallel,
+            ..RoundConfig::default()
+        };
         let label = if parallel { "parallel" } else { "serial" };
         group.bench_function(format!("8_parties_{label}"), |b| {
             b.iter(|| {
@@ -52,7 +55,9 @@ fn bench_fedavg(c: &mut Criterion) {
         .collect();
     let refs: Vec<&[f32]> = models.iter().map(Vec::as_slice).collect();
     let counts = vec![32usize; 10];
-    c.bench_function("fedavg_10x100k_params", |b| b.iter(|| fedavg(&refs, &counts)));
+    c.bench_function("fedavg_10x100k_params", |b| {
+        b.iter(|| fedavg(&refs, &counts))
+    });
 }
 
 fn bench_window_step(c: &mut Criterion) {
@@ -66,7 +71,10 @@ fn bench_window_step(c: &mut Criterion) {
                     ArchSpec::resnet18_lite(shiftex_nn::InputShape { c: 3, h: 8, w: 8 }, 10, 24);
                 let mut rng = StdRng::seed_from_u64(5);
                 let mut shiftex = ShiftEx::new(
-                    ShiftExConfig { participants_per_round: 8, ..Default::default() },
+                    ShiftExConfig {
+                        participants_per_round: 8,
+                        ..Default::default()
+                    },
                     spec,
                     &mut rng,
                 );
@@ -79,7 +87,10 @@ fn bench_window_step(c: &mut Criterion) {
                             gen.generate_with_regime(20, &fog, &mut rng),
                         )
                     } else {
-                        (gen.generate_uniform(40, &mut rng), gen.generate_uniform(20, &mut rng))
+                        (
+                            gen.generate_uniform(40, &mut rng),
+                            gen.generate_uniform(20, &mut rng),
+                        )
                     };
                     p.advance_window(tr, te);
                 }

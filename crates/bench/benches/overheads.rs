@@ -54,7 +54,9 @@ fn bench_assignment(c: &mut Criterion) {
     let mut group = c.benchmark_group("expert_assignment");
     for &parties in &[200usize, 1000] {
         let problem = AssignmentProblem {
-            cost: (0..parties).map(|i| vec![0.1 * (i % 7) as f32, 0.2, 0.35]).collect(),
+            cost: (0..parties)
+                .map(|i| vec![0.1 * (i % 7) as f32, 0.2, 0.35])
+                .collect(),
             is_new: vec![false, false, true],
             party_hists: vec![vec![0.1; 10]; parties],
             lambda: 0.5,
@@ -85,7 +87,8 @@ fn bench_consolidation(c: &mut Criterion) {
                 let mut rng = StdRng::seed_from_u64(6);
                 let mut registry = ExpertRegistry::new();
                 for i in 0..6 {
-                    let params = Matrix::randn(1, 50_000, i as f32 * 0.001, 1.0, &mut rng).into_vec();
+                    let params =
+                        Matrix::randn(1, 50_000, i as f32 * 0.001, 1.0, &mut rng).into_vec();
                     let profile = EmbeddingProfile::from_embeddings(
                         &Matrix::randn(32, 24, i as f32, 1.0, &mut rng),
                         32,
@@ -100,5 +103,10 @@ fn bench_consolidation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_clustering, bench_assignment, bench_consolidation);
+criterion_group!(
+    benches,
+    bench_clustering,
+    bench_assignment,
+    bench_consolidation
+);
 criterion_main!(benches);

@@ -13,6 +13,11 @@ pub struct KMeans {
     pub max_iter: usize,
     /// Convergence tolerance on total centroid movement.
     pub tol: f32,
+    /// Independent k-means++ restarts; the lowest-inertia fit wins. Single
+    /// restarts leave validity indices (Davies–Bouldin) hostage to seeding
+    /// luck, which destabilises the k-selection sweep in
+    /// [`crate::choose_k`].
+    pub n_init: usize,
 }
 
 /// Result of a k-means fit.
@@ -42,28 +47,49 @@ impl KMeansResult {
 
 impl KMeans {
     /// Creates a k-means configuration with defaults (`max_iter` 50,
-    /// `tol` 1e-4).
+    /// `tol` 1e-4, `n_init` 4).
     ///
     /// # Panics
     ///
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        Self { k, max_iter: 50, tol: 1e-4 }
+        Self {
+            k,
+            max_iter: 50,
+            tol: 1e-4,
+            n_init: 4,
+        }
     }
 
-    /// Fits k-means to `points` (each a feature vector of equal length).
-    ///
-    /// Uses k-means++ seeding; when `points.len() <= k` each point becomes
-    /// its own cluster. Empty clusters are removed from the result.
+    /// Fits k-means to `points` (each a feature vector of equal length),
+    /// running [`KMeans::n_init`] k-means++ restarts and keeping the
+    /// lowest-inertia fit. When `points.len() <= k` each point becomes its
+    /// own cluster. Empty clusters are removed from the result.
     ///
     /// # Panics
     ///
-    /// Panics if `points` is empty or dimensions differ.
+    /// Panics if `points` is empty, dimensions differ, or `n_init == 0`.
     pub fn fit(&self, points: &[Vec<f32>], rng: &mut impl Rng) -> KMeansResult {
+        assert!(self.n_init > 0, "n_init must be positive");
+        let mut best: Option<KMeansResult> = None;
+        for _ in 0..self.n_init {
+            let fit = self.fit_once(points, rng);
+            if best.as_ref().is_none_or(|b| fit.inertia < b.inertia) {
+                best = Some(fit);
+            }
+        }
+        best.expect("n_init > 0 guarantees at least one fit")
+    }
+
+    /// One k-means++ seeded Lloyd run.
+    fn fit_once(&self, points: &[Vec<f32>], rng: &mut impl Rng) -> KMeansResult {
         assert!(!points.is_empty(), "kmeans on empty point set");
         let dim = points[0].len();
-        assert!(points.iter().all(|p| p.len() == dim), "point dimension mismatch");
+        assert!(
+            points.iter().all(|p| p.len() == dim),
+            "point dimension mismatch"
+        );
         let k = self.k.min(points.len());
 
         let mut centroids = plus_plus_init(points, k, rng);
@@ -103,8 +129,11 @@ impl KMeans {
         let mut used: Vec<usize> = assignment.clone();
         used.sort_unstable();
         used.dedup();
-        let remap: std::collections::HashMap<usize, usize> =
-            used.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        let remap: std::collections::HashMap<usize, usize> = used
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
         let centroids: Vec<Vec<f32>> = used.iter().map(|&i| centroids[i].clone()).collect();
         for a in assignment.iter_mut() {
             *a = remap[a];
@@ -114,7 +143,12 @@ impl KMeans {
             .zip(assignment.iter())
             .map(|(p, &a)| vector::sq_dist(p, &centroids[a]))
             .sum();
-        KMeansResult { centroids, assignment, inertia, iterations }
+        KMeansResult {
+            centroids,
+            assignment,
+            inertia,
+            iterations,
+        }
     }
 }
 
@@ -124,10 +158,7 @@ fn plus_plus_init(points: &[Vec<f32>], k: usize, rng: &mut impl Rng) -> Vec<Vec<
     let mut centroids = Vec::with_capacity(k);
     centroids.push(points[rng.random_range(0..points.len())].clone());
     while centroids.len() < k {
-        let d2: Vec<f32> = points
-            .iter()
-            .map(|p| nearest(p, &centroids).1)
-            .collect();
+        let d2: Vec<f32> = points.iter().map(|p| nearest(p, &centroids).1).collect();
         let total: f32 = d2.iter().sum();
         let next = if total <= 1e-12 {
             // All points coincide with chosen centroids; pick uniformly.

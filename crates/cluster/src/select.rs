@@ -74,14 +74,18 @@ pub fn choose_k(points: &[Vec<f32>], k_max: usize, rng: &mut impl Rng) -> KSelec
         .fold(f32::INFINITY, f32::min);
     if min_db.is_finite() {
         // Smallest admissible k whose DB is within 10 % of the minimum.
-        for cand in 1..fits.len() {
-            if admissible(cand) && db_scores[cand] <= min_db * 1.1 + 1e-6 {
-                best = cand;
-                break;
-            }
+        if let Some(cand) =
+            (1..fits.len()).find(|&c| admissible(c) && db_scores[c] <= min_db * 1.1 + 1e-6)
+        {
+            best = cand;
         }
     }
-    KSelection { k: best + 1, result: fits.swap_remove(best), db_scores, inertias }
+    KSelection {
+        k: best + 1,
+        result: fits.swap_remove(best),
+        db_scores,
+        inertias,
+    }
 }
 
 #[cfg(test)]

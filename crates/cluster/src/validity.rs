@@ -121,7 +121,10 @@ mod tests {
         let (p2, a2, c2) = blobs(0.5);
         let good = davies_bouldin(&p1, &a1, &c1);
         let bad = davies_bouldin(&p2, &a2, &c2);
-        assert!(good < bad, "well-separated DB {good} should be < overlapping DB {bad}");
+        assert!(
+            good < bad,
+            "well-separated DB {good} should be < overlapping DB {bad}"
+        );
     }
 
     #[test]

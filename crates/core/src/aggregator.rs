@@ -200,10 +200,11 @@ impl ShiftEx {
             .iter()
             .map(|p| compute_shift_stats(p, &template, self.cfg.profile_rows, None, rng))
             .collect();
-        let profile_refs: Vec<&EmbeddingProfile> =
-            provisional.iter().map(|s| &s.profile).collect();
+        let profile_refs: Vec<&EmbeddingProfile> = provisional.iter().map(|s| &s.profile).collect();
         let pooled = EmbeddingProfile::pool(&profile_refs, self.cfg.profile_rows * 2, rng);
-        let expert0 = self.registry.create(self.bootstrap_params.clone(), &pooled, 0);
+        let expert0 = self
+            .registry
+            .create(self.bootstrap_params.clone(), &pooled, 0);
         for p in parties {
             self.assignment.insert(p.id(), expert0);
         }
@@ -216,7 +217,12 @@ impl ShiftEx {
         }
         // Freeze the encoder at the bootstrap-trained global model and keep
         // θ0 = that model as the clone template for new experts.
-        let trained = self.registry.get(expert0).expect("expert 0 lives").params.clone();
+        let trained = self
+            .registry
+            .get(expert0)
+            .expect("expert 0 lives")
+            .params
+            .clone();
         self.bootstrap_params = trained.clone();
         self.encoder_params = trained;
 
@@ -227,11 +233,12 @@ impl ShiftEx {
             .iter()
             .map(|p| compute_shift_stats(p, &encoder, self.cfg.profile_rows, None, rng))
             .collect();
-        let profile_refs: Vec<&EmbeddingProfile> =
-            final_stats.iter().map(|s| &s.profile).collect();
+        let profile_refs: Vec<&EmbeddingProfile> = final_stats.iter().map(|s| &s.profile).collect();
         let pooled = EmbeddingProfile::pool(&profile_refs, self.cfg.profile_rows * 2, rng);
-        self.registry.get_mut(expert0).expect("expert 0 lives").memory =
-            crate::memory::LatentMemory::from_profile(&pooled);
+        self.registry
+            .get_mut(expert0)
+            .expect("expert 0 lives")
+            .memory = crate::memory::LatentMemory::from_profile(&pooled);
         self.stats = final_stats.into_iter().map(|s| (s.party, s)).collect();
     }
 
@@ -327,18 +334,17 @@ impl ShiftEx {
                 } else {
                     // Sub-γ cluster: local fine-tuning on the assigned expert.
                     for id in &members {
-                        let base = self
-                            .personal
-                            .get(id)
-                            .cloned()
-                            .unwrap_or_else(|| {
-                                self.registry
-                                    .get(self.expert_of(*id))
-                                    .expect("live expert")
-                                    .params
-                                    .clone()
-                            });
-                        let party = parties.iter().find(|p| p.id() == *id).expect("party exists");
+                        let base = self.personal.get(id).cloned().unwrap_or_else(|| {
+                            self.registry
+                                .get(self.expert_of(*id))
+                                .expect("live expert")
+                                .params
+                                .clone()
+                        });
+                        let party = parties
+                            .iter()
+                            .find(|p| p.id() == *id)
+                            .expect("party exists");
                         let mut cfg = self.cfg.train;
                         cfg.epochs = self.cfg.finetune_epochs;
                         let fit = train_local_params(
@@ -480,14 +486,24 @@ impl ShiftEx {
             if cohort.is_empty() {
                 continue;
             }
-            let params = self.registry.get(expert_id).expect("live expert").params.clone();
+            let params = self
+                .registry
+                .get(expert_id)
+                .expect("live expert")
+                .params
+                .clone();
             let outcome = run_round(&self.spec, &params, &cohort, &round_cfg, None, rng);
-            self.registry.get_mut(expert_id).expect("live expert").params = outcome.params;
+            self.registry
+                .get_mut(expert_id)
+                .expect("live expert")
+                .params = outcome.params;
         }
         // Personalised parties: one local continuation step.
         let personal_ids: Vec<PartyId> = self.personal.keys().copied().collect();
         for id in personal_ids {
-            let Some(party) = by_id.get(&id) else { continue };
+            let Some(party) = by_id.get(&id) else {
+                continue;
+            };
             if party.train().is_empty() {
                 continue;
             }
@@ -546,7 +562,12 @@ impl ShiftEx {
     /// memory from the previous window's data in the frozen embedding space.
     fn freeze_encoder(&mut self, parties: &[Party], rng: &mut StdRng) {
         let expert0 = self.registry.ids()[0];
-        let trained = self.registry.get(expert0).expect("expert 0 lives").params.clone();
+        let trained = self
+            .registry
+            .get(expert0)
+            .expect("expert 0 lives")
+            .params
+            .clone();
         self.bootstrap_params = trained.clone();
         self.encoder_params = trained;
         let encoder = build_model(&self.spec, &self.encoder_params);
@@ -560,13 +581,19 @@ impl ShiftEx {
                 continue;
             }
             let emb = encoder.embed(data.features());
-            profiles.push(EmbeddingProfile::from_embeddings(&emb, self.cfg.profile_rows, rng));
+            profiles.push(EmbeddingProfile::from_embeddings(
+                &emb,
+                self.cfg.profile_rows,
+                rng,
+            ));
         }
         if !profiles.is_empty() {
             let refs: Vec<&EmbeddingProfile> = profiles.iter().collect();
             let pooled = EmbeddingProfile::pool(&refs, self.cfg.profile_rows * 2, rng);
-            self.registry.get_mut(expert0).expect("expert 0 lives").memory =
-                crate::memory::LatentMemory::from_profile(&pooled);
+            self.registry
+                .get_mut(expert0)
+                .expect("expert 0 lives")
+                .memory = crate::memory::LatentMemory::from_profile(&pooled);
         }
     }
 
@@ -574,7 +601,10 @@ impl ShiftEx {
     /// data if not yet fixed.
     fn ensure_thresholds(&mut self, parties: &[Party], rng: &mut StdRng) -> CalibratedThresholds {
         if let (Some(dc), Some(dl)) = (self.cfg.delta_cov, self.cfg.delta_label) {
-            let t = CalibratedThresholds { delta_cov: dc, delta_label: dl };
+            let t = CalibratedThresholds {
+                delta_cov: dc,
+                delta_label: dl,
+            };
             self.thresholds = Some(t);
             return t;
         }
@@ -607,7 +637,10 @@ impl ShiftEx {
         let calibrator = ThresholdCalibrator::new(self.cfg.calibration_p_value, 40, 32);
         let mut t = if mats.is_empty() {
             // No stable window available: fall back to permissive defaults.
-            CalibratedThresholds { delta_cov: 0.05, delta_label: 0.1 }
+            CalibratedThresholds {
+                delta_cov: 0.05,
+                delta_label: 0.1,
+            }
         } else {
             // Shared kernel from the pooled stable embeddings.
             let mat_refs: Vec<&Matrix> = mats.iter().collect();
@@ -621,11 +654,8 @@ impl ShiftEx {
                 }
                 let half = (m.rows() / 2).min(self.cfg.profile_rows);
                 for _ in 0..calibrator.iterations.min(20) {
-                    let idx = shiftex_tensor::rngx::sample_without_replacement(
-                        rng,
-                        m.rows(),
-                        2 * half,
-                    );
+                    let idx =
+                        shiftex_tensor::rngx::sample_without_replacement(rng, m.rows(), 2 * half);
                     let a = m.select_rows(&idx[..half]);
                     let b = m.select_rows(&idx[half..]);
                     nulls.push(shiftex_detect::mmd2_unbiased(&a, &b, &kernel));
@@ -638,7 +668,10 @@ impl ShiftEx {
             };
             let delta_label = calibrator.calibrate_label(&hists, count.max(1), rng);
             self.kernel = Some(kernel);
-            CalibratedThresholds { delta_cov, delta_label }
+            CalibratedThresholds {
+                delta_cov,
+                delta_label,
+            }
         };
         if let Some(dc) = self.cfg.delta_cov {
             t.delta_cov = dc;
@@ -674,7 +707,11 @@ impl ContinualStrategy for ShiftEx {
 
     fn model_index(&self, party: PartyId) -> usize {
         let eid = self.expert_of(party);
-        self.registry.ids().iter().position(|&id| id == eid).unwrap_or(0)
+        self.registry
+            .ids()
+            .iter()
+            .position(|&id| id == eid)
+            .unwrap_or(0)
     }
 
     fn num_models(&self) -> usize {
@@ -720,7 +757,10 @@ mod tests {
                     gen.generate_with_regime(samples / 2, regime, rng),
                 )
             } else {
-                (gen.generate_uniform(samples, rng), gen.generate_uniform(samples / 2, rng))
+                (
+                    gen.generate_uniform(samples, rng),
+                    gen.generate_uniform(samples / 2, rng),
+                )
             };
             p.advance_window(train, test);
         }
@@ -731,7 +771,10 @@ mod tests {
         let gen = PrototypeGenerator::new(ImageShape::new(1, 8, 8), 4, &mut rng);
         let parties = make_parties(&gen, n, 48, &mut rng);
         let spec = ArchSpec::mlp("t", 64, &[24, 12], 4);
-        let cfg = ShiftExConfig { participants_per_round: n, ..ShiftExConfig::default() };
+        let cfg = ShiftExConfig {
+            participants_per_round: n,
+            ..ShiftExConfig::default()
+        };
         let shiftex = ShiftEx::new(cfg, spec, &mut rng);
         (gen, parties, shiftex, rng)
     }
@@ -750,7 +793,11 @@ mod tests {
         shiftex.bootstrap(&parties, 3, &mut rng);
         advance_with_regime(&mut parties, &gen, &Regime::clear(), &[], 48, &mut rng);
         let report = shiftex.process_window(&parties, &mut rng);
-        assert!(report.created.is_empty(), "stable window spawned {:?}", report.created);
+        assert!(
+            report.created.is_empty(),
+            "stable window spawned {:?}",
+            report.created
+        );
         assert_eq!(shiftex.num_experts(), 1);
     }
 
@@ -780,7 +827,7 @@ mod tests {
         let (gen, mut parties, mut shiftex, mut rng) = setup(8);
         shiftex.bootstrap(&parties, 3, &mut rng);
         let fog = Regime::corrupted(Corruption::Fog, 4);
-        let mut rounds = |s: &mut ShiftEx, parties: &[Party], rng: &mut StdRng| {
+        let rounds = |s: &mut ShiftEx, parties: &[Party], rng: &mut StdRng| {
             for _ in 0..2 {
                 ShiftEx::train_round(s, parties, rng);
             }
@@ -825,7 +872,10 @@ mod tests {
             ShiftEx::train_round(&mut shiftex, &parties, &mut rng);
         }
         let after = shiftex.evaluate(&parties);
-        assert!(after > before, "training should recover accuracy: {before} -> {after}");
+        assert!(
+            after > before,
+            "training should recover accuracy: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -842,8 +892,8 @@ mod tests {
         .into_iter()
         .enumerate()
         {
-            let regime = Regime::corrupted(corruption, 5)
-                .with_id(shiftex_data::RegimeId(w as u32 + 1));
+            let regime =
+                Regime::corrupted(corruption, 5).with_id(shiftex_data::RegimeId(w as u32 + 1));
             advance_with_regime(&mut parties, &gen, &regime, &[0, 1, 2, 3], 48, &mut rng);
             shiftex.process_window(&parties, &mut rng);
         }

@@ -63,8 +63,15 @@ impl AssignmentProblem {
         let f = self.num_facilities();
         assert!(f > 0, "need at least one facility");
         assert!(self.u_max > 0, "capacity must be positive");
-        assert_eq!(self.party_hists.len(), self.cost.len(), "histogram count mismatch");
-        assert!(self.cost.iter().all(|row| row.len() == f), "cost row length mismatch");
+        assert_eq!(
+            self.party_hists.len(),
+            self.cost.len(),
+            "histogram count mismatch"
+        );
+        assert!(
+            self.cost.iter().all(|row| row.len() == f),
+            "cost row length mismatch"
+        );
         assert!(
             self.num_parties() <= f * self.u_max,
             "infeasible: {} parties exceed total capacity {}",
@@ -79,7 +86,11 @@ impl AssignmentProblem {
     ///
     /// Panics if the assignment length mismatches or violates capacity.
     pub fn objective(&self, party_to_facility: &[usize]) -> f32 {
-        assert_eq!(party_to_facility.len(), self.num_parties(), "assignment length mismatch");
+        assert_eq!(
+            party_to_facility.len(),
+            self.num_parties(),
+            "assignment length mismatch"
+        );
         let f = self.num_facilities();
         let mut usage = vec![0usize; f];
         let mut mmd_total = 0.0f32;
@@ -129,7 +140,10 @@ impl AssignmentProblem {
         self.validate();
         let c = self.num_parties();
         let f = self.num_facilities();
-        let mut best = Assignment { party_to_facility: vec![0; c], objective: f32::INFINITY };
+        let mut best = Assignment {
+            party_to_facility: vec![0; c],
+            objective: f32::INFINITY,
+        };
         let mut current = vec![0usize; c];
         let mut usage = vec![0usize; f];
 
@@ -149,7 +163,10 @@ impl AssignmentProblem {
             if depth == problem.num_parties() {
                 let obj = problem.objective(current);
                 if obj < best.objective {
-                    *best = Assignment { party_to_facility: current.clone(), objective: obj };
+                    *best = Assignment {
+                        party_to_facility: current.clone(),
+                        objective: obj,
+                    };
                 }
                 return;
             }
@@ -159,7 +176,14 @@ impl AssignmentProblem {
                 }
                 usage[k] += 1;
                 current[depth] = k;
-                dfs(problem, depth + 1, partial_mmd + problem.cost[depth][k], current, usage, best);
+                dfs(
+                    problem,
+                    depth + 1,
+                    partial_mmd + problem.cost[depth][k],
+                    current,
+                    usage,
+                    best,
+                );
                 usage[k] -= 1;
             }
         }
@@ -200,14 +224,18 @@ impl AssignmentProblem {
                     let before = if usage[k] == 0 {
                         0.0
                     } else {
-                        let h: Vec<f32> =
-                            cohort_sums[k].iter().map(|&s| s / usage[k] as f32).collect();
+                        let h: Vec<f32> = cohort_sums[k]
+                            .iter()
+                            .map(|&s| s / usage[k] as f32)
+                            .collect();
                         jsd(&h, &global)
                     };
                     let mut after_sum = cohort_sums[k].clone();
                     vector::axpy(&mut after_sum, 1.0, &self.party_hists[c]);
-                    let after: Vec<f32> =
-                        after_sum.iter().map(|&s| s / (usage[k] + 1) as f32).collect();
+                    let after: Vec<f32> = after_sum
+                        .iter()
+                        .map(|&s| s / (usage[k] + 1) as f32)
+                        .collect();
                     marginal += self.mu * (jsd(&after, &global) - before);
                 }
                 if marginal < best_marginal {
@@ -224,7 +252,10 @@ impl AssignmentProblem {
             assignment.push(best_k);
         }
         let objective = self.objective(&assignment);
-        Assignment { party_to_facility: assignment, objective }
+        Assignment {
+            party_to_facility: assignment,
+            objective,
+        }
     }
 }
 
@@ -345,7 +376,11 @@ mod tests {
                 .map(|(c, _)| c)
                 .collect();
             let skews: Vec<bool> = members.iter().map(|&c| p.party_hists[c][0] > 0.5).collect();
-            assert_eq!(skews.iter().filter(|&&s| s).count(), 1, "unbalanced cohort {members:?}");
+            assert_eq!(
+                skews.iter().filter(|&&s| s).count(),
+                1,
+                "unbalanced cohort {members:?}"
+            );
         }
         assert!(sol.objective < 2.0 + 1e-3);
     }

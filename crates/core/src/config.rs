@@ -82,9 +82,18 @@ impl ShiftExConfig {
     pub fn validate(&self) {
         assert!((0.0..=1.0).contains(&self.tau), "tau must be in [0,1]");
         assert!(self.epsilon_factor > 0.0, "epsilon_factor must be positive");
-        assert!(self.max_experts >= 1, "need capacity for at least one expert");
-        assert!((0.0..=1.0).contains(&self.memory_beta), "memory_beta must be in [0,1]");
-        assert!(self.max_clusters_per_window >= 1, "need at least one cluster");
+        assert!(
+            self.max_experts >= 1,
+            "need capacity for at least one expert"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.memory_beta),
+            "memory_beta must be in [0,1]"
+        );
+        assert!(
+            self.max_clusters_per_window >= 1,
+            "need at least one cluster"
+        );
         assert!(self.profile_rows >= 2, "profiles need at least two rows");
         assert!(
             self.calibration_p_value > 0.0 && self.calibration_p_value < 1.0,
@@ -111,14 +120,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "tau must be in [0,1]")]
     fn rejects_bad_tau() {
-        let cfg = ShiftExConfig { tau: 1.5, ..ShiftExConfig::default() };
+        let cfg = ShiftExConfig {
+            tau: 1.5,
+            ..ShiftExConfig::default()
+        };
         cfg.validate();
     }
 
     #[test]
     #[should_panic(expected = "delta_cov must be positive")]
     fn rejects_bad_delta() {
-        let cfg = ShiftExConfig { delta_cov: Some(-1.0), ..ShiftExConfig::default() };
+        let cfg = ShiftExConfig {
+            delta_cov: Some(-1.0),
+            ..ShiftExConfig::default()
+        };
         cfg.validate();
     }
 }

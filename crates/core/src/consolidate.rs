@@ -91,12 +91,17 @@ pub fn consolidate_experts(
         };
         let dropped = registry.remove(drop_id).expect("expert exists");
         let kept = registry.get_mut(keep_id).expect("expert exists");
-        let (wa, wb) =
-            (kept.cohort_size.max(1) as f32, dropped.cohort_size.max(1) as f32);
+        let (wa, wb) = (
+            kept.cohort_size.max(1) as f32,
+            dropped.cohort_size.max(1) as f32,
+        );
         kept.params = weighted_merge(&kept.params, &dropped.params, wa, wb);
         kept.memory = kept.memory.merge(&dropped.memory, wa, wb);
         kept.cohort_size += dropped.cohort_size;
-        events.push(MergeEvent { kept: keep_id, removed: drop_id });
+        events.push(MergeEvent {
+            kept: keep_id,
+            removed: drop_id,
+        });
     }
     events
 }
@@ -153,7 +158,11 @@ mod tests {
         assert_eq!(events.len(), 1);
         let merged = reg2.iter().next().unwrap();
         // Weighted mean: (3*1.0 + 1*1.4) / 4 = 1.1.
-        assert!((merged.params[0] - 1.1).abs() < 1e-5, "got {}", merged.params[0]);
+        assert!(
+            (merged.params[0] - 1.1).abs() < 1e-5,
+            "got {}",
+            merged.params[0]
+        );
     }
 
     #[test]

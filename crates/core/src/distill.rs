@@ -32,7 +32,12 @@ pub struct DistillConfig {
 
 impl Default for DistillConfig {
     fn default() -> Self {
-        Self { epochs: 20, batch_size: 32, lr: 0.05, temperature: 2.0 }
+        Self {
+            epochs: 20,
+            batch_size: 32,
+            lr: 0.05,
+            temperature: 2.0,
+        }
     }
 }
 
@@ -65,20 +70,32 @@ pub fn distill_experts(
     cfg: &DistillConfig,
     rng: &mut StdRng,
 ) -> DistillReport {
-    assert!(!experts.is_empty(), "distillation needs at least one teacher");
+    assert!(
+        !experts.is_empty(),
+        "distillation needs at least one teacher"
+    );
     assert!(reference.rows() > 0, "distillation needs reference inputs");
 
     // --- Teacher mixture targets.
-    let weights: Vec<f32> = experts.iter().map(|e| e.cohort_size.max(1) as f32).collect();
+    let weights: Vec<f32> = experts
+        .iter()
+        .map(|e| e.cohort_size.max(1) as f32)
+        .collect();
     let total_w: f32 = weights.iter().sum();
-    let teachers: Vec<Sequential> =
-        experts.iter().map(|e| build_model(spec, &e.params)).collect();
+    let teachers: Vec<Sequential> = experts
+        .iter()
+        .map(|e| build_model(spec, &e.params))
+        .collect();
     let mut mixture = Matrix::zeros(reference.rows(), spec.classes);
     for (teacher, &w) in teachers.iter().zip(weights.iter()) {
         let logits = teacher.forward(reference);
         for r in 0..reference.rows() {
             let probs = vector::softmax(
-                &logits.row(r).iter().map(|v| v / cfg.temperature).collect::<Vec<f32>>(),
+                &logits
+                    .row(r)
+                    .iter()
+                    .map(|v| v / cfg.temperature)
+                    .collect::<Vec<f32>>(),
             );
             let row = mixture.row_mut(r);
             for (m, &p) in row.iter_mut().zip(probs.iter()) {
@@ -109,7 +126,10 @@ pub fn distill_experts(
         .filter(|(a, b)| a == b)
         .count() as f32
         / reference.rows() as f32;
-    DistillReport { student_params: student.params_flat(), teacher_agreement: agree }
+    DistillReport {
+        student_params: student.params_flat(),
+        teacher_agreement: agree,
+    }
 }
 
 // Re-export used internally for the teacher pass; keeps the public surface
@@ -135,10 +155,12 @@ mod tests {
         rng: &mut StdRng,
     ) -> Expert {
         let mut model = Sequential::build(spec, rng);
-        let cfg = TrainConfig { epochs: 20, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 20,
+            ..TrainConfig::default()
+        };
         model.train(data.features(), data.labels(), &cfg, rng);
-        let profile =
-            EmbeddingProfile::from_embeddings(&model.embed(data.features()), 32, rng);
+        let profile = EmbeddingProfile::from_embeddings(&model.embed(data.features()), 32, rng);
         Expert {
             id: ExpertId(id),
             params: model.params_flat(),

@@ -48,7 +48,11 @@ impl LatentMemory {
     ///
     /// Panics if dimensions differ or `beta ∉ [0,1]`.
     pub fn update(&mut self, profile: &EmbeddingProfile, beta: f32) {
-        assert_eq!(profile.dim(), self.ema_mean.len(), "memory dimension mismatch");
+        assert_eq!(
+            profile.dim(),
+            self.ema_mean.len(),
+            "memory dimension mismatch"
+        );
         self.ema_mean = stats::ema_update(&self.ema_mean, profile.mean(), beta);
         self.sample = profile.sample().clone();
         self.updates += 1;
@@ -62,7 +66,11 @@ impl LatentMemory {
 
     /// Like [`LatentMemory::mmd_to`] but under a fixed calibrated kernel,
     /// making scores comparable to the detection threshold.
-    pub fn mmd_to_with(&self, profile: &EmbeddingProfile, kernel: &shiftex_detect::RbfKernel) -> f32 {
+    pub fn mmd_to_with(
+        &self,
+        profile: &EmbeddingProfile,
+        kernel: &shiftex_detect::RbfKernel,
+    ) -> f32 {
         EmbeddingProfile::from_sample(self.sample.clone()).mmd_to_with(profile, kernel)
     }
 
@@ -73,14 +81,20 @@ impl LatentMemory {
     ///
     /// Panics if dimensions differ or both weights are zero.
     pub fn merge(&self, other: &LatentMemory, w_self: f32, w_other: f32) -> LatentMemory {
-        let mean =
-            shiftex_tensor::vector::weighted_mean(&[&self.ema_mean, &other.ema_mean], &[w_self, w_other]);
+        let mean = shiftex_tensor::vector::weighted_mean(
+            &[&self.ema_mean, &other.ema_mean],
+            &[w_self, w_other],
+        );
         let sample = if self.sample.rows() >= other.sample.rows() {
             self.sample.clone()
         } else {
             other.sample.clone()
         };
-        LatentMemory { ema_mean: mean, sample, updates: self.updates + other.updates }
+        LatentMemory {
+            ema_mean: mean,
+            sample,
+            updates: self.updates + other.updates,
+        }
     }
 }
 
@@ -111,7 +125,10 @@ mod tests {
         let mut mem = LatentMemory::from_profile(&p0);
         mem.update(&p1, 0.5);
         let m = shiftex_tensor::vector::mean(mem.mean());
-        assert!(m > 2.0 && m < 8.0, "EMA mean should be between regimes: {m}");
+        assert!(
+            m > 2.0 && m < 8.0,
+            "EMA mean should be between regimes: {m}"
+        );
         assert_eq!(mem.updates(), 2);
     }
 

@@ -49,7 +49,10 @@ pub fn compute_shift_stats(
     kernel: Option<&RbfKernel>,
     rng: &mut impl Rng,
 ) -> ShiftStats {
-    assert!(!party.train().is_empty(), "cannot compute shift stats without data");
+    assert!(
+        !party.train().is_empty(),
+        "cannot compute shift stats without data"
+    );
     let emb_now = model.embed(party.train_features());
     let profile = EmbeddingProfile::from_embeddings(&emb_now, profile_rows, rng);
     let label_hist = party.train().label_histogram();
@@ -117,7 +120,10 @@ mod tests {
             gen.generate_uniform(60, &mut rng),
             gen.generate_uniform(10, &mut rng),
         );
-        stable.advance_window(gen.generate_uniform(60, &mut rng), gen.generate_uniform(10, &mut rng));
+        stable.advance_window(
+            gen.generate_uniform(60, &mut rng),
+            gen.generate_uniform(10, &mut rng),
+        );
         let s_stable = compute_shift_stats(&stable, &model, 48, None, &mut rng);
 
         // Shifted party: fog corruption arrives in the second window.

@@ -165,7 +165,9 @@ mod tests {
         let mut reg = ExpertRegistry::new();
         let fog = reg.create(vec![0.0], &profile(5.0, 3), 0);
         let snow = reg.create(vec![1.0], &profile(-5.0, 4), 0);
-        let (m, score) = reg.best_match(&profile(5.0, 5), None).expect("non-empty registry");
+        let (m, score) = reg
+            .best_match(&profile(5.0, 5), None)
+            .expect("non-empty registry");
         assert_eq!(m, fog);
         assert!(score < reg.get(snow).unwrap().memory.mmd_to(&profile(5.0, 6)));
     }

@@ -50,8 +50,7 @@ impl RegistrySnapshot {
     /// Returns [`SnapshotError::Parse`] for malformed JSON and
     /// [`SnapshotError::Version`] for an unknown schema version.
     pub fn from_json(json: &str) -> Result<Self, SnapshotError> {
-        let snap: RegistrySnapshot =
-            serde_json::from_str(json).map_err(SnapshotError::Parse)?;
+        let snap: RegistrySnapshot = serde_json::from_str(json).map_err(SnapshotError::Parse)?;
         if snap.version != SNAPSHOT_VERSION {
             return Err(SnapshotError::Version(snap.version));
         }
@@ -87,7 +86,10 @@ impl crate::aggregator::ShiftEx {
             window: self.window(),
             registry: self.registry().clone(),
             assignment: self.assignments().iter().map(|(p, e)| (*p, *e)).collect(),
-            personal: self.personal_params().map(|(p, v)| (p, v.to_vec())).collect(),
+            personal: self
+                .personal_params()
+                .map(|(p, v)| (p, v.to_vec()))
+                .collect(),
             thresholds: self.thresholds(),
         }
     }
@@ -145,7 +147,7 @@ mod tests {
 
     #[test]
     fn restore_recovers_serving_state() {
-        let (mut sx, parties, mut rng) = booted();
+        let (sx, parties, mut rng) = booted();
         let before = sx.evaluate(&parties);
         let snap = sx.snapshot();
 
@@ -155,7 +157,10 @@ mod tests {
         assert_eq!(fresh.num_experts(), sx.num_experts());
         assert_eq!(fresh.assignments(), sx.assignments());
         let after = fresh.evaluate(&parties);
-        assert!((before - after).abs() < 1e-6, "restored accuracy must match");
+        assert!(
+            (before - after).abs() < 1e-6,
+            "restored accuracy must match"
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ pub fn evaluate_assigned<'a>(
             continue;
         }
         let params = params_of(party.id());
-        let model = match cache.iter().position(|(p, _)| std::ptr::eq(p.as_ptr(), params.as_ptr())) {
+        let model = match cache
+            .iter()
+            .position(|(p, _)| std::ptr::eq(p.as_ptr(), params.as_ptr()))
+        {
             Some(i) => &cache[i].1,
             None => {
                 cache.push((params, build_model(spec, params)));
@@ -110,7 +113,10 @@ mod tests {
                 parties[2].train(),
             ]);
             let mut m = Sequential::build(&spec, &mut rng);
-            let cfg = shiftex_nn::TrainConfig { epochs: 25, ..Default::default() };
+            let cfg = shiftex_nn::TrainConfig {
+                epochs: 25,
+                ..Default::default()
+            };
             m.train(pooled.features(), pooled.labels(), &cfg, &mut rng);
             m.params_flat()
         };
@@ -121,13 +127,8 @@ mod tests {
         assert!(acc_good > acc_bad, "trained {acc_good} vs fresh {acc_bad}");
 
         // Mixed assignment lands between the two pure assignments.
-        let acc_mixed = evaluate_assigned(&spec, &parties, |id| {
-            if id.0 == 0 {
-                &bad
-            } else {
-                &good
-            }
-        });
+        let acc_mixed =
+            evaluate_assigned(&spec, &parties, |id| if id.0 == 0 { &bad } else { &good });
         assert!(acc_mixed <= acc_good + 1e-6 && acc_mixed >= acc_bad - 1e-6);
     }
 

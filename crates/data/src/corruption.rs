@@ -74,7 +74,12 @@ impl Corruption {
 
     /// The weather conditions of the paper's Figure 1 (clear is "no corruption").
     pub fn weather() -> [Corruption; 4] {
-        [Corruption::Fog, Corruption::Rain, Corruption::Snow, Corruption::Frost]
+        [
+            Corruption::Fog,
+            Corruption::Rain,
+            Corruption::Snow,
+            Corruption::Frost,
+        ]
     }
 
     /// Corruption *groups* used by the Tiny-ImageNet-C protocol ("we group
@@ -95,7 +100,10 @@ impl Corruption {
     /// Panics if `severity` is outside `1..=5` or the buffer length does not
     /// match `shape.dim()`.
     pub fn apply(&self, x: &mut [f32], shape: ImageShape, severity: u8, rng: &mut impl Rng) {
-        assert!((1..=5).contains(&severity), "severity must be 1..=5, got {severity}");
+        assert!(
+            (1..=5).contains(&severity),
+            "severity must be 1..=5, got {severity}"
+        );
         assert_eq!(x.len(), shape.dim(), "buffer length mismatch");
         let s = severity as f32 / 5.0; // 0.2 .. 1.0
         match self {
@@ -114,7 +122,11 @@ impl Corruption {
                 let p = 0.25 * s;
                 for v in x.iter_mut() {
                     if rng.random_range(0.0..1.0) < p {
-                        *v = if rng.random_range(0.0..1.0) < 0.5 { 2.5 } else { -2.5 };
+                        *v = if rng.random_range(0.0..1.0) < 0.5 {
+                            2.5
+                        } else {
+                            -2.5
+                        };
                     }
                 }
             }
@@ -316,12 +328,11 @@ fn smooth_noise(shape: ImageShape, rng: &mut impl Rng) -> Vec<f32> {
                 let (y0, x0) = (gy.floor() as usize, gx.floor() as usize);
                 let (y1, x1) = ((y0 + 1).min(COARSE - 1), (x0 + 1).min(COARSE - 1));
                 let (fy, fx) = (gy - y0 as f32, gx - x0 as f32);
-                out[c * shape.h * shape.w + y * shape.w + xx] = grid[y0 * COARSE + x0]
-                    * (1.0 - fy)
-                    * (1.0 - fx)
-                    + grid[y0 * COARSE + x1] * (1.0 - fy) * fx
-                    + grid[y1 * COARSE + x0] * fy * (1.0 - fx)
-                    + grid[y1 * COARSE + x1] * fy * fx;
+                out[c * shape.h * shape.w + y * shape.w + xx] =
+                    grid[y0 * COARSE + x0] * (1.0 - fy) * (1.0 - fx)
+                        + grid[y0 * COARSE + x1] * (1.0 - fy) * fx
+                        + grid[y1 * COARSE + x0] * fy * (1.0 - fx)
+                        + grid[y1 * COARSE + x1] * fy * fx;
             }
         }
     }
@@ -384,7 +395,9 @@ mod tests {
     use shiftex_tensor::vector;
 
     fn image(shape: ImageShape, rng: &mut StdRng) -> Vec<f32> {
-        (0..shape.dim()).map(|_| rngx::normal(rng, 0.0, 1.0)).collect()
+        (0..shape.dim())
+            .map(|_| rngx::normal(rng, 0.0, 1.0))
+            .collect()
     }
 
     #[test]
@@ -397,7 +410,10 @@ mod tests {
             c.apply(&mut x, shape, 3, &mut rng);
             let d = vector::l2_dist(&orig, &x);
             assert!(d > 1e-3, "{c} left the image unchanged");
-            assert!(x.iter().all(|v| v.is_finite()), "{c} produced non-finite values");
+            assert!(
+                x.iter().all(|v| v.is_finite()),
+                "{c} produced non-finite values"
+            );
         }
     }
 
@@ -433,7 +449,10 @@ mod tests {
 
     #[test]
     fn groups_cover_all_corruptions() {
-        let mut seen: Vec<Corruption> = Corruption::groups().iter().flat_map(|g| g.iter().copied()).collect();
+        let mut seen: Vec<Corruption> = Corruption::groups()
+            .iter()
+            .flat_map(|g| g.iter().copied())
+            .collect();
         seen.sort_by_key(|c| format!("{c}"));
         seen.dedup();
         assert_eq!(seen.len(), 15, "groups should cover the 15 -C families");

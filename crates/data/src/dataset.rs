@@ -55,19 +55,42 @@ impl Dataset {
     ///
     /// Panics if `features.rows() != labels.len()`, a label is out of range,
     /// or `features.cols() != shape.dim()`.
-    pub fn new(features: Matrix, labels: Vec<usize>, num_classes: usize, shape: ImageShape) -> Self {
-        assert_eq!(features.rows(), labels.len(), "feature/label count mismatch");
-        assert_eq!(features.cols(), shape.dim(), "feature width does not match shape");
+    pub fn new(
+        features: Matrix,
+        labels: Vec<usize>,
+        num_classes: usize,
+        shape: ImageShape,
+    ) -> Self {
+        assert_eq!(
+            features.rows(),
+            labels.len(),
+            "feature/label count mismatch"
+        );
+        assert_eq!(
+            features.cols(),
+            shape.dim(),
+            "feature width does not match shape"
+        );
         assert!(
             labels.iter().all(|&l| l < num_classes),
             "label out of range for {num_classes} classes"
         );
-        Self { features, labels, num_classes, shape }
+        Self {
+            features,
+            labels,
+            num_classes,
+            shape,
+        }
     }
 
     /// An empty dataset with the given class count and shape.
     pub fn empty(num_classes: usize, shape: ImageShape) -> Self {
-        Self::new(Matrix::zeros(0, shape.dim()), Vec::new(), num_classes, shape)
+        Self::new(
+            Matrix::zeros(0, shape.dim()),
+            Vec::new(),
+            num_classes,
+            shape,
+        )
     }
 
     /// Number of samples.
@@ -114,7 +137,12 @@ impl Dataset {
     pub fn subset(&self, indices: &[usize]) -> Dataset {
         let features = self.features.select_rows(indices);
         let labels = indices.iter().map(|&i| self.labels[i]).collect();
-        Dataset { features, labels, num_classes: self.num_classes, shape: self.shape }
+        Dataset {
+            features,
+            labels,
+            num_classes: self.num_classes,
+            shape: self.shape,
+        }
     }
 
     /// Splits into `(train, test)` with `train_frac` of samples (shuffled).
@@ -123,7 +151,10 @@ impl Dataset {
     ///
     /// Panics if `train_frac` is outside `[0, 1]`.
     pub fn split(&self, train_frac: f32, rng: &mut impl Rng) -> (Dataset, Dataset) {
-        assert!((0.0..=1.0).contains(&train_frac), "train_frac must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&train_frac),
+            "train_frac must be in [0,1]"
+        );
         let mut order: Vec<usize> = (0..self.len()).collect();
         shiftex_tensor::rngx::shuffle(rng, &mut order);
         let cut = (self.len() as f32 * train_frac).round() as usize;
@@ -141,13 +172,23 @@ impl Dataset {
         let num_classes = parts[0].num_classes;
         let shape = parts[0].shape;
         assert!(
-            parts.iter().all(|d| d.num_classes == num_classes && d.shape == shape),
+            parts
+                .iter()
+                .all(|d| d.num_classes == num_classes && d.shape == shape),
             "concat metadata mismatch"
         );
         let mats: Vec<&Matrix> = parts.iter().map(|d| &d.features).collect();
         let features = Matrix::vstack(&mats);
-        let labels = parts.iter().flat_map(|d| d.labels.iter().copied()).collect();
-        Dataset { features, labels, num_classes, shape }
+        let labels = parts
+            .iter()
+            .flat_map(|d| d.labels.iter().copied())
+            .collect();
+        Dataset {
+            features,
+            labels,
+            num_classes,
+            shape,
+        }
     }
 }
 

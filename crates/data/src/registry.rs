@@ -40,7 +40,9 @@ impl DatasetKind {
     pub fn parse(s: &str) -> Option<DatasetKind> {
         match s.to_ascii_lowercase().as_str() {
             "fmow" => Some(DatasetKind::Fmow),
-            "tinyimagenetc" | "tiny-imagenet-c" | "tinyimagenet-c" => Some(DatasetKind::TinyImagenetC),
+            "tinyimagenetc" | "tiny-imagenet-c" | "tinyimagenet-c" => {
+                Some(DatasetKind::TinyImagenetC)
+            }
             "cifar10c" | "cifar-10-c" => Some(DatasetKind::Cifar10C),
             "femnist" => Some(DatasetKind::Femnist),
             "fashionmnist" | "fashion-mnist" => Some(DatasetKind::FashionMnist),
@@ -241,14 +243,8 @@ impl DatasetProfile {
                 // detectable — the role lighting plays in real handwriting
                 // captures.
                 let chains: Vec<Vec<Transform>> = vec![
-                    vec![
-                        Transform::Rotation(90.0),
-                        Transform::Brightness(1.3),
-                    ],
-                    vec![
-                        Transform::Scale(1.8),
-                        Transform::Brightness(-1.1),
-                    ],
+                    vec![Transform::Rotation(90.0), Transform::Brightness(1.3)],
+                    vec![Transform::Scale(1.8), Transform::Brightness(-1.1)],
                     vec![
                         Transform::FlipHorizontal,
                         Transform::Rotation(45.0),
@@ -259,10 +255,7 @@ impl DatasetProfile {
                         Transform::Scale(0.6),
                         Transform::Brightness(-0.8),
                     ],
-                    vec![
-                        Transform::Translate(3.0, -3.0),
-                        Transform::Brightness(1.6),
-                    ],
+                    vec![Transform::Translate(3.0, -3.0), Transform::Brightness(1.6)],
                 ];
                 for (i, chain) in chains.into_iter().enumerate() {
                     pool.push(Regime::transformed(chain).with_id(RegimeId(i as u32 + 1)));
@@ -275,14 +268,8 @@ impl DatasetProfile {
                         Transform::Rotation(60.0),
                         Transform::Brightness(1.2),
                     ],
-                    vec![
-                        Transform::Scale(0.55),
-                        Transform::Brightness(-1.0),
-                    ],
-                    vec![
-                        Transform::Rotation(120.0),
-                        Transform::Brightness(0.8),
-                    ],
+                    vec![Transform::Scale(0.55), Transform::Brightness(-1.0)],
+                    vec![Transform::Rotation(120.0), Transform::Brightness(0.8)],
                     vec![
                         Transform::FlipHorizontal,
                         Transform::Scale(1.7),
@@ -330,8 +317,14 @@ mod tests {
         for kind in DatasetKind::all() {
             let p = profile(kind, SimScale::Small);
             let pool = p.regime_pool(&mut rng);
-            assert!(!pool[0].has_covariate_shift(), "{kind}: regime 0 must be clear");
-            assert!(pool.len() >= 2, "{kind}: pool needs at least one shifted regime");
+            assert!(
+                !pool[0].has_covariate_shift(),
+                "{kind}: regime 0 must be clear"
+            );
+            assert!(
+                pool.len() >= 2,
+                "{kind}: pool needs at least one shifted regime"
+            );
             let mut ids: Vec<u32> = pool.iter().map(|r| r.id.0).collect();
             ids.sort_unstable();
             ids.dedup();
@@ -342,7 +335,10 @@ mod tests {
     #[test]
     fn parse_roundtrips() {
         assert_eq!(DatasetKind::parse("fmow"), Some(DatasetKind::Fmow));
-        assert_eq!(DatasetKind::parse("CIFAR-10-C"), Some(DatasetKind::Cifar10C));
+        assert_eq!(
+            DatasetKind::parse("CIFAR-10-C"),
+            Some(DatasetKind::Cifar10C)
+        );
         assert_eq!(DatasetKind::parse("nope"), None);
         assert_eq!(SimScale::parse("paper"), Some(SimScale::Paper));
     }

@@ -48,7 +48,11 @@ pub struct Regime {
 impl Regime {
     /// Clean regime with uniform labels.
     pub fn clear() -> Self {
-        Self { id: RegimeId(0), covariate: CovariateSpec::Clear, label_dist: None }
+        Self {
+            id: RegimeId(0),
+            covariate: CovariateSpec::Clear,
+            label_dist: None,
+        }
     }
 
     /// Corruption regime with uniform labels.
@@ -62,7 +66,11 @@ impl Regime {
 
     /// Transform-chain regime with uniform labels.
     pub fn transformed(transforms: Vec<Transform>) -> Self {
-        Self { id: RegimeId(1), covariate: CovariateSpec::Transformed(transforms), label_dist: None }
+        Self {
+            id: RegimeId(1),
+            covariate: CovariateSpec::Transformed(transforms),
+            label_dist: None,
+        }
     }
 
     /// Returns a copy with the given id.
@@ -78,7 +86,10 @@ impl Regime {
     /// Panics if `dist` is empty or has non-positive mass.
     pub fn with_label_dist(mut self, dist: Vec<f32>) -> Self {
         assert!(!dist.is_empty(), "label distribution must be non-empty");
-        assert!(dist.iter().sum::<f32>() > 0.0, "label distribution needs positive mass");
+        assert!(
+            dist.iter().sum::<f32>() > 0.0,
+            "label distribution needs positive mass"
+        );
         self.label_dist = Some(dist);
         self
     }

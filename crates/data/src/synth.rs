@@ -49,7 +49,13 @@ impl PrototypeGenerator {
                 field
             })
             .collect();
-        Self { shape, num_classes, prototypes, noise_std: 0.4, style_std: 0.25 }
+        Self {
+            shape,
+            num_classes,
+            prototypes,
+            noise_std: 0.4,
+            style_std: 0.25,
+        }
     }
 
     /// Image shape of generated samples.
@@ -88,7 +94,11 @@ impl PrototypeGenerator {
     ///
     /// Panics if `class_weights.len() != num_classes` or all weights are zero.
     pub fn generate(&self, n: usize, class_weights: &[f32], rng: &mut impl Rng) -> Dataset {
-        assert_eq!(class_weights.len(), self.num_classes, "weights length mismatch");
+        assert_eq!(
+            class_weights.len(),
+            self.num_classes,
+            "weights length mismatch"
+        );
         let dim = self.shape.dim();
         let mut features = Matrix::zeros(n, dim);
         let mut labels = Vec::with_capacity(n);
@@ -192,8 +202,10 @@ mod tests {
 
     #[test]
     fn deterministic_for_equal_seed() {
-        let g1 = PrototypeGenerator::new(ImageShape::new(1, 4, 4), 2, &mut StdRng::seed_from_u64(9));
-        let g2 = PrototypeGenerator::new(ImageShape::new(1, 4, 4), 2, &mut StdRng::seed_from_u64(9));
+        let g1 =
+            PrototypeGenerator::new(ImageShape::new(1, 4, 4), 2, &mut StdRng::seed_from_u64(9));
+        let g2 =
+            PrototypeGenerator::new(ImageShape::new(1, 4, 4), 2, &mut StdRng::seed_from_u64(9));
         assert_eq!(g1.prototype(0), g2.prototype(0));
     }
 }

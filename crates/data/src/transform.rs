@@ -47,18 +47,26 @@ impl Transform {
                 let rad = deg.to_radians();
                 warp(x, shape, |y, xx, cy, cx| {
                     let (dy, dx) = (y - cy, xx - cx);
-                    (cy + dy * rad.cos() - dx * rad.sin(), cx + dy * rad.sin() + dx * rad.cos())
+                    (
+                        cy + dy * rad.cos() - dx * rad.sin(),
+                        cx + dy * rad.sin() + dx * rad.cos(),
+                    )
                 });
             }
             Transform::Scale(factor) => {
                 assert!(factor > 0.0, "scale factor must be positive");
                 let inv = 1.0 / factor;
-                warp(x, shape, |y, xx, cy, cx| (cy + (y - cy) * inv, cx + (xx - cx) * inv));
+                warp(x, shape, |y, xx, cy, cx| {
+                    (cy + (y - cy) * inv, cx + (xx - cx) * inv)
+                });
             }
             Transform::Translate(dy, dx) => {
                 warp(x, shape, |y, xx, _, _| (y - dy, xx - dx));
             }
-            Transform::ColorJitter { brightness, contrast } => {
+            Transform::ColorJitter {
+                brightness,
+                contrast,
+            } => {
                 let b = rngx::normal(rng, 0.0, brightness.max(0.0));
                 let k = 1.0 + rngx::normal(rng, 0.0, contrast.max(0.0));
                 let mean = shiftex_tensor::vector::mean(x);
@@ -91,7 +99,10 @@ impl std::fmt::Display for Transform {
             Transform::Rotation(d) => write!(f, "rotate({d}°)"),
             Transform::Scale(s) => write!(f, "scale({s})"),
             Transform::Translate(dy, dx) => write!(f, "translate({dy},{dx})"),
-            Transform::ColorJitter { brightness, contrast } => {
+            Transform::ColorJitter {
+                brightness,
+                contrast,
+            } => {
                 write!(f, "jitter(b={brightness},c={contrast})")
             }
             Transform::FlipHorizontal => write!(f, "hflip"),
@@ -145,7 +156,9 @@ mod tests {
     use shiftex_tensor::vector;
 
     fn ramp(shape: ImageShape) -> Vec<f32> {
-        (0..shape.dim()).map(|i| i as f32 / shape.dim() as f32).collect()
+        (0..shape.dim())
+            .map(|i| i as f32 / shape.dim() as f32)
+            .collect()
     }
 
     #[test]
@@ -191,7 +204,10 @@ mod tests {
         x[5] = 1.0; // (1,1)
         let mut rng = StdRng::seed_from_u64(0);
         Transform::Translate(1.0, 1.0).apply(&mut x, shape, &mut rng);
-        assert!((x[10] - 1.0).abs() < 1e-5, "pixel should move to (2,2): {x:?}");
+        assert!(
+            (x[10] - 1.0).abs() < 1e-5,
+            "pixel should move to (2,2): {x:?}"
+        );
     }
 
     #[test]
@@ -210,7 +226,11 @@ mod tests {
         let orig = ramp(shape);
         let mut x = orig.clone();
         let mut rng = StdRng::seed_from_u64(3);
-        Transform::ColorJitter { brightness: 0.8, contrast: 0.5 }.apply(&mut x, shape, &mut rng);
+        Transform::ColorJitter {
+            brightness: 0.8,
+            contrast: 0.5,
+        }
+        .apply(&mut x, shape, &mut rng);
         assert!(vector::l2_dist(&orig, &x) > 1e-3);
     }
 }

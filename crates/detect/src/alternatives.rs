@@ -18,7 +18,10 @@ use shiftex_tensor::{vector, Matrix};
 ///
 /// Panics if either sample is empty or dimensions differ.
 pub fn energy_distance(p: &Matrix, q: &Matrix) -> f32 {
-    assert!(p.rows() > 0 && q.rows() > 0, "energy distance of empty sample");
+    assert!(
+        p.rows() > 0 && q.rows() > 0,
+        "energy distance of empty sample"
+    );
     assert_eq!(p.cols(), q.cols(), "dimension mismatch");
     let cross = mean_pair_dist(p, q);
     let within_p = mean_self_dist(p);
@@ -127,7 +130,10 @@ mod tests {
         let p = sample(16, -100.0, 7);
         let q = sample(16, 100.0, 8);
         let v = ks_max(&p, &q);
-        assert!(v <= 1.0 + 1e-6 && v > 0.99, "disjoint samples should hit 1: {v}");
+        assert!(
+            v <= 1.0 + 1e-6 && v > 0.99,
+            "disjoint samples should hit 1: {v}"
+        );
     }
 
     #[test]

@@ -37,7 +37,11 @@ pub struct ThresholdCalibrator {
 
 impl Default for ThresholdCalibrator {
     fn default() -> Self {
-        Self { p_value: 0.05, iterations: 100, split_size: 32 }
+        Self {
+            p_value: 0.05,
+            iterations: 100,
+            split_size: 32,
+        }
     }
 }
 
@@ -51,7 +55,11 @@ impl ThresholdCalibrator {
         assert!(p_value > 0.0 && p_value < 1.0, "p_value must be in (0,1)");
         assert!(iterations > 0, "need at least one bootstrap iteration");
         assert!(split_size >= 2, "split_size must be >= 2");
-        Self { p_value, iterations, split_size }
+        Self {
+            p_value,
+            iterations,
+            split_size,
+        }
     }
 
     /// Calibrates `δ_cov` from stable-period embeddings, returning the
@@ -122,7 +130,13 @@ impl ThresholdCalibrator {
     ) -> (CalibratedThresholds, RbfKernel) {
         let (delta_cov, kernel) = self.calibrate_cov(embeddings, rng);
         let delta_label = self.calibrate_label(histograms, label_count, rng);
-        (CalibratedThresholds { delta_cov, delta_label }, kernel)
+        (
+            CalibratedThresholds {
+                delta_cov,
+                delta_label,
+            },
+            kernel,
+        )
     }
 }
 
@@ -133,7 +147,10 @@ fn multinomial_histogram(probs: &[f32], count: usize, rng: &mut impl Rng) -> Vec
     for _ in 0..count {
         counts[rngx::categorical(rng, probs)] += 1;
     }
-    counts.into_iter().map(|c| c as f32 / count as f32).collect()
+    counts
+        .into_iter()
+        .map(|c| c as f32 / count as f32)
+        .collect()
 }
 
 #[cfg(test)]
@@ -157,7 +174,11 @@ mod tests {
 
         // A same-distribution sample should usually stay below it.
         let same = Matrix::randn(64, 6, 0.0, 1.0, &mut rng);
-        let score_same = mmd2_biased(&stable.select_rows(&(0..64).collect::<Vec<_>>()), &same, &kernel);
+        let score_same = mmd2_biased(
+            &stable.select_rows(&(0..64).collect::<Vec<_>>()),
+            &same,
+            &kernel,
+        );
         assert!(
             score_same < delta * 4.0,
             "null score {score_same} wildly exceeds threshold {delta}"

@@ -34,7 +34,11 @@ pub fn kl_divergence(p: &[f32], q: &[f32]) -> f32 {
 /// Panics if the distributions have different lengths.
 pub fn jsd(p: &[f32], q: &[f32]) -> f32 {
     assert_eq!(p.len(), q.len(), "distribution length mismatch");
-    let m: Vec<f32> = p.iter().zip(q.iter()).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    let m: Vec<f32> = p
+        .iter()
+        .zip(q.iter())
+        .map(|(&a, &b)| 0.5 * (a + b))
+        .collect();
     (0.5 * kl_divergence(p, &m) + 0.5 * kl_divergence(q, &m)).max(0.0)
 }
 

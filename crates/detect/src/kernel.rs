@@ -51,7 +51,9 @@ impl RbfKernel {
         if median <= 1e-12 {
             Self { gamma: 1.0 }
         } else {
-            Self { gamma: 1.0 / median }
+            Self {
+                gamma: 1.0 / median,
+            }
         }
     }
 

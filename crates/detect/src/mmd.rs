@@ -29,7 +29,10 @@ pub fn mmd2_biased(p: &Matrix, q: &Matrix, kernel: &RbfKernel) -> f32 {
 ///
 /// Panics if either sample has fewer than 2 rows or dimensions differ.
 pub fn mmd2_unbiased(p: &Matrix, q: &Matrix, kernel: &RbfKernel) -> f32 {
-    assert!(p.rows() >= 2 && q.rows() >= 2, "unbiased mmd needs >= 2 samples");
+    assert!(
+        p.rows() >= 2 && q.rows() >= 2,
+        "unbiased mmd needs >= 2 samples"
+    );
     assert_eq!(p.cols(), q.cols(), "mmd dimension mismatch");
     let kxx = kernel.mean_within_distinct(p);
     let kyy = kernel.mean_within_distinct(q);
@@ -54,9 +57,8 @@ pub fn mmd2_linear(p: &Matrix, q: &Matrix, kernel: &RbfKernel) -> f32 {
     for i in 0..pairs {
         let (x1, x2) = (p.row(2 * i), p.row(2 * i + 1));
         let (y1, y2) = (q.row(2 * i), q.row(2 * i + 1));
-        let h = kernel.eval(x1, x2) + kernel.eval(y1, y2)
-            - kernel.eval(x1, y2)
-            - kernel.eval(x2, y1);
+        let h =
+            kernel.eval(x1, x2) + kernel.eval(y1, y2) - kernel.eval(x1, y2) - kernel.eval(x2, y1);
         acc += h as f64;
     }
     (acc / pairs as f64) as f32

@@ -52,8 +52,17 @@ impl DriftMonitor {
     ///
     /// Panics if `decision_threshold <= 0`.
     pub fn new(reference: f32, decision_threshold: f32) -> Self {
-        assert!(decision_threshold > 0.0, "decision threshold must be positive");
-        Self { reference, decision_threshold, cusum: 0.0, windows_observed: 0, alarms: 0 }
+        assert!(
+            decision_threshold > 0.0,
+            "decision threshold must be positive"
+        );
+        Self {
+            reference,
+            decision_threshold,
+            cusum: 0.0,
+            windows_observed: 0,
+            alarms: 0,
+        }
     }
 
     /// Feeds one window's detector score; returns `true` when the

@@ -85,7 +85,10 @@ impl EmbeddingProfile {
     pub fn pool(profiles: &[&EmbeddingProfile], max_rows: usize, rng: &mut impl Rng) -> Self {
         assert!(!profiles.is_empty(), "pool of no profiles");
         let dim = profiles[0].dim();
-        assert!(profiles.iter().all(|p| p.dim() == dim), "profile dimension mismatch");
+        assert!(
+            profiles.iter().all(|p| p.dim() == dim),
+            "profile dimension mismatch"
+        );
         let mats: Vec<&Matrix> = profiles.iter().map(|p| &p.sample).collect();
         let stacked = Matrix::vstack(&mats);
         Self::from_embeddings(&stacked, max_rows, rng)
@@ -170,6 +173,9 @@ mod tests {
         let pooled = EmbeddingProfile::pool(&[&a, &b], 50, &mut rng);
         assert_eq!(pooled.len(), 50);
         let avg: f32 = pooled.mean().iter().sum::<f32>() / pooled.dim() as f32;
-        assert!(avg > 0.4 && avg < 1.6, "pooled mean should be between components: {avg}");
+        assert!(
+            avg > 0.4 && avg < 1.6,
+            "pooled mean should be between components: {avg}"
+        );
     }
 }

@@ -30,15 +30,24 @@ fn main() {
         ("full ShiftEx", ShiftExConfig::default()),
         (
             "no latent memory",
-            ShiftExConfig { disable_memory: true, ..ShiftExConfig::default() },
+            ShiftExConfig {
+                disable_memory: true,
+                ..ShiftExConfig::default()
+            },
         ),
         (
             "no consolidation",
-            ShiftExConfig { disable_consolidation: true, ..ShiftExConfig::default() },
+            ShiftExConfig {
+                disable_consolidation: true,
+                ..ShiftExConfig::default()
+            },
         ),
         (
             "uniform selection (no FLIPS)",
-            ShiftExConfig { uniform_selection: true, ..ShiftExConfig::default() },
+            ShiftExConfig {
+                uniform_selection: true,
+                ..ShiftExConfig::default()
+            },
         ),
         (
             "fixed loose thresholds",
@@ -64,11 +73,15 @@ fn main() {
     );
     for (name, cfg) in variants {
         let result = run_once(StrategyKind::ShiftEx, &scenario, 1, &cfg);
-        let mean_max: f32 = result.windows.iter().map(|w| w.max_acc_pct).sum::<f32>()
-            / result.windows.len() as f32;
-        let mean_drop: f32 = result.windows.iter().map(|w| w.drop_pct).sum::<f32>()
-            / result.windows.len() as f32;
-        let recovered = result.windows.iter().filter(|w| w.recovery_rounds.is_some()).count();
+        let mean_max: f32 =
+            result.windows.iter().map(|w| w.max_acc_pct).sum::<f32>() / result.windows.len() as f32;
+        let mean_drop: f32 =
+            result.windows.iter().map(|w| w.drop_pct).sum::<f32>() / result.windows.len() as f32;
+        let recovered = result
+            .windows
+            .iter()
+            .filter(|w| w.recovery_rounds.is_some())
+            .count();
         println!(
             "{name:<30} {mean_max:>9.2} {mean_drop:>9.2} {:>6}/{:<2} {:>8}",
             recovered,
@@ -113,7 +126,11 @@ fn main() {
         let per_regime = 400 / pool.len().max(1);
         let parts: Vec<_> = pool
             .iter()
-            .map(|r| scenario.generator.generate_with_regime(per_regime, r, &mut rng))
+            .map(|r| {
+                scenario
+                    .generator
+                    .generate_with_regime(per_regime, r, &mut rng)
+            })
             .collect();
         let part_refs: Vec<_> = parts.iter().collect();
         let reference = shiftex_data::Dataset::concat(&part_refs);
@@ -125,11 +142,10 @@ fn main() {
             &DistillConfig::default(),
             &mut rng,
         );
-        let student_acc = shiftex_core::strategy::evaluate_assigned(
-            &scenario.spec,
-            &parties,
-            |_| report.student_params.as_slice(),
-        );
+        let student_acc =
+            shiftex_core::strategy::evaluate_assigned(&scenario.spec, &parties, |_| {
+                report.student_params.as_slice()
+            });
         println!(
             "\nExpert distillation ({} experts -> 1 student, {} regime-covering reference inputs):",
             experts.len(),
@@ -167,7 +183,10 @@ fn main() {
     };
     let exact = problem.solve_exact();
     let greedy = problem.solve_greedy();
-    println!("  exact : objective {:.4}, assignment {:?}", exact.objective, exact.party_to_facility);
+    println!(
+        "  exact : objective {:.4}, assignment {:?}",
+        exact.objective, exact.party_to_facility
+    );
     println!(
         "  greedy: objective {:.4}, assignment {:?} ({:.1}% of optimum)",
         greedy.objective,

@@ -20,18 +20,26 @@ fn main() {
     let shape = ImageShape::new(3, 8, 8);
     let gen = PrototypeGenerator::new(shape, 10, &mut rng);
     let spec = ArchSpec::resnet18_lite(InputShape { c: 3, h: 8, w: 8 }, 10, 24);
-    let cfg = TrainConfig { epochs: 30, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs: 30,
+        ..TrainConfig::default()
+    };
 
     // Clear-trained model.
     let clear_train = gen.generate_uniform(train_n, &mut rng);
     let mut clear_model = Sequential::build(&spec, &mut rng);
     clear_model.train(clear_train.features(), clear_train.labels(), &cfg, &mut rng);
     let clear_test = gen.generate_uniform(test_n, &mut rng);
-    let clear_acc = clear_model.evaluate(clear_test.features(), clear_test.labels()).accuracy;
+    let clear_acc = clear_model
+        .evaluate(clear_test.features(), clear_test.labels())
+        .accuracy;
 
     println!("Figure 1 — Covariate Shift: Weather-induced variations");
     println!("(synthetic stand-in; see DESIGN.md §3 for the substitution)\n");
-    println!("{:<22} {:>8} {:>8} {:>8} {:>8} {:>8}", "", "Clear", "Fog", "Rain", "Snow", "Frost");
+    println!(
+        "{:<22} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "", "Clear", "Fog", "Rain", "Snow", "Frost"
+    );
 
     let severities = [4u8];
     for &sev in &severities {
@@ -40,16 +48,27 @@ fn main() {
         for c in Corruption::weather() {
             let regime = Regime::corrupted(c, sev);
             let shifted_test = gen.generate_with_regime(test_n, &regime, &mut rng);
-            clear_row
-                .push(clear_model.evaluate(shifted_test.features(), shifted_test.labels()).accuracy);
+            clear_row.push(
+                clear_model
+                    .evaluate(shifted_test.features(), shifted_test.labels())
+                    .accuracy,
+            );
 
             // Weather-specific expert: fine-tune the clear model on the
             // shifted distribution.
             let shifted_train = gen.generate_with_regime(train_n, &regime, &mut rng);
             let mut expert = clear_model.clone();
-            expert.train(shifted_train.features(), shifted_train.labels(), &cfg, &mut rng);
-            expert_row
-                .push(expert.evaluate(shifted_test.features(), shifted_test.labels()).accuracy);
+            expert.train(
+                shifted_train.features(),
+                shifted_train.labels(),
+                &cfg,
+                &mut rng,
+            );
+            expert_row.push(
+                expert
+                    .evaluate(shifted_test.features(), shifted_test.labels())
+                    .accuracy,
+            );
         }
         print_row(&format!("clear-trained (s{sev})"), &clear_row);
         print_row(&format!("weather experts (s{sev})"), &expert_row);

@@ -64,7 +64,9 @@ fn main() {
 
     // --- Expert assignment (greedy facility location).
     let problem = shiftex_core::assignment::AssignmentProblem {
-        cost: (0..parties).map(|i| vec![0.1 * (i % 5) as f32, 0.2, 0.3]).collect(),
+        cost: (0..parties)
+            .map(|i| vec![0.1 * (i % 5) as f32, 0.2, 0.3])
+            .collect(),
         is_new: vec![false, false, true],
         party_hists: vec![vec![0.1; 10]; parties],
         lambda: 0.5,

@@ -54,7 +54,10 @@ fn main() {
             if strat == StrategyKind::ShiftEx {
                 shiftex_run = Some(results[0].clone());
             }
-            first_runs.insert(strat.to_string(), results.into_iter().next().expect("1+ runs"));
+            first_runs.insert(
+                strat.to_string(),
+                results.into_iter().next().expect("1+ runs"),
+            );
         }
 
         println!("{}", report::render_table(&kind.to_string(), &per_strategy));
@@ -62,11 +65,17 @@ fn main() {
             println!("{}", report::render_series(&kind.to_string(), &first_runs));
         }
         if args.switch("max") {
-            println!("{}", report::render_max_per_window(&kind.to_string(), &per_strategy));
+            println!(
+                "{}",
+                report::render_max_per_window(&kind.to_string(), &per_strategy)
+            );
         }
         if args.switch("experts") {
             let sx = shiftex_run.as_ref().expect("shiftex ran");
-            println!("{}", report::render_expert_distribution(&kind.to_string(), sx));
+            println!(
+                "{}",
+                report::render_expert_distribution(&kind.to_string(), sx)
+            );
         }
         if let Some(dir) = args.value("csv") {
             let dir = std::path::Path::new(dir);

@@ -38,7 +38,11 @@ pub fn window_metrics(pre_shift_acc: f32, post_shift: f32, per_round: &[f32]) ->
         .chain(std::iter::once(post_shift))
         .fold(f32::NEG_INFINITY, f32::max)
         * 100.0;
-    WindowMetrics { drop_pct, recovery_rounds, max_acc_pct }
+    WindowMetrics {
+        drop_pct,
+        recovery_rounds,
+        max_acc_pct,
+    }
 }
 
 /// Aggregate of one window's metrics over several runs.
@@ -62,10 +66,16 @@ pub struct WindowMetricsAgg {
 /// # Panics
 ///
 /// Panics if `runs` is empty or window counts differ.
-pub fn aggregate_windows(runs: &[Vec<WindowMetrics>], round_budget: usize) -> Vec<WindowMetricsAgg> {
+pub fn aggregate_windows(
+    runs: &[Vec<WindowMetrics>],
+    round_budget: usize,
+) -> Vec<WindowMetricsAgg> {
     assert!(!runs.is_empty(), "no runs to aggregate");
     let windows = runs[0].len();
-    assert!(runs.iter().all(|r| r.len() == windows), "window count mismatch across runs");
+    assert!(
+        runs.iter().all(|r| r.len() == windows),
+        "window count mismatch across runs"
+    );
     (0..windows)
         .map(|w| {
             let drops: Vec<f32> = runs.iter().map(|r| r[w].drop_pct).collect();

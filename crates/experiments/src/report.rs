@@ -33,7 +33,9 @@ pub fn render_table(
     // Paper row order.
     let order = ["FedProx", "Fielding", "OORT", "ShiftEx", "FedDrift"];
     for name in order {
-        let Some(aggs) = per_strategy.get(name) else { continue };
+        let Some(aggs) = per_strategy.get(name) else {
+            continue;
+        };
         out.push_str(&format!("{name:<10}"));
         for agg in aggs {
             out.push_str(&format!(
@@ -54,13 +56,19 @@ pub fn render_table(
 /// round index then one accuracy column per technique.
 pub fn render_series(dataset: &str, results: &BTreeMap<String, RunResult>) -> String {
     let mut out = String::new();
-    out.push_str(&format!("# Convergence — {dataset} (accuracy % per round)\n"));
+    out.push_str(&format!(
+        "# Convergence — {dataset} (accuracy % per round)\n"
+    ));
     out.push_str(&format!("{:>6}", "round"));
     for name in results.keys() {
         out.push_str(&format!(" {name:>10}"));
     }
     out.push('\n');
-    let rounds = results.values().map(|r| r.accuracy_series.len()).max().unwrap_or(0);
+    let rounds = results
+        .values()
+        .map(|r| r.accuracy_series.len())
+        .max()
+        .unwrap_or(0);
     for round in 0..rounds {
         out.push_str(&format!("{round:>6}"));
         for r in results.values() {
@@ -130,17 +138,18 @@ pub fn render_expert_distribution(dataset: &str, result: &RunResult) -> String {
 /// # Errors
 ///
 /// Returns any I/O error from file creation or writing.
-pub fn write_series_csv(
-    path: &Path,
-    results: &BTreeMap<String, RunResult>,
-) -> std::io::Result<()> {
+pub fn write_series_csv(path: &Path, results: &BTreeMap<String, RunResult>) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
     write!(f, "round")?;
     for name in results.keys() {
         write!(f, ",{name}")?;
     }
     writeln!(f)?;
-    let rounds = results.values().map(|r| r.accuracy_series.len()).max().unwrap_or(0);
+    let rounds = results
+        .values()
+        .map(|r| r.accuracy_series.len())
+        .max()
+        .unwrap_or(0);
     for round in 0..rounds {
         write!(f, "{round}")?;
         for r in results.values() {
@@ -164,7 +173,10 @@ pub fn write_table_csv(
     per_strategy: &BTreeMap<String, Vec<WindowMetricsAgg>>,
 ) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
-    writeln!(f, "strategy,window,drop_mean,drop_std,recovery,max_mean,max_std")?;
+    writeln!(
+        f,
+        "strategy,window,drop_mean,drop_std,recovery,max_mean,max_std"
+    )?;
     for (name, aggs) in per_strategy {
         for (w, agg) in aggs.iter().enumerate() {
             writeln!(

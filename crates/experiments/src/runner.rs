@@ -39,7 +39,14 @@ pub fn run_scenario(
     shiftex_cfg: &shiftex_core::ShiftExConfig,
 ) -> Vec<RunResult> {
     (0..runs)
-        .map(|r| run_once(kind, scenario, scenario.seed ^ (0x9e37 + r as u64), shiftex_cfg))
+        .map(|r| {
+            run_once(
+                kind,
+                scenario,
+                scenario.seed ^ (0x9e37 + r as u64),
+                shiftex_cfg,
+            )
+        })
         .collect()
 }
 
@@ -147,12 +154,20 @@ mod tests {
     #[test]
     fn run_records_all_series() {
         let scenario = Scenario::build(DatasetKind::FashionMnist, SimScale::Smoke, 3);
-        let result = run_once(StrategyKind::Fielding, &scenario, 5, &ShiftExConfig::default());
+        let result = run_once(
+            StrategyKind::Fielding,
+            &scenario,
+            5,
+            &ShiftExConfig::default(),
+        );
         let expected_rounds =
             scenario.bootstrap_rounds() + scenario.rounds_per_window * scenario.eval_windows();
         assert_eq!(result.accuracy_series.len(), expected_rounds);
         assert_eq!(result.windows.len(), scenario.eval_windows());
-        assert_eq!(result.expert_distribution.len(), scenario.eval_windows() + 1);
+        assert_eq!(
+            result.expert_distribution.len(),
+            scenario.eval_windows() + 1
+        );
         assert_eq!(result.post_shift_accuracy.len(), scenario.eval_windows());
         // Distributions count every party exactly once.
         for dist in &result.expert_distribution {

@@ -4,7 +4,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use shiftex_data::{
-    profile, DatasetKind, DatasetProfile, Dataset, PrototypeGenerator, SimScale, WindowingMode,
+    profile, Dataset, DatasetKind, DatasetProfile, PrototypeGenerator, SimScale, WindowingMode,
 };
 use shiftex_fl::{Party, PartyId};
 use shiftex_nn::{ArchSpec, InputShape};
@@ -32,8 +32,7 @@ impl Scenario {
     pub fn build(kind: DatasetKind, scale: SimScale, seed: u64) -> Scenario {
         let mut rng = StdRng::seed_from_u64(seed);
         let profile = profile(kind, scale);
-        let generator =
-            PrototypeGenerator::new(profile.shape, profile.classes, &mut rng);
+        let generator = PrototypeGenerator::new(profile.shape, profile.classes, &mut rng);
         let schedule = ScheduleBuilder::from_profile(&profile, &mut rng).build(&mut rng);
         let spec = arch_for(kind, &profile);
         let rounds_per_window = match (kind, scale) {
@@ -44,7 +43,14 @@ impl Scenario {
             (DatasetKind::TinyImagenetC, SimScale::Paper) => 40,
             (_, SimScale::Paper) => 51,
         };
-        Scenario { profile, generator, schedule, spec, rounds_per_window, seed }
+        Scenario {
+            profile,
+            generator,
+            schedule,
+            spec,
+            rounds_per_window,
+            seed,
+        }
     }
 
     /// Cohort size per round, scaled to the population.
@@ -63,12 +69,16 @@ impl Scenario {
         (0..self.profile.num_parties)
             .map(|i| {
                 let regime = self.schedule.regime(0, i);
-                let train = self
-                    .generator
-                    .generate_with_regime(self.profile.samples_per_party, regime, rng);
-                let test = self
-                    .generator
-                    .generate_with_regime(self.profile.test_samples_per_party, regime, rng);
+                let train = self.generator.generate_with_regime(
+                    self.profile.samples_per_party,
+                    regime,
+                    rng,
+                );
+                let test = self.generator.generate_with_regime(
+                    self.profile.test_samples_per_party,
+                    regime,
+                    rng,
+                );
                 Party::new(PartyId(i), train, test)
             })
             .collect()
@@ -84,7 +94,10 @@ impl Scenario {
     ///
     /// Panics if `window` is 0 or out of schedule range.
     pub fn advance(&self, parties: &mut [Party], window: usize, rng: &mut StdRng) {
-        assert!(window > 0 && window < self.schedule.num_windows(), "window out of range");
+        assert!(
+            window > 0 && window < self.schedule.num_windows(),
+            "window out of range"
+        );
         for (i, party) in parties.iter_mut().enumerate() {
             let regime = self.schedule.regime(window, i);
             let fresh_n = match self.profile.windowing {
@@ -103,9 +116,11 @@ impl Scenario {
                     Dataset::concat(&[&carried, &fresh])
                 }
             };
-            let test = self
-                .generator
-                .generate_with_regime(self.profile.test_samples_per_party, regime, rng);
+            let test = self.generator.generate_with_regime(
+                self.profile.test_samples_per_party,
+                regime,
+                rng,
+            );
             party.advance_window(train, test);
         }
     }
@@ -118,7 +133,11 @@ impl Scenario {
 
 /// The paper's architecture pairing (§6 "Models"), in Lite form.
 fn arch_for(kind: DatasetKind, profile: &DatasetProfile) -> ArchSpec {
-    let input = InputShape { c: profile.shape.c, h: profile.shape.h, w: profile.shape.w };
+    let input = InputShape {
+        c: profile.shape.c,
+        h: profile.shape.h,
+        w: profile.shape.w,
+    };
     match kind {
         DatasetKind::Fmow => ArchSpec::densenet121_lite(input, profile.classes, 24),
         DatasetKind::TinyImagenetC => ArchSpec::resnet50_lite(input, profile.classes, 24),
@@ -148,7 +167,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let parties = s.initial_parties(&mut rng);
         assert_eq!(parties.len(), s.profile.num_parties);
-        assert!(parties.iter().all(|p| p.train().len() == s.profile.samples_per_party));
+        assert!(parties
+            .iter()
+            .all(|p| p.train().len() == s.profile.samples_per_party));
     }
 
     #[test]

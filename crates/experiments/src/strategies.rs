@@ -87,9 +87,13 @@ pub fn make_strategy_with(
         StrategyKind::FedProx => Box::new(FedProx::new(spec, train, ppr, 0.01, rng)),
         StrategyKind::Fielding => Box::new(Fielding::new(spec, train, ppr, rng)),
         StrategyKind::Oort => Box::new(Oort::new(spec, train, ppr, OortConfig::default(), rng)),
-        StrategyKind::FedDrift => {
-            Box::new(FedDrift::new(spec, train, ppr, FedDriftConfig::default(), rng))
-        }
+        StrategyKind::FedDrift => Box::new(FedDrift::new(
+            spec,
+            train,
+            ppr,
+            FedDriftConfig::default(),
+            rng,
+        )),
         StrategyKind::ShiftEx => {
             let cfg = ShiftExConfig {
                 participants_per_round: ppr,

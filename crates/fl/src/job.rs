@@ -35,7 +35,12 @@ pub struct FederatedJob {
 impl FederatedJob {
     /// Creates a job.
     pub fn new(spec: ArchSpec, parties: Vec<Party>, cfg: RoundConfig) -> Self {
-        Self { spec, parties, cfg, ledger: CommLedger::new() }
+        Self {
+            spec,
+            parties,
+            cfg,
+            ledger: CommLedger::new(),
+        }
     }
 
     /// The architecture trained by this job.
@@ -121,7 +126,14 @@ impl FederatedJob {
             } else {
                 cohort
             };
-            let outcome = run_round(&self.spec, &params, &cohort, &self.cfg, Some(&self.ledger), rng);
+            let outcome = run_round(
+                &self.spec,
+                &params,
+                &cohort,
+                &self.cfg,
+                Some(&self.ledger),
+                rng,
+            );
             for u in &outcome.updates {
                 selector.observe(u.party, u.train_loss);
             }
@@ -129,9 +141,17 @@ impl FederatedJob {
             loss_per_round.push(outcome.mean_loss);
             let eval_parties: Vec<Party> =
                 eligible.iter().map(|&i| self.parties[i].clone()).collect();
-            accuracy_per_round.push(crate::evaluate_on_parties(&self.spec, &params, &eval_parties));
+            accuracy_per_round.push(crate::evaluate_on_parties(
+                &self.spec,
+                &params,
+                &eval_parties,
+            ));
         }
-        JobReport { params, accuracy_per_round, loss_per_round }
+        JobReport {
+            params,
+            accuracy_per_round,
+            loss_per_round,
+        }
     }
 }
 
@@ -157,7 +177,10 @@ mod tests {
             .collect();
         let spec = ArchSpec::mlp("t", 16, &[10], 3);
         let init = Sequential::build(&spec, &mut rng).params_flat();
-        (FederatedJob::new(spec, parties, RoundConfig::default()), init)
+        (
+            FederatedJob::new(spec, parties, RoundConfig::default()),
+            init,
+        )
     }
 
     #[test]
@@ -168,7 +191,10 @@ mod tests {
         assert_eq!(report.accuracy_per_round.len(), 10);
         let first = report.accuracy_per_round[0];
         let last = *report.accuracy_per_round.last().unwrap();
-        assert!(last >= first, "accuracy should not regress: {first} -> {last}");
+        assert!(
+            last >= first,
+            "accuracy should not regress: {first} -> {last}"
+        );
         // Hard synthetic task: clearly above the 33 % chance level suffices.
         assert!(last > 0.38, "final accuracy {last}");
     }
@@ -178,8 +204,7 @@ mod tests {
         let (mut job, init) = job(6, 2);
         let mut rng = StdRng::seed_from_u64(3);
         let eligible = [PartyId(0), PartyId(1)];
-        let report =
-            job.run_rounds_on(init, 2, &mut UniformSelector, Some(&eligible), &mut rng);
+        let report = job.run_rounds_on(init, 2, &mut UniformSelector, Some(&eligible), &mut rng);
         assert_eq!(report.accuracy_per_round.len(), 2);
     }
 

@@ -59,7 +59,10 @@ use shiftex_tensor::Matrix;
 pub fn evaluate_on_parties(spec: &ArchSpec, params: &[f32], parties: &[Party]) -> f32 {
     let mut model = Sequential::build(spec, &mut deterministic_rng());
     model.set_params_flat(params);
-    weighted_accuracy(&model, parties.iter().map(|p| (p.test_features(), p.test_labels())))
+    weighted_accuracy(
+        &model,
+        parties.iter().map(|p| (p.test_features(), p.test_labels())),
+    )
 }
 
 /// Weighted accuracy over `(features, labels)` pairs.

@@ -30,7 +30,12 @@ pub struct Party {
 impl Party {
     /// Creates a party with its initial window data.
     pub fn new(id: PartyId, train: Dataset, test: Dataset) -> Self {
-        Self { id, train, test, prev_train: None }
+        Self {
+            id,
+            train,
+            test,
+            prev_train: None,
+        }
     }
 
     /// Party identifier.
@@ -117,7 +122,11 @@ mod tests {
     fn party(seed: u64) -> Party {
         let mut rng = StdRng::seed_from_u64(seed);
         let gen = PrototypeGenerator::new(ImageShape::new(1, 4, 4), 3, &mut rng);
-        Party::new(PartyId(7), gen.generate_uniform(20, &mut rng), gen.generate_uniform(10, &mut rng))
+        Party::new(
+            PartyId(7),
+            gen.generate_uniform(20, &mut rng),
+            gen.generate_uniform(10, &mut rng),
+        )
     }
 
     #[test]

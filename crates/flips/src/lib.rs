@@ -62,7 +62,10 @@ pub fn cluster_by_labels(infos: &[PartyInfo], k_max: usize, rng: &mut StdRng) ->
     for (i, &c) in selection.result.assignment.iter().enumerate() {
         clusters[c].push(infos[i].id);
     }
-    LabelClusters { clusters, centroids: selection.result.centroids }
+    LabelClusters {
+        clusters,
+        centroids: selection.result.centroids,
+    }
 }
 
 /// The FLIPS participant selector.
@@ -83,7 +86,10 @@ impl FlipsSelector {
     ///
     /// Panics if `infos` is empty.
     pub fn fit(infos: &[PartyInfo], k_max: usize, rng: &mut StdRng) -> Self {
-        Self { clusters: cluster_by_labels(infos, k_max, rng), cursor: 0 }
+        Self {
+            clusters: cluster_by_labels(infos, k_max, rng),
+            cursor: 0,
+        }
     }
 
     /// The fitted label clusters.
@@ -107,8 +113,11 @@ impl ParticipantSelector for FlipsSelector {
             .clusters
             .iter()
             .map(|c| {
-                let mut deck: Vec<PartyId> =
-                    c.iter().copied().filter(|id| eligible.contains(id)).collect();
+                let mut deck: Vec<PartyId> = c
+                    .iter()
+                    .copied()
+                    .filter(|id| eligible.contains(id))
+                    .collect();
                 rngx::shuffle(rng, &mut deck);
                 deck
             })
@@ -181,7 +190,10 @@ mod tests {
         assert_eq!(lc.clusters.len(), 2, "expected two label regimes");
         for cluster in &lc.clusters {
             let low: Vec<bool> = cluster.iter().map(|id| id.0 < 6).collect();
-            assert!(low.iter().all(|&b| b == low[0]), "mixed cluster: {cluster:?}");
+            assert!(
+                low.iter().all(|&b| b == low[0]),
+                "mixed cluster: {cluster:?}"
+            );
         }
     }
 

@@ -127,7 +127,10 @@ impl ArchSpec {
     ///
     /// Panics if the input height/width are not divisible by 4.
     pub fn lenet5_lite(input: InputShape, classes: usize, embed: usize) -> Self {
-        assert!(input.h % 4 == 0 && input.w % 4 == 0, "lenet needs h,w divisible by 4");
+        assert!(
+            input.h.is_multiple_of(4) && input.w.is_multiple_of(4),
+            "lenet needs h,w divisible by 4"
+        );
         Self {
             name: ArchName::LeNet5Lite,
             label: "lenet5-lite".to_string(),
@@ -211,11 +214,19 @@ impl ArchSpec {
                     shape = InputShape::flat(*n);
                 }
                 LayerSpec::Conv { out_c, .. } => {
-                    shape = InputShape { c: *out_c, h: shape.h, w: shape.w };
+                    shape = InputShape {
+                        c: *out_c,
+                        h: shape.h,
+                        w: shape.w,
+                    };
                     dim = shape.dim();
                 }
                 LayerSpec::MaxPool => {
-                    shape = InputShape { c: shape.c, h: shape.h / 2, w: shape.w / 2 };
+                    shape = InputShape {
+                        c: shape.c,
+                        h: shape.h / 2,
+                        w: shape.w / 2,
+                    };
                     dim = shape.dim();
                 }
                 LayerSpec::Relu | LayerSpec::Tanh => {}

@@ -157,7 +157,15 @@ impl Layer {
                 let out = input.map(f32::tanh);
                 (out.clone(), LayerCache::Tanh(out))
             }
-            Layer::Conv2d { in_c, out_c, k, h, w, weight, bias } => {
+            Layer::Conv2d {
+                in_c,
+                out_c,
+                k,
+                h,
+                w,
+                weight,
+                bias,
+            } => {
                 let (out, _) = conv_forward(input, *in_c, *out_c, *k, *h, *w, weight, bias);
                 (out, LayerCache::Conv(input.clone()))
             }
@@ -183,9 +191,15 @@ impl Layer {
             }
             Layer::Relu => input.map(|v| if v > 0.0 { v } else { 0.0 }),
             Layer::Tanh => input.map(f32::tanh),
-            Layer::Conv2d { in_c, out_c, k, h, w, weight, bias } => {
-                conv_forward(input, *in_c, *out_c, *k, *h, *w, weight, bias).0
-            }
+            Layer::Conv2d {
+                in_c,
+                out_c,
+                k,
+                h,
+                w,
+                weight,
+                bias,
+            } => conv_forward(input, *in_c, *out_c, *k, *h, *w, weight, bias).0,
             Layer::MaxPool2d { c, h, w } => pool_forward(input, *c, *h, *w).0,
             Layer::InstanceNorm => norm_forward(input).0,
         }
@@ -213,9 +227,18 @@ impl Layer {
                 let grad_in = grad_out.zip_with(out, |g, o| g * (1.0 - o * o));
                 (grad_in, ParamGrad::default())
             }
-            (Layer::Conv2d { in_c, out_c, k, h, w, weight, .. }, LayerCache::Conv(input)) => {
-                conv_backward(input, grad_out, *in_c, *out_c, *k, *h, *w, weight)
-            }
+            (
+                Layer::Conv2d {
+                    in_c,
+                    out_c,
+                    k,
+                    h,
+                    w,
+                    weight,
+                    ..
+                },
+                LayerCache::Conv(input),
+            ) => conv_backward(input, grad_out, *in_c, *out_c, *k, *h, *w, weight),
             (Layer::MaxPool2d { c, h, w }, LayerCache::Pool(idx, in_dim)) => {
                 let out_dim = c * (h / 2) * (w / 2);
                 let mut grad_in = Matrix::zeros(grad_out.rows(), *in_dim);
@@ -232,12 +255,12 @@ impl Layer {
                 // y = (x - mu) / sigma; dL/dx = (g - mean(g) - y*mean(g*y)) / sigma.
                 let n = out.cols() as f32;
                 let mut grad_in = Matrix::zeros(grad_out.rows(), grad_out.cols());
-                for r in 0..grad_out.rows() {
+                for (r, &sigma) in stds.iter().enumerate() {
                     let g = grad_out.row(r);
                     let y = out.row(r);
                     let mean_g: f32 = g.iter().sum::<f32>() / n;
                     let mean_gy: f32 = g.iter().zip(y.iter()).map(|(a, b)| a * b).sum::<f32>() / n;
-                    let inv_sigma = 1.0 / stds[r];
+                    let inv_sigma = 1.0 / sigma;
                     let row = grad_in.row_mut(r);
                     for i in 0..row.len() {
                         row[i] = (g[i] - mean_g - y[i] * mean_gy) * inv_sigma;
@@ -378,7 +401,10 @@ fn conv_backward(
 
 /// Forward 2×2/stride-2 max pooling; returns output and winner indices.
 fn pool_forward(input: &Matrix, c: usize, h: usize, w: usize) -> (Matrix, Vec<usize>) {
-    assert!(h % 2 == 0 && w % 2 == 0, "pooling requires even spatial dims, got {h}x{w}");
+    assert!(
+        h.is_multiple_of(2) && w.is_multiple_of(2),
+        "pooling requires even spatial dims, got {h}x{w}"
+    );
     let (oh, ow) = (h / 2, w / 2);
     let batch = input.rows();
     let out_dim = c * oh * ow;
@@ -420,7 +446,10 @@ mod tests {
 
     fn dense(fan_in: usize, fan_out: usize, seed: u64) -> Layer {
         let mut rng = StdRng::seed_from_u64(seed);
-        Layer::Dense { w: Matrix::xavier(fan_in, fan_out, &mut rng), b: vec![0.0; fan_out] }
+        Layer::Dense {
+            w: Matrix::xavier(fan_in, fan_out, &mut rng),
+            b: vec![0.0; fan_out],
+        }
     }
 
     #[test]
@@ -533,7 +562,12 @@ mod tests {
         let x = Matrix::from_rows(&[&[10.0, 12.0, 14.0, 16.0]]);
         let (y, _) = layer.forward(&x);
         let mean: f32 = y.row(0).iter().sum::<f32>() / 4.0;
-        let var: f32 = y.row(0).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        let var: f32 = y
+            .row(0)
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }

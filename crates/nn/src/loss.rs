@@ -11,13 +11,20 @@ use shiftex_tensor::{vector, Matrix};
 ///
 /// Panics if `labels.len() != logits.rows()` or a label is out of range.
 pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
-    assert_eq!(logits.rows(), labels.len(), "label count must match batch size");
+    assert_eq!(
+        logits.rows(),
+        labels.len(),
+        "label count must match batch size"
+    );
     let n = logits.rows().max(1);
     let classes = logits.cols();
     let mut grad = Matrix::zeros(logits.rows(), classes);
     let mut total_loss = 0.0f32;
     for (r, &label) in labels.iter().enumerate() {
-        assert!(label < classes, "label {label} out of range for {classes} classes");
+        assert!(
+            label < classes,
+            "label {label} out of range for {classes} classes"
+        );
         let probs = vector::softmax(logits.row(r));
         total_loss += -(probs[label].max(1e-12)).ln();
         let grad_row = grad.row_mut(r);

@@ -81,11 +81,23 @@ impl Sequential {
                         bias: vec![0.0; out_c],
                     });
                     // xavier() gives (rows=out_c, cols=fan_in) already:
-                    shape = InputShape { c: out_c, h: shape.h, w: shape.w };
+                    shape = InputShape {
+                        c: out_c,
+                        h: shape.h,
+                        w: shape.w,
+                    };
                 }
                 LayerSpec::MaxPool => {
-                    layers.push(Layer::MaxPool2d { c: shape.c, h: shape.h, w: shape.w });
-                    shape = InputShape { c: shape.c, h: shape.h / 2, w: shape.w / 2 };
+                    layers.push(Layer::MaxPool2d {
+                        c: shape.c,
+                        h: shape.h,
+                        w: shape.w,
+                    });
+                    shape = InputShape {
+                        c: shape.c,
+                        h: shape.h / 2,
+                        w: shape.w / 2,
+                    };
                 }
             }
         }
@@ -95,7 +107,10 @@ impl Sequential {
             w: Matrix::xavier(fan_in, spec.classes, rng),
             b: vec![0.0; spec.classes],
         });
-        Self { spec: spec.clone(), layers }
+        Self {
+            spec: spec.clone(),
+            layers,
+        }
     }
 
     /// The architecture this model was built from.
@@ -179,13 +194,25 @@ impl Sequential {
     /// Panics if `labels.len() != x.rows()`.
     pub fn evaluate(&self, x: &Matrix, labels: &[usize]) -> EvalReport {
         if x.rows() == 0 {
-            return EvalReport { loss: 0.0, accuracy: 0.0, n: 0 };
+            return EvalReport {
+                loss: 0.0,
+                accuracy: 0.0,
+                n: 0,
+            };
         }
         let logits = self.forward(x);
         let (loss, _) = softmax_cross_entropy(&logits, labels);
         let preds = logits.argmax_rows();
-        let correct = preds.iter().zip(labels.iter()).filter(|(p, l)| p == l).count();
-        EvalReport { loss, accuracy: correct as f32 / labels.len() as f32, n: labels.len() }
+        let correct = preds
+            .iter()
+            .zip(labels.iter())
+            .filter(|(p, l)| p == l)
+            .count();
+        EvalReport {
+            loss,
+            accuracy: correct as f32 / labels.len() as f32,
+            n: labels.len(),
+        }
     }
 
     /// One SGD step on a single mini-batch; returns the batch loss.
@@ -247,7 +274,11 @@ impl Sequential {
         assert_eq!(x.rows(), labels.len(), "label count must match batch size");
         let n = x.rows();
         if n == 0 {
-            return FitReport { initial_loss: 0.0, final_loss: 0.0, steps: 0 };
+            return FitReport {
+                initial_loss: 0.0,
+                final_loss: 0.0,
+                steps: 0,
+            };
         }
         let mut opt = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay);
         let anchor = cfg.prox_mu.map(|mu| (self.params_flat(), mu));
@@ -273,7 +304,11 @@ impl Sequential {
             }
             last = mean;
         }
-        FitReport { initial_loss: first, final_loss: last, steps }
+        FitReport {
+            initial_loss: first,
+            final_loss: last,
+            steps,
+        }
     }
 }
 
@@ -293,7 +328,11 @@ mod tests {
             if j == 0 {
                 labels.push(class);
             }
-            let sign = if (j % 2 == 0) == (class == 0) { 2.0 } else { -2.0 };
+            let sign = if (j % 2 == 0) == (class == 0) {
+                2.0
+            } else {
+                -2.0
+            };
             sign + shiftex_tensor::rngx::normal(rng, 0.0, 0.5)
         });
         (x, labels)
@@ -326,7 +365,12 @@ mod tests {
         let (x, y) = blobs(64, &mut rng);
         let spec = ArchSpec::mlp("blobs", 4, &[8], 2);
         let mut model = Sequential::build(&spec, &mut rng);
-        let cfg = TrainConfig { epochs: 30, batch_size: 16, lr: 0.1, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 16,
+            lr: 0.1,
+            ..TrainConfig::default()
+        };
         let report = model.train(&x, &y, &cfg, &mut rng);
         assert!(report.final_loss < report.initial_loss);
         let eval = model.evaluate(&x, &y);
@@ -382,7 +426,12 @@ mod tests {
                 shiftex_tensor::rngx::normal(&mut rng, 0.0, 0.1)
             }
         });
-        let cfg = TrainConfig { epochs: 15, batch_size: 8, lr: 0.05, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 15,
+            batch_size: 8,
+            lr: 0.05,
+            ..TrainConfig::default()
+        };
         model.train(&x, &labels, &cfg, &mut rng);
         let eval = model.evaluate(&x, &labels);
         assert!(eval.accuracy > 0.9, "conv accuracy {}", eval.accuracy);

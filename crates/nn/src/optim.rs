@@ -35,7 +35,13 @@ impl Sgd {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
         assert!(weight_decay >= 0.0, "weight decay must be non-negative");
-        Self { lr, momentum, weight_decay, clip_norm: Self::DEFAULT_CLIP, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+            clip_norm: Self::DEFAULT_CLIP,
+            velocity: Vec::new(),
+        }
     }
 
     /// Applies one update: clip `g` to `clip_norm`, then
@@ -49,9 +55,21 @@ impl Sgd {
         if self.velocity.len() != params.len() {
             self.velocity = vec![0.0; params.len()];
         }
-        let norm = grads.iter().map(|g| (*g as f64) * (*g as f64)).sum::<f64>().sqrt() as f32;
-        let scale = if norm > self.clip_norm && norm > 0.0 { self.clip_norm / norm } else { 1.0 };
-        for ((w, &g), v) in params.iter_mut().zip(grads.iter()).zip(self.velocity.iter_mut()) {
+        let norm = grads
+            .iter()
+            .map(|g| (*g as f64) * (*g as f64))
+            .sum::<f64>()
+            .sqrt() as f32;
+        let scale = if norm > self.clip_norm && norm > 0.0 {
+            self.clip_norm / norm
+        } else {
+            1.0
+        };
+        for ((w, &g), v) in params
+            .iter_mut()
+            .zip(grads.iter())
+            .zip(self.velocity.iter_mut())
+        {
             let g = g * scale + self.weight_decay * *w;
             *v = self.momentum * *v + g;
             *w -= self.lr * *v;

@@ -105,7 +105,11 @@ mod tests {
                 -1.5
             }
         });
-        let cfg = TrainConfig { epochs: 20, lr: 0.1, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 20,
+            lr: 0.1,
+            ..TrainConfig::default()
+        };
         let fit = train_local_params(&spec, &init, &x, &labels, &cfg, &mut rng);
         assert_eq!(fit.num_samples, 40);
 
@@ -122,7 +126,10 @@ mod tests {
         let spec = ArchSpec::mlp("t", 4, &[4], 2);
         let init = Sequential::build(&spec, &mut rng).params_flat();
         let x = Matrix::zeros(4, 4);
-        let cfg = TrainConfig { epochs: 0, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 0,
+            ..TrainConfig::default()
+        };
         let fit = train_local_params(&spec, &init, &x, &[0, 1, 0, 1], &cfg, &mut rng);
         assert_eq!(fit.params, init);
     }

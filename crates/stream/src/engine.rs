@@ -72,7 +72,10 @@ impl WindowedIngest {
         for idx in ready {
             let records = self.buffers.remove(&idx).unwrap_or_default();
             self.emitted_through = Some(idx);
-            out.push(EmittedWindow { index: idx, records });
+            out.push(EmittedWindow {
+                index: idx,
+                records,
+            });
         }
         out
     }
@@ -82,7 +85,10 @@ impl WindowedIngest {
         let mut out = Vec::new();
         while let Some((&idx, _)) = self.buffers.iter().next() {
             let records = self.buffers.remove(&idx).unwrap_or_default();
-            out.push(EmittedWindow { index: idx, records });
+            out.push(EmittedWindow {
+                index: idx,
+                records,
+            });
         }
         out
     }
@@ -116,7 +122,11 @@ mod tests {
     use super::*;
 
     fn record(ts: u64) -> Record {
-        Record { ts, x: vec![ts as f32], y: 0 }
+        Record {
+            ts,
+            x: vec![ts as f32],
+            y: 0,
+        }
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl ShiftSchedule {
     ///
     /// Panics if `window == 0` or out of range.
     pub fn shifted_parties(&self, window: usize) -> Vec<usize> {
-        assert!(window > 0 && window < self.regimes.len(), "window out of range");
+        assert!(
+            window > 0 && window < self.regimes.len(),
+            "window out of range"
+        );
         (0..self.num_parties)
             .filter(|&p| self.regimes[window][p] != self.regimes[window - 1][p])
             .collect()
@@ -99,7 +102,12 @@ impl ScheduleBuilder {
     /// Starts a builder from a dataset profile (pool drawn from the profile).
     pub fn from_profile(profile: &DatasetProfile, rng: &mut impl Rng) -> Self {
         let pool = profile.regime_pool(rng);
-        let mut b = Self::new(profile.num_parties, profile.eval_windows, pool, profile.classes);
+        let mut b = Self::new(
+            profile.num_parties,
+            profile.eval_windows,
+            pool,
+            profile.classes,
+        );
         b.shift_fraction = profile.shift_fraction;
         b.label_alpha = profile.label_alpha;
         b.base_label_alpha = Some(profile.base_label_alpha);
@@ -112,7 +120,10 @@ impl ScheduleBuilder {
     ///
     /// Panics if outside `[0, 1]`.
     pub fn shift_fraction(mut self, frac: f32) -> Self {
-        assert!((0.0..=1.0).contains(&frac), "shift fraction must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&frac),
+            "shift fraction must be in [0,1]"
+        );
         self.shift_fraction = frac;
         self
     }
@@ -185,7 +196,10 @@ impl ScheduleBuilder {
             }
             regimes.push(row);
         }
-        ShiftSchedule { regimes, num_parties: self.num_parties }
+        ShiftSchedule {
+            regimes,
+            num_parties: self.num_parties,
+        }
     }
 }
 
@@ -215,7 +229,9 @@ mod tests {
     #[test]
     fn half_the_parties_shift_each_window() {
         let mut rng = StdRng::seed_from_u64(1);
-        let s = ScheduleBuilder::new(20, 2, pool(), 4).shift_fraction(0.5).build(&mut rng);
+        let s = ScheduleBuilder::new(20, 2, pool(), 4)
+            .shift_fraction(0.5)
+            .build(&mut rng);
         let shifted = s.shifted_parties(1);
         assert_eq!(shifted.len(), 10);
     }
@@ -223,7 +239,9 @@ mod tests {
     #[test]
     fn zero_fraction_means_no_shift() {
         let mut rng = StdRng::seed_from_u64(2);
-        let s = ScheduleBuilder::new(10, 3, pool(), 4).shift_fraction(0.0).build(&mut rng);
+        let s = ScheduleBuilder::new(10, 3, pool(), 4)
+            .shift_fraction(0.0)
+            .build(&mut rng);
         for w in 1..4 {
             assert!(s.shifted_parties(w).is_empty());
         }

@@ -77,7 +77,11 @@ impl WindowSpec {
         let last = ts / step; // latest window starting at or before ts
         let mut out = Vec::new();
         // Earliest window that could still contain ts.
-        let first = if ts >= size { (ts - size) / step + 1 } else { 0 };
+        let first = if ts >= size {
+            (ts - size) / step + 1
+        } else {
+            0
+        };
         for i in first..=last {
             let (s, e) = self.bounds(i);
             if ts >= s && ts < e {

@@ -104,8 +104,15 @@ impl Enclave {
     ///
     /// Panics if `overhead_factor` is negative.
     pub fn new(key: u64, overhead_factor: f64) -> Self {
-        assert!(overhead_factor >= 0.0, "overhead factor must be non-negative");
-        Self { key, overhead_factor, costs: std::cell::RefCell::new(EnclaveCosts::default()) }
+        assert!(
+            overhead_factor >= 0.0,
+            "overhead factor must be non-negative"
+        );
+        Self {
+            key,
+            overhead_factor,
+            costs: std::cell::RefCell::new(EnclaveCosts::default()),
+        }
     }
 
     /// Attestation measurement: a stable digest of the enclave identity.
@@ -150,15 +157,19 @@ impl Enclave {
     /// # Errors
     ///
     /// Propagates integrity failures from unsealing.
-    pub fn run<T, U>(&self, input: &SealedBlob, f: impl FnOnce(T) -> U) -> Result<SealedBlob, TeeError>
+    pub fn run<T, U>(
+        &self,
+        input: &SealedBlob,
+        f: impl FnOnce(T) -> U,
+    ) -> Result<SealedBlob, TeeError>
     where
         T: serde::de::DeserializeOwned,
         U: Serialize,
     {
         let start = std::time::Instant::now();
         let plaintext = self.unseal(input)?;
-        let value: T = serde_json::from_slice(&plaintext)
-            .map_err(|_| TeeError::IntegrityFailure)?;
+        let value: T =
+            serde_json::from_slice(&plaintext).map_err(|_| TeeError::IntegrityFailure)?;
         let out = f(value);
         let out_bytes = serde_json::to_vec(&out).expect("enclave output serialises");
         let sealed = self.seal(&out_bytes);

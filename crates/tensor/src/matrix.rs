@@ -28,17 +28,29 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows × cols` matrix filled with ones.
     pub fn ones(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![1.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![1.0; rows * cols],
+        }
     }
 
     /// Creates a matrix filled with a constant value.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -78,7 +90,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows: expected {c}, got {}", row.len());
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix by evaluating `f(row, col)` for every element.
@@ -152,7 +168,10 @@ impl Matrix {
     /// Panics if `r >= rows` or `c >= cols`.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -163,7 +182,10 @@ impl Matrix {
     /// Panics if the index is out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -304,7 +326,11 @@ impl Matrix {
             .zip(rhs.data.iter())
             .map(|(&a, &b)| f(a, b))
             .collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Returns a new matrix with `f` applied to every element.
@@ -402,7 +428,11 @@ impl Matrix {
         for &i in indices {
             data.extend_from_slice(self.row(i));
         }
-        Matrix { rows: indices.len(), cols: self.cols, data }
+        Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Stacks matrices vertically. All inputs must share `cols`.

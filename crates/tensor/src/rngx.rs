@@ -174,7 +174,10 @@ mod tests {
         assert!(max > 0.3, "alpha=0.1 draws should be skewed, got max {max}");
         let q = dirichlet(&mut rng, 100.0, 10);
         let max_q = q.iter().cloned().fold(0.0, f32::max);
-        assert!(max_q < 0.2, "alpha=100 draws should be near-uniform, got max {max_q}");
+        assert!(
+            max_q < 0.2,
+            "alpha=100 draws should be near-uniform, got max {max_q}"
+        );
     }
 
     #[test]

@@ -19,13 +19,25 @@ impl Summary {
     /// Computes a summary of `xs` (all-zero summary for empty input).
     pub fn of(xs: &[f32]) -> Self {
         if xs.is_empty() {
-            return Self { mean: 0.0, std: 0.0, min: 0.0, max: 0.0, n: 0 };
+            return Self {
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+                n: 0,
+            };
         }
         let mean = crate::vector::mean(xs);
         let std = crate::vector::std_dev(xs);
         let min = xs.iter().cloned().fold(f32::INFINITY, f32::min);
         let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        Self { mean, std, min, max, n: xs.len() }
+        Self {
+            mean,
+            std,
+            min,
+            max,
+            n: xs.len(),
+        }
     }
 }
 
@@ -78,7 +90,10 @@ pub fn label_histogram(labels: impl IntoIterator<Item = usize>, bins: usize) -> 
     if total == 0 {
         return vec![1.0 / bins.max(1) as f32; bins];
     }
-    counts.into_iter().map(|c| c as f32 / total as f32).collect()
+    counts
+        .into_iter()
+        .map(|c| c as f32 / total as f32)
+        .collect()
 }
 
 /// Exponential moving average: `beta * prev + (1 - beta) * next`, elementwise.

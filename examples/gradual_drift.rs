@@ -33,10 +33,16 @@ fn main() {
         })
         .collect();
 
-    let cfg = ShiftExConfig { participants_per_round: 6, ..ShiftExConfig::default() };
+    let cfg = ShiftExConfig {
+        participants_per_round: 6,
+        ..ShiftExConfig::default()
+    };
     let mut shiftex = ShiftEx::new(cfg, spec, &mut rng);
     shiftex.bootstrap(&parties, 12, &mut rng);
-    println!("W0 clear: accuracy {:.1}%\n", shiftex.evaluate(&parties) * 100.0);
+    println!(
+        "W0 clear: accuracy {:.1}%\n",
+        shiftex.evaluate(&parties) * 100.0
+    );
 
     // Fog rolls in *gradually*: severity ramps 1 → 5 over five windows.
     // The drift monitor watches the drifting parties' mean MMD per window.
@@ -45,7 +51,11 @@ fn main() {
         let regime =
             Regime::corrupted(Corruption::Fog, severity).with_id(RegimeId(severity as u32));
         for (i, p) in parties.iter_mut().enumerate() {
-            let r = if drifting.contains(&i) { regime.clone() } else { Regime::clear() };
+            let r = if drifting.contains(&i) {
+                regime.clone()
+            } else {
+                Regime::clear()
+            };
             p.advance_window(
                 gen.generate_with_regime(40, &r, &mut rng),
                 gen.generate_with_regime(20, &r, &mut rng),
@@ -53,8 +63,9 @@ fn main() {
         }
         let report = shiftex.process_window(&parties, &mut rng);
         // Initialise the CUSUM reference at the calibrated noise level.
-        let mon = monitor
-            .get_or_insert_with(|| DriftMonitor::new(report.delta_cov * 0.3, report.delta_cov * 2.0));
+        let mon = monitor.get_or_insert_with(|| {
+            DriftMonitor::new(report.delta_cov * 0.3, report.delta_cov * 2.0)
+        });
         let mean_mmd: f32 = {
             let scores: Vec<f32> = shiftex
                 .party_stats()

@@ -31,10 +31,16 @@ fn main() {
         })
         .collect();
 
-    let cfg = ShiftExConfig { participants_per_round: 6, ..ShiftExConfig::default() };
+    let cfg = ShiftExConfig {
+        participants_per_round: 6,
+        ..ShiftExConfig::default()
+    };
     let mut shiftex = ShiftEx::new(cfg, spec, &mut rng);
     shiftex.bootstrap(&parties, 12, &mut rng);
-    println!("W0 (balanced case mix): accuracy {:.1}%", shiftex.evaluate(&parties) * 100.0);
+    println!(
+        "W0 (balanced case mix): accuracy {:.1}%",
+        shiftex.evaluate(&parties) * 100.0
+    );
 
     // Flu season: half the clinics see a heavy skew towards classes 0–1,
     // with covariates (the imaging) unchanged.

@@ -6,7 +6,7 @@
 //! ```
 
 use rand::{rngs::StdRng, SeedableRng};
-use shiftex::core::{ContinualStrategy, ShiftEx, ShiftExConfig};
+use shiftex::core::{ShiftEx, ShiftExConfig};
 use shiftex::data::{Corruption, ImageShape, PrototypeGenerator, Regime};
 use shiftex::fl::{Party, PartyId};
 use shiftex::nn::ArchSpec;
@@ -28,10 +28,16 @@ fn main() {
 
     // 2. Bootstrap: FLIPS-balanced federated training of the first expert.
     let spec = ArchSpec::resnet18_lite(shiftex::nn::InputShape { c: 3, h: 8, w: 8 }, 10, 24);
-    let cfg = ShiftExConfig { participants_per_round: 8, ..ShiftExConfig::default() };
+    let cfg = ShiftExConfig {
+        participants_per_round: 8,
+        ..ShiftExConfig::default()
+    };
     let mut shiftex = ShiftEx::new(cfg, spec, &mut rng);
     shiftex.bootstrap(&parties, 12, &mut rng);
-    println!("after bootstrap: accuracy {:.1}%", shiftex.evaluate(&parties) * 100.0);
+    println!(
+        "after bootstrap: accuracy {:.1}%",
+        shiftex.evaluate(&parties) * 100.0
+    );
 
     // 3. A new stream window arrives: fog rolls in for half the federation.
     let fog = Regime::corrupted(Corruption::Fog, 5);
@@ -42,7 +48,10 @@ fn main() {
                 gen.generate_with_regime(20, &fog, &mut rng),
             )
         } else {
-            (gen.generate_uniform(40, &mut rng), gen.generate_uniform(20, &mut rng))
+            (
+                gen.generate_uniform(40, &mut rng),
+                gen.generate_uniform(20, &mut rng),
+            )
         };
         p.advance_window(train, test);
     }
@@ -57,7 +66,10 @@ fn main() {
         report.created.len(),
         report.reused.len()
     );
-    println!("post-shift accuracy: {:.1}%", shiftex.evaluate(&parties) * 100.0);
+    println!(
+        "post-shift accuracy: {:.1}%",
+        shiftex.evaluate(&parties) * 100.0
+    );
 
     // 5. A few federated rounds recover the federation.
     for round in 1..=6 {

@@ -29,17 +29,31 @@ fn main() {
         })
         .collect();
 
-    let cfg = ShiftExConfig { participants_per_round: 6, ..ShiftExConfig::default() };
+    let cfg = ShiftExConfig {
+        participants_per_round: 6,
+        ..ShiftExConfig::default()
+    };
     let mut shiftex = ShiftEx::new(cfg, spec, &mut rng);
     shiftex.bootstrap(&parties, 12, &mut rng);
-    println!("W0 (clear summer imagery): accuracy {:.1}%", shiftex.evaluate(&parties) * 100.0);
+    println!(
+        "W0 (clear summer imagery): accuracy {:.1}%",
+        shiftex.evaluate(&parties) * 100.0
+    );
 
     // Seasons: winter frost arrives, clears, then *returns* next year.
     let frost = Regime::corrupted(Corruption::Frost, 5).with_id(RegimeId(1));
     let seasons: [(&str, Option<&Regime>, &[usize]); 4] = [
-        ("W1 winter: frost over northern stations", Some(&frost), &[0, 1, 2, 3, 4]),
+        (
+            "W1 winter: frost over northern stations",
+            Some(&frost),
+            &[0, 1, 2, 3, 4],
+        ),
         ("W2 spring: skies clear again", None, &[0, 1, 2, 3, 4]),
-        ("W3 next winter: frost returns", Some(&frost), &[0, 1, 2, 3, 4]),
+        (
+            "W3 next winter: frost returns",
+            Some(&frost),
+            &[0, 1, 2, 3, 4],
+        ),
         ("W4 stable winter", Some(&frost), &[0, 1, 2, 3, 4]),
     ];
 

@@ -35,7 +35,11 @@ fn main() {
     }
     emitted.extend(engine.flush());
     for w in &emitted {
-        println!("window {} emitted with {} records", w.index, w.records.len());
+        println!(
+            "window {} emitted with {} records",
+            w.index,
+            w.records.len()
+        );
     }
 
     // --- Detection layer: MMD between consecutive windows' raw features.

@@ -1,0 +1,261 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace benches use — [`Criterion`],
+//! `benchmark_group`/`bench_function`/`bench_with_input`, [`BenchmarkId`],
+//! [`black_box`], and the `criterion_group!`/`criterion_main!` macros — with
+//! a simple median-of-samples wall-clock harness instead of criterion's full
+//! statistical machinery. Results print as `name ... median time/iter` lines,
+//! enough to track BENCH_*.json trajectories until the real crate is
+//! available. Benches must set `harness = false`, exactly as with real
+//! criterion.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Ignored by the shim; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`] for `bench_function` arguments.
+pub trait IntoBenchmarkId {
+    /// Converts `self` into an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on a fresh `setup()` value per iteration; only the
+    /// `routine` portion is measured.
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut measured = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.elapsed = measured;
+    }
+}
+
+/// The bench-name filter: the first non-flag CLI argument, matching real
+/// criterion's substring filtering (`cargo bench -- mmd` runs only labels
+/// containing "mmd").
+fn name_filter() -> Option<&'static str> {
+    static FILTER: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+    FILTER
+        .get_or_init(|| std::env::args().skip(1).find(|a| !a.starts_with('-')))
+        .as_deref()
+}
+
+fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    if let Some(filter) = name_filter() {
+        if !label.contains(filter) {
+            return;
+        }
+    }
+    // Calibrate the per-sample iteration count so one sample takes ~2 ms.
+    let mut calibrate = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut calibrate);
+    let per_iter = calibrate.elapsed.max(Duration::from_nanos(1));
+    let iters = (Duration::from_millis(2).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut samples: Vec<Duration> = (0..sample_size)
+        .map(|_| {
+            let mut bencher = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            bencher.elapsed / iters as u32
+        })
+        .collect();
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    println!("{label:<50} median {median:>12?}  (range {lo:?} .. {hi:?}, {iters} iters/sample)");
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

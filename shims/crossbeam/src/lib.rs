@@ -1,0 +1,107 @@
+//! Offline stand-in for `crossbeam`: the [`thread::scope`] and
+//! [`channel::unbounded`] APIs this workspace uses, implemented over
+//! `std::thread::scope` and `std::sync::mpsc`.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads with crossbeam's closure signature (`|scope| ...` where
+    //! each `spawn` closure also receives the scope).
+
+    /// Result of a joined scoped thread; `Err` carries the panic payload.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle passed to [`scope`] closures and to every spawned
+    /// closure, allowing nested spawns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope again so it
+        /// can spawn siblings (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = Scope { inner: self.inner };
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the panic
+        /// payload.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads. All spawned threads
+    /// are joined when the closure returns.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors crossbeam's signature; with this std-backed implementation an
+    /// unjoined child panic propagates as a panic rather than an `Err`, which
+    /// is indistinguishable for callers that `.expect()` the result.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod channel {
+    //! Multi-producer channels backed by `std::sync::mpsc`.
+
+    /// Sending half of an unbounded channel.
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+    /// Receiving half of an unbounded channel.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+    /// Error returned when the receiving half has disconnected.
+    pub type SendError<T> = std::sync::mpsc::SendError<T>;
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u64, 2, 3, 4];
+        let total = super::thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn channel_delivers_in_order() {
+        let (tx, rx) = super::channel::unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -15,9 +15,16 @@ fn all_five_strategies_complete_a_scenario() {
     let cfg = ShiftExConfig::default();
     for kind in StrategyKind::all() {
         let result = run_once(kind, &scenario, 3, &cfg);
-        assert_eq!(result.windows.len(), scenario.eval_windows(), "{kind}: window count");
+        assert_eq!(
+            result.windows.len(),
+            scenario.eval_windows(),
+            "{kind}: window count"
+        );
         assert!(
-            result.accuracy_series.iter().all(|a| (0.0..=1.0).contains(a)),
+            result
+                .accuracy_series
+                .iter()
+                .all(|a| (0.0..=1.0).contains(a)),
             "{kind}: accuracies must be probabilities"
         );
         // Every strategy must actually learn during burn-in. Smoke scale is
@@ -28,7 +35,10 @@ fn all_five_strategies_complete_a_scenario() {
             .iter()
             .cloned()
             .fold(0.0f32, f32::max);
-        assert!(burn_in_best > 0.15, "{kind}: best burn-in accuracy {burn_in_best}");
+        assert!(
+            burn_in_best > 0.15,
+            "{kind}: best burn-in accuracy {burn_in_best}"
+        );
     }
 }
 
@@ -36,8 +46,16 @@ fn all_five_strategies_complete_a_scenario() {
 fn every_dataset_scenario_runs_shiftex() {
     for kind in DatasetKind::all() {
         let scenario = Scenario::build(kind, SimScale::Smoke, 5);
-        let result = run_once(StrategyKind::ShiftEx, &scenario, 9, &ShiftExConfig::default());
-        assert_eq!(result.expert_distribution.len(), scenario.eval_windows() + 1);
+        let result = run_once(
+            StrategyKind::ShiftEx,
+            &scenario,
+            9,
+            &ShiftExConfig::default(),
+        );
+        assert_eq!(
+            result.expert_distribution.len(),
+            scenario.eval_windows() + 1
+        );
         for dist in &result.expert_distribution {
             assert_eq!(
                 dist.iter().sum::<usize>(),
@@ -62,7 +80,10 @@ fn expert_lifecycle_create_reuse_and_bounded_pool() {
             )
         })
         .collect();
-    let cfg = ShiftExConfig { participants_per_round: 8, ..ShiftExConfig::default() };
+    let cfg = ShiftExConfig {
+        participants_per_round: 8,
+        ..ShiftExConfig::default()
+    };
     let mut shiftex = ShiftEx::new(cfg, spec, &mut rng);
     shiftex.bootstrap(&parties, 8, &mut rng);
 
@@ -71,9 +92,17 @@ fn expert_lifecycle_create_reuse_and_bounded_pool() {
     let mut reused_total = 0;
     for window in 0..6 {
         // Alternate fog and clear for the first half of the federation.
-        let regime = if window % 2 == 0 { fog.clone() } else { Regime::clear() };
+        let regime = if window % 2 == 0 {
+            fog.clone()
+        } else {
+            Regime::clear()
+        };
         for (i, p) in parties.iter_mut().enumerate() {
-            let r = if i < 5 { regime.clone() } else { Regime::clear() };
+            let r = if i < 5 {
+                regime.clone()
+            } else {
+                Regime::clear()
+            };
             p.advance_window(
                 gen.generate_with_regime(40, &r, &mut rng),
                 gen.generate_with_regime(20, &r, &mut rng),
@@ -86,7 +115,10 @@ fn expert_lifecycle_create_reuse_and_bounded_pool() {
             ShiftEx::train_round(&mut shiftex, &parties, &mut rng);
         }
     }
-    assert!(created_total >= 1, "the fog regime must have spawned an expert");
+    assert!(
+        created_total >= 1,
+        "the fog regime must have spawned an expert"
+    );
     assert!(
         reused_total >= 2,
         "alternating regimes must trigger latent-memory reuse (got {reused_total})"

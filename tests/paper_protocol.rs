@@ -14,14 +14,25 @@ fn paper_scale_party_and_window_counts() {
     // §6: "We simulate 200 parties for CIFAR-10-C, FEMNIST, and
     // Fashion-MNIST … For FMoW, we instead use 50 parties."
     assert_eq!(profile(DatasetKind::Fmow, SimScale::Paper).num_parties, 50);
-    for kind in [DatasetKind::Cifar10C, DatasetKind::Femnist, DatasetKind::FashionMnist] {
+    for kind in [
+        DatasetKind::Cifar10C,
+        DatasetKind::Femnist,
+        DatasetKind::FashionMnist,
+    ] {
         assert_eq!(profile(kind, SimScale::Paper).num_parties, 200, "{kind}");
     }
     // §7: "4 windows for FMoW and CIFAR-10-C, and 5 windows for
     // TinyImagenet-C, FEMNIST, and FashionMNIST."
     assert_eq!(profile(DatasetKind::Fmow, SimScale::Paper).eval_windows, 4);
-    assert_eq!(profile(DatasetKind::Cifar10C, SimScale::Paper).eval_windows, 4);
-    for kind in [DatasetKind::TinyImagenetC, DatasetKind::Femnist, DatasetKind::FashionMnist] {
+    assert_eq!(
+        profile(DatasetKind::Cifar10C, SimScale::Paper).eval_windows,
+        4
+    );
+    for kind in [
+        DatasetKind::TinyImagenetC,
+        DatasetKind::Femnist,
+        DatasetKind::FashionMnist,
+    ] {
         assert_eq!(profile(kind, SimScale::Paper).eval_windows, 5, "{kind}");
     }
 }
@@ -31,10 +42,22 @@ fn windowing_strategy_matches_section_6() {
     // "For large datasets (FMoW, Tiny-ImageNet-C), we employ tumbling
     // windows … For smaller datasets …, we use sliding windows."
     for kind in [DatasetKind::Fmow, DatasetKind::TinyImagenetC] {
-        assert_eq!(profile(kind, SimScale::Paper).windowing, WindowingMode::Tumbling, "{kind}");
+        assert_eq!(
+            profile(kind, SimScale::Paper).windowing,
+            WindowingMode::Tumbling,
+            "{kind}"
+        );
     }
-    for kind in [DatasetKind::Cifar10C, DatasetKind::Femnist, DatasetKind::FashionMnist] {
-        assert_eq!(profile(kind, SimScale::Paper).windowing, WindowingMode::Sliding, "{kind}");
+    for kind in [
+        DatasetKind::Cifar10C,
+        DatasetKind::Femnist,
+        DatasetKind::FashionMnist,
+    ] {
+        assert_eq!(
+            profile(kind, SimScale::Paper).windowing,
+            WindowingMode::Sliding,
+            "{kind}"
+        );
     }
 }
 
@@ -76,9 +99,17 @@ fn recovery_metric_is_95_percent_of_preshift() {
     // §6: "Recovery Time captures the number of rounds required to regain
     // 95% of pre-shift performance."
     let m = window_metrics(0.80, 0.50, &[0.70, 0.75, 0.76, 0.80]);
-    assert_eq!(m.recovery_rounds, Some(3), "0.76 = 0.95 × 0.80 reached at round 3");
+    assert_eq!(
+        m.recovery_rounds,
+        Some(3),
+        "0.76 = 0.95 × 0.80 reached at round 3"
+    );
     let m = window_metrics(0.80, 0.77, &[0.80]);
-    assert_eq!(m.recovery_rounds, Some(0), "already above target at shift time");
+    assert_eq!(
+        m.recovery_rounds,
+        Some(0),
+        "already above target at shift time"
+    );
 }
 
 #[test]

@@ -50,11 +50,16 @@ fn enclave_protects_statistics_in_transit() {
 
     // Only the owning enclave can unseal; a different enclave fails closed.
     let other = Enclave::new(43, 0.05);
-    assert_eq!(other.unseal_value::<Vec<f32>>(&sealed), Err(TeeError::IntegrityFailure));
+    assert_eq!(
+        other.unseal_value::<Vec<f32>>(&sealed),
+        Err(TeeError::IntegrityFailure)
+    );
 
     // Enclave-side thresholding matches the plaintext computation.
     let sealed_verdicts = enclave
-        .run(&sealed, |s: Vec<f32>| s.into_iter().map(|v| v > 0.1).collect::<Vec<bool>>())
+        .run(&sealed, |s: Vec<f32>| {
+            s.into_iter().map(|v| v > 0.1).collect::<Vec<bool>>()
+        })
         .unwrap();
     let verdicts: Vec<bool> = enclave.unseal_value(&sealed_verdicts).unwrap();
     assert_eq!(verdicts, vec![false, true, false]);
@@ -112,7 +117,11 @@ fn aggregator_state_contains_no_raw_samples() {
 
     // Everything the aggregator retains per party is embedding-space.
     for stats in shiftex.party_stats() {
-        assert_eq!(stats.profile.dim(), 16, "profiles must be embeddings, not inputs");
+        assert_eq!(
+            stats.profile.dim(),
+            16,
+            "profiles must be embeddings, not inputs"
+        );
         assert!(stats.profile.len() <= shiftex.config().profile_rows);
     }
 }
