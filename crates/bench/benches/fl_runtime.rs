@@ -102,5 +102,36 @@ fn bench_window_step(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_round, bench_fedavg, bench_window_step);
+fn bench_tensor_kernels(c: &mut Criterion) {
+    use shiftex_tensor::{naive, Matrix};
+    let mut rng = StdRng::seed_from_u64(6);
+    // Local-SGD dense-layer shape: (batch x in) · (in x out).
+    let a = Matrix::randn(64, 256, 0.0, 1.0, &mut rng);
+    let b = Matrix::randn(256, 128, 0.0, 1.0, &mut rng);
+    // Gram / MMD shape: 200 embeddings at d = 2048 against each other.
+    let x = Matrix::randn(200, 2048, 0.0, 1.0, &mut rng);
+    let y = Matrix::randn(200, 2048, 0.5, 1.0, &mut rng);
+    let mut group = c.benchmark_group("tensor_kernels");
+    group.sample_size(10);
+    group.bench_function("matmul_64x256x128_blocked", |bch| bch.iter(|| a.matmul(&b)));
+    group.bench_function("matmul_64x256x128_naive", |bch| {
+        bch.iter(|| naive::matmul(&a, &b))
+    });
+    group.bench_function("matmul_t_gram_200x2048_blocked", |bch| {
+        bch.iter(|| x.matmul_t(&y))
+    });
+    group.bench_function("pairwise_sq_dists_200x2048", |bch| {
+        bch.iter(|| x.pairwise_sq_dists(&y))
+    });
+    group.bench_function("transpose_200x2048_tiled", |bch| bch.iter(|| x.transpose()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_round,
+    bench_fedavg,
+    bench_window_step,
+    bench_tensor_kernels
+);
 criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! Bench runner: executes the three criterion targets and emits a
+//! `BENCH_<n>.json` trajectory point.
+//!
+//! Invokes `cargo bench -p shiftex-bench --bench <target>` for each of
+//! `detectors`, `fl_runtime` and `overheads`, parses the shim's
+//! `label … median <duration> (range <lo> .. <hi>, …)` lines, and writes the
+//! medians to a JSON report. Flags:
+//!
+//! * `--quick` — smoke mode: caps every benchmark at 2 samples via the
+//!   `SHIFTEX_BENCH_SAMPLES` hook so CI can prove the bench targets still
+//!   run without paying for a statistical run;
+//! * `--out <path>` — explicit output path (default: the next free
+//!   `BENCH_<n>.json` in the current directory);
+//! * `--filter <substr>` — forwards a criterion name filter to every target.
+
+use std::process::Command;
+
+use serde::Serialize;
+
+/// The criterion bench targets of `shiftex-bench`, in run order.
+const TARGETS: [&str; 3] = ["detectors", "fl_runtime", "overheads"];
+
+#[derive(Serialize)]
+struct BenchReport {
+    /// Seconds since the Unix epoch at report time.
+    generated_unix: u64,
+    /// Whether this was a `--quick` smoke run (timings not trustworthy).
+    quick: bool,
+    /// Hardware threads visible to the process.
+    cpus: usize,
+    /// Per-target parsed results.
+    targets: Vec<TargetResult>,
+}
+
+#[derive(Serialize)]
+struct TargetResult {
+    target: String,
+    results: Vec<BenchLine>,
+}
+
+#[derive(Serialize)]
+struct BenchLine {
+    label: String,
+    median_ns: u64,
+    lo_ns: u64,
+    hi_ns: u64,
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut filter: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = Some(args.next().expect("--out requires a path")),
+            "--filter" => filter = Some(args.next().expect("--filter requires a value")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_runner [--quick] [--out <path>] [--filter <substr>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut targets = Vec::new();
+    for target in TARGETS {
+        println!("== bench target: {target} ==");
+        let mut cmd = Command::new("cargo");
+        cmd.args(["bench", "-p", "shiftex-bench", "--bench", target]);
+        if let Some(f) = &filter {
+            cmd.arg("--").arg(f);
+        }
+        if quick {
+            cmd.env("SHIFTEX_BENCH_SAMPLES", "2");
+        }
+        let output = cmd.output().expect("failed to spawn cargo bench");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        print!("{stdout}");
+        if !output.status.success() {
+            eprint!("{}", String::from_utf8_lossy(&output.stderr));
+            eprintln!("bench target {target} failed: {}", output.status);
+            std::process::exit(1);
+        }
+        targets.push(TargetResult {
+            target: target.to_string(),
+            results: stdout.lines().filter_map(parse_line).collect(),
+        });
+    }
+
+    let total: usize = targets.iter().map(|t| t.results.len()).sum();
+    assert!(
+        total > 0,
+        "no benchmark lines parsed — shim output changed?"
+    );
+
+    let report = BenchReport {
+        generated_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        quick,
+        cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        targets,
+    };
+    let path = out.unwrap_or_else(next_bench_path);
+    let json = serde_json::to_string(&report).expect("report serialisation failed");
+    std::fs::write(&path, json).expect("failed to write report");
+    println!("wrote {total} benchmark medians to {path}");
+}
+
+/// Parses one shim output line:
+/// `label … median <dur>  (range <lo> .. <hi>, <n> iters/sample)`.
+fn parse_line(line: &str) -> Option<BenchLine> {
+    let (label, rest) = line.split_once(" median ")?;
+    let (median, rest) = rest.trim_start().split_once("(range ")?;
+    let (lo, rest) = rest.split_once(" .. ")?;
+    let (hi, _) = rest.split_once(',')?;
+    Some(BenchLine {
+        label: label.trim().to_string(),
+        median_ns: parse_duration_ns(median.trim())?,
+        lo_ns: parse_duration_ns(lo.trim())?,
+        hi_ns: parse_duration_ns(hi.trim())?,
+    })
+}
+
+/// Parses a `Duration` debug rendering (`45ns`, `1.8µs`, `172.2ms`, `1.9s`).
+fn parse_duration_ns(text: &str) -> Option<u64> {
+    // Longest suffix first: "ms" before "s", "ns"/"µs" before "s".
+    let (value, scale) = if let Some(v) = text.strip_suffix("ns") {
+        (v, 1.0)
+    } else if let Some(v) = text.strip_suffix("µs") {
+        (v, 1e3)
+    } else if let Some(v) = text.strip_suffix("ms") {
+        (v, 1e6)
+    } else if let Some(v) = text.strip_suffix('s') {
+        (v, 1e9)
+    } else {
+        return None;
+    };
+    let value: f64 = value.trim().parse().ok()?;
+    Some((value * scale).round() as u64)
+}
+
+/// First `BENCH_<n>.json` (n starting at 1) that does not exist yet.
+fn next_bench_path() -> String {
+    (1..)
+        .map(|n| format!("BENCH_{n}.json"))
+        .find(|p| !std::path::Path::new(p).exists())
+        .expect("unbounded range always yields a candidate")
+}

@@ -154,11 +154,19 @@ impl KMeans {
 
 /// k-means++ seeding: first centre uniform, subsequent centres with
 /// probability proportional to squared distance to the nearest chosen one.
+///
+/// Keeps a running nearest-centroid distance per point and folds in only the
+/// newest centre each round — O(n·k·d) total instead of the O(n·k²·d) of
+/// recomputing all distances per round, with identical sampling weights
+/// (`min` over the same values, accumulated incrementally).
 fn plus_plus_init(points: &[Vec<f32>], k: usize, rng: &mut impl Rng) -> Vec<Vec<f32>> {
-    let mut centroids = Vec::with_capacity(k);
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
     centroids.push(points[rng.random_range(0..points.len())].clone());
+    let mut d2: Vec<f32> = points
+        .iter()
+        .map(|p| vector::sq_dist(p, &centroids[0]))
+        .collect();
     while centroids.len() < k {
-        let d2: Vec<f32> = points.iter().map(|p| nearest(p, &centroids).1).collect();
         let total: f32 = d2.iter().sum();
         let next = if total <= 1e-12 {
             // All points coincide with chosen centroids; pick uniformly.
@@ -166,6 +174,9 @@ fn plus_plus_init(points: &[Vec<f32>], k: usize, rng: &mut impl Rng) -> Vec<Vec<
         } else {
             points[rngx::categorical(rng, &d2)].clone()
         };
+        for (best, p) in d2.iter_mut().zip(points.iter()) {
+            *best = best.min(vector::sq_dist(p, &next));
+        }
         centroids.push(next);
     }
     centroids

@@ -9,7 +9,7 @@
 //! * [`ks_max`] — the maximum per-dimension two-sample Kolmogorov–Smirnov
 //!   statistic, sensitive to marginal changes and O(n log n) per dimension.
 
-use shiftex_tensor::{vector, Matrix};
+use shiftex_tensor::Matrix;
 
 /// Squared energy distance between two samples:
 /// `2·E‖x−y‖ − E‖x−x′‖ − E‖y−y′‖` (non-negative; 0 iff `P = Q`).
@@ -30,28 +30,25 @@ pub fn energy_distance(p: &Matrix, q: &Matrix) -> f32 {
 }
 
 fn mean_pair_dist(a: &Matrix, b: &Matrix) -> f32 {
-    let mut acc = 0.0f64;
-    for i in 0..a.rows() {
-        for j in 0..b.rows() {
-            acc += vector::l2_dist(a.row(i), b.row(j)) as f64;
-        }
-    }
+    let d2 = a.pairwise_sq_dists(b);
+    let acc: f64 = d2.as_slice().iter().map(|&v| (v as f64).sqrt()).sum();
     (acc / (a.rows() as f64 * b.rows() as f64)) as f32
 }
 
 fn mean_self_dist(a: &Matrix) -> f32 {
-    if a.rows() < 2 {
+    let n = a.rows();
+    if n < 2 {
         return 0.0;
     }
+    let d2 = a.pairwise_sq_dists(a);
     let mut acc = 0.0f64;
-    let mut count = 0.0f64;
-    for i in 0..a.rows() {
-        for j in (i + 1)..a.rows() {
-            acc += vector::l2_dist(a.row(i), a.row(j)) as f64;
-            count += 1.0;
-        }
+    for i in 0..n {
+        acc += d2.row(i)[i + 1..]
+            .iter()
+            .map(|&v| (v as f64).sqrt())
+            .sum::<f64>();
     }
-    (acc / count) as f32
+    (acc / (n as f64 * (n as f64 - 1.0) / 2.0)) as f32
 }
 
 /// Maximum over dimensions of the two-sample Kolmogorov–Smirnov statistic
@@ -63,9 +60,13 @@ fn mean_self_dist(a: &Matrix) -> f32 {
 pub fn ks_max(p: &Matrix, q: &Matrix) -> f32 {
     assert!(p.rows() > 0 && q.rows() > 0, "ks of empty sample");
     assert_eq!(p.cols(), q.cols(), "dimension mismatch");
+    // One blocked transpose each, then every per-dimension sample is a
+    // contiguous row — cheaper than gathering strided columns d times.
+    let pt = p.transpose();
+    let qt = q.transpose();
     let mut worst = 0.0f32;
     for d in 0..p.cols() {
-        worst = worst.max(ks_1d(&p.col(d), &q.col(d)));
+        worst = worst.max(ks_1d(pt.row(d), qt.row(d)));
     }
     worst
 }

@@ -28,6 +28,11 @@ impl RbfKernel {
     /// Sets γ = 1 / median(‖x − y‖²) over the pooled samples of `p` and `q`
     /// (subsampled to at most 256 rows for O(n²) safety).
     ///
+    /// The ~32k pairwise distances are computed in one shot via the blocked
+    /// [`Matrix::pairwise_sq_dists`] Gram kernel rather than per-pair scalar
+    /// loops, and the median via the selection-based
+    /// [`shiftex_tensor::stats::quantile`].
+    ///
     /// Falls back to γ = 1 when the median distance is degenerate (identical
     /// points).
     pub fn median_heuristic(p: &Matrix, q: &Matrix) -> Self {
@@ -38,14 +43,15 @@ impl RbfKernel {
                 rows.push(m.row(r));
             }
         }
-        let mut dists = Vec::new();
-        for i in 0..rows.len() {
-            for j in (i + 1)..rows.len() {
-                dists.push(vector::sq_dist(rows[i], rows[j]));
-            }
-        }
-        if dists.is_empty() {
+        if rows.len() < 2 {
             return Self { gamma: 1.0 };
+        }
+        let pooled = Matrix::from_rows(&rows);
+        let d2 = pooled.pairwise_sq_dists(&pooled);
+        let n = pooled.rows();
+        let mut dists = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            dists.extend_from_slice(&d2.row(i)[i + 1..]);
         }
         let median = stats::quantile(&dists, 0.5);
         if median <= 1e-12 {
@@ -67,25 +73,44 @@ impl RbfKernel {
         (-self.gamma * vector::sq_dist(x, y)).exp()
     }
 
+    /// Kernel Gram matrix: entry `(i, j)` is `k(aᵢ, bⱼ)`.
+    ///
+    /// Squared distances come from one blocked
+    /// [`Matrix::pairwise_sq_dists`] gemm (`‖x‖² + ‖y‖² − 2·X·Yᵀ`) and are
+    /// exponentiated in place — O(n·m·d) arithmetic like the per-pair loop,
+    /// but riding the SIMD dot-product kernel instead of scalar chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrices have different column counts.
+    pub fn gram(&self, a: &Matrix, b: &Matrix) -> Matrix {
+        let mut g = a.pairwise_sq_dists(b);
+        let gamma = self.gamma;
+        g.map_inplace(|d2| (-gamma * d2).exp());
+        g
+    }
+
     /// Mean kernel value between all row pairs of `a` and `b`
     /// (`E[k(x, y)]` with x ~ a, y ~ b), including identical-index pairs.
+    ///
+    /// Reduces the [`RbfKernel::gram`] matrix with an `f64` accumulator.
     ///
     /// # Panics
     ///
     /// Panics if either matrix has no rows.
     pub fn mean_cross(&self, a: &Matrix, b: &Matrix) -> f32 {
         assert!(a.rows() > 0 && b.rows() > 0, "mean_cross of empty sample");
-        let mut acc = 0.0f64;
-        for i in 0..a.rows() {
-            for j in 0..b.rows() {
-                acc += self.eval(a.row(i), b.row(j)) as f64;
-            }
-        }
-        (acc / (a.rows() as f64 * b.rows() as f64)) as f32
+        let g = self.gram(a, b);
+        let total: f64 = g.as_slice().iter().map(|&v| v as f64).sum();
+        (total / (a.rows() as f64 * b.rows() as f64)) as f32
     }
 
     /// Mean kernel value over distinct row pairs of `a` (`i ≠ j`), the
     /// U-statistic form used by the unbiased MMD estimator.
+    ///
+    /// Computed as the full [`RbfKernel::gram`] sum minus its diagonal
+    /// (`k(x, x) = 1` up to the exact zeros the Gram kernel guarantees for
+    /// identical rows).
     ///
     /// # Panics
     ///
@@ -93,21 +118,17 @@ impl RbfKernel {
     pub fn mean_within_distinct(&self, a: &Matrix) -> f32 {
         let n = a.rows();
         assert!(n >= 2, "need at least 2 samples for distinct-pair mean");
-        let mut acc = 0.0f64;
-        for i in 0..n {
-            for j in 0..n {
-                if i != j {
-                    acc += self.eval(a.row(i), a.row(j)) as f64;
-                }
-            }
-        }
-        (acc / (n as f64 * (n as f64 - 1.0))) as f32
+        let g = self.gram(a, a);
+        let total: f64 = g.as_slice().iter().map(|&v| v as f64).sum();
+        let diag: f64 = (0..n).map(|i| g.get(i, i) as f64).sum();
+        ((total - diag) / (n as f64 * (n as f64 - 1.0))) as f32
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -155,5 +176,66 @@ mod tests {
     #[should_panic(expected = "gamma must be positive")]
     fn rejects_nonpositive_gamma() {
         let _ = RbfKernel::new(0.0);
+    }
+
+    /// Per-pair reference for [`RbfKernel::mean_cross`].
+    fn mean_cross_naive(k: &RbfKernel, a: &Matrix, b: &Matrix) -> f32 {
+        let mut acc = 0.0f64;
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                acc += k.eval(a.row(i), b.row(j)) as f64;
+            }
+        }
+        (acc / (a.rows() as f64 * b.rows() as f64)) as f32
+    }
+
+    /// Per-pair reference for [`RbfKernel::mean_within_distinct`].
+    fn mean_within_distinct_naive(k: &RbfKernel, a: &Matrix) -> f32 {
+        let n = a.rows();
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    acc += k.eval(a.row(i), a.row(j)) as f64;
+                }
+            }
+        }
+        (acc / (n as f64 * (n as f64 - 1.0))) as f32
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Gram-matrix `mean_cross` matches the per-pair kernel loop within
+        /// 1e-4 relative tolerance across random shapes.
+        #[test]
+        fn prop_mean_cross_matches_naive(n in 1usize..12, m in 1usize..12,
+                                         d in 1usize..40, seed in 0u64..1000,
+                                         gamma in 0.01f32..2.0) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Matrix::randn(n, d, 0.0, 1.0, &mut rng);
+            let b = Matrix::randn(m, d, 0.5, 1.0, &mut rng);
+            let k = RbfKernel::new(gamma);
+            let fast = k.mean_cross(&a, &b);
+            let slow = mean_cross_naive(&k, &a, &b);
+            let scale = fast.abs().max(slow.abs()).max(1.0);
+            prop_assert!((fast - slow).abs() <= 1e-4 * scale,
+                         "gram {fast} vs naive {slow}");
+        }
+
+        /// Gram-matrix `mean_within_distinct` matches the per-pair loop.
+        #[test]
+        fn prop_mean_within_distinct_matches_naive(n in 2usize..14, d in 1usize..40,
+                                                   seed in 0u64..1000,
+                                                   gamma in 0.01f32..2.0) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Matrix::randn(n, d, 0.0, 1.5, &mut rng);
+            let k = RbfKernel::new(gamma);
+            let fast = k.mean_within_distinct(&a);
+            let slow = mean_within_distinct_naive(&k, &a);
+            let scale = fast.abs().max(slow.abs()).max(1.0);
+            prop_assert!((fast - slow).abs() <= 1e-4 * scale,
+                         "gram {fast} vs naive {slow}");
+        }
     }
 }

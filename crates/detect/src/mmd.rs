@@ -2,6 +2,13 @@
 //!
 //! Implements Eq. 1 of the paper:
 //! `MMD²(P,Q) = E[k(x,x′)] + E[k(y,y′)] − 2·E[k(x,y)]`.
+//!
+//! The quadratic estimators evaluate each expectation through the
+//! Gram-matrix path ([`RbfKernel::mean_cross`] /
+//! [`RbfKernel::mean_within_distinct`]): one blocked `X·Yᵀ` gemm plus an
+//! in-place exponentiation per term, instead of O(n²·d) per-pair scalar
+//! loops. Permutation calibration ([`crate::ThresholdCalibrator`]) rides the
+//! same path.
 
 use shiftex_tensor::Matrix;
 

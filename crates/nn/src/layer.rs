@@ -6,7 +6,7 @@
 //! construction time.
 
 use serde::{Deserialize, Serialize};
-use shiftex_tensor::Matrix;
+use shiftex_tensor::{vector, Matrix};
 
 /// A single differentiable layer.
 ///
@@ -243,10 +243,11 @@ impl Layer {
                 let out_dim = c * (h / 2) * (w / 2);
                 let mut grad_in = Matrix::zeros(grad_out.rows(), *in_dim);
                 for r in 0..grad_out.rows() {
-                    for o in 0..out_dim {
-                        let src = idx[r * out_dim + o];
-                        let cur = grad_in.get(r, src);
-                        grad_in.set(r, src, cur + grad_out.get(r, o));
+                    let go = grad_out.row(r);
+                    let gi = grad_in.row_mut(r);
+                    let winners = &idx[r * out_dim..(r + 1) * out_dim];
+                    for (&src, &g) in winners.iter().zip(go.iter()) {
+                        gi[src] += g;
                     }
                 }
                 (grad_in, ParamGrad::default())
@@ -258,12 +259,12 @@ impl Layer {
                 for (r, &sigma) in stds.iter().enumerate() {
                     let g = grad_out.row(r);
                     let y = out.row(r);
-                    let mean_g: f32 = g.iter().sum::<f32>() / n;
-                    let mean_gy: f32 = g.iter().zip(y.iter()).map(|(a, b)| a * b).sum::<f32>() / n;
+                    let mean_g = vector::mean(g);
+                    let mean_gy = vector::dot(g, y) / n;
                     let inv_sigma = 1.0 / sigma;
                     let row = grad_in.row_mut(r);
-                    for i in 0..row.len() {
-                        row[i] = (g[i] - mean_g - y[i] * mean_gy) * inv_sigma;
+                    for ((o, &gv), &yv) in row.iter_mut().zip(g.iter()).zip(y.iter()) {
+                        *o = (gv - mean_g - yv * mean_gy) * inv_sigma;
                     }
                 }
                 (grad_in, ParamGrad::default())

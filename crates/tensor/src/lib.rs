@@ -5,7 +5,10 @@
 //! small neural-network library needs, free-function vector helpers in
 //! [`vector`], seedable sampling distributions in [`rngx`] (normal, gamma,
 //! Dirichlet — implemented from scratch so the workspace depends only on the
-//! `rand` core), and descriptive statistics in [`stats`].
+//! `rand` core), descriptive statistics in [`stats`], and the row-chunk
+//! parallel executor behind the blocked matrix kernels in [`par`]. Naive
+//! reference implementations of the blocked kernels live in [`naive`] for
+//! equivalence testing.
 //!
 //! # Example
 //!
@@ -18,15 +21,25 @@
 //! assert_eq!(c, a);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one exception is the explicit-SIMD
+// kernel module, which carries its own scoped `allow` and documents why
+// autovectorization alone cannot be trusted on the Gram-matrix hot path.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod matrix;
+pub mod par;
 pub mod rngx;
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma"
+))]
+mod simd;
 pub mod stats;
 pub mod vector;
 
-pub use matrix::Matrix;
+pub use matrix::{naive, Matrix};
 
 /// Error type for shape mismatches and invalid numeric arguments.
 #[derive(Debug, Clone, PartialEq, Eq)]

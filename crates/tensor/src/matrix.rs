@@ -1,7 +1,30 @@
 //! Row-major `f32` matrix with the operations a small NN stack needs.
+//!
+//! The matrix-product kernels ([`Matrix::matmul`], [`Matrix::matmul_t`],
+//! [`Matrix::t_matmul`]) are blocked for cache reuse, register-tiled over
+//! [`MR`] output rows, and split across scoped worker threads once the
+//! estimated work crosses [`crate::par::PAR_MIN_WORK`] (tiny model matrices
+//! never pay spawn cost). Accumulation order over the shared dimension is
+//! the same ascending order as the textbook loops, so `matmul`/`t_matmul`
+//! results are bit-identical to the naive references in [`naive`];
+//! `matmul_t` rides the lane-unrolled [`crate::vector::dot`] and may differ
+//! by normal `f32` rounding.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+use crate::vector;
+
+/// Register tile height: output rows updated together in [`Matrix::matmul`],
+/// amortising each load of a `rhs` row stripe over four accumulator rows.
+const MR: usize = 4;
+/// Depth (shared-dimension) blocking factor of [`Matrix::matmul`].
+const KC: usize = 256;
+/// Output-column blocking factor of [`Matrix::matmul`]: one `KC × NC` panel
+/// of `rhs` (1 MiB at f32) stays cache-resident while a row tile sweeps it.
+const NC: usize = 1024;
+/// Square tile side of the blocked [`Matrix::transpose`].
+const TB: usize = 32;
 
 /// A dense, row-major matrix of `f32` values.
 ///
@@ -201,9 +224,25 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Iterator over one column's values, walking the backing buffer with a
+    /// stride of `cols` (one bounds check per column, not per element).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols` (unless the matrix has zero rows).
+    pub fn col_iter(&self, c: usize) -> impl Iterator<Item = f32> + '_ {
+        assert!(self.rows == 0 || c < self.cols, "column {c} out of bounds");
+        self.data
+            .get(c..)
+            .unwrap_or(&[])
+            .iter()
+            .step_by(self.cols.max(1))
+            .copied()
+    }
+
     /// Copies one column into a fresh vector.
     pub fn col(&self, c: usize) -> Vec<f32> {
-        (0..self.rows).map(|r| self.get(r, c)).collect()
+        self.col_iter(c).collect()
     }
 
     /// Iterator over row slices.
@@ -213,8 +252,11 @@ impl Matrix {
 
     /// Matrix product `self · rhs`.
     ///
-    /// Uses an ikj loop order with a transposed accumulator access pattern,
-    /// which is cache-friendly enough for the model sizes in this workspace.
+    /// Blocked over depth ([`KC`]) and output columns ([`NC`]) with an
+    /// [`MR`]-row register tile, and parallelised over output-row chunks for
+    /// large shapes (see [`crate::par`]). Per-element accumulation over the
+    /// shared dimension stays ascending, so results are bit-identical to
+    /// [`naive::matmul`].
     ///
     /// # Panics
     ///
@@ -225,24 +267,23 @@ impl Matrix {
             "matmul shape mismatch: ({}x{}) x ({}x{})",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ik * b;
-                }
-            }
-        }
+        let (kd, n) = (self.cols, rhs.cols);
+        let mut out = Matrix::zeros(self.rows, n);
+        let work = self.rows * kd * n;
+        let (a, b) = (&self.data, &rhs.data);
+        crate::par::for_each_row_chunk(&mut out.data, n.max(1), work, |first, chunk| {
+            let rows = chunk.len() / n;
+            matmul_block(&a[first * kd..(first + rows) * kd], b, chunk, kd, n);
+        });
         out
     }
 
     /// `selfᵀ · rhs` without materialising the transpose.
+    ///
+    /// Sweeps the rows of both operands once per output-row chunk,
+    /// accumulating rank-1 updates with the lane-unrolled
+    /// [`crate::vector::axpy`]; zero coefficients (common in post-ReLU
+    /// gradients) skip their update. Bit-identical to [`naive::t_matmul`].
     ///
     /// # Panics
     ///
@@ -253,24 +294,30 @@ impl Matrix {
             "t_matmul shape mismatch: ({}x{})^T x ({}x{})",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = rhs.row(r);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+        let (m, ca, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(ca, n);
+        let work = m * ca * n;
+        let (a, b) = (&self.data, &rhs.data);
+        crate::par::for_each_row_chunk(&mut out.data, n.max(1), work, |first, chunk| {
+            for r in 0..m {
+                let a_row = &a[r * ca..(r + 1) * ca];
+                let b_row = &b[r * n..(r + 1) * n];
+                for (li, out_row) in chunk.chunks_exact_mut(n).enumerate() {
+                    let coeff = a_row[first + li];
+                    if coeff != 0.0 {
+                        vector::axpy(out_row, coeff, b_row);
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// `self · rhsᵀ` without materialising the transpose.
+    ///
+    /// Every output element is one lane-unrolled [`crate::vector::dot`] of
+    /// two contiguous rows — the ideal memory layout for a Gram matrix —
+    /// parallelised over output-row chunks.
     ///
     /// # Panics
     ///
@@ -281,25 +328,137 @@ impl Matrix {
             "matmul_t shape mismatch: ({}x{}) x ({}x{})^T",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                out.set(i, j, crate::vector::dot(a_row, rhs.row(j)));
+        let (kd, p) = (self.cols, rhs.rows);
+        let mut out = Matrix::zeros(self.rows, p);
+        let work = self.rows * p * kd;
+        let (a, b) = (&self.data, &rhs.data);
+        crate::par::for_each_row_chunk(&mut out.data, p.max(1), work, |first, chunk| {
+            // Row pairs share each streamed rhs row via dot2; a trailing odd
+            // row falls back to a single dot (bit-identical result).
+            let mut tiles = chunk.chunks_exact_mut(2 * p);
+            let mut i0 = first;
+            for tile in &mut tiles {
+                let a0 = &a[i0 * kd..(i0 + 1) * kd];
+                let a1 = &a[(i0 + 1) * kd..(i0 + 2) * kd];
+                let (r0, r1) = tile.split_at_mut(p);
+                for j in 0..p {
+                    let d = vector::dot2(a0, a1, &b[j * kd..(j + 1) * kd]);
+                    r0[j] = d[0];
+                    r1[j] = d[1];
+                }
+                i0 += 2;
+            }
+            for (li, out_row) in tiles.into_remainder().chunks_exact_mut(p).enumerate() {
+                let a_row = &a[(i0 + li) * kd..(i0 + li + 1) * kd];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    *o = vector::dot(a_row, &b[j * kd..(j + 1) * kd]);
+                }
+            }
+        });
+        out
+    }
+
+    /// Symmetric Gram product `self · selfᵀ`: computes only the upper
+    /// triangle (row pairs via [`crate::vector::dot2`], split over the
+    /// parallel executor like [`Matrix::matmul_t`]) and mirrors it, roughly
+    /// halving the work of `matmul_t` on its own transpose. `dot(x, y)` and
+    /// `dot(y, x)` are bit-identical, so the mirrored matrix equals the
+    /// full product exactly.
+    pub fn self_gram(&self) -> Matrix {
+        let (n, kd) = (self.rows, self.cols);
+        let mut out = Matrix::zeros(n, n);
+        let a = &self.data;
+        // Triangle work ≈ half of the full product; chunks of later rows
+        // carry less of it, which is acceptable imbalance for the executor.
+        let work = n * n * kd / 2;
+        crate::par::for_each_row_chunk(&mut out.data, n.max(1), work, |first, chunk| {
+            // Pair rows within the chunk; each row i owns entries j >= i.
+            let rows = chunk.len() / n;
+            let mut li = 0;
+            while li + 2 <= rows {
+                let i = first + li;
+                let a0 = &a[i * kd..(i + 1) * kd];
+                let a1 = &a[(i + 1) * kd..(i + 2) * kd];
+                let (r0, rest) = chunk[li * n..(li + 2) * n].split_at_mut(n);
+                for j in i..n {
+                    let d = vector::dot2(a0, a1, &a[j * kd..(j + 1) * kd]);
+                    r0[j] = d[0];
+                    rest[j] = d[1];
+                }
+                li += 2;
+            }
+            if li < rows {
+                let i = first + li;
+                let a_row = &a[i * kd..(i + 1) * kd];
+                let out_row = &mut chunk[li * n..(li + 1) * n];
+                for (j, o) in out_row.iter_mut().enumerate().skip(i) {
+                    *o = vector::dot(a_row, &a[j * kd..(j + 1) * kd]);
+                }
+            }
+        });
+        // Mirror the strict upper triangle down.
+        let dst = &mut out.data;
+        for r in 0..n {
+            for c in (r + 1)..n {
+                dst[c * n + r] = dst[r * n + c];
             }
         }
         out
     }
 
-    /// Returns the transpose as a new matrix.
+    /// Returns the transpose as a new matrix, copying [`TB`]`×`[`TB`] tiles
+    /// so both the source and destination access patterns stay
+    /// cache-resident.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out.set(j, i, self.get(i, j));
+        let (r, c) = (self.rows, self.cols);
+        let mut out = Matrix::zeros(c, r);
+        let dst = &mut out.data;
+        for ib in (0..r).step_by(TB) {
+            let iend = (ib + TB).min(r);
+            for jb in (0..c).step_by(TB) {
+                let jend = (jb + TB).min(c);
+                for i in ib..iend {
+                    let src_row = &self.data[i * c..(i + 1) * c];
+                    for j in jb..jend {
+                        dst[j * r + i] = src_row[j];
+                    }
+                }
             }
         }
         out
+    }
+
+    /// Pairwise squared Euclidean distances between the rows of `self` and
+    /// the rows of `other`: entry `(i, j)` is `‖selfᵢ − otherⱼ‖²`, computed
+    /// as `‖x‖² + ‖y‖² − 2·X·Yᵀ` with a single blocked [`Matrix::matmul_t`]
+    /// call (or the half-work [`Matrix::self_gram`] when `other` is the
+    /// same matrix). Entries are clamped at zero to absorb the cancellation
+    /// error the norm expansion allows; a row compared against itself (same
+    /// floating-point values) yields exactly `0.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ.
+    pub fn pairwise_sq_dists(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "pairwise_sq_dists dimension mismatch: {} vs {}",
+            self.cols, other.cols
+        );
+        let mut g = if std::ptr::eq(self, other) {
+            self.self_gram()
+        } else {
+            self.matmul_t(other)
+        };
+        let na: Vec<f32> = self.iter_rows().map(|r| vector::dot(r, r)).collect();
+        let nb: Vec<f32> = other.iter_rows().map(|r| vector::dot(r, r)).collect();
+        for (i, row) in g.data.chunks_exact_mut(g.cols.max(1)).enumerate() {
+            let ni = na[i];
+            for (v, &nj) in row.iter_mut().zip(nb.iter()) {
+                *v = (ni + nj - 2.0 * *v).max(0.0);
+            }
+        }
+        g
     }
 
     /// Element-wise addition. Panics on shape mismatch.
@@ -453,6 +612,125 @@ impl Matrix {
     }
 }
 
+/// Serial blocked matmul kernel over one chunk of output rows.
+///
+/// `a` holds the matching chunk of `self`'s rows (`chunk.len() / n` rows of
+/// depth `kd`), `b` the full right-hand operand. Output rows are processed
+/// in [`MR`]-row register tiles; within a tile, each depth index broadcasts
+/// one coefficient per row against a cache-resident `KC × NC` panel of `b`.
+fn matmul_block(a: &[f32], b: &[f32], out: &mut [f32], kd: usize, n: usize) {
+    for (t, tile) in out.chunks_mut(MR * n).enumerate() {
+        let tile_rows = tile.len() / n;
+        let a_tile = &a[t * MR * kd..t * MR * kd + tile_rows * kd];
+        if tile_rows == MR {
+            let (r0, rest) = tile.split_at_mut(n);
+            let (r1, rest) = rest.split_at_mut(n);
+            let (r2, r3) = rest.split_at_mut(n);
+            for kb in (0..kd).step_by(KC) {
+                let kend = (kb + KC).min(kd);
+                for jb in (0..n).step_by(NC) {
+                    let jend = (jb + NC).min(n);
+                    for k in kb..kend {
+                        let b_stripe = &b[k * n + jb..k * n + jend];
+                        axpy_nonzero(&mut r0[jb..jend], a_tile[k], b_stripe);
+                        axpy_nonzero(&mut r1[jb..jend], a_tile[kd + k], b_stripe);
+                        axpy_nonzero(&mut r2[jb..jend], a_tile[2 * kd + k], b_stripe);
+                        axpy_nonzero(&mut r3[jb..jend], a_tile[3 * kd + k], b_stripe);
+                    }
+                }
+            }
+        } else {
+            // Remainder tile (fewer than MR rows): row-at-a-time, same
+            // kb/jb blocking so the accumulation order is unchanged.
+            for (r, out_row) in tile.chunks_exact_mut(n).enumerate() {
+                let a_row = &a_tile[r * kd..(r + 1) * kd];
+                for kb in (0..kd).step_by(KC) {
+                    let kend = (kb + KC).min(kd);
+                    for jb in (0..n).step_by(NC) {
+                        let jend = (jb + NC).min(n);
+                        for k in kb..kend {
+                            let b_stripe = &b[k * n + jb..k * n + jend];
+                            axpy_nonzero(&mut out_row[jb..jend], a_row[k], b_stripe);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// [`vector::axpy`] that skips zero coefficients (sparse activations and
+/// ReLU-masked gradients make these common).
+#[inline]
+fn axpy_nonzero(out: &mut [f32], coeff: f32, b: &[f32]) {
+    if coeff != 0.0 {
+        vector::axpy(out, coeff, b);
+    }
+}
+
+/// Naive reference implementations of the blocked [`Matrix`] kernels.
+///
+/// Textbook loops with no blocking, tiling, unrolling or threading. They
+/// exist so property tests (and benches) can check the optimized kernels
+/// against an implementation whose correctness is obvious; production code
+/// should always call the `Matrix` methods.
+pub mod naive {
+    use super::Matrix;
+
+    /// Textbook triple-loop `a · b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()`.
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
+        Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+            (0..a.cols()).map(|k| a.get(i, k) * b.get(k, j)).sum()
+        })
+    }
+
+    /// Textbook `aᵀ · b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.rows() != b.rows()`.
+    pub fn t_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.rows(), b.rows(), "t_matmul shape mismatch");
+        Matrix::from_fn(a.cols(), b.cols(), |i, j| {
+            (0..a.rows()).map(|r| a.get(r, i) * b.get(r, j)).sum()
+        })
+    }
+
+    /// Textbook `a · bᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.cols()`.
+    pub fn matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.cols(), "matmul_t shape mismatch");
+        Matrix::from_fn(a.rows(), b.rows(), |i, j| {
+            (0..a.cols()).map(|k| a.get(i, k) * b.get(j, k)).sum()
+        })
+    }
+
+    /// Element-by-element transpose.
+    pub fn transpose(a: &Matrix) -> Matrix {
+        Matrix::from_fn(a.cols(), a.rows(), |i, j| a.get(j, i))
+    }
+
+    /// Per-pair squared-distance matrix via [`crate::vector::sq_dist`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ.
+    pub fn pairwise_sq_dists(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.cols(), "pairwise_sq_dists dimension mismatch");
+        Matrix::from_fn(a.rows(), b.rows(), |i, j| {
+            crate::vector::sq_dist(a.row(i), b.row(j))
+        })
+    }
+}
+
 impl std::fmt::Display for Matrix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
@@ -476,6 +754,7 @@ impl std::fmt::Display for Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -585,5 +864,114 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn col_matches_strided_gather() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(m.col(0), vec![1.0, 3.0, 5.0]);
+        assert_eq!(m.col(1), vec![2.0, 4.0, 6.0]);
+        assert_eq!(m.col_iter(1).sum::<f32>(), 12.0);
+        assert!(Matrix::zeros(0, 3).col(2).is_empty());
+    }
+
+    #[test]
+    fn blocked_kernels_cross_depth_block_boundary() {
+        // Shapes straddling KC (256) exercise the kb remainder handling.
+        let mut rng = StdRng::seed_from_u64(21);
+        let a = Matrix::randn(3, 300, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(300, 5, 0.0, 1.0, &mut rng);
+        assert_close(&a.matmul(&b), &naive::matmul(&a, &b), 1e-4);
+        let c = Matrix::randn(7, 300, 0.0, 1.0, &mut rng);
+        assert_close(&a.matmul_t(&c), &naive::matmul_t(&a, &c), 1e-4);
+    }
+
+    #[test]
+    fn pairwise_sq_dists_of_identical_rows_is_exactly_zero() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let m = Matrix::randn(6, 33, 0.0, 2.0, &mut rng);
+        let d = m.pairwise_sq_dists(&m);
+        for i in 0..6 {
+            assert_eq!(d.get(i, i), 0.0, "diagonal entry {i} must be exact 0");
+        }
+    }
+
+    /// Asserts elementwise agreement within relative tolerance `tol`.
+    fn assert_close(fast: &Matrix, slow: &Matrix, tol: f32) {
+        assert_eq!(fast.shape(), slow.shape());
+        for (i, (x, y)) in fast.as_slice().iter().zip(slow.as_slice()).enumerate() {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            assert!(
+                (x - y).abs() <= tol * scale,
+                "element {i}: fast {x} vs naive {y}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Blocked `matmul` matches the naive reference across random
+        /// shapes, including non-multiple-of-MR row counts.
+        #[test]
+        fn prop_matmul_matches_naive(m in 1usize..13, k in 1usize..40, n in 1usize..13,
+                                     seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Matrix::randn(m, k, 0.0, 1.0, &mut rng);
+            let b = Matrix::randn(k, n, 0.0, 1.0, &mut rng);
+            assert_close(&a.matmul(&b), &naive::matmul(&a, &b), 1e-4);
+        }
+
+        /// Blocked `matmul_t` matches the naive reference.
+        #[test]
+        fn prop_matmul_t_matches_naive(m in 1usize..13, k in 1usize..40, p in 1usize..13,
+                                       seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Matrix::randn(m, k, 0.0, 1.0, &mut rng);
+            let b = Matrix::randn(p, k, 0.0, 1.0, &mut rng);
+            assert_close(&a.matmul_t(&b), &naive::matmul_t(&a, &b), 1e-4);
+        }
+
+        /// Blocked `t_matmul` matches the naive reference.
+        #[test]
+        fn prop_t_matmul_matches_naive(m in 1usize..40, k in 1usize..13, n in 1usize..13,
+                                       seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Matrix::randn(m, k, 0.0, 1.0, &mut rng);
+            let b = Matrix::randn(m, n, 0.0, 1.0, &mut rng);
+            assert_close(&a.t_matmul(&b), &naive::t_matmul(&a, &b), 1e-4);
+        }
+
+        /// Tiled transpose matches the naive reference, including
+        /// non-multiple-of-TB shapes, and round-trips.
+        #[test]
+        fn prop_transpose_matches_naive(r in 1usize..70, c in 1usize..70, seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = Matrix::randn(r, c, 0.0, 1.0, &mut rng);
+            let t = m.transpose();
+            prop_assert_eq!(&t, &naive::transpose(&m));
+            prop_assert_eq!(&t.transpose(), &m);
+        }
+
+        /// Gram-formula pairwise distances match per-pair `sq_dist` loops.
+        #[test]
+        fn prop_pairwise_sq_dists_matches_naive(m in 1usize..10, p in 1usize..10,
+                                                d in 1usize..40, seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Matrix::randn(m, d, 0.0, 1.0, &mut rng);
+            let b = Matrix::randn(p, d, 1.0, 1.0, &mut rng);
+            assert_close(&a.pairwise_sq_dists(&b), &naive::pairwise_sq_dists(&a, &b), 1e-4);
+        }
+
+        /// `col` equals an explicit per-element gather.
+        #[test]
+        fn prop_col_matches_get(r in 1usize..12, c in 1usize..12, seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = Matrix::randn(r, c, 0.0, 1.0, &mut rng);
+            for j in 0..c {
+                let expect: Vec<f32> = (0..r).map(|i| m.get(i, j)).collect();
+                prop_assert_eq!(m.col(j), expect);
+            }
+        }
     }
 }

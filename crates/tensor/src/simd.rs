@@ -1,0 +1,198 @@
+//! Explicit AVX2+FMA kernels behind the [`crate::vector`] dispatch.
+//!
+//! The safe lane-unrolled kernels in [`crate::vector`] are written so the
+//! autovectorizer *can* turn them into SIMD — but whether it actually does
+//! depends on fragile SLP-vectorizer heuristics: the same source compiles
+//! to clean 8-wide FMA chains in one crate context and to a shuffle-heavy
+//! 4-wide form in another (observed with rustc 1.95: presence of a second
+//! caller of the kernel closure flips the chosen vector axis and costs
+//! 2–4× on the Gram-matrix hot path). The reductions here are the one
+//! place in the workspace where that variance is unacceptable, so this
+//! module pins the instruction selection with `core::arch` intrinsics.
+//!
+//! This is the only module in the crate allowed to use `unsafe`; it is
+//! compiled (and reachable) only when the build target enables both `avx2`
+//! and `fma` — which the repo's `target-cpu=native` build flag does on any
+//! modern x86-64 host. Every other configuration uses the safe fallbacks.
+//!
+//! The accumulator layout (four 8-lane registers per operand row, i.e.
+//! [`LANES`] = 32 partial sums) and the reduction tree mirror the safe
+//! fallback exactly, so both paths agree up to the usual FMA-vs-mul-add
+//! rounding differences of the tails they share.
+
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::{
+    __m256, _mm256_add_ps, _mm256_castps256_ps128, _mm256_extractf128_ps, _mm256_fmadd_ps,
+    _mm256_loadu_ps, _mm256_setzero_ps, _mm256_sub_ps, _mm_add_ps, _mm_add_ss, _mm_cvtss_f32,
+    _mm_movehl_ps, _mm_shuffle_ps,
+};
+
+use crate::vector::LANES;
+
+/// Dot product over the main [`LANES`]-multiple prefix plus a scalar tail.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = b.len();
+    let main = n - n % LANES;
+    // SAFETY: all loads below stay within `main <= a.len() == b.len()`.
+    unsafe {
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i < main {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pa.add(i + 8)),
+                _mm256_loadu_ps(pb.add(i + 8)),
+                acc1,
+            );
+            acc2 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pa.add(i + 16)),
+                _mm256_loadu_ps(pb.add(i + 16)),
+                acc2,
+            );
+            acc3 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pa.add(i + 24)),
+                _mm256_loadu_ps(pb.add(i + 24)),
+                acc3,
+            );
+            i += LANES;
+        }
+        let mut tail = 0.0f32;
+        for k in main..n {
+            tail = a[k].mul_add(b[k], tail);
+        }
+        reduce4(acc0, acc1, acc2, acc3) + tail
+    }
+}
+
+/// Two dot products sharing one streamed `b`; see [`crate::vector::dot2`].
+#[inline]
+pub fn dot2(a0: &[f32], a1: &[f32], b: &[f32]) -> [f32; 2] {
+    debug_assert_eq!(a0.len(), b.len());
+    debug_assert_eq!(a1.len(), b.len());
+    let n = b.len();
+    let main = n - n % LANES;
+    // SAFETY: all loads below stay within `main`, which is bounded by the
+    // (asserted-equal) lengths of the three slices.
+    unsafe {
+        let (p0, p1, pb) = (a0.as_ptr(), a1.as_ptr(), b.as_ptr());
+        let mut acc00 = _mm256_setzero_ps();
+        let mut acc01 = _mm256_setzero_ps();
+        let mut acc02 = _mm256_setzero_ps();
+        let mut acc03 = _mm256_setzero_ps();
+        let mut acc10 = _mm256_setzero_ps();
+        let mut acc11 = _mm256_setzero_ps();
+        let mut acc12 = _mm256_setzero_ps();
+        let mut acc13 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i < main {
+            let b0 = _mm256_loadu_ps(pb.add(i));
+            let b1 = _mm256_loadu_ps(pb.add(i + 8));
+            let b2 = _mm256_loadu_ps(pb.add(i + 16));
+            let b3 = _mm256_loadu_ps(pb.add(i + 24));
+            acc00 = _mm256_fmadd_ps(_mm256_loadu_ps(p0.add(i)), b0, acc00);
+            acc01 = _mm256_fmadd_ps(_mm256_loadu_ps(p0.add(i + 8)), b1, acc01);
+            acc02 = _mm256_fmadd_ps(_mm256_loadu_ps(p0.add(i + 16)), b2, acc02);
+            acc03 = _mm256_fmadd_ps(_mm256_loadu_ps(p0.add(i + 24)), b3, acc03);
+            acc10 = _mm256_fmadd_ps(_mm256_loadu_ps(p1.add(i)), b0, acc10);
+            acc11 = _mm256_fmadd_ps(_mm256_loadu_ps(p1.add(i + 8)), b1, acc11);
+            acc12 = _mm256_fmadd_ps(_mm256_loadu_ps(p1.add(i + 16)), b2, acc12);
+            acc13 = _mm256_fmadd_ps(_mm256_loadu_ps(p1.add(i + 24)), b3, acc13);
+            i += LANES;
+        }
+        let mut t0 = 0.0f32;
+        let mut t1 = 0.0f32;
+        for k in main..n {
+            t0 = a0[k].mul_add(b[k], t0);
+            t1 = a1[k].mul_add(b[k], t1);
+        }
+        [
+            reduce4(acc00, acc01, acc02, acc03) + t0,
+            reduce4(acc10, acc11, acc12, acc13) + t1,
+        ]
+    }
+}
+
+/// Squared Euclidean distance; exactly `0.0` for identical inputs
+/// (every difference is `0.0` before accumulation).
+#[inline]
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = b.len();
+    let main = n - n % LANES;
+    // SAFETY: all loads below stay within `main <= a.len() == b.len()`.
+    unsafe {
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i < main {
+            let d0 = _mm256_sub_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)));
+            let d1 = _mm256_sub_ps(
+                _mm256_loadu_ps(pa.add(i + 8)),
+                _mm256_loadu_ps(pb.add(i + 8)),
+            );
+            let d2 = _mm256_sub_ps(
+                _mm256_loadu_ps(pa.add(i + 16)),
+                _mm256_loadu_ps(pb.add(i + 16)),
+            );
+            let d3 = _mm256_sub_ps(
+                _mm256_loadu_ps(pa.add(i + 24)),
+                _mm256_loadu_ps(pb.add(i + 24)),
+            );
+            acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+            acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+            acc2 = _mm256_fmadd_ps(d2, d2, acc2);
+            acc3 = _mm256_fmadd_ps(d3, d3, acc3);
+            i += LANES;
+        }
+        let mut tail = 0.0f32;
+        for k in main..n {
+            let d = a[k] - b[k];
+            tail = d.mul_add(d, tail);
+        }
+        reduce4(acc0, acc1, acc2, acc3) + tail
+    }
+}
+
+/// Horizontal sum of four 8-lane accumulators with a balanced tree:
+/// `(a+b) + (c+d)` lanewise, then `8 → 4 → 2 → 1`.
+#[inline]
+unsafe fn reduce4(a: __m256, b: __m256, c: __m256, d: __m256) -> f32 {
+    // SAFETY: pure register arithmetic; no memory access.
+    unsafe {
+        let s = _mm256_add_ps(_mm256_add_ps(a, b), _mm256_add_ps(c, d));
+        let q = _mm_add_ps(_mm256_castps256_ps128(s), _mm256_extractf128_ps(s, 1));
+        let h = _mm_add_ps(q, _mm_movehl_ps(q, q));
+        _mm_cvtss_f32(_mm_add_ss(h, _mm_shuffle_ps(h, h, 1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn simd_dot_matches_scalar() {
+        let a: Vec<f32> = (0..77).map(|i| i as f32 * 0.25 - 9.0).collect();
+        let b: Vec<f32> = (0..77).map(|i| 3.0 - i as f32 * 0.125).collect();
+        let scalar: f64 = a.iter().zip(&b).map(|(&x, &y)| (x as f64) * y as f64).sum();
+        let fast = super::dot(&a, &b) as f64;
+        assert!((fast - scalar).abs() < 1e-2 * scalar.abs().max(1.0));
+        let pair = super::dot2(&a, &a, &b);
+        assert_eq!(pair[0], pair[1]);
+        assert_eq!(pair[0], super::dot(&a, &b));
+    }
+
+    #[test]
+    fn simd_sq_dist_identical_is_zero() {
+        let a: Vec<f32> = (0..100).map(|i| (i as f32).sin()).collect();
+        assert_eq!(super::sq_dist(&a, &a), 0.0);
+    }
+}

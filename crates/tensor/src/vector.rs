@@ -4,7 +4,89 @@
 //! flattened model parameters, where allocating a full [`crate::Matrix`]
 //! would be overkill.
 
+/// Unroll width of the [`dot`] / [`dot2`] / [`sq_dist`] / [`axpy`] kernels.
+///
+/// Thirty-two independent `f32` accumulators (four AVX2 registers' worth)
+/// break the sequential floating-point dependency chain — strict
+/// left-to-right `f32` addition cannot be reordered — with enough
+/// instruction-level parallelism to cover FMA latency. The explicit-SIMD
+/// path in `crate::simd` uses the same layout.
+pub const LANES: usize = 32;
+
+/// The reduction kernels dispatch to pinned AVX2+FMA intrinsics when the
+/// build target guarantees them (see `crate::simd` for why autovectorizing
+/// the safe fallbacks is not reliable enough for the Gram-matrix hot path).
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma"
+))]
+use crate::simd;
+
+/// Fused multiply-add `a * b + acc` for the safe fallback path when the
+/// target has hardware FMA but the intrinsics path is unavailable;
+/// `f32::mul_add` without hardware support would fall back to a (correct
+/// but ~100x slower) libm soft-fma call, hence the gate.
+#[cfg(all(
+    target_feature = "fma",
+    not(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        target_feature = "fma"
+    ))
+))]
+#[inline(always)]
+fn madd(a: f32, b: f32, acc: f32) -> f32 {
+    a.mul_add(b, acc)
+}
+
+/// Non-FMA fallback of [`madd`]: separate multiply and add.
+#[cfg(not(target_feature = "fma"))]
+#[inline(always)]
+fn madd(a: f32, b: f32, acc: f32) -> f32 {
+    acc + a * b
+}
+
+/// One [`LANES`]-wide multiply-add step `acc[l] += x[l] * b[l]` for the
+/// safe fallback path, kept as its own always-inlined function so the
+/// vectorizer treats the lane axis as the vector axis.
+#[cfg(not(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma"
+)))]
+#[inline(always)]
+fn fma_lanes(acc: &mut [f32; LANES], x: &[f32], b: &[f32]) {
+    for l in 0..LANES {
+        acc[l] = madd(x[l], b[l], acc[l]);
+    }
+}
+
+/// Pairwise tree reduction of the lane accumulators, matching the
+/// `crate::simd` reduction order exactly.
+#[cfg(not(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma"
+)))]
+#[inline(always)]
+fn reduce_lanes(acc: &[f32; LANES]) -> f32 {
+    let mut s = [0.0f32; 8];
+    for (l, v) in s.iter_mut().enumerate() {
+        *v = (acc[l] + acc[l + 8]) + (acc[l + 16] + acc[l + 24]);
+    }
+    let q = [s[0] + s[4], s[1] + s[5], s[2] + s[6], s[3] + s[7]];
+    (q[0] + q[2]) + (q[1] + q[3])
+}
+
 /// Dot product of two equal-length slices.
+///
+/// Accumulates over [`LANES`] independent partial sums (SIMD-friendly), so
+/// the summation order differs from a strict left-to-right reduction;
+/// results may differ from a naive loop by normal `f32` rounding. On
+/// AVX2+FMA targets the accumulation runs on pinned intrinsics
+/// (`crate::simd`); elsewhere on a safe lane-unrolled loop with the same
+/// accumulator layout.
 ///
 /// # Panics
 ///
@@ -18,7 +100,81 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
         a.len(),
         b.len()
     );
-    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+    #[cfg(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        target_feature = "fma"
+    ))]
+    return simd::dot(a, b);
+    #[cfg(not(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        target_feature = "fma"
+    )))]
+    {
+        let mut acc = [0.0f32; LANES];
+        let mut ca = a.chunks_exact(LANES);
+        let mut cb = b.chunks_exact(LANES);
+        for (xa, xb) in (&mut ca).zip(&mut cb) {
+            fma_lanes(&mut acc, xa, xb);
+        }
+        let mut tail = 0.0f32;
+        for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+            tail = madd(x, y, tail);
+        }
+        reduce_lanes(&acc) + tail
+    }
+}
+
+/// Two dot products sharing one streamed right-hand vector.
+///
+/// The Gram-matrix kernel ([`crate::Matrix::matmul_t`]) is load-bound: a
+/// single [`dot`] issues two loads per multiply-add. Pairing two left-hand
+/// rows against one `b` stream amortises the `b` loads and runs two
+/// independent [`LANES`]-wide accumulator chains, which is what keeps the
+/// FMA units fed (wider row tiles spill accumulators out of registers and
+/// regress). Each result is bit-identical to `dot(a_i, b)` — same lane
+/// layout and reduction order — so kernels mix `dot` and `dot2` freely
+/// across rows.
+///
+/// # Panics
+///
+/// Panics if the three slices have different lengths.
+#[inline]
+pub fn dot2(a0: &[f32], a1: &[f32], b: &[f32]) -> [f32; 2] {
+    assert_eq!(a0.len(), b.len(), "dot2 length mismatch");
+    assert_eq!(a1.len(), b.len(), "dot2 length mismatch");
+    #[cfg(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        target_feature = "fma"
+    ))]
+    return simd::dot2(a0, a1, b);
+    #[cfg(not(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        target_feature = "fma"
+    )))]
+    {
+        let mut acc0 = [0.0f32; LANES];
+        let mut acc1 = [0.0f32; LANES];
+        let mut cb = b.chunks_exact(LANES);
+        let mut c0 = a0.chunks_exact(LANES);
+        let mut c1 = a1.chunks_exact(LANES);
+        for ((xb, x0), x1) in (&mut cb).zip(&mut c0).zip(&mut c1) {
+            fma_lanes(&mut acc0, x0, xb);
+            fma_lanes(&mut acc1, x1, xb);
+        }
+        let mut t0 = 0.0f32;
+        let mut t1 = 0.0f32;
+        for (&x, &y) in c0.remainder().iter().zip(cb.remainder()) {
+            t0 = madd(x, y, t0);
+        }
+        for (&x, &y) in c1.remainder().iter().zip(cb.remainder()) {
+            t1 = madd(x, y, t1);
+        }
+        [reduce_lanes(&acc0) + t0, reduce_lanes(&acc1) + t1]
+    }
 }
 
 /// Euclidean (L2) norm.
@@ -29,16 +185,44 @@ pub fn norm(a: &[f32]) -> f32 {
 
 /// Squared Euclidean distance between two equal-length slices.
 ///
+/// Uses the same [`LANES`]-wide accumulator layout (and SIMD dispatch) as
+/// [`dot`]; identical inputs still produce exactly `0.0` (every term is
+/// `0.0` before summing).
+///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "sq_dist length mismatch");
-    a.iter()
-        .zip(b.iter())
-        .map(|(&x, &y)| (x - y) * (x - y))
-        .sum()
+    #[cfg(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        target_feature = "fma"
+    ))]
+    return simd::sq_dist(a, b);
+    #[cfg(not(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        target_feature = "fma"
+    )))]
+    {
+        let mut acc = [0.0f32; LANES];
+        let mut ca = a.chunks_exact(LANES);
+        let mut cb = b.chunks_exact(LANES);
+        for (xa, xb) in (&mut ca).zip(&mut cb) {
+            for l in 0..LANES {
+                let d = xa[l] - xb[l];
+                acc[l] = madd(d, d, acc[l]);
+            }
+        }
+        let mut tail = 0.0f32;
+        for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+            let d = x - y;
+            tail = madd(d, d, tail);
+        }
+        reduce_lanes(&acc) + tail
+    }
 }
 
 /// Euclidean distance between two equal-length slices.
@@ -123,12 +307,23 @@ pub fn softmax(a: &[f32]) -> Vec<f32> {
 
 /// `a += alpha * b`, elementwise in place.
 ///
+/// Unrolled [`LANES`] wide; each lane is independent so, unlike [`dot`],
+/// results are bit-identical to the naive loop.
+///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
+#[inline]
 pub fn axpy(a: &mut [f32], alpha: f32, b: &[f32]) {
     assert_eq!(a.len(), b.len(), "axpy length mismatch");
-    for (x, &y) in a.iter_mut().zip(b.iter()) {
+    let mut ca = a.chunks_exact_mut(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for l in 0..LANES {
+            xa[l] += alpha * xb[l];
+        }
+    }
+    for (x, &y) in ca.into_remainder().iter_mut().zip(cb.remainder()) {
         *x += alpha * y;
     }
 }
@@ -266,6 +461,50 @@ mod tests {
             let d2 = sq_dist(&b, &a);
             prop_assert!(d1 >= 0.0);
             prop_assert!((d1 - d2).abs() < 1e-4);
+        }
+
+        /// Lane-unrolled `dot` matches a strict sequential reduction within
+        /// relative tolerance, across lengths that exercise every remainder
+        /// branch of the LANES-wide kernel.
+        #[test]
+        fn prop_dot_matches_sequential(
+            a in proptest::collection::vec(-10.0f32..10.0, 1..70),
+        ) {
+            let b: Vec<f32> = a.iter().rev().map(|v| v * 0.5 + 1.0).collect();
+            let naive: f32 = a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum();
+            let fast = dot(&a, &b);
+            let scale = naive.abs().max(fast.abs()).max(1.0);
+            prop_assert!((fast - naive).abs() <= 1e-4 * scale,
+                         "fast {fast} vs naive {naive}");
+        }
+
+        /// Lane-unrolled `sq_dist` matches the sequential reduction, and is
+        /// exactly zero on identical inputs.
+        #[test]
+        fn prop_sq_dist_matches_sequential(
+            a in proptest::collection::vec(-10.0f32..10.0, 1..70),
+        ) {
+            let b: Vec<f32> = a.iter().map(|v| v + 0.25).collect();
+            let naive: f32 = a.iter().zip(b.iter())
+                .map(|(&x, &y)| (x - y) * (x - y)).sum();
+            let fast = sq_dist(&a, &b);
+            let scale = naive.abs().max(fast.abs()).max(1.0);
+            prop_assert!((fast - naive).abs() <= 1e-4 * scale);
+            prop_assert_eq!(sq_dist(&a, &a), 0.0);
+        }
+
+        /// Lane-unrolled `axpy` is bit-identical to the naive update.
+        #[test]
+        fn prop_axpy_matches_sequential(
+            a in proptest::collection::vec(-10.0f32..10.0, 1..70),
+            alpha in -4.0f32..4.0,
+        ) {
+            let b: Vec<f32> = a.iter().map(|v| v * 1.5 - 2.0).collect();
+            let mut fast = a.clone();
+            axpy(&mut fast, alpha, &b);
+            let naive: Vec<f32> = a.iter().zip(b.iter())
+                .map(|(&x, &y)| x + alpha * y).collect();
+            prop_assert_eq!(fast, naive);
         }
     }
 }

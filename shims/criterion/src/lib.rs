@@ -190,12 +190,27 @@ fn name_filter() -> Option<&'static str> {
         .as_deref()
 }
 
+/// Optional sample-count cap from `SHIFTEX_BENCH_SAMPLES`, the quick-mode
+/// hook the bench-runner's CI smoke invocation uses: a value of `2` turns a
+/// full statistical run into a does-it-still-run check while keeping every
+/// label on stdout for the JSON report.
+fn sample_cap() -> Option<usize> {
+    static CAP: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("SHIFTEX_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
 fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
     if let Some(filter) = name_filter() {
         if !label.contains(filter) {
             return;
         }
     }
+    let sample_size = sample_cap().map_or(sample_size, |cap| sample_size.min(cap));
     // Calibrate the per-sample iteration count so one sample takes ~2 ms.
     let mut calibrate = Bencher {
         iters: 1,
