@@ -127,11 +127,78 @@ fn bench_tensor_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_scenarios(c: &mut Criterion) {
+    use shiftex_fl::{
+        run_round_scenario, AsyncSpec, ChurnSpec, LatePolicy, ScenarioEngine, ScenarioSpec,
+        StragglerSpec,
+    };
+    // A 100-party federation on a deliberately small model: the group
+    // measures the *runtime's* per-round cost (selection, fates, buffering,
+    // weighted aggregation) rather than local SGD throughput.
+    let mut rng = StdRng::seed_from_u64(7);
+    let gen = PrototypeGenerator::new(ImageShape::new(1, 6, 6), 4, &mut rng);
+    let parties: Vec<Party> = (0..100)
+        .map(|i| {
+            Party::new(
+                PartyId(i),
+                gen.generate_uniform(12, &mut rng),
+                gen.generate_uniform(6, &mut rng),
+            )
+        })
+        .collect();
+    let ids: Vec<PartyId> = parties.iter().map(|p| p.id()).collect();
+    let spec = ArchSpec::mlp("scen", 36, &[16], 4);
+    let init = Sequential::build(&spec, &mut rng).params_flat();
+    let cohort: Vec<&Party> = parties.iter().collect();
+    let cfg = RoundConfig {
+        participants_per_round: 100,
+        ..RoundConfig::default()
+    };
+
+    let mut group = c.benchmark_group("fl_scenarios");
+    group.sample_size(10);
+    group.bench_function("sync_round_100_parties", |b| {
+        b.iter_with_setup(
+            || {
+                let mut engine = ScenarioEngine::new(ScenarioSpec::sync(1), &ids);
+                engine.begin_round();
+                (engine, StdRng::seed_from_u64(2))
+            },
+            |(mut engine, mut rng)| {
+                run_round_scenario(&spec, &init, &cohort, &cfg, &mut engine, 0, None, &mut rng)
+            },
+        )
+    });
+    let churny = ScenarioSpec::sync(1)
+        .with_churn(ChurnSpec::dropout_only(0.15))
+        .with_stragglers(StragglerSpec::uniform(0.8, 1.0, LatePolicy::Defer))
+        .with_async(AsyncSpec {
+            min_buffer: 16,
+            staleness_alpha: 0.5,
+            max_staleness: 4,
+            server_lr: 1.0,
+        });
+    group.bench_function("async_churn_round_100_parties", |b| {
+        b.iter_with_setup(
+            || {
+                let mut engine = ScenarioEngine::new(churny.clone(), &ids);
+                engine.begin_round();
+                (engine, StdRng::seed_from_u64(2))
+            },
+            |(mut engine, mut rng)| {
+                run_round_scenario(&spec, &init, &cohort, &cfg, &mut engine, 0, None, &mut rng)
+            },
+        )
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_round,
     bench_fedavg,
     bench_window_step,
-    bench_tensor_kernels
+    bench_tensor_kernels,
+    bench_scenarios
 );
 criterion_main!(benches);

@@ -12,39 +12,16 @@
 //! * `--out <path>` — explicit output path (default: the next free
 //!   `BENCH_<n>.json` in the current directory);
 //! * `--filter <substr>` — forwards a criterion name filter to every target.
+//!
+//! `bench_gate` compares the emitted report against the latest committed
+//! trajectory point to catch kernel regressions in CI.
 
 use std::process::Command;
 
-use serde::Serialize;
+use shiftex_bench::{next_bench_path, parse_line, BenchReport, TargetResult};
 
 /// The criterion bench targets of `shiftex-bench`, in run order.
 const TARGETS: [&str; 3] = ["detectors", "fl_runtime", "overheads"];
-
-#[derive(Serialize)]
-struct BenchReport {
-    /// Seconds since the Unix epoch at report time.
-    generated_unix: u64,
-    /// Whether this was a `--quick` smoke run (timings not trustworthy).
-    quick: bool,
-    /// Hardware threads visible to the process.
-    cpus: usize,
-    /// Per-target parsed results.
-    targets: Vec<TargetResult>,
-}
-
-#[derive(Serialize)]
-struct TargetResult {
-    target: String,
-    results: Vec<BenchLine>,
-}
-
-#[derive(Serialize)]
-struct BenchLine {
-    label: String,
-    median_ns: u64,
-    lo_ns: u64,
-    hi_ns: u64,
-}
 
 fn main() {
     let mut quick = false;
@@ -108,45 +85,4 @@ fn main() {
     let json = serde_json::to_string(&report).expect("report serialisation failed");
     std::fs::write(&path, json).expect("failed to write report");
     println!("wrote {total} benchmark medians to {path}");
-}
-
-/// Parses one shim output line:
-/// `label … median <dur>  (range <lo> .. <hi>, <n> iters/sample)`.
-fn parse_line(line: &str) -> Option<BenchLine> {
-    let (label, rest) = line.split_once(" median ")?;
-    let (median, rest) = rest.trim_start().split_once("(range ")?;
-    let (lo, rest) = rest.split_once(" .. ")?;
-    let (hi, _) = rest.split_once(',')?;
-    Some(BenchLine {
-        label: label.trim().to_string(),
-        median_ns: parse_duration_ns(median.trim())?,
-        lo_ns: parse_duration_ns(lo.trim())?,
-        hi_ns: parse_duration_ns(hi.trim())?,
-    })
-}
-
-/// Parses a `Duration` debug rendering (`45ns`, `1.8µs`, `172.2ms`, `1.9s`).
-fn parse_duration_ns(text: &str) -> Option<u64> {
-    // Longest suffix first: "ms" before "s", "ns"/"µs" before "s".
-    let (value, scale) = if let Some(v) = text.strip_suffix("ns") {
-        (v, 1.0)
-    } else if let Some(v) = text.strip_suffix("µs") {
-        (v, 1e3)
-    } else if let Some(v) = text.strip_suffix("ms") {
-        (v, 1e6)
-    } else if let Some(v) = text.strip_suffix('s') {
-        (v, 1e9)
-    } else {
-        return None;
-    };
-    let value: f64 = value.trim().parse().ok()?;
-    Some((value * scale).round() as u64)
-}
-
-/// First `BENCH_<n>.json` (n starting at 1) that does not exist yet.
-fn next_bench_path() -> String {
-    (1..)
-        .map(|n| format!("BENCH_{n}.json"))
-        .find(|p| !std::path::Path::new(p).exists())
-        .expect("unbounded range always yields a candidate")
 }

@@ -1,1 +1,178 @@
-//! Criterion benchmark crate for the ShiftEx overhead evaluation; see `benches/`.
+//! Criterion benchmark crate for the ShiftEx overhead evaluation (see
+//! `benches/`), plus the shared report schema and parsers used by the
+//! `bench_runner` (emits `BENCH_<n>.json` trajectory points) and
+//! `bench_gate` (CI regression gate) binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+/// One `BENCH_<n>.json` trajectory point.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Seconds since the Unix epoch at report time.
+    pub generated_unix: u64,
+    /// Whether this was a `--quick` smoke run (timings noisier).
+    pub quick: bool,
+    /// Hardware threads visible to the process.
+    pub cpus: usize,
+    /// Per-target parsed results.
+    pub targets: Vec<TargetResult>,
+}
+
+impl BenchReport {
+    /// Flat `(target, line)` view over every benchmark line.
+    pub fn lines(&self) -> impl Iterator<Item = (&str, &BenchLine)> {
+        self.targets
+            .iter()
+            .flat_map(|t| t.results.iter().map(move |r| (t.target.as_str(), r)))
+    }
+
+    /// Looks up a label's median (labels are unique within a report).
+    pub fn median_ns(&self, label: &str) -> Option<u64> {
+        self.lines()
+            .find(|(_, r)| r.label == label)
+            .map(|(_, r)| r.median_ns)
+    }
+}
+
+/// Results of one criterion bench target.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct TargetResult {
+    /// Target name (`detectors`, `fl_runtime`, `overheads`).
+    pub target: String,
+    /// Parsed benchmark lines.
+    pub results: Vec<BenchLine>,
+}
+
+/// One parsed benchmark median.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct BenchLine {
+    /// Criterion benchmark id (`group/name`).
+    pub label: String,
+    /// Median duration in nanoseconds.
+    pub median_ns: u64,
+    /// Range low, nanoseconds.
+    pub lo_ns: u64,
+    /// Range high, nanoseconds.
+    pub hi_ns: u64,
+}
+
+/// Parses one criterion-shim output line:
+/// `label … median <dur>  (range <lo> .. <hi>, <n> iters/sample)`.
+pub fn parse_line(line: &str) -> Option<BenchLine> {
+    let (label, rest) = line.split_once(" median ")?;
+    let (median, rest) = rest.trim_start().split_once("(range ")?;
+    let (lo, rest) = rest.split_once(" .. ")?;
+    let (hi, _) = rest.split_once(',')?;
+    Some(BenchLine {
+        label: label.trim().to_string(),
+        median_ns: parse_duration_ns(median.trim())?,
+        lo_ns: parse_duration_ns(lo.trim())?,
+        hi_ns: parse_duration_ns(hi.trim())?,
+    })
+}
+
+/// Parses a `Duration` debug rendering (`45ns`, `1.8µs`, `172.2ms`, `1.9s`).
+pub fn parse_duration_ns(text: &str) -> Option<u64> {
+    // Longest suffix first: "ms" before "s", "ns"/"µs" before "s".
+    let (value, scale) = if let Some(v) = text.strip_suffix("ns") {
+        (v, 1.0)
+    } else if let Some(v) = text.strip_suffix("µs") {
+        (v, 1e3)
+    } else if let Some(v) = text.strip_suffix("ms") {
+        (v, 1e6)
+    } else if let Some(v) = text.strip_suffix('s') {
+        (v, 1e9)
+    } else {
+        return None;
+    };
+    let value: f64 = value.trim().parse().ok()?;
+    Some((value * scale).round() as u64)
+}
+
+/// Latest committed `BENCH_<n>.json` in `dir` (highest `n`), if any.
+pub fn latest_bench_path(dir: &std::path::Path) -> Option<std::path::PathBuf> {
+    let mut best: Option<(u64, std::path::PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(n) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            if best.as_ref().is_none_or(|(b, _)| n > *b) {
+                best = Some((n, entry.path()));
+            }
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+/// First `BENCH_<n>.json` (n starting at 1) that does not exist yet.
+pub fn next_bench_path() -> String {
+    (1..)
+        .map(|n| format!("BENCH_{n}.json"))
+        .find(|p| !std::path::Path::new(p).exists())
+        .expect("unbounded range always yields a candidate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_shim_line() {
+        let line = "mmd_d2048/biased/200  median 11.4ms  (range 11.2ms .. 11.9ms, 10 iters/sample)";
+        let parsed = parse_line(line).expect("parses");
+        assert_eq!(parsed.label, "mmd_d2048/biased/200");
+        assert_eq!(parsed.median_ns, 11_400_000);
+        assert_eq!(parsed.hi_ns, 11_900_000);
+        assert!(parse_line("not a bench line").is_none());
+    }
+
+    #[test]
+    fn duration_suffixes() {
+        assert_eq!(parse_duration_ns("45ns"), Some(45));
+        assert_eq!(parse_duration_ns("1.8µs"), Some(1_800));
+        assert_eq!(parse_duration_ns("172.2ms"), Some(172_200_000));
+        assert_eq!(parse_duration_ns("1.9s"), Some(1_900_000_000));
+        assert_eq!(parse_duration_ns("12 parsecs"), None);
+    }
+
+    #[test]
+    fn report_roundtrips_and_indexes() {
+        let report = BenchReport {
+            generated_unix: 1,
+            quick: true,
+            cpus: 1,
+            targets: vec![TargetResult {
+                target: "detectors".into(),
+                results: vec![BenchLine {
+                    label: "mmd_d2048/biased/200".into(),
+                    median_ns: 100,
+                    lo_ns: 90,
+                    hi_ns: 110,
+                }],
+            }],
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.median_ns("mmd_d2048/biased/200"), Some(100));
+        assert_eq!(back.median_ns("nope"), None);
+        assert_eq!(back.lines().count(), 1);
+    }
+
+    #[test]
+    fn latest_bench_prefers_highest_index() {
+        let dir = std::env::temp_dir().join("shiftex_bench_latest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for n in [1, 2, 10] {
+            std::fs::write(dir.join(format!("BENCH_{n}.json")), "{}").unwrap();
+        }
+        let latest = latest_bench_path(&dir).expect("found");
+        assert!(latest.ends_with("BENCH_10.json"));
+    }
+}

@@ -12,7 +12,9 @@ use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use shiftex_cluster::choose_k;
 use shiftex_detect::{CalibratedThresholds, EmbeddingProfile, RbfKernel, ThresholdCalibrator};
-use shiftex_fl::{run_round, Party, PartyId, PartyInfo, RoundConfig, UniformSelector};
+use shiftex_fl::{
+    run_round, CommLedger, Party, PartyId, PartyInfo, RoundConfig, ScenarioEngine, UniformSelector,
+};
 use shiftex_flips::FlipsSelector;
 use shiftex_nn::{train_local_params, ArchSpec, Sequential};
 use shiftex_tensor::Matrix;
@@ -21,7 +23,7 @@ use crate::config::ShiftExConfig;
 use crate::consolidate::{consolidate_experts, MergeEvent};
 use crate::party::{compute_shift_stats, ShiftStats};
 use crate::registry::{ExpertId, ExpertRegistry};
-use crate::strategy::{build_model, evaluate_assigned, ContinualStrategy};
+use crate::strategy::{build_model, evaluate_assigned_refs, ContinualStrategy};
 
 /// What happened in one window of aggregator-side processing.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -442,47 +444,9 @@ impl ShiftEx {
 
     fn train_round_impl(&mut self, parties: &[Party], rng: &mut StdRng) {
         let by_id: HashMap<PartyId, &Party> = parties.iter().map(|p| (p.id(), p)).collect();
-        let round_cfg = RoundConfig {
-            train: self.cfg.train,
-            participants_per_round: self.cfg.participants_per_round,
-            parallel: false,
-        };
+        let round_cfg = self.round_config();
         for expert_id in self.registry.ids() {
-            let cohort_ids: Vec<PartyId> = self
-                .assignment
-                .iter()
-                .filter(|(pid, &eid)| {
-                    eid == expert_id && !self.personal.contains_key(pid) && by_id.contains_key(pid)
-                })
-                .map(|(pid, _)| *pid)
-                .collect();
-            if cohort_ids.is_empty() {
-                continue;
-            }
-            let infos: Vec<PartyInfo> = cohort_ids
-                .iter()
-                .map(|id| {
-                    let p = by_id[id];
-                    let mut info = p.info();
-                    if let Some(s) = self.stats.get(id) {
-                        info.label_hist = s.label_hist.clone();
-                    }
-                    info
-                })
-                .collect();
-            let chosen: Vec<PartyId> = if self.cfg.uniform_selection {
-                use shiftex_fl::ParticipantSelector;
-                UniformSelector.select(&infos, self.cfg.participants_per_round, rng)
-            } else {
-                use shiftex_fl::ParticipantSelector;
-                let mut flips = FlipsSelector::fit(&infos, 4, rng);
-                flips.select(&infos, self.cfg.participants_per_round, rng)
-            };
-            let cohort: Vec<&Party> = chosen
-                .iter()
-                .filter_map(|id| by_id.get(id).copied())
-                .filter(|p| !p.train().is_empty())
-                .collect();
+            let cohort = self.expert_cohort(expert_id, &by_id, rng);
             if cohort.is_empty() {
                 continue;
             }
@@ -498,7 +462,116 @@ impl ShiftEx {
                 .expect("live expert")
                 .params = outcome.params;
         }
-        // Personalised parties: one local continuation step.
+        self.personal_steps(&by_id, rng);
+    }
+
+    /// Runs one communication round under a federation scenario: join/leave
+    /// churn gates which parties each expert can see, selected parties can
+    /// drop mid-round or straggle, and each expert's aggregation follows the
+    /// engine's round mode on its own staleness buffer (stream = expert id).
+    ///
+    /// Advances the engine's round clock once per call. Experts whose whole
+    /// cohort churned away keep their parameters (their buffers can still
+    /// mature deferred updates). Personalised parties only take their local
+    /// step while live.
+    pub fn train_round_scenario(
+        &mut self,
+        parties: &[Party],
+        engine: &mut ScenarioEngine,
+        ledger: Option<&CommLedger>,
+        rng: &mut StdRng,
+    ) {
+        engine.begin_round();
+        let all_ids: Vec<PartyId> = parties.iter().map(|p| p.id()).collect();
+        let live: std::collections::HashSet<PartyId> =
+            engine.live_members(&all_ids).into_iter().collect();
+        let by_id: HashMap<PartyId, &Party> = parties
+            .iter()
+            .filter(|p| live.contains(&p.id()))
+            .map(|p| (p.id(), p))
+            .collect();
+        let round_cfg = self.round_config();
+        for expert_id in self.registry.ids() {
+            let cohort = self.expert_cohort(expert_id, &by_id, rng);
+            let key = expert_id.0 as usize;
+            if cohort.is_empty() && engine.buffered(key) == 0 {
+                continue;
+            }
+            let params = self
+                .registry
+                .get(expert_id)
+                .expect("live expert")
+                .params
+                .clone();
+            let outcome = shiftex_fl::run_round_scenario(
+                &self.spec, &params, &cohort, &round_cfg, engine, key, ledger, rng,
+            );
+            if outcome.aggregated() > 0 {
+                self.registry
+                    .get_mut(expert_id)
+                    .expect("live expert")
+                    .params = outcome.params;
+            }
+        }
+        self.personal_steps(&by_id, rng);
+    }
+
+    /// Round configuration shared by every expert's federated round.
+    fn round_config(&self) -> RoundConfig {
+        RoundConfig {
+            train: self.cfg.train,
+            participants_per_round: self.cfg.participants_per_round,
+            parallel: false,
+        }
+    }
+
+    /// Selects this round's cohort for `expert_id` from the (already
+    /// liveness-filtered) `by_id` view of the population.
+    fn expert_cohort<'a>(
+        &self,
+        expert_id: ExpertId,
+        by_id: &HashMap<PartyId, &'a Party>,
+        rng: &mut StdRng,
+    ) -> Vec<&'a Party> {
+        let cohort_ids: Vec<PartyId> = self
+            .assignment
+            .iter()
+            .filter(|(pid, &eid)| {
+                eid == expert_id && !self.personal.contains_key(pid) && by_id.contains_key(pid)
+            })
+            .map(|(pid, _)| *pid)
+            .collect();
+        if cohort_ids.is_empty() {
+            return Vec::new();
+        }
+        let infos: Vec<PartyInfo> = cohort_ids
+            .iter()
+            .map(|id| {
+                let p = by_id[id];
+                let mut info = p.info();
+                if let Some(s) = self.stats.get(id) {
+                    info.label_hist = s.label_hist.clone();
+                }
+                info
+            })
+            .collect();
+        let chosen: Vec<PartyId> = if self.cfg.uniform_selection {
+            use shiftex_fl::ParticipantSelector;
+            UniformSelector.select(&infos, self.cfg.participants_per_round, rng)
+        } else {
+            use shiftex_fl::ParticipantSelector;
+            let mut flips = FlipsSelector::fit(&infos, 4, rng);
+            flips.select(&infos, self.cfg.participants_per_round, rng)
+        };
+        chosen
+            .iter()
+            .filter_map(|id| by_id.get(id).copied())
+            .filter(|p| !p.train().is_empty())
+            .collect()
+    }
+
+    /// Personalised parties take one local continuation step.
+    fn personal_steps(&mut self, by_id: &HashMap<PartyId, &Party>, rng: &mut StdRng) {
         let personal_ids: Vec<PartyId> = self.personal.keys().copied().collect();
         for id in personal_ids {
             let Some(party) = by_id.get(&id) else {
@@ -525,7 +598,14 @@ impl ShiftEx {
     /// Population accuracy under the current assignment (personal params
     /// take precedence over the assigned expert's).
     pub fn evaluate(&self, parties: &[Party]) -> f32 {
-        evaluate_assigned(&self.spec, parties, |id| {
+        let refs: Vec<&Party> = parties.iter().collect();
+        self.evaluate_refs(&refs)
+    }
+
+    /// Like [`ShiftEx::evaluate`] over borrowed parties (scenario loops
+    /// evaluate a liveness-filtered view every round without cloning it).
+    pub fn evaluate_refs(&self, parties: &[&Party]) -> f32 {
+        evaluate_assigned_refs(&self.spec, parties, |id| {
             if let Some(p) = self.personal.get(&id) {
                 p.as_slice()
             } else {
@@ -898,6 +978,67 @@ mod tests {
             shiftex.process_window(&parties, &mut rng);
         }
         assert!(shiftex.num_experts() <= 2);
+    }
+
+    #[test]
+    fn scenario_rounds_train_experts_under_churn() {
+        use shiftex_fl::{AsyncSpec, ChurnSpec, ScenarioSpec, StragglerSpec};
+        let (gen, mut parties, mut shiftex, mut rng) = setup(8);
+        shiftex.bootstrap(&parties, 3, &mut rng);
+        let fog = Regime::corrupted(Corruption::Fog, 4);
+        advance_with_regime(&mut parties, &gen, &fog, &[0, 1, 2, 3], 48, &mut rng);
+        shiftex.process_window(&parties, &mut rng);
+        assert_eq!(shiftex.num_experts(), 2);
+
+        let ids: Vec<PartyId> = parties.iter().map(|p| p.id()).collect();
+        let spec = ScenarioSpec::sync(5)
+            .with_churn(ChurnSpec::dropout_only(0.2))
+            .with_stragglers(StragglerSpec::uniform(
+                0.8,
+                1.0,
+                shiftex_fl::LatePolicy::Defer,
+            ))
+            .with_async(AsyncSpec {
+                min_buffer: 2,
+                staleness_alpha: 0.5,
+                max_staleness: 3,
+                server_lr: 1.0,
+            });
+        let mut engine = shiftex_fl::ScenarioEngine::new(spec, &ids);
+        let ledger = CommLedger::new();
+        let before = shiftex.evaluate(&parties);
+        let params_before: Vec<Vec<f32>> = shiftex
+            .registry()
+            .iter()
+            .map(|e| e.params.clone())
+            .collect();
+        for _ in 0..6 {
+            shiftex.train_round_scenario(&parties, &mut engine, Some(&ledger), &mut rng);
+        }
+        let after = shiftex.evaluate(&parties);
+        let params_after: Vec<Vec<f32>> = shiftex
+            .registry()
+            .iter()
+            .map(|e| e.params.clone())
+            .collect();
+        assert_ne!(
+            params_before, params_after,
+            "experts must keep training under churned async rounds"
+        );
+        let stats = engine.stats();
+        assert!(stats.delivered > 0, "some updates aggregated: {stats:?}");
+        assert!(
+            stats.deferred > 0,
+            "uniform(0,1.6) delays vs deadline 1.0 must defer some: {stats:?}"
+        );
+        assert!(
+            after >= before - 0.1,
+            "accuracy must not collapse under churn: {before} -> {after}"
+        );
+        assert_eq!(
+            ledger.totals().aborted_messages,
+            stats.dropped_churn + stats.dropped_late
+        );
     }
 
     #[test]

@@ -52,6 +52,18 @@ pub fn build_model(spec: &ArchSpec, params: &[f32]) -> Sequential {
 pub fn evaluate_assigned<'a>(
     spec: &ArchSpec,
     parties: &[Party],
+    params_of: impl FnMut(PartyId) -> &'a [f32],
+) -> f32 {
+    let refs: Vec<&Party> = parties.iter().collect();
+    evaluate_assigned_refs(spec, &refs, params_of)
+}
+
+/// Like [`evaluate_assigned`] but over borrowed parties — scenario loops
+/// evaluate a liveness-filtered view every round and must not pay a deep
+/// clone of the population to do so.
+pub fn evaluate_assigned_refs<'a>(
+    spec: &ArchSpec,
+    parties: &[&Party],
     mut params_of: impl FnMut(PartyId) -> &'a [f32],
 ) -> f32 {
     let mut correct = 0.0f64;
@@ -59,7 +71,7 @@ pub fn evaluate_assigned<'a>(
     // Cache built models by parameter pointer identity is overkill here;
     // group parties by identical parameter slices instead.
     let mut cache: Vec<(&[f32], Sequential)> = Vec::new();
-    for party in parties {
+    for &party in parties {
         if party.test().is_empty() {
             continue;
         }

@@ -1,0 +1,88 @@
+//! Federation-scenario explorer: runs ShiftEx (or a single-model FedAvg
+//! job) through a dataset scenario under party churn, stragglers, and
+//! staleness-aware asynchronous rounds — the deployment regimes beyond the
+//! paper's fixed synchronous protocol.
+//!
+//! ```text
+//! cargo run --release -p shiftex-experiments --bin scenarios -- \
+//!     [--dataset fashionmnist] [--scale smoke|small|paper] [--seed N] \
+//!     [--strategy shiftex|fedavg] [--parties N] [--samples N] \
+//!     [--windows N] [--rounds N] [--bootstrap N] \
+//!     [--dropout P] [--join-frac F --join-ramp R] \
+//!     [--leave-frac F --leave-after R] \
+//!     [--straggle-mean M] [--slow-frac F --slow-factor X] \
+//!     [--deadline D] [--late drop|defer] \
+//!     [--async] [--buffer N] [--staleness-alpha A] [--max-staleness S] \
+//!     [--server-lr E] [--csv DIR]
+//! ```
+//!
+//! A 100-party churn + straggler async run:
+//!
+//! ```text
+//! cargo run --release -p shiftex-experiments --bin scenarios -- \
+//!     --parties 100 --samples 16 --windows 1 --rounds 6 --bootstrap 6 \
+//!     --dropout 0.15 --leave-frac 0.1 --leave-after 6 --join-frac 0.2 \
+//!     --join-ramp 4 --straggle-mean 0.8 --deadline 1.0 --late defer \
+//!     --async --buffer 16 --staleness-alpha 0.5 --max-staleness 4
+//! ```
+
+use shiftex_core::ShiftExConfig;
+use shiftex_data::{DatasetKind, SimScale};
+use shiftex_experiments::cli::Args;
+use shiftex_experiments::{
+    federation_spec_from_args, report, run_federation_scenario, FedStrategy, Scenario,
+};
+
+fn main() {
+    let args = Args::from_env();
+    let kind = DatasetKind::parse(args.value("dataset").unwrap_or("fashionmnist"))
+        .expect("unknown dataset");
+    let scale = SimScale::parse(args.value("scale").unwrap_or("smoke")).expect("unknown scale");
+    let seed: u64 = args.value_or("seed", 42);
+    let strategy =
+        FedStrategy::parse(args.value("strategy").unwrap_or("shiftex")).expect("unknown strategy");
+
+    let parties: Option<usize> = args.value("parties").map(|v| v.parse().expect("--parties"));
+    let samples: Option<usize> = args.value("samples").map(|v| v.parse().expect("--samples"));
+    let scenario = Scenario::build_with_population(kind, scale, seed, parties, samples);
+
+    let windows: usize = args.value_or("windows", scenario.eval_windows().min(2));
+    let rounds: usize = args.value_or("rounds", scenario.rounds_per_window);
+    let bootstrap: usize = args.value_or("bootstrap", rounds);
+    let horizon = bootstrap + windows * rounds;
+    let fed = federation_spec_from_args(&args, seed ^ 0x5ce7a510, horizon);
+
+    eprintln!(
+        "# {kind} @ {scale:?}: {} parties, {windows} window(s) × {rounds} rounds \
+         (+{bootstrap} bootstrap), strategy {strategy:?}",
+        scenario.profile.num_parties
+    );
+    eprintln!("# federation axes: {fed:?}");
+
+    let result = run_federation_scenario(
+        strategy,
+        &scenario,
+        &fed,
+        windows,
+        bootstrap,
+        rounds,
+        &ShiftExConfig::default(),
+    );
+
+    let title = format!("{kind} {:?}", scale);
+    println!("{}", report::render_participation(&title, &result));
+    println!(
+        "final accuracy {:.2}% over {} live-round evaluations; {} model(s)",
+        result.accuracy_series.last().copied().unwrap_or(0.0) * 100.0,
+        result.accuracy_series.len(),
+        result.final_models
+    );
+
+    if let Some(dir) = args.value("csv") {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = dir.join("participation.csv");
+        report::write_participation_csv(&path, &result).expect("write participation csv");
+        eprintln!("# CSV written to {}", path.display());
+    }
+}

@@ -4,7 +4,9 @@
 //! * [`scenario`] — builds the five dataset scenarios (FMoW,
 //!   Tiny-ImageNet-C, CIFAR-10-C, FEMNIST, Fashion-MNIST) at smoke/small/
 //!   paper scale, with the paper's windowing modes and 50 % partial
-//!   population shift.
+//!   population shift; plus population overrides (100+ party federations)
+//!   and federation axes ([`shiftex_fl::ScenarioSpec`]: churn, stragglers,
+//!   staleness-aware async rounds) parsed from CLI flags.
 //! * [`strategies`] — constructs the five techniques behind one factory.
 //! * [`runner`] — drives a strategy through all windows, recording
 //!   per-round accuracy and expert distributions.
@@ -26,6 +28,6 @@ pub mod scenario;
 pub mod strategies;
 
 pub use metrics::{aggregate_windows, WindowMetrics, WindowMetricsAgg};
-pub use runner::{run_scenario, RunResult};
-pub use scenario::Scenario;
+pub use runner::{run_federation_scenario, run_scenario, FedRunResult, FedStrategy, RunResult};
+pub use scenario::{federation_spec_from_args, Scenario};
 pub use strategies::{make_strategy, StrategyKind};

@@ -6,7 +6,7 @@ use std::io::Write;
 use std::path::Path;
 
 use crate::metrics::WindowMetricsAgg;
-use crate::runner::RunResult;
+use crate::runner::{FedRunResult, RunResult};
 use crate::strategies::StrategyKind;
 
 /// Renders one dataset's block of Table 1/2: rows = techniques, columns =
@@ -133,6 +133,85 @@ pub fn render_expert_distribution(dataset: &str, result: &RunResult) -> String {
     out
 }
 
+/// Renders the per-round participation/liveness table of a federation
+/// scenario run: live pool, selected, delivered, and the dropped / stale /
+/// deferred columns the churn and straggler axes introduce.
+pub fn render_participation(title: &str, result: &FedRunResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# Participation — {title} ({})\n",
+        result.strategy
+    ));
+    out.push_str(&format!(
+        "{:>6} {:>5} {:>9} {:>10} {:>9} {:>7} {:>9} {:>7} {:>8}\n",
+        "round", "live", "selected", "delivered", "drop-out", "late", "deferred", "stale", "acc%"
+    ));
+    for row in &result.participation {
+        out.push_str(&format!(
+            "{:>6} {:>5} {:>9} {:>10} {:>9} {:>7} {:>9} {:>7} {:>8.2}\n",
+            row.round,
+            row.live,
+            row.delta.selected,
+            row.delta.delivered,
+            row.delta.dropped_churn,
+            row.delta.dropped_late,
+            row.delta.deferred,
+            row.delta.stale_dropped,
+            row.accuracy * 100.0,
+        ));
+    }
+    let t = &result.totals;
+    out.push_str(&format!(
+        "totals: selected {} | delivered {} | dropped(churn) {} | dropped(late) {} | \
+         deferred {} | stale-dropped {} | aggregations {}\n",
+        t.selected,
+        t.delivered,
+        t.dropped_churn,
+        t.dropped_late,
+        t.deferred,
+        t.stale_dropped,
+        t.aggregations,
+    ));
+    out.push_str(&format!(
+        "comm: up {} B | down {} B | messages {} | aborted uploads {} ({} B wasted)\n",
+        result.comm.up_bytes,
+        result.comm.down_bytes,
+        result.comm.messages,
+        result.comm.aborted_messages,
+        result.comm.aborted_up_bytes,
+    ));
+    out
+}
+
+/// Writes a CSV of the per-round participation records.
+///
+/// # Errors
+///
+/// Returns any I/O error from file creation or writing.
+pub fn write_participation_csv(path: &Path, result: &FedRunResult) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "round,live,selected,delivered,dropped_churn,dropped_late,deferred,stale_dropped,accuracy_pct"
+    )?;
+    for row in &result.participation {
+        writeln!(
+            f,
+            "{},{},{},{},{},{},{},{},{:.4}",
+            row.round,
+            row.live,
+            row.delta.selected,
+            row.delta.delivered,
+            row.delta.dropped_churn,
+            row.delta.dropped_late,
+            row.delta.deferred,
+            row.delta.stale_dropped,
+            row.accuracy * 100.0
+        )?;
+    }
+    Ok(())
+}
+
 /// Writes a CSV of the convergence series.
 ///
 /// # Errors
@@ -234,6 +313,56 @@ mod tests {
         assert!(s.contains("expert0"));
         assert!(s.contains("expert1"));
         assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn participation_report_renders_all_columns() {
+        use shiftex_fl::{ParticipationStats, RoundParticipation};
+        let result = FedRunResult {
+            strategy: "FedAvg".into(),
+            accuracy_series: vec![0.4, 0.5],
+            participation: vec![RoundParticipation {
+                round: 1,
+                live: 9,
+                delta: ParticipationStats {
+                    selected: 8,
+                    delivered: 5,
+                    dropped_churn: 2,
+                    dropped_late: 1,
+                    deferred: 0,
+                    stale_dropped: 0,
+                    aggregations: 1,
+                },
+                accuracy: 0.5,
+            }],
+            totals: ParticipationStats {
+                selected: 8,
+                delivered: 5,
+                dropped_churn: 2,
+                dropped_late: 1,
+                deferred: 0,
+                stale_dropped: 0,
+                aggregations: 1,
+            },
+            comm: shiftex_fl::CommTotals {
+                up_bytes: 100,
+                down_bytes: 200,
+                messages: 10,
+                aborted_up_bytes: 60,
+                aborted_messages: 3,
+            },
+            final_models: 1,
+        };
+        let s = render_participation("smoke", &result);
+        assert!(s.contains("drop-out"));
+        assert!(s.contains("aborted uploads 3"));
+        let dir = std::env::temp_dir().join("shiftex_participation_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("participation.csv");
+        write_participation_csv(&p, &result).unwrap();
+        let content = std::fs::read_to_string(&p).unwrap();
+        assert!(content.starts_with("round,live,selected"));
+        assert!(content.contains("1,9,8,5,2,1,0,0,50.0000"));
     }
 
     #[test]

@@ -5,6 +5,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use shiftex_core::ContinualStrategy;
+use shiftex_fl::{
+    CommLedger, CommTotals, ParticipationStats, RoundParticipation, ScenarioEngine, ScenarioSpec,
+};
 
 use crate::metrics::{window_metrics, WindowMetrics};
 use crate::scenario::Scenario;
@@ -104,6 +107,230 @@ pub fn run_once(
     }
 }
 
+/// Everything recorded from one federation-scenario run (churn, stragglers,
+/// async rounds overlaid on a dataset scenario).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FedRunResult {
+    /// Strategy name (`ShiftEx` or `FedAvg`).
+    pub strategy: String,
+    /// Live-member accuracy after every round, across all windows in order.
+    pub accuracy_series: Vec<f32>,
+    /// Per-round participation records (round, live pool, fate deltas).
+    pub participation: Vec<RoundParticipation>,
+    /// Cumulative participation counters.
+    pub totals: ParticipationStats,
+    /// Communication totals, including aborted/late uploads.
+    pub comm: CommTotals,
+    /// Number of models at the end of the run.
+    pub final_models: usize,
+}
+
+/// Which runtime path a federation-scenario run exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FedStrategy {
+    /// ShiftEx with per-expert staleness buffers
+    /// ([`shiftex_core::ShiftEx::train_round_scenario`]).
+    ShiftEx,
+    /// A single global model through
+    /// [`shiftex_fl::FederatedJob::run_rounds_scenario`].
+    FedAvg,
+}
+
+impl FedStrategy {
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<FedStrategy> {
+        match s.to_ascii_lowercase().as_str() {
+            "shiftex" => Some(FedStrategy::ShiftEx),
+            "fedavg" => Some(FedStrategy::FedAvg),
+            _ => None,
+        }
+    }
+}
+
+/// Drives `strategy` through `windows` windows of `scenario` under the
+/// federation axes in `fed`: `bootstrap_rounds` burn-in rounds on W0, then
+/// `rounds_per_window` rounds per shifted window, every round mediated by a
+/// [`ScenarioEngine`] (membership churn, mid-round dropout, stragglers,
+/// staleness-aware aggregation).
+///
+/// # Panics
+///
+/// Panics if `windows` exceeds the scenario's evaluation windows.
+pub fn run_federation_scenario(
+    strategy: FedStrategy,
+    scenario: &Scenario,
+    fed: &ScenarioSpec,
+    windows: usize,
+    bootstrap_rounds: usize,
+    rounds_per_window: usize,
+    shiftex_cfg: &shiftex_core::ShiftExConfig,
+) -> FedRunResult {
+    assert!(
+        windows <= scenario.eval_windows(),
+        "scenario only has {} evaluation windows",
+        scenario.eval_windows()
+    );
+    let mut rng = StdRng::seed_from_u64(fed.seed ^ scenario.seed.rotate_left(17));
+    let mut parties = scenario.initial_parties(&mut rng);
+    let ids: Vec<shiftex_fl::PartyId> = parties.iter().map(|p| p.id()).collect();
+    let mut engine = ScenarioEngine::new(fed.clone(), &ids);
+
+    match strategy {
+        FedStrategy::ShiftEx => run_fed_shiftex(
+            scenario,
+            &mut engine,
+            &mut parties,
+            windows,
+            bootstrap_rounds,
+            rounds_per_window,
+            shiftex_cfg,
+            &mut rng,
+        ),
+        FedStrategy::FedAvg => run_fed_fedavg(
+            scenario,
+            &mut engine,
+            parties,
+            windows,
+            bootstrap_rounds,
+            rounds_per_window,
+            &mut rng,
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_fed_shiftex(
+    scenario: &Scenario,
+    engine: &mut ScenarioEngine,
+    parties: &mut [shiftex_fl::Party],
+    windows: usize,
+    bootstrap_rounds: usize,
+    rounds_per_window: usize,
+    shiftex_cfg: &shiftex_core::ShiftExConfig,
+    rng: &mut StdRng,
+) -> FedRunResult {
+    let ids: Vec<shiftex_fl::PartyId> = parties.iter().map(|p| p.id()).collect();
+    let cfg = shiftex_core::ShiftExConfig {
+        participants_per_round: scenario.participants_per_round(),
+        ..shiftex_cfg.clone()
+    };
+    let mut shiftex = shiftex_core::ShiftEx::new(cfg, scenario.spec.clone(), rng);
+    let ledger = CommLedger::new();
+    let mut accuracy_series = Vec::new();
+    let mut participation = Vec::new();
+
+    let round_block = |shiftex: &mut shiftex_core::ShiftEx,
+                       engine: &mut ScenarioEngine,
+                       parties: &[shiftex_fl::Party],
+                       rounds: usize,
+                       accuracy_series: &mut Vec<f32>,
+                       participation: &mut Vec<RoundParticipation>,
+                       rng: &mut StdRng| {
+        for _ in 0..rounds {
+            let before = engine.stats();
+            shiftex.train_round_scenario(parties, engine, Some(&ledger), rng);
+            let live = engine.live_members(&ids);
+            let live_set: std::collections::HashSet<_> = live.iter().copied().collect();
+            let live_refs: Vec<&shiftex_fl::Party> = parties
+                .iter()
+                .filter(|p| live_set.contains(&p.id()))
+                .collect();
+            let accuracy = shiftex.evaluate_refs(&live_refs);
+            accuracy_series.push(accuracy);
+            participation.push(RoundParticipation {
+                round: engine.round(),
+                live: live_refs.len(),
+                delta: engine.stats().minus(&before),
+                accuracy,
+            });
+        }
+    };
+
+    shiftex.bootstrap(parties, 0, rng);
+    round_block(
+        &mut shiftex,
+        engine,
+        parties,
+        bootstrap_rounds,
+        &mut accuracy_series,
+        &mut participation,
+        rng,
+    );
+    for w in 1..=windows {
+        scenario.advance(parties, w, rng);
+        // Only enrolled members publish shift statistics for this window.
+        let members: std::collections::HashSet<_> = engine.live_members(&ids).into_iter().collect();
+        let member_parties: Vec<shiftex_fl::Party> = parties
+            .iter()
+            .filter(|p| members.contains(&p.id()))
+            .cloned()
+            .collect();
+        if !member_parties.is_empty() {
+            shiftex.process_window(&member_parties, rng);
+        }
+        round_block(
+            &mut shiftex,
+            engine,
+            parties,
+            rounds_per_window,
+            &mut accuracy_series,
+            &mut participation,
+            rng,
+        );
+    }
+
+    FedRunResult {
+        strategy: "ShiftEx".into(),
+        accuracy_series,
+        participation,
+        totals: engine.stats(),
+        comm: ledger.totals(),
+        final_models: shiftex.num_experts(),
+    }
+}
+
+fn run_fed_fedavg(
+    scenario: &Scenario,
+    engine: &mut ScenarioEngine,
+    parties: Vec<shiftex_fl::Party>,
+    windows: usize,
+    bootstrap_rounds: usize,
+    rounds_per_window: usize,
+    rng: &mut StdRng,
+) -> FedRunResult {
+    use shiftex_fl::{FederatedJob, RoundConfig, UniformSelector};
+    let round_cfg = RoundConfig {
+        participants_per_round: scenario.participants_per_round(),
+        ..RoundConfig::default()
+    };
+    let mut job = FederatedJob::new(scenario.spec.clone(), parties, round_cfg);
+    let mut params = shiftex_nn::Sequential::build(&scenario.spec, rng).params_flat();
+    let mut accuracy_series = Vec::new();
+    let mut participation = Vec::new();
+
+    let mut selector = UniformSelector;
+    let report = job.run_rounds_scenario(params, bootstrap_rounds, &mut selector, engine, rng);
+    accuracy_series.extend_from_slice(&report.accuracy_per_round);
+    participation.extend_from_slice(&report.participation);
+    params = report.params;
+    for w in 1..=windows {
+        scenario.advance(job.parties_mut(), w, rng);
+        let report = job.run_rounds_scenario(params, rounds_per_window, &mut selector, engine, rng);
+        accuracy_series.extend_from_slice(&report.accuracy_per_round);
+        participation.extend_from_slice(&report.participation);
+        params = report.params;
+    }
+
+    FedRunResult {
+        strategy: "FedAvg".into(),
+        accuracy_series,
+        participation,
+        totals: engine.stats(),
+        comm: job.ledger().totals(),
+        final_models: 1,
+    }
+}
+
 /// Parties per model index, padded densely.
 fn distribution(strategy: &dyn ContinualStrategy, parties: &[shiftex_fl::Party]) -> Vec<usize> {
     let mut counts = vec![0usize; strategy.num_models().max(1)];
@@ -173,6 +400,71 @@ mod tests {
         for dist in &result.expert_distribution {
             assert_eq!(dist.iter().sum::<usize>(), scenario.profile.num_parties);
         }
+    }
+
+    #[test]
+    fn federation_scenario_runs_both_strategies_under_all_axes() {
+        use shiftex_fl::{AsyncSpec, ChurnSpec, LatePolicy, ScenarioSpec, StragglerSpec};
+        let scenario = Scenario::build_with_population(
+            DatasetKind::FashionMnist,
+            SimScale::Smoke,
+            13,
+            Some(12),
+            Some(16),
+        );
+        let rounds = 3usize;
+        let horizon = 2 + rounds; // bootstrap rounds + one window
+        let fed = ScenarioSpec::sync(5)
+            .with_churn(ChurnSpec {
+                join_fraction: 0.2,
+                join_ramp_rounds: 2,
+                leave_fraction: 0.2,
+                leave_after: 3,
+                horizon,
+                dropout: 0.15,
+            })
+            .with_stragglers(StragglerSpec::uniform(0.9, 1.0, LatePolicy::Defer))
+            .with_async(AsyncSpec {
+                min_buffer: 2,
+                staleness_alpha: 0.5,
+                max_staleness: 3,
+                server_lr: 1.0,
+            });
+        for strategy in [FedStrategy::ShiftEx, FedStrategy::FedAvg] {
+            let result = run_federation_scenario(
+                strategy,
+                &scenario,
+                &fed,
+                1,
+                2,
+                rounds,
+                &ShiftExConfig::default(),
+            );
+            assert_eq!(result.accuracy_series.len(), 2 + rounds);
+            assert_eq!(result.participation.len(), 2 + rounds);
+            assert!(
+                result.totals.selected > 0,
+                "{strategy:?}: {:?}",
+                result.totals
+            );
+            assert_eq!(
+                result.comm.aborted_messages,
+                result.totals.dropped_churn + result.totals.dropped_late,
+                "{strategy:?} meters every aborted upload"
+            );
+        }
+    }
+
+    #[test]
+    fn federation_scenario_is_deterministic() {
+        use shiftex_fl::{ChurnSpec, ScenarioSpec};
+        let scenario =
+            Scenario::build_with_population(DatasetKind::Femnist, SimScale::Smoke, 17, None, None);
+        let fed = ScenarioSpec::sync(9).with_churn(ChurnSpec::dropout_only(0.2));
+        let cfg = ShiftExConfig::default();
+        let a = run_federation_scenario(FedStrategy::FedAvg, &scenario, &fed, 1, 2, 2, &cfg);
+        let b = run_federation_scenario(FedStrategy::FedAvg, &scenario, &fed, 1, 2, 2, &cfg);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -6,9 +6,13 @@ use rand::SeedableRng;
 use shiftex_data::{
     profile, Dataset, DatasetKind, DatasetProfile, PrototypeGenerator, SimScale, WindowingMode,
 };
-use shiftex_fl::{Party, PartyId};
+use shiftex_fl::{
+    AsyncSpec, ChurnSpec, DelayDist, LatePolicy, Party, PartyId, ScenarioSpec, StragglerSpec,
+};
 use shiftex_nn::{ArchSpec, InputShape};
 use shiftex_stream::{ScheduleBuilder, ShiftSchedule};
+
+use crate::cli::Args;
 
 /// A fully-specified experiment scenario.
 #[derive(Debug)]
@@ -30,8 +34,30 @@ pub struct Scenario {
 impl Scenario {
     /// Builds the scenario for `kind` at `scale` with deterministic seeding.
     pub fn build(kind: DatasetKind, scale: SimScale, seed: u64) -> Scenario {
+        Self::build_with_population(kind, scale, seed, None, None)
+    }
+
+    /// Like [`Scenario::build`] but with the party count and/or per-party
+    /// sample count overridden — the entry point for federation-scale runs
+    /// (e.g. 100+ parties) beyond the paper's per-dataset profiles.
+    pub fn build_with_population(
+        kind: DatasetKind,
+        scale: SimScale,
+        seed: u64,
+        num_parties: Option<usize>,
+        samples_per_party: Option<usize>,
+    ) -> Scenario {
         let mut rng = StdRng::seed_from_u64(seed);
-        let profile = profile(kind, scale);
+        let mut profile = profile(kind, scale);
+        if let Some(n) = num_parties {
+            assert!(n > 0, "scenario needs at least one party");
+            profile.num_parties = n;
+        }
+        if let Some(s) = samples_per_party {
+            assert!(s > 0, "parties need at least one sample");
+            profile.samples_per_party = s;
+            profile.test_samples_per_party = (s / 2).max(4);
+        }
         let generator = PrototypeGenerator::new(profile.shape, profile.classes, &mut rng);
         let schedule = ScheduleBuilder::from_profile(&profile, &mut rng).build(&mut rng);
         let spec = arch_for(kind, &profile);
@@ -131,6 +157,84 @@ impl Scenario {
     }
 }
 
+/// Builds a federation [`ScenarioSpec`] (churn × stragglers × round mode)
+/// from experiment CLI flags. All axes default off, so a bare invocation
+/// reproduces the paper's synchronous full-participation protocol.
+///
+/// Recognised flags:
+///
+/// * churn — `--dropout P`, `--join-frac F --join-ramp R`,
+///   `--leave-frac F --leave-after R`;
+/// * stragglers — `--straggle-mean M` (exponential delays),
+///   `--slow-frac F --slow-factor X`, `--deadline D`,
+///   `--late drop|defer`;
+/// * asynchrony — `--async`, `--buffer N`, `--staleness-alpha A`,
+///   `--max-staleness S`, `--server-lr E`.
+///
+/// `horizon` is the total simulated round budget (used to place leave
+/// events).
+pub fn federation_spec_from_args(args: &Args, seed: u64, horizon: usize) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::sync(seed);
+
+    let dropout: f32 = args.value_or("dropout", 0.0);
+    let join_frac: f32 = args.value_or("join-frac", 0.0);
+    let leave_frac: f32 = args.value_or("leave-frac", 0.0);
+    if dropout > 0.0 || join_frac > 0.0 || leave_frac > 0.0 {
+        spec = spec.with_churn(ChurnSpec {
+            join_fraction: join_frac,
+            join_ramp_rounds: args.value_or("join-ramp", horizon / 4 + 1),
+            leave_fraction: leave_frac,
+            leave_after: args.value_or("leave-after", horizon / 2 + 1),
+            horizon,
+            dropout,
+        });
+    }
+
+    let straggle_mean: f32 = args.value_or("straggle-mean", 0.0);
+    if straggle_mean > 0.0 {
+        let late = match args.value("late").unwrap_or("defer") {
+            "drop" => LatePolicy::Drop,
+            "defer" => LatePolicy::Defer,
+            other => panic!("invalid value for --late: {other:?} (drop|defer)"),
+        };
+        spec = spec.with_stragglers(StragglerSpec {
+            dist: DelayDist::Exponential {
+                mean: straggle_mean,
+            },
+            slow_fraction: args.value_or("slow-frac", 0.0),
+            slow_factor: args.value_or("slow-factor", 4.0),
+            deadline: args.value_or("deadline", 1.0),
+            late,
+        });
+    } else {
+        // A sub-flag without its enabling flag would be silently ignored —
+        // and the run attributed to a scenario that never executed.
+        for key in ["deadline", "late", "slow-frac", "slow-factor"] {
+            assert!(
+                args.value(key).is_none(),
+                "--{key} has no effect without --straggle-mean > 0"
+            );
+        }
+    }
+
+    if args.switch("async") {
+        spec = spec.with_async(AsyncSpec {
+            min_buffer: args.value_or("buffer", 1),
+            staleness_alpha: args.value_or("staleness-alpha", 0.5),
+            max_staleness: args.value_or("max-staleness", 4),
+            server_lr: args.value_or("server-lr", 1.0),
+        });
+    } else {
+        for key in ["buffer", "staleness-alpha", "max-staleness", "server-lr"] {
+            assert!(
+                args.value(key).is_none(),
+                "--{key} has no effect without --async"
+            );
+        }
+    }
+    spec
+}
+
 /// The paper's architecture pairing (§6 "Models"), in Lite form.
 fn arch_for(kind: DatasetKind, profile: &DatasetProfile) -> ArchSpec {
     let input = InputShape {
@@ -203,6 +307,70 @@ mod tests {
             assert!(s.eval_windows() >= 4);
             assert!(s.rounds_per_window >= 4);
         }
+    }
+
+    #[test]
+    fn population_override_scales_to_100_parties() {
+        let s = Scenario::build_with_population(
+            DatasetKind::FashionMnist,
+            SimScale::Smoke,
+            3,
+            Some(100),
+            Some(12),
+        );
+        assert_eq!(s.profile.num_parties, 100);
+        assert_eq!(s.schedule.num_parties(), 100);
+        let mut rng = StdRng::seed_from_u64(4);
+        let parties = s.initial_parties(&mut rng);
+        assert_eq!(parties.len(), 100);
+        assert!(parties.iter().all(|p| p.train().len() == 12));
+    }
+
+    #[test]
+    fn federation_spec_parses_all_axes() {
+        let args = Args::parse(
+            "--dropout 0.2 --join-frac 0.1 --leave-frac 0.1 --straggle-mean 0.8 \
+             --deadline 1.5 --late drop --async --buffer 8 --staleness-alpha 0.7 \
+             --max-staleness 3 --server-lr 0.9"
+                .split_whitespace()
+                .map(String::from),
+        );
+        let spec = federation_spec_from_args(&args, 7, 40);
+        let churn = spec.churn.expect("churn configured");
+        assert_eq!(churn.dropout, 0.2);
+        assert_eq!(churn.horizon, 40);
+        let strag = spec.stragglers.expect("stragglers configured");
+        assert_eq!(strag.late, LatePolicy::Drop);
+        assert_eq!(strag.deadline, 1.5);
+        match spec.mode {
+            shiftex_fl::RoundMode::Async(a) => {
+                assert_eq!(a.min_buffer, 8);
+                assert_eq!(a.max_staleness, 3);
+                assert_eq!(a.server_lr, 0.9);
+            }
+            other => panic!("expected async mode, got {other:?}"),
+        }
+        // Bare flags reproduce the paper protocol.
+        let bare = federation_spec_from_args(&Args::default(), 7, 40);
+        assert_eq!(bare, ScenarioSpec::sync(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "--deadline has no effect without --straggle-mean")]
+    fn straggler_subflag_without_enabler_is_rejected() {
+        let args = Args::parse(
+            "--deadline 0.5 --late drop"
+                .split_whitespace()
+                .map(String::from),
+        );
+        let _ = federation_spec_from_args(&args, 1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "--buffer has no effect without --async")]
+    fn async_subflag_without_enabler_is_rejected() {
+        let args = Args::parse("--buffer 8".split_whitespace().map(String::from));
+        let _ = federation_spec_from_args(&args, 1, 10);
     }
 
     #[test]

@@ -13,6 +13,11 @@ pub struct CommTotals {
     pub down_bytes: u64,
     /// Message count in either direction.
     pub messages: u64,
+    /// Bytes of aborted/late uploads (dropped stragglers, mid-round churn):
+    /// traffic a party paid for that never became an aggregated update.
+    pub aborted_up_bytes: u64,
+    /// Count of aborted/late uploads.
+    pub aborted_messages: u64,
 }
 
 /// Thread-safe communication ledger.
@@ -44,6 +49,16 @@ impl CommLedger {
         t.messages += 1;
     }
 
+    /// Records a party → aggregator upload that was aborted or discarded
+    /// (mid-round dropout, or a straggler past the deadline under a drop
+    /// policy). Kept separate from successful traffic so overhead reports
+    /// stay honest under churn: the bytes were spent, the update wasn't.
+    pub fn record_aborted_upload(&self, bytes: usize) {
+        let mut t = self.totals.lock();
+        t.aborted_up_bytes += bytes as u64;
+        t.aborted_messages += 1;
+    }
+
     /// Snapshot of the counters.
     pub fn totals(&self) -> CommTotals {
         *self.totals.lock()
@@ -69,6 +84,19 @@ mod tests {
         assert_eq!(t.up_bytes, 160);
         assert_eq!(t.down_bytes, 40);
         assert_eq!(t.messages, 3);
+    }
+
+    #[test]
+    fn aborted_uploads_are_metered_separately() {
+        let ledger = CommLedger::new();
+        ledger.record_upload(100);
+        ledger.record_aborted_upload(70);
+        ledger.record_aborted_upload(30);
+        let t = ledger.totals();
+        assert_eq!(t.up_bytes, 100);
+        assert_eq!(t.messages, 1, "aborted uploads are not successful messages");
+        assert_eq!(t.aborted_up_bytes, 100);
+        assert_eq!(t.aborted_messages, 2);
     }
 
     #[test]

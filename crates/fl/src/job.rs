@@ -6,7 +6,8 @@ use shiftex_nn::ArchSpec;
 
 use crate::comm::CommLedger;
 use crate::party::{Party, PartyId};
-use crate::round::{run_round, RoundConfig};
+use crate::round::{run_round, run_round_scenario, RoundConfig};
+use crate::scenario::{ParticipationStats, ScenarioEngine};
 use crate::selection::ParticipantSelector;
 
 /// Report of a [`FederatedJob::run_rounds`] call.
@@ -18,6 +19,35 @@ pub struct JobReport {
     pub accuracy_per_round: Vec<f32>,
     /// Cohort mean training loss per round.
     pub loss_per_round: Vec<f32>,
+}
+
+/// Per-round participation record of a scenario job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundParticipation {
+    /// 1-based round index.
+    pub round: usize,
+    /// Enrolled members this round (after join/leave churn).
+    pub live: usize,
+    /// This round's counter deltas (selected/delivered/dropped/…).
+    pub delta: ParticipationStats,
+    /// Population accuracy on the live members after the round.
+    pub accuracy: f32,
+}
+
+/// Report of a [`FederatedJob::run_rounds_scenario`] call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioJobReport {
+    /// Final aggregated parameters.
+    pub params: Vec<f32>,
+    /// Live-member test accuracy after each round.
+    pub accuracy_per_round: Vec<f32>,
+    /// Weighted mean training loss of aggregated updates per round
+    /// (`None` when a round aggregated nothing).
+    pub loss_per_round: Vec<Option<f32>>,
+    /// Per-round participation records.
+    pub participation: Vec<RoundParticipation>,
+    /// Cumulative counters over the whole job.
+    pub totals: ParticipationStats,
 }
 
 /// A federated training job: architecture + party population + round config.
@@ -153,6 +183,89 @@ impl FederatedJob {
             loss_per_round,
         }
     }
+
+    /// Runs `rounds` rounds under a scenario engine: join/leave churn gates
+    /// the eligible pool, selected parties can drop mid-round or straggle
+    /// past the deadline, and aggregation follows the engine's round mode
+    /// (synchronous or staleness-aware buffered).
+    ///
+    /// Rounds where churn empties the pool (or no update survives) keep the
+    /// current parameters and are still recorded, so the report always has
+    /// `rounds` entries.
+    pub fn run_rounds_scenario(
+        &mut self,
+        init_params: Vec<f32>,
+        rounds: usize,
+        selector: &mut dyn ParticipantSelector,
+        engine: &mut ScenarioEngine,
+        rng: &mut StdRng,
+    ) -> ScenarioJobReport {
+        let all_ids: Vec<PartyId> = self.parties.iter().map(|p| p.id()).collect();
+        let mut params = init_params;
+        let mut accuracy_per_round = Vec::with_capacity(rounds);
+        let mut loss_per_round = Vec::with_capacity(rounds);
+        let mut participation = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let round = engine.begin_round();
+            let before = engine.stats();
+            let live = engine.live_members(&all_ids);
+            let live_set: std::collections::HashSet<PartyId> = live.iter().copied().collect();
+            let live_parties: Vec<&Party> = self
+                .parties
+                .iter()
+                .filter(|p| live_set.contains(&p.id()))
+                .collect();
+            // Selection only happens over a non-empty live pool, but the
+            // round runs regardless: even with nobody live, previously
+            // deferred updates can mature out of the staleness buffer.
+            let cohort: Vec<&Party> = if live_parties.is_empty() {
+                Vec::new()
+            } else {
+                let infos: Vec<_> = live_parties.iter().map(|p| p.info()).collect();
+                let chosen = selector.select(&infos, self.cfg.participants_per_round, rng);
+                let chosen_set: std::collections::HashSet<PartyId> = chosen.into_iter().collect();
+                live_parties
+                    .iter()
+                    .copied()
+                    .filter(|p| chosen_set.contains(&p.id()))
+                    .collect()
+            };
+            let outcome = run_round_scenario(
+                &self.spec,
+                &params,
+                &cohort,
+                &self.cfg,
+                engine,
+                0,
+                Some(&self.ledger),
+                rng,
+            );
+            for &(party, loss, _) in &outcome.folded {
+                selector.observe(party, loss);
+            }
+            for &party in &outcome.lost {
+                selector.on_unavailable(party);
+            }
+            let mean_loss = outcome.mean_loss;
+            params = outcome.params;
+            let accuracy = crate::evaluate_on_party_refs(&self.spec, &params, &live_parties);
+            accuracy_per_round.push(accuracy);
+            loss_per_round.push(mean_loss);
+            participation.push(RoundParticipation {
+                round,
+                live: live_parties.len(),
+                delta: engine.stats().minus(&before),
+                accuracy,
+            });
+        }
+        ScenarioJobReport {
+            params,
+            accuracy_per_round,
+            loss_per_round,
+            participation,
+            totals: engine.stats(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +327,93 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         job.run_rounds(init, 3, &mut UniformSelector, &mut rng);
         assert!(job.ledger().totals().messages >= 3 * 2 * 4 / 2);
+    }
+
+    #[test]
+    fn scenario_job_survives_churn_and_reports_every_round() {
+        use crate::scenario::{ChurnSpec, ScenarioEngine, ScenarioSpec};
+        let (mut job, init) = job(8, 8);
+        let ids: Vec<PartyId> = job.parties().iter().map(|p| p.id()).collect();
+        let spec = ScenarioSpec::sync(3).with_churn(ChurnSpec {
+            join_fraction: 0.25,
+            join_ramp_rounds: 3,
+            leave_fraction: 0.25,
+            leave_after: 2,
+            horizon: 6,
+            dropout: 0.3,
+        });
+        let mut engine = ScenarioEngine::new(spec, &ids);
+        let mut rng = StdRng::seed_from_u64(9);
+        let report = job.run_rounds_scenario(init, 6, &mut UniformSelector, &mut engine, &mut rng);
+        assert_eq!(report.accuracy_per_round.len(), 6);
+        assert_eq!(report.participation.len(), 6);
+        let totals = report.totals;
+        assert_eq!(
+            totals.selected,
+            totals.delivered + totals.dropped_churn + totals.dropped_late + totals.deferred,
+            "every selected update has exactly one first-round fate: {totals:?}"
+        );
+        assert!(
+            totals.dropped_churn > 0,
+            "30% dropout over 6 rounds: {totals:?}"
+        );
+        // Aborted uploads are on the ledger.
+        assert_eq!(
+            job.ledger().totals().aborted_messages,
+            totals.dropped_churn + totals.dropped_late
+        );
+    }
+
+    #[test]
+    fn deferred_updates_mature_even_when_pool_empties() {
+        use crate::scenario::{
+            ChurnSchedule, DelayDist, LatePolicy, ScenarioEngine, ScenarioSpec, StragglerSpec,
+        };
+        let (mut job, init) = job(3, 14);
+        let ids: Vec<PartyId> = job.parties().iter().map(|p| p.id()).collect();
+        // Every update is 1 round late; every party leaves after round 1.
+        let spec = ScenarioSpec::sync(2).with_stragglers(StragglerSpec {
+            dist: DelayDist::Constant(1.5),
+            slow_fraction: 0.0,
+            slow_factor: 1.0,
+            deadline: 1.0,
+            late: LatePolicy::Defer,
+        });
+        let mut engine = ScenarioEngine::new(spec, &ids);
+        let mut churn = ChurnSchedule::always_on(0.0, 0);
+        for &id in &ids {
+            churn = churn.with_leave(id, 2);
+        }
+        *engine.churn_mut() = churn;
+        let mut rng = StdRng::seed_from_u64(15);
+        let report =
+            job.run_rounds_scenario(init.clone(), 2, &mut UniformSelector, &mut engine, &mut rng);
+        // Round 1 trains and defers; round 2 has nobody live, but the
+        // deferred updates still mature and aggregate.
+        assert_eq!(report.participation[1].live, 0);
+        assert_eq!(report.participation[1].delta.delivered, 3);
+        assert_eq!(report.totals.deferred, 3);
+        assert_ne!(report.params, init, "matured updates must be folded in");
+    }
+
+    #[test]
+    fn scenario_job_with_everyone_left_keeps_initial_params() {
+        use crate::scenario::{ChurnSchedule, ScenarioEngine, ScenarioSpec};
+        let (mut job, init) = job(3, 10);
+        let ids: Vec<PartyId> = job.parties().iter().map(|p| p.id()).collect();
+        let mut engine = ScenarioEngine::new(ScenarioSpec::sync(0), &ids);
+        // Everyone leaves before round 1, so every round is empty.
+        let mut churn = ChurnSchedule::always_on(0.0, 0);
+        for &id in &ids {
+            churn = churn.with_leave(id, 1);
+        }
+        *engine.churn_mut() = churn;
+        let mut rng = StdRng::seed_from_u64(11);
+        let report =
+            job.run_rounds_scenario(init.clone(), 3, &mut UniformSelector, &mut engine, &mut rng);
+        assert_eq!(report.params, init);
+        assert_eq!(report.totals.selected, 0);
+        assert!(report.participation.iter().all(|r| r.live == 0));
     }
 
     #[test]

@@ -39,13 +39,21 @@ mod comm;
 mod job;
 mod party;
 mod round;
+pub mod scenario;
 mod selection;
 mod update;
 
-pub use comm::CommLedger;
-pub use job::{FederatedJob, JobReport};
+pub use comm::{CommLedger, CommTotals};
+pub use job::{FederatedJob, JobReport, RoundParticipation, ScenarioJobReport};
 pub use party::{Party, PartyId, PartyInfo};
-pub use round::{run_round, RoundConfig, RoundOutcome};
+pub use round::{
+    run_round, run_round_scenario, train_cohort, RoundConfig, RoundOutcome, ScenarioRoundOutcome,
+};
+pub use scenario::{
+    aggregate_weighted, AsyncSpec, ChurnSchedule, ChurnSpec, DelayDist, LatePolicy,
+    ParticipationStats, RoundDelivery, RoundMode, ScenarioEngine, ScenarioSpec, StragglerSpec,
+    WeightedUpdate,
+};
 pub use selection::{ParticipantSelector, UniformSelector};
 pub use update::ModelUpdate;
 
@@ -57,6 +65,18 @@ use shiftex_tensor::Matrix;
 ///
 /// Returns 0 when no party has test data.
 pub fn evaluate_on_parties(spec: &ArchSpec, params: &[f32], parties: &[Party]) -> f32 {
+    let mut model = Sequential::build(spec, &mut deterministic_rng());
+    model.set_params_flat(params);
+    weighted_accuracy(
+        &model,
+        parties.iter().map(|p| (p.test_features(), p.test_labels())),
+    )
+}
+
+/// Like [`evaluate_on_parties`] but over borrowed parties — scenario loops
+/// evaluate a liveness-filtered view every round and must not pay a deep
+/// clone of the population to do so.
+pub fn evaluate_on_party_refs(spec: &ArchSpec, params: &[f32], parties: &[&Party]) -> f32 {
     let mut model = Sequential::build(spec, &mut deterministic_rng());
     model.set_params_flat(params);
     weighted_accuracy(

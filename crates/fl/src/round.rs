@@ -7,7 +7,8 @@ use serde::{Deserialize, Serialize};
 use shiftex_nn::{fedavg, train_local_params, ArchSpec, TrainConfig};
 
 use crate::comm::CommLedger;
-use crate::party::Party;
+use crate::party::{Party, PartyId};
+use crate::scenario::{aggregate_weighted, RoundMode, ScenarioEngine};
 use crate::update::ModelUpdate;
 
 /// Configuration of a federated round.
@@ -59,30 +60,7 @@ pub fn run_round(
     rng: &mut StdRng,
 ) -> RoundOutcome {
     assert!(!cohort.is_empty(), "round with empty cohort");
-    let seeds: Vec<u64> = cohort.iter().map(|_| rng.random::<u64>()).collect();
-
-    let updates: Vec<ModelUpdate> = if cfg.parallel {
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = cohort
-                .iter()
-                .zip(seeds.iter())
-                .map(|(party, &seed)| {
-                    scope.spawn(move |_| train_one(spec, global_params, party, &cfg.train, seed))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("local training panicked"))
-                .collect()
-        })
-        .expect("training scope panicked")
-    } else {
-        cohort
-            .iter()
-            .zip(seeds.iter())
-            .map(|(party, &seed)| train_one(spec, global_params, party, &cfg.train, seed))
-            .collect()
-    };
+    let updates = train_cohort(spec, global_params, cohort, cfg, rng);
 
     if let Some(ledger) = updates.first().and(ledger) {
         for u in &updates {
@@ -111,6 +89,124 @@ pub fn run_round(
     RoundOutcome {
         params,
         updates,
+        mean_loss,
+    }
+}
+
+/// Local training only: every cohort member trains from `global_params` and
+/// returns its update, with no aggregation or metering. Each member gets an
+/// independent RNG seeded from `rng`, so results are identical whether
+/// `cfg.parallel` is on or off. The scenario engine composes this with
+/// churn/straggler fates before aggregation; [`run_round`] composes it with
+/// immediate federated averaging.
+pub fn train_cohort(
+    spec: &ArchSpec,
+    global_params: &[f32],
+    cohort: &[&Party],
+    cfg: &RoundConfig,
+    rng: &mut StdRng,
+) -> Vec<ModelUpdate> {
+    let seeds: Vec<u64> = cohort.iter().map(|_| rng.random::<u64>()).collect();
+    if cfg.parallel {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = cohort
+                .iter()
+                .zip(seeds.iter())
+                .map(|(party, &seed)| {
+                    scope.spawn(move |_| train_one(spec, global_params, party, &cfg.train, seed))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("local training panicked"))
+                .collect()
+        })
+        .expect("training scope panicked")
+    } else {
+        cohort
+            .iter()
+            .zip(seeds.iter())
+            .map(|(party, &seed)| train_one(spec, global_params, party, &cfg.train, seed))
+            .collect()
+    }
+}
+
+/// Result of one scenario-mediated round on one update stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioRoundOutcome {
+    /// Parameters after aggregation (unchanged when nothing aggregated).
+    pub params: Vec<f32>,
+    /// `(party, train_loss, staleness)` of every update folded in.
+    pub folded: Vec<(PartyId, f32, usize)>,
+    /// Parties whose uploads were aborted this round.
+    pub lost: Vec<PartyId>,
+    /// Updates deferred into the staleness buffer this round.
+    pub deferred: usize,
+    /// Weight-averaged training loss of the folded updates, if any.
+    pub mean_loss: Option<f32>,
+}
+
+impl ScenarioRoundOutcome {
+    /// Number of updates folded into the aggregation.
+    pub fn aggregated(&self) -> usize {
+        self.folded.len()
+    }
+}
+
+/// Runs one scenario-mediated round on stream `key`: the cohort trains,
+/// the [`ScenarioEngine`] applies churn/straggler/staleness fates, and
+/// whatever it releases is staleness-weight aggregated into `global_params`.
+///
+/// Unlike [`run_round`] an empty cohort is legal (churn can empty a round):
+/// buffered updates may still mature, and with none the parameters simply
+/// pass through.
+///
+/// The caller advances the engine's round clock (one
+/// [`ScenarioEngine::begin_round`] per global tick — streams share it).
+#[allow(clippy::too_many_arguments)] // mirrors run_round + (engine, stream key)
+pub fn run_round_scenario(
+    spec: &ArchSpec,
+    global_params: &[f32],
+    cohort: &[&Party],
+    cfg: &RoundConfig,
+    engine: &mut ScenarioEngine,
+    key: usize,
+    ledger: Option<&CommLedger>,
+    rng: &mut StdRng,
+) -> ScenarioRoundOutcome {
+    let updates = train_cohort(spec, global_params, cohort, cfg, rng);
+    if let Some(ledger) = ledger {
+        // Every selected member pulled the globals before training.
+        for u in &updates {
+            ledger.record_download(u.nominal_size_bytes());
+        }
+    }
+    let delivery = engine.collect(key, updates, ledger);
+    let server_lr = match engine.spec().mode {
+        RoundMode::Sync => 1.0,
+        RoundMode::Async(a) => a.server_lr,
+    };
+    let params = aggregate_weighted(global_params, &delivery.ready, server_lr)
+        .unwrap_or_else(|| global_params.to_vec());
+    let folded: Vec<(PartyId, f32, usize)> = delivery
+        .ready
+        .iter()
+        .map(|w| (w.update.party, w.update.train_loss, w.staleness))
+        .collect();
+    let total_w: f32 = delivery.ready.iter().map(|w| w.weight).sum();
+    let mean_loss = (total_w > 0.0).then(|| {
+        delivery
+            .ready
+            .iter()
+            .map(|w| w.update.train_loss * w.weight)
+            .sum::<f32>()
+            / total_w
+    });
+    ScenarioRoundOutcome {
+        params,
+        folded,
+        lost: delivery.lost,
+        deferred: delivery.deferred.len(),
         mean_loss,
     }
 }
@@ -255,6 +351,72 @@ mod tests {
         let totals = ledger.totals();
         assert_eq!(totals.messages, 6); // 3 downloads + 3 uploads
         assert!(totals.up_bytes > 0 && totals.down_bytes > 0);
+    }
+
+    #[test]
+    fn scenario_round_without_axes_matches_plain_round() {
+        let (spec, init, parties) = setup(4, 20);
+        let cohort: Vec<&Party> = parties.iter().collect();
+        let cfg = RoundConfig::default();
+
+        let mut rng1 = StdRng::seed_from_u64(21);
+        let plain = run_round(&spec, &init, &cohort, &cfg, None, &mut rng1);
+
+        let mut rng2 = StdRng::seed_from_u64(21);
+        let mut engine = ScenarioEngine::new(
+            crate::scenario::ScenarioSpec::sync(0),
+            &parties.iter().map(|p| p.id()).collect::<Vec<_>>(),
+        );
+        engine.begin_round();
+        let scen = run_round_scenario(&spec, &init, &cohort, &cfg, &mut engine, 0, None, &mut rng2);
+        assert_eq!(scen.aggregated(), 4);
+        for (a, b) in plain.params.iter().zip(scen.params.iter()) {
+            assert!((a - b).abs() < 1e-5, "sync no-axes scenario = FedAvg");
+        }
+    }
+
+    #[test]
+    fn scenario_round_with_zero_survivors_keeps_params() {
+        // Dropout probability 1: every selected party crashes mid-round.
+        let (spec, init, parties) = setup(3, 22);
+        let cohort: Vec<&Party> = parties.iter().collect();
+        let ids: Vec<PartyId> = parties.iter().map(|p| p.id()).collect();
+        let scenario = crate::scenario::ScenarioSpec::sync(1)
+            .with_churn(crate::scenario::ChurnSpec::dropout_only(1.0));
+        let mut engine = ScenarioEngine::new(scenario, &ids);
+        let ledger = CommLedger::new();
+        let mut rng = StdRng::seed_from_u64(23);
+        engine.begin_round();
+        let out = run_round_scenario(
+            &spec,
+            &init,
+            &cohort,
+            &RoundConfig::default(),
+            &mut engine,
+            0,
+            Some(&ledger),
+            &mut rng,
+        );
+        assert_eq!(out.params, init, "no survivors → globals unchanged");
+        assert_eq!(out.aggregated(), 0);
+        assert_eq!(out.lost.len(), 3);
+        assert!(out.mean_loss.is_none());
+        assert_eq!(ledger.totals().aborted_messages, 3);
+
+        // An entirely empty cohort (churn emptied the pool) is also legal.
+        engine.begin_round();
+        let out = run_round_scenario(
+            &spec,
+            &init,
+            &[],
+            &RoundConfig::default(),
+            &mut engine,
+            0,
+            None,
+            &mut rng,
+        );
+        assert_eq!(out.params, init);
+        assert_eq!(out.aggregated(), 0);
     }
 
     #[test]

@@ -1,0 +1,950 @@
+//! Scenario-diverse federation: party churn, stragglers, and
+//! staleness-aware asynchronous aggregation.
+//!
+//! The paper evaluates ShiftEx on a fixed synchronous protocol; real
+//! deployments see parties joining and leaving, heterogeneous hardware that
+//! misses round deadlines, and updates that arrive out of phase with the
+//! round clock. This module composes those axes behind one [`ScenarioSpec`]:
+//!
+//! * **Churn** ([`ChurnSpec`] / [`ChurnSchedule`]) — join/leave schedules
+//!   plus a seeded per-round Bernoulli dropout. Membership (join/leave)
+//!   gates *selection*; transient dropout strikes *after* selection, so a
+//!   dropped party has already trained and its upload is aborted mid-round
+//!   (and metered as such on the [`CommLedger`]).
+//! * **Stragglers** ([`StragglerSpec`]) — per-party delay distributions
+//!   scored against a round deadline. Late updates are either dropped (an
+//!   aborted upload) or deferred into the staleness buffer per
+//!   [`LatePolicy`].
+//! * **Asynchrony** ([`AsyncSpec`] via [`RoundMode::Async`]) — FedBuff-style
+//!   buffered aggregation: updates accumulate until `min_buffer` of them
+//!   have arrived, each weighted by `samples · (1 + staleness)^-α`, with
+//!   updates staler than `max_staleness` discarded at flush time and the
+//!   buffer average mixed into the global model at rate `server_lr`.
+//!
+//! All stochastic draws (dropout, join/leave placement, delays) are hash
+//! -derived from the scenario seed rather than an RNG stream, so schedules
+//! are reproducible across reruns regardless of call order, thread count or
+//! how many other draws the simulation makes.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::comm::CommLedger;
+use crate::party::PartyId;
+use crate::update::ModelUpdate;
+
+// ---------------------------------------------------------------------------
+// Seeded hash draws.
+
+/// SplitMix64 finaliser: one well-mixed 64-bit output per distinct input.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic draw keyed by `(seed, salt, a, b)`.
+fn draw(seed: u64, salt: u64, a: u64, b: u64) -> u64 {
+    splitmix(splitmix(splitmix(seed ^ salt).wrapping_add(a)).wrapping_add(b))
+}
+
+/// Uniform `[0, 1)` draw keyed by `(seed, salt, a, b)`.
+fn draw_unit(seed: u64, salt: u64, a: u64, b: u64) -> f32 {
+    // 24 high-quality bits are plenty for an f32 in [0, 1).
+    (draw(seed, salt, a, b) >> 40) as f32 / (1u64 << 24) as f32
+}
+
+const SALT_DROPOUT: u64 = 0xd0;
+const SALT_JOIN_IF: u64 = 0x10;
+const SALT_JOIN_AT: u64 = 0x11;
+const SALT_LEAVE_IF: u64 = 0x1e;
+const SALT_LEAVE_AT: u64 = 0x1f;
+const SALT_DELAY: u64 = 0xde;
+const SALT_SLOW: u64 = 0x51;
+
+// ---------------------------------------------------------------------------
+// Churn.
+
+/// Parametric churn process: staggered joins, scheduled leaves, and
+/// transient per-round dropout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// Fraction of parties that come online late.
+    pub join_fraction: f32,
+    /// Late joiners are placed uniformly over rounds `1..=join_ramp_rounds`.
+    pub join_ramp_rounds: usize,
+    /// Fraction of parties that permanently leave the federation.
+    pub leave_fraction: f32,
+    /// Leavers are placed uniformly over rounds `leave_after..horizon`.
+    pub leave_after: usize,
+    /// Exclusive upper bound for leave placement (simulation length).
+    pub horizon: usize,
+    /// Per-party per-round Bernoulli probability of dropping mid-round.
+    pub dropout: f32,
+}
+
+impl Default for ChurnSpec {
+    fn default() -> Self {
+        Self {
+            join_fraction: 0.0,
+            join_ramp_rounds: 1,
+            leave_fraction: 0.0,
+            leave_after: 1,
+            horizon: usize::MAX,
+            dropout: 0.0,
+        }
+    }
+}
+
+impl ChurnSpec {
+    /// A spec with only transient dropout (no joins or leaves).
+    pub fn dropout_only(p: f32) -> Self {
+        Self {
+            dropout: p,
+            ..Self::default()
+        }
+    }
+}
+
+/// Materialised membership schedule: per-party join/leave rounds plus the
+/// seeded transient dropout draw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnSchedule {
+    joins: BTreeMap<PartyId, usize>,
+    leaves: BTreeMap<PartyId, usize>,
+    dropout: f32,
+    seed: u64,
+}
+
+impl ChurnSchedule {
+    /// Everyone always a member; optional transient dropout.
+    pub fn always_on(dropout: f32, seed: u64) -> Self {
+        Self {
+            joins: BTreeMap::new(),
+            leaves: BTreeMap::new(),
+            dropout,
+            seed,
+        }
+    }
+
+    /// Realises a [`ChurnSpec`] over a concrete population. Placement is
+    /// hash-derived from `seed`, so the same spec + seed + population gives
+    /// the same schedule on every rerun.
+    pub fn from_spec(spec: &ChurnSpec, parties: &[PartyId], seed: u64) -> Self {
+        let mut joins = BTreeMap::new();
+        let mut leaves = BTreeMap::new();
+        for &p in parties {
+            let pid = p.0 as u64;
+            if spec.join_fraction > 0.0
+                && draw_unit(seed, SALT_JOIN_IF, pid, 0) < spec.join_fraction
+            {
+                let ramp = spec.join_ramp_rounds.max(1) as u64;
+                let at = 1 + (draw(seed, SALT_JOIN_AT, pid, 0) % ramp) as usize;
+                joins.insert(p, at);
+            }
+            if spec.leave_fraction > 0.0
+                && draw_unit(seed, SALT_LEAVE_IF, pid, 0) < spec.leave_fraction
+            {
+                let span = spec.horizon.saturating_sub(spec.leave_after).max(1) as u64;
+                let at = spec.leave_after + (draw(seed, SALT_LEAVE_AT, pid, 0) % span) as usize;
+                leaves.insert(p, at);
+            }
+        }
+        Self {
+            joins,
+            leaves,
+            dropout: spec.dropout,
+            seed,
+        }
+    }
+
+    /// Pins an explicit join round for `party` (overrides the spec draw).
+    pub fn with_join(mut self, party: PartyId, round: usize) -> Self {
+        self.joins.insert(party, round);
+        self
+    }
+
+    /// Pins an explicit leave round for `party` (overrides the spec draw).
+    pub fn with_leave(mut self, party: PartyId, round: usize) -> Self {
+        self.leaves.insert(party, round);
+        self
+    }
+
+    /// Is `party` enrolled at `round` (joined and not yet left)?
+    pub fn is_member(&self, party: PartyId, round: usize) -> bool {
+        let joined = self.joins.get(&party).is_none_or(|&j| round >= j);
+        let left = self.leaves.get(&party).is_some_and(|&l| round >= l);
+        joined && !left
+    }
+
+    /// Seeded Bernoulli: does `party` drop out mid-round at `round`?
+    pub fn drops_out(&self, party: PartyId, round: usize) -> bool {
+        self.dropout > 0.0
+            && draw_unit(self.seed, SALT_DROPOUT, party.0 as u64, round as u64) < self.dropout
+    }
+
+    /// A member that does not drop out this round.
+    pub fn is_live(&self, party: PartyId, round: usize) -> bool {
+        self.is_member(party, round) && !self.drops_out(party, round)
+    }
+
+    /// Filters `pool` down to enrolled members at `round`.
+    pub fn members(&self, pool: &[PartyId], round: usize) -> Vec<PartyId> {
+        pool.iter()
+            .copied()
+            .filter(|&p| self.is_member(p, round))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stragglers.
+
+/// Per-party simulated update delay, in round-lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DelayDist {
+    /// Every update takes exactly this long.
+    Constant(f32),
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Lower bound.
+        lo: f32,
+        /// Upper bound.
+        hi: f32,
+    },
+    /// Exponential with the given mean (heavy straggler tail).
+    Exponential {
+        /// Mean delay.
+        mean: f32,
+    },
+}
+
+impl DelayDist {
+    /// Inverse-CDF sample from a uniform `[0, 1)` draw.
+    fn sample(&self, u: f32) -> f32 {
+        match *self {
+            DelayDist::Constant(d) => d,
+            DelayDist::Uniform { lo, hi } => lo + (hi - lo).max(0.0) * u,
+            DelayDist::Exponential { mean } => -mean * (1.0 - u).max(f32::MIN_POSITIVE).ln(),
+        }
+    }
+}
+
+/// What happens to an update that misses the round deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LatePolicy {
+    /// The upload is aborted and the work wasted.
+    Drop,
+    /// The update arrives in a later round and is staleness-discounted.
+    Defer,
+}
+
+/// Straggler model: delay distribution, systematic slow parties, and a
+/// round deadline with a late policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StragglerSpec {
+    /// Base delay distribution shared by all parties.
+    pub dist: DelayDist,
+    /// Fraction of parties that are systematically slow.
+    pub slow_fraction: f32,
+    /// Delay multiplier applied to slow parties.
+    pub slow_factor: f32,
+    /// Round deadline, in the same units as [`StragglerSpec::dist`].
+    pub deadline: f32,
+    /// Fate of updates that miss the deadline.
+    pub late: LatePolicy,
+}
+
+impl StragglerSpec {
+    /// Uniform delays on `[0, 2·mean)` with a deadline and late policy.
+    pub fn uniform(mean: f32, deadline: f32, late: LatePolicy) -> Self {
+        Self {
+            dist: DelayDist::Uniform {
+                lo: 0.0,
+                hi: 2.0 * mean,
+            },
+            slow_fraction: 0.0,
+            slow_factor: 1.0,
+            deadline,
+            late,
+        }
+    }
+
+    /// Simulated delay for `party`'s update born at `round`.
+    pub fn delay(&self, seed: u64, round: usize, party: PartyId) -> f32 {
+        let u = draw_unit(seed, SALT_DELAY, party.0 as u64, round as u64);
+        let slow = self.slow_fraction > 0.0
+            && draw_unit(seed, SALT_SLOW, party.0 as u64, 0) < self.slow_fraction;
+        self.dist.sample(u) * if slow { self.slow_factor.max(1.0) } else { 1.0 }
+    }
+
+    /// How many rounds after its birth round the update arrives
+    /// (0 = on time, i.e. within the deadline).
+    pub fn arrival_offset(&self, seed: u64, round: usize, party: PartyId) -> usize {
+        let delay = self.delay(seed, round, party);
+        if self.deadline <= 0.0 {
+            return 0;
+        }
+        ((delay / self.deadline).ceil() as usize).saturating_sub(1)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Asynchrony.
+
+/// Staleness-aware buffered (FedBuff-style) aggregation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AsyncSpec {
+    /// Minimum buffered updates before an aggregation fires.
+    pub min_buffer: usize,
+    /// Staleness discount exponent α: weight ∝ `samples · (1+s)^-α`.
+    pub staleness_alpha: f32,
+    /// Updates staler than this many rounds are discarded at flush time.
+    pub max_staleness: usize,
+    /// Server mixing rate η: `params ← (1-η)·global + η·buffer_average`.
+    pub server_lr: f32,
+}
+
+impl Default for AsyncSpec {
+    fn default() -> Self {
+        Self {
+            min_buffer: 1,
+            staleness_alpha: 0.5,
+            max_staleness: 4,
+            server_lr: 1.0,
+        }
+    }
+}
+
+/// Synchronous (classic FedAvg round clock) or asynchronous (buffered)
+/// aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RoundMode {
+    /// Aggregate whatever arrived by each round's deadline.
+    Sync,
+    /// Buffered staleness-aware aggregation.
+    Async(AsyncSpec),
+}
+
+// ---------------------------------------------------------------------------
+// The composed scenario.
+
+/// A federation scenario: churn × stragglers × round mode, all seeded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Churn process, if any.
+    pub churn: Option<ChurnSpec>,
+    /// Straggler model, if any.
+    pub stragglers: Option<StragglerSpec>,
+    /// Aggregation discipline.
+    pub mode: RoundMode,
+    /// Seed for every hash-derived draw in this scenario.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// The paper's baseline: synchronous, no churn, no stragglers.
+    pub fn sync(seed: u64) -> Self {
+        Self {
+            churn: None,
+            stragglers: None,
+            mode: RoundMode::Sync,
+            seed,
+        }
+    }
+
+    /// Adds a churn process.
+    pub fn with_churn(mut self, churn: ChurnSpec) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// Adds a straggler model.
+    pub fn with_stragglers(mut self, stragglers: StragglerSpec) -> Self {
+        self.stragglers = Some(stragglers);
+        self
+    }
+
+    /// Switches to asynchronous buffered aggregation.
+    pub fn with_async(mut self, spec: AsyncSpec) -> Self {
+        self.mode = RoundMode::Async(spec);
+        self
+    }
+
+    /// Staleness discount weight for an update `staleness` rounds old.
+    ///
+    /// Sync scenarios use α = 1 for deferred updates; async scenarios use
+    /// their configured exponent.
+    pub fn staleness_weight(&self, staleness: usize) -> f32 {
+        let alpha = match self.mode {
+            RoundMode::Sync => 1.0,
+            RoundMode::Async(a) => a.staleness_alpha,
+        };
+        (1.0 + staleness as f32).powf(-alpha)
+    }
+
+    /// Maximum tolerated staleness before an arrived update is discarded.
+    pub fn max_staleness(&self) -> usize {
+        match self.mode {
+            RoundMode::Sync => usize::MAX,
+            RoundMode::Async(a) => a.max_staleness,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Participation accounting.
+
+/// Aggregate participation/liveness counters for one scenario run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParticipationStats {
+    /// Cohort slots filled (parties that started local training).
+    pub selected: u64,
+    /// Updates folded into an aggregation.
+    pub delivered: u64,
+    /// Updates aborted because the party dropped out mid-round.
+    pub dropped_churn: u64,
+    /// Updates aborted for missing the deadline under [`LatePolicy::Drop`].
+    pub dropped_late: u64,
+    /// Updates deferred past their birth round under [`LatePolicy::Defer`].
+    pub deferred: u64,
+    /// Arrived updates discarded for exceeding the staleness bound.
+    pub stale_dropped: u64,
+    /// Aggregations performed (buffer flushes that folded ≥ 1 update).
+    pub aggregations: u64,
+}
+
+impl ParticipationStats {
+    /// Component-wise difference (`self` − `earlier`): per-round deltas from
+    /// two cumulative snapshots.
+    pub fn minus(&self, earlier: &ParticipationStats) -> ParticipationStats {
+        ParticipationStats {
+            selected: self.selected - earlier.selected,
+            delivered: self.delivered - earlier.delivered,
+            dropped_churn: self.dropped_churn - earlier.dropped_churn,
+            dropped_late: self.dropped_late - earlier.dropped_late,
+            deferred: self.deferred - earlier.deferred,
+            stale_dropped: self.stale_dropped - earlier.stale_dropped,
+            aggregations: self.aggregations - earlier.aggregations,
+        }
+    }
+}
+
+/// An update ready for aggregation, with its staleness discount applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedUpdate {
+    /// The party's update.
+    pub update: ModelUpdate,
+    /// Rounds elapsed since the update was trained.
+    pub staleness: usize,
+    /// Aggregation weight (`samples · staleness discount`).
+    pub weight: f32,
+}
+
+/// Fate of one round's fresh updates on one stream, plus whatever matured
+/// from the buffer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundDelivery {
+    /// Updates to aggregate now, staleness-weighted.
+    pub ready: Vec<WeightedUpdate>,
+    /// Parties whose uploads were aborted this round (mid-round dropout or
+    /// late-drop) — feedback for availability-aware selectors.
+    pub lost: Vec<PartyId>,
+    /// Parties whose updates were deferred to a later round.
+    pub deferred: Vec<PartyId>,
+}
+
+// ---------------------------------------------------------------------------
+// Engine.
+
+#[derive(Debug, Clone)]
+struct PendingUpdate {
+    update: ModelUpdate,
+    born: usize,
+    arrives: usize,
+}
+
+/// Stateful executor of a [`ScenarioSpec`]: owns the round clock, the churn
+/// schedule, and one staleness buffer per update stream (stream 0 for a
+/// single global model; one stream per expert for mixture strategies).
+#[derive(Debug)]
+pub struct ScenarioEngine {
+    spec: ScenarioSpec,
+    churn: ChurnSchedule,
+    buffers: BTreeMap<usize, Vec<PendingUpdate>>,
+    round: usize,
+    stats: ParticipationStats,
+}
+
+impl ScenarioEngine {
+    /// Builds the engine, realising the churn schedule over `parties`.
+    pub fn new(spec: ScenarioSpec, parties: &[PartyId]) -> Self {
+        let churn = match &spec.churn {
+            Some(c) => ChurnSchedule::from_spec(c, parties, spec.seed),
+            None => ChurnSchedule::always_on(0.0, spec.seed),
+        };
+        Self {
+            spec,
+            churn,
+            buffers: BTreeMap::new(),
+            round: 0,
+            stats: ParticipationStats::default(),
+        }
+    }
+
+    /// The scenario being executed.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// The realised churn schedule.
+    pub fn churn(&self) -> &ChurnSchedule {
+        &self.churn
+    }
+
+    /// Mutable access to the churn schedule (pin explicit join/leave rounds
+    /// on top of the spec-derived draws).
+    pub fn churn_mut(&mut self) -> &mut ChurnSchedule {
+        &mut self.churn
+    }
+
+    /// Current round (0 before the first [`ScenarioEngine::begin_round`]).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Cumulative participation counters.
+    pub fn stats(&self) -> ParticipationStats {
+        self.stats
+    }
+
+    /// Updates currently waiting in stream `key`'s buffer.
+    pub fn buffered(&self, key: usize) -> usize {
+        self.buffers.get(&key).map_or(0, Vec::len)
+    }
+
+    /// Advances the round clock; returns the new round index (1-based).
+    pub fn begin_round(&mut self) -> usize {
+        self.round += 1;
+        self.round
+    }
+
+    /// Enrolled members of `pool` this round (join/leave only; transient
+    /// dropout strikes later, mid-round).
+    pub fn live_members(&self, pool: &[PartyId]) -> Vec<PartyId> {
+        self.churn.members(pool, self.round)
+    }
+
+    /// Applies mid-round dropout and straggler fates to this round's fresh
+    /// `updates` on stream `key`, then flushes whatever the round mode says
+    /// is ready to aggregate.
+    ///
+    /// Aborted uploads (dropout, late-drop) are metered on `ledger`;
+    /// successful arrivals are metered as uploads when they are flushed.
+    pub fn collect(
+        &mut self,
+        key: usize,
+        updates: Vec<ModelUpdate>,
+        ledger: Option<&CommLedger>,
+    ) -> RoundDelivery {
+        let mut delivery = RoundDelivery::default();
+        let round = self.round;
+        let seed = self.spec.seed;
+        self.stats.selected += updates.len() as u64;
+        let buffer = self.buffers.entry(key).or_default();
+
+        for update in updates {
+            let party = update.party;
+            // Transient churn: the party crashed mid-round; its upload is
+            // aborted (and the wasted bytes metered).
+            if self.churn.drops_out(party, round) {
+                if let Some(l) = ledger {
+                    l.record_aborted_upload(update.nominal_size_bytes());
+                }
+                self.stats.dropped_churn += 1;
+                delivery.lost.push(party);
+                continue;
+            }
+            let offset = self
+                .spec
+                .stragglers
+                .as_ref()
+                .map_or(0, |s| s.arrival_offset(seed, round, party));
+            if offset == 0 {
+                buffer.push(PendingUpdate {
+                    update,
+                    born: round,
+                    arrives: round,
+                });
+                continue;
+            }
+            match self.spec.stragglers.as_ref().map(|s| s.late) {
+                Some(LatePolicy::Drop) => {
+                    if let Some(l) = ledger {
+                        l.record_aborted_upload(update.nominal_size_bytes());
+                    }
+                    self.stats.dropped_late += 1;
+                    delivery.lost.push(party);
+                }
+                _ => {
+                    self.stats.deferred += 1;
+                    delivery.deferred.push(party);
+                    buffer.push(PendingUpdate {
+                        update,
+                        born: round,
+                        arrives: round + offset,
+                    });
+                }
+            }
+        }
+
+        // Flush: matured updates leave the buffer when the round mode allows.
+        let matured = buffer.iter().filter(|p| p.arrives <= round).count();
+        let flush = match self.spec.mode {
+            RoundMode::Sync => matured > 0,
+            RoundMode::Async(a) => matured >= a.min_buffer.max(1),
+        };
+        if flush {
+            let mut kept = Vec::with_capacity(buffer.len() - matured);
+            for pending in buffer.drain(..) {
+                if pending.arrives > round {
+                    kept.push(pending);
+                    continue;
+                }
+                let staleness = round - pending.born;
+                if staleness > self.spec.max_staleness() {
+                    // Arrived, but too old to be useful: the upload happened
+                    // (meter it) yet the work is discarded.
+                    if let Some(l) = ledger {
+                        l.record_upload(pending.update.nominal_size_bytes());
+                    }
+                    self.stats.stale_dropped += 1;
+                    continue;
+                }
+                if let Some(l) = ledger {
+                    l.record_upload(pending.update.nominal_size_bytes());
+                }
+                let weight =
+                    pending.update.num_samples as f32 * self.spec.staleness_weight(staleness);
+                delivery.ready.push(WeightedUpdate {
+                    update: pending.update,
+                    staleness,
+                    weight,
+                });
+            }
+            *buffer = kept;
+        }
+
+        self.stats.delivered += delivery.ready.len() as u64;
+        if !delivery.ready.is_empty() {
+            self.stats.aggregations += 1;
+        }
+        delivery
+    }
+}
+
+/// Staleness-weighted federated averaging with a server mixing rate.
+///
+/// Returns `None` when nothing can be aggregated (no updates, or all with
+/// zero weight) — the caller keeps the current global parameters.
+pub fn aggregate_weighted(
+    global: &[f32],
+    ready: &[WeightedUpdate],
+    server_lr: f32,
+) -> Option<Vec<f32>> {
+    let total: f32 = ready
+        .iter()
+        .filter(|w| w.weight > 0.0 && w.update.num_samples > 0)
+        .map(|w| w.weight)
+        .sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut avg = vec![0.0f32; global.len()];
+    for w in ready {
+        if w.weight <= 0.0 || w.update.num_samples == 0 {
+            continue;
+        }
+        let scale = w.weight / total;
+        for (acc, &p) in avg.iter_mut().zip(w.update.params.iter()) {
+            *acc += scale * p;
+        }
+    }
+    let eta = server_lr.clamp(0.0, 1.0);
+    if eta < 1.0 {
+        for (acc, &g) in avg.iter_mut().zip(global.iter()) {
+            *acc = (1.0 - eta) * g + eta * *acc;
+        }
+    }
+    Some(avg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(party: usize, n: usize) -> ModelUpdate {
+        ModelUpdate {
+            party: PartyId(party),
+            params: vec![party as f32; 4],
+            num_samples: n,
+            train_loss: 0.5,
+        }
+    }
+
+    fn ids(n: usize) -> Vec<PartyId> {
+        (0..n).map(PartyId).collect()
+    }
+
+    #[test]
+    fn always_on_schedule_has_everyone_live() {
+        let sched = ChurnSchedule::always_on(0.0, 1);
+        for r in 0..20 {
+            assert!(sched.is_live(PartyId(3), r));
+        }
+    }
+
+    #[test]
+    fn join_and_leave_rounds_gate_membership() {
+        let sched = ChurnSchedule::always_on(0.0, 2)
+            .with_join(PartyId(0), 3)
+            .with_leave(PartyId(1), 5);
+        assert!(!sched.is_member(PartyId(0), 2));
+        assert!(sched.is_member(PartyId(0), 3));
+        assert!(sched.is_member(PartyId(1), 4));
+        assert!(!sched.is_member(PartyId(1), 5));
+        assert_eq!(sched.members(&ids(3), 2), vec![PartyId(1), PartyId(2)]);
+    }
+
+    #[test]
+    fn seeded_dropout_is_deterministic_across_reruns() {
+        let spec = ChurnSpec {
+            join_fraction: 0.3,
+            join_ramp_rounds: 5,
+            leave_fraction: 0.2,
+            leave_after: 10,
+            horizon: 30,
+            dropout: 0.25,
+        };
+        let a = ChurnSchedule::from_spec(&spec, &ids(64), 7);
+        let b = ChurnSchedule::from_spec(&spec, &ids(64), 7);
+        assert_eq!(a, b);
+        for r in 0..30 {
+            for p in 0..64 {
+                assert_eq!(a.is_live(PartyId(p), r), b.is_live(PartyId(p), r));
+            }
+        }
+        // A different seed reshuffles the schedule.
+        let c = ChurnSchedule::from_spec(&spec, &ids(64), 8);
+        let agree = (0..30)
+            .flat_map(|r| (0..64).map(move |p| (r, p)))
+            .filter(|&(r, p)| a.is_live(PartyId(p), r) == c.is_live(PartyId(p), r))
+            .count();
+        assert!(agree < 30 * 64, "different seeds must differ somewhere");
+    }
+
+    #[test]
+    fn dropout_rate_is_roughly_calibrated() {
+        let sched = ChurnSchedule::always_on(0.3, 11);
+        let total = 200 * 50;
+        let dropped = (0..200usize)
+            .flat_map(|p| (0..50usize).map(move |r| (p, r)))
+            .filter(|&(p, r)| sched.drops_out(PartyId(p), r))
+            .count();
+        let rate = dropped as f32 / total as f32;
+        assert!((rate - 0.3).abs() < 0.03, "observed dropout rate {rate}");
+    }
+
+    #[test]
+    fn delay_distributions_respect_parameters() {
+        let d = DelayDist::Constant(2.0);
+        assert_eq!(d.sample(0.9), 2.0);
+        let d = DelayDist::Uniform { lo: 1.0, hi: 3.0 };
+        for i in 0..10 {
+            let v = d.sample(i as f32 / 10.0);
+            assert!((1.0..3.0).contains(&v));
+        }
+        let d = DelayDist::Exponential { mean: 2.0 };
+        let mean: f32 = (0..1000)
+            .map(|i| d.sample((i as f32 + 0.5) / 1000.0))
+            .sum::<f32>()
+            / 1000.0;
+        assert!((mean - 2.0).abs() < 0.2, "exponential mean {mean}");
+    }
+
+    #[test]
+    fn arrival_offset_buckets_by_deadline() {
+        let s = StragglerSpec {
+            dist: DelayDist::Constant(0.5),
+            slow_fraction: 0.0,
+            slow_factor: 1.0,
+            deadline: 1.0,
+            late: LatePolicy::Defer,
+        };
+        assert_eq!(s.arrival_offset(0, 1, PartyId(0)), 0);
+        let s = StragglerSpec {
+            dist: DelayDist::Constant(1.5),
+            ..s
+        };
+        assert_eq!(s.arrival_offset(0, 1, PartyId(0)), 1);
+        let s = StragglerSpec {
+            dist: DelayDist::Constant(3.5),
+            ..s
+        };
+        assert_eq!(s.arrival_offset(0, 1, PartyId(0)), 3);
+    }
+
+    #[test]
+    fn sync_engine_without_axes_delivers_everything() {
+        let mut engine = ScenarioEngine::new(ScenarioSpec::sync(0), &ids(4));
+        engine.begin_round();
+        let delivery = engine.collect(0, (0..4).map(|p| update(p, 10)).collect(), None);
+        assert_eq!(delivery.ready.len(), 4);
+        assert!(delivery.lost.is_empty());
+        assert!(delivery.ready.iter().all(|w| w.staleness == 0));
+        let stats = engine.stats();
+        assert_eq!(stats.selected, 4);
+        assert_eq!(stats.delivered, 4);
+        assert_eq!(stats.aggregations, 1);
+    }
+
+    #[test]
+    fn deferred_updates_mature_with_staleness_discount() {
+        let spec = ScenarioSpec::sync(3).with_stragglers(StragglerSpec {
+            dist: DelayDist::Constant(1.5),
+            slow_fraction: 0.0,
+            slow_factor: 1.0,
+            deadline: 1.0,
+            late: LatePolicy::Defer,
+        });
+        let mut engine = ScenarioEngine::new(spec, &ids(2));
+        engine.begin_round();
+        let d1 = engine.collect(0, vec![update(0, 10), update(1, 10)], None);
+        assert!(d1.ready.is_empty(), "everything straggles past round 1");
+        assert_eq!(d1.deferred.len(), 2);
+        assert_eq!(engine.buffered(0), 2);
+        engine.begin_round();
+        let d2 = engine.collect(0, Vec::new(), None);
+        assert_eq!(d2.ready.len(), 2);
+        for w in &d2.ready {
+            assert_eq!(w.staleness, 1);
+            // Sync defer discount: α = 1 → weight = samples / 2.
+            assert!((w.weight - 5.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn late_drop_policy_aborts_and_meters() {
+        let spec = ScenarioSpec::sync(4).with_stragglers(StragglerSpec {
+            dist: DelayDist::Constant(2.5),
+            slow_fraction: 0.0,
+            slow_factor: 1.0,
+            deadline: 1.0,
+            late: LatePolicy::Drop,
+        });
+        let ledger = CommLedger::new();
+        let mut engine = ScenarioEngine::new(spec, &ids(2));
+        engine.begin_round();
+        let d = engine.collect(0, vec![update(0, 10), update(1, 10)], Some(&ledger));
+        assert!(d.ready.is_empty());
+        assert_eq!(d.lost.len(), 2);
+        assert_eq!(engine.stats().dropped_late, 2);
+        let totals = ledger.totals();
+        assert_eq!(totals.aborted_messages, 2);
+        assert!(totals.aborted_up_bytes > 0);
+        assert_eq!(totals.up_bytes, 0, "aborted uploads never complete");
+    }
+
+    #[test]
+    fn async_buffer_waits_for_min_updates() {
+        let spec = ScenarioSpec::sync(5).with_async(AsyncSpec {
+            min_buffer: 3,
+            staleness_alpha: 0.5,
+            max_staleness: 10,
+            server_lr: 1.0,
+        });
+        let mut engine = ScenarioEngine::new(spec, &ids(4));
+        engine.begin_round();
+        let d = engine.collect(0, vec![update(0, 10), update(1, 10)], None);
+        assert!(d.ready.is_empty(), "below min_buffer: hold");
+        assert_eq!(engine.buffered(0), 2);
+        engine.begin_round();
+        let d = engine.collect(0, vec![update(2, 10)], None);
+        assert_eq!(d.ready.len(), 3, "buffer reached threshold");
+        let stale: Vec<usize> = d.ready.iter().map(|w| w.staleness).collect();
+        assert!(stale.contains(&1) && stale.contains(&0));
+    }
+
+    #[test]
+    fn all_stale_flush_discards_everything() {
+        let spec = ScenarioSpec::sync(6).with_async(AsyncSpec {
+            min_buffer: 2,
+            staleness_alpha: 0.5,
+            max_staleness: 1,
+            server_lr: 1.0,
+        });
+        let mut engine = ScenarioEngine::new(spec, &ids(4));
+        engine.begin_round();
+        let d = engine.collect(0, vec![update(0, 10)], None);
+        assert!(d.ready.is_empty());
+        // Let the buffered update age far past max_staleness.
+        for _ in 0..4 {
+            engine.begin_round();
+        }
+        let d = engine.collect(0, vec![update(1, 10)], None);
+        assert!(
+            d.ready.len() == 1 && d.ready[0].update.party == PartyId(1),
+            "only the fresh update survives: {d:?}"
+        );
+        assert_eq!(engine.stats().stale_dropped, 1);
+        assert_eq!(engine.buffered(0), 0, "stale entries are gone");
+    }
+
+    #[test]
+    fn streams_are_isolated() {
+        let mut engine = ScenarioEngine::new(ScenarioSpec::sync(7), &ids(4));
+        engine.begin_round();
+        let d0 = engine.collect(0, vec![update(0, 10)], None);
+        let d1 = engine.collect(1, vec![update(1, 10)], None);
+        assert_eq!(d0.ready.len(), 1);
+        assert_eq!(d1.ready.len(), 1);
+        assert_eq!(d0.ready[0].update.party, PartyId(0));
+        assert_eq!(d1.ready[0].update.party, PartyId(1));
+    }
+
+    #[test]
+    fn aggregate_weighted_matches_weighted_mean() {
+        let ready = vec![
+            WeightedUpdate {
+                update: ModelUpdate {
+                    party: PartyId(0),
+                    params: vec![1.0, 1.0],
+                    num_samples: 10,
+                    train_loss: 0.1,
+                },
+                staleness: 0,
+                weight: 30.0,
+            },
+            WeightedUpdate {
+                update: ModelUpdate {
+                    party: PartyId(1),
+                    params: vec![4.0, 0.0],
+                    num_samples: 10,
+                    train_loss: 0.1,
+                },
+                staleness: 0,
+                weight: 10.0,
+            },
+        ];
+        let out = aggregate_weighted(&[0.0, 0.0], &ready, 1.0).expect("aggregates");
+        assert!((out[0] - 1.75).abs() < 1e-6);
+        assert!((out[1] - 0.75).abs() < 1e-6);
+        // Half server learning rate pulls halfway from the global.
+        let half = aggregate_weighted(&[0.0, 0.0], &ready, 0.5).expect("aggregates");
+        assert!((half[0] - 0.875).abs() < 1e-6);
+        // Nothing to aggregate → None.
+        assert!(aggregate_weighted(&[0.0], &[], 1.0).is_none());
+    }
+}

@@ -21,6 +21,12 @@ pub trait ParticipantSelector {
     /// loss, for utility-driven selectors. Default: ignored.
     fn observe(&mut self, _party: PartyId, _train_loss: f32) {}
 
+    /// Liveness feedback: `party` was selected but its update never made it
+    /// into an aggregation (mid-round dropout, or a straggler past the
+    /// deadline). Availability-aware selectors can down-weight flaky
+    /// parties. Default: ignored.
+    fn on_unavailable(&mut self, _party: PartyId) {}
+
     /// Human-readable policy name.
     fn name(&self) -> &str {
         "selector"
