@@ -69,7 +69,7 @@ impl FedDrift {
             round_cfg: RoundConfig {
                 train,
                 participants_per_round,
-                parallel: false,
+                ..RoundConfig::default()
             },
             cfg,
         }

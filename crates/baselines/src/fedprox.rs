@@ -37,7 +37,7 @@ impl FedProx {
                 ..train
             },
             participants_per_round,
-            parallel: false,
+            ..RoundConfig::default()
         };
         Self {
             spec,

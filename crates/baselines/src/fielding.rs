@@ -39,7 +39,7 @@ impl Fielding {
             round_cfg: RoundConfig {
                 train,
                 participants_per_round,
-                parallel: false,
+                ..RoundConfig::default()
             },
             selector: None,
             max_label_clusters: 4,

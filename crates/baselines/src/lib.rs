@@ -21,4 +21,4 @@ mod oort;
 pub use feddrift::{FedDrift, FedDriftConfig};
 pub use fedprox::FedProx;
 pub use fielding::Fielding;
-pub use oort::{Oort, OortConfig};
+pub use oort::{Oort, OortConfig, OortSelector, OortSelectorConfig};

@@ -6,13 +6,25 @@
 //! "assumes static utility and ignores temporal shifts", which is exactly
 //! the failure mode the evaluation exposes: its utility estimates mask
 //! distribution changes instead of reacting to them.
+//!
+//! Two entry points live here:
+//!
+//! * [`Oort`] — the paper's baseline *strategy* (fixed synchronous
+//!   protocol, its own cohort selection).
+//! * [`OortSelector`] — the same utility policy as a pluggable
+//!   [`ParticipantSelector`] for scenario runs, extended with
+//!   **availability awareness**: the
+//!   [`on_unavailable`](ParticipantSelector::on_unavailable) liveness hook
+//!   (mid-round dropout, deadline-missing stragglers) applies a
+//!   multiplicative utility penalty and a selection cooldown, the
+//!   OORT-paper treatment of flaky clients.
 
 use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use shiftex_core::strategy::{evaluate_assigned, ContinualStrategy};
-use shiftex_fl::{run_round, Party, PartyId, RoundConfig};
+use shiftex_fl::{run_round, ParticipantSelector, Party, PartyId, PartyInfo, RoundConfig};
 use shiftex_nn::{ArchSpec, Sequential, TrainConfig};
 use shiftex_tensor::rngx;
 
@@ -61,7 +73,7 @@ impl Oort {
             round_cfg: RoundConfig {
                 train,
                 participants_per_round,
-                parallel: false,
+                ..RoundConfig::default()
             },
             cfg,
             utilities: HashMap::new(),
@@ -162,6 +174,142 @@ impl ContinualStrategy for Oort {
     }
 }
 
+/// Tunables of the availability-aware [`OortSelector`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OortSelectorConfig {
+    /// Fraction of each cohort reserved for never-selected parties.
+    pub exploration_fraction: f32,
+    /// Exponential decay applied to every utility each selection round.
+    pub utility_decay: f32,
+    /// Multiplicative utility penalty when a selected party's update never
+    /// arrives (mid-round dropout, dropped straggler).
+    pub unavailable_penalty: f32,
+    /// Rounds an unavailable party sits out before being eligible again.
+    pub cooldown_rounds: usize,
+}
+
+impl Default for OortSelectorConfig {
+    fn default() -> Self {
+        Self {
+            exploration_fraction: 0.3,
+            utility_decay: 0.98,
+            unavailable_penalty: 0.5,
+            cooldown_rounds: 2,
+        }
+    }
+}
+
+/// Availability-aware OORT selection for scenario runs.
+///
+/// Exploits high-utility explored parties and explores unexplored ones like
+/// [`Oort`], but consumes the scenario engine's liveness feedback: a party
+/// whose upload was aborted gets its utility multiplied by
+/// `unavailable_penalty` and is skipped for `cooldown_rounds` selection
+/// rounds (unless the cooldown would empty the pool). Flaky parties
+/// therefore stop soaking up cohort slots that churny rounds would waste.
+#[derive(Debug, Default)]
+pub struct OortSelector {
+    cfg: OortSelectorConfig,
+    /// Statistical utility per party: `samples · |loss|` at last selection.
+    utilities: HashMap<PartyId, f32>,
+    /// First selection round at which a cooled-down party is eligible again.
+    cooldown_until: HashMap<PartyId, usize>,
+    /// Sample counts seen at selection time (utility refresh on observe).
+    last_samples: HashMap<PartyId, usize>,
+    round: usize,
+}
+
+impl OortSelector {
+    /// Creates a selector with the given tunables.
+    pub fn new(cfg: OortSelectorConfig) -> Self {
+        Self {
+            cfg,
+            ..Self::default()
+        }
+    }
+
+    /// Current utility estimate for `party` (`None` if never observed).
+    pub fn utility(&self, party: PartyId) -> Option<f32> {
+        self.utilities.get(&party).copied()
+    }
+
+    /// Is `party` cooling down at the current selection round?
+    pub fn in_cooldown(&self, party: PartyId) -> bool {
+        self.cooldown_until
+            .get(&party)
+            .is_some_and(|&until| self.round < until)
+    }
+}
+
+impl ParticipantSelector for OortSelector {
+    fn select(&mut self, pool: &[PartyInfo], m: usize, rng: &mut StdRng) -> Vec<PartyId> {
+        self.round += 1;
+        for u in self.utilities.values_mut() {
+            *u *= self.cfg.utility_decay;
+        }
+        // Cooldown gates eligibility — but never to the point of an empty
+        // cohort when parties exist.
+        let eligible: Vec<&PartyInfo> = {
+            let open: Vec<&PartyInfo> = pool.iter().filter(|p| !self.in_cooldown(p.id)).collect();
+            if open.is_empty() {
+                pool.iter().collect()
+            } else {
+                open
+            }
+        };
+        let m = m.min(eligible.len());
+        let explore_n = ((m as f32) * self.cfg.exploration_fraction).round() as usize;
+
+        let mut explored: Vec<(PartyId, f32)> = eligible
+            .iter()
+            .filter_map(|p| self.utilities.get(&p.id).map(|&u| (p.id, u)))
+            .collect();
+        explored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut unexplored: Vec<PartyId> = eligible
+            .iter()
+            .filter(|p| !self.utilities.contains_key(&p.id))
+            .map(|p| p.id)
+            .collect();
+        rngx::shuffle(rng, &mut unexplored);
+
+        let mut chosen: Vec<PartyId> = Vec::with_capacity(m);
+        chosen.extend(unexplored.iter().take(explore_n).copied());
+        for (id, _) in &explored {
+            if chosen.len() >= m {
+                break;
+            }
+            chosen.push(*id);
+        }
+        for id in unexplored.into_iter().skip(explore_n) {
+            if chosen.len() >= m {
+                break;
+            }
+            chosen.push(id);
+        }
+        for p in eligible {
+            self.last_samples.insert(p.id, p.num_samples);
+        }
+        chosen
+    }
+
+    fn observe(&mut self, party: PartyId, train_loss: f32) {
+        let samples = self.last_samples.get(&party).copied().unwrap_or(1).max(1);
+        let util = samples as f32 * train_loss.abs().max(1e-6);
+        self.utilities.insert(party, util);
+    }
+
+    fn on_unavailable(&mut self, party: PartyId) {
+        let u = self.utilities.entry(party).or_insert(1e-6);
+        *u *= self.cfg.unavailable_penalty;
+        self.cooldown_until
+            .insert(party, self.round + self.cfg.cooldown_rounds + 1);
+    }
+
+    fn name(&self) -> &str {
+        "oort"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +367,110 @@ mod tests {
             strat.train_round(&parties, &mut rng);
         }
         assert_eq!(strat.utilities.len(), 10, "all parties should get explored");
+    }
+
+    fn pool(n: usize) -> Vec<PartyInfo> {
+        (0..n)
+            .map(|i| PartyInfo {
+                id: PartyId(i),
+                num_samples: 10,
+                label_hist: vec![0.5, 0.5],
+                last_loss: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn selector_exploits_observed_utilities() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut sel = OortSelector::new(OortSelectorConfig {
+            exploration_fraction: 0.0,
+            ..OortSelectorConfig::default()
+        });
+        let p = pool(6);
+        // Seed utilities: party 3 high, party 4 medium, others unexplored.
+        sel.select(&p, 6, &mut rng);
+        sel.observe(PartyId(3), 5.0);
+        sel.observe(PartyId(4), 2.0);
+        sel.observe(PartyId(0), 0.1);
+        let chosen = sel.select(&p, 2, &mut rng);
+        assert_eq!(chosen, vec![PartyId(3), PartyId(4)]);
+    }
+
+    #[test]
+    fn unavailable_party_is_penalized_and_cooled_down() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sel = OortSelector::new(OortSelectorConfig {
+            exploration_fraction: 0.0,
+            utility_decay: 1.0,
+            unavailable_penalty: 0.25,
+            cooldown_rounds: 2,
+        });
+        let p = pool(4);
+        sel.select(&p, 4, &mut rng);
+        for i in 0..4 {
+            sel.observe(PartyId(i), 1.0);
+        }
+        let before = sel.utility(PartyId(2)).unwrap();
+        sel.on_unavailable(PartyId(2));
+        let after = sel.utility(PartyId(2)).unwrap();
+        assert!((after - before * 0.25).abs() < 1e-6, "{before} -> {after}");
+        // Cooled down for the next 2 selection rounds…
+        for _ in 0..2 {
+            let chosen = sel.select(&p, 4, &mut rng);
+            assert!(sel.in_cooldown(PartyId(2)));
+            assert!(!chosen.contains(&PartyId(2)), "{chosen:?}");
+        }
+        // …then eligible again (with a scarred utility).
+        let chosen = sel.select(&p, 4, &mut rng);
+        assert!(!sel.in_cooldown(PartyId(2)));
+        assert!(chosen.contains(&PartyId(2)), "{chosen:?}");
+    }
+
+    #[test]
+    fn cooldown_never_empties_a_nonempty_pool() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sel = OortSelector::new(OortSelectorConfig::default());
+        let p = pool(3);
+        sel.select(&p, 3, &mut rng);
+        for i in 0..3 {
+            sel.on_unavailable(PartyId(i));
+        }
+        let chosen = sel.select(&p, 2, &mut rng);
+        assert_eq!(chosen.len(), 2, "cooldown must not starve the round");
+    }
+
+    #[test]
+    fn selector_feeds_from_scenario_liveness_hook() {
+        use shiftex_fl::{ChurnSpec, FederatedJob, RoundConfig, ScenarioEngine, ScenarioSpec};
+        let mut rng = StdRng::seed_from_u64(3);
+        let parties = parties(8, &mut rng);
+        let ids: Vec<PartyId> = parties.iter().map(Party::id).collect();
+        let spec = ArchSpec::mlp("t", 16, &[8], 3);
+        let init = Sequential::build(&spec, &mut rng).params_flat();
+        let mut job = FederatedJob::new(
+            spec,
+            parties,
+            RoundConfig {
+                participants_per_round: 6,
+                ..RoundConfig::default()
+            },
+        );
+        let scenario = ScenarioSpec::sync(4).with_churn(ChurnSpec::dropout_only(0.4));
+        let mut engine = ScenarioEngine::new(scenario, &ids);
+        let mut sel = OortSelector::new(OortSelectorConfig::default());
+        let report = job.run_rounds_scenario(init, 6, &mut sel, &mut engine, &mut rng);
+        assert!(
+            report.totals.dropped_churn > 0,
+            "40% dropout must abort something: {:?}",
+            report.totals
+        );
+        // Every aborted upload penalised its party: at least one utility
+        // sits in cooldown history or below its observed-only level.
+        assert!(
+            !sel.cooldown_until.is_empty(),
+            "liveness feedback must have reached the selector"
+        );
     }
 
     #[test]

@@ -193,12 +193,95 @@ fn bench_scenarios(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_codecs(c: &mut Criterion) {
+    use shiftex_fl::{run_round_scenario, CodecSpec, ModelUpdate, ScenarioEngine, ScenarioSpec};
+    let mut rng = StdRng::seed_from_u64(8);
+    // Encode/decode throughput on a production-ish flat model (100k params).
+    let n = 100_000usize;
+    let params = shiftex_tensor::Matrix::randn(1, n, 0.0, 1.0, &mut rng).into_vec();
+    let reference = shiftex_tensor::Matrix::randn(1, n, 0.0, 1.0, &mut rng).into_vec();
+    let update = ModelUpdate {
+        party: PartyId(0),
+        params,
+        num_samples: 32,
+        train_loss: 0.5,
+    };
+    let specs = [
+        ("dense", CodecSpec::dense()),
+        ("quant8", CodecSpec::quant8(256)),
+        ("delta_quant8", CodecSpec::quant8(256).with_delta()),
+        ("delta_topk", CodecSpec::topk(0.05).with_delta()),
+    ];
+    let mut group = c.benchmark_group("comm_codecs");
+    group.sample_size(10);
+    for (name, codec) in specs {
+        group.bench_function(format!("encode_{name}_100k"), |b| {
+            b.iter(|| update.encode(&codec, &reference))
+        });
+        let wire = update.encode(&codec, &reference);
+        group.bench_function(format!("decode_{name}_100k"), |b| {
+            b.iter(|| ModelUpdate::decode(&wire, &reference).expect("decodes"))
+        });
+    }
+
+    // End-to-end: one synchronous 100-party scenario round with quantised
+    // exchanges metered on a live ledger — the per-round runtime cost of
+    // paying for compression (compare fl_scenarios/sync_round_100_parties
+    // for the uncoded baseline).
+    let gen = PrototypeGenerator::new(ImageShape::new(1, 6, 6), 4, &mut rng);
+    let parties: Vec<Party> = (0..100)
+        .map(|i| {
+            Party::new(
+                PartyId(i),
+                gen.generate_uniform(12, &mut rng),
+                gen.generate_uniform(6, &mut rng),
+            )
+        })
+        .collect();
+    let ids: Vec<PartyId> = parties.iter().map(|p| p.id()).collect();
+    let spec = ArchSpec::mlp("codec", 36, &[16], 4);
+    let init = Sequential::build(&spec, &mut rng).params_flat();
+    let cohort: Vec<&Party> = parties.iter().collect();
+    let cfg = RoundConfig {
+        participants_per_round: 100,
+        codec: CodecSpec::quant8(256).with_delta(),
+        ..RoundConfig::default()
+    };
+    group.bench_function("e2e_round_quant8_100_parties", |b| {
+        b.iter_with_setup(
+            || {
+                let mut engine = ScenarioEngine::new(ScenarioSpec::sync(1), &ids);
+                engine.begin_round();
+                (
+                    engine,
+                    shiftex_fl::CommLedger::new(),
+                    StdRng::seed_from_u64(2),
+                )
+            },
+            |(mut engine, ledger, mut rng)| {
+                run_round_scenario(
+                    &spec,
+                    &init,
+                    &cohort,
+                    &cfg,
+                    &mut engine,
+                    0,
+                    Some(&ledger),
+                    &mut rng,
+                )
+            },
+        )
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_round,
     bench_fedavg,
     bench_window_step,
     bench_tensor_kernels,
-    bench_scenarios
+    bench_scenarios,
+    bench_codecs
 );
 criterion_main!(benches);

@@ -522,6 +522,7 @@ impl ShiftEx {
             train: self.cfg.train,
             participants_per_round: self.cfg.participants_per_round,
             parallel: false,
+            codec: self.cfg.codec,
         }
     }
 

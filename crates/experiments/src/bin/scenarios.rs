@@ -1,13 +1,17 @@
 //! Federation-scenario explorer: runs ShiftEx (or a single-model FedAvg
 //! job) through a dataset scenario under party churn, stragglers, and
 //! staleness-aware asynchronous rounds — the deployment regimes beyond the
-//! paper's fixed synchronous protocol.
+//! paper's fixed synchronous protocol — with every exchange encoded and
+//! metered under a pluggable wire codec.
 //!
 //! ```text
 //! cargo run --release -p shiftex-experiments --bin scenarios -- \
 //!     [--dataset fashionmnist] [--scale smoke|small|paper] [--seed N] \
-//!     [--strategy shiftex|fedavg] [--parties N] [--samples N] \
+//!     [--strategy shiftex|fedavg] [--selector uniform|oort] \
+//!     [--parties N] [--samples N] \
 //!     [--windows N] [--rounds N] [--bootstrap N] \
+//!     [--codec dense|quant8|delta|delta-quant8|topk|delta-topk] \
+//!     [--quant-block N] [--topk-density D] [--sweep-codecs] \
 //!     [--dropout P] [--join-frac F --join-ramp R] \
 //!     [--leave-frac F --leave-after R] \
 //!     [--straggle-mean M] [--slow-frac F --slow-factor X] \
@@ -16,22 +20,26 @@
 //!     [--server-lr E] [--csv DIR]
 //! ```
 //!
-//! A 100-party churn + straggler async run:
+//! A 100-party churny async run on int8-quantised uploads:
 //!
 //! ```text
 //! cargo run --release -p shiftex-experiments --bin scenarios -- \
 //!     --parties 100 --samples 16 --windows 1 --rounds 6 --bootstrap 6 \
-//!     --dropout 0.15 --leave-frac 0.1 --leave-after 6 --join-frac 0.2 \
-//!     --join-ramp 4 --straggle-mean 0.8 --deadline 1.0 --late defer \
-//!     --async --buffer 16 --staleness-alpha 0.5 --max-staleness 4
+//!     --codec quant8 --dropout 0.15 --straggle-mean 0.8 --late defer \
+//!     --deadline 1.0 --async --buffer 16 --max-staleness 4
 //! ```
+//!
+//! `--sweep-codecs` reruns the identical scenario under every codec and
+//! prints the bytes-vs-accuracy table (plus `codec_sweep.csv` with `--csv`).
 
 use shiftex_core::ShiftExConfig;
 use shiftex_data::{DatasetKind, SimScale};
 use shiftex_experiments::cli::Args;
 use shiftex_experiments::{
-    federation_spec_from_args, report, run_federation_scenario, FedStrategy, Scenario,
+    codec_spec_from_args, federation_spec_from_args, report, run_federation_scenario,
+    FedRunOptions, FedSelector, FedStrategy, Scenario,
 };
+use shiftex_fl::CodecSpec;
 
 fn main() {
     let args = Args::from_env();
@@ -41,6 +49,14 @@ fn main() {
     let seed: u64 = args.value_or("seed", 42);
     let strategy =
         FedStrategy::parse(args.value("strategy").unwrap_or("shiftex")).expect("unknown strategy");
+    let selector =
+        FedSelector::parse(args.value("selector").unwrap_or("uniform")).expect("unknown selector");
+    // ShiftEx selects per-expert cohorts internally (FLIPS); a --selector
+    // there would be silently ignored and the run misattributed.
+    assert!(
+        strategy == FedStrategy::FedAvg || args.value("selector").is_none(),
+        "--selector has no effect with --strategy shiftex (ShiftEx uses per-expert FLIPS selection)"
+    );
 
     let parties: Option<usize> = args.value("parties").map(|v| v.parse().expect("--parties"));
     let samples: Option<usize> = args.value("samples").map(|v| v.parse().expect("--samples"));
@@ -51,23 +67,63 @@ fn main() {
     let bootstrap: usize = args.value_or("bootstrap", rounds);
     let horizon = bootstrap + windows * rounds;
     let fed = federation_spec_from_args(&args, seed ^ 0x5ce7a510, horizon);
+    let codec = codec_spec_from_args(&args);
+    let opts = FedRunOptions::new(windows, bootstrap, rounds)
+        .with_codec(codec)
+        .with_selector(selector);
 
     eprintln!(
         "# {kind} @ {scale:?}: {} parties, {windows} window(s) × {rounds} rounds \
-         (+{bootstrap} bootstrap), strategy {strategy:?}",
+         (+{bootstrap} bootstrap), strategy {strategy:?}, selector {selector:?}, codec {codec}",
         scenario.profile.num_parties
     );
     eprintln!("# federation axes: {fed:?}");
 
-    let result = run_federation_scenario(
-        strategy,
-        &scenario,
-        &fed,
-        windows,
-        bootstrap,
-        rounds,
-        &ShiftExConfig::default(),
-    );
+    let csv_dir = args.value("csv").map(|d| {
+        let dir = std::path::PathBuf::from(d);
+        std::fs::create_dir_all(&dir).expect("create csv dir");
+        dir
+    });
+
+    if args.switch("sweep-codecs") {
+        // The sweep reruns the same scenario + axes under every codec; the
+        // quantised/sparse knobs come from the same flags as a single run.
+        let block: usize = args.value_or("quant-block", 256);
+        let density: f32 = args.value_or("topk-density", 0.05);
+        let sweep = [
+            CodecSpec::dense(),
+            CodecSpec::dense().with_delta(),
+            CodecSpec::quant8(block),
+            CodecSpec::quant8(block).with_delta(),
+            CodecSpec::topk(density).with_delta(),
+        ];
+        let results: Vec<_> = sweep
+            .iter()
+            .map(|&codec| {
+                eprintln!("# sweeping codec {codec}");
+                run_federation_scenario(
+                    strategy,
+                    &scenario,
+                    &fed,
+                    &FedRunOptions::new(windows, bootstrap, rounds)
+                        .with_codec(codec)
+                        .with_selector(selector),
+                    &ShiftExConfig::default(),
+                )
+            })
+            .collect();
+        let title = format!("{kind} {scale:?}");
+        println!("{}", report::render_codec_sweep(&title, &results));
+        if let Some(dir) = &csv_dir {
+            let path = dir.join("codec_sweep.csv");
+            report::write_codec_sweep_csv(&path, &results).expect("write codec sweep csv");
+            eprintln!("# CSV written to {}", path.display());
+        }
+        return;
+    }
+
+    let result =
+        run_federation_scenario(strategy, &scenario, &fed, &opts, &ShiftExConfig::default());
 
     let title = format!("{kind} {:?}", scale);
     println!("{}", report::render_participation(&title, &result));
@@ -78,9 +134,7 @@ fn main() {
         result.final_models
     );
 
-    if let Some(dir) = args.value("csv") {
-        let dir = std::path::Path::new(dir);
-        std::fs::create_dir_all(dir).expect("create csv dir");
+    if let Some(dir) = &csv_dir {
         let path = dir.join("participation.csv");
         report::write_participation_csv(&path, &result).expect("write participation csv");
         eprintln!("# CSV written to {}", path.display());

@@ -28,6 +28,9 @@ pub mod scenario;
 pub mod strategies;
 
 pub use metrics::{aggregate_windows, WindowMetrics, WindowMetricsAgg};
-pub use runner::{run_federation_scenario, run_scenario, FedRunResult, FedStrategy, RunResult};
-pub use scenario::{federation_spec_from_args, Scenario};
+pub use runner::{
+    run_federation_scenario, run_scenario, FedRunOptions, FedRunResult, FedSelector, FedStrategy,
+    RunResult,
+};
+pub use scenario::{codec_spec_from_args, federation_spec_from_args, Scenario};
 pub use strategies::{make_strategy, StrategyKind};

@@ -143,12 +143,22 @@ pub fn render_participation(title: &str, result: &FedRunResult) -> String {
         result.strategy
     ));
     out.push_str(&format!(
-        "{:>6} {:>5} {:>9} {:>10} {:>9} {:>7} {:>9} {:>7} {:>8}\n",
-        "round", "live", "selected", "delivered", "drop-out", "late", "deferred", "stale", "acc%"
+        "{:>6} {:>5} {:>9} {:>10} {:>9} {:>7} {:>9} {:>7} {:>8} {:>10} {:>10}\n",
+        "round",
+        "live",
+        "selected",
+        "delivered",
+        "drop-out",
+        "late",
+        "deferred",
+        "stale",
+        "acc%",
+        "up_B",
+        "down_B"
     ));
     for row in &result.participation {
         out.push_str(&format!(
-            "{:>6} {:>5} {:>9} {:>10} {:>9} {:>7} {:>9} {:>7} {:>8.2}\n",
+            "{:>6} {:>5} {:>9} {:>10} {:>9} {:>7} {:>9} {:>7} {:>8.2} {:>10} {:>10}\n",
             row.round,
             row.live,
             row.delta.selected,
@@ -158,6 +168,8 @@ pub fn render_participation(title: &str, result: &FedRunResult) -> String {
             row.delta.deferred,
             row.delta.stale_dropped,
             row.accuracy * 100.0,
+            row.up_bytes,
+            row.down_bytes,
         ));
     }
     let t = &result.totals;
@@ -180,7 +192,62 @@ pub fn render_participation(title: &str, result: &FedRunResult) -> String {
         result.comm.aborted_messages,
         result.comm.aborted_up_bytes,
     ));
+    out.push_str(&format!(
+        "codec: {} | {} params/update | upload compression {:.2}x vs dense\n",
+        result.codec,
+        result.param_count,
+        result.compression_ratio(),
+    ));
     out
+}
+
+/// Renders the bytes-vs-accuracy table of a codec sweep: one row per codec,
+/// with total encoded traffic, the upload compression ratio versus dense,
+/// and the final live-member accuracy.
+pub fn render_codec_sweep(title: &str, results: &[FedRunResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# Codec sweep — {title}\n"));
+    out.push_str(&format!(
+        "{:<24} {:>12} {:>12} {:>8} {:>9}\n",
+        "codec", "up_bytes", "down_bytes", "ratio", "final_acc"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>12} {:>7.2}x {:>8.2}%\n",
+            r.codec.to_string(),
+            r.comm.up_bytes + r.comm.aborted_up_bytes,
+            r.comm.down_bytes,
+            r.compression_ratio(),
+            r.accuracy_series.last().copied().unwrap_or(0.0) * 100.0,
+        ));
+    }
+    out
+}
+
+/// Writes the codec sweep as CSV.
+///
+/// # Errors
+///
+/// Returns any I/O error from file creation or writing.
+pub fn write_codec_sweep_csv(path: &Path, results: &[FedRunResult]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "codec,up_bytes,aborted_up_bytes,down_bytes,compression_ratio,final_accuracy_pct"
+    )?;
+    for r in results {
+        writeln!(
+            f,
+            "{},{},{},{},{:.4},{:.4}",
+            r.codec,
+            r.comm.up_bytes,
+            r.comm.aborted_up_bytes,
+            r.comm.down_bytes,
+            r.compression_ratio(),
+            r.accuracy_series.last().copied().unwrap_or(0.0) * 100.0
+        )?;
+    }
+    Ok(())
 }
 
 /// Writes a CSV of the per-round participation records.
@@ -192,12 +259,12 @@ pub fn write_participation_csv(path: &Path, result: &FedRunResult) -> std::io::R
     let mut f = std::fs::File::create(path)?;
     writeln!(
         f,
-        "round,live,selected,delivered,dropped_churn,dropped_late,deferred,stale_dropped,accuracy_pct"
+        "round,live,selected,delivered,dropped_churn,dropped_late,deferred,stale_dropped,accuracy_pct,up_bytes,down_bytes"
     )?;
     for row in &result.participation {
         writeln!(
             f,
-            "{},{},{},{},{},{},{},{},{:.4}",
+            "{},{},{},{},{},{},{},{},{:.4},{},{}",
             row.round,
             row.live,
             row.delta.selected,
@@ -206,7 +273,9 @@ pub fn write_participation_csv(path: &Path, result: &FedRunResult) -> std::io::R
             row.delta.dropped_late,
             row.delta.deferred,
             row.delta.stale_dropped,
-            row.accuracy * 100.0
+            row.accuracy * 100.0,
+            row.up_bytes,
+            row.down_bytes
         )?;
     }
     Ok(())
@@ -334,6 +403,8 @@ mod tests {
                     aggregations: 1,
                 },
                 accuracy: 0.5,
+                up_bytes: 640,
+                down_bytes: 320,
             }],
             totals: ParticipationStats {
                 selected: 8,
@@ -351,18 +422,32 @@ mod tests {
                 aborted_up_bytes: 60,
                 aborted_messages: 3,
             },
+            codec: shiftex_fl::CodecSpec::quant8(256),
+            param_count: 1000,
             final_models: 1,
         };
         let s = render_participation("smoke", &result);
         assert!(s.contains("drop-out"));
+        assert!(s.contains("up_B"));
         assert!(s.contains("aborted uploads 3"));
+        assert!(s.contains("codec: quant8(block=256)"));
         let dir = std::env::temp_dir().join("shiftex_participation_test");
         std::fs::create_dir_all(&dir).unwrap();
         let p = dir.join("participation.csv");
         write_participation_csv(&p, &result).unwrap();
         let content = std::fs::read_to_string(&p).unwrap();
         assert!(content.starts_with("round,live,selected"));
-        assert!(content.contains("1,9,8,5,2,1,0,0,50.0000"));
+        assert!(content.contains("1,9,8,5,2,1,0,0,50.0000,640,320"));
+
+        // The sweep table and CSV carry the bytes-vs-accuracy tradeoff.
+        let sweep = render_codec_sweep("smoke", std::slice::from_ref(&result));
+        assert!(sweep.contains("codec"));
+        assert!(sweep.contains("quant8(block=256)"));
+        let sp = dir.join("codec_sweep.csv");
+        write_codec_sweep_csv(&sp, std::slice::from_ref(&result)).unwrap();
+        let sweep_csv = std::fs::read_to_string(&sp).unwrap();
+        assert!(sweep_csv.starts_with("codec,up_bytes"));
+        assert!(sweep_csv.contains("quant8(block=256),100,60,200"));
     }
 
     #[test]

@@ -4,9 +4,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use shiftex_baselines::OortSelector;
 use shiftex_core::ContinualStrategy;
 use shiftex_fl::{
-    CommLedger, CommTotals, ParticipationStats, RoundParticipation, ScenarioEngine, ScenarioSpec,
+    CodecSpec, CommLedger, CommTotals, ParticipantSelector, ParticipationStats, RoundParticipation,
+    ScenarioEngine, ScenarioSpec, UniformSelector,
 };
 
 use crate::metrics::{window_metrics, WindowMetrics};
@@ -115,14 +117,26 @@ pub struct FedRunResult {
     pub strategy: String,
     /// Live-member accuracy after every round, across all windows in order.
     pub accuracy_series: Vec<f32>,
-    /// Per-round participation records (round, live pool, fate deltas).
+    /// Per-round participation records (round, live pool, fate deltas,
+    /// encoded bytes up/down).
     pub participation: Vec<RoundParticipation>,
     /// Cumulative participation counters.
     pub totals: ParticipationStats,
     /// Communication totals, including aborted/late uploads.
     pub comm: CommTotals,
+    /// Wire codec the run was metered under.
+    pub codec: CodecSpec,
+    /// Flattened model parameter count (sizes the compression ratio).
+    pub param_count: usize,
     /// Number of models at the end of the run.
     pub final_models: usize,
+}
+
+impl FedRunResult {
+    /// Upload compression ratio of the run's codec versus dense framing.
+    pub fn compression_ratio(&self) -> f64 {
+        self.codec.compression_ratio(self.param_count)
+    }
 }
 
 /// Which runtime path a federation-scenario run exercises.
@@ -147,26 +161,94 @@ impl FedStrategy {
     }
 }
 
-/// Drives `strategy` through `windows` windows of `scenario` under the
-/// federation axes in `fed`: `bootstrap_rounds` burn-in rounds on W0, then
-/// `rounds_per_window` rounds per shifted window, every round mediated by a
-/// [`ScenarioEngine`] (membership churn, mid-round dropout, stragglers,
-/// staleness-aware aggregation).
+/// Cohort-selection policy of the single-model (`FedAvg`) scenario path.
+/// ShiftEx keeps its internal per-expert FLIPS selection either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FedSelector {
+    /// Uniform sampling without replacement.
+    Uniform,
+    /// Availability-aware OORT ([`shiftex_baselines::OortSelector`]):
+    /// utility-guided with dropout penalties and cooldowns.
+    Oort,
+}
+
+impl FedSelector {
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<FedSelector> {
+        match s.to_ascii_lowercase().as_str() {
+            "uniform" => Some(FedSelector::Uniform),
+            "oort" => Some(FedSelector::Oort),
+            _ => None,
+        }
+    }
+
+    fn build(self) -> Box<dyn ParticipantSelector> {
+        match self {
+            FedSelector::Uniform => Box::new(UniformSelector),
+            FedSelector::Oort => Box::new(OortSelector::default()),
+        }
+    }
+}
+
+/// Round budget and communication regime of a federation-scenario run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FedRunOptions {
+    /// Shifted windows to simulate (W1..).
+    pub windows: usize,
+    /// Burn-in rounds on W0.
+    pub bootstrap_rounds: usize,
+    /// Rounds per shifted window.
+    pub rounds_per_window: usize,
+    /// Wire codec for every broadcast and upload.
+    pub codec: CodecSpec,
+    /// Cohort selection policy (FedAvg path only).
+    pub selector: FedSelector,
+}
+
+impl FedRunOptions {
+    /// Plain budget with dense framing and uniform selection.
+    pub fn new(windows: usize, bootstrap_rounds: usize, rounds_per_window: usize) -> Self {
+        Self {
+            windows,
+            bootstrap_rounds,
+            rounds_per_window,
+            codec: CodecSpec::dense(),
+            selector: FedSelector::Uniform,
+        }
+    }
+
+    /// Swaps in a wire codec.
+    pub fn with_codec(mut self, codec: CodecSpec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Swaps in a selection policy.
+    pub fn with_selector(mut self, selector: FedSelector) -> Self {
+        self.selector = selector;
+        self
+    }
+}
+
+/// Drives `strategy` through `opts.windows` windows of `scenario` under the
+/// federation axes in `fed`: `opts.bootstrap_rounds` burn-in rounds on W0,
+/// then `opts.rounds_per_window` rounds per shifted window, every round
+/// mediated by a [`ScenarioEngine`] (membership churn, mid-round dropout,
+/// stragglers, staleness-aware aggregation) and every exchange encoded and
+/// metered under `opts.codec`.
 ///
 /// # Panics
 ///
-/// Panics if `windows` exceeds the scenario's evaluation windows.
+/// Panics if `opts.windows` exceeds the scenario's evaluation windows.
 pub fn run_federation_scenario(
     strategy: FedStrategy,
     scenario: &Scenario,
     fed: &ScenarioSpec,
-    windows: usize,
-    bootstrap_rounds: usize,
-    rounds_per_window: usize,
+    opts: &FedRunOptions,
     shiftex_cfg: &shiftex_core::ShiftExConfig,
 ) -> FedRunResult {
     assert!(
-        windows <= scenario.eval_windows(),
+        opts.windows <= scenario.eval_windows(),
         "scenario only has {} evaluation windows",
         scenario.eval_windows()
     );
@@ -180,38 +262,26 @@ pub fn run_federation_scenario(
             scenario,
             &mut engine,
             &mut parties,
-            windows,
-            bootstrap_rounds,
-            rounds_per_window,
+            opts,
             shiftex_cfg,
             &mut rng,
         ),
-        FedStrategy::FedAvg => run_fed_fedavg(
-            scenario,
-            &mut engine,
-            parties,
-            windows,
-            bootstrap_rounds,
-            rounds_per_window,
-            &mut rng,
-        ),
+        FedStrategy::FedAvg => run_fed_fedavg(scenario, &mut engine, parties, opts, &mut rng),
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn run_fed_shiftex(
     scenario: &Scenario,
     engine: &mut ScenarioEngine,
     parties: &mut [shiftex_fl::Party],
-    windows: usize,
-    bootstrap_rounds: usize,
-    rounds_per_window: usize,
+    opts: &FedRunOptions,
     shiftex_cfg: &shiftex_core::ShiftExConfig,
     rng: &mut StdRng,
 ) -> FedRunResult {
     let ids: Vec<shiftex_fl::PartyId> = parties.iter().map(|p| p.id()).collect();
     let cfg = shiftex_core::ShiftExConfig {
         participants_per_round: scenario.participants_per_round(),
+        codec: opts.codec,
         ..shiftex_cfg.clone()
     };
     let mut shiftex = shiftex_core::ShiftEx::new(cfg, scenario.spec.clone(), rng);
@@ -228,6 +298,7 @@ fn run_fed_shiftex(
                        rng: &mut StdRng| {
         for _ in 0..rounds {
             let before = engine.stats();
+            let comm_before = ledger.totals();
             shiftex.train_round_scenario(parties, engine, Some(&ledger), rng);
             let live = engine.live_members(&ids);
             let live_set: std::collections::HashSet<_> = live.iter().copied().collect();
@@ -237,11 +308,15 @@ fn run_fed_shiftex(
                 .collect();
             let accuracy = shiftex.evaluate_refs(&live_refs);
             accuracy_series.push(accuracy);
+            let comm = ledger.totals();
             participation.push(RoundParticipation {
                 round: engine.round(),
                 live: live_refs.len(),
                 delta: engine.stats().minus(&before),
                 accuracy,
+                up_bytes: (comm.up_bytes + comm.aborted_up_bytes)
+                    - (comm_before.up_bytes + comm_before.aborted_up_bytes),
+                down_bytes: comm.down_bytes - comm_before.down_bytes,
             });
         }
     };
@@ -251,12 +326,12 @@ fn run_fed_shiftex(
         &mut shiftex,
         engine,
         parties,
-        bootstrap_rounds,
+        opts.bootstrap_rounds,
         &mut accuracy_series,
         &mut participation,
         rng,
     );
-    for w in 1..=windows {
+    for w in 1..=opts.windows {
         scenario.advance(parties, w, rng);
         // Only enrolled members publish shift statistics for this window.
         let members: std::collections::HashSet<_> = engine.live_members(&ids).into_iter().collect();
@@ -272,19 +347,25 @@ fn run_fed_shiftex(
             &mut shiftex,
             engine,
             parties,
-            rounds_per_window,
+            opts.rounds_per_window,
             &mut accuracy_series,
             &mut participation,
             rng,
         );
     }
 
+    // Sizing only — a throwaway RNG keeps the run's stream untouched.
+    let param_count = shiftex_nn::Sequential::build(&scenario.spec, &mut StdRng::seed_from_u64(0))
+        .params_flat()
+        .len();
     FedRunResult {
         strategy: "ShiftEx".into(),
         accuracy_series,
         participation,
         totals: engine.stats(),
         comm: ledger.totals(),
+        codec: opts.codec,
+        param_count,
         final_models: shiftex.num_experts(),
     }
 }
@@ -293,29 +374,41 @@ fn run_fed_fedavg(
     scenario: &Scenario,
     engine: &mut ScenarioEngine,
     parties: Vec<shiftex_fl::Party>,
-    windows: usize,
-    bootstrap_rounds: usize,
-    rounds_per_window: usize,
+    opts: &FedRunOptions,
     rng: &mut StdRng,
 ) -> FedRunResult {
-    use shiftex_fl::{FederatedJob, RoundConfig, UniformSelector};
+    use shiftex_fl::{FederatedJob, RoundConfig};
     let round_cfg = RoundConfig {
         participants_per_round: scenario.participants_per_round(),
+        codec: opts.codec,
         ..RoundConfig::default()
     };
     let mut job = FederatedJob::new(scenario.spec.clone(), parties, round_cfg);
     let mut params = shiftex_nn::Sequential::build(&scenario.spec, rng).params_flat();
+    let param_count = params.len();
     let mut accuracy_series = Vec::new();
     let mut participation = Vec::new();
 
-    let mut selector = UniformSelector;
-    let report = job.run_rounds_scenario(params, bootstrap_rounds, &mut selector, engine, rng);
+    let mut selector = opts.selector.build();
+    let report = job.run_rounds_scenario(
+        params,
+        opts.bootstrap_rounds,
+        selector.as_mut(),
+        engine,
+        rng,
+    );
     accuracy_series.extend_from_slice(&report.accuracy_per_round);
     participation.extend_from_slice(&report.participation);
     params = report.params;
-    for w in 1..=windows {
+    for w in 1..=opts.windows {
         scenario.advance(job.parties_mut(), w, rng);
-        let report = job.run_rounds_scenario(params, rounds_per_window, &mut selector, engine, rng);
+        let report = job.run_rounds_scenario(
+            params,
+            opts.rounds_per_window,
+            selector.as_mut(),
+            engine,
+            rng,
+        );
         accuracy_series.extend_from_slice(&report.accuracy_per_round);
         participation.extend_from_slice(&report.participation);
         params = report.params;
@@ -327,6 +420,8 @@ fn run_fed_fedavg(
         participation,
         totals: engine.stats(),
         comm: job.ledger().totals(),
+        codec: opts.codec,
+        param_count,
         final_models: 1,
     }
 }
@@ -435,9 +530,7 @@ mod tests {
                 strategy,
                 &scenario,
                 &fed,
-                1,
-                2,
-                rounds,
+                &FedRunOptions::new(1, 2, rounds),
                 &ShiftExConfig::default(),
             );
             assert_eq!(result.accuracy_series.len(), 2 + rounds);
@@ -462,9 +555,80 @@ mod tests {
             Scenario::build_with_population(DatasetKind::Femnist, SimScale::Smoke, 17, None, None);
         let fed = ScenarioSpec::sync(9).with_churn(ChurnSpec::dropout_only(0.2));
         let cfg = ShiftExConfig::default();
-        let a = run_federation_scenario(FedStrategy::FedAvg, &scenario, &fed, 1, 2, 2, &cfg);
-        let b = run_federation_scenario(FedStrategy::FedAvg, &scenario, &fed, 1, 2, 2, &cfg);
+        let opts = FedRunOptions::new(1, 2, 2);
+        let a = run_federation_scenario(FedStrategy::FedAvg, &scenario, &fed, &opts, &cfg);
+        let b = run_federation_scenario(FedStrategy::FedAvg, &scenario, &fed, &opts, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantized_federation_run_cuts_bytes_and_holds_accuracy() {
+        use shiftex_fl::{ChurnSpec, ScenarioSpec};
+        let scenario = Scenario::build_with_population(
+            DatasetKind::FashionMnist,
+            SimScale::Smoke,
+            21,
+            Some(16),
+            Some(16),
+        );
+        let fed = ScenarioSpec::sync(6).with_churn(ChurnSpec::dropout_only(0.1));
+        let cfg = ShiftExConfig::default();
+        let dense = run_federation_scenario(
+            FedStrategy::FedAvg,
+            &scenario,
+            &fed,
+            &FedRunOptions::new(1, 3, 3),
+            &cfg,
+        );
+        let quant = run_federation_scenario(
+            FedStrategy::FedAvg,
+            &scenario,
+            &fed,
+            &FedRunOptions::new(1, 3, 3).with_codec(CodecSpec::quant8(256)),
+            &cfg,
+        );
+        let dense_up = dense.comm.up_bytes + dense.comm.aborted_up_bytes;
+        let quant_up = quant.comm.up_bytes + quant.comm.aborted_up_bytes;
+        let ratio = dense_up as f64 / quant_up as f64;
+        assert!(ratio >= 3.5, "metered upload ratio {ratio:.2}");
+        assert!(quant.compression_ratio() >= 3.5);
+        // Per-round byte columns reconcile with the ledger totals.
+        let row_up: u64 = quant.participation.iter().map(|r| r.up_bytes).sum();
+        let row_down: u64 = quant.participation.iter().map(|r| r.down_bytes).sum();
+        assert_eq!(row_up, quant_up);
+        assert_eq!(row_down, quant.comm.down_bytes);
+        let da = dense.accuracy_series.last().copied().unwrap();
+        let qa = quant.accuracy_series.last().copied().unwrap();
+        assert!(
+            (da - qa).abs() <= 0.05,
+            "quantised run drifted too far from dense: {da} vs {qa}"
+        );
+    }
+
+    #[test]
+    fn oort_selector_runs_the_fedavg_scenario_path() {
+        use shiftex_fl::{ChurnSpec, ScenarioSpec};
+        let scenario =
+            Scenario::build_with_population(DatasetKind::Femnist, SimScale::Smoke, 23, None, None);
+        let fed = ScenarioSpec::sync(11).with_churn(ChurnSpec::dropout_only(0.3));
+        let opts = FedRunOptions::new(1, 2, 2).with_selector(FedSelector::Oort);
+        let result = run_federation_scenario(
+            FedStrategy::FedAvg,
+            &scenario,
+            &fed,
+            &opts,
+            &ShiftExConfig::default(),
+        );
+        assert!(result.totals.selected > 0);
+        // Deterministic under the same options.
+        let again = run_federation_scenario(
+            FedStrategy::FedAvg,
+            &scenario,
+            &fed,
+            &opts,
+            &ShiftExConfig::default(),
+        );
+        assert_eq!(result, again);
     }
 
     #[test]

@@ -7,7 +7,8 @@ use shiftex_data::{
     profile, Dataset, DatasetKind, DatasetProfile, PrototypeGenerator, SimScale, WindowingMode,
 };
 use shiftex_fl::{
-    AsyncSpec, ChurnSpec, DelayDist, LatePolicy, Party, PartyId, ScenarioSpec, StragglerSpec,
+    AsyncSpec, ChurnSpec, CodecSpec, DelayDist, LatePolicy, Party, PartyId, ScenarioSpec,
+    StragglerSpec,
 };
 use shiftex_nn::{ArchSpec, InputShape};
 use shiftex_stream::{ScheduleBuilder, ShiftSchedule};
@@ -235,6 +236,42 @@ pub fn federation_spec_from_args(args: &Args, seed: u64, horizon: usize) -> Scen
     spec
 }
 
+/// Builds a wire [`CodecSpec`] from experiment CLI flags.
+///
+/// Recognised flags:
+///
+/// * `--codec NAME` — `dense` (default), `quant8`, `delta` (dense
+///   residuals), `delta-quant8`, `topk` / `delta-topk` (both
+///   residual-coded);
+/// * `--quant-block N` — coordinates per int8 quantisation block
+///   (default 256);
+/// * `--topk-density D` — kept fraction for sparsified uploads
+///   (default 0.05).
+///
+/// Parameter sub-flags without a codec that uses them are rejected, so a
+/// run is never silently attributed to a codec that ignored its knobs.
+pub fn codec_spec_from_args(args: &Args) -> CodecSpec {
+    let name = args.value("codec").unwrap_or("dense");
+    let block: usize = args.value_or("quant-block", 256);
+    let density: f32 = args.value_or("topk-density", 0.05);
+    let spec = CodecSpec::parse(name, block, density).unwrap_or_else(|| {
+        panic!("unknown --codec {name:?} (dense|quant8|delta|delta-quant8|topk|delta-topk)")
+    });
+    if !matches!(spec.kind, shiftex_fl::CodecKind::Quant8 { .. }) {
+        assert!(
+            args.value("quant-block").is_none(),
+            "--quant-block has no effect without --codec quant8/delta-quant8"
+        );
+    }
+    if !matches!(spec.kind, shiftex_fl::CodecKind::TopK { .. }) {
+        assert!(
+            args.value("topk-density").is_none(),
+            "--topk-density has no effect without --codec topk/delta-topk"
+        );
+    }
+    spec
+}
+
 /// The paper's architecture pairing (§6 "Models"), in Lite form.
 fn arch_for(kind: DatasetKind, profile: &DatasetProfile) -> ArchSpec {
     let input = InputShape {
@@ -371,6 +408,44 @@ mod tests {
     fn async_subflag_without_enabler_is_rejected() {
         let args = Args::parse("--buffer 8".split_whitespace().map(String::from));
         let _ = federation_spec_from_args(&args, 1, 10);
+    }
+
+    #[test]
+    fn codec_spec_parses_all_knobs() {
+        let args = Args::parse(
+            "--codec delta-quant8 --quant-block 128"
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert_eq!(
+            codec_spec_from_args(&args),
+            CodecSpec::quant8(128).with_delta()
+        );
+        let args = Args::parse(
+            "--codec topk --topk-density 0.1"
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert_eq!(
+            codec_spec_from_args(&args),
+            CodecSpec::topk(0.1).with_delta()
+        );
+        // Bare invocation stays on the dense default.
+        assert_eq!(codec_spec_from_args(&Args::default()), CodecSpec::dense());
+    }
+
+    #[test]
+    #[should_panic(expected = "--quant-block has no effect")]
+    fn codec_subflag_without_enabler_is_rejected() {
+        let args = Args::parse("--quant-block 64".split_whitespace().map(String::from));
+        let _ = codec_spec_from_args(&args);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown --codec")]
+    fn unknown_codec_name_is_rejected() {
+        let args = Args::parse("--codec gzip".split_whitespace().map(String::from));
+        let _ = codec_spec_from_args(&args);
     }
 
     #[test]

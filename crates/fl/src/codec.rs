@@ -1,0 +1,1081 @@
+//! Pluggable wire codecs for model updates and global broadcasts.
+//!
+//! ShiftEx's per-expert training multiplies the communication bill: every
+//! live expert's cohort ships a full model per round. This module makes the
+//! wire format a first-class, swappable layer so that bill can be paid in
+//! compressed bytes — and so the [`CommLedger`](crate::CommLedger) meters
+//! **actual encoded bytes** instead of a nominal `4 × params` guess.
+//!
+//! Four [`UpdateCodec`] implementations cover the standard levers:
+//!
+//! * [`DenseF32`] — compact binary framing of raw `f32` little-endian words
+//!   (replaces the seed's JSON wire format; lossless).
+//! * [`QuantizedI8`] — affine 8-bit quantisation with a per-block
+//!   `(zero_point, scale)` pair (block = 256 by default): ~3.9× smaller than
+//!   dense, error bounded by `scale / 2` per coordinate.
+//! * [`TopKSparse`] — magnitude sparsification: only the `⌈density · n⌉`
+//!   largest-magnitude coordinates ship, as `(index, value)` pairs.
+//!   Unselected coordinates decode to zero, so top-k is only meaningful on
+//!   *residuals* — compose it with [`Delta`].
+//! * [`Delta`] — encodes the residual against a reference vector (the last
+//!   broadcast global, which both endpoints hold) with any base codec.
+//!   Dense deltas are lossless up to `f32` rounding of the residual
+//!   (`(p − r) + r` is not bit-exact, so delta variants always pay the
+//!   real roundtrip); quantised deltas are *more* accurate than quantised
+//!   absolutes (residual ranges are narrower); top-k deltas are the
+//!   classic sparsified-update scheme.
+//!
+//! [`CodecSpec`] is the serialisable, `Copy` configuration that selects and
+//! parameterises a codec; it rides inside
+//! [`RoundConfig`](crate::RoundConfig) through every round path. Encoded
+//! sizes are **value-independent** — [`CodecSpec::update_len`] /
+//! [`CodecSpec::broadcast_len`] compute the exact wire size from the
+//! parameter count alone, which is what lets the scenario engine meter
+//! aborted and late uploads without re-encoding.
+//!
+//! # Wire format
+//!
+//! All integers are little-endian. Every frame starts with a 6-byte header:
+//!
+//! ```text
+//! [kind: u8][flags: u8 (bit 0 = delta)][n_params: u32]
+//! ```
+//!
+//! Update frames (party → aggregator) follow with 16 bytes of metadata —
+//! `[party: u64][num_samples: u32][train_loss: f32]` — then the payload;
+//! broadcast frames (aggregator → party) go straight to the payload.
+//! Payloads:
+//!
+//! ```text
+//! dense :  n × f32
+//! quant8:  [block: u32] then per block: [zero_point: f32][scale: f32][codes: u8 × len]
+//! topk  :  [k: u32] then k × ([index: u32][value: f32])
+//! ```
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::party::PartyId;
+use crate::update::ModelUpdate;
+
+// ---------------------------------------------------------------------------
+// Errors.
+
+/// Why a wire payload failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended before the declared content did.
+    Truncated,
+    /// Unknown codec tag byte.
+    BadTag(u8),
+    /// A sparse index pointed outside the parameter vector.
+    BadIndex {
+        /// The offending index.
+        index: usize,
+        /// Parameter-vector length.
+        n: usize,
+    },
+    /// A declared length was internally inconsistent.
+    BadLength {
+        /// What the header promised.
+        expected: usize,
+        /// What the payload held.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CodecError::Truncated => write!(f, "payload truncated"),
+            CodecError::BadTag(t) => write!(f, "unknown codec tag {t:#x}"),
+            CodecError::BadIndex { index, n } => {
+                write!(f, "sparse index {index} out of range for {n} params")
+            }
+            CodecError::BadLength { expected, got } => {
+                write!(f, "length mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------------------
+// Little-endian cursor helpers.
+
+/// Bounds-checked little-endian cursor over a wire payload.
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice, starting at offset 0.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Takes the next `len` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when fewer than `len` bytes remain.
+    pub fn take(&mut self, len: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(len).ok_or(CodecError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(CodecError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a little-endian `f32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn f32(&mut self) -> Result<f32, CodecError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Asserts the payload was fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadLength`] when trailing bytes remain.
+    pub fn done(&self) -> Result<(), CodecError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(CodecError::BadLength {
+                expected: self.pos,
+                got: self.bytes.len(),
+            })
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// The codec trait and its four implementations.
+
+/// A wire codec over flat parameter vectors.
+///
+/// Implementations are stateless value-to-bytes transforms; framing
+/// (headers, update metadata) lives in [`CodecSpec`] / [`ModelUpdate`].
+/// `encoded_len` must be exact for every input of length `n` — sizes are
+/// value-independent by design so the ledger can meter traffic (including
+/// aborted uploads) without re-encoding payloads.
+pub trait UpdateCodec {
+    /// Human-readable codec name.
+    fn name(&self) -> String;
+
+    /// Exact payload size in bytes for an `n`-parameter vector.
+    fn encoded_len(&self, n: usize) -> usize;
+
+    /// Appends the encoded payload for `params` to `out`.
+    fn encode_into(&self, params: &[f32], out: &mut Vec<u8>);
+
+    /// Decodes a payload of `n` parameters from `reader`.
+    fn decode_from(&self, reader: &mut Reader<'_>, n: usize) -> Result<Vec<f32>, CodecError>;
+}
+
+/// Lossless binary framing: `n` little-endian `f32` words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DenseF32;
+
+impl UpdateCodec for DenseF32 {
+    fn name(&self) -> String {
+        "dense".into()
+    }
+
+    fn encoded_len(&self, n: usize) -> usize {
+        4 * n
+    }
+
+    fn encode_into(&self, params: &[f32], out: &mut Vec<u8>) {
+        out.reserve(4 * params.len());
+        for &p in params {
+            put_f32(out, p);
+        }
+    }
+
+    fn decode_from(&self, reader: &mut Reader<'_>, n: usize) -> Result<Vec<f32>, CodecError> {
+        (0..n).map(|_| reader.f32()).collect()
+    }
+}
+
+/// Affine 8-bit quantisation with a per-block `(zero_point, scale)` pair.
+///
+/// Each block of up to `block` coordinates is mapped to `u8` codes via
+/// `code = round((x − zero_point) / scale)` with `zero_point = min(block)`
+/// and `scale = (max − min) / 255`; decoding returns
+/// `zero_point + code · scale`, so the per-coordinate error is bounded by
+/// `scale / 2`. Payload: `1 + blocks·8/block ≈ 1.03` bytes per parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantizedI8 {
+    /// Coordinates per quantisation block (≥ 1).
+    pub block: usize,
+}
+
+impl QuantizedI8 {
+    /// The default 256-coordinate block.
+    pub fn new() -> Self {
+        Self { block: 256 }
+    }
+}
+
+impl Default for QuantizedI8 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UpdateCodec for QuantizedI8 {
+    fn name(&self) -> String {
+        format!("quant8(block={})", self.block)
+    }
+
+    fn encoded_len(&self, n: usize) -> usize {
+        let block = self.block.max(1);
+        4 + n.div_ceil(block) * 8 + n
+    }
+
+    fn encode_into(&self, params: &[f32], out: &mut Vec<u8>) {
+        let block = self.block.max(1);
+        put_u32(out, block as u32);
+        for chunk in params.chunks(block) {
+            let mut lo = f32::INFINITY;
+            let mut hi = f32::NEG_INFINITY;
+            for &x in chunk {
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+            let scale = if hi > lo { (hi - lo) / 255.0 } else { 0.0 };
+            put_f32(out, lo);
+            put_f32(out, scale);
+            for &x in chunk {
+                let code = if scale > 0.0 {
+                    ((x - lo) / scale).round().clamp(0.0, 255.0) as u8
+                } else {
+                    0
+                };
+                out.push(code);
+            }
+        }
+    }
+
+    fn decode_from(&self, reader: &mut Reader<'_>, n: usize) -> Result<Vec<f32>, CodecError> {
+        let block = reader.u32()? as usize;
+        if block == 0 {
+            return Err(CodecError::BadLength {
+                expected: 1,
+                got: 0,
+            });
+        }
+        let mut params = Vec::with_capacity(n);
+        let mut remaining = n;
+        while remaining > 0 {
+            let len = remaining.min(block);
+            let zero_point = reader.f32()?;
+            let scale = reader.f32()?;
+            for &code in reader.take(len)? {
+                params.push(zero_point + f32::from(code) * scale);
+            }
+            remaining -= len;
+        }
+        Ok(params)
+    }
+}
+
+/// Magnitude sparsification: only the `⌈density · n⌉` largest-magnitude
+/// coordinates ship, as sorted `(index, value)` pairs.
+///
+/// Selected coordinates are preserved **exactly**; everything else decodes
+/// to zero. Ship *residuals* (compose with [`Delta`]) — top-k of absolute
+/// parameters would zero out every unselected weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKSparse {
+    /// Fraction of coordinates kept, in `(0, 1]`.
+    pub density: f32,
+}
+
+impl TopKSparse {
+    /// Number of coordinates kept from an `n`-parameter vector.
+    pub fn k_for(&self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let d = self.density.clamp(0.0, 1.0);
+        ((d * n as f32).ceil() as usize).clamp(1, n)
+    }
+}
+
+impl UpdateCodec for TopKSparse {
+    fn name(&self) -> String {
+        format!("topk(density={})", self.density)
+    }
+
+    fn encoded_len(&self, n: usize) -> usize {
+        4 + 8 * self.k_for(n)
+    }
+
+    fn encode_into(&self, params: &[f32], out: &mut Vec<u8>) {
+        let k = self.k_for(params.len());
+        // Deterministic selection: magnitude descending, index ascending on
+        // ties, via an O(n) partition; then sort the survivors by index for
+        // a canonical wire order. Magnitudes are non-negative, so their IEEE
+        // bit patterns order them totally (NaN sorts above infinity and is
+        // kept first — finite inputs are the caller's contract).
+        let mut order: Vec<u32> = (0..params.len() as u32).collect();
+        let rank = |i: u32| (std::cmp::Reverse(params[i as usize].abs().to_bits()), i);
+        if k < order.len() && k > 0 {
+            order.select_nth_unstable_by_key(k - 1, |&i| rank(i));
+            order.truncate(k);
+        }
+        order.sort_unstable();
+        put_u32(out, k as u32);
+        for i in order {
+            put_u32(out, i);
+            put_f32(out, params[i as usize]);
+        }
+    }
+
+    fn decode_from(&self, reader: &mut Reader<'_>, n: usize) -> Result<Vec<f32>, CodecError> {
+        let k = reader.u32()? as usize;
+        if k > n {
+            return Err(CodecError::BadLength {
+                expected: n,
+                got: k,
+            });
+        }
+        let mut params = vec![0.0f32; n];
+        for _ in 0..k {
+            let index = reader.u32()? as usize;
+            let value = reader.f32()?;
+            *params
+                .get_mut(index)
+                .ok_or(CodecError::BadIndex { index, n })? = value;
+        }
+        Ok(params)
+    }
+}
+
+/// Residual coding against a reference vector with any base codec.
+///
+/// The reference is the last broadcast global, which both the party and the
+/// aggregator hold; missing coordinates (an empty or shorter reference)
+/// count as zero, so delta against nothing degenerates to the base codec.
+#[derive(Debug)]
+pub struct Delta<'a, C: UpdateCodec> {
+    /// Codec applied to the residual.
+    pub base: C,
+    /// Reference vector subtracted before encoding and re-added after.
+    pub reference: &'a [f32],
+}
+
+impl<C: UpdateCodec> UpdateCodec for Delta<'_, C> {
+    fn name(&self) -> String {
+        format!("delta+{}", self.base.name())
+    }
+
+    fn encoded_len(&self, n: usize) -> usize {
+        self.base.encoded_len(n)
+    }
+
+    fn encode_into(&self, params: &[f32], out: &mut Vec<u8>) {
+        let residual: Vec<f32> = params
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p - self.reference.get(i).copied().unwrap_or(0.0))
+            .collect();
+        self.base.encode_into(&residual, out);
+    }
+
+    fn decode_from(&self, reader: &mut Reader<'_>, n: usize) -> Result<Vec<f32>, CodecError> {
+        let mut params = self.base.decode_from(reader, n)?;
+        for (i, p) in params.iter_mut().enumerate() {
+            *p += self.reference.get(i).copied().unwrap_or(0.0);
+        }
+        Ok(params)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CodecSpec: serialisable configuration + framing.
+
+/// Which base codec transforms parameter values into payload bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CodecKind {
+    /// [`DenseF32`].
+    Dense,
+    /// [`QuantizedI8`] with the given block size.
+    Quant8 {
+        /// Coordinates per quantisation block.
+        block: usize,
+    },
+    /// [`TopKSparse`] keeping this fraction of coordinates.
+    TopK {
+        /// Kept fraction in `(0, 1]`.
+        density: f32,
+    },
+}
+
+/// Wire-format configuration: a base codec plus an optional [`Delta`] stage.
+///
+/// `Copy` and serialisable so it can ride inside
+/// [`RoundConfig`](crate::RoundConfig) and scenario reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CodecSpec {
+    /// Base payload codec.
+    pub kind: CodecKind,
+    /// Encode residuals against the last broadcast global.
+    pub delta: bool,
+}
+
+/// Frame header: `[kind: u8][flags: u8][n_params: u32]`.
+const HEADER_LEN: usize = 6;
+/// Update metadata after the header: `[party: u64][samples: u32][loss: f32]`.
+const UPDATE_META_LEN: usize = 16;
+
+const TAG_DENSE: u8 = 1;
+const TAG_QUANT8: u8 = 2;
+const TAG_TOPK: u8 = 3;
+const FLAG_DELTA: u8 = 1;
+
+impl Default for CodecSpec {
+    fn default() -> Self {
+        Self::dense()
+    }
+}
+
+impl fmt::Display for CodecSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.delta {
+            write!(f, "delta+")?;
+        }
+        match self.kind {
+            CodecKind::Dense => write!(f, "dense"),
+            CodecKind::Quant8 { block } => write!(f, "quant8(block={block})"),
+            CodecKind::TopK { density } => write!(f, "topk(density={density})"),
+        }
+    }
+}
+
+impl CodecSpec {
+    /// Lossless dense `f32` framing (the default).
+    pub fn dense() -> Self {
+        Self {
+            kind: CodecKind::Dense,
+            delta: false,
+        }
+    }
+
+    /// Per-block affine int8 quantisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block` is zero.
+    pub fn quant8(block: usize) -> Self {
+        assert!(block >= 1, "quant8 block must be >= 1");
+        Self {
+            kind: CodecKind::Quant8 { block },
+            delta: false,
+        }
+    }
+
+    /// Top-k magnitude sparsification keeping `density` of the coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `density` is outside `(0, 1]`.
+    pub fn topk(density: f32) -> Self {
+        assert!(
+            density > 0.0 && density <= 1.0,
+            "topk density must be in (0, 1]"
+        );
+        Self {
+            kind: CodecKind::TopK { density },
+            delta: false,
+        }
+    }
+
+    /// Adds the delta (residual-vs-last-broadcast) stage.
+    pub fn with_delta(mut self) -> Self {
+        self.delta = true;
+        self
+    }
+
+    /// Parses a CLI codec name. `block` / `density` parameterise the
+    /// quantised and sparse kinds. Recognised names: `dense`, `quant8`,
+    /// `delta` (dense residuals), `delta-quant8`, `topk` / `delta-topk`
+    /// (both residual-coded: top-k of absolute parameters would zero every
+    /// unselected weight, so the raw variant is not offered).
+    pub fn parse(name: &str, block: usize, density: f32) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "dense" => Some(Self::dense()),
+            "quant8" => Some(Self::quant8(block)),
+            "delta" => Some(Self::dense().with_delta()),
+            "delta-quant8" => Some(Self::quant8(block).with_delta()),
+            "topk" | "delta-topk" => Some(Self::topk(density).with_delta()),
+            _ => None,
+        }
+    }
+
+    /// `true` when encode → decode reproduces every input bit-for-bit.
+    ///
+    /// Only plain dense qualifies: delta coding computes `(p − r) + r` in
+    /// `f32`, which is *not* bit-exact when `p` and `r` differ widely in
+    /// magnitude, so delta variants always pay the real wire roundtrip.
+    /// Lossless codecs skip that in-memory roundtrip on the hot path;
+    /// metering still uses the exact encoded sizes.
+    pub fn is_lossless(&self) -> bool {
+        matches!(self.kind, CodecKind::Dense) && !self.delta
+    }
+
+    /// Exact size of an update frame (header + metadata + payload) carrying
+    /// `n` parameters.
+    pub fn update_len(&self, n: usize) -> usize {
+        HEADER_LEN + UPDATE_META_LEN + self.payload_len(n)
+    }
+
+    /// Exact size of a broadcast frame (header + payload) carrying `n`
+    /// parameters.
+    pub fn broadcast_len(&self, n: usize) -> usize {
+        HEADER_LEN + self.payload_len(n)
+    }
+
+    /// Upload compression ratio versus [`CodecSpec::dense`] at `n`
+    /// parameters (value-independent, like every encoded size).
+    pub fn compression_ratio(&self, n: usize) -> f64 {
+        CodecSpec::dense().update_len(n) as f64 / self.update_len(n) as f64
+    }
+
+    /// The spec actually used for a downlink broadcast.
+    ///
+    /// Sparsified downlinks only make sense as residuals against state the
+    /// party already holds: top-k of the absolute globals would zero most
+    /// of the model. With no delta stage or no stored reference the
+    /// broadcast therefore falls back to a dense full-state frame — and is
+    /// metered at that honest size. Dense and quantised kinds broadcast
+    /// as themselves (quantisation works on absolutes).
+    pub fn broadcast_spec(&self, has_reference: bool) -> CodecSpec {
+        match self.kind {
+            CodecKind::TopK { .. } if !(self.delta && has_reference) => CodecSpec::dense(),
+            _ => *self,
+        }
+    }
+
+    /// Exact payload size for `n` parameters.
+    pub fn payload_len(&self, n: usize) -> usize {
+        match self.kind {
+            CodecKind::Dense => DenseF32.encoded_len(n),
+            CodecKind::Quant8 { block } => QuantizedI8 { block }.encoded_len(n),
+            CodecKind::TopK { density } => TopKSparse { density }.encoded_len(n),
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self.kind {
+            CodecKind::Dense => TAG_DENSE,
+            CodecKind::Quant8 { .. } => TAG_QUANT8,
+            CodecKind::TopK { .. } => TAG_TOPK,
+        }
+    }
+
+    fn write_header(&self, n: usize, out: &mut Vec<u8>) {
+        out.push(self.tag());
+        out.push(if self.delta { FLAG_DELTA } else { 0 });
+        put_u32(out, n as u32);
+    }
+
+    fn encode_payload(&self, params: &[f32], reference: &[f32], out: &mut Vec<u8>) {
+        macro_rules! with_base {
+            ($base:expr) => {
+                if self.delta {
+                    Delta {
+                        base: $base,
+                        reference,
+                    }
+                    .encode_into(params, out)
+                } else {
+                    $base.encode_into(params, out)
+                }
+            };
+        }
+        match self.kind {
+            CodecKind::Dense => with_base!(DenseF32),
+            CodecKind::Quant8 { block } => with_base!(QuantizedI8 { block }),
+            CodecKind::TopK { density } => with_base!(TopKSparse { density }),
+        }
+    }
+
+    fn decode_payload(
+        &self,
+        reader: &mut Reader<'_>,
+        n: usize,
+        reference: &[f32],
+    ) -> Result<Vec<f32>, CodecError> {
+        macro_rules! with_base {
+            ($base:expr) => {
+                if self.delta {
+                    Delta {
+                        base: $base,
+                        reference,
+                    }
+                    .decode_from(reader, n)
+                } else {
+                    $base.decode_from(reader, n)
+                }
+            };
+        }
+        match self.kind {
+            CodecKind::Dense => with_base!(DenseF32),
+            CodecKind::Quant8 { block } => with_base!(QuantizedI8 { block }),
+            CodecKind::TopK { density } => with_base!(TopKSparse { density }),
+        }
+    }
+
+    /// Reads a header, returning the spec it declares and the parameter
+    /// count. `Quant8` block and `TopK` density live in the payload (and in
+    /// the explicit `k`), so the returned spec is sufficient to decode.
+    fn read_header(reader: &mut Reader<'_>) -> Result<(CodecSpec, usize), CodecError> {
+        let tag = reader.u8()?;
+        let flags = reader.u8()?;
+        let n = reader.u32()? as usize;
+        let kind = match tag {
+            TAG_DENSE => CodecKind::Dense,
+            // Block size is re-read from the payload; density is implied by
+            // the explicit element count. Placeholder parameters are fine.
+            TAG_QUANT8 => CodecKind::Quant8 { block: 256 },
+            TAG_TOPK => CodecKind::TopK { density: 1.0 },
+            other => return Err(CodecError::BadTag(other)),
+        };
+        Ok((
+            CodecSpec {
+                kind,
+                delta: flags & FLAG_DELTA != 0,
+            },
+            n,
+        ))
+    }
+
+    /// Encodes a global-model broadcast against `reference` (the previous
+    /// broadcast; empty = zeros, degenerating delta to its base codec).
+    pub fn encode_global(&self, params: &[f32], reference: &[f32]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.broadcast_len(params.len()));
+        self.write_header(params.len(), &mut out);
+        self.encode_payload(params, reference, &mut out);
+        debug_assert_eq!(out.len(), self.broadcast_len(params.len()));
+        out
+    }
+
+    /// Decodes a broadcast frame (self-describing header).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] when the frame is truncated, carries an
+    /// unknown tag, or holds inconsistent lengths.
+    pub fn decode_global(bytes: &[u8], reference: &[f32]) -> Result<Vec<f32>, CodecError> {
+        let mut reader = Reader::new(bytes);
+        let (spec, n) = Self::read_header(&mut reader)?;
+        let params = spec.decode_payload(&mut reader, n, reference)?;
+        reader.done()?;
+        Ok(params)
+    }
+
+    /// Encodes a full update frame. Exposed through
+    /// [`ModelUpdate::encode`](crate::ModelUpdate::encode).
+    pub(crate) fn encode_update(&self, update: &ModelUpdate, reference: &[f32]) -> Vec<u8> {
+        let n = update.params.len();
+        let mut out = Vec::with_capacity(self.update_len(n));
+        self.write_header(n, &mut out);
+        out.extend_from_slice(&(update.party.0 as u64).to_le_bytes());
+        put_u32(&mut out, update.num_samples as u32);
+        put_f32(&mut out, update.train_loss);
+        self.encode_payload(&update.params, reference, &mut out);
+        debug_assert_eq!(out.len(), self.update_len(n));
+        out
+    }
+
+    /// Decodes a full update frame (self-describing header).
+    pub(crate) fn decode_update(
+        bytes: &[u8],
+        reference: &[f32],
+    ) -> Result<ModelUpdate, CodecError> {
+        let mut reader = Reader::new(bytes);
+        let (spec, n) = Self::read_header(&mut reader)?;
+        let party = PartyId(reader.u64()? as usize);
+        let num_samples = reader.u32()? as usize;
+        let train_loss = reader.f32()?;
+        let params = spec.decode_payload(&mut reader, n, reference)?;
+        reader.done()?;
+        Ok(ModelUpdate {
+            party,
+            params,
+            num_samples,
+            train_loss,
+        })
+    }
+
+    /// Sends `params` across the wire and back: encode against `reference`,
+    /// decode the payload the receiver would see. Lossless codecs return the
+    /// input unchanged without paying the roundtrip.
+    pub fn transport(&self, params: Vec<f32>, reference: &[f32]) -> Vec<f32> {
+        if self.is_lossless() {
+            return params;
+        }
+        let wire = self.encode_global(&params, reference);
+        Self::decode_global(&wire, reference).expect("self-encoded payload decodes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(spec: &CodecSpec, params: &[f32], reference: &[f32]) -> Vec<f32> {
+        let wire = spec.encode_global(params, reference);
+        assert_eq!(
+            wire.len(),
+            spec.broadcast_len(params.len()),
+            "{spec}: encoded_len must be exact"
+        );
+        CodecSpec::decode_global(&wire, reference).expect("roundtrip decodes")
+    }
+
+    #[test]
+    fn dense_roundtrip_is_bit_exact() {
+        let params = vec![1.0, -2.5, 0.0, f32::MIN_POSITIVE, 3.4e38, -1.0e-20];
+        assert_eq!(roundtrip(&CodecSpec::dense(), &params, &[]), params);
+    }
+
+    #[test]
+    fn empty_vectors_roundtrip_under_every_codec() {
+        for spec in [
+            CodecSpec::dense(),
+            CodecSpec::quant8(256),
+            CodecSpec::topk(0.1),
+            CodecSpec::dense().with_delta(),
+            CodecSpec::quant8(4).with_delta(),
+            CodecSpec::topk(0.5).with_delta(),
+        ] {
+            assert_eq!(roundtrip(&spec, &[], &[]), Vec::<f32>::new(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn quant8_error_is_bounded_by_half_scale_per_block() {
+        let params: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.37).sin() * 10.0).collect();
+        let spec = CodecSpec::quant8(256);
+        let decoded = roundtrip(&spec, &params, &[]);
+        for chunk in params.chunks(256).zip(decoded.chunks(256)) {
+            let (orig, dec) = chunk;
+            let lo = orig.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = orig.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let scale = (hi - lo) / 255.0;
+            for (&a, &b) in orig.iter().zip(dec.iter()) {
+                assert!(
+                    (a - b).abs() <= scale * 0.5 + 1e-5,
+                    "quant error {} exceeds half-scale {}",
+                    (a - b).abs(),
+                    scale * 0.5
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quant8_constant_block_is_exact() {
+        let params = vec![4.25f32; 300];
+        assert_eq!(roundtrip(&CodecSpec::quant8(256), &params, &[]), params);
+    }
+
+    #[test]
+    fn topk_keeps_largest_magnitudes_exactly_and_zeroes_the_rest() {
+        let params = vec![0.1, -9.0, 0.2, 7.0, -0.3, 0.0, 8.0, -0.4];
+        let spec = CodecSpec {
+            kind: CodecKind::TopK { density: 0.375 },
+            delta: false,
+        };
+        let decoded = roundtrip(&spec, &params, &[]);
+        assert_eq!(decoded, vec![0.0, -9.0, 0.0, 7.0, 0.0, 0.0, 8.0, 0.0]);
+    }
+
+    #[test]
+    fn topk_tie_break_is_deterministic_by_index() {
+        let params = vec![1.0, -1.0, 1.0, 1.0];
+        let spec = CodecSpec {
+            kind: CodecKind::TopK { density: 0.5 },
+            delta: false,
+        };
+        let decoded = roundtrip(&spec, &params, &[]);
+        assert_eq!(
+            decoded,
+            vec![1.0, -1.0, 0.0, 0.0],
+            "lowest indices win ties"
+        );
+    }
+
+    #[test]
+    fn delta_dense_roundtrips_exactly_on_representable_residuals() {
+        let params = vec![1.5, -0.25, 3.0];
+        let reference = vec![1.0, 1.0, 1.0];
+        let spec = CodecSpec::dense().with_delta();
+        assert_eq!(roundtrip(&spec, &params, &reference), params);
+    }
+
+    #[test]
+    fn delta_dense_is_not_bit_lossless_and_says_so() {
+        // (p − r) + r rounds when magnitudes differ widely — which is why
+        // is_lossless() must not let delta variants skip the roundtrip.
+        assert!(CodecSpec::dense().is_lossless());
+        assert!(!CodecSpec::dense().with_delta().is_lossless());
+        let spec = CodecSpec::dense().with_delta();
+        let decoded = roundtrip(&spec, &[1e-8], &[1.0]);
+        assert_eq!(decoded, vec![0.0], "tiny p against large r rounds away");
+    }
+
+    #[test]
+    fn delta_topk_recovers_reference_plus_largest_residuals() {
+        let reference = vec![10.0, 20.0, 30.0, 40.0];
+        let params = vec![10.1, 25.0, 30.0, 40.2]; // residuals 0.1, 5.0, 0.0, 0.2
+        let spec = CodecSpec::topk(0.25).with_delta();
+        let decoded = roundtrip(&spec, &params, &reference);
+        assert_eq!(decoded, vec![10.0, 25.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn short_or_empty_reference_counts_as_zeros() {
+        let params = vec![1.0, 2.0, 3.0];
+        let spec = CodecSpec::dense().with_delta();
+        assert_eq!(roundtrip(&spec, &params, &[]), params);
+        assert_eq!(roundtrip(&spec, &params, &[0.5]), params);
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_truncation() {
+        assert_eq!(
+            CodecSpec::decode_global(&[], &[]),
+            Err(CodecError::Truncated)
+        );
+        assert_eq!(
+            CodecSpec::decode_global(&[9, 0, 1, 0, 0, 0], &[]),
+            Err(CodecError::BadTag(9))
+        );
+        let mut wire = CodecSpec::dense().encode_global(&[1.0, 2.0], &[]);
+        wire.truncate(wire.len() - 1);
+        assert_eq!(
+            CodecSpec::decode_global(&wire, &[]),
+            Err(CodecError::Truncated)
+        );
+        let mut wire = CodecSpec::dense().encode_global(&[1.0], &[]);
+        wire.push(0);
+        assert!(matches!(
+            CodecSpec::decode_global(&wire, &[]),
+            Err(CodecError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn topk_decode_rejects_out_of_range_indices() {
+        let spec = CodecSpec::topk(1.0);
+        let mut wire = spec.encode_global(&[1.0, 2.0], &[]);
+        // Corrupt the first index (header 6 bytes + k 4 bytes).
+        wire[10] = 0xff;
+        assert!(matches!(
+            CodecSpec::decode_global(&wire, &[]),
+            Err(CodecError::BadIndex { .. }) | Err(CodecError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_covers_the_cli_names() {
+        assert_eq!(
+            CodecSpec::parse("dense", 256, 0.1),
+            Some(CodecSpec::dense())
+        );
+        assert_eq!(
+            CodecSpec::parse("quant8", 64, 0.1),
+            Some(CodecSpec::quant8(64))
+        );
+        assert_eq!(
+            CodecSpec::parse("delta", 256, 0.1),
+            Some(CodecSpec::dense().with_delta())
+        );
+        assert_eq!(
+            CodecSpec::parse("delta-quant8", 128, 0.1),
+            Some(CodecSpec::quant8(128).with_delta())
+        );
+        // Raw top-k is never offered: both names carry the delta stage.
+        assert_eq!(
+            CodecSpec::parse("topk", 256, 0.05),
+            Some(CodecSpec::topk(0.05).with_delta())
+        );
+        assert_eq!(
+            CodecSpec::parse("DELTA-TOPK", 256, 0.05),
+            Some(CodecSpec::topk(0.05).with_delta())
+        );
+        assert_eq!(CodecSpec::parse("gzip", 256, 0.1), None);
+    }
+
+    #[test]
+    fn quant8_compression_ratio_beats_3_5x() {
+        let spec = CodecSpec::quant8(256);
+        for n in [10_000, 100_000, 1_000_000] {
+            let ratio = spec.compression_ratio(n);
+            assert!(ratio >= 3.5, "quant8 ratio {ratio:.2} at n={n}");
+        }
+    }
+
+    #[test]
+    fn update_frames_carry_metadata() {
+        let update = ModelUpdate {
+            party: PartyId(7),
+            params: vec![1.0, -1.0, 0.5],
+            num_samples: 42,
+            train_loss: 0.75,
+        };
+        let spec = CodecSpec::dense();
+        let wire = spec.encode_update(&update, &[]);
+        assert_eq!(wire.len(), spec.update_len(3));
+        let back = CodecSpec::decode_update(&wire, &[]).expect("decodes");
+        assert_eq!(back, update);
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(CodecSpec::dense().to_string(), "dense");
+        assert_eq!(CodecSpec::quant8(256).to_string(), "quant8(block=256)");
+        assert_eq!(
+            CodecSpec::topk(0.05).with_delta().to_string(),
+            "delta+topk(density=0.05)"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_dense_roundtrip_exact(params in proptest::collection::vec(-100.0f32..100.0, 0..600)) {
+            let spec = CodecSpec::dense();
+            prop_assert_eq!(roundtrip(&spec, &params, &[]), params);
+        }
+
+        #[test]
+        fn prop_quant8_roundtrip_within_half_scale(
+            params in proptest::collection::vec(-50.0f32..50.0, 1..600),
+            block in 1usize..300,
+        ) {
+            let spec = CodecSpec::quant8(block);
+            let decoded = roundtrip(&spec, &params, &[]);
+            for (chunk, dec) in params.chunks(block).zip(decoded.chunks(block)) {
+                let lo = chunk.iter().copied().fold(f32::INFINITY, f32::min);
+                let hi = chunk.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let bound = (hi - lo) / 255.0 * 0.5 + 1e-4;
+                for (&a, &b) in chunk.iter().zip(dec.iter()) {
+                    prop_assert!((a - b).abs() <= bound, "error {} > bound {}", (a - b).abs(), bound);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_topk_selected_coordinates_are_exact(
+            params in proptest::collection::vec(-10.0f32..10.0, 1..400),
+            density_pct in 1u32..=100,
+        ) {
+            let spec = CodecSpec::topk(density_pct as f32 / 100.0);
+            let decoded = roundtrip(&spec, &params, &[]);
+            let kept = decoded.iter().filter(|v| **v != 0.0).count();
+            let k = TopKSparse { density: density_pct as f32 / 100.0 }.k_for(params.len());
+            prop_assert!(kept <= k, "kept {} > k {}", kept, k);
+            // Every surviving coordinate is bit-identical to its source.
+            for (&orig, &dec) in params.iter().zip(decoded.iter()) {
+                prop_assert!(dec == 0.0 || dec == orig);
+            }
+        }
+
+        #[test]
+        fn prop_delta_quant8_roundtrip_tracks_reference(
+            reference in proptest::collection::vec(-20.0f32..20.0, 64),
+            noise in proptest::collection::vec(-0.5f32..0.5, 64),
+        ) {
+            // Residuals are small, so delta+quant8 reconstructs tightly even
+            // though absolute values span a wide range.
+            let params: Vec<f32> = reference.iter().zip(noise.iter()).map(|(r, n)| r + n).collect();
+            let spec = CodecSpec::quant8(32).with_delta();
+            let decoded = roundtrip(&spec, &params, &reference);
+            for (&a, &b) in params.iter().zip(decoded.iter()) {
+                prop_assert!((a - b).abs() <= 1.0 / 255.0 + 1e-4);
+            }
+        }
+
+        #[test]
+        fn prop_encoded_len_matches_actual_bytes(
+            params in proptest::collection::vec(-5.0f32..5.0, 0..500),
+            pick in 0usize..6,
+        ) {
+            let spec = [
+                CodecSpec::dense(),
+                CodecSpec::quant8(64),
+                CodecSpec::topk(0.1),
+                CodecSpec::dense().with_delta(),
+                CodecSpec::quant8(256).with_delta(),
+                CodecSpec::topk(0.25).with_delta(),
+            ][pick];
+            let wire = spec.encode_global(&params, &[]);
+            prop_assert_eq!(wire.len(), spec.broadcast_len(params.len()));
+            let update = ModelUpdate {
+                party: PartyId(1),
+                params: params.clone(),
+                num_samples: 5,
+                train_loss: 0.5,
+            };
+            let uw = spec.encode_update(&update, &[]);
+            prop_assert_eq!(uw.len(), spec.update_len(params.len()));
+        }
+    }
+}

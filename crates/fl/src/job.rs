@@ -32,6 +32,11 @@ pub struct RoundParticipation {
     pub delta: ParticipationStats,
     /// Population accuracy on the live members after the round.
     pub accuracy: f32,
+    /// Encoded upstream bytes this round, including aborted uploads (the
+    /// traffic was paid either way).
+    pub up_bytes: u64,
+    /// Encoded downstream (broadcast) bytes this round.
+    pub down_bytes: u64,
 }
 
 /// Report of a [`FederatedJob::run_rounds_scenario`] call.
@@ -208,6 +213,7 @@ impl FederatedJob {
         for _ in 0..rounds {
             let round = engine.begin_round();
             let before = engine.stats();
+            let comm_before = self.ledger.totals();
             let live = engine.live_members(&all_ids);
             let live_set: std::collections::HashSet<PartyId> = live.iter().copied().collect();
             let live_parties: Vec<&Party> = self
@@ -251,11 +257,15 @@ impl FederatedJob {
             let accuracy = crate::evaluate_on_party_refs(&self.spec, &params, &live_parties);
             accuracy_per_round.push(accuracy);
             loss_per_round.push(mean_loss);
+            let comm = self.ledger.totals();
             participation.push(RoundParticipation {
                 round,
                 live: live_parties.len(),
                 delta: engine.stats().minus(&before),
                 accuracy,
+                up_bytes: (comm.up_bytes + comm.aborted_up_bytes)
+                    - (comm_before.up_bytes + comm_before.aborted_up_bytes),
+                down_bytes: comm.down_bytes - comm_before.down_bytes,
             });
         }
         ScenarioJobReport {

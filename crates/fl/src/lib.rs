@@ -3,8 +3,10 @@
 //! Models the middleware dataflow the paper assumes from frameworks like
 //! PySyft or Flower: parties hold private windowed datasets, a round selects
 //! a cohort, each cohort member trains locally from the current global
-//! parameters, updates are shipped (and metered) as serialized payloads, and
-//! the aggregator folds them with federated averaging. Everything is
+//! parameters, updates are shipped (and metered) as binary wire payloads
+//! under a pluggable [`codec`] (dense / int8-quantised / top-k sparse /
+//! delta), and the aggregator folds what it decodes with federated
+//! averaging. Everything is
 //! deterministic given a seed; local training fans out across threads with
 //! `crossbeam` when enabled.
 //!
@@ -35,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 mod comm;
 mod job;
 mod party;
@@ -43,6 +46,7 @@ pub mod scenario;
 mod selection;
 mod update;
 
+pub use codec::{CodecError, CodecKind, CodecSpec, UpdateCodec};
 pub use comm::{CommLedger, CommTotals};
 pub use job::{FederatedJob, JobReport, RoundParticipation, ScenarioJobReport};
 pub use party::{Party, PartyId, PartyInfo};

@@ -6,6 +6,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use shiftex_nn::{fedavg, train_local_params, ArchSpec, TrainConfig};
 
+use crate::codec::CodecSpec;
 use crate::comm::CommLedger;
 use crate::party::{Party, PartyId};
 use crate::scenario::{aggregate_weighted, RoundMode, ScenarioEngine};
@@ -20,6 +21,8 @@ pub struct RoundConfig {
     pub participants_per_round: usize,
     /// Run local training on parallel threads.
     pub parallel: bool,
+    /// Wire codec for broadcasts and uploads (dense binary by default).
+    pub codec: CodecSpec,
 }
 
 impl Default for RoundConfig {
@@ -28,6 +31,7 @@ impl Default for RoundConfig {
             train: TrainConfig::default(),
             participants_per_round: 10,
             parallel: false,
+            codec: CodecSpec::dense(),
         }
     }
 }
@@ -45,6 +49,12 @@ pub struct RoundOutcome {
 
 /// Runs local training for `cohort` from `global_params` and aggregates.
 ///
+/// The exchange goes through `cfg.codec` end to end: every member trains
+/// from the **decoded broadcast** (lossy codecs degrade it honestly), every
+/// upload is the decoded wire payload the aggregator would see, and the
+/// ledger meters exact encoded sizes in both directions. Under the default
+/// [`CodecSpec::dense`] this is bit-identical to an uncoded round.
+///
 /// Each cohort member gets an independent RNG seeded from `rng`, so results
 /// are identical whether `parallel` is on or off.
 ///
@@ -60,13 +70,28 @@ pub fn run_round(
     rng: &mut StdRng,
 ) -> RoundOutcome {
     assert!(!cohort.is_empty(), "round with empty cohort");
-    let updates = train_cohort(spec, global_params, cohort, cfg, rng);
-
-    if let Some(ledger) = updates.first().and(ledger) {
+    let codec = cfg.codec;
+    // Broadcast: one encoded frame of globals per selected member. A plain
+    // round has no broadcast history, so delta codecs reference zeros and
+    // sparsified downlinks fall back to a dense full-state frame.
+    let bspec = codec.broadcast_spec(false);
+    let broadcast = bspec.transport(global_params.to_vec(), &[]);
+    if let Some(ledger) = ledger {
+        let down = bspec.broadcast_len(global_params.len());
+        for _ in cohort {
+            ledger.record_download(down);
+        }
+    }
+    let updates = train_cohort(spec, &broadcast, cohort, cfg, rng);
+    // Uplink: each update crosses the wire (residuals reference the
+    // broadcast both sides hold); the aggregator folds what it decodes.
+    let updates: Vec<ModelUpdate> = updates
+        .into_iter()
+        .map(|u| u.transport(&codec, &broadcast))
+        .collect();
+    if let Some(ledger) = ledger {
         for u in &updates {
-            // Download of globals + upload of the update.
-            ledger.record_download(u.nominal_size_bytes());
-            ledger.record_upload(u.nominal_size_bytes());
+            ledger.record_upload(u.encoded_len(&codec));
         }
     }
 
@@ -157,6 +182,12 @@ impl ScenarioRoundOutcome {
 /// the [`ScenarioEngine`] applies churn/straggler/staleness fates, and
 /// whatever it releases is staleness-weight aggregated into `global_params`.
 ///
+/// The exchange goes through `cfg.codec`: the engine broadcasts an encoded
+/// frame of the globals per stream (delta codecs reference the stream's
+/// previous broadcast), the cohort trains from the decoded broadcast, and
+/// every upload — delivered, deferred, aborted, or stale-dropped — is
+/// metered at its exact encoded size.
+///
 /// Unlike [`run_round`] an empty cohort is legal (churn can empty a round):
 /// buffered updates may still mature, and with none the parameters simply
 /// pass through.
@@ -174,14 +205,15 @@ pub fn run_round_scenario(
     ledger: Option<&CommLedger>,
     rng: &mut StdRng,
 ) -> ScenarioRoundOutcome {
-    let updates = train_cohort(spec, global_params, cohort, cfg, rng);
-    if let Some(ledger) = ledger {
-        // Every selected member pulled the globals before training.
-        for u in &updates {
-            ledger.record_download(u.nominal_size_bytes());
-        }
-    }
-    let delivery = engine.collect(key, updates, ledger);
+    let codec = cfg.codec;
+    // Every selected member pulls the encoded globals before training.
+    let broadcast = engine.broadcast(key, global_params, &codec, cohort.len(), ledger);
+    let updates = train_cohort(spec, &broadcast, cohort, cfg, rng);
+    let updates: Vec<ModelUpdate> = updates
+        .into_iter()
+        .map(|u| u.transport(&codec, &broadcast))
+        .collect();
+    let delivery = engine.collect(key, updates, &codec, ledger);
     let server_lr = match engine.spec().mode {
         RoundMode::Sync => 1.0,
         RoundMode::Async(a) => a.server_lr,
@@ -417,6 +449,180 @@ mod tests {
         );
         assert_eq!(out.params, init);
         assert_eq!(out.aggregated(), 0);
+    }
+
+    /// The pre-refactor sync path, inlined: train the cohort from the raw
+    /// globals, then plain sample-weighted FedAvg — no wire stage at all.
+    fn uncoded_round(
+        spec: &ArchSpec,
+        init: &[f32],
+        cohort: &[&Party],
+        cfg: &RoundConfig,
+        seed: u64,
+    ) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let updates = train_cohort(spec, init, cohort, cfg, &mut rng);
+        let weighted: Vec<(&[f32], usize)> = updates
+            .iter()
+            .filter(|u| u.num_samples > 0)
+            .map(|u| (u.params.as_slice(), u.num_samples))
+            .collect();
+        fedavg(
+            &weighted.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+            &weighted.iter().map(|(_, n)| *n).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn dense_codec_round_is_bit_identical_to_uncoded_path() {
+        let (spec, init, parties) = setup(4, 30);
+        let cohort: Vec<&Party> = parties.iter().collect();
+        let cfg = RoundConfig::default();
+        let reference = uncoded_round(&spec, &init, &cohort, &cfg, 31);
+        let mut rng = StdRng::seed_from_u64(31);
+        let coded = run_round(&spec, &init, &cohort, &cfg, None, &mut rng);
+        assert_eq!(coded.params, reference, "dense must be lossless");
+
+        // Delta+dense pays a real roundtrip ((p − r) + r rounds in f32), so
+        // it is near-lossless, not bit-identical.
+        let cfg = RoundConfig {
+            codec: CodecSpec::dense().with_delta(),
+            ..RoundConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(31);
+        let delta = run_round(&spec, &init, &cohort, &cfg, None, &mut rng);
+        for (&a, &b) in reference.iter().zip(delta.params.iter()) {
+            assert!(
+                (a - b).abs() <= a.abs().max(1.0) * 1e-6,
+                "delta+dense drifted: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_round_stays_numerically_pinned_to_dense() {
+        let (spec, init, parties) = setup(4, 32);
+        let cohort: Vec<&Party> = parties.iter().collect();
+        let dense = {
+            let mut rng = StdRng::seed_from_u64(33);
+            run_round(
+                &spec,
+                &init,
+                &cohort,
+                &RoundConfig::default(),
+                None,
+                &mut rng,
+            )
+        };
+        let rel_to = |coded: &[f32]| {
+            let num: f32 = dense
+                .params
+                .iter()
+                .zip(coded.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            let den: f32 = dense.params.iter().map(|a| a * a).sum();
+            (num / den.max(f32::MIN_POSITIVE)).sqrt()
+        };
+        for codec in [CodecSpec::quant8(256), CodecSpec::quant8(256).with_delta()] {
+            let cfg = RoundConfig {
+                codec,
+                ..RoundConfig::default()
+            };
+            let mut rng = StdRng::seed_from_u64(33);
+            let coded = run_round(&spec, &init, &cohort, &cfg, None, &mut rng);
+            let rel = rel_to(&coded.params);
+            assert!(
+                rel <= 1e-2,
+                "{codec}: aggregated params drift {rel:.2e} from the dense reference"
+            );
+        }
+        // Top-k is aggressive by design (only a quarter of the residual
+        // ships), so it is not held to the int8 pinning bound — but it must
+        // still move the globals toward the dense result, not away.
+        let cfg = RoundConfig {
+            codec: CodecSpec::topk(0.25).with_delta(),
+            ..RoundConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(33);
+        let coded = run_round(&spec, &init, &cohort, &cfg, None, &mut rng);
+        assert!(
+            rel_to(&coded.params) < rel_to(&init),
+            "sparsified round must land closer to the dense result than the start"
+        );
+    }
+
+    #[test]
+    fn ledger_meters_exact_encoded_sizes_per_codec() {
+        let (spec, init, parties) = setup(3, 34);
+        let cohort: Vec<&Party> = parties.iter().collect();
+        let n = init.len();
+        for codec in [
+            CodecSpec::dense(),
+            CodecSpec::quant8(128),
+            CodecSpec::topk(0.1).with_delta(),
+        ] {
+            let cfg = RoundConfig {
+                codec,
+                ..RoundConfig::default()
+            };
+            let ledger = CommLedger::new();
+            let mut rng = StdRng::seed_from_u64(35);
+            run_round(&spec, &init, &cohort, &cfg, Some(&ledger), &mut rng);
+            let totals = ledger.totals();
+            // Downlinks use the broadcast spec (sparse codecs fall back to
+            // dense full-state frames when no delta reference exists).
+            let down = codec.broadcast_spec(false).broadcast_len(n) as u64;
+            assert_eq!(totals.down_bytes, 3 * down, "{codec}");
+            assert_eq!(totals.up_bytes, 3 * codec.update_len(n) as u64, "{codec}");
+        }
+    }
+
+    #[test]
+    fn scenario_round_broadcasts_delta_against_previous_round() {
+        // Two consecutive scenario rounds on one stream: the second round's
+        // uplink/downlink still decode correctly when the codec is delta
+        // against the engine's stored broadcast reference.
+        let (spec, init, parties) = setup(3, 36);
+        let cohort: Vec<&Party> = parties.iter().collect();
+        let cfg = RoundConfig {
+            codec: CodecSpec::quant8(256).with_delta(),
+            ..RoundConfig::default()
+        };
+        let mut engine = ScenarioEngine::new(
+            crate::scenario::ScenarioSpec::sync(0),
+            &parties.iter().map(|p| p.id()).collect::<Vec<_>>(),
+        );
+        let ledger = CommLedger::new();
+        let mut rng = StdRng::seed_from_u64(37);
+        engine.begin_round();
+        let r1 = run_round_scenario(
+            &spec,
+            &init,
+            &cohort,
+            &cfg,
+            &mut engine,
+            0,
+            Some(&ledger),
+            &mut rng,
+        );
+        assert!(engine.last_broadcast(0).is_some());
+        engine.begin_round();
+        let r2 = run_round_scenario(
+            &spec,
+            &r1.params,
+            &cohort,
+            &cfg,
+            &mut engine,
+            0,
+            Some(&ledger),
+            &mut rng,
+        );
+        assert_eq!(r2.aggregated(), 3);
+        let totals = ledger.totals();
+        let n = init.len();
+        assert_eq!(totals.down_bytes, 6 * cfg.codec.broadcast_len(n) as u64);
+        assert_eq!(totals.up_bytes, 6 * cfg.codec.update_len(n) as u64);
     }
 
     #[test]

@@ -30,6 +30,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::codec::CodecSpec;
 use crate::comm::CommLedger;
 use crate::party::PartyId;
 use crate::update::ModelUpdate;
@@ -474,6 +475,9 @@ pub struct ScenarioEngine {
     spec: ScenarioSpec,
     churn: ChurnSchedule,
     buffers: BTreeMap<usize, Vec<PendingUpdate>>,
+    /// Last decoded broadcast per stream: the reference both endpoints hold
+    /// for delta-coded downlinks.
+    last_broadcast: BTreeMap<usize, Vec<f32>>,
     round: usize,
     stats: ParticipationStats,
 }
@@ -489,6 +493,7 @@ impl ScenarioEngine {
             spec,
             churn,
             buffers: BTreeMap::new(),
+            last_broadcast: BTreeMap::new(),
             round: 0,
             stats: ParticipationStats::default(),
         }
@@ -537,16 +542,56 @@ impl ScenarioEngine {
         self.churn.members(pool, self.round)
     }
 
+    /// Broadcasts the global model on stream `key` to `recipients` parties:
+    /// encodes it under `codec` against the stream's previous broadcast
+    /// (the delta reference both endpoints hold), meters one encoded frame
+    /// per recipient, and returns the **decoded** broadcast the parties
+    /// train from. With no recipients nothing is sent — the globals pass
+    /// through unencoded and the stored reference stays put.
+    pub fn broadcast(
+        &mut self,
+        key: usize,
+        global: &[f32],
+        codec: &CodecSpec,
+        recipients: usize,
+        ledger: Option<&CommLedger>,
+    ) -> Vec<f32> {
+        if recipients == 0 {
+            return global.to_vec();
+        }
+        let reference = self.last_broadcast.get(&key).map_or(&[][..], Vec::as_slice);
+        // First contact on a stream has no delta reference: sparsified
+        // downlinks fall back to a dense full-state frame (see
+        // [`CodecSpec::broadcast_spec`]).
+        let bspec = codec.broadcast_spec(!reference.is_empty());
+        let decoded = bspec.transport(global.to_vec(), reference);
+        if let Some(l) = ledger {
+            let frame = bspec.broadcast_len(global.len());
+            for _ in 0..recipients {
+                l.record_download(frame);
+            }
+        }
+        self.last_broadcast.insert(key, decoded.clone());
+        decoded
+    }
+
+    /// The last decoded broadcast sent on stream `key`, if any.
+    pub fn last_broadcast(&self, key: usize) -> Option<&[f32]> {
+        self.last_broadcast.get(&key).map(Vec::as_slice)
+    }
+
     /// Applies mid-round dropout and straggler fates to this round's fresh
     /// `updates` on stream `key`, then flushes whatever the round mode says
     /// is ready to aggregate.
     ///
-    /// Aborted uploads (dropout, late-drop) are metered on `ledger`;
-    /// successful arrivals are metered as uploads when they are flushed.
+    /// Every upload is metered at its exact `codec` wire size: aborted
+    /// uploads (dropout, late-drop) immediately, successful arrivals when
+    /// they are flushed.
     pub fn collect(
         &mut self,
         key: usize,
         updates: Vec<ModelUpdate>,
+        codec: &CodecSpec,
         ledger: Option<&CommLedger>,
     ) -> RoundDelivery {
         let mut delivery = RoundDelivery::default();
@@ -561,7 +606,7 @@ impl ScenarioEngine {
             // aborted (and the wasted bytes metered).
             if self.churn.drops_out(party, round) {
                 if let Some(l) = ledger {
-                    l.record_aborted_upload(update.nominal_size_bytes());
+                    l.record_aborted_upload(update.encoded_len(codec));
                 }
                 self.stats.dropped_churn += 1;
                 delivery.lost.push(party);
@@ -583,7 +628,7 @@ impl ScenarioEngine {
             match self.spec.stragglers.as_ref().map(|s| s.late) {
                 Some(LatePolicy::Drop) => {
                     if let Some(l) = ledger {
-                        l.record_aborted_upload(update.nominal_size_bytes());
+                        l.record_aborted_upload(update.encoded_len(codec));
                     }
                     self.stats.dropped_late += 1;
                     delivery.lost.push(party);
@@ -618,13 +663,13 @@ impl ScenarioEngine {
                     // Arrived, but too old to be useful: the upload happened
                     // (meter it) yet the work is discarded.
                     if let Some(l) = ledger {
-                        l.record_upload(pending.update.nominal_size_bytes());
+                        l.record_upload(pending.update.encoded_len(codec));
                     }
                     self.stats.stale_dropped += 1;
                     continue;
                 }
                 if let Some(l) = ledger {
-                    l.record_upload(pending.update.nominal_size_bytes());
+                    l.record_upload(pending.update.encoded_len(codec));
                 }
                 let weight =
                     pending.update.num_samples as f32 * self.spec.staleness_weight(staleness);
@@ -800,7 +845,12 @@ mod tests {
     fn sync_engine_without_axes_delivers_everything() {
         let mut engine = ScenarioEngine::new(ScenarioSpec::sync(0), &ids(4));
         engine.begin_round();
-        let delivery = engine.collect(0, (0..4).map(|p| update(p, 10)).collect(), None);
+        let delivery = engine.collect(
+            0,
+            (0..4).map(|p| update(p, 10)).collect(),
+            &CodecSpec::dense(),
+            None,
+        );
         assert_eq!(delivery.ready.len(), 4);
         assert!(delivery.lost.is_empty());
         assert!(delivery.ready.iter().all(|w| w.staleness == 0));
@@ -821,12 +871,17 @@ mod tests {
         });
         let mut engine = ScenarioEngine::new(spec, &ids(2));
         engine.begin_round();
-        let d1 = engine.collect(0, vec![update(0, 10), update(1, 10)], None);
+        let d1 = engine.collect(
+            0,
+            vec![update(0, 10), update(1, 10)],
+            &CodecSpec::dense(),
+            None,
+        );
         assert!(d1.ready.is_empty(), "everything straggles past round 1");
         assert_eq!(d1.deferred.len(), 2);
         assert_eq!(engine.buffered(0), 2);
         engine.begin_round();
-        let d2 = engine.collect(0, Vec::new(), None);
+        let d2 = engine.collect(0, Vec::new(), &CodecSpec::dense(), None);
         assert_eq!(d2.ready.len(), 2);
         for w in &d2.ready {
             assert_eq!(w.staleness, 1);
@@ -847,7 +902,12 @@ mod tests {
         let ledger = CommLedger::new();
         let mut engine = ScenarioEngine::new(spec, &ids(2));
         engine.begin_round();
-        let d = engine.collect(0, vec![update(0, 10), update(1, 10)], Some(&ledger));
+        let d = engine.collect(
+            0,
+            vec![update(0, 10), update(1, 10)],
+            &CodecSpec::dense(),
+            Some(&ledger),
+        );
         assert!(d.ready.is_empty());
         assert_eq!(d.lost.len(), 2);
         assert_eq!(engine.stats().dropped_late, 2);
@@ -867,11 +927,16 @@ mod tests {
         });
         let mut engine = ScenarioEngine::new(spec, &ids(4));
         engine.begin_round();
-        let d = engine.collect(0, vec![update(0, 10), update(1, 10)], None);
+        let d = engine.collect(
+            0,
+            vec![update(0, 10), update(1, 10)],
+            &CodecSpec::dense(),
+            None,
+        );
         assert!(d.ready.is_empty(), "below min_buffer: hold");
         assert_eq!(engine.buffered(0), 2);
         engine.begin_round();
-        let d = engine.collect(0, vec![update(2, 10)], None);
+        let d = engine.collect(0, vec![update(2, 10)], &CodecSpec::dense(), None);
         assert_eq!(d.ready.len(), 3, "buffer reached threshold");
         let stale: Vec<usize> = d.ready.iter().map(|w| w.staleness).collect();
         assert!(stale.contains(&1) && stale.contains(&0));
@@ -887,13 +952,13 @@ mod tests {
         });
         let mut engine = ScenarioEngine::new(spec, &ids(4));
         engine.begin_round();
-        let d = engine.collect(0, vec![update(0, 10)], None);
+        let d = engine.collect(0, vec![update(0, 10)], &CodecSpec::dense(), None);
         assert!(d.ready.is_empty());
         // Let the buffered update age far past max_staleness.
         for _ in 0..4 {
             engine.begin_round();
         }
-        let d = engine.collect(0, vec![update(1, 10)], None);
+        let d = engine.collect(0, vec![update(1, 10)], &CodecSpec::dense(), None);
         assert!(
             d.ready.len() == 1 && d.ready[0].update.party == PartyId(1),
             "only the fresh update survives: {d:?}"
@@ -906,8 +971,8 @@ mod tests {
     fn streams_are_isolated() {
         let mut engine = ScenarioEngine::new(ScenarioSpec::sync(7), &ids(4));
         engine.begin_round();
-        let d0 = engine.collect(0, vec![update(0, 10)], None);
-        let d1 = engine.collect(1, vec![update(1, 10)], None);
+        let d0 = engine.collect(0, vec![update(0, 10)], &CodecSpec::dense(), None);
+        let d1 = engine.collect(1, vec![update(1, 10)], &CodecSpec::dense(), None);
         assert_eq!(d0.ready.len(), 1);
         assert_eq!(d1.ready.len(), 1);
         assert_eq!(d0.ready[0].update.party, PartyId(0));

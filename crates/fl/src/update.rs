@@ -3,6 +3,7 @@
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
+use crate::codec::{CodecError, CodecSpec};
 use crate::party::PartyId;
 
 /// One party's contribution to a federated round.
@@ -19,29 +20,43 @@ pub struct ModelUpdate {
 }
 
 impl ModelUpdate {
-    /// Serialises the update into a wire payload.
+    /// Encodes the update into its wire frame under `codec`.
     ///
-    /// The simulator meters these payloads through
-    /// [`CommLedger`](crate::CommLedger), so the byte size is the honest
-    /// cost of the exchange.
-    pub fn to_bytes(&self) -> Bytes {
-        Bytes::from(serde_json::to_vec(self).expect("update serialisation cannot fail"))
+    /// `reference` is the last broadcast global — the vector both endpoints
+    /// hold — used by delta-coded specs (others ignore it). The simulator
+    /// meters these payloads through [`CommLedger`](crate::CommLedger), so
+    /// the byte size is the honest cost of the exchange.
+    pub fn encode(&self, codec: &CodecSpec, reference: &[f32]) -> Bytes {
+        Bytes::from(codec.encode_update(self, reference))
     }
 
-    /// Deserialises a wire payload.
+    /// Decodes a wire frame (self-describing: the codec is read from the
+    /// frame header). `reference` must match the one used to encode.
     ///
     /// # Errors
     ///
-    /// Returns an error when the payload is not a valid update.
-    pub fn from_bytes(bytes: &Bytes) -> Result<Self, serde_json::Error> {
-        serde_json::from_slice(bytes)
+    /// Returns a [`CodecError`] when the payload is truncated, carries an
+    /// unknown codec tag, or holds inconsistent lengths.
+    pub fn decode(bytes: &[u8], reference: &[f32]) -> Result<Self, CodecError> {
+        CodecSpec::decode_update(bytes, reference)
     }
 
-    /// Nominal payload size in bytes (4 bytes per parameter + metadata),
-    /// used for communication accounting without paying serialisation cost
-    /// on the hot path.
-    pub fn nominal_size_bytes(&self) -> usize {
-        self.params.len() * 4 + 32
+    /// Exact wire size of this update under `codec` — by construction equal
+    /// to `self.encode(codec, _).len()` without paying the encode. This is
+    /// what the ledger meters, replacing the seed's `4 × params + 32` guess.
+    pub fn encoded_len(&self, codec: &CodecSpec) -> usize {
+        codec.update_len(self.params.len())
+    }
+
+    /// Ships the update across the wire and back: encode against
+    /// `reference`, then decode what the aggregator would see. Lossless
+    /// codecs return the update unchanged without paying the roundtrip.
+    pub fn transport(self, codec: &CodecSpec, reference: &[f32]) -> Self {
+        if codec.is_lossless() {
+            return self;
+        }
+        let wire = self.encode(codec, reference);
+        Self::decode(&wire, reference).expect("self-encoded update decodes")
     }
 }
 
@@ -61,20 +76,45 @@ mod tests {
     #[test]
     fn roundtrips_through_bytes() {
         let u = update();
-        let b = u.to_bytes();
-        let back = ModelUpdate::from_bytes(&b).expect("valid payload");
-        assert_eq!(back, u);
+        for codec in [CodecSpec::dense(), CodecSpec::dense().with_delta()] {
+            let b = u.encode(&codec, &[0.5, 0.5, 0.5]);
+            let back = ModelUpdate::decode(&b, &[0.5, 0.5, 0.5]).expect("valid payload");
+            assert_eq!(back, u, "{codec}");
+        }
     }
 
     #[test]
-    fn nominal_size_scales_with_params() {
+    fn encoded_len_is_exact_for_every_codec() {
         let u = update();
-        assert_eq!(u.nominal_size_bytes(), 3 * 4 + 32);
+        for codec in [
+            CodecSpec::dense(),
+            CodecSpec::quant8(2),
+            CodecSpec::topk(0.4).with_delta(),
+        ] {
+            assert_eq!(
+                u.encoded_len(&codec),
+                u.encode(&codec, &[]).len(),
+                "{codec}"
+            );
+        }
+    }
+
+    #[test]
+    fn transport_is_identity_for_lossless_codecs() {
+        let u = update();
+        assert_eq!(u.clone().transport(&CodecSpec::dense(), &[]), u);
+        let roundtripped = u
+            .clone()
+            .transport(&CodecSpec::quant8(2), &[])
+            .params
+            .clone();
+        for (&a, &b) in u.params.iter().zip(roundtripped.iter()) {
+            assert!((a - b).abs() <= (3.0f32 / 255.0) * 0.5 + 1e-5);
+        }
     }
 
     #[test]
     fn rejects_garbage() {
-        let b = Bytes::from_static(b"not json");
-        assert!(ModelUpdate::from_bytes(&b).is_err());
+        assert!(ModelUpdate::decode(b"not a frame", &[]).is_err());
     }
 }

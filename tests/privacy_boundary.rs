@@ -91,11 +91,56 @@ fn communication_is_metered_per_exchange() {
         &mut rng,
     );
     let totals = ledger.totals();
-    // One download + one upload per participant, each ≈ 4 bytes/param.
+    // One download + one upload per participant, at the codec's exact frame
+    // sizes (dense: 6-byte header broadcasts, 22-byte-header updates, 4
+    // bytes per parameter — not a nominal guess).
     assert_eq!(totals.messages, 8);
-    let expected = (init.len() * 4 + 32) as u64 * 4;
-    assert_eq!(totals.up_bytes, expected);
-    assert_eq!(totals.down_bytes, expected);
+    let codec = shiftex::fl::CodecSpec::dense();
+    assert_eq!(totals.up_bytes, codec.update_len(init.len()) as u64 * 4);
+    assert_eq!(
+        totals.down_bytes,
+        codec.broadcast_len(init.len()) as u64 * 4
+    );
+}
+
+#[test]
+fn quantized_uploads_shrink_the_metered_bill() {
+    use shiftex::fl::{CodecSpec, RoundConfig};
+    let mut rng = StdRng::seed_from_u64(1);
+    let gen = PrototypeGenerator::new(ImageShape::new(1, 8, 8), 3, &mut rng);
+    let parties: Vec<Party> = (0..4)
+        .map(|i| {
+            Party::new(
+                PartyId(i),
+                gen.generate_uniform(24, &mut rng),
+                gen.generate_uniform(12, &mut rng),
+            )
+        })
+        .collect();
+    // Realistic enough that per-update frame overhead stops dominating:
+    // ~2.2k parameters already sits at the asymptotic ~3.9x int8 ratio.
+    let spec = ArchSpec::mlp("t", 64, &[32], 3);
+    let init = Sequential::build(&spec, &mut rng).params_flat();
+    let cohort: Vec<&Party> = parties.iter().collect();
+
+    let mut up = Vec::new();
+    for codec in [CodecSpec::dense(), CodecSpec::quant8(256).with_delta()] {
+        let ledger = CommLedger::new();
+        let cfg = RoundConfig {
+            codec,
+            ..RoundConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        shiftex::fl::run_round(&spec, &init, &cohort, &cfg, Some(&ledger), &mut rng);
+        up.push(ledger.totals().up_bytes);
+    }
+    let ratio = up[0] as f64 / up[1] as f64;
+    assert!(
+        ratio >= 3.5,
+        "quant8 must cut metered upload bytes >= 3.5x, got {ratio:.2}x ({} -> {})",
+        up[0],
+        up[1]
+    );
 }
 
 #[test]
