@@ -1,6 +1,10 @@
-//! FedProx (Li et al., MLSys 2020): FedAvg plus a proximal term that keeps
-//! local updates near the global model. One global model, driver-pluggable
-//! selection, no shift awareness — the canonical "traditional FL" baseline.
+//! FedAvg (McMahan et al., AISTATS 2017): one global model, federated
+//! averaging, no shift awareness — the reference point every comparison in
+//! the paper is anchored to.
+//!
+//! Cohort selection delegates to the scenario driver's pluggable
+//! [`ParticipantSelector`], so the same implementation runs as classic
+//! uniform FedAvg or as OORT-selected FedAvg (`--selector oort`).
 
 use rand::rngs::StdRng;
 use shiftex_fl::{
@@ -9,31 +13,22 @@ use shiftex_fl::{
 };
 use shiftex_nn::{ArchSpec, Sequential, TrainConfig};
 
-/// The FedProx baseline.
+/// The FedAvg baseline.
 #[derive(Debug)]
-pub struct FedProx {
+pub struct FedAvg {
     spec: ArchSpec,
     train: TrainConfig,
     participants_per_round: usize,
     params: Vec<f32>,
 }
 
-impl FedProx {
-    /// Creates a FedProx instance with proximal coefficient `mu`. Model
-    /// parameters are drawn from the run's RNG stream at
-    /// [`FederatedAlgorithm::init`] time.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `mu < 0`.
-    pub fn new(spec: ArchSpec, train: TrainConfig, participants_per_round: usize, mu: f32) -> Self {
-        assert!(mu >= 0.0, "prox coefficient must be non-negative");
+impl FedAvg {
+    /// Creates a FedAvg instance. Model parameters are drawn from the run's
+    /// RNG stream at [`FederatedAlgorithm::init`] time.
+    pub fn new(spec: ArchSpec, train: TrainConfig, participants_per_round: usize) -> Self {
         Self {
             spec,
-            train: TrainConfig {
-                prox_mu: Some(mu),
-                ..train
-            },
+            train,
             participants_per_round,
             params: Vec::new(),
         }
@@ -45,9 +40,9 @@ impl FedProx {
     }
 }
 
-impl FederatedAlgorithm for FedProx {
+impl FederatedAlgorithm for FedAvg {
     fn name(&self) -> &str {
-        "FedProx"
+        "FedAvg"
     }
 
     fn arch(&self) -> &ArchSpec {
@@ -124,7 +119,7 @@ mod tests {
     };
 
     #[test]
-    fn fedprox_carries_the_proximal_term_and_improves() {
+    fn fedavg_trains_a_single_model_through_the_driver() {
         let mut rng = StdRng::seed_from_u64(0);
         let gen = PrototypeGenerator::new(ImageShape::new(1, 4, 4), 3, &mut rng);
         let parties: Vec<Party> = (0..6)
@@ -138,8 +133,7 @@ mod tests {
             .collect();
         let ids: Vec<PartyId> = parties.iter().map(Party::id).collect();
         let spec = ArchSpec::mlp("t", 16, &[10], 3);
-        let mut alg = FedProx::new(spec, TrainConfig::default(), 6, 0.01);
-        assert_eq!(alg.train_config(0).prox_mu, Some(0.01));
+        let mut alg = FedAvg::new(spec, TrainConfig::default(), 6);
         alg.init(&parties, &mut rng);
         let refs: Vec<&Party> = parties.iter().collect();
         let before = alg.eval(&refs);
@@ -158,5 +152,6 @@ mod tests {
         let after = alg.eval(&refs);
         assert!(after > before, "{before} -> {after}");
         assert_eq!(alg.num_models(), 1);
+        assert_eq!(alg.model_index(PartyId(3)), 0);
     }
 }

@@ -8,14 +8,20 @@
 //! the *symptom* (loss) rather than the distribution itself — "it offers
 //! only coarse adaptation and lacks explicit modeling of covariate or label
 //! shift dynamics".
+//!
+//! Under the unified API each model is one update stream; per-model cohorts
+//! are drawn through the driver's pluggable [`ParticipantSelector`]
+//! restricted to that model's assigned parties.
 
 use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use shiftex_cluster::choose_k;
-use shiftex_core::strategy::{build_model, evaluate_assigned, ContinualStrategy};
-use shiftex_fl::{run_round, ParticipantSelector, Party, PartyId, RoundConfig, UniformSelector};
+use shiftex_core::strategy::{build_model, evaluate_assigned_refs};
+use shiftex_fl::{
+    aggregate_weighted, FederatedAlgorithm, ParticipantSelector, Party, PartyId, WeightedUpdate,
+};
 use shiftex_nn::{ArchSpec, Sequential, TrainConfig};
 
 /// FedDrift tunables.
@@ -40,38 +46,35 @@ impl Default for FedDriftConfig {
     }
 }
 
-/// The FedDrift baseline strategy.
+/// The FedDrift baseline.
 #[derive(Debug)]
 pub struct FedDrift {
     spec: ArchSpec,
+    train: TrainConfig,
+    participants_per_round: usize,
+    cfg: FedDriftConfig,
     models: Vec<Vec<f32>>,
     assignment: HashMap<PartyId, usize>,
     prev_loss: HashMap<PartyId, f32>,
-    round_cfg: RoundConfig,
-    cfg: FedDriftConfig,
 }
 
 impl FedDrift {
-    /// Creates a FedDrift strategy with one initial model.
+    /// Creates a FedDrift instance. The initial model is drawn from the
+    /// run's RNG stream at [`FederatedAlgorithm::init`] time.
     pub fn new(
         spec: ArchSpec,
         train: TrainConfig,
         participants_per_round: usize,
         cfg: FedDriftConfig,
-        rng: &mut StdRng,
     ) -> Self {
-        let params = Sequential::build(&spec, rng).params_flat();
         Self {
             spec,
-            models: vec![params],
+            train,
+            participants_per_round,
+            cfg,
+            models: Vec::new(),
             assignment: HashMap::new(),
             prev_loss: HashMap::new(),
-            round_cfg: RoundConfig {
-                train,
-                participants_per_round,
-                ..RoundConfig::default()
-            },
-            cfg,
         }
     }
 
@@ -80,7 +83,7 @@ impl FedDrift {
     }
 
     /// Per-party loss of its local data under every model.
-    fn loss_matrix(&self, parties: &[Party]) -> Vec<Vec<f32>> {
+    fn loss_matrix(&self, parties: &[&Party]) -> Vec<Vec<f32>> {
         let built: Vec<Sequential> = self
             .models
             .iter()
@@ -104,24 +107,33 @@ impl FedDrift {
     }
 }
 
-impl ContinualStrategy for FedDrift {
-    fn name(&self) -> &'static str {
+impl FederatedAlgorithm for FedDrift {
+    fn name(&self) -> &str {
         "FedDrift"
     }
 
-    fn begin_window(&mut self, window: usize, parties: &[Party], rng: &mut StdRng) {
-        let losses = self.loss_matrix(parties);
-        if window == 0 {
-            for (p, row) in parties.iter().zip(losses.iter()) {
-                self.assignment.insert(p.id(), 0);
-                self.prev_loss.insert(p.id(), row[0]);
-            }
-            return;
+    fn arch(&self) -> &ArchSpec {
+        &self.spec
+    }
+
+    fn init(&mut self, parties: &[Party], rng: &mut StdRng) {
+        self.models = vec![Sequential::build(&self.spec, rng).params_flat()];
+        self.assignment.clear();
+        self.prev_loss.clear();
+        let refs: Vec<&Party> = parties.iter().collect();
+        let losses = self.loss_matrix(&refs);
+        for (p, row) in refs.iter().zip(losses.iter()) {
+            self.assignment.insert(p.id(), 0);
+            self.prev_loss.insert(p.id(), row[0]);
         }
+    }
+
+    fn begin_window(&mut self, _window: usize, members: &[&Party], rng: &mut StdRng) {
+        let losses = self.loss_matrix(members);
         // Re-assign every party to its best existing model; flag drifted
         // parties whose best loss regressed beyond the tolerance.
         let mut drifted: Vec<usize> = Vec::new();
-        for (i, (p, row)) in parties.iter().zip(losses.iter()).enumerate() {
+        for (i, (p, row)) in members.iter().zip(losses.iter()).enumerate() {
             let (best_model, best_loss) = row
                 .iter()
                 .enumerate()
@@ -149,56 +161,71 @@ impl ContinualStrategy for FedDrift {
             let model_idx = if self.models.len() < self.cfg.max_models {
                 // New model initialised from the group's current best model
                 // (FedDrift's cluster-split initialisation).
-                let seed_from = self.model_of(parties[drifted[group[0]]].id());
+                let seed_from = self.model_of(members[drifted[group[0]]].id());
                 self.models.push(self.models[seed_from].clone());
                 self.models.len() - 1
             } else {
-                self.model_of(parties[drifted[group[0]]].id())
+                self.model_of(members[drifted[group[0]]].id())
             };
             for &gi in &group {
-                self.assignment.insert(parties[drifted[gi]].id(), model_idx);
+                self.assignment.insert(members[drifted[gi]].id(), model_idx);
             }
         }
     }
 
-    fn train_round(&mut self, parties: &[Party], rng: &mut StdRng) {
-        for model_idx in 0..self.models.len() {
-            let cohort_parties: Vec<&Party> = parties
-                .iter()
-                .filter(|p| self.model_of(p.id()) == model_idx && !p.train().is_empty())
-                .collect();
-            if cohort_parties.is_empty() {
-                continue;
-            }
-            let infos: Vec<_> = cohort_parties.iter().map(|p| p.info()).collect();
-            let chosen = UniformSelector.select(&infos, self.round_cfg.participants_per_round, rng);
-            let chosen_set: std::collections::HashSet<PartyId> = chosen.into_iter().collect();
-            let cohort: Vec<&Party> = cohort_parties
-                .into_iter()
-                .filter(|p| chosen_set.contains(&p.id()))
-                .collect();
-            if cohort.is_empty() {
-                continue;
-            }
-            let outcome = run_round(
-                &self.spec,
-                &self.models[model_idx],
-                &cohort,
-                &self.round_cfg,
-                None,
-                rng,
-            );
-            self.models[model_idx] = outcome.params;
-            // Keep each party's reference loss fresh so window-boundary
-            // drift detection compares against the *trained* model.
-            for update in &outcome.updates {
-                self.prev_loss.insert(update.party, update.train_loss);
-            }
+    fn streams(&self) -> Vec<usize> {
+        (0..self.models.len()).collect()
+    }
+
+    fn broadcast_state(&self, key: usize) -> Vec<f32> {
+        self.models[key].clone()
+    }
+
+    fn train_config(&self, _key: usize) -> TrainConfig {
+        self.train
+    }
+
+    fn cohort(
+        &mut self,
+        key: usize,
+        live: &[&Party],
+        selector: &mut dyn ParticipantSelector,
+        rng: &mut StdRng,
+    ) -> Vec<PartyId> {
+        let pool: Vec<&&Party> = live
+            .iter()
+            .filter(|p| self.model_of(p.id()) == key && !p.train().is_empty())
+            .collect();
+        if pool.is_empty() {
+            return Vec::new();
+        }
+        let infos: Vec<_> = pool.iter().map(|p| p.info()).collect();
+        let chosen: std::collections::HashSet<PartyId> = selector
+            .select(&infos, self.participants_per_round, rng)
+            .into_iter()
+            .collect();
+        pool.iter()
+            .map(|p| p.id())
+            .filter(|id| chosen.contains(id))
+            .collect()
+    }
+
+    fn fold(&mut self, key: usize, ready: &[WeightedUpdate], server_lr: f32) {
+        if ready.is_empty() {
+            return;
+        }
+        if let Some(params) = aggregate_weighted(&self.models[key], ready, server_lr) {
+            self.models[key] = params;
+        }
+        // Keep each party's reference loss fresh so window-boundary drift
+        // detection compares against the *trained* model.
+        for w in ready {
+            self.prev_loss.insert(w.update.party, w.update.train_loss);
         }
     }
 
-    fn evaluate(&self, parties: &[Party]) -> f32 {
-        evaluate_assigned(&self.spec, parties, |id| {
+    fn eval(&self, parties: &[&Party]) -> f32 {
+        evaluate_assigned_refs(&self.spec, parties, |id| {
             self.models[self.model_of(id)].as_slice()
         })
     }
@@ -208,7 +235,7 @@ impl ContinualStrategy for FedDrift {
     }
 
     fn num_models(&self) -> usize {
-        self.models.len()
+        self.models.len().max(1)
     }
 }
 
@@ -217,6 +244,9 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use shiftex_data::{Corruption, ImageShape, PrototypeGenerator, Regime};
+    use shiftex_fl::{
+        run_algorithm_round, CodecSpec, ScenarioEngine, ScenarioSpec, UniformSelector,
+    };
 
     fn make(n: usize, rng: &mut StdRng) -> (PrototypeGenerator, Vec<Party>) {
         let gen = PrototypeGenerator::new(ImageShape::new(1, 8, 8), 3, rng);
@@ -232,23 +262,31 @@ mod tests {
         (gen, parties)
     }
 
+    fn rounds(alg: &mut FedDrift, parties: &[Party], n: usize, rng: &mut StdRng) {
+        let ids: Vec<PartyId> = parties.iter().map(Party::id).collect();
+        let mut engine = ScenarioEngine::new(ScenarioSpec::sync(1), &ids);
+        for _ in 0..n {
+            run_algorithm_round(
+                alg,
+                parties,
+                &mut engine,
+                &CodecSpec::dense(),
+                &mut UniformSelector,
+                None,
+                rng,
+            );
+        }
+    }
+
     #[test]
     fn drift_spawns_new_model() {
         let mut rng = StdRng::seed_from_u64(0);
         let (gen, mut parties) = make(8, &mut rng);
         let spec = ArchSpec::mlp("t", 64, &[16], 3);
-        let mut strat = FedDrift::new(
-            spec,
-            TrainConfig::default(),
-            8,
-            FedDriftConfig::default(),
-            &mut rng,
-        );
-        strat.begin_window(0, &parties, &mut rng);
-        for _ in 0..6 {
-            strat.train_round(&parties, &mut rng);
-        }
-        assert_eq!(strat.num_models(), 1);
+        let mut alg = FedDrift::new(spec, TrainConfig::default(), 8, FedDriftConfig::default());
+        alg.init(&parties, &mut rng);
+        rounds(&mut alg, &parties, 6, &mut rng);
+        assert_eq!(alg.num_models(), 1);
 
         // Window 1: severe corruption for half the population.
         let regime = Regime::corrupted(Corruption::ImpulseNoise, 5);
@@ -266,17 +304,20 @@ mod tests {
             };
             p.advance_window(train, test);
         }
-        strat.begin_window(1, &parties, &mut rng);
+        let refs: Vec<&Party> = parties.iter().collect();
+        alg.begin_window(1, &refs, &mut rng);
         assert!(
-            strat.num_models() >= 2,
+            alg.num_models() >= 2,
             "loss regression should spawn a model, got {}",
-            strat.num_models()
+            alg.num_models()
         );
         // Drifted parties moved off model 0.
         assert!(
-            (0..4).any(|i| strat.model_index(PartyId(i)) != 0),
+            (0..4).any(|i| alg.model_index(PartyId(i)) != 0),
             "shifted parties should be re-routed"
         );
+        // Every model is a live stream for the driver.
+        assert_eq!(alg.streams().len(), alg.num_models());
     }
 
     #[test]
@@ -284,26 +325,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let (gen, mut parties) = make(6, &mut rng);
         let spec = ArchSpec::mlp("t", 64, &[16], 3);
-        let mut strat = FedDrift::new(
-            spec,
-            TrainConfig::default(),
-            6,
-            FedDriftConfig::default(),
-            &mut rng,
-        );
-        strat.begin_window(0, &parties, &mut rng);
+        let mut alg = FedDrift::new(spec, TrainConfig::default(), 6, FedDriftConfig::default());
+        alg.init(&parties, &mut rng);
         for w in 1..3 {
             for p in parties.iter_mut() {
                 let train = gen.generate_uniform(40, &mut rng);
                 let test = gen.generate_uniform(16, &mut rng);
                 p.advance_window(train, test);
             }
-            for _ in 0..3 {
-                strat.train_round(&parties, &mut rng);
-            }
-            strat.begin_window(w, &parties, &mut rng);
+            rounds(&mut alg, &parties, 3, &mut rng);
+            let refs: Vec<&Party> = parties.iter().collect();
+            alg.begin_window(w, &refs, &mut rng);
         }
-        assert_eq!(strat.num_models(), 1, "no drift, no models");
+        assert_eq!(alg.num_models(), 1, "no drift, no models");
     }
 
     #[test]
@@ -316,8 +350,8 @@ mod tests {
             loss_tolerance: 0.01,
             ..Default::default()
         };
-        let mut strat = FedDrift::new(spec, TrainConfig::default(), 6, cfg, &mut rng);
-        strat.begin_window(0, &parties, &mut rng);
+        let mut alg = FedDrift::new(spec, TrainConfig::default(), 6, cfg);
+        alg.init(&parties, &mut rng);
         for w in 1..5 {
             let regime = Regime::corrupted(Corruption::GaussianNoise, (w as u8 % 5) + 1);
             for p in parties.iter_mut() {
@@ -326,8 +360,9 @@ mod tests {
                     gen.generate_with_regime(16, &regime, &mut rng),
                 );
             }
-            strat.begin_window(w, &parties, &mut rng);
+            let refs: Vec<&Party> = parties.iter().collect();
+            alg.begin_window(w, &refs, &mut rng);
         }
-        assert!(strat.num_models() <= 2);
+        assert!(alg.num_models() <= 2);
     }
 }

@@ -1,24 +1,34 @@
 //! Comparison baselines for the ShiftEx evaluation (§6 "Comparative
-//! Techniques"): FedProx, OORT, Fielding and FedDrift, each implementing
-//! the same [`ContinualStrategy`](shiftex_core::ContinualStrategy) interface
-//! as ShiftEx so the harness can sweep all five over identical scenarios.
+//! Techniques"): FedAvg, FedProx, FLIPS, Fielding and FedDrift, each
+//! implementing the same
+//! [`FederatedAlgorithm`](shiftex_fl::FederatedAlgorithm) interface as
+//! ShiftEx, so the one generic scenario driver sweeps every technique over
+//! identical churn/straggler/async/codec regimes. OORT participates as a
+//! pluggable *selection policy* ([`OortSelector`], `--selector oort`)
+//! composable with any single-model algorithm.
 //!
 //! | Baseline | Handles | Blind to |
 //! |----------|---------|----------|
+//! | [`FedAvg`] | the plain federated objective | any shift structure (single global model) |
 //! | [`FedProx`] | non-IID drift via proximal regularisation | any shift structure (single global model) |
-//! | [`Oort`] | system/statistical utility in selection | temporal shifts (utility assumed static) |
+//! | [`OortSelector`] | system/statistical utility in selection | temporal shifts (utility assumed static) |
+//! | [`Flips`] | label imbalance via one-time cluster-balanced cohorts | any shift (clusters never refit) |
 //! | [`Fielding`] | label-distribution changes via re-clustering | covariate shifts |
 //! | [`FedDrift`] | drift via loss-pattern clustering into multiple models | explicit covariate/label shift signals |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fedavg;
 mod feddrift;
 mod fedprox;
 mod fielding;
+mod flips;
 mod oort;
 
+pub use fedavg::FedAvg;
 pub use feddrift::{FedDrift, FedDriftConfig};
 pub use fedprox::FedProx;
 pub use fielding::Fielding;
-pub use oort::{Oort, OortConfig, OortSelector, OortSelectorConfig};
+pub use flips::Flips;
+pub use oort::{OortSelector, OortSelectorConfig};

@@ -7,172 +7,23 @@
 //! the failure mode the evaluation exposes: its utility estimates mask
 //! distribution changes instead of reacting to them.
 //!
-//! Two entry points live here:
-//!
-//! * [`Oort`] — the paper's baseline *strategy* (fixed synchronous
-//!   protocol, its own cohort selection).
-//! * [`OortSelector`] — the same utility policy as a pluggable
-//!   [`ParticipantSelector`] for scenario runs, extended with
-//!   **availability awareness**: the
-//!   [`on_unavailable`](ParticipantSelector::on_unavailable) liveness hook
-//!   (mid-round dropout, deadline-missing stragglers) applies a
-//!   multiplicative utility penalty and a selection cooldown, the
-//!   OORT-paper treatment of flaky clients.
+//! Under the unified [`FederatedAlgorithm`](shiftex_fl::FederatedAlgorithm)
+//! API, OORT is a *selection policy*, not a separate training loop:
+//! [`OortSelector`] plugs into the generic scenario driver
+//! (`--selector oort`) and composes with any single-model algorithm —
+//! OORT-the-paper-baseline is FedAvg + this selector. It is extended with
+//! **availability awareness**: the
+//! [`on_unavailable`](ParticipantSelector::on_unavailable) liveness hook
+//! (mid-round dropout, deadline-missing stragglers) applies a
+//! multiplicative utility penalty and a selection cooldown, the OORT-paper
+//! treatment of flaky clients.
 
 use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
-use shiftex_core::strategy::{evaluate_assigned, ContinualStrategy};
-use shiftex_fl::{run_round, ParticipantSelector, Party, PartyId, PartyInfo, RoundConfig};
-use shiftex_nn::{ArchSpec, Sequential, TrainConfig};
+use shiftex_fl::{ParticipantSelector, PartyId, PartyInfo};
 use shiftex_tensor::rngx;
-
-/// OORT tunables.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct OortConfig {
-    /// Fraction of each cohort reserved for exploration.
-    pub exploration_fraction: f32,
-    /// Exponential decay applied to stale utilities each round.
-    pub utility_decay: f32,
-}
-
-impl Default for OortConfig {
-    fn default() -> Self {
-        Self {
-            exploration_fraction: 0.3,
-            utility_decay: 0.98,
-        }
-    }
-}
-
-/// The OORT baseline strategy.
-#[derive(Debug)]
-pub struct Oort {
-    spec: ArchSpec,
-    params: Vec<f32>,
-    round_cfg: RoundConfig,
-    cfg: OortConfig,
-    /// Statistical utility per party: `|B| · sqrt(mean loss²)`.
-    utilities: HashMap<PartyId, f32>,
-}
-
-impl Oort {
-    /// Creates an OORT strategy.
-    pub fn new(
-        spec: ArchSpec,
-        train: TrainConfig,
-        participants_per_round: usize,
-        cfg: OortConfig,
-        rng: &mut StdRng,
-    ) -> Self {
-        let params = Sequential::build(&spec, rng).params_flat();
-        Self {
-            spec,
-            params,
-            round_cfg: RoundConfig {
-                train,
-                participants_per_round,
-                ..RoundConfig::default()
-            },
-            cfg,
-            utilities: HashMap::new(),
-        }
-    }
-
-    /// Current utility estimate for a party (None if never selected).
-    pub fn utility(&self, party: PartyId) -> Option<f32> {
-        self.utilities.get(&party).copied()
-    }
-
-    /// OORT cohort selection: exploit top-utility explored parties, explore
-    /// a random slice of unexplored ones.
-    fn select(&self, parties: &[Party], m: usize, rng: &mut StdRng) -> Vec<PartyId> {
-        let m = m.min(parties.len());
-        let explore_n = ((m as f32) * self.cfg.exploration_fraction).round() as usize;
-        let mut explored: Vec<(PartyId, f32)> = parties
-            .iter()
-            .filter_map(|p| self.utilities.get(&p.id()).map(|&u| (p.id(), u)))
-            .collect();
-        explored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        let mut unexplored: Vec<PartyId> = parties
-            .iter()
-            .map(Party::id)
-            .filter(|id| !self.utilities.contains_key(id))
-            .collect();
-        rngx::shuffle(rng, &mut unexplored);
-
-        let mut chosen: Vec<PartyId> = Vec::with_capacity(m);
-        chosen.extend(unexplored.iter().take(explore_n).copied());
-        for (id, _) in &explored {
-            if chosen.len() >= m {
-                break;
-            }
-            chosen.push(*id);
-        }
-        // Top up with the rest of the unexplored pool.
-        for id in unexplored.into_iter().skip(explore_n) {
-            if chosen.len() >= m {
-                break;
-            }
-            chosen.push(id);
-        }
-        chosen
-    }
-}
-
-impl ContinualStrategy for Oort {
-    fn name(&self) -> &'static str {
-        "OORT"
-    }
-
-    fn begin_window(&mut self, _window: usize, _parties: &[Party], _rng: &mut StdRng) {
-        // OORT keeps its utility table across windows — the staleness the
-        // paper calls out. Nothing is reset here by design.
-    }
-
-    fn train_round(&mut self, parties: &[Party], rng: &mut StdRng) {
-        let chosen = self.select(parties, self.round_cfg.participants_per_round, rng);
-        let chosen_set: std::collections::HashSet<PartyId> = chosen.into_iter().collect();
-        let cohort: Vec<&Party> = parties
-            .iter()
-            .filter(|p| chosen_set.contains(&p.id()) && !p.train().is_empty())
-            .collect();
-        if cohort.is_empty() {
-            return;
-        }
-        let outcome = run_round(
-            &self.spec,
-            &self.params,
-            &cohort,
-            &self.round_cfg,
-            None,
-            rng,
-        );
-        self.params = outcome.params;
-        // Decay all utilities, then refresh the cohort's from observed loss.
-        for u in self.utilities.values_mut() {
-            *u *= self.cfg.utility_decay;
-        }
-        for update in &outcome.updates {
-            let util = update.num_samples as f32
-                * (update.train_loss * update.train_loss).sqrt().max(1e-6);
-            self.utilities.insert(update.party, util);
-        }
-    }
-
-    fn evaluate(&self, parties: &[Party]) -> f32 {
-        evaluate_assigned(&self.spec, parties, |_| self.params.as_slice())
-    }
-
-    fn model_index(&self, _party: PartyId) -> usize {
-        0
-    }
-
-    fn num_models(&self) -> usize {
-        1
-    }
-}
 
 /// Tunables of the availability-aware [`OortSelector`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -201,12 +52,12 @@ impl Default for OortSelectorConfig {
 
 /// Availability-aware OORT selection for scenario runs.
 ///
-/// Exploits high-utility explored parties and explores unexplored ones like
-/// [`Oort`], but consumes the scenario engine's liveness feedback: a party
-/// whose upload was aborted gets its utility multiplied by
-/// `unavailable_penalty` and is skipped for `cooldown_rounds` selection
-/// rounds (unless the cooldown would empty the pool). Flaky parties
-/// therefore stop soaking up cohort slots that churny rounds would waste.
+/// Exploits high-utility explored parties and explores unexplored ones, and
+/// consumes the scenario engine's liveness feedback: a party whose upload
+/// was aborted gets its utility multiplied by `unavailable_penalty` and is
+/// skipped for `cooldown_rounds` selection rounds (unless the cooldown
+/// would empty the pool). Flaky parties therefore stop soaking up cohort
+/// slots that churny rounds would waste.
 #[derive(Debug, Default)]
 pub struct OortSelector {
     cfg: OortSelectorConfig,
@@ -239,14 +90,25 @@ impl OortSelector {
             .get(&party)
             .is_some_and(|&until| self.round < until)
     }
+
+    /// Number of parties currently holding a cooldown mark (diagnostics).
+    pub fn cooldown_marks(&self) -> usize {
+        self.cooldown_until.len()
+    }
 }
 
 impl ParticipantSelector for OortSelector {
-    fn select(&mut self, pool: &[PartyInfo], m: usize, rng: &mut StdRng) -> Vec<PartyId> {
+    fn begin_round(&mut self) {
+        // Per federation round, not per `select` call: multi-model
+        // algorithms ask for one cohort per stream, and decaying k× per
+        // round would also expire cooldowns k× too fast.
         self.round += 1;
         for u in self.utilities.values_mut() {
             *u *= self.cfg.utility_decay;
         }
+    }
+
+    fn select(&mut self, pool: &[PartyInfo], m: usize, rng: &mut StdRng) -> Vec<PartyId> {
         // Cooldown gates eligibility — but never to the point of an empty
         // cohort when parties exist.
         let eligible: Vec<&PartyInfo> = {
@@ -315,6 +177,7 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use shiftex_data::{ImageShape, PrototypeGenerator};
+    use shiftex_fl::Party;
 
     fn parties(n: usize, rng: &mut StdRng) -> Vec<Party> {
         let gen = PrototypeGenerator::new(ImageShape::new(1, 4, 4), 3, rng);
@@ -327,46 +190,6 @@ mod tests {
                 )
             })
             .collect()
-    }
-
-    #[test]
-    fn oort_learns_utilities_and_improves() {
-        let mut rng = StdRng::seed_from_u64(0);
-        let parties = parties(8, &mut rng);
-        let spec = ArchSpec::mlp("t", 16, &[10], 3);
-        let mut strat = Oort::new(
-            spec,
-            TrainConfig::default(),
-            4,
-            OortConfig::default(),
-            &mut rng,
-        );
-        let before = strat.evaluate(&parties);
-        for _ in 0..10 {
-            strat.train_round(&parties, &mut rng);
-        }
-        let after = strat.evaluate(&parties);
-        assert!(after > before, "{before} -> {after}");
-        // At least the selected parties have utilities now.
-        assert!(strat.utilities.len() >= 4);
-    }
-
-    #[test]
-    fn exploration_eventually_covers_all_parties() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let parties = parties(10, &mut rng);
-        let spec = ArchSpec::mlp("t", 16, &[8], 3);
-        let mut strat = Oort::new(
-            spec,
-            TrainConfig::default(),
-            3,
-            OortConfig::default(),
-            &mut rng,
-        );
-        for _ in 0..20 {
-            strat.train_round(&parties, &mut rng);
-        }
-        assert_eq!(strat.utilities.len(), 10, "all parties should get explored");
     }
 
     fn pool(n: usize) -> Vec<PartyInfo> {
@@ -389,10 +212,12 @@ mod tests {
         });
         let p = pool(6);
         // Seed utilities: party 3 high, party 4 medium, others unexplored.
+        sel.begin_round();
         sel.select(&p, 6, &mut rng);
         sel.observe(PartyId(3), 5.0);
         sel.observe(PartyId(4), 2.0);
         sel.observe(PartyId(0), 0.1);
+        sel.begin_round();
         let chosen = sel.select(&p, 2, &mut rng);
         assert_eq!(chosen, vec![PartyId(3), PartyId(4)]);
     }
@@ -407,6 +232,7 @@ mod tests {
             cooldown_rounds: 2,
         });
         let p = pool(4);
+        sel.begin_round();
         sel.select(&p, 4, &mut rng);
         for i in 0..4 {
             sel.observe(PartyId(i), 1.0);
@@ -415,16 +241,44 @@ mod tests {
         sel.on_unavailable(PartyId(2));
         let after = sel.utility(PartyId(2)).unwrap();
         assert!((after - before * 0.25).abs() < 1e-6, "{before} -> {after}");
-        // Cooled down for the next 2 selection rounds…
+        // Cooled down for the next 2 federation rounds…
         for _ in 0..2 {
+            sel.begin_round();
             let chosen = sel.select(&p, 4, &mut rng);
             assert!(sel.in_cooldown(PartyId(2)));
             assert!(!chosen.contains(&PartyId(2)), "{chosen:?}");
         }
         // …then eligible again (with a scarred utility).
+        sel.begin_round();
         let chosen = sel.select(&p, 4, &mut rng);
         assert!(!sel.in_cooldown(PartyId(2)));
         assert!(chosen.contains(&PartyId(2)), "{chosen:?}");
+    }
+
+    #[test]
+    fn per_stream_selects_share_one_round_of_bookkeeping() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sel = OortSelector::new(OortSelectorConfig {
+            exploration_fraction: 0.0,
+            utility_decay: 0.5,
+            ..OortSelectorConfig::default()
+        });
+        let p = pool(4);
+        sel.begin_round();
+        sel.select(&p, 4, &mut rng);
+        sel.observe(PartyId(0), 1.0);
+        let seeded = sel.utility(PartyId(0)).unwrap();
+        // One federation round with three per-stream cohort requests must
+        // decay utilities exactly once, not three times.
+        sel.begin_round();
+        for _ in 0..3 {
+            sel.select(&p, 2, &mut rng);
+        }
+        let decayed = sel.utility(PartyId(0)).unwrap();
+        assert!(
+            (decayed - seeded * 0.5).abs() < 1e-6,
+            "{seeded} -> {decayed}"
+        );
     }
 
     #[test]
@@ -432,66 +286,51 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut sel = OortSelector::new(OortSelectorConfig::default());
         let p = pool(3);
+        sel.begin_round();
         sel.select(&p, 3, &mut rng);
         for i in 0..3 {
             sel.on_unavailable(PartyId(i));
         }
+        sel.begin_round();
         let chosen = sel.select(&p, 2, &mut rng);
         assert_eq!(chosen.len(), 2, "cooldown must not starve the round");
     }
 
     #[test]
-    fn selector_feeds_from_scenario_liveness_hook() {
-        use shiftex_fl::{ChurnSpec, FederatedJob, RoundConfig, ScenarioEngine, ScenarioSpec};
+    fn selector_feeds_from_the_generic_driver_liveness_hook() {
+        use crate::FedAvg;
+        use shiftex_fl::{
+            run_algorithm_round, ChurnSpec, CodecSpec, FederatedAlgorithm, ScenarioEngine,
+            ScenarioSpec,
+        };
+        use shiftex_nn::{ArchSpec, TrainConfig};
         let mut rng = StdRng::seed_from_u64(3);
         let parties = parties(8, &mut rng);
         let ids: Vec<PartyId> = parties.iter().map(Party::id).collect();
         let spec = ArchSpec::mlp("t", 16, &[8], 3);
-        let init = Sequential::build(&spec, &mut rng).params_flat();
-        let mut job = FederatedJob::new(
-            spec,
-            parties,
-            RoundConfig {
-                participants_per_round: 6,
-                ..RoundConfig::default()
-            },
-        );
+        let mut alg = FedAvg::new(spec, TrainConfig::default(), 6);
+        alg.init(&parties, &mut rng);
         let scenario = ScenarioSpec::sync(4).with_churn(ChurnSpec::dropout_only(0.4));
         let mut engine = ScenarioEngine::new(scenario, &ids);
         let mut sel = OortSelector::new(OortSelectorConfig::default());
-        let report = job.run_rounds_scenario(init, 6, &mut sel, &mut engine, &mut rng);
+        let mut lost = 0;
+        for _ in 0..6 {
+            lost += run_algorithm_round(
+                &mut alg,
+                &parties,
+                &mut engine,
+                &CodecSpec::dense(),
+                &mut sel,
+                None,
+                &mut rng,
+            )
+            .lost
+            .len();
+        }
+        assert!(lost > 0, "40% dropout must abort something");
         assert!(
-            report.totals.dropped_churn > 0,
-            "40% dropout must abort something: {:?}",
-            report.totals
-        );
-        // Every aborted upload penalised its party: at least one utility
-        // sits in cooldown history or below its observed-only level.
-        assert!(
-            !sel.cooldown_until.is_empty(),
+            sel.cooldown_marks() > 0,
             "liveness feedback must have reached the selector"
         );
-    }
-
-    #[test]
-    fn selection_prefers_high_utility() {
-        let mut rng = StdRng::seed_from_u64(2);
-        let parties = parties(6, &mut rng);
-        let spec = ArchSpec::mlp("t", 16, &[8], 3);
-        let mut strat = Oort::new(
-            spec,
-            TrainConfig::default(),
-            2,
-            OortConfig {
-                exploration_fraction: 0.0,
-                utility_decay: 1.0,
-            },
-            &mut rng,
-        );
-        strat.utilities.insert(PartyId(3), 100.0);
-        strat.utilities.insert(PartyId(4), 50.0);
-        strat.utilities.insert(PartyId(0), 1.0);
-        let chosen = strat.select(&parties, 2, &mut rng);
-        assert_eq!(chosen, vec![PartyId(3), PartyId(4)]);
     }
 }

@@ -275,6 +275,96 @@ fn bench_codecs(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_algorithms(c: &mut Criterion) {
+    use shiftex_baselines::{FedAvg, FedDrift, FedDriftConfig, FedProx, Fielding, Flips};
+    use shiftex_fl::{
+        run_algorithm_round, ChurnSpec, CodecSpec, FederatedAlgorithm, ScenarioEngine,
+        ScenarioSpec, UniformSelector,
+    };
+    use shiftex_nn::TrainConfig;
+
+    // One churned quantised round per algorithm through the one generic
+    // driver, at 100 parties on a deliberately small model: measures each
+    // algorithm's per-round runtime cost (cohorting policy, per-stream
+    // fan-out, folding) on top of the shared scenario machinery.
+    let mut rng = StdRng::seed_from_u64(9);
+    let gen = PrototypeGenerator::new(ImageShape::new(1, 6, 6), 4, &mut rng);
+    let parties: Vec<Party> = (0..100)
+        .map(|i| {
+            Party::new(
+                PartyId(i),
+                gen.generate_uniform(12, &mut rng),
+                gen.generate_uniform(6, &mut rng),
+            )
+        })
+        .collect();
+    let ids: Vec<PartyId> = parties.iter().map(|p| p.id()).collect();
+    let spec = ArchSpec::mlp("algo", 36, &[16], 4);
+    let train = TrainConfig::default();
+    let churny = ScenarioSpec::sync(1).with_churn(ChurnSpec::dropout_only(0.15));
+    let codec = CodecSpec::quant8(256);
+
+    let mut algorithms: Vec<(&str, Box<dyn FederatedAlgorithm>)> = vec![
+        ("fedavg", Box::new(FedAvg::new(spec.clone(), train, 100))),
+        (
+            "fedprox",
+            Box::new(FedProx::new(spec.clone(), train, 100, 0.01)),
+        ),
+        (
+            "fielding",
+            Box::new(Fielding::new(spec.clone(), train, 100)),
+        ),
+        ("flips", Box::new(Flips::new(spec.clone(), train, 100))),
+        (
+            "feddrift",
+            Box::new(FedDrift::new(
+                spec.clone(),
+                train,
+                100,
+                FedDriftConfig::default(),
+            )),
+        ),
+        (
+            "shiftex",
+            Box::new(ShiftEx::new(
+                ShiftExConfig {
+                    participants_per_round: 100,
+                    ..Default::default()
+                },
+                spec.clone(),
+                &mut rng,
+            )),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("fl_algorithms");
+    group.sample_size(10);
+    for (name, algorithm) in algorithms.iter_mut() {
+        let mut init_rng = StdRng::seed_from_u64(10);
+        algorithm.init(&parties, &mut init_rng);
+        group.bench_function(format!("churned_round_{name}_100_parties"), |b| {
+            b.iter_with_setup(
+                || {
+                    let engine = ScenarioEngine::new(churny.clone(), &ids);
+                    (engine, StdRng::seed_from_u64(11))
+                },
+                |(mut engine, mut rng)| {
+                    run_algorithm_round(
+                        algorithm.as_mut(),
+                        &parties,
+                        &mut engine,
+                        &codec,
+                        &mut UniformSelector,
+                        None,
+                        &mut rng,
+                    )
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_round,
@@ -282,6 +372,7 @@ criterion_group!(
     bench_window_step,
     bench_tensor_kernels,
     bench_scenarios,
-    bench_codecs
+    bench_codecs,
+    bench_algorithms
 );
 criterion_main!(benches);

@@ -6,6 +6,7 @@
 //! train each expert with FLIPS label-balanced cohorts, locally fine-tune
 //! sub-γ clusters, and consolidate near-duplicate experts.
 
+use std::borrow::Borrow;
 use std::collections::{BTreeMap, HashMap};
 
 use rand::rngs::StdRng;
@@ -13,17 +14,18 @@ use serde::{Deserialize, Serialize};
 use shiftex_cluster::choose_k;
 use shiftex_detect::{CalibratedThresholds, EmbeddingProfile, RbfKernel, ThresholdCalibrator};
 use shiftex_fl::{
-    run_round, CommLedger, Party, PartyId, PartyInfo, RoundConfig, ScenarioEngine, UniformSelector,
+    aggregate_weighted, run_round, FederatedAlgorithm, ParticipantSelector, Party, PartyId,
+    PartyInfo, RoundConfig, UniformSelector, WeightedUpdate,
 };
 use shiftex_flips::FlipsSelector;
-use shiftex_nn::{train_local_params, ArchSpec, Sequential};
+use shiftex_nn::{train_local_params, ArchSpec, Sequential, TrainConfig};
 use shiftex_tensor::Matrix;
 
 use crate::config::ShiftExConfig;
 use crate::consolidate::{consolidate_experts, MergeEvent};
 use crate::party::{compute_shift_stats, ShiftStats};
 use crate::registry::{ExpertId, ExpertRegistry};
-use crate::strategy::{build_model, evaluate_assigned_refs, ContinualStrategy};
+use crate::strategy::{build_model, evaluate_assigned_refs};
 
 /// What happened in one window of aggregator-side processing.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -246,7 +248,11 @@ impl ShiftEx {
 
     /// Processes one new window (Algorithm 2 body). Parties' data must have
     /// been advanced first.
-    pub fn process_window(&mut self, parties: &[Party], rng: &mut StdRng) -> WindowReport {
+    pub fn process_window(
+        &mut self,
+        parties: &[impl Borrow<Party>],
+        rng: &mut StdRng,
+    ) -> WindowReport {
         self.window += 1;
         if self.window == 1 {
             // End of the burn-in: W0 training (however it was driven — via
@@ -269,7 +275,13 @@ impl ShiftEx {
         let all_stats: Vec<ShiftStats> = parties
             .iter()
             .map(|party| {
-                compute_shift_stats(party, &encoder, self.cfg.profile_rows, kernel.as_ref(), rng)
+                compute_shift_stats(
+                    party.borrow(),
+                    &encoder,
+                    self.cfg.profile_rows,
+                    kernel.as_ref(),
+                    rng,
+                )
             })
             .collect();
 
@@ -345,6 +357,7 @@ impl ShiftEx {
                         });
                         let party = parties
                             .iter()
+                            .map(Borrow::borrow)
                             .find(|p| p.id() == *id)
                             .expect("party exists");
                         let mut cfg = self.cfg.train;
@@ -446,7 +459,11 @@ impl ShiftEx {
         let by_id: HashMap<PartyId, &Party> = parties.iter().map(|p| (p.id(), p)).collect();
         let round_cfg = self.round_config();
         for expert_id in self.registry.ids() {
-            let cohort = self.expert_cohort(expert_id, &by_id, rng);
+            let cohort_ids = self.expert_cohort(expert_id, &by_id, rng);
+            let cohort: Vec<&Party> = cohort_ids
+                .iter()
+                .filter_map(|id| by_id.get(id).copied())
+                .collect();
             if cohort.is_empty() {
                 continue;
             }
@@ -465,57 +482,6 @@ impl ShiftEx {
         self.personal_steps(&by_id, rng);
     }
 
-    /// Runs one communication round under a federation scenario: join/leave
-    /// churn gates which parties each expert can see, selected parties can
-    /// drop mid-round or straggle, and each expert's aggregation follows the
-    /// engine's round mode on its own staleness buffer (stream = expert id).
-    ///
-    /// Advances the engine's round clock once per call. Experts whose whole
-    /// cohort churned away keep their parameters (their buffers can still
-    /// mature deferred updates). Personalised parties only take their local
-    /// step while live.
-    pub fn train_round_scenario(
-        &mut self,
-        parties: &[Party],
-        engine: &mut ScenarioEngine,
-        ledger: Option<&CommLedger>,
-        rng: &mut StdRng,
-    ) {
-        engine.begin_round();
-        let all_ids: Vec<PartyId> = parties.iter().map(|p| p.id()).collect();
-        let live: std::collections::HashSet<PartyId> =
-            engine.live_members(&all_ids).into_iter().collect();
-        let by_id: HashMap<PartyId, &Party> = parties
-            .iter()
-            .filter(|p| live.contains(&p.id()))
-            .map(|p| (p.id(), p))
-            .collect();
-        let round_cfg = self.round_config();
-        for expert_id in self.registry.ids() {
-            let cohort = self.expert_cohort(expert_id, &by_id, rng);
-            let key = expert_id.0 as usize;
-            if cohort.is_empty() && engine.buffered(key) == 0 {
-                continue;
-            }
-            let params = self
-                .registry
-                .get(expert_id)
-                .expect("live expert")
-                .params
-                .clone();
-            let outcome = shiftex_fl::run_round_scenario(
-                &self.spec, &params, &cohort, &round_cfg, engine, key, ledger, rng,
-            );
-            if outcome.aggregated() > 0 {
-                self.registry
-                    .get_mut(expert_id)
-                    .expect("live expert")
-                    .params = outcome.params;
-            }
-        }
-        self.personal_steps(&by_id, rng);
-    }
-
     /// Round configuration shared by every expert's federated round.
     fn round_config(&self) -> RoundConfig {
         RoundConfig {
@@ -527,13 +493,14 @@ impl ShiftEx {
     }
 
     /// Selects this round's cohort for `expert_id` from the (already
-    /// liveness-filtered) `by_id` view of the population.
-    fn expert_cohort<'a>(
+    /// liveness-filtered) `by_id` view of the population, in selection
+    /// order with empty-train parties dropped.
+    fn expert_cohort(
         &self,
         expert_id: ExpertId,
-        by_id: &HashMap<PartyId, &'a Party>,
+        by_id: &HashMap<PartyId, &Party>,
         rng: &mut StdRng,
-    ) -> Vec<&'a Party> {
+    ) -> Vec<PartyId> {
         let cohort_ids: Vec<PartyId> = self
             .assignment
             .iter()
@@ -557,17 +524,14 @@ impl ShiftEx {
             })
             .collect();
         let chosen: Vec<PartyId> = if self.cfg.uniform_selection {
-            use shiftex_fl::ParticipantSelector;
             UniformSelector.select(&infos, self.cfg.participants_per_round, rng)
         } else {
-            use shiftex_fl::ParticipantSelector;
             let mut flips = FlipsSelector::fit(&infos, 4, rng);
             flips.select(&infos, self.cfg.participants_per_round, rng)
         };
         chosen
-            .iter()
-            .filter_map(|id| by_id.get(id).copied())
-            .filter(|p| !p.train().is_empty())
+            .into_iter()
+            .filter(|id| by_id.get(id).is_some_and(|p| !p.train().is_empty()))
             .collect()
     }
 
@@ -641,7 +605,7 @@ impl ShiftEx {
     /// Freezes the encoder / θ0 template at the current first expert's
     /// (bootstrap-trained) parameters and rebuilds that expert's latent
     /// memory from the previous window's data in the frozen embedding space.
-    fn freeze_encoder(&mut self, parties: &[Party], rng: &mut StdRng) {
+    fn freeze_encoder(&mut self, parties: &[impl Borrow<Party>], rng: &mut StdRng) {
         let expert0 = self.registry.ids()[0];
         let trained = self
             .registry
@@ -654,6 +618,7 @@ impl ShiftEx {
         let encoder = build_model(&self.spec, &self.encoder_params);
         let mut profiles = Vec::new();
         for p in parties {
+            let p = p.borrow();
             let data = match p.prev_train() {
                 Some(prev) if !prev.is_empty() => prev,
                 _ => p.train(),
@@ -680,7 +645,11 @@ impl ShiftEx {
 
     /// Calibrates thresholds from the previous (assumed stable) window's
     /// data if not yet fixed.
-    fn ensure_thresholds(&mut self, parties: &[Party], rng: &mut StdRng) -> CalibratedThresholds {
+    fn ensure_thresholds(
+        &mut self,
+        parties: &[impl Borrow<Party>],
+        rng: &mut StdRng,
+    ) -> CalibratedThresholds {
         if let (Some(dc), Some(dl)) = (self.cfg.delta_cov, self.cfg.delta_label) {
             let t = CalibratedThresholds {
                 delta_cov: dc,
@@ -703,6 +672,7 @@ impl ShiftEx {
         let mut hists: Vec<Vec<f32>> = Vec::new();
         let mut count = 0usize;
         for p in parties {
+            let p = p.borrow();
             if let Some(prev) = p.prev_train() {
                 if prev.is_empty() {
                     continue;
@@ -765,25 +735,85 @@ impl ShiftEx {
     }
 }
 
-impl ContinualStrategy for ShiftEx {
-    fn name(&self) -> &'static str {
+/// ShiftEx under the unified algorithm API: one update stream per expert
+/// (stream key = expert id, stable across merges), per-expert FLIPS
+/// cohorts, and personalised parties taking their local step in the
+/// post-round hook. Cohort selection is internal — the driver's pluggable
+/// selector is not consulted (the paper's design: label-balanced FLIPS per
+/// expert).
+impl FederatedAlgorithm for ShiftEx {
+    fn name(&self) -> &str {
         "ShiftEx"
     }
 
-    fn begin_window(&mut self, window: usize, parties: &[Party], rng: &mut StdRng) {
-        if window == 0 {
-            self.bootstrap(parties, 0, rng);
-        } else {
-            self.process_window(parties, rng);
+    fn arch(&self) -> &ArchSpec {
+        &self.spec
+    }
+
+    fn init(&mut self, parties: &[Party], rng: &mut StdRng) {
+        // Rebuild the model template from *this run's* RNG stream (the
+        // instance may have been constructed with a throwaway seed), then
+        // enrol everyone on expert 0. Burn-in training is the driver's job.
+        *self = ShiftEx::new(self.cfg.clone(), self.spec.clone(), rng);
+        self.bootstrap(parties, 0, rng);
+    }
+
+    fn begin_window(&mut self, _window: usize, members: &[&Party], rng: &mut StdRng) {
+        // Only enrolled members publish shift statistics for the window; a
+        // fully churned-out boundary processes nothing.
+        if members.is_empty() {
+            return;
+        }
+        self.process_window(members, rng);
+    }
+
+    fn streams(&self) -> Vec<usize> {
+        self.registry.ids().iter().map(|id| id.0 as usize).collect()
+    }
+
+    fn broadcast_state(&self, key: usize) -> Vec<f32> {
+        self.registry
+            .get(ExpertId(key as u32))
+            .expect("live expert")
+            .params
+            .clone()
+    }
+
+    fn train_config(&self, _key: usize) -> TrainConfig {
+        self.cfg.train
+    }
+
+    fn cohort(
+        &mut self,
+        key: usize,
+        live: &[&Party],
+        _selector: &mut dyn ParticipantSelector,
+        rng: &mut StdRng,
+    ) -> Vec<PartyId> {
+        let by_id: HashMap<PartyId, &Party> = live.iter().map(|p| (p.id(), *p)).collect();
+        self.expert_cohort(ExpertId(key as u32), &by_id, rng)
+    }
+
+    fn fold(&mut self, key: usize, ready: &[WeightedUpdate], server_lr: f32) {
+        if ready.is_empty() {
+            return;
+        }
+        let expert = self
+            .registry
+            .get_mut(ExpertId(key as u32))
+            .expect("live expert");
+        if let Some(params) = aggregate_weighted(&expert.params, ready, server_lr) {
+            expert.params = params;
         }
     }
 
-    fn train_round(&mut self, parties: &[Party], rng: &mut StdRng) {
-        ShiftEx::train_round(self, parties, rng);
+    fn end_round(&mut self, live: &[&Party], rng: &mut StdRng) {
+        let by_id: HashMap<PartyId, &Party> = live.iter().map(|p| (p.id(), *p)).collect();
+        self.personal_steps(&by_id, rng);
     }
 
-    fn evaluate(&self, parties: &[Party]) -> f32 {
-        ShiftEx::evaluate(self, parties)
+    fn eval(&self, parties: &[&Party]) -> f32 {
+        self.evaluate_refs(parties)
     }
 
     fn model_index(&self, party: PartyId) -> usize {
@@ -983,7 +1013,10 @@ mod tests {
 
     #[test]
     fn scenario_rounds_train_experts_under_churn() {
-        use shiftex_fl::{AsyncSpec, ChurnSpec, ScenarioSpec, StragglerSpec};
+        use shiftex_fl::{
+            run_algorithm_round, AsyncSpec, ChurnSpec, CodecSpec, CommLedger, ScenarioSpec,
+            StragglerSpec,
+        };
         let (gen, mut parties, mut shiftex, mut rng) = setup(8);
         shiftex.bootstrap(&parties, 3, &mut rng);
         let fog = Regime::corrupted(Corruption::Fog, 4);
@@ -1014,7 +1047,15 @@ mod tests {
             .map(|e| e.params.clone())
             .collect();
         for _ in 0..6 {
-            shiftex.train_round_scenario(&parties, &mut engine, Some(&ledger), &mut rng);
+            run_algorithm_round(
+                &mut shiftex,
+                &parties,
+                &mut engine,
+                &CodecSpec::dense(),
+                &mut UniformSelector,
+                Some(&ledger),
+                &mut rng,
+            );
         }
         let after = shiftex.evaluate(&parties);
         let params_after: Vec<Vec<f32>> = shiftex
@@ -1043,11 +1084,12 @@ mod tests {
     }
 
     #[test]
-    fn strategy_interface_reports_models() {
+    fn algorithm_interface_reports_models() {
         let (gen, mut parties, mut shiftex, mut rng) = setup(6);
-        ContinualStrategy::begin_window(&mut shiftex, 0, &parties, &mut rng);
-        assert_eq!(shiftex.name(), "ShiftEx");
-        assert_eq!(ContinualStrategy::num_models(&shiftex), 1);
+        FederatedAlgorithm::init(&mut shiftex, &parties, &mut rng);
+        assert_eq!(FederatedAlgorithm::name(&shiftex), "ShiftEx");
+        assert_eq!(shiftex.num_models(), 1);
+        assert_eq!(shiftex.streams(), vec![0]);
         advance_with_regime(
             &mut parties,
             &gen,
@@ -1056,10 +1098,15 @@ mod tests {
             48,
             &mut rng,
         );
-        ContinualStrategy::begin_window(&mut shiftex, 1, &parties, &mut rng);
+        let members: Vec<&Party> = parties.iter().collect();
+        FederatedAlgorithm::begin_window(&mut shiftex, 1, &members, &mut rng);
         for p in &parties {
             let idx = shiftex.model_index(p.id());
-            assert!(idx < ContinualStrategy::num_models(&shiftex));
+            assert!(idx < shiftex.num_models());
+        }
+        // Stream keys are expert ids — stable even when experts merge.
+        for key in shiftex.streams() {
+            assert!(!shiftex.broadcast_state(key).is_empty());
         }
     }
 }

@@ -21,8 +21,8 @@
 //!   branch-and-bound and the modular greedy approximation
 //! * [`consolidate`] — cosine-similarity expert merging
 //! * [`aggregator`] — the window-level orchestration (paper Algorithm 2)
-//! * [`strategy`] — the [`ContinualStrategy`] interface shared with the
-//!   baselines
+//! * [`strategy`] — shared evaluation helpers for
+//!   [`shiftex_fl::FederatedAlgorithm`] implementations
 //! * [`overhead`] — §5.4 space/time accounting
 //! * [`distill`] — expert compression via distillation (§9 future work)
 //! * [`snapshot`] — registry serialisation for aggregator recovery
@@ -70,4 +70,3 @@ pub use memory::LatentMemory;
 pub use party::{compute_shift_stats, ShiftStats};
 pub use registry::{Expert, ExpertId, ExpertRegistry};
 pub use snapshot::{RegistrySnapshot, SnapshotError};
-pub use strategy::ContinualStrategy;

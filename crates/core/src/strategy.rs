@@ -1,44 +1,20 @@
-//! The common interface every continual-FL strategy implements — ShiftEx
-//! here, FedProx/OORT/Fielding/FedDrift in `shiftex-baselines` — so the
-//! experiment harness can sweep all five over identical scenarios.
+//! Shared model-assignment helpers for algorithm implementations — ShiftEx
+//! here, FedAvg/FedProx/FLIPS/Fielding/FedDrift in `shiftex-baselines`.
+//!
+//! The common *interface* every algorithm implements is
+//! [`shiftex_fl::FederatedAlgorithm`]: one trait, one generic scenario
+//! driver, so the experiment harness sweeps every technique over identical
+//! churn/straggler/async/codec regimes. What lives in this module is the
+//! evaluation machinery those implementations share: building a model from
+//! flat parameters and scoring a population under a per-party parameter
+//! assignment.
 
 use rand::rngs::StdRng;
 use shiftex_fl::{Party, PartyId};
 use shiftex_nn::{ArchSpec, Sequential};
 
-/// A strategy for federated learning over a windowed data stream.
-///
-/// The harness drives one window as:
-///
-/// 1. advance every party's window data per the shift schedule,
-/// 2. call [`ContinualStrategy::begin_window`] (shift detection, expert
-///    management, re-clustering — whatever the strategy does),
-/// 3. call [`ContinualStrategy::train_round`] once per communication round,
-///    recording [`ContinualStrategy::evaluate`] after each.
-pub trait ContinualStrategy {
-    /// Strategy name as it appears in the paper's tables.
-    fn name(&self) -> &'static str;
-
-    /// Window-start hook: parties' data has just advanced to `window`.
-    fn begin_window(&mut self, window: usize, parties: &[Party], rng: &mut StdRng);
-
-    /// Runs one communication round of training.
-    fn train_round(&mut self, parties: &[Party], rng: &mut StdRng);
-
-    /// Population test accuracy with every party evaluated under the model
-    /// this strategy currently assigns to it.
-    fn evaluate(&self, parties: &[Party]) -> f32;
-
-    /// Dense model index currently assigned to `party` (for the
-    /// expert-distribution figures); single-model strategies return 0.
-    fn model_index(&self, party: PartyId) -> usize;
-
-    /// Number of distinct models currently maintained.
-    fn num_models(&self) -> usize;
-}
-
 /// Builds a model with the given flat parameters (helper shared by all
-/// strategies).
+/// algorithm implementations).
 pub fn build_model(spec: &ArchSpec, params: &[f32]) -> Sequential {
     use rand::SeedableRng;
     let mut rng = StdRng::seed_from_u64(0);

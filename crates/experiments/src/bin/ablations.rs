@@ -10,8 +10,8 @@
 use shiftex_core::ShiftExConfig;
 use shiftex_data::{DatasetKind, SimScale};
 use shiftex_experiments::cli::Args;
-use shiftex_experiments::runner::run_once;
-use shiftex_experiments::{Scenario, StrategyKind};
+use shiftex_experiments::{build_algorithm, run_federation_scenario, FedRunOptions, Scenario};
+use shiftex_fl::ScenarioSpec;
 
 fn main() {
     let args = Args::from_env();
@@ -72,7 +72,17 @@ fn main() {
         "variant", "mean-max%", "mean-drop", "recovered", "experts"
     );
     for (name, cfg) in variants {
-        let result = run_once(StrategyKind::ShiftEx, &scenario, 1, &cfg);
+        let mut algorithm = build_algorithm("shiftex", &scenario, &cfg).expect("shiftex builds");
+        let result = run_federation_scenario(
+            algorithm.as_mut(),
+            &scenario,
+            &ScenarioSpec::sync(scenario.seed ^ 0x9e37),
+            &FedRunOptions::new(
+                scenario.eval_windows(),
+                scenario.bootstrap_rounds(),
+                scenario.rounds_per_window,
+            ),
+        );
         let mean_max: f32 =
             result.windows.iter().map(|w| w.max_acc_pct).sum::<f32>() / result.windows.len() as f32;
         let mean_drop: f32 =
@@ -102,8 +112,7 @@ fn main() {
         };
         let mut sx = ShiftEx::new(sx_cfg, scenario.spec.clone(), &mut rng);
         let mut parties = scenario.initial_parties(&mut rng);
-        use shiftex_core::ContinualStrategy;
-        sx.begin_window(0, &parties, &mut rng);
+        sx.bootstrap(&parties, 0, &mut rng);
         for _ in 0..scenario.bootstrap_rounds() {
             ShiftEx::train_round(&mut sx, &parties, &mut rng);
         }

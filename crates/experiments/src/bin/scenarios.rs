@@ -1,16 +1,19 @@
-//! Federation-scenario explorer: runs ShiftEx (or a single-model FedAvg
-//! job) through a dataset scenario under party churn, stragglers, and
-//! staleness-aware asynchronous rounds — the deployment regimes beyond the
-//! paper's fixed synchronous protocol — with every exchange encoded and
-//! metered under a pluggable wire codec.
+//! Federation-scenario explorer: runs **any of the six algorithms**
+//! (ShiftEx, FedAvg, FedProx, FedDrift, Fielding, FLIPS) through a dataset
+//! scenario under party churn, stragglers, and staleness-aware asynchronous
+//! rounds — the deployment regimes beyond the paper's fixed synchronous
+//! protocol — with every exchange encoded and metered under a pluggable
+//! wire codec, all through the one generic
+//! [`run_federation_scenario`] driver.
 //!
 //! ```text
 //! cargo run --release -p shiftex-experiments --bin scenarios -- \
 //!     [--dataset fashionmnist] [--scale smoke|small|paper] [--seed N] \
-//!     [--strategy shiftex|fedavg] [--selector uniform|oort] \
+//!     [--strategy shiftex|fedavg|fedprox|feddrift|fielding|flips] \
+//!     [--selector uniform|oort] \
 //!     [--parties N] [--samples N] \
 //!     [--windows N] [--rounds N] [--bootstrap N] \
-//!     [--codec dense|quant8|delta|delta-quant8|topk|delta-topk] \
+//!     [--codec dense|quant8|delta|delta-quant8|topk|delta-topk|ef-topk] \
 //!     [--quant-block N] [--topk-density D] [--sweep-codecs] \
 //!     [--dropout P] [--join-frac F --join-ramp R] \
 //!     [--leave-frac F --leave-after R] \
@@ -24,11 +27,15 @@
 //!
 //! ```text
 //! cargo run --release -p shiftex-experiments --bin scenarios -- \
-//!     --parties 100 --samples 16 --windows 1 --rounds 6 --bootstrap 6 \
-//!     --codec quant8 --dropout 0.15 --straggle-mean 0.8 --late defer \
-//!     --deadline 1.0 --async --buffer 16 --max-staleness 4
+//!     --strategy feddrift --parties 100 --samples 16 --windows 1 \
+//!     --rounds 6 --bootstrap 6 --codec quant8 --dropout 0.15 \
+//!     --straggle-mean 0.8 --late defer --deadline 1.0 \
+//!     --async --buffer 16 --max-staleness 4
 //! ```
 //!
+//! `--selector` feeds algorithms that consume the driver's pluggable
+//! policy (FedAvg, FedProx, FedDrift); ShiftEx, Fielding and FLIPS select
+//! internally (per-expert / label-cluster cohorts) and ignore it.
 //! `--sweep-codecs` reruns the identical scenario under every codec and
 //! prints the bytes-vs-accuracy table (plus `codec_sweep.csv` with `--csv`).
 
@@ -36,8 +43,8 @@ use shiftex_core::ShiftExConfig;
 use shiftex_data::{DatasetKind, SimScale};
 use shiftex_experiments::cli::Args;
 use shiftex_experiments::{
-    codec_spec_from_args, federation_spec_from_args, report, run_federation_scenario,
-    FedRunOptions, FedSelector, FedStrategy, Scenario,
+    build_algorithm, codec_spec_from_args, federation_spec_from_args, report,
+    run_federation_scenario, FedRunOptions, FedSelector, Scenario, ALGORITHM_NAMES,
 };
 use shiftex_fl::CodecSpec;
 
@@ -47,20 +54,18 @@ fn main() {
         .expect("unknown dataset");
     let scale = SimScale::parse(args.value("scale").unwrap_or("smoke")).expect("unknown scale");
     let seed: u64 = args.value_or("seed", 42);
-    let strategy =
-        FedStrategy::parse(args.value("strategy").unwrap_or("shiftex")).expect("unknown strategy");
+    let strategy = args.value("strategy").unwrap_or("shiftex").to_string();
     let selector =
         FedSelector::parse(args.value("selector").unwrap_or("uniform")).expect("unknown selector");
-    // ShiftEx selects per-expert cohorts internally (FLIPS); a --selector
-    // there would be silently ignored and the run misattributed.
-    assert!(
-        strategy == FedStrategy::FedAvg || args.value("selector").is_none(),
-        "--selector has no effect with --strategy shiftex (ShiftEx uses per-expert FLIPS selection)"
-    );
 
     let parties: Option<usize> = args.value("parties").map(|v| v.parse().expect("--parties"));
     let samples: Option<usize> = args.value("samples").map(|v| v.parse().expect("--samples"));
     let scenario = Scenario::build_with_population(kind, scale, seed, parties, samples);
+    let shiftex_cfg = ShiftExConfig::default();
+    assert!(
+        ALGORITHM_NAMES.contains(&strategy.to_ascii_lowercase().as_str()),
+        "unknown --strategy {strategy:?} (one of {ALGORITHM_NAMES:?})"
+    );
 
     let windows: usize = args.value_or("windows", scenario.eval_windows().min(2));
     let rounds: usize = args.value_or("rounds", scenario.rounds_per_window);
@@ -74,7 +79,7 @@ fn main() {
 
     eprintln!(
         "# {kind} @ {scale:?}: {} parties, {windows} window(s) × {rounds} rounds \
-         (+{bootstrap} bootstrap), strategy {strategy:?}, selector {selector:?}, codec {codec}",
+         (+{bootstrap} bootstrap), strategy {strategy}, selector {selector:?}, codec {codec}",
         scenario.profile.num_parties
     );
     eprintln!("# federation axes: {fed:?}");
@@ -96,19 +101,21 @@ fn main() {
             CodecSpec::quant8(block),
             CodecSpec::quant8(block).with_delta(),
             CodecSpec::topk(density).with_delta(),
+            CodecSpec::topk(density).with_delta().with_error_feedback(),
         ];
         let results: Vec<_> = sweep
             .iter()
             .map(|&codec| {
                 eprintln!("# sweeping codec {codec}");
+                let mut algorithm =
+                    build_algorithm(&strategy, &scenario, &shiftex_cfg).expect("validated above");
                 run_federation_scenario(
-                    strategy,
+                    algorithm.as_mut(),
                     &scenario,
                     &fed,
                     &FedRunOptions::new(windows, bootstrap, rounds)
                         .with_codec(codec)
                         .with_selector(selector),
-                    &ShiftExConfig::default(),
                 )
             })
             .collect();
@@ -122,8 +129,9 @@ fn main() {
         return;
     }
 
-    let result =
-        run_federation_scenario(strategy, &scenario, &fed, &opts, &ShiftExConfig::default());
+    let mut algorithm =
+        build_algorithm(&strategy, &scenario, &shiftex_cfg).expect("validated above");
+    let result = run_federation_scenario(algorithm.as_mut(), &scenario, &fed, &opts);
 
     let title = format!("{kind} {:?}", scale);
     println!("{}", report::render_participation(&title, &result));

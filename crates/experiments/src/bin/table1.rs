@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use shiftex_core::ShiftExConfig;
 use shiftex_data::{DatasetKind, SimScale};
 use shiftex_experiments::cli::Args;
-use shiftex_experiments::{aggregate_windows, report, run_scenario, Scenario, StrategyKind};
+use shiftex_experiments::{aggregate_windows, report, run_scenario, Scenario, ALGORITHM_NAMES};
 
 fn main() {
     let args = Args::from_env();
@@ -44,20 +44,18 @@ pub fn run_tables(args: &Args, datasets: &[DatasetKind]) {
         let mut per_strategy = BTreeMap::new();
         let mut first_runs = BTreeMap::new();
         let mut shiftex_run = None;
-        for strat in StrategyKind::all() {
-            let results = run_scenario(strat, &scenario, runs, &cfg);
+        for name in ALGORITHM_NAMES {
+            let results = run_scenario(name, &scenario, runs, &cfg);
+            let display = results[0].strategy.clone();
             let windows: Vec<_> = results.iter().map(|r| r.windows.clone()).collect();
             per_strategy.insert(
-                strat.to_string(),
+                display.clone(),
                 aggregate_windows(&windows, scenario.rounds_per_window),
             );
-            if strat == StrategyKind::ShiftEx {
+            if name == "shiftex" {
                 shiftex_run = Some(results[0].clone());
             }
-            first_runs.insert(
-                strat.to_string(),
-                results.into_iter().next().expect("1+ runs"),
-            );
+            first_runs.insert(display, results.into_iter().next().expect("1+ runs"));
         }
 
         println!("{}", report::render_table(&kind.to_string(), &per_strategy));

@@ -7,9 +7,12 @@
 //!   population shift; plus population overrides (100+ party federations)
 //!   and federation axes ([`shiftex_fl::ScenarioSpec`]: churn, stragglers,
 //!   staleness-aware async rounds) parsed from CLI flags.
-//! * [`strategies`] — constructs the five techniques behind one factory.
-//! * [`runner`] — drives a strategy through all windows, recording
-//!   per-round accuracy and expert distributions.
+//! * [`algorithms`] — name-keyed factory over the six
+//!   [`shiftex_fl::FederatedAlgorithm`] implementations (no dispatch enum).
+//! * [`runner`] — the one generic scenario driver: any algorithm through
+//!   all windows under churn/straggler/async axes and codec-metered
+//!   communication, recording per-round accuracy, participation and
+//!   expert distributions.
 //! * [`metrics`] — Accuracy Drop / Recovery Time / Max Accuracy per window,
 //!   aggregated over repeated runs.
 //! * [`report`] — text tables, figure series and CSV dumps.
@@ -20,17 +23,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod algorithms;
 pub mod cli;
 pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod scenario;
-pub mod strategies;
 
+pub use algorithms::{build_algorithm, ALGORITHMS, ALGORITHM_NAMES};
 pub use metrics::{aggregate_windows, WindowMetrics, WindowMetricsAgg};
-pub use runner::{
-    run_federation_scenario, run_scenario, FedRunOptions, FedRunResult, FedSelector, FedStrategy,
-    RunResult,
-};
+pub use runner::{run_federation_scenario, run_scenario, FedRunOptions, FedRunResult, FedSelector};
 pub use scenario::{codec_spec_from_args, federation_spec_from_args, Scenario};
-pub use strategies::{make_strategy, StrategyKind};

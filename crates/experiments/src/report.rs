@@ -6,8 +6,15 @@ use std::io::Write;
 use std::path::Path;
 
 use crate::metrics::WindowMetricsAgg;
-use crate::runner::{FedRunResult, RunResult};
-use crate::strategies::StrategyKind;
+use crate::runner::FedRunResult;
+
+use crate::algorithms::ALGORITHMS;
+
+/// Display names of the algorithms in table row order, derived from the
+/// shared registry so the renderer cannot drift from the factory.
+fn row_order() -> impl Iterator<Item = &'static str> {
+    ALGORITHMS.iter().map(|&(_, display)| display)
+}
 
 /// Renders one dataset's block of Table 1/2: rows = techniques, columns =
 /// `Drop | Time | Max` per window.
@@ -30,9 +37,7 @@ pub fn render_table(
     out.push('\n');
     out.push_str(&"-".repeat(10 + windows * 37));
     out.push('\n');
-    // Paper row order.
-    let order = ["FedProx", "Fielding", "OORT", "ShiftEx", "FedDrift"];
-    for name in order {
+    for name in row_order() {
         let Some(aggs) = per_strategy.get(name) else {
             continue;
         };
@@ -54,7 +59,7 @@ pub fn render_table(
 
 /// Renders convergence curves (Figures 3–4) as aligned columns:
 /// round index then one accuracy column per technique.
-pub fn render_series(dataset: &str, results: &BTreeMap<String, RunResult>) -> String {
+pub fn render_series(dataset: &str, results: &BTreeMap<String, FedRunResult>) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "# Convergence — {dataset} (accuracy % per round)\n"
@@ -106,7 +111,7 @@ pub fn render_max_per_window(
 }
 
 /// Renders the expert-distribution stacks (Figures 7–8) for one strategy.
-pub fn render_expert_distribution(dataset: &str, result: &RunResult) -> String {
+pub fn render_expert_distribution(dataset: &str, result: &FedRunResult) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "# Expert distribution — {dataset} ({}; parties per expert per window)\n",
@@ -143,7 +148,7 @@ pub fn render_participation(title: &str, result: &FedRunResult) -> String {
         result.strategy
     ));
     out.push_str(&format!(
-        "{:>6} {:>5} {:>9} {:>10} {:>9} {:>7} {:>9} {:>7} {:>8} {:>10} {:>10}\n",
+        "{:>6} {:>5} {:>9} {:>10} {:>9} {:>7} {:>9} {:>7} {:>8} {:>10} {:>10} {:>10}\n",
         "round",
         "live",
         "selected",
@@ -154,11 +159,12 @@ pub fn render_participation(title: &str, result: &FedRunResult) -> String {
         "stale",
         "acc%",
         "up_B",
-        "down_B"
+        "down_B",
+        "join_B"
     ));
     for row in &result.participation {
         out.push_str(&format!(
-            "{:>6} {:>5} {:>9} {:>10} {:>9} {:>7} {:>9} {:>7} {:>8.2} {:>10} {:>10}\n",
+            "{:>6} {:>5} {:>9} {:>10} {:>9} {:>7} {:>9} {:>7} {:>8.2} {:>10} {:>10} {:>10}\n",
             row.round,
             row.live,
             row.delta.selected,
@@ -170,6 +176,7 @@ pub fn render_participation(title: &str, result: &FedRunResult) -> String {
             row.accuracy * 100.0,
             row.up_bytes,
             row.down_bytes,
+            row.first_contact_down_bytes,
         ));
     }
     let t = &result.totals;
@@ -185,9 +192,12 @@ pub fn render_participation(title: &str, result: &FedRunResult) -> String {
         t.aggregations,
     ));
     out.push_str(&format!(
-        "comm: up {} B | down {} B | messages {} | aborted uploads {} ({} B wasted)\n",
+        "comm: up {} B | down {} B | first-contact {} B over {} joins | messages {} | \
+         aborted uploads {} ({} B wasted)\n",
         result.comm.up_bytes,
         result.comm.down_bytes,
+        result.comm.first_contact_down_bytes,
+        result.comm.first_contact_messages,
         result.comm.messages,
         result.comm.aborted_messages,
         result.comm.aborted_up_bytes,
@@ -208,15 +218,16 @@ pub fn render_codec_sweep(title: &str, results: &[FedRunResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!("# Codec sweep — {title}\n"));
     out.push_str(&format!(
-        "{:<24} {:>12} {:>12} {:>8} {:>9}\n",
-        "codec", "up_bytes", "down_bytes", "ratio", "final_acc"
+        "{:<28} {:>12} {:>12} {:>10} {:>8} {:>9}\n",
+        "codec", "up_bytes", "down_bytes", "join_bytes", "ratio", "final_acc"
     ));
     for r in results {
         out.push_str(&format!(
-            "{:<24} {:>12} {:>12} {:>7.2}x {:>8.2}%\n",
+            "{:<28} {:>12} {:>12} {:>10} {:>7.2}x {:>8.2}%\n",
             r.codec.to_string(),
             r.comm.up_bytes + r.comm.aborted_up_bytes,
             r.comm.down_bytes,
+            r.comm.first_contact_down_bytes,
             r.compression_ratio(),
             r.accuracy_series.last().copied().unwrap_or(0.0) * 100.0,
         ));
@@ -233,16 +244,17 @@ pub fn write_codec_sweep_csv(path: &Path, results: &[FedRunResult]) -> std::io::
     let mut f = std::fs::File::create(path)?;
     writeln!(
         f,
-        "codec,up_bytes,aborted_up_bytes,down_bytes,compression_ratio,final_accuracy_pct"
+        "codec,up_bytes,aborted_up_bytes,down_bytes,first_contact_down_bytes,compression_ratio,final_accuracy_pct"
     )?;
     for r in results {
         writeln!(
             f,
-            "{},{},{},{},{:.4},{:.4}",
+            "{},{},{},{},{},{:.4},{:.4}",
             r.codec,
             r.comm.up_bytes,
             r.comm.aborted_up_bytes,
             r.comm.down_bytes,
+            r.comm.first_contact_down_bytes,
             r.compression_ratio(),
             r.accuracy_series.last().copied().unwrap_or(0.0) * 100.0
         )?;
@@ -259,12 +271,12 @@ pub fn write_participation_csv(path: &Path, result: &FedRunResult) -> std::io::R
     let mut f = std::fs::File::create(path)?;
     writeln!(
         f,
-        "round,live,selected,delivered,dropped_churn,dropped_late,deferred,stale_dropped,accuracy_pct,up_bytes,down_bytes"
+        "round,live,selected,delivered,dropped_churn,dropped_late,deferred,stale_dropped,accuracy_pct,up_bytes,down_bytes,first_contact_down_bytes"
     )?;
     for row in &result.participation {
         writeln!(
             f,
-            "{},{},{},{},{},{},{},{},{:.4},{},{}",
+            "{},{},{},{},{},{},{},{},{:.4},{},{},{}",
             row.round,
             row.live,
             row.delta.selected,
@@ -275,7 +287,8 @@ pub fn write_participation_csv(path: &Path, result: &FedRunResult) -> std::io::R
             row.delta.stale_dropped,
             row.accuracy * 100.0,
             row.up_bytes,
-            row.down_bytes
+            row.down_bytes,
+            row.first_contact_down_bytes
         )?;
     }
     Ok(())
@@ -286,7 +299,10 @@ pub fn write_participation_csv(path: &Path, result: &FedRunResult) -> std::io::R
 /// # Errors
 ///
 /// Returns any I/O error from file creation or writing.
-pub fn write_series_csv(path: &Path, results: &BTreeMap<String, RunResult>) -> std::io::Result<()> {
+pub fn write_series_csv(
+    path: &Path,
+    results: &BTreeMap<String, FedRunResult>,
+) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
     write!(f, "round")?;
     for name in results.keys() {
@@ -343,9 +359,9 @@ pub fn write_table_csv(
     Ok(())
 }
 
-/// Stable display ordering for strategies in figures.
+/// Stable display ordering for algorithms in figures.
 pub fn ordered_names() -> Vec<String> {
-    StrategyKind::all().iter().map(|k| k.to_string()).collect()
+    row_order().map(str::to_string).collect()
 }
 
 #[cfg(test)]
@@ -368,28 +384,15 @@ mod tests {
         assert!(s.contains("W1 Drop"));
     }
 
-    #[test]
-    fn expert_distribution_renders_all_windows() {
-        let result = RunResult {
-            strategy: "ShiftEx".into(),
-            accuracy_series: vec![0.5],
+    fn sample_result() -> FedRunResult {
+        use shiftex_fl::{ParticipationStats, RoundParticipation};
+        FedRunResult {
+            strategy: "FedAvg".into(),
+            accuracy_series: vec![0.4, 0.5],
             post_shift_accuracy: vec![0.4],
             windows: vec![],
             expert_distribution: vec![vec![8], vec![5, 3]],
             final_models: 2,
-        };
-        let s = render_expert_distribution("FMoW", &result);
-        assert!(s.contains("expert0"));
-        assert!(s.contains("expert1"));
-        assert_eq!(s.lines().count(), 4);
-    }
-
-    #[test]
-    fn participation_report_renders_all_columns() {
-        use shiftex_fl::{ParticipationStats, RoundParticipation};
-        let result = FedRunResult {
-            strategy: "FedAvg".into(),
-            accuracy_series: vec![0.4, 0.5],
             participation: vec![RoundParticipation {
                 round: 1,
                 live: 9,
@@ -405,6 +408,7 @@ mod tests {
                 accuracy: 0.5,
                 up_bytes: 640,
                 down_bytes: 320,
+                first_contact_down_bytes: 48,
             }],
             totals: ParticipationStats {
                 selected: 8,
@@ -421,15 +425,32 @@ mod tests {
                 messages: 10,
                 aborted_up_bytes: 60,
                 aborted_messages: 3,
+                first_contact_down_bytes: 48,
+                first_contact_messages: 1,
             },
             codec: shiftex_fl::CodecSpec::quant8(256),
             param_count: 1000,
-            final_models: 1,
-        };
+        }
+    }
+
+    #[test]
+    fn expert_distribution_renders_all_windows() {
+        let result = sample_result();
+        let s = render_expert_distribution("FMoW", &result);
+        assert!(s.contains("expert0"));
+        assert!(s.contains("expert1"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn participation_report_renders_all_columns() {
+        let result = sample_result();
         let s = render_participation("smoke", &result);
         assert!(s.contains("drop-out"));
         assert!(s.contains("up_B"));
+        assert!(s.contains("join_B"));
         assert!(s.contains("aborted uploads 3"));
+        assert!(s.contains("first-contact 48 B over 1 joins"));
         assert!(s.contains("codec: quant8(block=256)"));
         let dir = std::env::temp_dir().join("shiftex_participation_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -437,7 +458,7 @@ mod tests {
         write_participation_csv(&p, &result).unwrap();
         let content = std::fs::read_to_string(&p).unwrap();
         assert!(content.starts_with("round,live,selected"));
-        assert!(content.contains("1,9,8,5,2,1,0,0,50.0000,640,320"));
+        assert!(content.contains("1,9,8,5,2,1,0,0,50.0000,640,320,48"));
 
         // The sweep table and CSV carry the bytes-vs-accuracy tradeoff.
         let sweep = render_codec_sweep("smoke", std::slice::from_ref(&result));
@@ -447,7 +468,7 @@ mod tests {
         write_codec_sweep_csv(&sp, std::slice::from_ref(&result)).unwrap();
         let sweep_csv = std::fs::read_to_string(&sp).unwrap();
         assert!(sweep_csv.starts_with("codec,up_bytes"));
-        assert!(sweep_csv.contains("quant8(block=256),100,60,200"));
+        assert!(sweep_csv.contains("quant8(block=256),100,60,200,48"));
     }
 
     #[test]

@@ -1,27 +1,38 @@
-//! Drives one strategy through a scenario's windows, recording everything
-//! the tables and figures need.
+//! The one scenario driver: runs any [`FederatedAlgorithm`] — ShiftEx and
+//! every baseline — through a dataset scenario's windows under the full
+//! federation runtime (churn, stragglers, staleness-aware async rounds,
+//! codec-metered communication), recording everything the tables, figures
+//! and comm reports need.
+//!
+//! There is no per-algorithm driver and no dispatch enum: the paper's
+//! head-to-head comparison is only honest if every technique pays for the
+//! same scenario axes and the same bytes, so every run goes through
+//! [`run_federation_scenario`]. The paper's clean synchronous protocol is
+//! the degenerate case ([`ScenarioSpec::sync`] with no axes).
+
+use std::collections::HashSet;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use shiftex_baselines::OortSelector;
-use shiftex_core::ContinualStrategy;
 use shiftex_fl::{
-    CodecSpec, CommLedger, CommTotals, ParticipantSelector, ParticipationStats, RoundParticipation,
-    ScenarioEngine, ScenarioSpec, UniformSelector,
+    run_algorithm_round, CodecSpec, CommLedger, CommTotals, FederatedAlgorithm,
+    ParticipantSelector, ParticipationStats, Party, RoundParticipation, ScenarioEngine,
+    ScenarioSpec, UniformSelector,
 };
 
+use crate::algorithms::build_algorithm;
 use crate::metrics::{window_metrics, WindowMetrics};
 use crate::scenario::Scenario;
-use crate::strategies::{make_strategy_with, StrategyKind};
 
-/// Everything recorded from one strategy × scenario × seed run.
+/// Everything recorded from one algorithm × scenario × federation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct RunResult {
-    /// Strategy name.
+pub struct FedRunResult {
+    /// Algorithm name.
     pub strategy: String,
-    /// Accuracy after every round, across all windows in order (the
-    /// convergence curves of Figures 3–4).
+    /// Live-member accuracy after every round, across all windows in order
+    /// (the convergence curves of Figures 3–4).
     pub accuracy_series: Vec<f32>,
     /// Accuracy measured immediately after each window's shift, before any
     /// training round (index 0 ↔ W1).
@@ -33,103 +44,18 @@ pub struct RunResult {
     pub expert_distribution: Vec<Vec<usize>>,
     /// Number of models at the end of the run.
     pub final_models: usize,
-}
-
-/// Runs `kind` over `scenario` with `runs` different seeds, returning one
-/// [`RunResult`] per seed.
-pub fn run_scenario(
-    kind: StrategyKind,
-    scenario: &Scenario,
-    runs: usize,
-    shiftex_cfg: &shiftex_core::ShiftExConfig,
-) -> Vec<RunResult> {
-    (0..runs)
-        .map(|r| {
-            run_once(
-                kind,
-                scenario,
-                scenario.seed ^ (0x9e37 + r as u64),
-                shiftex_cfg,
-            )
-        })
-        .collect()
-}
-
-/// One run of one strategy over one scenario.
-pub fn run_once(
-    kind: StrategyKind,
-    scenario: &Scenario,
-    seed: u64,
-    shiftex_cfg: &shiftex_core::ShiftExConfig,
-) -> RunResult {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut strategy = make_strategy_with(kind, scenario, shiftex_cfg, &mut rng);
-    let mut parties = scenario.initial_parties(&mut rng);
-
-    let mut accuracy_series = Vec::new();
-    let mut post_shift_accuracy = Vec::new();
-    let mut windows = Vec::new();
-    let mut expert_distribution = Vec::new();
-
-    // --- W0: bootstrap / burn-in. The paper uses W0 purely for
-    // initialisation, so it gets a larger round budget — adaptation is only
-    // measured from W1 on.
-    strategy.begin_window(0, &parties, &mut rng);
-    for _ in 0..scenario.bootstrap_rounds() {
-        strategy.train_round(&parties, &mut rng);
-        accuracy_series.push(strategy.evaluate(&parties));
-    }
-    expert_distribution.push(distribution(strategy.as_ref(), &parties));
-    let mut pre_shift_acc = *accuracy_series.last().expect("at least one round");
-
-    // --- W1..Wn: shifted windows.
-    for w in 1..=scenario.eval_windows() {
-        scenario.advance(&mut parties, w, &mut rng);
-        strategy.begin_window(w, &parties, &mut rng);
-        let post_shift = strategy.evaluate(&parties);
-        post_shift_accuracy.push(post_shift);
-        let mut per_round = Vec::with_capacity(scenario.rounds_per_window);
-        for _ in 0..scenario.rounds_per_window {
-            strategy.train_round(&parties, &mut rng);
-            per_round.push(strategy.evaluate(&parties));
-        }
-        windows.push(window_metrics(pre_shift_acc, post_shift, &per_round));
-        accuracy_series.extend_from_slice(&per_round);
-        expert_distribution.push(distribution(strategy.as_ref(), &parties));
-        pre_shift_acc = *per_round.last().expect("at least one round");
-    }
-
-    RunResult {
-        strategy: strategy.name().to_string(),
-        accuracy_series,
-        post_shift_accuracy,
-        windows,
-        expert_distribution,
-        final_models: strategy.num_models(),
-    }
-}
-
-/// Everything recorded from one federation-scenario run (churn, stragglers,
-/// async rounds overlaid on a dataset scenario).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct FedRunResult {
-    /// Strategy name (`ShiftEx` or `FedAvg`).
-    pub strategy: String,
-    /// Live-member accuracy after every round, across all windows in order.
-    pub accuracy_series: Vec<f32>,
     /// Per-round participation records (round, live pool, fate deltas,
-    /// encoded bytes up/down).
+    /// encoded bytes up/down/first-contact).
     pub participation: Vec<RoundParticipation>,
     /// Cumulative participation counters.
     pub totals: ParticipationStats,
-    /// Communication totals, including aborted/late uploads.
+    /// Communication totals, including aborted uploads and first-contact
+    /// downlinks.
     pub comm: CommTotals,
     /// Wire codec the run was metered under.
     pub codec: CodecSpec,
     /// Flattened model parameter count (sizes the compression ratio).
     pub param_count: usize,
-    /// Number of models at the end of the run.
-    pub final_models: usize,
 }
 
 impl FedRunResult {
@@ -139,30 +65,10 @@ impl FedRunResult {
     }
 }
 
-/// Which runtime path a federation-scenario run exercises.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum FedStrategy {
-    /// ShiftEx with per-expert staleness buffers
-    /// ([`shiftex_core::ShiftEx::train_round_scenario`]).
-    ShiftEx,
-    /// A single global model through
-    /// [`shiftex_fl::FederatedJob::run_rounds_scenario`].
-    FedAvg,
-}
-
-impl FedStrategy {
-    /// Parses a CLI name.
-    pub fn parse(s: &str) -> Option<FedStrategy> {
-        match s.to_ascii_lowercase().as_str() {
-            "shiftex" => Some(FedStrategy::ShiftEx),
-            "fedavg" => Some(FedStrategy::FedAvg),
-            _ => None,
-        }
-    }
-}
-
-/// Cohort-selection policy of the single-model (`FedAvg`) scenario path.
-/// ShiftEx keeps its internal per-expert FLIPS selection either way.
+/// Cohort-selection policy handed to the generic driver. Algorithms with
+/// their own internal policy (ShiftEx's per-expert FLIPS, Fielding/FLIPS
+/// label clusters) ignore it; the single-model algorithms (FedAvg, FedProx)
+/// and FedDrift's per-model cohorts consume it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FedSelector {
     /// Uniform sampling without replacement.
@@ -201,7 +107,7 @@ pub struct FedRunOptions {
     pub rounds_per_window: usize,
     /// Wire codec for every broadcast and upload.
     pub codec: CodecSpec,
-    /// Cohort selection policy (FedAvg path only).
+    /// Cohort selection policy (for algorithms that consume it).
     pub selector: FedSelector,
 }
 
@@ -230,22 +136,55 @@ impl FedRunOptions {
     }
 }
 
-/// Drives `strategy` through `opts.windows` windows of `scenario` under the
-/// federation axes in `fed`: `opts.bootstrap_rounds` burn-in rounds on W0,
-/// then `opts.rounds_per_window` rounds per shifted window, every round
+/// Runs the named algorithm over `scenario` with `runs` different seeds
+/// under the paper's clean synchronous protocol (no federation axes, dense
+/// framing, full window/round budget), returning one [`FedRunResult`] per
+/// seed — the table/figure entry point.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of
+/// [`ALGORITHM_NAMES`](crate::algorithms::ALGORITHM_NAMES).
+pub fn run_scenario(
+    name: &str,
+    scenario: &Scenario,
+    runs: usize,
+    shiftex_cfg: &shiftex_core::ShiftExConfig,
+) -> Vec<FedRunResult> {
+    let opts = FedRunOptions::new(
+        scenario.eval_windows(),
+        scenario.bootstrap_rounds(),
+        scenario.rounds_per_window,
+    );
+    (0..runs)
+        .map(|r| {
+            let mut algorithm = build_algorithm(name, scenario, shiftex_cfg)
+                .unwrap_or_else(|| panic!("unknown algorithm {name:?}"));
+            let fed = ScenarioSpec::sync(scenario.seed ^ (0x9e37 + r as u64));
+            run_federation_scenario(algorithm.as_mut(), scenario, &fed, &opts)
+        })
+        .collect()
+}
+
+/// Drives `algorithm` through `opts.windows` windows of `scenario` under
+/// the federation axes in `fed`: `opts.bootstrap_rounds` burn-in rounds on
+/// W0, then `opts.rounds_per_window` rounds per shifted window, every round
 /// mediated by a [`ScenarioEngine`] (membership churn, mid-round dropout,
 /// stragglers, staleness-aware aggregation) and every exchange encoded and
-/// metered under `opts.codec`.
+/// metered under `opts.codec` — first-contact full-state downlinks and
+/// error-feedback accumulation included.
+///
+/// This is the **only** scenario driver: every algorithm, baseline or not,
+/// runs through it, so results are comparable by construction.
 ///
 /// # Panics
 ///
 /// Panics if `opts.windows` exceeds the scenario's evaluation windows.
-pub fn run_federation_scenario(
-    strategy: FedStrategy,
+pub fn run_federation_scenario<A: FederatedAlgorithm + ?Sized>(
+    algorithm: &mut A,
     scenario: &Scenario,
     fed: &ScenarioSpec,
     opts: &FedRunOptions,
-    shiftex_cfg: &shiftex_core::ShiftExConfig,
 ) -> FedRunResult {
     assert!(
         opts.windows <= scenario.eval_windows(),
@@ -254,183 +193,152 @@ pub fn run_federation_scenario(
     );
     let mut rng = StdRng::seed_from_u64(fed.seed ^ scenario.seed.rotate_left(17));
     let mut parties = scenario.initial_parties(&mut rng);
-    let ids: Vec<shiftex_fl::PartyId> = parties.iter().map(|p| p.id()).collect();
+    let ids: Vec<shiftex_fl::PartyId> = parties.iter().map(Party::id).collect();
     let mut engine = ScenarioEngine::new(fed.clone(), &ids);
-
-    match strategy {
-        FedStrategy::ShiftEx => run_fed_shiftex(
-            scenario,
-            &mut engine,
-            &mut parties,
-            opts,
-            shiftex_cfg,
-            &mut rng,
-        ),
-        FedStrategy::FedAvg => run_fed_fedavg(scenario, &mut engine, parties, opts, &mut rng),
-    }
-}
-
-fn run_fed_shiftex(
-    scenario: &Scenario,
-    engine: &mut ScenarioEngine,
-    parties: &mut [shiftex_fl::Party],
-    opts: &FedRunOptions,
-    shiftex_cfg: &shiftex_core::ShiftExConfig,
-    rng: &mut StdRng,
-) -> FedRunResult {
-    let ids: Vec<shiftex_fl::PartyId> = parties.iter().map(|p| p.id()).collect();
-    let cfg = shiftex_core::ShiftExConfig {
-        participants_per_round: scenario.participants_per_round(),
-        codec: opts.codec,
-        ..shiftex_cfg.clone()
-    };
-    let mut shiftex = shiftex_core::ShiftEx::new(cfg, scenario.spec.clone(), rng);
     let ledger = CommLedger::new();
+    let mut selector = opts.selector.build();
+    algorithm.init(&parties, &mut rng);
+    let param_count = algorithm
+        .streams()
+        .first()
+        .map_or(0, |&key| algorithm.broadcast_state(key).len());
+
     let mut accuracy_series = Vec::new();
+    let mut post_shift_accuracy = Vec::new();
+    let mut windows = Vec::new();
+    let mut expert_distribution = Vec::new();
     let mut participation = Vec::new();
 
-    let round_block = |shiftex: &mut shiftex_core::ShiftEx,
-                       engine: &mut ScenarioEngine,
-                       parties: &[shiftex_fl::Party],
-                       rounds: usize,
-                       accuracy_series: &mut Vec<f32>,
-                       participation: &mut Vec<RoundParticipation>,
-                       rng: &mut StdRng| {
-        for _ in 0..rounds {
-            let before = engine.stats();
-            let comm_before = ledger.totals();
-            shiftex.train_round_scenario(parties, engine, Some(&ledger), rng);
-            let live = engine.live_members(&ids);
-            let live_set: std::collections::HashSet<_> = live.iter().copied().collect();
-            let live_refs: Vec<&shiftex_fl::Party> = parties
-                .iter()
-                .filter(|p| live_set.contains(&p.id()))
-                .collect();
-            let accuracy = shiftex.evaluate_refs(&live_refs);
-            accuracy_series.push(accuracy);
-            let comm = ledger.totals();
-            participation.push(RoundParticipation {
-                round: engine.round(),
-                live: live_refs.len(),
-                delta: engine.stats().minus(&before),
-                accuracy,
-                up_bytes: (comm.up_bytes + comm.aborted_up_bytes)
-                    - (comm_before.up_bytes + comm_before.aborted_up_bytes),
-                down_bytes: comm.down_bytes - comm_before.down_bytes,
-            });
-        }
-    };
-
-    shiftex.bootstrap(parties, 0, rng);
-    round_block(
-        &mut shiftex,
-        engine,
-        parties,
+    // --- W0: burn-in rounds under the full scenario runtime.
+    let per_round = run_round_block(
+        algorithm,
+        &parties,
         opts.bootstrap_rounds,
+        &mut engine,
+        &opts.codec,
+        selector.as_mut(),
+        &ledger,
+        &mut rng,
         &mut accuracy_series,
         &mut participation,
-        rng,
     );
+    expert_distribution.push(distribution(algorithm, &parties));
+    let mut pre_shift = per_round.last().copied().unwrap_or_else(|| {
+        let members = live_view(&engine, &ids, &parties);
+        algorithm.eval(&members)
+    });
+
+    // --- W1..Wn: shifted windows.
     for w in 1..=opts.windows {
-        scenario.advance(parties, w, rng);
+        scenario.advance(&mut parties, w, &mut rng);
         // Only enrolled members publish shift statistics for this window.
-        let members: std::collections::HashSet<_> = engine.live_members(&ids).into_iter().collect();
-        let member_parties: Vec<shiftex_fl::Party> = parties
-            .iter()
-            .filter(|p| members.contains(&p.id()))
-            .cloned()
-            .collect();
-        if !member_parties.is_empty() {
-            shiftex.process_window(&member_parties, rng);
-        }
-        round_block(
-            &mut shiftex,
-            engine,
-            parties,
+        let members = live_view(&engine, &ids, &parties);
+        algorithm.begin_window(w, &members, &mut rng);
+        let post_shift = algorithm.eval(&members);
+        post_shift_accuracy.push(post_shift);
+        let per_round = run_round_block(
+            algorithm,
+            &parties,
             opts.rounds_per_window,
+            &mut engine,
+            &opts.codec,
+            selector.as_mut(),
+            &ledger,
+            &mut rng,
             &mut accuracy_series,
             &mut participation,
-            rng,
         );
+        windows.push(window_metrics(pre_shift, post_shift, &per_round));
+        expert_distribution.push(distribution(algorithm, &parties));
+        pre_shift = per_round.last().copied().unwrap_or(post_shift);
     }
 
-    // Sizing only — a throwaway RNG keeps the run's stream untouched.
-    let param_count = shiftex_nn::Sequential::build(&scenario.spec, &mut StdRng::seed_from_u64(0))
-        .params_flat()
-        .len();
     FedRunResult {
-        strategy: "ShiftEx".into(),
+        strategy: algorithm.name().to_string(),
         accuracy_series,
+        post_shift_accuracy,
+        windows,
+        expert_distribution,
+        final_models: algorithm.num_models(),
         participation,
         totals: engine.stats(),
         comm: ledger.totals(),
         codec: opts.codec,
         param_count,
-        final_models: shiftex.num_experts(),
     }
 }
 
-fn run_fed_fedavg(
-    scenario: &Scenario,
+/// Runs `rounds` scenario-mediated rounds, recording accuracy and
+/// per-round participation rows; returns this block's accuracy trace.
+#[allow(clippy::too_many_arguments)] // one driver call site, two phases
+fn run_round_block<A: FederatedAlgorithm + ?Sized>(
+    algorithm: &mut A,
+    parties: &[Party],
+    rounds: usize,
     engine: &mut ScenarioEngine,
-    parties: Vec<shiftex_fl::Party>,
-    opts: &FedRunOptions,
+    codec: &CodecSpec,
+    selector: &mut dyn ParticipantSelector,
+    ledger: &CommLedger,
     rng: &mut StdRng,
-) -> FedRunResult {
-    use shiftex_fl::{FederatedJob, RoundConfig};
-    let round_cfg = RoundConfig {
-        participants_per_round: scenario.participants_per_round(),
-        codec: opts.codec,
-        ..RoundConfig::default()
-    };
-    let mut job = FederatedJob::new(scenario.spec.clone(), parties, round_cfg);
-    let mut params = shiftex_nn::Sequential::build(&scenario.spec, rng).params_flat();
-    let param_count = params.len();
-    let mut accuracy_series = Vec::new();
-    let mut participation = Vec::new();
-
-    let mut selector = opts.selector.build();
-    let report = job.run_rounds_scenario(
-        params,
-        opts.bootstrap_rounds,
-        selector.as_mut(),
-        engine,
-        rng,
-    );
-    accuracy_series.extend_from_slice(&report.accuracy_per_round);
-    participation.extend_from_slice(&report.participation);
-    params = report.params;
-    for w in 1..=opts.windows {
-        scenario.advance(job.parties_mut(), w, rng);
-        let report = job.run_rounds_scenario(
-            params,
-            opts.rounds_per_window,
-            selector.as_mut(),
+    accuracy_series: &mut Vec<f32>,
+    participation: &mut Vec<RoundParticipation>,
+) -> Vec<f32> {
+    let mut per_round = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let before = engine.stats();
+        let comm_before = ledger.totals();
+        let outcome = run_algorithm_round(
+            algorithm,
+            parties,
             engine,
+            codec,
+            selector,
+            Some(ledger),
             rng,
         );
-        accuracy_series.extend_from_slice(&report.accuracy_per_round);
-        participation.extend_from_slice(&report.participation);
-        params = report.params;
+        let live_set: HashSet<shiftex_fl::PartyId> = outcome.live.iter().copied().collect();
+        let live_refs: Vec<&Party> = parties
+            .iter()
+            .filter(|p| live_set.contains(&p.id()))
+            .collect();
+        let accuracy = algorithm.eval(&live_refs);
+        per_round.push(accuracy);
+        accuracy_series.push(accuracy);
+        let comm = ledger.totals();
+        participation.push(RoundParticipation {
+            round: outcome.round,
+            live: live_refs.len(),
+            delta: engine.stats().minus(&before),
+            accuracy,
+            up_bytes: (comm.up_bytes + comm.aborted_up_bytes)
+                - (comm_before.up_bytes + comm_before.aborted_up_bytes),
+            down_bytes: comm.down_bytes - comm_before.down_bytes,
+            first_contact_down_bytes: comm.first_contact_down_bytes
+                - comm_before.first_contact_down_bytes,
+        });
     }
+    per_round
+}
 
-    FedRunResult {
-        strategy: "FedAvg".into(),
-        accuracy_series,
-        participation,
-        totals: engine.stats(),
-        comm: job.ledger().totals(),
-        codec: opts.codec,
-        param_count,
-        final_models: 1,
-    }
+/// The enrolled-member view of the population at the engine's current
+/// round.
+fn live_view<'a>(
+    engine: &ScenarioEngine,
+    ids: &[shiftex_fl::PartyId],
+    parties: &'a [Party],
+) -> Vec<&'a Party> {
+    let members: HashSet<shiftex_fl::PartyId> = engine.live_members(ids).into_iter().collect();
+    parties
+        .iter()
+        .filter(|p| members.contains(&p.id()))
+        .collect()
 }
 
 /// Parties per model index, padded densely.
-fn distribution(strategy: &dyn ContinualStrategy, parties: &[shiftex_fl::Party]) -> Vec<usize> {
-    let mut counts = vec![0usize; strategy.num_models().max(1)];
+fn distribution<A: FederatedAlgorithm + ?Sized>(algorithm: &A, parties: &[Party]) -> Vec<usize> {
+    let mut counts = vec![0usize; algorithm.num_models().max(1)];
     for p in parties {
-        let idx = strategy.model_index(p.id());
+        let idx = algorithm.model_index(p.id());
         if idx >= counts.len() {
             counts.resize(idx + 1, 0);
         }
@@ -442,20 +350,32 @@ fn distribution(strategy: &dyn ContinualStrategy, parties: &[shiftex_fl::Party])
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::algorithms::ALGORITHM_NAMES;
     use shiftex_core::ShiftExConfig;
     use shiftex_data::{DatasetKind, SimScale};
+
+    fn run_named(
+        name: &str,
+        scenario: &Scenario,
+        fed: &ScenarioSpec,
+        opts: &FedRunOptions,
+    ) -> FedRunResult {
+        let mut alg =
+            build_algorithm(name, scenario, &ShiftExConfig::default()).expect("known algorithm");
+        run_federation_scenario(alg.as_mut(), scenario, fed, opts)
+    }
 
     /// End-to-end smoke: ShiftEx stays competitive with FedProx on a
     /// miniature CIFAR-10-C scenario *and* actually exercises its expert
     /// machinery. The decisive accuracy/adaptation gaps the paper reports
-    /// appear at `Small`/`Paper` scale (see EXPERIMENTS.md); smoke scale (8
-    /// parties) only checks non-inferiority end to end.
+    /// appear at `Small`/`Paper` scale; smoke scale (8 parties) only checks
+    /// non-inferiority end to end.
     #[test]
     fn shiftex_is_competitive_and_spawns_experts_on_cifar() {
         let scenario = Scenario::build(DatasetKind::Cifar10C, SimScale::Smoke, 11);
         let cfg = ShiftExConfig::default();
-        let shiftex = run_once(StrategyKind::ShiftEx, &scenario, 1, &cfg);
-        let fedprox = run_once(StrategyKind::FedProx, &scenario, 1, &cfg);
+        let shiftex = &run_scenario("shiftex", &scenario, 1, &cfg)[0];
+        let fedprox = &run_scenario("fedprox", &scenario, 1, &cfg)[0];
         let sx_mean: f32 = shiftex.windows.iter().map(|w| w.max_acc_pct).sum::<f32>()
             / shiftex.windows.len() as f32;
         let fp_mean: f32 = fedprox.windows.iter().map(|w| w.max_acc_pct).sum::<f32>()
@@ -476,15 +396,11 @@ mod tests {
     #[test]
     fn run_records_all_series() {
         let scenario = Scenario::build(DatasetKind::FashionMnist, SimScale::Smoke, 3);
-        let result = run_once(
-            StrategyKind::Fielding,
-            &scenario,
-            5,
-            &ShiftExConfig::default(),
-        );
+        let result = &run_scenario("fielding", &scenario, 1, &ShiftExConfig::default())[0];
         let expected_rounds =
             scenario.bootstrap_rounds() + scenario.rounds_per_window * scenario.eval_windows();
         assert_eq!(result.accuracy_series.len(), expected_rounds);
+        assert_eq!(result.participation.len(), expected_rounds);
         assert_eq!(result.windows.len(), scenario.eval_windows());
         assert_eq!(
             result.expert_distribution.len(),
@@ -498,8 +414,8 @@ mod tests {
     }
 
     #[test]
-    fn federation_scenario_runs_both_strategies_under_all_axes() {
-        use shiftex_fl::{AsyncSpec, ChurnSpec, LatePolicy, ScenarioSpec, StragglerSpec};
+    fn federation_scenario_runs_every_algorithm_under_all_axes() {
+        use shiftex_fl::{AsyncSpec, ChurnSpec, LatePolicy, StragglerSpec};
         let scenario = Scenario::build_with_population(
             DatasetKind::FashionMnist,
             SimScale::Smoke,
@@ -507,7 +423,7 @@ mod tests {
             Some(12),
             Some(16),
         );
-        let rounds = 3usize;
+        let rounds = 2usize;
         let horizon = 2 + rounds; // bootstrap rounds + one window
         let fed = ScenarioSpec::sync(5)
             .with_churn(ChurnSpec {
@@ -525,45 +441,41 @@ mod tests {
                 max_staleness: 3,
                 server_lr: 1.0,
             });
-        for strategy in [FedStrategy::ShiftEx, FedStrategy::FedAvg] {
-            let result = run_federation_scenario(
-                strategy,
-                &scenario,
-                &fed,
-                &FedRunOptions::new(1, 2, rounds),
-                &ShiftExConfig::default(),
-            );
-            assert_eq!(result.accuracy_series.len(), 2 + rounds);
-            assert_eq!(result.participation.len(), 2 + rounds);
-            assert!(
-                result.totals.selected > 0,
-                "{strategy:?}: {:?}",
-                result.totals
-            );
+        let opts = FedRunOptions::new(1, 2, rounds)
+            .with_codec(CodecSpec::quant8(256))
+            .with_selector(FedSelector::Oort);
+        for name in ALGORITHM_NAMES {
+            let result = run_named(name, &scenario, &fed, &opts);
+            assert_eq!(result.accuracy_series.len(), 2 + rounds, "{name}");
+            assert_eq!(result.participation.len(), 2 + rounds, "{name}");
+            assert!(result.totals.selected > 0, "{name}: {:?}", result.totals);
             assert_eq!(
                 result.comm.aborted_messages,
                 result.totals.dropped_churn + result.totals.dropped_late,
-                "{strategy:?} meters every aborted upload"
+                "{name} meters every aborted upload"
+            );
+            assert!(
+                result.comm.first_contact_messages > 0,
+                "{name}: round-1 cohorts are first contacts"
             );
         }
     }
 
     #[test]
     fn federation_scenario_is_deterministic() {
-        use shiftex_fl::{ChurnSpec, ScenarioSpec};
+        use shiftex_fl::ChurnSpec;
         let scenario =
             Scenario::build_with_population(DatasetKind::Femnist, SimScale::Smoke, 17, None, None);
         let fed = ScenarioSpec::sync(9).with_churn(ChurnSpec::dropout_only(0.2));
-        let cfg = ShiftExConfig::default();
         let opts = FedRunOptions::new(1, 2, 2);
-        let a = run_federation_scenario(FedStrategy::FedAvg, &scenario, &fed, &opts, &cfg);
-        let b = run_federation_scenario(FedStrategy::FedAvg, &scenario, &fed, &opts, &cfg);
+        let a = run_named("fedavg", &scenario, &fed, &opts);
+        let b = run_named("fedavg", &scenario, &fed, &opts);
         assert_eq!(a, b);
     }
 
     #[test]
     fn quantized_federation_run_cuts_bytes_and_holds_accuracy() {
-        use shiftex_fl::{ChurnSpec, ScenarioSpec};
+        use shiftex_fl::ChurnSpec;
         let scenario = Scenario::build_with_population(
             DatasetKind::FashionMnist,
             SimScale::Smoke,
@@ -572,20 +484,12 @@ mod tests {
             Some(16),
         );
         let fed = ScenarioSpec::sync(6).with_churn(ChurnSpec::dropout_only(0.1));
-        let cfg = ShiftExConfig::default();
-        let dense = run_federation_scenario(
-            FedStrategy::FedAvg,
-            &scenario,
-            &fed,
-            &FedRunOptions::new(1, 3, 3),
-            &cfg,
-        );
-        let quant = run_federation_scenario(
-            FedStrategy::FedAvg,
+        let dense = run_named("fedavg", &scenario, &fed, &FedRunOptions::new(1, 3, 3));
+        let quant = run_named(
+            "fedavg",
             &scenario,
             &fed,
             &FedRunOptions::new(1, 3, 3).with_codec(CodecSpec::quant8(256)),
-            &cfg,
         );
         let dense_up = dense.comm.up_bytes + dense.comm.aborted_up_bytes;
         let quant_up = quant.comm.up_bytes + quant.comm.aborted_up_bytes;
@@ -595,8 +499,15 @@ mod tests {
         // Per-round byte columns reconcile with the ledger totals.
         let row_up: u64 = quant.participation.iter().map(|r| r.up_bytes).sum();
         let row_down: u64 = quant.participation.iter().map(|r| r.down_bytes).sum();
+        let row_fc: u64 = quant
+            .participation
+            .iter()
+            .map(|r| r.first_contact_down_bytes)
+            .sum();
         assert_eq!(row_up, quant_up);
         assert_eq!(row_down, quant.comm.down_bytes);
+        assert_eq!(row_fc, quant.comm.first_contact_down_bytes);
+        assert!(row_fc > 0, "round-1 cohort must be first contacts");
         let da = dense.accuracy_series.last().copied().unwrap();
         let qa = quant.accuracy_series.last().copied().unwrap();
         assert!(
@@ -606,37 +517,31 @@ mod tests {
     }
 
     #[test]
-    fn oort_selector_runs_the_fedavg_scenario_path() {
-        use shiftex_fl::{ChurnSpec, ScenarioSpec};
+    fn oort_selector_runs_every_consuming_algorithm() {
+        use shiftex_fl::ChurnSpec;
         let scenario =
             Scenario::build_with_population(DatasetKind::Femnist, SimScale::Smoke, 23, None, None);
         let fed = ScenarioSpec::sync(11).with_churn(ChurnSpec::dropout_only(0.3));
         let opts = FedRunOptions::new(1, 2, 2).with_selector(FedSelector::Oort);
-        let result = run_federation_scenario(
-            FedStrategy::FedAvg,
-            &scenario,
-            &fed,
-            &opts,
-            &ShiftExConfig::default(),
-        );
-        assert!(result.totals.selected > 0);
-        // Deterministic under the same options.
-        let again = run_federation_scenario(
-            FedStrategy::FedAvg,
-            &scenario,
-            &fed,
-            &opts,
-            &ShiftExConfig::default(),
-        );
-        assert_eq!(result, again);
+        for name in ["fedavg", "fedprox", "feddrift"] {
+            let result = run_named(name, &scenario, &fed, &opts);
+            assert!(result.totals.selected > 0, "{name}");
+            // Deterministic under the same options.
+            let again = run_named(name, &scenario, &fed, &opts);
+            assert_eq!(result, again, "{name}");
+        }
     }
 
     #[test]
     fn runs_are_seed_deterministic() {
         let scenario = Scenario::build(DatasetKind::Femnist, SimScale::Smoke, 5);
         let cfg = ShiftExConfig::default();
-        let a = run_once(StrategyKind::Oort, &scenario, 7, &cfg);
-        let b = run_once(StrategyKind::Oort, &scenario, 7, &cfg);
+        let a = run_scenario("flips", &scenario, 2, &cfg);
+        let b = run_scenario("flips", &scenario, 2, &cfg);
         assert_eq!(a, b);
+        assert_ne!(
+            a[0], a[1],
+            "different per-run seeds must give different runs"
+        );
     }
 }

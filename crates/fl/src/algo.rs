@@ -1,0 +1,435 @@
+//! The unified algorithm API: every federated algorithm — ShiftEx and all
+//! baselines — implements [`FederatedAlgorithm`], and one generic driver
+//! ([`run_algorithm_round`]) threads the scenario engine (churn, stragglers,
+//! staleness-aware async aggregation), the wire codec, the participant
+//! selector, and the communication ledger through each of them identically.
+//!
+//! The paper's claim is comparative, so the runtime must be too: an
+//! algorithm that only runs on a bespoke driver cannot be measured under
+//! the same churn schedule, deadline pressure, and quantised uplinks as its
+//! competitors. The trait factors a round into the five things algorithms
+//! actually differ in:
+//!
+//! 1. **state** — how many models are maintained ([`streams`] — one per
+//!    global model / expert) and what each broadcasts
+//!    ([`broadcast_state`]);
+//! 2. **cohorting** — which live parties train each stream this round
+//!    ([`cohort`]); single-model algorithms delegate to the pluggable
+//!    [`ParticipantSelector`] (uniform / OORT), mixture and cluster
+//!    algorithms bring their own policy;
+//! 3. **local work** — the party-side step ([`local_step`], defaulting to
+//!    SGD via [`local_update`](crate::local_update) under the algorithm's
+//!    [`train_config`]);
+//! 4. **folding** — how decoded, staleness-weighted updates enter the
+//!    model ([`fold`]);
+//! 5. **window reaction** — what happens at a shift boundary
+//!    ([`begin_window`]: detection, re-clustering, expert management).
+//!
+//! Everything else — selection gating by churn, mid-round dropout fates,
+//! deadline scoring, buffering, staleness discounts, codec encode/decode,
+//! first-contact full-state frames, error feedback, byte metering — is the
+//! driver's job and therefore *identical across algorithms by
+//! construction*.
+//!
+//! [`streams`]: FederatedAlgorithm::streams
+//! [`broadcast_state`]: FederatedAlgorithm::broadcast_state
+//! [`cohort`]: FederatedAlgorithm::cohort
+//! [`local_step`]: FederatedAlgorithm::local_step
+//! [`train_config`]: FederatedAlgorithm::train_config
+//! [`fold`]: FederatedAlgorithm::fold
+//! [`begin_window`]: FederatedAlgorithm::begin_window
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use shiftex_nn::{ArchSpec, TrainConfig};
+
+use crate::codec::CodecSpec;
+use crate::comm::CommLedger;
+use crate::party::{Party, PartyId};
+use crate::round::local_update;
+use crate::scenario::{RoundMode, ScenarioEngine, WeightedUpdate};
+use crate::selection::ParticipantSelector;
+use crate::update::ModelUpdate;
+
+/// One federated algorithm's lifecycle under the scenario runtime.
+///
+/// Implementations must be deterministic given the driver's RNG: every
+/// stochastic choice draws from the `rng` handed in, in a call order that
+/// does not depend on anything but the inputs. The driver guarantees the
+/// same in return, which is what makes whole scenario runs rerun-identical.
+pub trait FederatedAlgorithm {
+    /// Algorithm name as it appears in tables and reports.
+    fn name(&self) -> &str;
+
+    /// The model architecture every stream trains.
+    fn arch(&self) -> &ArchSpec;
+
+    /// One-time W0 setup: build the initial model state from this run's RNG
+    /// stream and enrol `parties`. Called exactly once, before any round.
+    fn init(&mut self, parties: &[Party], rng: &mut StdRng);
+
+    /// Window-boundary hook: the enrolled members' data has just advanced
+    /// to `window` (≥ 1). Shift detection, re-clustering, expert management
+    /// — whatever the algorithm does between windows.
+    fn begin_window(&mut self, window: usize, members: &[&Party], rng: &mut StdRng);
+
+    /// Keys of the update streams (one per concurrently trained model) in
+    /// training order. Single-model algorithms return `vec![0]`; mixture
+    /// algorithms one stable key per expert. Keys index the engine's
+    /// staleness buffers and broadcast references, so they must not be
+    /// reused across distinct models within a run.
+    fn streams(&self) -> Vec<usize>;
+
+    /// Current global parameters of stream `key` (what a round broadcasts).
+    fn broadcast_state(&self, key: usize) -> Vec<f32>;
+
+    /// Local-training hyper-parameters for stream `key`.
+    fn train_config(&self, key: usize) -> TrainConfig;
+
+    /// This round's cohort for stream `key`, drawn from the live (enrolled,
+    /// pre-dropout) view. The returned order is the training and
+    /// aggregation order. Algorithms without their own policy should
+    /// delegate to `selector`; those with one (FLIPS clusters, per-expert
+    /// selection) may ignore it.
+    fn cohort(
+        &mut self,
+        key: usize,
+        live: &[&Party],
+        selector: &mut dyn ParticipantSelector,
+        rng: &mut StdRng,
+    ) -> Vec<PartyId>;
+
+    /// One party's local step from the decoded broadcast, under an
+    /// independent RNG stream derived from `seed`.
+    fn local_step(&self, key: usize, party: &Party, decoded: &[f32], seed: u64) -> ModelUpdate {
+        local_update(self.arch(), decoded, party, &self.train_config(key), seed)
+    }
+
+    /// Folds the decoded, staleness-weighted updates the engine released
+    /// into stream `key`. An empty `ready` set must leave the stream's
+    /// parameters untouched (churn can empty any round).
+    fn fold(&mut self, key: usize, ready: &[WeightedUpdate], server_lr: f32);
+
+    /// Post-round hook after every stream folded (e.g. personalised local
+    /// steps for fine-tuned parties). Default: nothing.
+    fn end_round(&mut self, _live: &[&Party], _rng: &mut StdRng) {}
+
+    /// Sample-weighted population accuracy over `parties`, each evaluated
+    /// under the model this algorithm currently assigns to it.
+    fn eval(&self, parties: &[&Party]) -> f32;
+
+    /// Dense model index currently assigned to `party` (for the
+    /// expert-distribution figures); single-model algorithms return 0.
+    fn model_index(&self, party: PartyId) -> usize;
+
+    /// Number of distinct models currently maintained.
+    fn num_models(&self) -> usize;
+}
+
+/// What one scenario-mediated round did, across all of an algorithm's
+/// streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlgoRoundOutcome {
+    /// 1-based round index (the engine's clock after this round began).
+    pub round: usize,
+    /// Enrolled members this round (after join/leave churn).
+    pub live: Vec<PartyId>,
+    /// Updates folded into an aggregation, summed over streams.
+    pub folded: usize,
+    /// Parties whose uploads were aborted this round (mid-round dropout or
+    /// late-drop), across streams.
+    pub lost: Vec<PartyId>,
+    /// Updates deferred into staleness buffers this round, across streams.
+    pub deferred: usize,
+}
+
+/// Runs one scenario-mediated round of `algorithm`: advances the engine's
+/// round clock, gates the pool by churn, and — per stream — selects a
+/// cohort, broadcasts the encoded globals (first-contact recipients get
+/// metered full-state frames), fans out local steps, ships every upload
+/// through `codec` (with error feedback when configured), lets the engine
+/// apply dropout/straggler/staleness fates, feeds selector utility and
+/// liveness signals, and folds whatever matured.
+///
+/// This is the *only* round driver: ShiftEx and every baseline pay for the
+/// same scenario axes and the same bytes, so head-to-head numbers compare
+/// algorithms rather than runtimes.
+pub fn run_algorithm_round<A: FederatedAlgorithm + ?Sized>(
+    algorithm: &mut A,
+    parties: &[Party],
+    engine: &mut ScenarioEngine,
+    codec: &CodecSpec,
+    selector: &mut dyn ParticipantSelector,
+    ledger: Option<&CommLedger>,
+    rng: &mut StdRng,
+) -> AlgoRoundOutcome {
+    let round = engine.begin_round();
+    selector.begin_round();
+    let all_ids: Vec<PartyId> = parties.iter().map(Party::id).collect();
+    let live_ids = engine.live_members(&all_ids);
+    let live_set: HashSet<PartyId> = live_ids.iter().copied().collect();
+    let live: Vec<&Party> = parties
+        .iter()
+        .filter(|p| live_set.contains(&p.id()))
+        .collect();
+    let by_id: HashMap<PartyId, &Party> = live.iter().map(|p| (p.id(), *p)).collect();
+    let server_lr = match engine.spec().mode {
+        RoundMode::Sync => 1.0,
+        RoundMode::Async(a) => a.server_lr,
+    };
+
+    let mut folded = 0usize;
+    let mut deferred = 0usize;
+    let mut lost = Vec::new();
+    for key in algorithm.streams() {
+        let cohort_ids = algorithm.cohort(key, &live, selector, rng);
+        let cohort: Vec<&Party> = cohort_ids
+            .iter()
+            .filter_map(|id| by_id.get(id).copied())
+            .collect();
+        let globals = algorithm.broadcast_state(key);
+        let bcast = engine.broadcast(key, &globals, codec, &cohort_ids, ledger);
+        // One pre-drawn seed per member keeps results independent of
+        // training order (and identical to the parallel fan-out).
+        let seeds: Vec<u64> = cohort.iter().map(|_| rng.random::<u64>()).collect();
+        let updates: Vec<ModelUpdate> = cohort
+            .iter()
+            .zip(seeds.iter())
+            .map(|(party, &seed)| {
+                // Each party trains from the frame it actually received:
+                // veterans the regular (possibly delta-coded) decode,
+                // first contacts their self-contained full-state decode.
+                algorithm.local_step(key, party, bcast.state_for(party.id()), seed)
+            })
+            .collect();
+        let updates: Vec<ModelUpdate> = updates
+            .into_iter()
+            .map(|u| engine.transport_upload(key, u, codec, &bcast.decoded))
+            .collect();
+        let delivery = engine.collect(key, updates, codec, ledger);
+        for w in &delivery.ready {
+            selector.observe(w.update.party, w.update.train_loss);
+        }
+        for &party in &delivery.lost {
+            selector.on_unavailable(party);
+        }
+        folded += delivery.ready.len();
+        deferred += delivery.deferred.len();
+        lost.extend_from_slice(&delivery.lost);
+        algorithm.fold(key, &delivery.ready, server_lr);
+    }
+    algorithm.end_round(&live, rng);
+
+    AlgoRoundOutcome {
+        round,
+        live: live_ids,
+        folded,
+        lost,
+        deferred,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{aggregate_weighted, ChurnSpec, ScenarioSpec};
+    use crate::selection::UniformSelector;
+    use rand::SeedableRng;
+    use shiftex_data::{ImageShape, PrototypeGenerator};
+    use shiftex_nn::Sequential;
+
+    /// Minimal single-model reference implementation for driver tests.
+    struct PlainFedAvg {
+        spec: ArchSpec,
+        params: Vec<f32>,
+        ppr: usize,
+    }
+
+    impl FederatedAlgorithm for PlainFedAvg {
+        fn name(&self) -> &str {
+            "plain"
+        }
+        fn arch(&self) -> &ArchSpec {
+            &self.spec
+        }
+        fn init(&mut self, _parties: &[Party], rng: &mut StdRng) {
+            self.params = Sequential::build(&self.spec, rng).params_flat();
+        }
+        fn begin_window(&mut self, _w: usize, _m: &[&Party], _rng: &mut StdRng) {}
+        fn streams(&self) -> Vec<usize> {
+            vec![0]
+        }
+        fn broadcast_state(&self, _key: usize) -> Vec<f32> {
+            self.params.clone()
+        }
+        fn train_config(&self, _key: usize) -> TrainConfig {
+            TrainConfig::default()
+        }
+        fn cohort(
+            &mut self,
+            _key: usize,
+            live: &[&Party],
+            selector: &mut dyn ParticipantSelector,
+            rng: &mut StdRng,
+        ) -> Vec<PartyId> {
+            if live.is_empty() {
+                return Vec::new();
+            }
+            let infos: Vec<_> = live.iter().map(|p| p.info()).collect();
+            let chosen: HashSet<PartyId> =
+                selector.select(&infos, self.ppr, rng).into_iter().collect();
+            live.iter()
+                .map(|p| p.id())
+                .filter(|id| chosen.contains(id))
+                .collect()
+        }
+        fn fold(&mut self, _key: usize, ready: &[WeightedUpdate], server_lr: f32) {
+            if let Some(p) = aggregate_weighted(&self.params, ready, server_lr) {
+                self.params = p;
+            }
+        }
+        fn eval(&self, parties: &[&Party]) -> f32 {
+            crate::evaluate_on_party_refs(&self.spec, &self.params, parties)
+        }
+        fn model_index(&self, _party: PartyId) -> usize {
+            0
+        }
+        fn num_models(&self) -> usize {
+            1
+        }
+    }
+
+    fn setup(n: usize, seed: u64) -> (PlainFedAvg, Vec<Party>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gen = PrototypeGenerator::new(ImageShape::new(1, 4, 4), 3, &mut rng);
+        let parties: Vec<Party> = (0..n)
+            .map(|i| {
+                Party::new(
+                    PartyId(i),
+                    gen.generate_uniform(24, &mut rng),
+                    gen.generate_uniform(12, &mut rng),
+                )
+            })
+            .collect();
+        let spec = ArchSpec::mlp("algo", 16, &[10], 3);
+        let alg = PlainFedAvg {
+            spec,
+            params: Vec::new(),
+            ppr: n,
+        };
+        (alg, parties)
+    }
+
+    #[test]
+    fn driver_round_matches_legacy_job_round() {
+        // The generic driver on a plain single-model algorithm must be
+        // bit-identical to FederatedJob::run_rounds_scenario: same RNG
+        // draw order, same aggregation.
+        let (mut alg, parties) = setup(5, 0);
+        let ids: Vec<PartyId> = parties.iter().map(Party::id).collect();
+
+        let mut rng = StdRng::seed_from_u64(1);
+        alg.init(&parties, &mut rng);
+        let init = alg.params.clone();
+        let mut engine = ScenarioEngine::new(ScenarioSpec::sync(3), &ids);
+        for _ in 0..2 {
+            run_algorithm_round(
+                &mut alg,
+                &parties,
+                &mut engine,
+                &CodecSpec::dense(),
+                &mut UniformSelector,
+                None,
+                &mut rng,
+            );
+        }
+
+        let mut job = crate::FederatedJob::new(
+            alg.spec.clone(),
+            parties.clone(),
+            crate::RoundConfig {
+                participants_per_round: 5,
+                ..Default::default()
+            },
+        );
+        let mut rng2 = StdRng::seed_from_u64(1);
+        // Burn the draw the algorithm's init consumed.
+        let init2 = Sequential::build(&alg.spec, &mut rng2).params_flat();
+        assert_eq!(init, init2);
+        let mut engine2 = ScenarioEngine::new(ScenarioSpec::sync(3), &ids);
+        let report =
+            job.run_rounds_scenario(init2, 2, &mut UniformSelector, &mut engine2, &mut rng2);
+        assert_eq!(alg.params, report.params, "driver == legacy job path");
+    }
+
+    #[test]
+    fn driver_survives_a_fully_churned_round() {
+        let (mut alg, parties) = setup(4, 7);
+        let ids: Vec<PartyId> = parties.iter().map(Party::id).collect();
+        let mut rng = StdRng::seed_from_u64(8);
+        alg.init(&parties, &mut rng);
+        let before = alg.params.clone();
+        let spec = ScenarioSpec::sync(1).with_churn(ChurnSpec::dropout_only(1.0));
+        let mut engine = ScenarioEngine::new(spec, &ids);
+        let out = run_algorithm_round(
+            &mut alg,
+            &parties,
+            &mut engine,
+            &CodecSpec::dense(),
+            &mut UniformSelector,
+            None,
+            &mut rng,
+        );
+        assert_eq!(out.folded, 0);
+        assert_eq!(out.lost.len(), 4);
+        assert_eq!(alg.params, before, "no survivors → globals unchanged");
+    }
+
+    #[test]
+    fn driver_meters_first_contact_then_regular_frames() {
+        let (mut alg, parties) = setup(3, 11);
+        let ids: Vec<PartyId> = parties.iter().map(Party::id).collect();
+        let mut rng = StdRng::seed_from_u64(12);
+        alg.init(&parties, &mut rng);
+        let codec = CodecSpec::quant8(256).with_delta();
+        let ledger = CommLedger::new();
+        let mut engine = ScenarioEngine::new(ScenarioSpec::sync(2), &ids);
+        run_algorithm_round(
+            &mut alg,
+            &parties,
+            &mut engine,
+            &codec,
+            &mut UniformSelector,
+            Some(&ledger),
+            &mut rng,
+        );
+        let n = alg.params.len();
+        let t1 = ledger.totals();
+        assert_eq!(t1.down_bytes, 0, "round 1 is all first contact");
+        assert_eq!(
+            t1.first_contact_down_bytes,
+            3 * codec.first_contact_spec().broadcast_len(n) as u64
+        );
+        run_algorithm_round(
+            &mut alg,
+            &parties,
+            &mut engine,
+            &codec,
+            &mut UniformSelector,
+            Some(&ledger),
+            &mut rng,
+        );
+        let t2 = ledger.totals();
+        assert_eq!(
+            t2.down_bytes,
+            3 * codec.broadcast_len(n) as u64,
+            "round 2 recipients hold the reference"
+        );
+        assert_eq!(
+            t2.first_contact_down_bytes, t1.first_contact_down_bytes,
+            "no new first contacts"
+        );
+    }
+}

@@ -473,6 +473,14 @@ pub struct CodecSpec {
     pub kind: CodecKind,
     /// Encode residuals against the last broadcast global.
     pub delta: bool,
+    /// Party-side error feedback: coordinates a lossy upload drops are
+    /// accumulated locally and added to the next round's upload before
+    /// encoding (EF-SGD style). Changes nothing on the wire — frame sizes
+    /// and the decode path are identical — but requires per-party state, so
+    /// it only takes effect on paths that hold accumulators (the
+    /// [`ScenarioEngine`](crate::ScenarioEngine) upload path). Only lossy
+    /// kinds benefit; it matters most for [`TopKSparse`] at low density.
+    pub error_feedback: bool,
 }
 
 /// Frame header: `[kind: u8][flags: u8][n_params: u32]`.
@@ -493,6 +501,9 @@ impl Default for CodecSpec {
 
 impl fmt::Display for CodecSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.error_feedback {
+            write!(f, "ef+")?;
+        }
         if self.delta {
             write!(f, "delta+")?;
         }
@@ -510,6 +521,7 @@ impl CodecSpec {
         Self {
             kind: CodecKind::Dense,
             delta: false,
+            error_feedback: false,
         }
     }
 
@@ -523,6 +535,7 @@ impl CodecSpec {
         Self {
             kind: CodecKind::Quant8 { block },
             delta: false,
+            error_feedback: false,
         }
     }
 
@@ -539,6 +552,7 @@ impl CodecSpec {
         Self {
             kind: CodecKind::TopK { density },
             delta: false,
+            error_feedback: false,
         }
     }
 
@@ -548,11 +562,20 @@ impl CodecSpec {
         self
     }
 
+    /// Adds party-side error feedback (residual accumulation) to a lossy
+    /// upload codec. See [`CodecSpec::error_feedback`].
+    pub fn with_error_feedback(mut self) -> Self {
+        self.error_feedback = true;
+        self
+    }
+
     /// Parses a CLI codec name. `block` / `density` parameterise the
     /// quantised and sparse kinds. Recognised names: `dense`, `quant8`,
     /// `delta` (dense residuals), `delta-quant8`, `topk` / `delta-topk`
     /// (both residual-coded: top-k of absolute parameters would zero every
-    /// unselected weight, so the raw variant is not offered).
+    /// unselected weight, so the raw variant is not offered), and
+    /// `ef-topk` / `ef-delta-topk` (residual-coded with party-side error
+    /// feedback).
     pub fn parse(name: &str, block: usize, density: f32) -> Option<Self> {
         match name.to_ascii_lowercase().as_str() {
             "dense" => Some(Self::dense()),
@@ -560,6 +583,9 @@ impl CodecSpec {
             "delta" => Some(Self::dense().with_delta()),
             "delta-quant8" => Some(Self::quant8(block).with_delta()),
             "topk" | "delta-topk" => Some(Self::topk(density).with_delta()),
+            "ef-topk" | "ef-delta-topk" => {
+                Some(Self::topk(density).with_delta().with_error_feedback())
+            }
             _ => None,
         }
     }
@@ -605,6 +631,27 @@ impl CodecSpec {
         match self.kind {
             CodecKind::TopK { .. } if !(self.delta && has_reference) => CodecSpec::dense(),
             _ => *self,
+        }
+    }
+
+    /// The spec used for a **first-contact** downlink: a party that has
+    /// never received a broadcast on this stream holds no delta reference,
+    /// so delta stages are undecodable for it and sparse frames would zero
+    /// most of the model. First contact therefore ships a self-contained
+    /// full-state frame: the base codec without the delta stage, with
+    /// sparse kinds falling back to dense. The
+    /// [`ScenarioEngine`](crate::ScenarioEngine) meters these frames on the
+    /// distinct `first_contact_*` ledger counters so comm tables do not
+    /// silently undercount joins.
+    pub fn first_contact_spec(&self) -> CodecSpec {
+        let kind = match self.kind {
+            CodecKind::TopK { .. } => CodecKind::Dense,
+            other => other,
+        };
+        CodecSpec {
+            kind,
+            delta: false,
+            error_feedback: false,
         }
     }
 
@@ -697,6 +744,8 @@ impl CodecSpec {
             CodecSpec {
                 kind,
                 delta: flags & FLAG_DELTA != 0,
+                // Error feedback is party-side state, invisible on the wire.
+                error_feedback: false,
             },
             n,
         ))
@@ -840,6 +889,7 @@ mod tests {
         let spec = CodecSpec {
             kind: CodecKind::TopK { density: 0.375 },
             delta: false,
+            error_feedback: false,
         };
         let decoded = roundtrip(&spec, &params, &[]);
         assert_eq!(decoded, vec![0.0, -9.0, 0.0, 7.0, 0.0, 0.0, 8.0, 0.0]);
@@ -851,6 +901,7 @@ mod tests {
         let spec = CodecSpec {
             kind: CodecKind::TopK { density: 0.5 },
             delta: false,
+            error_feedback: false,
         };
         let decoded = roundtrip(&spec, &params, &[]);
         assert_eq!(
@@ -994,6 +1045,46 @@ mod tests {
             CodecSpec::topk(0.05).with_delta().to_string(),
             "delta+topk(density=0.05)"
         );
+        assert_eq!(
+            CodecSpec::topk(0.05)
+                .with_delta()
+                .with_error_feedback()
+                .to_string(),
+            "ef+delta+topk(density=0.05)"
+        );
+    }
+
+    #[test]
+    fn error_feedback_parses_and_stays_off_the_wire() {
+        assert_eq!(
+            CodecSpec::parse("ef-topk", 256, 0.02),
+            Some(CodecSpec::topk(0.02).with_delta().with_error_feedback())
+        );
+        // The wire format is identical: same sizes, and a decoded header
+        // never carries the flag.
+        let ef = CodecSpec::topk(0.1).with_delta().with_error_feedback();
+        let plain = CodecSpec::topk(0.1).with_delta();
+        assert_eq!(ef.update_len(500), plain.update_len(500));
+        assert_eq!(ef.broadcast_len(500), plain.broadcast_len(500));
+    }
+
+    #[test]
+    fn first_contact_spec_is_self_contained() {
+        // Sparse and delta stages need state the joiner lacks.
+        assert_eq!(
+            CodecSpec::topk(0.05).with_delta().first_contact_spec(),
+            CodecSpec::dense()
+        );
+        assert_eq!(
+            CodecSpec::dense().with_delta().first_contact_spec(),
+            CodecSpec::dense()
+        );
+        // Absolute quantisation decodes without any reference.
+        assert_eq!(
+            CodecSpec::quant8(128).with_delta().first_contact_spec(),
+            CodecSpec::quant8(128)
+        );
+        assert_eq!(CodecSpec::dense().first_contact_spec(), CodecSpec::dense());
     }
 
     proptest! {

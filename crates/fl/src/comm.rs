@@ -18,6 +18,13 @@ pub struct CommTotals {
     pub aborted_up_bytes: u64,
     /// Count of aborted/late uploads.
     pub aborted_messages: u64,
+    /// Bytes of first-contact downlinks: self-contained full-state frames
+    /// sent to parties that hold no broadcast reference yet (new joiners,
+    /// round-1 cohorts). Metered separately from `down_bytes` so comm
+    /// tables under delta/sparse codecs do not silently undercount joins.
+    pub first_contact_down_bytes: u64,
+    /// Count of first-contact downlinks.
+    pub first_contact_messages: u64,
 }
 
 /// Thread-safe communication ledger.
@@ -46,6 +53,17 @@ impl CommLedger {
     pub fn record_download(&self, bytes: usize) {
         let mut t = self.totals.lock();
         t.down_bytes += bytes as u64;
+        t.messages += 1;
+    }
+
+    /// Records an aggregator → party full-state payload for a recipient
+    /// with no broadcast reference (first contact on a stream). Counted as
+    /// a real message but kept on distinct byte/message counters — see
+    /// [`CommTotals::first_contact_down_bytes`].
+    pub fn record_first_contact_download(&self, bytes: usize) {
+        let mut t = self.totals.lock();
+        t.first_contact_down_bytes += bytes as u64;
+        t.first_contact_messages += 1;
         t.messages += 1;
     }
 
@@ -97,6 +115,18 @@ mod tests {
         assert_eq!(t.messages, 1, "aborted uploads are not successful messages");
         assert_eq!(t.aborted_up_bytes, 100);
         assert_eq!(t.aborted_messages, 2);
+    }
+
+    #[test]
+    fn first_contact_downloads_are_metered_separately() {
+        let ledger = CommLedger::new();
+        ledger.record_download(100);
+        ledger.record_first_contact_download(400);
+        let t = ledger.totals();
+        assert_eq!(t.down_bytes, 100);
+        assert_eq!(t.first_contact_down_bytes, 400);
+        assert_eq!(t.first_contact_messages, 1);
+        assert_eq!(t.messages, 2, "a first-contact frame is a real message");
     }
 
     #[test]

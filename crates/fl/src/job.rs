@@ -35,8 +35,12 @@ pub struct RoundParticipation {
     /// Encoded upstream bytes this round, including aborted uploads (the
     /// traffic was paid either way).
     pub up_bytes: u64,
-    /// Encoded downstream (broadcast) bytes this round.
+    /// Encoded downstream (broadcast) bytes this round, to recipients that
+    /// already held the stream's broadcast reference.
     pub down_bytes: u64,
+    /// Encoded bytes of first-contact full-state downlinks this round (new
+    /// joiners, round-1 cohorts) — distinct so join costs are visible.
+    pub first_contact_down_bytes: u64,
 }
 
 /// Report of a [`FederatedJob::run_rounds_scenario`] call.
@@ -148,6 +152,7 @@ impl FederatedJob {
         let mut accuracy_per_round = Vec::with_capacity(rounds);
         let mut loss_per_round = Vec::with_capacity(rounds);
         for _ in 0..rounds {
+            selector.begin_round();
             let infos: Vec<_> = eligible.iter().map(|&i| self.parties[i].info()).collect();
             let chosen = selector.select(&infos, self.cfg.participants_per_round, rng);
             let chosen_set: std::collections::HashSet<PartyId> = chosen.into_iter().collect();
@@ -212,6 +217,7 @@ impl FederatedJob {
         let mut participation = Vec::with_capacity(rounds);
         for _ in 0..rounds {
             let round = engine.begin_round();
+            selector.begin_round();
             let before = engine.stats();
             let comm_before = self.ledger.totals();
             let live = engine.live_members(&all_ids);
@@ -266,6 +272,8 @@ impl FederatedJob {
                 up_bytes: (comm.up_bytes + comm.aborted_up_bytes)
                     - (comm_before.up_bytes + comm_before.aborted_up_bytes),
                 down_bytes: comm.down_bytes - comm_before.down_bytes,
+                first_contact_down_bytes: comm.first_contact_down_bytes
+                    - comm_before.first_contact_down_bytes,
             });
         }
         ScenarioJobReport {

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod algo;
 pub mod codec;
 mod comm;
 mod job;
@@ -46,17 +47,19 @@ pub mod scenario;
 mod selection;
 mod update;
 
+pub use algo::{run_algorithm_round, AlgoRoundOutcome, FederatedAlgorithm};
 pub use codec::{CodecError, CodecKind, CodecSpec, UpdateCodec};
 pub use comm::{CommLedger, CommTotals};
 pub use job::{FederatedJob, JobReport, RoundParticipation, ScenarioJobReport};
 pub use party::{Party, PartyId, PartyInfo};
 pub use round::{
-    run_round, run_round_scenario, train_cohort, RoundConfig, RoundOutcome, ScenarioRoundOutcome,
+    local_update, run_round, run_round_scenario, train_cohort, RoundConfig, RoundOutcome,
+    ScenarioRoundOutcome,
 };
 pub use scenario::{
-    aggregate_weighted, AsyncSpec, ChurnSchedule, ChurnSpec, DelayDist, LatePolicy,
-    ParticipationStats, RoundDelivery, RoundMode, ScenarioEngine, ScenarioSpec, StragglerSpec,
-    WeightedUpdate,
+    aggregate_weighted, AsyncSpec, BroadcastDelivery, ChurnSchedule, ChurnSpec, DelayDist,
+    LatePolicy, ParticipationStats, RoundDelivery, RoundMode, ScenarioEngine, ScenarioSpec,
+    StragglerSpec, WeightedUpdate,
 };
 pub use selection::{ParticipantSelector, UniformSelector};
 pub use update::ModelUpdate;

@@ -138,7 +138,7 @@ pub fn train_cohort(
                 .iter()
                 .zip(seeds.iter())
                 .map(|(party, &seed)| {
-                    scope.spawn(move |_| train_one(spec, global_params, party, &cfg.train, seed))
+                    scope.spawn(move |_| local_update(spec, global_params, party, &cfg.train, seed))
                 })
                 .collect();
             handles
@@ -151,7 +151,7 @@ pub fn train_cohort(
         cohort
             .iter()
             .zip(seeds.iter())
-            .map(|(party, &seed)| train_one(spec, global_params, party, &cfg.train, seed))
+            .map(|(party, &seed)| local_update(spec, global_params, party, &cfg.train, seed))
             .collect()
     }
 }
@@ -207,11 +207,18 @@ pub fn run_round_scenario(
 ) -> ScenarioRoundOutcome {
     let codec = cfg.codec;
     // Every selected member pulls the encoded globals before training.
-    let broadcast = engine.broadcast(key, global_params, &codec, cohort.len(), ledger);
+    let recipients: Vec<PartyId> = cohort.iter().map(|p| p.id()).collect();
+    // This legacy path trains the whole cohort from the regular decoded
+    // frame (first-contact metering still applies); the generic
+    // `run_algorithm_round` driver additionally hands first contacts their
+    // own full-state decode.
+    let broadcast = engine
+        .broadcast(key, global_params, &codec, &recipients, ledger)
+        .decoded;
     let updates = train_cohort(spec, &broadcast, cohort, cfg, rng);
     let updates: Vec<ModelUpdate> = updates
         .into_iter()
-        .map(|u| u.transport(&codec, &broadcast))
+        .map(|u| engine.transport_upload(key, u, &codec, &broadcast))
         .collect();
     let delivery = engine.collect(key, updates, &codec, ledger);
     let server_lr = match engine.spec().mode {
@@ -243,7 +250,12 @@ pub fn run_round_scenario(
     }
 }
 
-fn train_one(
+/// One party's local training step from the (decoded) global parameters,
+/// under an independent RNG stream derived from `seed`. Parties with no
+/// training data return a zero-sample echo of the globals. This is the unit
+/// [`train_cohort`] fans out — and the default
+/// [`FederatedAlgorithm::local_step`](crate::FederatedAlgorithm::local_step).
+pub fn local_update(
     spec: &ArchSpec,
     global_params: &[f32],
     party: &Party,
@@ -621,7 +633,14 @@ mod tests {
         assert_eq!(r2.aggregated(), 3);
         let totals = ledger.totals();
         let n = init.len();
-        assert_eq!(totals.down_bytes, 6 * cfg.codec.broadcast_len(n) as u64);
+        // Round 1's recipients hold no reference: their full-state frames
+        // land on the distinct first-contact counters. Round 2 is regular.
+        assert_eq!(
+            totals.first_contact_down_bytes,
+            3 * cfg.codec.first_contact_spec().broadcast_len(n) as u64
+        );
+        assert_eq!(totals.first_contact_messages, 3);
+        assert_eq!(totals.down_bytes, 3 * cfg.codec.broadcast_len(n) as u64);
         assert_eq!(totals.up_bytes, 6 * cfg.codec.update_len(n) as u64);
     }
 

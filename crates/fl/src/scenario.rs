@@ -26,7 +26,7 @@
 //! are reproducible across reruns regardless of call order, thread count or
 //! how many other draws the simulation makes.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -457,6 +457,34 @@ pub struct RoundDelivery {
     pub deferred: Vec<PartyId>,
 }
 
+/// What one [`ScenarioEngine::broadcast`] call delivered.
+///
+/// Veterans of the stream decode the regular (possibly delta-coded) frame;
+/// first-contact recipients decode the self-contained full-state frame
+/// they were metered for. [`state_for`](Self::state_for) hands each party
+/// the state it actually received.
+#[derive(Debug, Clone)]
+pub struct BroadcastDelivery {
+    /// Decoded regular frame — also the stream's next delta reference.
+    pub decoded: Vec<f32>,
+    /// Decoded self-contained first-contact frame, when any recipient saw
+    /// the stream for the first time *and* it differs from the regular
+    /// frame (`None` otherwise).
+    pub first_contact: Option<Vec<f32>>,
+    /// Recipients that received the first-contact frame this round.
+    pub fresh: HashSet<PartyId>,
+}
+
+impl BroadcastDelivery {
+    /// The decoded global state `party` trains from this round.
+    pub fn state_for(&self, party: PartyId) -> &[f32] {
+        match &self.first_contact {
+            Some(fc) if self.fresh.contains(&party) => fc,
+            _ => &self.decoded,
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Engine.
 
@@ -478,6 +506,13 @@ pub struct ScenarioEngine {
     /// Last decoded broadcast per stream: the reference both endpoints hold
     /// for delta-coded downlinks.
     last_broadcast: BTreeMap<usize, Vec<f32>>,
+    /// Parties that have received at least one broadcast per stream. A
+    /// recipient outside this set is a first contact: it gets a
+    /// self-contained full-state frame, metered distinctly.
+    contacted: BTreeMap<usize, std::collections::BTreeSet<PartyId>>,
+    /// Per-(stream, party) error-feedback accumulators for codecs with
+    /// [`CodecSpec::error_feedback`] set.
+    ef_residuals: BTreeMap<(usize, PartyId), Vec<f32>>,
     round: usize,
     stats: ParticipationStats,
 }
@@ -494,6 +529,8 @@ impl ScenarioEngine {
             churn,
             buffers: BTreeMap::new(),
             last_broadcast: BTreeMap::new(),
+            contacted: BTreeMap::new(),
+            ef_residuals: BTreeMap::new(),
             round: 0,
             stats: ParticipationStats::default(),
         }
@@ -542,42 +579,98 @@ impl ScenarioEngine {
         self.churn.members(pool, self.round)
     }
 
-    /// Broadcasts the global model on stream `key` to `recipients` parties:
-    /// encodes it under `codec` against the stream's previous broadcast
-    /// (the delta reference both endpoints hold), meters one encoded frame
-    /// per recipient, and returns the **decoded** broadcast the parties
-    /// train from. With no recipients nothing is sent — the globals pass
-    /// through unencoded and the stored reference stays put.
+    /// Broadcasts the global model on stream `key` to `recipients`: encodes
+    /// it under `codec` against the stream's previous broadcast (the delta
+    /// reference both endpoints hold), meters one encoded frame per
+    /// recipient, and returns the **decoded** states the parties train
+    /// from ([`BroadcastDelivery::state_for`]). With no recipients nothing
+    /// is sent — the globals pass through unencoded and the stored
+    /// reference stays put.
+    ///
+    /// Recipients seeing the stream for the first time (round-1 cohorts,
+    /// new joiners) hold no reference, so they receive a self-contained
+    /// full-state frame ([`CodecSpec::first_contact_spec`]) instead — both
+    /// metered on the ledger's distinct `first_contact_*` counters *and*
+    /// decoded separately, so what a joiner trains from matches the frame
+    /// it was billed for.
     pub fn broadcast(
         &mut self,
         key: usize,
         global: &[f32],
         codec: &CodecSpec,
-        recipients: usize,
+        recipients: &[PartyId],
         ledger: Option<&CommLedger>,
-    ) -> Vec<f32> {
-        if recipients == 0 {
-            return global.to_vec();
+    ) -> BroadcastDelivery {
+        if recipients.is_empty() {
+            return BroadcastDelivery {
+                decoded: global.to_vec(),
+                first_contact: None,
+                fresh: HashSet::new(),
+            };
         }
         let reference = self.last_broadcast.get(&key).map_or(&[][..], Vec::as_slice);
-        // First contact on a stream has no delta reference: sparsified
+        // First broadcast on a stream has no delta reference: sparsified
         // downlinks fall back to a dense full-state frame (see
         // [`CodecSpec::broadcast_spec`]).
         let bspec = codec.broadcast_spec(!reference.is_empty());
         let decoded = bspec.transport(global.to_vec(), reference);
+        let contacted = self.contacted.entry(key).or_default();
+        let fresh: HashSet<PartyId> = recipients
+            .iter()
+            .copied()
+            .filter(|p| !contacted.contains(p))
+            .collect();
+        let fc_spec = codec.first_contact_spec();
+        // When the specs coincide neither stage is delta-coded, so both
+        // frames decode identically — no separate first-contact state.
+        let first_contact = if fresh.is_empty() || fc_spec == bspec {
+            None
+        } else {
+            Some(fc_spec.transport(global.to_vec(), &[]))
+        };
         if let Some(l) = ledger {
             let frame = bspec.broadcast_len(global.len());
-            for _ in 0..recipients {
-                l.record_download(frame);
+            let first_frame = fc_spec.broadcast_len(global.len());
+            for p in recipients {
+                if fresh.contains(p) {
+                    l.record_first_contact_download(first_frame);
+                } else {
+                    l.record_download(frame);
+                }
             }
         }
+        contacted.extend(recipients.iter().copied());
         self.last_broadcast.insert(key, decoded.clone());
-        decoded
+        BroadcastDelivery {
+            decoded,
+            first_contact,
+            fresh,
+        }
     }
 
     /// The last decoded broadcast sent on stream `key`, if any.
     pub fn last_broadcast(&self, key: usize) -> Option<&[f32]> {
         self.last_broadcast.get(&key).map(Vec::as_slice)
+    }
+
+    /// Ships one upload across the wire and back under `codec`, applying
+    /// party-side error feedback when the spec asks for it: the engine owns
+    /// one residual accumulator per `(stream, party)`, so coordinates a
+    /// lossy upload drops are carried into the party's next upload instead
+    /// of being lost. Without [`CodecSpec::error_feedback`] this is exactly
+    /// [`ModelUpdate::transport`].
+    pub fn transport_upload(
+        &mut self,
+        key: usize,
+        update: ModelUpdate,
+        codec: &CodecSpec,
+        reference: &[f32],
+    ) -> ModelUpdate {
+        if !codec.error_feedback {
+            return update.transport(codec, reference);
+        }
+        let acc = self.ef_residuals.entry((key, update.party)).or_default();
+        update.transport_with_feedback(codec, reference, acc)
     }
 
     /// Applies mid-round dropout and straggler fates to this round's fresh
@@ -598,7 +691,9 @@ impl ScenarioEngine {
         let round = self.round;
         let seed = self.spec.seed;
         self.stats.selected += updates.len() as u64;
-        let buffer = self.buffers.entry(key).or_default();
+        // Owned for the duration of the round so lost uploads can refund
+        // the error-feedback accumulators without aliasing `self`.
+        let mut buffer = self.buffers.remove(&key).unwrap_or_default();
 
         for update in updates {
             let party = update.party;
@@ -609,6 +704,7 @@ impl ScenarioEngine {
                     l.record_aborted_upload(update.encoded_len(codec));
                 }
                 self.stats.dropped_churn += 1;
+                self.refund_feedback(key, codec, &update);
                 delivery.lost.push(party);
                 continue;
             }
@@ -631,6 +727,7 @@ impl ScenarioEngine {
                         l.record_aborted_upload(update.encoded_len(codec));
                     }
                     self.stats.dropped_late += 1;
+                    self.refund_feedback(key, codec, &update);
                     delivery.lost.push(party);
                 }
                 _ => {
@@ -666,6 +763,7 @@ impl ScenarioEngine {
                         l.record_upload(pending.update.encoded_len(codec));
                     }
                     self.stats.stale_dropped += 1;
+                    self.refund_feedback(key, codec, &pending.update);
                     continue;
                 }
                 if let Some(l) = ledger {
@@ -679,14 +777,40 @@ impl ScenarioEngine {
                     weight,
                 });
             }
-            *buffer = kept;
+            buffer = kept;
         }
+        self.buffers.insert(key, buffer);
 
         self.stats.delivered += delivery.ready.len() as u64;
         if !delivery.ready.is_empty() {
             self.stats.aggregations += 1;
         }
         delivery
+    }
+
+    /// A lossy upload left the party but never reached an aggregation
+    /// (mid-round dropout, late-drop, or a stale discard): put the *change*
+    /// it carried — its decoded params minus the stream's broadcast
+    /// reference, which is what actually crossed the wire under delta
+    /// coding — back into the party's error-feedback accumulator, which at
+    /// this point holds only the encode residual. Refunding the full
+    /// decoded vector instead would inflate the next compensated upload by
+    /// an entire model copy. For updates discarded as stale rounds after
+    /// they were encoded, the *current* reference stands in for the one at
+    /// encode time (both are delta-scale apart). No-op without
+    /// [`CodecSpec::error_feedback`] or before any broadcast.
+    fn refund_feedback(&mut self, key: usize, codec: &CodecSpec, update: &ModelUpdate) {
+        if !codec.error_feedback {
+            return;
+        }
+        let Some(reference) = self.last_broadcast.get(&key) else {
+            return;
+        };
+        let acc = self.ef_residuals.entry((key, update.party)).or_default();
+        acc.resize(update.params.len(), 0.0);
+        for (i, (e, &shipped)) in acc.iter_mut().zip(update.params.iter()).enumerate() {
+            *e += shipped - reference.get(i).copied().unwrap_or(0.0);
+        }
     }
 }
 
@@ -839,6 +963,68 @@ mod tests {
             ..s
         };
         assert_eq!(s.arrival_offset(0, 1, PartyId(0)), 3);
+    }
+
+    #[test]
+    fn lost_ef_upload_is_refunded_into_the_next_one() {
+        let codec = CodecSpec::topk(0.5).with_delta().with_error_feedback();
+        let spec = ScenarioSpec::sync(2).with_churn(ChurnSpec::dropout_only(1.0));
+        let mut engine = ScenarioEngine::new(spec, &ids(1));
+        engine.begin_round();
+        // Establish the stream reference (all-zero globals) the refund is
+        // computed against.
+        let reference = engine
+            .broadcast(0, &[0.0; 4], &codec, &ids(1), None)
+            .decoded;
+        let fresh = ModelUpdate {
+            party: PartyId(0),
+            params: vec![1.0, -2.0, 3.0, -4.0],
+            num_samples: 10,
+            train_loss: 0.5,
+        };
+        let shipped = engine.transport_upload(0, fresh, &codec, &reference);
+        assert_eq!(shipped.params, vec![0.0, 0.0, 3.0, -4.0]);
+        let d = engine.collect(0, vec![shipped], &codec, None);
+        assert_eq!(d.lost, vec![PartyId(0)]);
+        // The aborted upload's shipped mass went back into the accumulator
+        // (which already held the sparsification error), so a party with
+        // zero fresh gradient re-ships the largest *lost* coordinates
+        // rather than just the residual.
+        engine.begin_round();
+        let redo = engine.transport_upload(
+            0,
+            ModelUpdate {
+                party: PartyId(0),
+                params: vec![0.0; 4],
+                num_samples: 10,
+                train_loss: 0.5,
+            },
+            &codec,
+            &reference,
+        );
+        assert_eq!(redo.params, vec![0.0, 0.0, 3.0, -4.0]);
+    }
+
+    #[test]
+    fn first_contact_trains_from_the_frame_it_was_billed_for() {
+        // Established stream + sparse delta downlink: the veteran decodes
+        // the lossy delta frame, while a joiner decodes the exact dense
+        // full-state frame it was metered for.
+        let codec = CodecSpec::topk(0.25).with_delta();
+        let mut engine = ScenarioEngine::new(ScenarioSpec::sync(2), &ids(2));
+        engine.begin_round();
+        let g1 = vec![1.0, 2.0, 3.0, 4.0];
+        let first = engine.broadcast(0, &g1, &codec, &[PartyId(0)], None);
+        assert!(first.fresh.contains(&PartyId(0)));
+        // Round 1 frames are self-contained either way — one shared state.
+        assert!(first.first_contact.is_none());
+        engine.begin_round();
+        let g2 = vec![2.0, 2.5, 3.0, 8.0];
+        let b = engine.broadcast(0, &g2, &codec, &ids(2), None);
+        assert_eq!(b.fresh, [PartyId(1)].into_iter().collect());
+        assert_eq!(b.state_for(PartyId(1)), &g2[..], "joiner: exact globals");
+        assert_eq!(b.state_for(PartyId(0)), &b.decoded[..]);
+        assert_ne!(b.state_for(PartyId(0)), &g2[..], "veteran: lossy delta");
     }
 
     #[test]

@@ -14,7 +14,14 @@ use crate::party::{PartyId, PartyInfo};
 /// of the *eligible* parties for this round and must return a subset of
 /// their ids.
 pub trait ParticipantSelector {
-    /// Picks `m` parties (or all, when fewer are eligible).
+    /// Round boundary: called exactly once per federation round, before any
+    /// `select` call of that round. Multi-model algorithms call `select`
+    /// once *per model stream*, so time-based bookkeeping (utility decay,
+    /// cooldown expiry) belongs here, not in `select`. Default: ignored.
+    fn begin_round(&mut self) {}
+
+    /// Picks `m` parties (or all, when fewer are eligible). May be called
+    /// several times per round (once per model stream needing a cohort).
     fn select(&mut self, pool: &[PartyInfo], m: usize, rng: &mut StdRng) -> Vec<PartyId>;
 
     /// Feedback hook: called after a round with each participant's training

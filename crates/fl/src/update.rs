@@ -58,6 +58,37 @@ impl ModelUpdate {
         let wire = self.encode(codec, reference);
         Self::decode(&wire, reference).expect("self-encoded update decodes")
     }
+
+    /// Like [`ModelUpdate::transport`] but with party-side error feedback:
+    /// `feedback` accumulates the coordinates the lossy encode dropped, and
+    /// is added to the raw parameters before encoding (EF-SGD). The caller
+    /// owns one accumulator per `(stream, party)` — the
+    /// [`ScenarioEngine`](crate::ScenarioEngine) holds them for scenario
+    /// runs. Wire sizes are value-independent, so metering is unchanged.
+    pub fn transport_with_feedback(
+        mut self,
+        codec: &CodecSpec,
+        reference: &[f32],
+        feedback: &mut Vec<f32>,
+    ) -> Self {
+        if codec.is_lossless() {
+            return self;
+        }
+        feedback.resize(self.params.len(), 0.0);
+        for (p, e) in self.params.iter_mut().zip(feedback.iter()) {
+            *p += *e;
+        }
+        let compensated = self.params.clone();
+        let out = self.transport(codec, reference);
+        for ((e, &c), &d) in feedback
+            .iter_mut()
+            .zip(compensated.iter())
+            .zip(out.params.iter())
+        {
+            *e = c - d;
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -1,43 +1,42 @@
-//! Cross-crate integration tests: full scenario runs for every strategy,
-//! the ShiftEx expert lifecycle, and determinism guarantees.
+//! Cross-crate integration tests: full scenario runs for every algorithm
+//! through the one generic driver, the ShiftEx expert lifecycle, and
+//! determinism guarantees.
 
 use rand::{rngs::StdRng, SeedableRng};
-use shiftex::core::{ContinualStrategy, ShiftEx, ShiftExConfig};
+use shiftex::core::{ShiftEx, ShiftExConfig};
 use shiftex::data::{Corruption, DatasetKind, ImageShape, PrototypeGenerator, Regime, SimScale};
-use shiftex::experiments::runner::run_once;
-use shiftex::experiments::{Scenario, StrategyKind};
-use shiftex::fl::{Party, PartyId};
+use shiftex::experiments::{build_algorithm, run_scenario, Scenario, ALGORITHM_NAMES};
+use shiftex::fl::{FederatedAlgorithm, Party, PartyId};
 use shiftex::nn::ArchSpec;
 
 #[test]
-fn all_five_strategies_complete_a_scenario() {
+fn all_six_algorithms_complete_a_scenario() {
     let scenario = Scenario::build(DatasetKind::FashionMnist, SimScale::Smoke, 21);
     let cfg = ShiftExConfig::default();
-    for kind in StrategyKind::all() {
-        let result = run_once(kind, &scenario, 3, &cfg);
+    for name in ALGORITHM_NAMES {
+        let result = &run_scenario(name, &scenario, 1, &cfg)[0];
         assert_eq!(
             result.windows.len(),
             scenario.eval_windows(),
-            "{kind}: window count"
+            "{name}: window count"
         );
         assert!(
             result
                 .accuracy_series
                 .iter()
                 .all(|a| (0.0..=1.0).contains(a)),
-            "{kind}: accuracies must be probabilities"
+            "{name}: accuracies must be probabilities"
         );
-        // Every strategy must actually learn during burn-in. Smoke scale is
-        // deliberately tiny (8 parties × 30 non-IID samples over 10
-        // classes), so the bar is "clearly above the 10 % chance level";
-        // utility-skewed selectors (OORT) converge slowest here.
+        // Every algorithm must actually learn during burn-in. Smoke scale
+        // is deliberately tiny (8 parties × 30 non-IID samples over 10
+        // classes), so the bar is "clearly above the 10 % chance level".
         let burn_in_best = result.accuracy_series[..scenario.bootstrap_rounds()]
             .iter()
             .cloned()
             .fold(0.0f32, f32::max);
         assert!(
             burn_in_best > 0.15,
-            "{kind}: best burn-in accuracy {burn_in_best}"
+            "{name}: best burn-in accuracy {burn_in_best}"
         );
     }
 }
@@ -46,12 +45,7 @@ fn all_five_strategies_complete_a_scenario() {
 fn every_dataset_scenario_runs_shiftex() {
     for kind in DatasetKind::all() {
         let scenario = Scenario::build(kind, SimScale::Smoke, 5);
-        let result = run_once(
-            StrategyKind::ShiftEx,
-            &scenario,
-            9,
-            &ShiftExConfig::default(),
-        );
+        let result = &run_scenario("shiftex", &scenario, 1, &ShiftExConfig::default())[0];
         assert_eq!(
             result.expert_distribution.len(),
             scenario.eval_windows() + 1
@@ -131,20 +125,38 @@ fn expert_lifecycle_create_reuse_and_bounded_pool() {
 }
 
 #[test]
-fn strategy_trait_objects_are_interchangeable() {
+fn algorithms_are_interchangeable_as_trait_objects() {
+    use shiftex::fl::{
+        run_algorithm_round, CodecSpec, ScenarioEngine, ScenarioSpec, UniformSelector,
+    };
     let scenario = Scenario::build(DatasetKind::Cifar10C, SimScale::Smoke, 8);
     let mut rng = StdRng::seed_from_u64(9);
-    let mut strategies: Vec<Box<dyn ContinualStrategy>> = StrategyKind::all()
+    let mut algorithms: Vec<Box<dyn FederatedAlgorithm>> = ALGORITHM_NAMES
         .into_iter()
-        .map(|k| shiftex::experiments::make_strategy(k, &scenario, &mut rng))
+        .map(|name| {
+            build_algorithm(name, &scenario, &ShiftExConfig::default()).expect("known name")
+        })
         .collect();
     let parties = scenario.initial_parties(&mut rng);
-    for s in strategies.iter_mut() {
-        s.begin_window(0, &parties, &mut rng);
-        s.train_round(&parties, &mut rng);
-        let acc = s.evaluate(&parties);
-        assert!((0.0..=1.0).contains(&acc), "{}: accuracy {acc}", s.name());
-        assert!(s.num_models() >= 1);
+    let ids: Vec<PartyId> = parties.iter().map(Party::id).collect();
+    for alg in algorithms.iter_mut() {
+        alg.init(&parties, &mut rng);
+        let mut engine = ScenarioEngine::new(ScenarioSpec::sync(1), &ids);
+        let out = run_algorithm_round(
+            alg.as_mut(),
+            &parties,
+            &mut engine,
+            &CodecSpec::dense(),
+            &mut UniformSelector,
+            None,
+            &mut rng,
+        );
+        assert!(out.folded > 0, "{}: a sync round must fold", alg.name());
+        let refs: Vec<&Party> = parties.iter().collect();
+        let acc = alg.eval(&refs);
+        assert!((0.0..=1.0).contains(&acc), "{}: accuracy {acc}", alg.name());
+        assert!(alg.num_models() >= 1);
+        assert_eq!(alg.streams().len(), alg.num_models());
     }
 }
 
@@ -152,7 +164,7 @@ fn strategy_trait_objects_are_interchangeable() {
 fn identical_seeds_reproduce_identical_runs() {
     let scenario = Scenario::build(DatasetKind::Femnist, SimScale::Smoke, 13);
     let cfg = ShiftExConfig::default();
-    let a = run_once(StrategyKind::ShiftEx, &scenario, 77, &cfg);
-    let b = run_once(StrategyKind::ShiftEx, &scenario, 77, &cfg);
+    let a = run_scenario("shiftex", &scenario, 1, &cfg);
+    let b = run_scenario("shiftex", &scenario, 1, &cfg);
     assert_eq!(a, b, "runs must be bit-identical under one seed");
 }

@@ -3,9 +3,7 @@
 //! distillation — run against a live end-to-end scenario.
 
 use rand::{rngs::StdRng, SeedableRng};
-use shiftex::core::{
-    distill_experts, ContinualStrategy, DistillConfig, RegistrySnapshot, ShiftEx, ShiftExConfig,
-};
+use shiftex::core::{distill_experts, DistillConfig, RegistrySnapshot, ShiftEx, ShiftExConfig};
 use shiftex::data::{DatasetKind, SimScale};
 use shiftex::experiments::Scenario;
 
@@ -21,7 +19,7 @@ fn aggregator_recovers_from_snapshot_mid_scenario() {
     };
     let mut sx = ShiftEx::new(cfg.clone(), scenario.spec.clone(), &mut rng);
     let mut parties = scenario.initial_parties(&mut rng);
-    sx.begin_window(0, &parties, &mut rng);
+    sx.bootstrap(&parties, 0, &mut rng);
     for _ in 0..scenario.bootstrap_rounds() {
         ShiftEx::train_round(&mut sx, &parties, &mut rng);
     }
@@ -65,7 +63,7 @@ fn expert_pool_compresses_via_distillation() {
     };
     let mut sx = ShiftEx::new(cfg, scenario.spec.clone(), &mut rng);
     let mut parties = scenario.initial_parties(&mut rng);
-    sx.begin_window(0, &parties, &mut rng);
+    sx.bootstrap(&parties, 0, &mut rng);
     for _ in 0..scenario.bootstrap_rounds() {
         ShiftEx::train_round(&mut sx, &parties, &mut rng);
     }
