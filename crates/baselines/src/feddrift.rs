@@ -13,7 +13,7 @@
 //! are drawn through the driver's pluggable [`ParticipantSelector`]
 //! restricted to that model's assigned parties.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -54,8 +54,8 @@ pub struct FedDrift {
     participants_per_round: usize,
     cfg: FedDriftConfig,
     models: Vec<Vec<f32>>,
-    assignment: HashMap<PartyId, usize>,
-    prev_loss: HashMap<PartyId, f32>,
+    assignment: BTreeMap<PartyId, usize>,
+    prev_loss: BTreeMap<PartyId, f32>,
 }
 
 impl FedDrift {
@@ -73,8 +73,8 @@ impl FedDrift {
             participants_per_round,
             cfg,
             models: Vec::new(),
-            assignment: HashMap::new(),
-            prev_loss: HashMap::new(),
+            assignment: BTreeMap::new(),
+            prev_loss: BTreeMap::new(),
         }
     }
 
@@ -200,7 +200,7 @@ impl FederatedAlgorithm for FedDrift {
             return Vec::new();
         }
         let infos: Vec<_> = pool.iter().map(|p| p.info()).collect();
-        let chosen: std::collections::HashSet<PartyId> = selector
+        let chosen: std::collections::BTreeSet<PartyId> = selector
             .select(&infos, self.participants_per_round, rng)
             .into_iter()
             .collect();

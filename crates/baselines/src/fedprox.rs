@@ -85,7 +85,7 @@ impl FederatedAlgorithm for FedProx {
             return Vec::new();
         }
         let infos: Vec<_> = live.iter().map(|p| p.info()).collect();
-        let chosen: std::collections::HashSet<PartyId> = selector
+        let chosen: std::collections::BTreeSet<PartyId> = selector
             .select(&infos, self.participants_per_round, rng)
             .into_iter()
             .collect();

@@ -109,7 +109,7 @@ impl FederatedAlgorithm for Fielding {
             return Vec::new();
         }
         let infos: Vec<_> = live.iter().map(|p| p.info()).collect();
-        let chosen: std::collections::HashSet<PartyId> = flips
+        let chosen: std::collections::BTreeSet<PartyId> = flips
             .select(&infos, self.participants_per_round, rng)
             .into_iter()
             .collect();

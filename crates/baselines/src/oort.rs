@@ -18,7 +18,7 @@
 //! multiplicative utility penalty and a selection cooldown, the OORT-paper
 //! treatment of flaky clients.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -62,11 +62,11 @@ impl Default for OortSelectorConfig {
 pub struct OortSelector {
     cfg: OortSelectorConfig,
     /// Statistical utility per party: `samples · |loss|` at last selection.
-    utilities: HashMap<PartyId, f32>,
+    utilities: BTreeMap<PartyId, f32>,
     /// First selection round at which a cooled-down party is eligible again.
-    cooldown_until: HashMap<PartyId, usize>,
+    cooldown_until: BTreeMap<PartyId, usize>,
     /// Sample counts seen at selection time (utility refresh on observe).
-    last_samples: HashMap<PartyId, usize>,
+    last_samples: BTreeMap<PartyId, usize>,
     round: usize,
 }
 

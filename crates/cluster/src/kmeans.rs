@@ -129,7 +129,7 @@ impl KMeans {
         let mut used: Vec<usize> = assignment.clone();
         used.sort_unstable();
         used.dedup();
-        let remap: std::collections::HashMap<usize, usize> = used
+        let remap: std::collections::BTreeMap<usize, usize> = used
             .iter()
             .enumerate()
             .map(|(new, &old)| (old, new))

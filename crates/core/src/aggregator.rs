@@ -7,7 +7,7 @@
 //! sub-γ clusters, and consolidate near-duplicate experts.
 
 use std::borrow::Borrow;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -171,7 +171,7 @@ impl ShiftEx {
         // The first expert's parameters double as encoder/θ0 on restore;
         // they were frozen from the same model at snapshot time.
         let first = registry.ids()[0];
-        let params = registry.get(first).expect("expert exists").params.clone();
+        let params = registry.live(first).params.clone();
         self.encoder_params = params.clone();
         self.bootstrap_params = params;
         self.registry = registry;
@@ -221,12 +221,7 @@ impl ShiftEx {
         }
         // Freeze the encoder at the bootstrap-trained global model and keep
         // θ0 = that model as the clone template for new experts.
-        let trained = self
-            .registry
-            .get(expert0)
-            .expect("expert 0 lives")
-            .params
-            .clone();
+        let trained = self.registry.live(expert0).params.clone();
         self.bootstrap_params = trained.clone();
         self.encoder_params = trained;
 
@@ -239,10 +234,7 @@ impl ShiftEx {
             .collect();
         let profile_refs: Vec<&EmbeddingProfile> = final_stats.iter().map(|s| &s.profile).collect();
         let pooled = EmbeddingProfile::pool(&profile_refs, self.cfg.profile_rows * 2, rng);
-        self.registry
-            .get_mut(expert0)
-            .expect("expert 0 lives")
-            .memory = crate::memory::LatentMemory::from_profile(&pooled);
+        self.registry.live_mut(expert0).memory = crate::memory::LatentMemory::from_profile(&pooled);
         self.stats = final_stats.into_iter().map(|s| (s.party, s)).collect();
     }
 
@@ -317,7 +309,7 @@ impl ShiftEx {
             delta_label: thresholds.delta_label,
         };
 
-        let stats_by_id: HashMap<PartyId, &ShiftStats> =
+        let stats_by_id: BTreeMap<PartyId, &ShiftStats> =
             all_stats.iter().map(|s| (s.party, s)).collect();
 
         if !shifted.is_empty() {
@@ -349,16 +341,13 @@ impl ShiftEx {
                     // Sub-γ cluster: local fine-tuning on the assigned expert.
                     for id in &members {
                         let base = self.personal.get(id).cloned().unwrap_or_else(|| {
-                            self.registry
-                                .get(self.expert_of(*id))
-                                .expect("live expert")
-                                .params
-                                .clone()
+                            self.registry.live(self.expert_of(*id)).params.clone()
                         });
                         let party = parties
                             .iter()
                             .map(Borrow::borrow)
                             .find(|p| p.id() == *id)
+                            // lint:allow(panic): members are drawn from `parties` lines above
                             .expect("party exists");
                         let mut cfg = self.cfg.train;
                         cfg.epochs = self.cfg.finetune_epochs;
@@ -422,11 +411,7 @@ impl ShiftEx {
             if let Some((id, score)) = self.registry.best_match(pooled, self.kernel.as_ref()) {
                 if score <= epsilon {
                     let beta = self.cfg.memory_beta;
-                    self.registry
-                        .get_mut(id)
-                        .expect("live expert")
-                        .memory
-                        .update(pooled, beta);
+                    self.registry.live_mut(id).memory.update(pooled, beta);
                     report.reused.push(id);
                     return id;
                 }
@@ -437,6 +422,7 @@ impl ShiftEx {
             let (id, _) = self
                 .registry
                 .best_match(pooled, self.kernel.as_ref())
+                // lint:allow(panic): guarded — len() >= max_experts >= 1 means a best match exists
                 .expect("registry non-empty");
             report.reused.push(id);
             return id;
@@ -456,7 +442,7 @@ impl ShiftEx {
     }
 
     fn train_round_impl(&mut self, parties: &[Party], rng: &mut StdRng) {
-        let by_id: HashMap<PartyId, &Party> = parties.iter().map(|p| (p.id(), p)).collect();
+        let by_id: BTreeMap<PartyId, &Party> = parties.iter().map(|p| (p.id(), p)).collect();
         let round_cfg = self.round_config();
         for expert_id in self.registry.ids() {
             let cohort_ids = self.expert_cohort(expert_id, &by_id, rng);
@@ -467,17 +453,9 @@ impl ShiftEx {
             if cohort.is_empty() {
                 continue;
             }
-            let params = self
-                .registry
-                .get(expert_id)
-                .expect("live expert")
-                .params
-                .clone();
+            let params = self.registry.live(expert_id).params.clone();
             let outcome = run_round(&self.spec, &params, &cohort, &round_cfg, None, rng);
-            self.registry
-                .get_mut(expert_id)
-                .expect("live expert")
-                .params = outcome.params;
+            self.registry.live_mut(expert_id).params = outcome.params;
         }
         self.personal_steps(&by_id, rng);
     }
@@ -498,7 +476,7 @@ impl ShiftEx {
     fn expert_cohort(
         &self,
         expert_id: ExpertId,
-        by_id: &HashMap<PartyId, &Party>,
+        by_id: &BTreeMap<PartyId, &Party>,
         rng: &mut StdRng,
     ) -> Vec<PartyId> {
         let cohort_ids: Vec<PartyId> = self
@@ -536,7 +514,7 @@ impl ShiftEx {
     }
 
     /// Personalised parties take one local continuation step.
-    fn personal_steps(&mut self, by_id: &HashMap<PartyId, &Party>, rng: &mut StdRng) {
+    fn personal_steps(&mut self, by_id: &BTreeMap<PartyId, &Party>, rng: &mut StdRng) {
         let personal_ids: Vec<PartyId> = self.personal.keys().copied().collect();
         for id in personal_ids {
             let Some(party) = by_id.get(&id) else {
@@ -574,11 +552,7 @@ impl ShiftEx {
             if let Some(p) = self.personal.get(&id) {
                 p.as_slice()
             } else {
-                &self
-                    .registry
-                    .get(self.expert_of(id))
-                    .expect("live expert")
-                    .params
+                &self.registry.live(self.expert_of(id)).params
             }
         })
     }
@@ -593,7 +567,7 @@ impl ShiftEx {
     }
 
     fn refresh_cohort_sizes(&mut self) {
-        let mut counts: HashMap<ExpertId, usize> = HashMap::new();
+        let mut counts: BTreeMap<ExpertId, usize> = BTreeMap::new();
         for eid in self.assignment.values() {
             *counts.entry(*eid).or_default() += 1;
         }
@@ -607,12 +581,7 @@ impl ShiftEx {
     /// memory from the previous window's data in the frozen embedding space.
     fn freeze_encoder(&mut self, parties: &[impl Borrow<Party>], rng: &mut StdRng) {
         let expert0 = self.registry.ids()[0];
-        let trained = self
-            .registry
-            .get(expert0)
-            .expect("expert 0 lives")
-            .params
-            .clone();
+        let trained = self.registry.live(expert0).params.clone();
         self.bootstrap_params = trained.clone();
         self.encoder_params = trained;
         let encoder = build_model(&self.spec, &self.encoder_params);
@@ -636,10 +605,8 @@ impl ShiftEx {
         if !profiles.is_empty() {
             let refs: Vec<&EmbeddingProfile> = profiles.iter().collect();
             let pooled = EmbeddingProfile::pool(&refs, self.cfg.profile_rows * 2, rng);
-            self.registry
-                .get_mut(expert0)
-                .expect("expert 0 lives")
-                .memory = crate::memory::LatentMemory::from_profile(&pooled);
+            self.registry.live_mut(expert0).memory =
+                crate::memory::LatentMemory::from_profile(&pooled);
         }
     }
 
@@ -772,11 +739,7 @@ impl FederatedAlgorithm for ShiftEx {
     }
 
     fn broadcast_state(&self, key: usize) -> Vec<f32> {
-        self.registry
-            .get(ExpertId(key as u32))
-            .expect("live expert")
-            .params
-            .clone()
+        self.registry.live(ExpertId(key as u32)).params.clone()
     }
 
     fn train_config(&self, _key: usize) -> TrainConfig {
@@ -790,7 +753,7 @@ impl FederatedAlgorithm for ShiftEx {
         _selector: &mut dyn ParticipantSelector,
         rng: &mut StdRng,
     ) -> Vec<PartyId> {
-        let by_id: HashMap<PartyId, &Party> = live.iter().map(|p| (p.id(), *p)).collect();
+        let by_id: BTreeMap<PartyId, &Party> = live.iter().map(|p| (p.id(), *p)).collect();
         self.expert_cohort(ExpertId(key as u32), &by_id, rng)
     }
 
@@ -798,17 +761,14 @@ impl FederatedAlgorithm for ShiftEx {
         if ready.is_empty() {
             return;
         }
-        let expert = self
-            .registry
-            .get_mut(ExpertId(key as u32))
-            .expect("live expert");
+        let expert = self.registry.live_mut(ExpertId(key as u32));
         if let Some(params) = aggregate_weighted(&expert.params, ready, server_lr) {
             expert.params = params;
         }
     }
 
     fn end_round(&mut self, live: &[&Party], rng: &mut StdRng) {
-        let by_id: HashMap<PartyId, &Party> = live.iter().map(|p| (p.id(), *p)).collect();
+        let by_id: BTreeMap<PartyId, &Party> = live.iter().map(|p| (p.id(), *p)).collect();
         self.personal_steps(&by_id, rng);
     }
 

@@ -58,8 +58,8 @@ pub fn consolidate_experts(
         let mut best: Option<(ExpertId, ExpertId, f32)> = None;
         for i in 0..experts.len() {
             for j in (i + 1)..experts.len() {
-                let a = registry.get(experts[i].0).expect("live expert");
-                let b = registry.get(experts[j].0).expect("live expert");
+                let a = registry.live(experts[i].0);
+                let b = registry.live(experts[j].0);
                 let cos = cosine_params(&a.params, &b.params);
                 if cos <= tau || best.is_some_and(|(_, _, c)| cos <= c) {
                     continue;
@@ -81,16 +81,19 @@ pub fn consolidate_experts(
 
         // Keep the larger cohort's id.
         let (keep_id, drop_id) = {
-            let a = registry.get(ia).expect("live expert");
-            let b = registry.get(ib).expect("live expert");
+            let a = registry.live(ia);
+            let b = registry.live(ib);
             if a.cohort_size >= b.cohort_size {
                 (ia, ib)
             } else {
                 (ib, ia)
             }
         };
-        let dropped = registry.remove(drop_id).expect("expert exists");
-        let kept = registry.get_mut(keep_id).expect("expert exists");
+        let dropped = registry
+            .remove(drop_id)
+            // lint:allow(panic): drop_id came out of `best` just above — the pair invariant
+            .expect("expert selected for merge exists");
+        let kept = registry.live_mut(keep_id);
         let (wa, wb) = (
             kept.cohort_size.max(1) as f32,
             dropped.cohort_size.max(1) as f32,

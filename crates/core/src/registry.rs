@@ -74,6 +74,37 @@ impl ExpertRegistry {
         self.experts.iter_mut().find(|e| e.id == id)
     }
 
+    /// Looks up an expert the caller *knows* is live: the id came out of
+    /// this registry (assignment map, `ids()`, `best_match`) and every
+    /// consolidation rewrites those references. This is the one audited
+    /// place the registry invariant is allowed to panic — callers use it
+    /// instead of scattering `.expect("live expert")` through hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown, which means aggregator bookkeeping is
+    /// corrupt; continuing would silently train or serve the wrong expert.
+    pub fn live(&self, id: ExpertId) -> &Expert {
+        match self.get(id) {
+            Some(e) => e,
+            // lint:allow(panic): a dangling ExpertId is corrupt bookkeeping
+            None => panic!("{id} is not in the registry"),
+        }
+    }
+
+    /// Mutable variant of [`ExpertRegistry::live`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown (see [`ExpertRegistry::live`]).
+    pub fn live_mut(&mut self, id: ExpertId) -> &mut Expert {
+        match self.get_mut(id) {
+            Some(e) => e,
+            // lint:allow(panic): a dangling ExpertId is corrupt bookkeeping
+            None => panic!("{id} is not in the registry"),
+        }
+    }
+
     /// Registers a new expert initialised from `params` and tagged with the
     /// profile that triggered its creation. Returns the new id.
     pub fn create(

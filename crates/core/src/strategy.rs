@@ -52,16 +52,17 @@ pub fn evaluate_assigned_refs<'a>(
             continue;
         }
         let params = params_of(party.id());
-        let model = match cache
+        let slot = match cache
             .iter()
             .position(|(p, _)| std::ptr::eq(p.as_ptr(), params.as_ptr()))
         {
-            Some(i) => &cache[i].1,
+            Some(i) => i,
             None => {
                 cache.push((params, build_model(spec, params)));
-                &cache.last().unwrap().1
+                cache.len() - 1
             }
         };
+        let model = &cache[slot].1;
         let report = model.evaluate(party.test_features(), party.test_labels());
         correct += report.accuracy as f64 * report.n as f64;
         total += report.n;

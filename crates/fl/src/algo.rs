@@ -39,7 +39,7 @@
 //! [`fold`]: FederatedAlgorithm::fold
 //! [`begin_window`]: FederatedAlgorithm::begin_window
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -169,12 +169,12 @@ pub fn run_algorithm_round<A: FederatedAlgorithm + ?Sized>(
     selector.begin_round();
     let all_ids: Vec<PartyId> = parties.iter().map(Party::id).collect();
     let live_ids = engine.live_members(&all_ids);
-    let live_set: HashSet<PartyId> = live_ids.iter().copied().collect();
+    let live_set: BTreeSet<PartyId> = live_ids.iter().copied().collect();
     let live: Vec<&Party> = parties
         .iter()
         .filter(|p| live_set.contains(&p.id()))
         .collect();
-    let by_id: HashMap<PartyId, &Party> = live.iter().map(|p| (p.id(), *p)).collect();
+    let by_id: BTreeMap<PartyId, &Party> = live.iter().map(|p| (p.id(), *p)).collect();
     let server_lr = match engine.spec().mode {
         RoundMode::Sync => 1.0,
         RoundMode::Async(a) => a.server_lr,
@@ -278,7 +278,7 @@ mod tests {
                 return Vec::new();
             }
             let infos: Vec<_> = live.iter().map(|p| p.info()).collect();
-            let chosen: HashSet<PartyId> =
+            let chosen: BTreeSet<PartyId> =
                 selector.select(&infos, self.ppr, rng).into_iter().collect();
             live.iter()
                 .map(|p| p.id())

@@ -817,6 +817,7 @@ impl CodecSpec {
             return params;
         }
         let wire = self.encode_global(&params, reference);
+        // lint:allow(panic): decoding a frame this codec just encoded cannot fail
         Self::decode_global(&wire, reference).expect("self-encoded payload decodes")
     }
 }

@@ -139,7 +139,7 @@ impl FederatedJob {
     ) -> JobReport {
         let eligible: Vec<usize> = match eligible {
             Some(ids) => {
-                let wanted: std::collections::HashSet<PartyId> = ids.iter().copied().collect();
+                let wanted: std::collections::BTreeSet<PartyId> = ids.iter().copied().collect();
                 (0..self.parties.len())
                     .filter(|&i| wanted.contains(&self.parties[i].id()))
                     .collect()
@@ -155,7 +155,7 @@ impl FederatedJob {
             selector.begin_round();
             let infos: Vec<_> = eligible.iter().map(|&i| self.parties[i].info()).collect();
             let chosen = selector.select(&infos, self.cfg.participants_per_round, rng);
-            let chosen_set: std::collections::HashSet<PartyId> = chosen.into_iter().collect();
+            let chosen_set: std::collections::BTreeSet<PartyId> = chosen.into_iter().collect();
             let cohort: Vec<&Party> = eligible
                 .iter()
                 .map(|&i| &self.parties[i])
@@ -221,7 +221,7 @@ impl FederatedJob {
             let before = engine.stats();
             let comm_before = self.ledger.totals();
             let live = engine.live_members(&all_ids);
-            let live_set: std::collections::HashSet<PartyId> = live.iter().copied().collect();
+            let live_set: std::collections::BTreeSet<PartyId> = live.iter().copied().collect();
             let live_parties: Vec<&Party> = self
                 .parties
                 .iter()
@@ -235,7 +235,7 @@ impl FederatedJob {
             } else {
                 let infos: Vec<_> = live_parties.iter().map(|p| p.info()).collect();
                 let chosen = selector.select(&infos, self.cfg.participants_per_round, rng);
-                let chosen_set: std::collections::HashSet<PartyId> = chosen.into_iter().collect();
+                let chosen_set: std::collections::BTreeSet<PartyId> = chosen.into_iter().collect();
                 live_parties
                     .iter()
                     .copied()

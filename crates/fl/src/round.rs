@@ -143,9 +143,11 @@ pub fn train_cohort(
                 .collect();
             handles
                 .into_iter()
+                // lint:allow(panic): propagate a worker panic instead of silently dropping its update
                 .map(|h| h.join().expect("local training panicked"))
                 .collect()
         })
+        // lint:allow(panic): scoped-thread teardown only fails if a worker panicked — propagate it
         .expect("training scope panicked")
     } else {
         cohort

@@ -26,7 +26,7 @@
 //! are reproducible across reruns regardless of call order, thread count or
 //! how many other draws the simulation makes.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -472,7 +472,7 @@ pub struct BroadcastDelivery {
     /// frame (`None` otherwise).
     pub first_contact: Option<Vec<f32>>,
     /// Recipients that received the first-contact frame this round.
-    pub fresh: HashSet<PartyId>,
+    pub fresh: BTreeSet<PartyId>,
 }
 
 impl BroadcastDelivery {
@@ -605,7 +605,7 @@ impl ScenarioEngine {
             return BroadcastDelivery {
                 decoded: global.to_vec(),
                 first_contact: None,
-                fresh: HashSet::new(),
+                fresh: BTreeSet::new(),
             };
         }
         let reference = self.last_broadcast.get(&key).map_or(&[][..], Vec::as_slice);
@@ -615,7 +615,7 @@ impl ScenarioEngine {
         let bspec = codec.broadcast_spec(!reference.is_empty());
         let decoded = bspec.transport(global.to_vec(), reference);
         let contacted = self.contacted.entry(key).or_default();
-        let fresh: HashSet<PartyId> = recipients
+        let fresh: BTreeSet<PartyId> = recipients
             .iter()
             .copied()
             .filter(|p| !contacted.contains(p))

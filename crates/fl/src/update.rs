@@ -56,6 +56,7 @@ impl ModelUpdate {
             return self;
         }
         let wire = self.encode(codec, reference);
+        // lint:allow(panic): decoding a frame this codec just encoded cannot fail
         Self::decode(&wire, reference).expect("self-encoded update decodes")
     }
 

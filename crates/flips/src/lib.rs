@@ -105,7 +105,7 @@ impl FlipsSelector {
 
 impl ParticipantSelector for FlipsSelector {
     fn select(&mut self, pool: &[PartyInfo], m: usize, rng: &mut StdRng) -> Vec<PartyId> {
-        let eligible: std::collections::HashSet<PartyId> = pool.iter().map(|p| p.id).collect();
+        let eligible: std::collections::BTreeSet<PartyId> = pool.iter().map(|p| p.id).collect();
         let m = m.min(pool.len());
         // Shuffle each cluster's eligible members, then deal round-robin.
         let mut decks: Vec<Vec<PartyId>> = self
@@ -138,7 +138,7 @@ impl ParticipantSelector for FlipsSelector {
         // Top up from the raw pool if clusters didn't cover everyone
         // (parties unseen at fit time).
         if chosen.len() < m {
-            let have: std::collections::HashSet<PartyId> = chosen.iter().copied().collect();
+            let have: std::collections::BTreeSet<PartyId> = chosen.iter().copied().collect();
             for p in pool {
                 if chosen.len() >= m {
                     break;

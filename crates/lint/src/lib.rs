@@ -1,0 +1,87 @@
+//! `shiftex-lint` — the workspace's own static-analysis pass.
+//!
+//! Everything this reproduction claims experimentally rests on invariants
+//! the compiler does not check: bit-identical conformance goldens assume
+//! no iteration-order-dependent fold anywhere in the deterministic crates;
+//! seeded scenario schedules assume no wall-clock or ambient-RNG read on a
+//! deterministic path; the SIMD kernels assume every `unsafe` block keeps
+//! its audited `SAFETY:` argument; the communication tables assume every
+//! `CommTotals` counter is both accumulated and rendered. One stray
+//! `HashMap` fold or `Instant::now()` breaks reproducibility silently —
+//! no test fails until a golden regenerates differently on someone else's
+//! machine.
+//!
+//! External lint drivers (dylint, custom clippy lints, Miri) are not
+//! available in the offline build container, so the checker lives in the
+//! repo: a small Rust lexer ([`lexer`]) that strips comments, strings,
+//! raw strings, and char literals correctly, plus line-anchored rules
+//! ([`rules`], [`meter`]) over the token stream, scoped by workspace path
+//! ([`walk`]). Violations are waived per line with `// lint:allow(<rule>)`
+//! and a justification.
+//!
+//! Run it over the workspace with:
+//!
+//! ```text
+//! cargo run -p shiftex-lint -- --deny all
+//! ```
+//!
+//! The rule families (see [`diag::RULES`] or `--list-rules`):
+//!
+//! | family | rules | invariant |
+//! |--------|-------|-----------|
+//! | **D** determinism | `det-map`, `det-clock`, `det-rng` | rerun-identical seeded paths |
+//! | **U** unsafe audit | `unsafe-scope`, `unsafe-safety` | allowlisted, SAFETY-commented unsafe |
+//! | **P** panic discipline | `panic` | no unwrap/expect/panic! in fl/core library code |
+//! | **M** metering | `meter-field` | every `CommTotals` counter summed and printed |
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod lexer;
+pub mod meter;
+pub mod rules;
+pub mod walk;
+
+use std::path::Path;
+
+pub use diag::{Diagnostic, Severity};
+pub use rules::FileClass;
+
+/// Lints one source string under an explicit scope (the fixture tests'
+/// entry point; the CLI goes through [`run_workspace`]).
+pub fn lint_source(src: &str, class: &FileClass) -> Vec<Diagnostic> {
+    rules::check_file(&lexer::lex(src), class)
+}
+
+/// Lints every `.rs` file in the workspace at `root` plus the cross-file
+/// metering rule, returning diagnostics sorted by path, line, and rule.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the directory walk; unreadable individual
+/// files become diagnostics rather than errors.
+pub fn run_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for path in walk::collect_rs_files(root)? {
+        let rel = walk::rel_path(root, &path);
+        let class = walk::classify(&rel);
+        match std::fs::read_to_string(&path) {
+            Ok(src) => diags.extend(lint_source(&src, &class)),
+            Err(e) => diags.push(Diagnostic {
+                path: rel,
+                line: 1,
+                rule: diag::rule_by_name("unsafe-scope").expect("registered"),
+                severity: Severity::Error,
+                message: format!("unreadable source file: {e}"),
+            }),
+        }
+    }
+    diags.extend(meter::check_metering(root));
+    diags.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.code.cmp(b.rule.code))
+    });
+    Ok(diags)
+}

@@ -1,0 +1,174 @@
+//! CLI for the workspace lint: walks every `.rs` file, prints diagnostics
+//! (text or JSON), and exits non-zero when error-severity violations
+//! remain. See `--help`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use shiftex_lint::diag::{render_json_report, rule_by_name, RULES};
+use shiftex_lint::{run_workspace, Severity};
+
+const USAGE: &str = "\
+shiftex-lint — static analysis for the ShiftEx workspace
+
+USAGE:
+    cargo run -p shiftex-lint -- [OPTIONS]
+
+OPTIONS:
+    --root <PATH>     Workspace root (default: nearest ancestor with a
+                      [workspace] Cargo.toml)
+    --deny <WHICH>    Promote rules to error severity: `all`, or a
+                      comma-separated list of rule names (e.g. det-map,panic)
+    --format <FMT>    Output format: text (default) or json
+    --out <FILE>      Additionally write the full JSON report to FILE
+                      (what CI uploads as an artifact on failure)
+    --list-rules      Print the rule table and exit
+    -h, --help        This help
+
+EXIT CODES:
+    0  no error-severity diagnostics
+    1  violations at error severity (all of them, under --deny all)
+    2  usage or I/O error
+
+Waive a violation on its line (or the comment line directly above) with
+`// lint:allow(<rule>): <justification>`.";
+
+struct Args {
+    root: Option<PathBuf>,
+    deny_all: bool,
+    deny: Vec<String>,
+    json: bool,
+    out: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        deny_all: false,
+        deny: Vec::new(),
+        json: false,
+        out: None,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(
+                    it.next().ok_or("--root needs a path".to_string())?,
+                ));
+            }
+            "--deny" => {
+                let what = it
+                    .next()
+                    .ok_or("--deny needs `all` or rule names".to_string())?;
+                if what == "all" {
+                    args.deny_all = true;
+                } else {
+                    for name in what.split(',') {
+                        let name = name.trim();
+                        if rule_by_name(name).is_none() {
+                            return Err(format!("unknown rule `{name}` (see --list-rules)"));
+                        }
+                        args.deny.push(name.to_string());
+                    }
+                }
+            }
+            "--format" => match it.next().as_deref() {
+                Some("text") => args.json = false,
+                Some("json") => args.json = true,
+                other => return Err(format!("--format expects text|json, got {other:?}")),
+            },
+            "--out" => {
+                args.out = Some(PathBuf::from(
+                    it.next().ok_or("--out needs a path".to_string())?,
+                ));
+            }
+            "--list-rules" => args.list_rules = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for r in RULES {
+            println!(
+                "{}({})  default {}\n    {}\n",
+                r.code, r.name, r.default_severity, r.rationale
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match args.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| shiftex_lint::walk::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("error: no [workspace] Cargo.toml found above the current directory");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut diags = match run_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &mut diags {
+        if args.deny_all || args.deny.iter().any(|n| n == d.rule.name) {
+            d.severity = Severity::Error;
+        }
+    }
+
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, render_json_report(&diags)) {
+            eprintln!("error: writing {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    if args.json {
+        print!("{}", render_json_report(&diags));
+    } else {
+        for d in &diags {
+            println!("{}", d.render_text());
+        }
+        println!(
+            "shiftex-lint: {} file-anchored rule families over the workspace — {errors} error(s), \
+             {warnings} warning(s)",
+            RULES.len()
+        );
+    }
+
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,216 @@
+//! M001 — the metering-completeness rule.
+//!
+//! PRs 3–5 each grew `CommTotals` by a counter pair, and each time the
+//! failure mode was the same: a field that compiles, serialises, and stays
+//! zero forever because nothing accumulates it, or accumulates but never
+//! reaches a table. This rule closes that class: every field of
+//! `CommTotals` (crates/fl/src/comm.rs) must be written inside the
+//! `impl CommLedger` accumulation block *and* read by the report renderer
+//! (crates/experiments/src/report.rs). Field list, accumulation, and
+//! rendering are extracted from the token streams, so comments and strings
+//! cannot satisfy the rule.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+use crate::diag::{rule_by_name, Diagnostic, RuleInfo};
+use crate::lexer::{lex, LexFile, TokKind};
+
+/// Struct whose fields are audited, and where the two sides live.
+const TOTALS_STRUCT: &str = "CommTotals";
+const LEDGER_IMPL: &str = "CommLedger";
+const LEDGER_PATH: &str = "crates/fl/src/comm.rs";
+const RENDERER_PATH: &str = "crates/experiments/src/report.rs";
+
+/// Runs the metering rule against the workspace at `root`.
+pub fn check_metering(root: &Path) -> Vec<Diagnostic> {
+    let rule = rule_by_name("meter-field").expect("registered");
+    let mut out = Vec::new();
+
+    let Some(ledger) = read(root, LEDGER_PATH) else {
+        out.push(missing(rule, LEDGER_PATH, "ledger source file is missing"));
+        return out;
+    };
+    let Some(renderer) = read(root, RENDERER_PATH) else {
+        out.push(missing(
+            rule,
+            RENDERER_PATH,
+            "report renderer source file is missing",
+        ));
+        return out;
+    };
+
+    let fields = struct_fields(&ledger, TOTALS_STRUCT);
+    if fields.is_empty() {
+        out.push(missing(
+            rule,
+            LEDGER_PATH,
+            "`CommTotals` struct not found — the metering rule's anchor moved; update \
+             crates/lint/src/meter.rs",
+        ));
+        return out;
+    }
+
+    let accumulation = impl_block_idents(&ledger, LEDGER_IMPL);
+    let rendered = non_test_idents(&renderer);
+
+    for (name, line) in fields {
+        if !accumulation.contains(&name) {
+            out.push(Diagnostic {
+                path: LEDGER_PATH.to_string(),
+                line,
+                rule,
+                severity: rule.default_severity,
+                message: format!(
+                    "`CommTotals::{name}` is never touched by the `impl {LEDGER_IMPL}` \
+                     accumulation: the counter can only ever read zero — record it in a \
+                     `record_*` method or remove the field"
+                ),
+            });
+        }
+        if !rendered.contains(&name) {
+            out.push(Diagnostic {
+                path: LEDGER_PATH.to_string(),
+                line,
+                rule,
+                severity: rule.default_severity,
+                message: format!(
+                    "`CommTotals::{name}` is never read by the report renderer \
+                     ({RENDERER_PATH}): metered bytes that no table prints are invisible — \
+                     render it or remove the field"
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn read(root: &Path, rel: &str) -> Option<LexFile> {
+    fs::read_to_string(root.join(rel)).ok().map(|src| lex(&src))
+}
+
+fn missing(rule: &'static RuleInfo, path: &str, why: &str) -> Diagnostic {
+    Diagnostic {
+        path: path.to_string(),
+        line: 1,
+        rule,
+        severity: rule.default_severity,
+        message: format!("metering rule cannot run: {why}"),
+    }
+}
+
+/// Extracts `(field_name, line)` pairs from `struct name { ... }`: inside
+/// the braces at depth 1, an identifier directly followed by a single `:`
+/// and preceded by `{`, `,`, or `pub` is a field.
+fn struct_fields(file: &LexFile, name: &str) -> Vec<(String, usize)> {
+    let toks = &file.tokens;
+    let mut fields = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("struct") && toks.get(i + 1).is_some_and(|t| t.is_ident(name))) {
+            continue;
+        }
+        let Some(open) = (i..toks.len()).find(|&j| toks[j].is_punct('{')) else {
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < toks.len() {
+            match &toks[j].kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Ident(field) if depth == 1 => {
+                    let colon = toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                        && !toks.get(j + 2).is_some_and(|t| t.is_punct(':'));
+                    let boundary_before = toks[j - 1].is_punct('{')
+                        || toks[j - 1].is_punct(',')
+                        || toks[j - 1].is_ident("pub");
+                    if colon && boundary_before {
+                        fields.push((field.clone(), toks[j].line));
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        break;
+    }
+    fields
+}
+
+/// Identifiers appearing (outside test regions) inside `impl name { ... }`.
+fn impl_block_idents(file: &LexFile, name: &str) -> BTreeSet<String> {
+    let toks = &file.tokens;
+    let mut idents = BTreeSet::new();
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("impl") && toks.get(i + 1).is_some_and(|t| t.is_ident(name))) {
+            continue;
+        }
+        let Some(open) = (i..toks.len()).find(|&j| toks[j].is_punct('{')) else {
+            continue;
+        };
+        let mut depth = 0usize;
+        for (j, tok) in toks.iter().enumerate().skip(open) {
+            match &tok.kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Ident(id) if !file.in_test[j] => {
+                    idents.insert(id.clone());
+                }
+                _ => {}
+            }
+        }
+    }
+    idents
+}
+
+fn non_test_idents(file: &LexFile) -> BTreeSet<String> {
+    file.tokens
+        .iter()
+        .zip(&file.in_test)
+        .filter(|(_, &in_test)| !in_test)
+        .filter_map(|(t, _)| t.ident().map(str::to_string))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_extraction_finds_all_counters() {
+        let src = "pub struct CommTotals {\n    pub up_bytes: u64,\n    pub down_bytes: u64,\n}\n";
+        let fields = struct_fields(&lex(src), "CommTotals");
+        let names: Vec<&str> = fields.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["up_bytes", "down_bytes"]);
+        assert_eq!(fields[0].1, 2);
+    }
+
+    #[test]
+    fn impl_idents_exclude_test_modules() {
+        let src = "impl CommLedger {\n    fn f(&self) { self.totals.up_bytes += 1; }\n}\n\
+                   #[cfg(test)]\nmod tests { fn t() { only_in_test(); } }\n";
+        let ids = impl_block_idents(&lex(src), "CommLedger");
+        assert!(ids.contains("up_bytes"));
+        assert!(!ids.contains("only_in_test"));
+    }
+
+    #[test]
+    fn workspace_metering_is_complete() {
+        // The real repo must satisfy its own metering invariant (this is
+        // also exercised end-to-end by the self-check integration test).
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let diags = check_metering(&root);
+        assert!(diags.is_empty(), "metering holes: {diags:?}");
+    }
+}

@@ -1,0 +1,346 @@
+//! The per-file rule checks: determinism (D), unsafe audit (U), and panic
+//! discipline (P), evaluated over a [`LexFile`] token stream under a
+//! [`FileClass`] scope. The cross-file metering rule (M) lives in
+//! [`crate::meter`] because it correlates two files.
+
+use crate::diag::{rule_by_name, Diagnostic, RuleInfo};
+use crate::lexer::{LexFile, Tok};
+
+/// Which rule families apply to a file, derived from its workspace path by
+/// [`crate::walk::classify`] (or built by hand in tests/fixtures).
+#[derive(Debug, Clone, Default)]
+pub struct FileClass {
+    /// Path as diagnostics should print it.
+    pub path: String,
+    /// Determinism-critical crate library code: D001 (map order) applies.
+    pub deterministic: bool,
+    /// Wall-clock and ambient-RNG reads are allowed (bench crate, bin
+    /// targets, examples, shims, test-only files).
+    pub timing_exempt: bool,
+    /// P001 applies (fl/core library code).
+    pub panic_scope: bool,
+    /// File is on the audited unsafe allowlist: U001 is waived, U002
+    /// (SAFETY comments) still enforced.
+    pub unsafe_allowed: bool,
+    /// The whole file is test/bench support code — D and P rules skip it
+    /// entirely (the `#[cfg(test)]` tracker handles in-file test modules).
+    pub all_test: bool,
+}
+
+fn diag(class: &FileClass, rule: &'static RuleInfo, line: usize, message: String) -> Diagnostic {
+    Diagnostic {
+        path: class.path.clone(),
+        line,
+        rule,
+        severity: rule.default_severity,
+        message,
+    }
+}
+
+/// Runs every per-file rule over `file`, honouring `lint:allow` markers.
+pub fn check_file(file: &LexFile, class: &FileClass) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_det_map(file, class, &mut out);
+    check_det_clock(file, class, &mut out);
+    check_det_rng(file, class, &mut out);
+    check_unsafe(file, class, &mut out);
+    check_panic(file, class, &mut out);
+    out.sort_by(|a, b| {
+        a.line
+            .cmp(&b.line)
+            .then_with(|| a.rule.code.cmp(b.rule.code))
+    });
+    out
+}
+
+/// Is token `i` live for non-unsafe rules (not inside a test item)?
+fn live(file: &LexFile, class: &FileClass, i: usize) -> bool {
+    !class.all_test && !file.in_test[i]
+}
+
+/// D001: `HashMap`/`HashSet` mentioned in deterministic crate library code.
+///
+/// The rule is deliberately construction-anchored rather than
+/// iteration-anchored: a token-level lint cannot track which binding later
+/// flows into a `for` loop, and a map that is *provably* lookup-only is
+/// exactly the case the per-line `lint:allow(det-map)` justification
+/// exists for. Everything else switches to `BTreeMap`/`BTreeSet`, whose
+/// iteration order is total and stable.
+fn check_det_map(file: &LexFile, class: &FileClass, out: &mut Vec<Diagnostic>) {
+    if !class.deterministic {
+        return;
+    }
+    let rule = rule_by_name("det-map").expect("registered");
+    for (i, tok) in file.tokens.iter().enumerate() {
+        let Some(name) = tok.ident() else { continue };
+        if (name == "HashMap" || name == "HashSet")
+            && live(file, class, i)
+            && !file.allowed(rule.name, tok.line)
+        {
+            out.push(diag(
+                class,
+                rule,
+                tok.line,
+                format!(
+                    "`{name}` in a deterministic crate: iteration order is arbitrary — use \
+                     `BTree{}` or a sorted Vec, or justify a lookup-only use with \
+                     `// lint:allow(det-map)`",
+                    &name[4..]
+                ),
+            ));
+        }
+    }
+}
+
+/// D002: `Instant::now` / `SystemTime::now` outside bench/bin/test code.
+fn check_det_clock(file: &LexFile, class: &FileClass, out: &mut Vec<Diagnostic>) {
+    if class.timing_exempt {
+        return;
+    }
+    let rule = rule_by_name("det-clock").expect("registered");
+    let toks = &file.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        let Some(name) = tok.ident() else { continue };
+        if name != "Instant" && name != "SystemTime" {
+            continue;
+        }
+        // `Instant :: now` — two `:` puncts then the method name.
+        let is_now_path = toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("now"));
+        if is_now_path && live(file, class, i) && !file.allowed(rule.name, tok.line) {
+            out.push(diag(
+                class,
+                rule,
+                tok.line,
+                format!(
+                    "`{name}::now()` in library code: wall-clock reads break rerun determinism — \
+                     move timing into a bench/bin target or justify with \
+                     `// lint:allow(det-clock)`"
+                ),
+            ));
+        }
+    }
+}
+
+/// D003: ambient (unseeded) RNG entry points.
+fn check_det_rng(file: &LexFile, class: &FileClass, out: &mut Vec<Diagnostic>) {
+    if class.timing_exempt {
+        return;
+    }
+    let rule = rule_by_name("det-rng").expect("registered");
+    let toks = &file.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        let Some(name) = tok.ident() else { continue };
+        let ambient = matches!(name, "thread_rng" | "from_entropy" | "from_os_rng")
+            || (name == "random"
+                && i >= 3
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks[i - 3].is_ident("rand"));
+        if ambient && live(file, class, i) && !file.allowed(rule.name, tok.line) {
+            out.push(diag(
+                class,
+                rule,
+                tok.line,
+                format!(
+                    "`{name}` draws from ambient entropy: construct RNGs only via seeded \
+                     constructors (`seed_from_u64`/`from_seed`) so runs are rerun-identical"
+                ),
+            ));
+        }
+    }
+}
+
+/// U001 + U002: `unsafe` only in the allowlist, and always under a
+/// `// SAFETY:` comment.
+///
+/// The SAFETY comment may trail the `unsafe` line or sit in the contiguous
+/// comment/attribute block directly above it (doc comments and `#[...]`
+/// attribute lines are skipped on the way up, so `#[inline] unsafe fn`
+/// keeps its SAFETY line above the attributes).
+fn check_unsafe(file: &LexFile, class: &FileClass, out: &mut Vec<Diagnostic>) {
+    let scope_rule = rule_by_name("unsafe-scope").expect("registered");
+    let safety_rule = rule_by_name("unsafe-safety").expect("registered");
+    for tok in &file.tokens {
+        if !tok.is_ident("unsafe") {
+            continue;
+        }
+        // `unsafe` in tests is still unsafe: U rules ignore test regions.
+        if !class.unsafe_allowed {
+            out.push(diag(
+                class,
+                scope_rule,
+                tok.line,
+                "`unsafe` outside the audited allowlist: this file is not cleared for unsafe \
+                 code — keep intrinsics behind `crates/tensor/src/simd.rs` or extend the \
+                 allowlist deliberately"
+                    .to_string(),
+            ));
+            continue; // no point also demanding a SAFETY comment
+        }
+        if !has_safety_comment(file, tok.line) {
+            out.push(diag(
+                class,
+                safety_rule,
+                tok.line,
+                "`unsafe` without a `// SAFETY:` comment: state the CPU-feature precondition \
+                 and the pointer/length validity argument on or directly above this line"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+fn has_safety_comment(file: &LexFile, line: usize) -> bool {
+    if file.comment_contains(line, "SAFETY:") {
+        return true;
+    }
+    // Walk up through the contiguous comment/attribute/doc block.
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let text = file.line(l);
+        let t = text.trim_start();
+        if t.starts_with("//") {
+            if file.comment_contains(l, "SAFETY:") {
+                return true;
+            }
+        } else if t.starts_with("#[") || t.starts_with("#!") || t.is_empty() {
+            // attribute or blank — keep walking
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+/// P001: panic-family calls in fl/core library code.
+fn check_panic(file: &LexFile, class: &FileClass, out: &mut Vec<Diagnostic>) {
+    if !class.panic_scope {
+        return;
+    }
+    let rule = rule_by_name("panic").expect("registered");
+    let toks = &file.tokens;
+    let mut flag = |tok: &Tok, what: &str| {
+        if !file.allowed(rule.name, tok.line) {
+            out.push(diag(
+                class,
+                rule,
+                tok.line,
+                format!(
+                    "`{what}` in library code: return an error (or restructure so the case is \
+                     impossible); a panic that *is* the documented invariant gets a \
+                     `// lint:allow(panic)` with its justification"
+                ),
+            ));
+        }
+    };
+    for (i, tok) in toks.iter().enumerate() {
+        if !live(file, class, i) {
+            continue;
+        }
+        let Some(name) = tok.ident() else { continue };
+        match name {
+            // `.unwrap()` / `.expect(` — method position only, so idents
+            // like `unwrap_or_else` (different token) or a field named
+            // `expect` (no call parens) never match.
+            "unwrap" | "expect" => {
+                let method_call = i >= 1
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+                if method_call {
+                    flag(tok, &format!(".{name}()"));
+                }
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if toks.get(i + 1).is_some_and(|t| t.is_punct('!')) =>
+            {
+                flag(tok, &format!("{name}!"));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn det_class() -> FileClass {
+        FileClass {
+            path: "crates/fl/src/x.rs".into(),
+            deterministic: true,
+            panic_scope: true,
+            ..FileClass::default()
+        }
+    }
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<(&'static str, usize)> {
+        diags.iter().map(|d| (d.rule.name, d.line)).collect()
+    }
+
+    #[test]
+    fn det_map_fires_on_idents_not_trivia() {
+        let src = "// HashMap here is fine\nlet s = \"HashSet\";\nuse std::collections::HashMap;\n";
+        let d = check_file(&lex(src), &det_class());
+        assert_eq!(rules_of(&d), vec![("det-map", 3)]);
+    }
+
+    #[test]
+    fn det_map_allow_waives_exact_line() {
+        let src = "let a: HashMap<u8, u8> = x(); // lint:allow(det-map) lookup-only\nlet b: HashMap<u8, u8> = y();\n";
+        let d = check_file(&lex(src), &det_class());
+        assert_eq!(rules_of(&d), vec![("det-map", 2)]);
+    }
+
+    #[test]
+    fn clock_rule_matches_paths_only() {
+        let src = "let t = Instant::now();\nlet i = Instant::from_nanos(now);\n";
+        let d = check_file(&lex(src), &det_class());
+        assert_eq!(rules_of(&d), vec![("det-clock", 1)]);
+    }
+
+    #[test]
+    fn unsafe_scope_vs_safety() {
+        let src = "fn f() {\n    unsafe { g() }\n}\n";
+        let not_allowed = check_file(&lex(src), &det_class());
+        assert_eq!(rules_of(&not_allowed), vec![("unsafe-scope", 2)]);
+
+        let class = FileClass {
+            unsafe_allowed: true,
+            ..det_class()
+        };
+        let allowed = check_file(&lex(src), &class);
+        assert_eq!(rules_of(&allowed), vec![("unsafe-safety", 2)]);
+
+        let with_comment =
+            "fn f() {\n    // SAFETY: g has no preconditions\n    unsafe { g() }\n}\n";
+        assert!(check_file(&lex(with_comment), &class).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_walks_over_attributes() {
+        let src = "/// Docs.\n// SAFETY: caller checked avx2\n#[inline]\nunsafe fn k() {}\n";
+        let class = FileClass {
+            unsafe_allowed: true,
+            ..det_class()
+        };
+        assert!(check_file(&lex(src), &class).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_skips_test_modules_and_non_method_idents() {
+        let src = "fn lib(x: Option<u8>) -> u8 {\n    x.unwrap_or_default();\n    x.unwrap()\n}\n#[cfg(test)]\nmod tests {\n    fn t(x: Option<u8>) { x.unwrap(); }\n}\n";
+        let d = check_file(&lex(src), &det_class());
+        assert_eq!(rules_of(&d), vec![("panic", 3)]);
+    }
+
+    #[test]
+    fn panic_macros_need_the_bang() {
+        let src = "fn f() {\n    panic!(\"boom\");\n    let panic = 3;\n}\n";
+        let d = check_file(&lex(src), &det_class());
+        assert_eq!(rules_of(&d), vec![("panic", 2)]);
+    }
+}

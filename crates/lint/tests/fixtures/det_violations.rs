@@ -1,0 +1,39 @@
+//! Fixture: determinism violations, linted under a hand-built class with
+//! `deterministic` set. Never compiled — the walker skips `fixtures/`.
+
+// A HashMap or HashSet named in a comment must not fire.
+use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+pub fn strings_do_not_fire() -> &'static str {
+    let _ = "HashMap in a plain string";
+    let _ = r#"HashSet in a raw "string" — still text"#;
+    "Instant::now() and thread_rng() in text"
+}
+
+pub fn real_violations() -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    let t = std::time::Instant::now();
+    let _ = std::time::SystemTime::now();
+    let mut rng = rand::thread_rng();
+    let _ = rand::random::<f32>();
+    m.len() + t.elapsed().as_secs() as usize + rng.next() as usize
+}
+
+pub fn waived() -> usize {
+    // lint:allow(det-map): lookup-only scratch set, justified for the test
+    let s: std::collections::HashSet<u8> = std::collections::HashSet::new();
+    s.len() + BTreeMap::<u8, u8>::new().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn maps_and_clocks_in_test_code_are_exempt() {
+        let mut s = HashSet::new();
+        s.insert(std::time::Instant::now());
+    }
+}

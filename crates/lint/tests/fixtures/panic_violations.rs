@@ -1,0 +1,29 @@
+//! Fixture: panic-discipline violations for a `panic_scope` class.
+
+pub fn bad(v: Option<u32>) -> u32 {
+    let a = v.unwrap();
+    let b = v.expect("present");
+    if a + b > 3 {
+        panic!("boom");
+    }
+    unreachable!()
+}
+
+pub fn fine(v: Option<u32>) -> u32 {
+    let unwrap = 3;
+    v.unwrap_or_else(|| unwrap)
+}
+
+pub fn waived(v: Option<u32>) -> u32 {
+    // lint:allow(panic): fixture-documented invariant — v is always Some here
+    v.expect("waived")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_in_tests_are_exempt() {
+        assert_eq!(super::waived(Some(1)).min(1), 1);
+        let _ = Some(2).unwrap();
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: unsafe-audit violations, linted twice — once as an ordinary
+//! file (U001 at every site) and once as allowlisted (U002 only).
+
+pub fn not_actually_unsafe() -> u32 {
+    let _ = "unsafe { in a string }";
+    let _ = r##"unsafe in a raw string with r## fences"##;
+    // the word unsafe in a comment does not fire either
+    let r#unsafe = 1;
+    r#unsafe
+}
+
+pub fn missing_safety(x: u32) -> u32 {
+    unsafe { x.unchecked_add(1) }
+}
+
+pub fn has_safety(x: u32) -> u32 {
+    // SAFETY: the caller guarantees x < u32::MAX, so the add cannot wrap.
+    unsafe { x.unchecked_add(1) }
+}

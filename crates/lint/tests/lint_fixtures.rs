@@ -1,0 +1,118 @@
+//! Fixture-based integration tests: each file under `tests/fixtures/`
+//! carries known violations, and the lint must report exactly those
+//! (rule, line) pairs — nothing more, nothing less. Exactness is the
+//! point: it proves identifiers inside strings, raw strings, and comments
+//! never fire, and that `#[cfg(test)]` modules and `lint:allow` waivers
+//! suppress what they should.
+//!
+//! The fixtures are `include_str!`'d, never compiled: the workspace walker
+//! skips `fixtures/` directories, so real runs never see them either.
+
+use shiftex_lint::{lint_source, FileClass};
+
+fn report(src: &str, class: &FileClass) -> Vec<(&'static str, usize)> {
+    lint_source(src, class)
+        .iter()
+        .map(|d| (d.rule.code, d.line))
+        .collect()
+}
+
+#[test]
+fn det_fixture_reports_exact_rules_and_lines() {
+    let src = include_str!("fixtures/det_violations.rs");
+    let class = FileClass {
+        path: "fixtures/det_violations.rs".into(),
+        deterministic: true,
+        ..FileClass::default()
+    };
+    assert_eq!(
+        report(src, &class),
+        vec![
+            ("D001", 5),  // use std::collections::HashMap
+            ("D001", 15), // HashMap type annotation ...
+            ("D001", 15), // ... and HashMap::new() on the same line
+            ("D002", 17), // Instant::now()
+            ("D002", 18), // SystemTime::now()
+            ("D003", 19), // thread_rng()
+            ("D003", 20), // rand::random()
+        ],
+        "strings (9-11), the comment (4), the waived set (26), and the \
+         #[cfg(test)] module (30-39) must all stay silent"
+    );
+}
+
+#[test]
+fn det_fixture_is_silent_outside_deterministic_scope() {
+    let src = include_str!("fixtures/det_violations.rs");
+    // Timing-exempt (bench/bin) scope: no D rules at all.
+    let class = FileClass {
+        path: "fixtures/det_violations.rs".into(),
+        timing_exempt: true,
+        ..FileClass::default()
+    };
+    assert_eq!(report(src, &class), vec![]);
+}
+
+#[test]
+fn unsafe_fixture_outside_allowlist_trips_scope_rule() {
+    let src = include_str!("fixtures/unsafe_violations.rs");
+    let class = FileClass {
+        path: "fixtures/unsafe_violations.rs".into(),
+        ..FileClass::default()
+    };
+    assert_eq!(
+        report(src, &class),
+        vec![
+            ("U001", 13), // unsafe without SAFETY
+            ("U001", 18), // a SAFETY comment does not waive the allowlist
+        ],
+        "the string (5), raw string (6), comment (7), and raw identifier \
+         r#unsafe (8) must not count as unsafe"
+    );
+}
+
+#[test]
+fn unsafe_fixture_on_allowlist_demands_safety_comments() {
+    let src = include_str!("fixtures/unsafe_violations.rs");
+    let class = FileClass {
+        path: "crates/tensor/src/simd.rs".into(),
+        unsafe_allowed: true,
+        ..FileClass::default()
+    };
+    assert_eq!(
+        report(src, &class),
+        vec![("U002", 13)],
+        "only the site without a SAFETY comment may fire"
+    );
+}
+
+#[test]
+fn panic_fixture_reports_exact_rules_and_lines() {
+    let src = include_str!("fixtures/panic_violations.rs");
+    let class = FileClass {
+        path: "fixtures/panic_violations.rs".into(),
+        panic_scope: true,
+        ..FileClass::default()
+    };
+    assert_eq!(
+        report(src, &class),
+        vec![
+            ("P001", 4), // .unwrap()
+            ("P001", 5), // .expect()
+            ("P001", 7), // panic!
+            ("P001", 9), // unreachable!
+        ],
+        "unwrap_or_else (14), a bare `unwrap` binding (13), the waived \
+         expect (19), and the #[cfg(test)] module (22-29) must stay silent"
+    );
+}
+
+#[test]
+fn panic_fixture_is_silent_outside_panic_scope() {
+    let src = include_str!("fixtures/panic_violations.rs");
+    let class = FileClass {
+        path: "fixtures/panic_violations.rs".into(),
+        ..FileClass::default()
+    };
+    assert_eq!(report(src, &class), vec![]);
+}

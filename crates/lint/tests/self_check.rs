@@ -1,0 +1,71 @@
+//! The workspace must lint clean, and the CLI's exit codes must hold:
+//! 0 on the (clean) workspace, non-zero when violations exist. This is
+//! the same gate CI runs.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint → the workspace root is two levels up.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let diags = shiftex_lint::run_workspace(&workspace_root()).expect("workspace walk succeeds");
+    let rendered: Vec<String> = diags.iter().map(|d| d.render_text()).collect();
+    assert!(
+        rendered.is_empty(),
+        "the workspace must lint clean — fix or waive:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn cli_exits_zero_on_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_shiftex-lint"))
+        .args(["--deny", "all", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("lint binary runs");
+    assert!(
+        out.status.success(),
+        "expected exit 0 on the clean workspace:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn cli_exits_nonzero_on_violations() {
+    // A scratch tree shaped like a deterministic crate, seeded with the
+    // determinism fixture (which carries D002/D003 errors).
+    let dir = std::env::temp_dir().join(format!("shiftex-lint-exit-{}", std::process::id()));
+    let src_dir = dir.join("crates/fl/src");
+    std::fs::create_dir_all(&src_dir).expect("scratch tree");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("scratch manifest");
+    std::fs::write(
+        src_dir.join("bad.rs"),
+        include_str!("fixtures/det_violations.rs"),
+    )
+    .expect("scratch source");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_shiftex-lint"))
+        .arg("--root")
+        .arg(&dir)
+        .output()
+        .expect("lint binary runs");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "expected exit 1 on a tree with violations:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("crates/fl/src/bad.rs:17") && stdout.contains("D002"),
+        "diagnostics must carry workspace-relative paths and rule codes:\n{stdout}"
+    );
+}

@@ -166,6 +166,8 @@ impl Enclave {
         T: serde::de::DeserializeOwned,
         U: Serialize,
     {
+        // The elapsed time feeds `costs`, never the training or selection path.
+        // lint:allow(det-clock): models enclave overhead for the cost report only
         let start = std::time::Instant::now();
         let plaintext = self.unseal(input)?;
         let value: T =

@@ -36,7 +36,12 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let n = b.len();
     let main = n - n % LANES;
-    // SAFETY: all loads below stay within `main <= a.len() == b.len()`.
+    // SAFETY: avx2+fma are statically enabled (this module only compiles
+    // under `cfg(all(target_feature = "avx2", target_feature = "fma"))`, see
+    // the module docs), so the intrinsics cannot fault. Every unaligned load
+    // reads 8 floats at offset `i + {0,8,16,24}` with `i + 32 <= main`, and
+    // `main <= a.len() == b.len()` (lengths asserted equal above), so all
+    // accesses stay inside the two live slices.
     unsafe {
         let (pa, pb) = (a.as_ptr(), b.as_ptr());
         let mut acc0 = _mm256_setzero_ps();
@@ -78,8 +83,10 @@ pub fn dot2(a0: &[f32], a1: &[f32], b: &[f32]) -> [f32; 2] {
     debug_assert_eq!(a1.len(), b.len());
     let n = b.len();
     let main = n - n % LANES;
-    // SAFETY: all loads below stay within `main`, which is bounded by the
-    // (asserted-equal) lengths of the three slices.
+    // SAFETY: avx2+fma are statically enabled (module-level cfg), so the
+    // intrinsics cannot fault. Each load reads 8 floats at `i + {0,8,16,24}`
+    // with `i + 32 <= main`, and `main` is bounded by the asserted-equal
+    // lengths of all three slices, so every access is in bounds.
     unsafe {
         let (p0, p1, pb) = (a0.as_ptr(), a1.as_ptr(), b.as_ptr());
         let mut acc00 = _mm256_setzero_ps();
@@ -126,7 +133,10 @@ pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let n = b.len();
     let main = n - n % LANES;
-    // SAFETY: all loads below stay within `main <= a.len() == b.len()`.
+    // SAFETY: avx2+fma are statically enabled (module-level cfg), so the
+    // intrinsics cannot fault. Each load reads 8 floats at `i + {0,8,16,24}`
+    // with `i + 32 <= main <= a.len() == b.len()` (lengths asserted equal
+    // above), so every access stays inside the two live slices.
     unsafe {
         let (pa, pb) = (a.as_ptr(), b.as_ptr());
         let mut acc0 = _mm256_setzero_ps();
@@ -166,8 +176,12 @@ pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
 /// Horizontal sum of four 8-lane accumulators with a balanced tree:
 /// `(a+b) + (c+d)` lanewise, then `8 → 4 → 2 → 1`.
 #[inline]
+// SAFETY: callers must (and do — this fn is module-private) run under the
+// avx2 target feature; with that established the body is pure register
+// arithmetic with no memory access, so there is no pointer obligation.
 unsafe fn reduce4(a: __m256, b: __m256, c: __m256, d: __m256) -> f32 {
-    // SAFETY: pure register arithmetic; no memory access.
+    // SAFETY: avx2 is statically enabled (module-level cfg); pure register
+    // arithmetic, no memory access.
     unsafe {
         let s = _mm256_add_ps(_mm256_add_ps(a, b), _mm256_add_ps(c, d));
         let q = _mm_add_ps(_mm256_castps256_ps128(s), _mm256_extractf128_ps(s, 1));
