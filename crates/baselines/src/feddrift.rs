@@ -20,7 +20,8 @@ use serde::{Deserialize, Serialize};
 use shiftex_cluster::choose_k;
 use shiftex_core::strategy::{build_model, evaluate_assigned_refs};
 use shiftex_fl::{
-    aggregate_weighted, FederatedAlgorithm, ParticipantSelector, Party, PartyId, WeightedUpdate,
+    aggregate_robust, FederatedAlgorithm, FoldPolicy, ParticipantSelector, Party, PartyId,
+    UpdateVerdict, WeightedUpdate,
 };
 use shiftex_nn::{ArchSpec, Sequential, TrainConfig};
 
@@ -210,18 +211,31 @@ impl FederatedAlgorithm for FedDrift {
             .collect()
     }
 
-    fn fold(&mut self, key: usize, ready: &[WeightedUpdate], server_lr: f32) {
+    fn fold(
+        &mut self,
+        key: usize,
+        ready: &[WeightedUpdate],
+        server_lr: f32,
+        policy: &FoldPolicy,
+    ) -> Vec<UpdateVerdict> {
         if ready.is_empty() {
-            return;
+            return Vec::new();
         }
-        if let Some(params) = aggregate_weighted(&self.models[key], ready, server_lr) {
+        let fold = aggregate_robust(&self.models[key], ready, server_lr, policy);
+        // Keep each party's reference loss fresh so window-boundary drift
+        // detection compares against the *trained* model. Quarantined
+        // updates contributed nothing, so they don't refresh either.
+        let quarantined: std::collections::BTreeSet<PartyId> =
+            fold.quarantined().map(|v| v.party).collect();
+        if let Some(params) = fold.params {
             self.models[key] = params;
         }
-        // Keep each party's reference loss fresh so window-boundary drift
-        // detection compares against the *trained* model.
         for w in ready {
-            self.prev_loss.insert(w.update.party, w.update.train_loss);
+            if !quarantined.contains(&w.update.party) {
+                self.prev_loss.insert(w.update.party, w.update.train_loss);
+            }
         }
+        fold.verdicts
     }
 
     fn eval(&self, parties: &[&Party]) -> f32 {
@@ -272,6 +286,7 @@ mod tests {
                 &mut engine,
                 &CodecSpec::dense(),
                 &mut UniformSelector,
+                &FoldPolicy::Mean,
                 None,
                 rng,
             );

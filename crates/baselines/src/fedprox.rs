@@ -4,8 +4,8 @@
 
 use rand::rngs::StdRng;
 use shiftex_fl::{
-    aggregate_weighted, evaluate_on_party_refs, FederatedAlgorithm, ParticipantSelector, Party,
-    PartyId, WeightedUpdate,
+    aggregate_robust, evaluate_on_party_refs, FederatedAlgorithm, FoldPolicy, ParticipantSelector,
+    Party, PartyId, UpdateVerdict, WeightedUpdate,
 };
 use shiftex_nn::{ArchSpec, Sequential, TrainConfig};
 
@@ -95,10 +95,18 @@ impl FederatedAlgorithm for FedProx {
             .collect()
     }
 
-    fn fold(&mut self, _key: usize, ready: &[WeightedUpdate], server_lr: f32) {
-        if let Some(params) = aggregate_weighted(&self.params, ready, server_lr) {
+    fn fold(
+        &mut self,
+        _key: usize,
+        ready: &[WeightedUpdate],
+        server_lr: f32,
+        policy: &FoldPolicy,
+    ) -> Vec<UpdateVerdict> {
+        let fold = aggregate_robust(&self.params, ready, server_lr, policy);
+        if let Some(params) = fold.params {
             self.params = params;
         }
+        fold.verdicts
     }
 
     fn eval(&self, parties: &[&Party]) -> f32 {
@@ -151,6 +159,7 @@ mod tests {
                 &mut engine,
                 &CodecSpec::dense(),
                 &mut UniformSelector,
+                &FoldPolicy::Mean,
                 None,
                 &mut rng,
             );

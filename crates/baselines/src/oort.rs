@@ -256,6 +256,33 @@ mod tests {
     }
 
     #[test]
+    fn fold_rejection_does_not_trigger_the_availability_cooldown() {
+        // A quarantined party was alive and delivered on time — only its
+        // *update* was refused. The availability machinery (penalty +
+        // cooldown) must not fire; that signal is reserved for liveness.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sel = OortSelector::new(OortSelectorConfig {
+            exploration_fraction: 0.0,
+            utility_decay: 1.0,
+            ..OortSelectorConfig::default()
+        });
+        let p = pool(4);
+        sel.begin_round();
+        sel.select(&p, 4, &mut rng);
+        for i in 0..4 {
+            sel.observe(PartyId(i), 1.0);
+        }
+        let before = sel.utility(PartyId(2)).unwrap();
+        sel.on_rejected(PartyId(2));
+        assert_eq!(sel.utility(PartyId(2)), Some(before));
+        assert_eq!(sel.cooldown_marks(), 0);
+        sel.begin_round();
+        assert!(!sel.in_cooldown(PartyId(2)));
+        let chosen = sel.select(&p, 4, &mut rng);
+        assert!(chosen.contains(&PartyId(2)), "{chosen:?}");
+    }
+
+    #[test]
     fn per_stream_selects_share_one_round_of_bookkeeping() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut sel = OortSelector::new(OortSelectorConfig {
@@ -300,8 +327,8 @@ mod tests {
     fn selector_feeds_from_the_generic_driver_liveness_hook() {
         use crate::FedAvg;
         use shiftex_fl::{
-            run_algorithm_round, ChurnSpec, CodecSpec, FederatedAlgorithm, ScenarioEngine,
-            ScenarioSpec,
+            run_algorithm_round, ChurnSpec, CodecSpec, FederatedAlgorithm, FoldPolicy,
+            ScenarioEngine, ScenarioSpec,
         };
         use shiftex_nn::{ArchSpec, TrainConfig};
         let mut rng = StdRng::seed_from_u64(3);
@@ -321,6 +348,7 @@ mod tests {
                 &mut engine,
                 &CodecSpec::dense(),
                 &mut sel,
+                &FoldPolicy::Mean,
                 None,
                 &mut rng,
             )

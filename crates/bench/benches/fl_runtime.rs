@@ -278,7 +278,7 @@ fn bench_codecs(c: &mut Criterion) {
 fn bench_algorithms(c: &mut Criterion) {
     use shiftex_baselines::{FedAvg, FedDrift, FedDriftConfig, FedProx, Fielding, Flips};
     use shiftex_fl::{
-        run_algorithm_round, ChurnSpec, CodecSpec, FederatedAlgorithm, ScenarioEngine,
+        run_algorithm_round, ChurnSpec, CodecSpec, FederatedAlgorithm, FoldPolicy, ScenarioEngine,
         ScenarioSpec, UniformSelector,
     };
     use shiftex_nn::TrainConfig;
@@ -355,6 +355,70 @@ fn bench_algorithms(c: &mut Criterion) {
                         &mut engine,
                         &codec,
                         &mut UniformSelector,
+                        &FoldPolicy::Mean,
+                        None,
+                        &mut rng,
+                    )
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_robust(c: &mut Criterion) {
+    use shiftex_baselines::FedAvg;
+    use shiftex_fl::{
+        run_algorithm_round, AttackKind, AttackSpec, CodecSpec, FederatedAlgorithm, FoldPolicy,
+        ScenarioEngine, ScenarioSpec, UniformSelector,
+    };
+    use shiftex_nn::TrainConfig;
+
+    // One hostile 100-party round per robust fold: 20 % sign-flip
+    // adversaries against Krum (O(n²·d) pairwise distances — the costliest
+    // rule) and trimmed-mean (per-coordinate sorting). Measures the robust
+    // aggregation overhead on top of the same driver the fl_algorithms
+    // group times under plain Mean.
+    let mut rng = StdRng::seed_from_u64(29);
+    let gen = PrototypeGenerator::new(ImageShape::new(1, 6, 6), 4, &mut rng);
+    let parties: Vec<Party> = (0..100)
+        .map(|i| {
+            Party::new(
+                PartyId(i),
+                gen.generate_uniform(12, &mut rng),
+                gen.generate_uniform(6, &mut rng),
+            )
+        })
+        .collect();
+    let ids: Vec<PartyId> = parties.iter().map(|p| p.id()).collect();
+    let spec = ArchSpec::mlp("robust", 36, &[16], 4);
+    let train = TrainConfig::default();
+    let hostile = ScenarioSpec::sync(5).with_attack(AttackSpec::new(AttackKind::SignFlip, 0.2));
+    let codec = CodecSpec::dense();
+
+    let mut group = c.benchmark_group("fl_robust");
+    group.sample_size(10);
+    for (label, fold) in [
+        ("krum_f2", FoldPolicy::Krum { f: 2 }),
+        ("trimmed_beta02", FoldPolicy::TrimmedMean { beta: 0.2 }),
+    ] {
+        let mut algorithm = FedAvg::new(spec.clone(), train, 100);
+        let mut init_rng = StdRng::seed_from_u64(30);
+        algorithm.init(&parties, &mut init_rng);
+        group.bench_function(format!("signflip_round_{label}_100_parties"), |b| {
+            b.iter_with_setup(
+                || {
+                    let engine = ScenarioEngine::new(hostile.clone(), &ids);
+                    (engine, StdRng::seed_from_u64(31))
+                },
+                |(mut engine, mut rng)| {
+                    run_algorithm_round(
+                        &mut algorithm,
+                        &parties,
+                        &mut engine,
+                        &codec,
+                        &mut UniformSelector,
+                        &fold,
                         None,
                         &mut rng,
                     )
@@ -373,6 +437,7 @@ criterion_group!(
     bench_tensor_kernels,
     bench_scenarios,
     bench_codecs,
-    bench_algorithms
+    bench_algorithms,
+    bench_robust
 );
 criterion_main!(benches);

@@ -14,8 +14,8 @@ use serde::{Deserialize, Serialize};
 use shiftex_cluster::choose_k;
 use shiftex_detect::{CalibratedThresholds, EmbeddingProfile, RbfKernel, ThresholdCalibrator};
 use shiftex_fl::{
-    aggregate_weighted, run_round, FederatedAlgorithm, ParticipantSelector, Party, PartyId,
-    PartyInfo, RoundConfig, UniformSelector, WeightedUpdate,
+    aggregate_robust, run_round, FederatedAlgorithm, FoldPolicy, ParticipantSelector, Party,
+    PartyId, PartyInfo, RoundConfig, UniformSelector, UpdateVerdict, WeightedUpdate,
 };
 use shiftex_flips::FlipsSelector;
 use shiftex_nn::{train_local_params, ArchSpec, Sequential, TrainConfig};
@@ -757,14 +757,22 @@ impl FederatedAlgorithm for ShiftEx {
         self.expert_cohort(ExpertId(key as u32), &by_id, rng)
     }
 
-    fn fold(&mut self, key: usize, ready: &[WeightedUpdate], server_lr: f32) {
+    fn fold(
+        &mut self,
+        key: usize,
+        ready: &[WeightedUpdate],
+        server_lr: f32,
+        policy: &FoldPolicy,
+    ) -> Vec<UpdateVerdict> {
         if ready.is_empty() {
-            return;
+            return Vec::new();
         }
         let expert = self.registry.live_mut(ExpertId(key as u32));
-        if let Some(params) = aggregate_weighted(&expert.params, ready, server_lr) {
+        let fold = aggregate_robust(&expert.params, ready, server_lr, policy);
+        if let Some(params) = fold.params {
             expert.params = params;
         }
+        fold.verdicts
     }
 
     fn end_round(&mut self, live: &[&Party], rng: &mut StdRng) {
@@ -1013,6 +1021,7 @@ mod tests {
                 &mut engine,
                 &CodecSpec::dense(),
                 &mut UniformSelector,
+                &FoldPolicy::Mean,
                 Some(&ledger),
                 &mut rng,
             );

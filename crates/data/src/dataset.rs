@@ -145,6 +145,22 @@ impl Dataset {
         }
     }
 
+    /// A copy with every label rewritten by `f` (features untouched).
+    /// Used for label-poisoning adversaries; `f` must map into
+    /// `0..num_classes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` produces an out-of-range label.
+    pub fn map_labels(&self, f: impl Fn(usize) -> usize) -> Dataset {
+        Dataset::new(
+            self.features.clone(),
+            self.labels.iter().map(|&l| f(l)).collect(),
+            self.num_classes,
+            self.shape,
+        )
+    }
+
     /// Splits into `(train, test)` with `train_frac` of samples (shuffled).
     ///
     /// # Panics

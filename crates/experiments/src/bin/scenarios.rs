@@ -20,7 +20,11 @@
 //!     [--straggle-mean M] [--slow-frac F --slow-factor X] \
 //!     [--deadline D] [--late drop|defer] \
 //!     [--async] [--buffer N] [--staleness-alpha A] [--max-staleness S] \
-//!     [--server-lr E] [--csv DIR]
+//!     [--server-lr E] \
+//!     [--attack sign-flip|scaled-noise|label-flip] [--attack-frac F] \
+//!     [--attack-factor X] [--attack-from R | --attack-prob P] \
+//!     [--fold mean|trimmed|median|krum] [--trim-beta B] [--krum-f F] \
+//!     [--sweep-attacks] [--csv DIR]
 //! ```
 //!
 //! A 100-party churny async run on int8-quantised uploads:
@@ -38,15 +42,18 @@
 //! internally (per-expert / label-cluster cohorts) and ignore it.
 //! `--sweep-codecs` reruns the identical scenario under every codec and
 //! prints the bytes-vs-accuracy table (plus `codec_sweep.csv` with `--csv`).
+//! `--sweep-attacks` reruns it under {none, 20 % sign-flip, 20 %
+//! scaled-noise} × {mean, trimmed, median, krum} and prints the
+//! attack-vs-fold recovery table (plus `robust_sweep.csv` with `--csv`).
 
 use shiftex_core::ShiftExConfig;
 use shiftex_data::{DatasetKind, SimScale};
 use shiftex_experiments::cli::Args;
 use shiftex_experiments::{
-    build_algorithm, codec_spec_from_args, federation_spec_from_args, report,
-    run_federation_scenario, FedRunOptions, FedSelector, Scenario, ALGORITHM_NAMES,
+    build_algorithm, codec_spec_from_args, federation_spec_from_args, fold_policy_from_args,
+    report, run_federation_scenario, FedRunOptions, FedSelector, Scenario, ALGORITHM_NAMES,
 };
-use shiftex_fl::CodecSpec;
+use shiftex_fl::{AttackKind, AttackSpec, CodecSpec, FoldPolicy};
 
 fn main() {
     let args = Args::from_env();
@@ -73,13 +80,16 @@ fn main() {
     let horizon = bootstrap + windows * rounds;
     let fed = federation_spec_from_args(&args, seed ^ 0x5ce7a510, horizon);
     let codec = codec_spec_from_args(&args);
+    let fold = fold_policy_from_args(&args);
     let opts = FedRunOptions::new(windows, bootstrap, rounds)
         .with_codec(codec)
-        .with_selector(selector);
+        .with_selector(selector)
+        .with_fold(fold);
 
     eprintln!(
         "# {kind} @ {scale:?}: {} parties, {windows} window(s) × {rounds} rounds \
-         (+{bootstrap} bootstrap), strategy {strategy}, selector {selector:?}, codec {codec}",
+         (+{bootstrap} bootstrap), strategy {strategy}, selector {selector:?}, codec {codec}, \
+         fold {fold}",
         scenario.profile.num_parties
     );
     eprintln!("# federation axes: {fed:?}");
@@ -124,6 +134,62 @@ fn main() {
         if let Some(dir) = &csv_dir {
             let path = dir.join("codec_sweep.csv");
             report::write_codec_sweep_csv(&path, &results).expect("write codec sweep csv");
+            eprintln!("# CSV written to {}", path.display());
+        }
+        return;
+    }
+
+    if args.switch("sweep-attacks") {
+        // Identical scenario + axes, rerun under every attack × fold cell:
+        // the honest baseline, then 20 % always-on sign-flip and scaled-noise
+        // adversaries, each folded by all four aggregation rules.
+        let attacks: [(&str, Option<AttackSpec>); 3] = [
+            ("none", None),
+            (
+                "sign-flip(20%)",
+                Some(AttackSpec::new(AttackKind::SignFlip, 0.2)),
+            ),
+            (
+                "scaled-noise(20%)",
+                Some(AttackSpec::new(
+                    AttackKind::ScaledNoise { factor: 10.0 },
+                    0.2,
+                )),
+            ),
+        ];
+        let folds = [
+            FoldPolicy::Mean,
+            FoldPolicy::TrimmedMean { beta: 0.2 },
+            FoldPolicy::CoordinateMedian,
+            FoldPolicy::Krum { f: 2 },
+        ];
+        let mut rows = Vec::new();
+        for (label, attack) in &attacks {
+            let fed = match attack {
+                Some(a) => fed.clone().with_attack(*a),
+                None => fed.clone(),
+            };
+            for &fold in &folds {
+                eprintln!("# sweeping attack {label} under fold {fold}");
+                let mut algorithm =
+                    build_algorithm(&strategy, &scenario, &shiftex_cfg).expect("validated above");
+                let result = run_federation_scenario(
+                    algorithm.as_mut(),
+                    &scenario,
+                    &fed,
+                    &FedRunOptions::new(windows, bootstrap, rounds)
+                        .with_codec(codec)
+                        .with_selector(selector)
+                        .with_fold(fold),
+                );
+                rows.push((label.to_string(), result));
+            }
+        }
+        let title = format!("{kind} {scale:?} × {strategy}");
+        println!("{}", report::render_robust_sweep(&title, &rows));
+        if let Some(dir) = &csv_dir {
+            let path = dir.join("robust_sweep.csv");
+            report::write_robust_sweep_csv(&path, &rows).expect("write robust sweep csv");
             eprintln!("# CSV written to {}", path.display());
         }
         return;

@@ -33,4 +33,6 @@ pub mod scenario;
 pub use algorithms::{build_algorithm, ALGORITHMS, ALGORITHM_NAMES};
 pub use metrics::{aggregate_windows, WindowMetrics, WindowMetricsAgg};
 pub use runner::{run_federation_scenario, run_scenario, FedRunOptions, FedRunResult, FedSelector};
-pub use scenario::{codec_spec_from_args, federation_spec_from_args, Scenario};
+pub use scenario::{
+    codec_spec_from_args, federation_spec_from_args, fold_policy_from_args, Scenario,
+};

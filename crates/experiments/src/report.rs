@@ -148,7 +148,7 @@ pub fn render_participation(title: &str, result: &FedRunResult) -> String {
         result.strategy
     ));
     out.push_str(&format!(
-        "{:>6} {:>5} {:>9} {:>10} {:>9} {:>7} {:>9} {:>7} {:>8} {:>10} {:>10} {:>10}\n",
+        "{:>6} {:>5} {:>9} {:>10} {:>9} {:>7} {:>9} {:>7} {:>5} {:>7} {:>8} {:>10} {:>10} {:>10}\n",
         "round",
         "live",
         "selected",
@@ -157,6 +157,8 @@ pub fn render_participation(title: &str, result: &FedRunResult) -> String {
         "late",
         "deferred",
         "stale",
+        "quar",
+        "score",
         "acc%",
         "up_B",
         "down_B",
@@ -164,7 +166,7 @@ pub fn render_participation(title: &str, result: &FedRunResult) -> String {
     ));
     for row in &result.participation {
         out.push_str(&format!(
-            "{:>6} {:>5} {:>9} {:>10} {:>9} {:>7} {:>9} {:>7} {:>8.2} {:>10} {:>10} {:>10}\n",
+            "{:>6} {:>5} {:>9} {:>10} {:>9} {:>7} {:>9} {:>7} {:>5} {:>7.3} {:>8.2} {:>10} {:>10} {:>10}\n",
             row.round,
             row.live,
             row.delta.selected,
@@ -173,6 +175,8 @@ pub fn render_participation(title: &str, result: &FedRunResult) -> String {
             row.delta.dropped_late,
             row.delta.deferred,
             row.delta.stale_dropped,
+            row.quarantined,
+            row.fold_score,
             row.accuracy * 100.0,
             row.up_bytes,
             row.down_bytes,
@@ -193,7 +197,7 @@ pub fn render_participation(title: &str, result: &FedRunResult) -> String {
     ));
     out.push_str(&format!(
         "comm: up {} B | down {} B | first-contact {} B over {} joins | messages {} | \
-         aborted uploads {} ({} B wasted)\n",
+         aborted uploads {} ({} B wasted) | quarantined {} ({} B refused)\n",
         result.comm.up_bytes,
         result.comm.down_bytes,
         result.comm.first_contact_down_bytes,
@@ -201,12 +205,15 @@ pub fn render_participation(title: &str, result: &FedRunResult) -> String {
         result.comm.messages,
         result.comm.aborted_messages,
         result.comm.aborted_up_bytes,
+        result.comm.quarantined_updates,
+        result.comm.quarantined_up_bytes,
     ));
     out.push_str(&format!(
-        "codec: {} | {} params/update | upload compression {:.2}x vs dense\n",
+        "codec: {} | {} params/update | upload compression {:.2}x vs dense | fold: {}\n",
         result.codec,
         result.param_count,
         result.compression_ratio(),
+        result.fold,
     ));
     out
 }
@@ -262,6 +269,68 @@ pub fn write_codec_sweep_csv(path: &Path, results: &[FedRunResult]) -> std::io::
     Ok(())
 }
 
+/// Renders the robustness sweep: one row per (attack, fold) cell with the
+/// final live-member accuracy and what the fold refused — the measured
+/// "hostile federations" table.
+pub fn render_robust_sweep(title: &str, rows: &[(String, FedRunResult)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# Robustness sweep — {title}\n"));
+    out.push_str(&format!(
+        "{:<14} {:<18} {:<20} {:>9} {:>12} {:>12} {:>9}\n",
+        "attack", "fold", "strategy", "final_acc", "quarantined", "quar_bytes", "max_score"
+    ));
+    for (attack, r) in rows {
+        let score = r
+            .participation
+            .iter()
+            .map(|p| p.fold_score)
+            .fold(0.0f32, f32::max);
+        out.push_str(&format!(
+            "{:<14} {:<18} {:<20} {:>8.2}% {:>12} {:>12} {:>9.3}\n",
+            attack,
+            r.fold.to_string(),
+            r.strategy,
+            r.accuracy_series.last().copied().unwrap_or(0.0) * 100.0,
+            r.comm.quarantined_updates,
+            r.comm.quarantined_up_bytes,
+            score,
+        ));
+    }
+    out
+}
+
+/// Writes the robustness sweep as CSV.
+///
+/// # Errors
+///
+/// Returns any I/O error from file creation or writing.
+pub fn write_robust_sweep_csv(path: &Path, rows: &[(String, FedRunResult)]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "attack,fold,strategy,final_accuracy_pct,quarantined_updates,quarantined_up_bytes,max_fold_score"
+    )?;
+    for (attack, r) in rows {
+        let score = r
+            .participation
+            .iter()
+            .map(|p| p.fold_score)
+            .fold(0.0f32, f32::max);
+        writeln!(
+            f,
+            "{},{},{},{:.4},{},{},{:.4}",
+            attack,
+            r.fold,
+            r.strategy,
+            r.accuracy_series.last().copied().unwrap_or(0.0) * 100.0,
+            r.comm.quarantined_updates,
+            r.comm.quarantined_up_bytes,
+            score
+        )?;
+    }
+    Ok(())
+}
+
 /// Writes a CSV of the per-round participation records.
 ///
 /// # Errors
@@ -271,12 +340,12 @@ pub fn write_participation_csv(path: &Path, result: &FedRunResult) -> std::io::R
     let mut f = std::fs::File::create(path)?;
     writeln!(
         f,
-        "round,live,selected,delivered,dropped_churn,dropped_late,deferred,stale_dropped,accuracy_pct,up_bytes,down_bytes,first_contact_down_bytes"
+        "round,live,selected,delivered,dropped_churn,dropped_late,deferred,stale_dropped,accuracy_pct,up_bytes,down_bytes,first_contact_down_bytes,quarantined,fold_score"
     )?;
     for row in &result.participation {
         writeln!(
             f,
-            "{},{},{},{},{},{},{},{},{:.4},{},{},{}",
+            "{},{},{},{},{},{},{},{},{:.4},{},{},{},{},{:.4}",
             row.round,
             row.live,
             row.delta.selected,
@@ -288,7 +357,9 @@ pub fn write_participation_csv(path: &Path, result: &FedRunResult) -> std::io::R
             row.accuracy * 100.0,
             row.up_bytes,
             row.down_bytes,
-            row.first_contact_down_bytes
+            row.first_contact_down_bytes,
+            row.quarantined,
+            row.fold_score
         )?;
     }
     Ok(())
@@ -409,6 +480,8 @@ mod tests {
                 up_bytes: 640,
                 down_bytes: 320,
                 first_contact_down_bytes: 48,
+                quarantined: 2,
+                fold_score: 0.75,
             }],
             totals: ParticipationStats {
                 selected: 8,
@@ -427,8 +500,11 @@ mod tests {
                 aborted_messages: 3,
                 first_contact_down_bytes: 48,
                 first_contact_messages: 1,
+                quarantined_up_bytes: 80,
+                quarantined_updates: 2,
             },
             codec: shiftex_fl::CodecSpec::quant8(256),
+            fold: shiftex_fl::FoldPolicy::Krum { f: 2 },
             param_count: 1000,
         }
     }
@@ -451,6 +527,8 @@ mod tests {
         assert!(s.contains("join_B"));
         assert!(s.contains("aborted uploads 3"));
         assert!(s.contains("first-contact 48 B over 1 joins"));
+        assert!(s.contains("quarantined 2 (80 B refused)"));
+        assert!(s.contains("fold: krum(f=2)"));
         assert!(s.contains("codec: quant8(block=256)"));
         let dir = std::env::temp_dir().join("shiftex_participation_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -458,7 +536,7 @@ mod tests {
         write_participation_csv(&p, &result).unwrap();
         let content = std::fs::read_to_string(&p).unwrap();
         assert!(content.starts_with("round,live,selected"));
-        assert!(content.contains("1,9,8,5,2,1,0,0,50.0000,640,320,48"));
+        assert!(content.contains("1,9,8,5,2,1,0,0,50.0000,640,320,48,2,0.7500"));
 
         // The sweep table and CSV carry the bytes-vs-accuracy tradeoff.
         let sweep = render_codec_sweep("smoke", std::slice::from_ref(&result));
@@ -469,6 +547,17 @@ mod tests {
         let sweep_csv = std::fs::read_to_string(&sp).unwrap();
         assert!(sweep_csv.starts_with("codec,up_bytes"));
         assert!(sweep_csv.contains("quant8(block=256),100,60,200,48"));
+
+        // The robustness sweep reports what each fold refused.
+        let rows = vec![("sign-flip(20%)".to_string(), sample_result())];
+        let robust = render_robust_sweep("smoke", &rows);
+        assert!(robust.contains("sign-flip(20%)"));
+        assert!(robust.contains("krum(f=2)"));
+        let rp = dir.join("robust_sweep.csv");
+        write_robust_sweep_csv(&rp, &rows).unwrap();
+        let robust_csv = std::fs::read_to_string(&rp).unwrap();
+        assert!(robust_csv.starts_with("attack,fold,strategy"));
+        assert!(robust_csv.contains("sign-flip(20%),krum(f=2),FedAvg,50.0000,2,80,0.7500"));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use shiftex_baselines::OortSelector;
 use shiftex_fl::{
-    run_algorithm_round, CodecSpec, CommLedger, CommTotals, FederatedAlgorithm,
+    run_algorithm_round, CodecSpec, CommLedger, CommTotals, FederatedAlgorithm, FoldPolicy,
     ParticipantSelector, ParticipationStats, Party, RoundParticipation, ScenarioEngine,
     ScenarioSpec, UniformSelector,
 };
@@ -54,6 +54,8 @@ pub struct FedRunResult {
     pub comm: CommTotals,
     /// Wire codec the run was metered under.
     pub codec: CodecSpec,
+    /// Aggregation fold policy the run folded under.
+    pub fold: FoldPolicy,
     /// Flattened model parameter count (sizes the compression ratio).
     pub param_count: usize,
 }
@@ -109,6 +111,8 @@ pub struct FedRunOptions {
     pub codec: CodecSpec,
     /// Cohort selection policy (for algorithms that consume it).
     pub selector: FedSelector,
+    /// Robust aggregation fold every stream's updates pass through.
+    pub fold: FoldPolicy,
 }
 
 impl FedRunOptions {
@@ -120,6 +124,7 @@ impl FedRunOptions {
             rounds_per_window,
             codec: CodecSpec::dense(),
             selector: FedSelector::Uniform,
+            fold: FoldPolicy::Mean,
         }
     }
 
@@ -132,6 +137,12 @@ impl FedRunOptions {
     /// Swaps in a selection policy.
     pub fn with_selector(mut self, selector: FedSelector) -> Self {
         self.selector = selector;
+        self
+    }
+
+    /// Swaps in a robust aggregation fold.
+    pub fn with_fold(mut self, fold: FoldPolicy) -> Self {
+        self.fold = fold;
         self
     }
 }
@@ -217,6 +228,7 @@ pub fn run_federation_scenario<A: FederatedAlgorithm + ?Sized>(
         &mut engine,
         &opts.codec,
         selector.as_mut(),
+        &opts.fold,
         &ledger,
         &mut rng,
         &mut accuracy_series,
@@ -243,6 +255,7 @@ pub fn run_federation_scenario<A: FederatedAlgorithm + ?Sized>(
             &mut engine,
             &opts.codec,
             selector.as_mut(),
+            &opts.fold,
             &ledger,
             &mut rng,
             &mut accuracy_series,
@@ -264,6 +277,7 @@ pub fn run_federation_scenario<A: FederatedAlgorithm + ?Sized>(
         totals: engine.stats(),
         comm: ledger.totals(),
         codec: opts.codec,
+        fold: opts.fold,
         param_count,
     }
 }
@@ -278,6 +292,7 @@ fn run_round_block<A: FederatedAlgorithm + ?Sized>(
     engine: &mut ScenarioEngine,
     codec: &CodecSpec,
     selector: &mut dyn ParticipantSelector,
+    fold: &FoldPolicy,
     ledger: &CommLedger,
     rng: &mut StdRng,
     accuracy_series: &mut Vec<f32>,
@@ -293,6 +308,7 @@ fn run_round_block<A: FederatedAlgorithm + ?Sized>(
             engine,
             codec,
             selector,
+            fold,
             Some(ledger),
             rng,
         );
@@ -315,6 +331,8 @@ fn run_round_block<A: FederatedAlgorithm + ?Sized>(
             down_bytes: comm.down_bytes - comm_before.down_bytes,
             first_contact_down_bytes: comm.first_contact_down_bytes
                 - comm_before.first_contact_down_bytes,
+            quarantined: outcome.robustness.quarantined as u64,
+            fold_score: outcome.robustness.max_score,
         });
     }
     per_round

@@ -7,8 +7,8 @@ use shiftex_data::{
     profile, Dataset, DatasetKind, DatasetProfile, PrototypeGenerator, SimScale, WindowingMode,
 };
 use shiftex_fl::{
-    AsyncSpec, ChurnSpec, CodecSpec, DelayDist, LatePolicy, Party, PartyId, ScenarioSpec,
-    StragglerSpec,
+    AsyncSpec, AttackKind, AttackSchedule, AttackSpec, ChurnSpec, CodecSpec, DelayDist, FoldPolicy,
+    LatePolicy, Party, PartyId, ScenarioSpec, StragglerSpec,
 };
 use shiftex_nn::{ArchSpec, InputShape};
 use shiftex_stream::{ScheduleBuilder, ShiftSchedule};
@@ -170,7 +170,11 @@ impl Scenario {
 ///   `--slow-frac F --slow-factor X`, `--deadline D`,
 ///   `--late drop|defer`;
 /// * asynchrony — `--async`, `--buffer N`, `--staleness-alpha A`,
-///   `--max-staleness S`, `--server-lr E`.
+///   `--max-staleness S`, `--server-lr E`;
+/// * adversaries — `--attack sign-flip|scaled-noise|label-flip`,
+///   `--attack-frac F` (default 0.2), `--attack-factor X` (scaled-noise
+///   inflation, default 10), `--attack-from R` (sleeper schedule) or
+///   `--attack-prob P` (intermittent schedule; mutually exclusive).
 ///
 /// `horizon` is the total simulated round budget (used to place leave
 /// events).
@@ -233,7 +237,85 @@ pub fn federation_spec_from_args(args: &Args, seed: u64, horizon: usize) -> Scen
             );
         }
     }
+
+    if let Some(name) = args.value("attack") {
+        let kind = match name {
+            "sign-flip" => AttackKind::SignFlip,
+            "scaled-noise" => AttackKind::ScaledNoise {
+                factor: args.value_or("attack-factor", 10.0),
+            },
+            "label-flip" => AttackKind::LabelFlip,
+            other => {
+                panic!("unknown --attack {other:?} (sign-flip|scaled-noise|label-flip)")
+            }
+        };
+        if !matches!(kind, AttackKind::ScaledNoise { .. }) {
+            assert!(
+                args.value("attack-factor").is_none(),
+                "--attack-factor has no effect without --attack scaled-noise"
+            );
+        }
+        let from = args.value("attack-from");
+        let prob = args.value("attack-prob");
+        assert!(
+            from.is_none() || prob.is_none(),
+            "--attack-from and --attack-prob are mutually exclusive schedules"
+        );
+        let schedule = if from.is_some() {
+            AttackSchedule::Sleeper {
+                from_round: args.value_or("attack-from", 1),
+            }
+        } else if prob.is_some() {
+            AttackSchedule::Intermittent {
+                prob: args.value_or("attack-prob", 1.0),
+            }
+        } else {
+            AttackSchedule::Always
+        };
+        spec = spec.with_attack(
+            AttackSpec::new(kind, args.value_or("attack-frac", 0.2)).with_schedule(schedule),
+        );
+    } else {
+        for key in ["attack-frac", "attack-factor", "attack-from", "attack-prob"] {
+            assert!(
+                args.value(key).is_none(),
+                "--{key} has no effect without --attack"
+            );
+        }
+    }
     spec
+}
+
+/// Builds a robust-aggregation [`FoldPolicy`] from experiment CLI flags.
+///
+/// Recognised flags:
+///
+/// * `--fold mean|trimmed|median|krum` — server fold rule (default
+///   `mean`, the bit-identical weighted average);
+/// * `--trim-beta B` — per-side trim fraction for `trimmed` (default 0.2);
+/// * `--krum-f F` — tolerated Byzantine count for `krum` (default 2).
+///
+/// Parameter sub-flags without the fold that uses them are rejected, so a
+/// run is never silently attributed to a policy that ignored its knobs.
+pub fn fold_policy_from_args(args: &Args) -> FoldPolicy {
+    let name = args.value("fold").unwrap_or("mean");
+    let beta: f32 = args.value_or("trim-beta", 0.2);
+    let f: usize = args.value_or("krum-f", 2);
+    let policy = FoldPolicy::parse(name, beta, f)
+        .unwrap_or_else(|| panic!("unknown --fold {name:?} (mean|trimmed|median|krum)"));
+    if !matches!(policy, FoldPolicy::TrimmedMean { .. }) {
+        assert!(
+            args.value("trim-beta").is_none(),
+            "--trim-beta has no effect without --fold trimmed"
+        );
+    }
+    if !matches!(policy, FoldPolicy::Krum { .. }) {
+        assert!(
+            args.value("krum-f").is_none(),
+            "--krum-f has no effect without --fold krum"
+        );
+    }
+    policy
 }
 
 /// Builds a wire [`CodecSpec`] from experiment CLI flags.
@@ -408,6 +490,100 @@ mod tests {
     fn async_subflag_without_enabler_is_rejected() {
         let args = Args::parse("--buffer 8".split_whitespace().map(String::from));
         let _ = federation_spec_from_args(&args, 1, 10);
+    }
+
+    #[test]
+    fn attack_axis_parses_all_kinds_and_schedules() {
+        let args = Args::parse(
+            "--attack scaled-noise --attack-frac 0.3 --attack-factor 5 --attack-from 9"
+                .split_whitespace()
+                .map(String::from),
+        );
+        let spec = federation_spec_from_args(&args, 7, 40);
+        let attack = spec.attack.expect("attack configured");
+        assert_eq!(attack.kind, AttackKind::ScaledNoise { factor: 5.0 });
+        assert_eq!(attack.fraction, 0.3);
+        assert_eq!(attack.schedule, AttackSchedule::Sleeper { from_round: 9 });
+
+        let args = Args::parse(
+            "--attack sign-flip --attack-prob 0.5"
+                .split_whitespace()
+                .map(String::from),
+        );
+        let attack = federation_spec_from_args(&args, 7, 40).attack.unwrap();
+        assert_eq!(attack.kind, AttackKind::SignFlip);
+        assert_eq!(attack.fraction, 0.2, "fraction defaults to 20 %");
+        assert_eq!(attack.schedule, AttackSchedule::Intermittent { prob: 0.5 });
+
+        let args = Args::parse("--attack label-flip".split_whitespace().map(String::from));
+        let attack = federation_spec_from_args(&args, 7, 40).attack.unwrap();
+        assert_eq!(attack.kind, AttackKind::LabelFlip);
+        assert_eq!(attack.schedule, AttackSchedule::Always);
+    }
+
+    #[test]
+    #[should_panic(expected = "--attack-frac has no effect without --attack")]
+    fn attack_subflag_without_enabler_is_rejected() {
+        let args = Args::parse("--attack-frac 0.2".split_whitespace().map(String::from));
+        let _ = federation_spec_from_args(&args, 1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "--attack-factor has no effect without --attack scaled-noise")]
+    fn attack_factor_requires_scaled_noise() {
+        let args = Args::parse(
+            "--attack sign-flip --attack-factor 3"
+                .split_whitespace()
+                .map(String::from),
+        );
+        let _ = federation_spec_from_args(&args, 1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn attack_schedules_are_mutually_exclusive() {
+        let args = Args::parse(
+            "--attack sign-flip --attack-from 3 --attack-prob 0.5"
+                .split_whitespace()
+                .map(String::from),
+        );
+        let _ = federation_spec_from_args(&args, 1, 10);
+    }
+
+    #[test]
+    fn fold_policy_parses_all_rules() {
+        assert_eq!(fold_policy_from_args(&Args::default()), FoldPolicy::Mean);
+        let args = Args::parse(
+            "--fold trimmed --trim-beta 0.3"
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert_eq!(
+            fold_policy_from_args(&args),
+            FoldPolicy::TrimmedMean { beta: 0.3 }
+        );
+        let args = Args::parse("--fold median".split_whitespace().map(String::from));
+        assert_eq!(fold_policy_from_args(&args), FoldPolicy::CoordinateMedian);
+        let args = Args::parse(
+            "--fold krum --krum-f 3"
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert_eq!(fold_policy_from_args(&args), FoldPolicy::Krum { f: 3 });
+    }
+
+    #[test]
+    #[should_panic(expected = "--krum-f has no effect without --fold krum")]
+    fn fold_subflag_without_enabler_is_rejected() {
+        let args = Args::parse("--krum-f 2".split_whitespace().map(String::from));
+        let _ = fold_policy_from_args(&args);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown --fold")]
+    fn unknown_fold_name_is_rejected() {
+        let args = Args::parse("--fold average".split_whitespace().map(String::from));
+        let _ = fold_policy_from_args(&args);
     }
 
     #[test]

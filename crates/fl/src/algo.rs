@@ -43,11 +43,13 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use rand::rngs::StdRng;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 use shiftex_nn::{ArchSpec, TrainConfig};
 
 use crate::codec::CodecSpec;
 use crate::comm::CommLedger;
 use crate::party::{Party, PartyId};
+use crate::robust::{FoldPolicy, UpdateVerdict};
 use crate::round::local_update;
 use crate::scenario::{RoundMode, ScenarioEngine, WeightedUpdate};
 use crate::selection::ParticipantSelector;
@@ -108,9 +110,20 @@ pub trait FederatedAlgorithm {
     }
 
     /// Folds the decoded, staleness-weighted updates the engine released
-    /// into stream `key`. An empty `ready` set must leave the stream's
-    /// parameters untouched (churn can empty any round).
-    fn fold(&mut self, key: usize, ready: &[WeightedUpdate], server_lr: f32);
+    /// into stream `key` under `policy` — algorithms delegate the value
+    /// combination to [`aggregate_robust`](crate::robust::aggregate_robust)
+    /// so every (algorithm × fold) cell shares one robust-statistics
+    /// implementation, and return its per-update verdicts so the driver can
+    /// meter quarantines and feed the selector. An empty `ready` set must
+    /// leave the stream's parameters untouched (churn can empty any round)
+    /// and return no verdicts.
+    fn fold(
+        &mut self,
+        key: usize,
+        ready: &[WeightedUpdate],
+        server_lr: f32,
+        policy: &FoldPolicy,
+    ) -> Vec<UpdateVerdict>;
 
     /// Post-round hook after every stream folded (e.g. personalised local
     /// steps for fine-tuned parties). Default: nothing.
@@ -128,40 +141,86 @@ pub trait FederatedAlgorithm {
     fn num_models(&self) -> usize;
 }
 
+/// Per-round robust-aggregation telemetry, summed over an algorithm's
+/// streams: how many updates arrived, how many the fold refused, and how
+/// suspicious the cohort looked (fold-specific distance scores from
+/// [`UpdateVerdict::score`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessReport {
+    /// Updates the engine released into folds this round.
+    pub received: usize,
+    /// Updates a robust fold quarantined (received but not aggregated).
+    pub quarantined: usize,
+    /// Updates that entered an aggregation (`received − quarantined`).
+    pub folded: usize,
+    /// Mean fold distance score over received updates (0 under `Mean`).
+    pub mean_score: f32,
+    /// Largest fold distance score this round (0 under `Mean`).
+    pub max_score: f32,
+}
+
+impl RobustnessReport {
+    /// Accumulates one stream's fold verdicts into the round report.
+    fn absorb(&mut self, verdicts: &[UpdateVerdict]) {
+        let prior = self.received as f32;
+        self.received += verdicts.len();
+        for v in verdicts {
+            if v.quarantined {
+                self.quarantined += 1;
+            } else {
+                self.folded += 1;
+            }
+            self.max_score = self.max_score.max(v.score);
+        }
+        if self.received > 0 {
+            let sum: f32 = prior * self.mean_score + verdicts.iter().map(|v| v.score).sum::<f32>();
+            self.mean_score = sum / self.received as f32;
+        }
+    }
+}
+
 /// What one scenario-mediated round did, across all of an algorithm's
 /// streams.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AlgoRoundOutcome {
     /// 1-based round index (the engine's clock after this round began).
     pub round: usize,
     /// Enrolled members this round (after join/leave churn).
     pub live: Vec<PartyId>,
-    /// Updates folded into an aggregation, summed over streams.
+    /// Updates folded into an aggregation, summed over streams (excludes
+    /// quarantined updates).
     pub folded: usize,
     /// Parties whose uploads were aborted this round (mid-round dropout or
     /// late-drop), across streams.
     pub lost: Vec<PartyId>,
     /// Updates deferred into staleness buffers this round, across streams.
     pub deferred: usize,
+    /// Robust-aggregation telemetry for this round.
+    pub robustness: RobustnessReport,
 }
 
 /// Runs one scenario-mediated round of `algorithm`: advances the engine's
 /// round clock, gates the pool by churn, and — per stream — selects a
 /// cohort, broadcasts the encoded globals (first-contact recipients get
-/// metered full-state frames), fans out local steps, ships every upload
-/// through `codec` (with error feedback when configured), lets the engine
-/// apply dropout/straggler/staleness fates, feeds selector utility and
-/// liveness signals, and folds whatever matured.
+/// metered full-state frames), fans out local steps (label-poisoning
+/// attackers train on flipped labels), ships every upload through `codec`
+/// (with error feedback when configured; wire-level attackers corrupt
+/// theirs in transit), lets the engine apply dropout/straggler/staleness
+/// fates, feeds selector utility, liveness, and rejection signals, and
+/// folds whatever matured under `policy`, metering and refunding whatever
+/// the fold quarantines.
 ///
 /// This is the *only* round driver: ShiftEx and every baseline pay for the
 /// same scenario axes and the same bytes, so head-to-head numbers compare
 /// algorithms rather than runtimes.
+#[allow(clippy::too_many_arguments)] // the round's full I/O surface: wire, fold, meter, seed
 pub fn run_algorithm_round<A: FederatedAlgorithm + ?Sized>(
     algorithm: &mut A,
     parties: &[Party],
     engine: &mut ScenarioEngine,
     codec: &CodecSpec,
     selector: &mut dyn ParticipantSelector,
+    policy: &FoldPolicy,
     ledger: Option<&CommLedger>,
     rng: &mut StdRng,
 ) -> AlgoRoundOutcome {
@@ -180,9 +239,9 @@ pub fn run_algorithm_round<A: FederatedAlgorithm + ?Sized>(
         RoundMode::Async(a) => a.server_lr,
     };
 
-    let mut folded = 0usize;
     let mut deferred = 0usize;
     let mut lost = Vec::new();
+    let mut robustness = RobustnessReport::default();
     for key in algorithm.streams() {
         let cohort_ids = algorithm.cohort(key, &live, selector, rng);
         let cohort: Vec<&Party> = cohort_ids
@@ -201,7 +260,13 @@ pub fn run_algorithm_round<A: FederatedAlgorithm + ?Sized>(
                 // Each party trains from the frame it actually received:
                 // veterans the regular (possibly delta-coded) decode,
                 // first contacts their self-contained full-state decode.
-                algorithm.local_step(key, party, bcast.state_for(party.id()), seed)
+                // Label-flip adversaries train honestly — on poisoned data.
+                if engine.poisons_labels(party.id()) {
+                    let poisoned = party.label_flipped();
+                    algorithm.local_step(key, &poisoned, bcast.state_for(party.id()), seed)
+                } else {
+                    algorithm.local_step(key, party, bcast.state_for(party.id()), seed)
+                }
             })
             .collect();
         let updates: Vec<ModelUpdate> = updates
@@ -209,32 +274,50 @@ pub fn run_algorithm_round<A: FederatedAlgorithm + ?Sized>(
             .map(|u| engine.transport_upload(key, u, codec, &bcast.decoded))
             .collect();
         let delivery = engine.collect(key, updates, codec, ledger);
-        for w in &delivery.ready {
-            selector.observe(w.update.party, w.update.train_loss);
-        }
         for &party in &delivery.lost {
             selector.on_unavailable(party);
         }
-        folded += delivery.ready.len();
         deferred += delivery.deferred.len();
         lost.extend_from_slice(&delivery.lost);
-        algorithm.fold(key, &delivery.ready, server_lr);
+        let verdicts = algorithm.fold(key, &delivery.ready, server_lr, policy);
+        let quarantined: BTreeSet<PartyId> = verdicts
+            .iter()
+            .filter(|v| v.quarantined)
+            .map(|v| v.party)
+            .collect();
+        for w in &delivery.ready {
+            if quarantined.contains(&w.update.party) {
+                // The upload completed and its bytes were metered; overlay
+                // the rejection, tell the selector the party was alive but
+                // refused, and refund the shipped mass into the party's
+                // error-feedback accumulator so lossy codecs re-ship it.
+                if let Some(ledger) = ledger {
+                    ledger.record_quarantined_upload(w.update.encoded_len(codec));
+                }
+                selector.on_rejected(w.update.party);
+                engine.refund_quarantined(key, codec, &w.update);
+            } else {
+                selector.observe(w.update.party, w.update.train_loss);
+            }
+        }
+        robustness.absorb(&verdicts);
     }
     algorithm.end_round(&live, rng);
 
     AlgoRoundOutcome {
         round,
         live: live_ids,
-        folded,
+        folded: robustness.folded,
         lost,
         deferred,
+        robustness,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{aggregate_weighted, ChurnSpec, ScenarioSpec};
+    use crate::scenario::{ChurnSpec, ScenarioSpec};
     use crate::selection::UniformSelector;
     use rand::SeedableRng;
     use shiftex_data::{ImageShape, PrototypeGenerator};
@@ -285,10 +368,18 @@ mod tests {
                 .filter(|id| chosen.contains(id))
                 .collect()
         }
-        fn fold(&mut self, _key: usize, ready: &[WeightedUpdate], server_lr: f32) {
-            if let Some(p) = aggregate_weighted(&self.params, ready, server_lr) {
+        fn fold(
+            &mut self,
+            _key: usize,
+            ready: &[WeightedUpdate],
+            server_lr: f32,
+            policy: &FoldPolicy,
+        ) -> Vec<UpdateVerdict> {
+            let fold = crate::robust::aggregate_robust(&self.params, ready, server_lr, policy);
+            if let Some(p) = fold.params {
                 self.params = p;
             }
+            fold.verdicts
         }
         fn eval(&self, parties: &[&Party]) -> f32 {
             crate::evaluate_on_party_refs(&self.spec, &self.params, parties)
@@ -341,6 +432,7 @@ mod tests {
                 &mut engine,
                 &CodecSpec::dense(),
                 &mut UniformSelector,
+                &FoldPolicy::Mean,
                 None,
                 &mut rng,
             );
@@ -379,6 +471,7 @@ mod tests {
             &mut engine,
             &CodecSpec::dense(),
             &mut UniformSelector,
+            &FoldPolicy::Mean,
             None,
             &mut rng,
         );
@@ -402,6 +495,7 @@ mod tests {
             &mut engine,
             &codec,
             &mut UniformSelector,
+            &FoldPolicy::Mean,
             Some(&ledger),
             &mut rng,
         );
@@ -418,6 +512,7 @@ mod tests {
             &mut engine,
             &codec,
             &mut UniformSelector,
+            &FoldPolicy::Mean,
             Some(&ledger),
             &mut rng,
         );

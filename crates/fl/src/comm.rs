@@ -25,6 +25,13 @@ pub struct CommTotals {
     pub first_contact_down_bytes: u64,
     /// Count of first-contact downlinks.
     pub first_contact_messages: u64,
+    /// Bytes of uploads a robust fold quarantined. Unlike aborted traffic
+    /// these payloads *completed* — the bytes are already in `up_bytes` —
+    /// so this is an overlay counter: wire spend whose update was rejected
+    /// at aggregation time.
+    pub quarantined_up_bytes: u64,
+    /// Count of quarantined uploads.
+    pub quarantined_updates: u64,
 }
 
 /// Thread-safe communication ledger.
@@ -77,6 +84,16 @@ impl CommLedger {
         t.aborted_messages += 1;
     }
 
+    /// Records a delivered party → aggregator upload that a robust fold
+    /// then quarantined. The upload already hit `up_bytes` when it shipped;
+    /// this overlays the rejection so robustness tables can report what the
+    /// federation paid for updates it refused to aggregate.
+    pub fn record_quarantined_upload(&self, bytes: usize) {
+        let mut t = self.totals.lock();
+        t.quarantined_up_bytes += bytes as u64;
+        t.quarantined_updates += 1;
+    }
+
     /// Snapshot of the counters.
     pub fn totals(&self) -> CommTotals {
         *self.totals.lock()
@@ -127,6 +144,19 @@ mod tests {
         assert_eq!(t.first_contact_down_bytes, 400);
         assert_eq!(t.first_contact_messages, 1);
         assert_eq!(t.messages, 2, "a first-contact frame is a real message");
+    }
+
+    #[test]
+    fn quarantined_uploads_overlay_successful_traffic() {
+        let ledger = CommLedger::new();
+        ledger.record_upload(100);
+        ledger.record_upload(100);
+        ledger.record_quarantined_upload(100);
+        let t = ledger.totals();
+        assert_eq!(t.up_bytes, 200, "quarantine never un-counts the upload");
+        assert_eq!(t.quarantined_up_bytes, 100);
+        assert_eq!(t.quarantined_updates, 1);
+        assert_eq!(t.messages, 2, "a quarantined upload is not a new message");
     }
 
     #[test]

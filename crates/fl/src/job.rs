@@ -41,6 +41,11 @@ pub struct RoundParticipation {
     /// Encoded bytes of first-contact full-state downlinks this round (new
     /// joiners, round-1 cohorts) — distinct so join costs are visible.
     pub first_contact_down_bytes: u64,
+    /// Updates a robust fold quarantined this round (legacy mean-only jobs
+    /// always report 0).
+    pub quarantined: u64,
+    /// Largest fold distance score this round (0 under the mean fold).
+    pub fold_score: f32,
 }
 
 /// Report of a [`FederatedJob::run_rounds_scenario`] call.
@@ -274,6 +279,8 @@ impl FederatedJob {
                 down_bytes: comm.down_bytes - comm_before.down_bytes,
                 first_contact_down_bytes: comm.first_contact_down_bytes
                     - comm_before.first_contact_down_bytes,
+                quarantined: comm.quarantined_updates - comm_before.quarantined_updates,
+                fold_score: 0.0,
             });
         }
         ScenarioJobReport {

@@ -42,24 +42,26 @@ pub mod codec;
 mod comm;
 mod job;
 mod party;
+pub mod robust;
 mod round;
 pub mod scenario;
 mod selection;
 mod update;
 
-pub use algo::{run_algorithm_round, AlgoRoundOutcome, FederatedAlgorithm};
+pub use algo::{run_algorithm_round, AlgoRoundOutcome, FederatedAlgorithm, RobustnessReport};
 pub use codec::{CodecError, CodecKind, CodecSpec, UpdateCodec};
 pub use comm::{CommLedger, CommTotals};
 pub use job::{FederatedJob, JobReport, RoundParticipation, ScenarioJobReport};
 pub use party::{Party, PartyId, PartyInfo};
+pub use robust::{aggregate_robust, FoldPolicy, RobustFold, UpdateVerdict};
 pub use round::{
     local_update, run_round, run_round_scenario, train_cohort, RoundConfig, RoundOutcome,
     ScenarioRoundOutcome,
 };
 pub use scenario::{
-    aggregate_weighted, AsyncSpec, BroadcastDelivery, ChurnSchedule, ChurnSpec, DelayDist,
-    LatePolicy, ParticipationStats, RoundDelivery, RoundMode, ScenarioEngine, ScenarioSpec,
-    StragglerSpec, WeightedUpdate,
+    aggregate_weighted, AsyncSpec, AttackKind, AttackSchedule, AttackSpec, BroadcastDelivery,
+    ChurnSchedule, ChurnSpec, DelayDist, LatePolicy, ParticipationStats, RoundDelivery, RoundMode,
+    ScenarioEngine, ScenarioSpec, StragglerSpec, WeightedUpdate,
 };
 pub use selection::{ParticipantSelector, UniformSelector};
 pub use update::ModelUpdate;

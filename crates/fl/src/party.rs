@@ -87,6 +87,19 @@ impl Party {
         self.test = test;
     }
 
+    /// A hostile clone of this party whose *training* labels are flipped
+    /// (`l ← C−1−l`) — the label-flip data-poisoning attack. Test data is
+    /// untouched: evaluation always scores against the truth.
+    pub fn label_flipped(&self) -> Party {
+        let classes = self.train.num_classes();
+        Party {
+            id: self.id,
+            train: self.train.map_labels(|l| classes - 1 - l),
+            test: self.test.clone(),
+            prev_train: self.prev_train.clone(),
+        }
+    }
+
     /// Publishable metadata: id, sample count, label histogram.
     pub fn info(&self) -> PartyInfo {
         PartyInfo {

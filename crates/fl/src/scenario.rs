@@ -64,6 +64,9 @@ const SALT_LEAVE_IF: u64 = 0x1e;
 const SALT_LEAVE_AT: u64 = 0x1f;
 const SALT_DELAY: u64 = 0xde;
 const SALT_SLOW: u64 = 0x51;
+const SALT_ATTACKER: u64 = 0xa7;
+const SALT_ATTACK_ON: u64 = 0xa0;
+const SALT_ATTACK_NOISE: u64 = 0xa5;
 
 // ---------------------------------------------------------------------------
 // Churn.
@@ -330,6 +333,133 @@ pub enum RoundMode {
 }
 
 // ---------------------------------------------------------------------------
+// Byzantine / faulty parties.
+
+/// What a hostile party does to its contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Reflect the trained parameters through the broadcast reference:
+    /// `p ← 2·ref − p`, i.e. the exact negation of the party's real
+    /// gradient step — the classic model-poisoning primitive.
+    SignFlip,
+    /// Gradient inflation: scale the party's step away from the reference
+    /// by `factor` and add seeded noise of the same magnitude, so the
+    /// update is both oversized and misdirected.
+    ScaledNoise {
+        /// Step-inflation multiplier (honest = 1).
+        factor: f32,
+    },
+    /// Data poisoning: the party trains honestly but on flipped labels
+    /// (`l ← C−1−l`), producing a plausible-looking but harmful update.
+    /// Applied at local-training time by the round driver; the wire layer
+    /// passes the update through untouched.
+    LabelFlip,
+}
+
+/// When an attacker actually attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttackSchedule {
+    /// Every round the attacker participates.
+    Always,
+    /// Seeded per-round Bernoulli: attack with probability `prob`, behave
+    /// honestly otherwise — evades naive per-round anomaly thresholds.
+    Intermittent {
+        /// Per-round attack probability.
+        prob: f32,
+    },
+    /// Sleeper agent: honest until `from_round`, hostile from then on —
+    /// builds up selector reputation before striking.
+    Sleeper {
+        /// First hostile round (1-based, inclusive).
+        from_round: usize,
+    },
+}
+
+/// The adversary axis of a scenario: a seeded fraction of the population is
+/// assigned an attacker role, activated per round by a schedule. Assignment
+/// and activation are hash-derived from the scenario seed exactly like
+/// churn and straggler fates, so hostile runs are rerun-deterministic and
+/// compose with every other axis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackSpec {
+    /// What attackers do.
+    pub kind: AttackKind,
+    /// Fraction of the population assigned the attacker role.
+    pub fraction: f32,
+    /// When assigned attackers are actually hostile.
+    pub schedule: AttackSchedule,
+}
+
+impl AttackSpec {
+    /// An always-on attack over `fraction` of the population.
+    pub fn new(kind: AttackKind, fraction: f32) -> Self {
+        Self {
+            kind,
+            fraction,
+            schedule: AttackSchedule::Always,
+        }
+    }
+
+    /// Swaps in an activation schedule.
+    pub fn with_schedule(mut self, schedule: AttackSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Is `party` assigned the attacker role under `seed`?
+    pub fn is_attacker(&self, seed: u64, party: PartyId) -> bool {
+        self.fraction > 0.0 && draw_unit(seed, SALT_ATTACKER, party.0 as u64, 0) < self.fraction
+    }
+
+    /// Is `party` actively hostile at `round`?
+    pub fn active(&self, seed: u64, party: PartyId, round: usize) -> bool {
+        self.is_attacker(seed, party)
+            && match self.schedule {
+                AttackSchedule::Always => true,
+                AttackSchedule::Intermittent { prob } => {
+                    draw_unit(seed, SALT_ATTACK_ON, party.0 as u64, round as u64) < prob
+                }
+                AttackSchedule::Sleeper { from_round } => round >= from_round,
+            }
+    }
+
+    /// Applies the wire-level corruption (sign-flip, scaled-noise) to an
+    /// update trained against `reference`. [`AttackKind::LabelFlip`] is a
+    /// training-time attack and leaves the upload untouched here.
+    fn corrupt(&self, seed: u64, round: usize, reference: &[f32], update: &mut ModelUpdate) {
+        let refc = |i: usize| reference.get(i).copied().unwrap_or(0.0);
+        match self.kind {
+            AttackKind::SignFlip => {
+                for (i, p) in update.params.iter_mut().enumerate() {
+                    *p = 2.0 * refc(i) - *p;
+                }
+            }
+            AttackKind::ScaledNoise { factor } => {
+                let n = update.params.len().max(1);
+                let rms = (update
+                    .params
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| {
+                        let d = p - refc(i);
+                        d * d
+                    })
+                    .sum::<f32>()
+                    / n as f32)
+                    .sqrt();
+                let pid = update.party.0 as u64;
+                for (i, p) in update.params.iter_mut().enumerate() {
+                    let key = ((round as u64) << 32) | i as u64;
+                    let noise = 2.0 * draw_unit(seed, SALT_ATTACK_NOISE, pid, key) - 1.0;
+                    *p = refc(i) + factor * (*p - refc(i)) + factor * rms * noise;
+                }
+            }
+            AttackKind::LabelFlip => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The composed scenario.
 
 /// A federation scenario: churn × stragglers × round mode, all seeded.
@@ -341,6 +471,9 @@ pub struct ScenarioSpec {
     pub stragglers: Option<StragglerSpec>,
     /// Aggregation discipline.
     pub mode: RoundMode,
+    /// Byzantine adversary, if any (absent in serialized specs from before
+    /// the adversary axis — the shim decodes a missing key as `None`).
+    pub attack: Option<AttackSpec>,
     /// Seed for every hash-derived draw in this scenario.
     pub seed: u64,
 }
@@ -352,6 +485,7 @@ impl ScenarioSpec {
             churn: None,
             stragglers: None,
             mode: RoundMode::Sync,
+            attack: None,
             seed,
         }
     }
@@ -371,6 +505,12 @@ impl ScenarioSpec {
     /// Switches to asynchronous buffered aggregation.
     pub fn with_async(mut self, spec: AsyncSpec) -> Self {
         self.mode = RoundMode::Async(spec);
+        self
+    }
+
+    /// Adds a Byzantine adversary.
+    pub fn with_attack(mut self, attack: AttackSpec) -> Self {
+        self.attack = Some(attack);
         self
     }
 
@@ -653,19 +793,56 @@ impl ScenarioEngine {
         self.last_broadcast.get(&key).map(Vec::as_slice)
     }
 
+    /// Is `party` assigned the attacker role by this scenario's adversary?
+    pub fn is_attacker(&self, party: PartyId) -> bool {
+        self.spec
+            .attack
+            .as_ref()
+            .is_some_and(|a| a.is_attacker(self.spec.seed, party))
+    }
+
+    /// Is `party` actively hostile this round (role assigned *and* the
+    /// activation schedule fires)?
+    pub fn attack_active(&self, party: PartyId) -> bool {
+        self.spec
+            .attack
+            .as_ref()
+            .is_some_and(|a| a.active(self.spec.seed, party, self.round))
+    }
+
+    /// Does `party` poison its training labels this round? Label-flip is a
+    /// training-time attack, so the round driver consults this *before*
+    /// local training rather than at upload time.
+    pub fn poisons_labels(&self, party: PartyId) -> bool {
+        matches!(
+            self.spec.attack.map(|a| a.kind),
+            Some(AttackKind::LabelFlip)
+        ) && self.attack_active(party)
+    }
+
     /// Ships one upload across the wire and back under `codec`, applying
     /// party-side error feedback when the spec asks for it: the engine owns
     /// one residual accumulator per `(stream, party)`, so coordinates a
     /// lossy upload drops are carried into the party's next upload instead
     /// of being lost. Without [`CodecSpec::error_feedback`] this is exactly
     /// [`ModelUpdate::transport`].
+    ///
+    /// This is also where wire-level attacks strike: an actively hostile
+    /// party corrupts its update *before* encoding, so sign-flipped and
+    /// inflated payloads ride the same codec (and are metered at the same
+    /// exact encoded bytes) as honest ones.
     pub fn transport_upload(
         &mut self,
         key: usize,
-        update: ModelUpdate,
+        mut update: ModelUpdate,
         codec: &CodecSpec,
         reference: &[f32],
     ) -> ModelUpdate {
+        if let Some(attack) = &self.spec.attack {
+            if attack.active(self.spec.seed, update.party, self.round) {
+                attack.corrupt(self.spec.seed, self.round, reference, &mut update);
+            }
+        }
         if !codec.error_feedback {
             return update.transport(codec, reference);
         }
@@ -811,6 +988,16 @@ impl ScenarioEngine {
         for (i, (e, &shipped)) in acc.iter_mut().zip(update.params.iter()).enumerate() {
             *e += shipped - reference.get(i).copied().unwrap_or(0.0);
         }
+    }
+
+    /// A delivered update was quarantined by a robust fold: its bytes were
+    /// paid and metered, but the change it carried never entered the
+    /// globals — refund it into the party's error-feedback accumulator so
+    /// lossy-codec parties re-ship the rejected mass rather than silently
+    /// losing it (same refund as a lost upload; see
+    /// [`refund_feedback`](Self::refund_feedback)'s rationale).
+    pub fn refund_quarantined(&mut self, key: usize, codec: &CodecSpec, update: &ModelUpdate) {
+        self.refund_feedback(key, codec, update);
     }
 }
 
@@ -1197,5 +1384,157 @@ mod tests {
         assert!((half[0] - 0.875).abs() < 1e-6);
         // Nothing to aggregate → None.
         assert!(aggregate_weighted(&[0.0], &[], 1.0).is_none());
+    }
+
+    #[test]
+    fn attacker_assignment_is_deterministic_and_calibrated() {
+        let spec = AttackSpec::new(AttackKind::SignFlip, 0.2);
+        let hostile = (0..1000usize)
+            .filter(|&p| spec.is_attacker(42, PartyId(p)))
+            .count();
+        let rate = hostile as f32 / 1000.0;
+        assert!((rate - 0.2).abs() < 0.04, "observed attacker rate {rate}");
+        // Same seed → identical role assignment on rerun.
+        for p in 0..1000usize {
+            assert_eq!(
+                spec.is_attacker(42, PartyId(p)),
+                spec.is_attacker(42, PartyId(p))
+            );
+        }
+        // A different seed reshuffles who is hostile.
+        let moved = (0..1000usize)
+            .filter(|&p| spec.is_attacker(42, PartyId(p)) != spec.is_attacker(43, PartyId(p)))
+            .count();
+        assert!(moved > 0, "different seeds must assign different attackers");
+        // Zero fraction disarms everyone.
+        let off = AttackSpec::new(AttackKind::SignFlip, 0.0);
+        assert!((0..1000usize).all(|p| !off.is_attacker(42, PartyId(p))));
+    }
+
+    #[test]
+    fn attack_schedules_gate_activation() {
+        let attacker = PartyId(
+            (0..100usize)
+                .find(|&p| AttackSpec::new(AttackKind::SignFlip, 0.5).is_attacker(9, PartyId(p)))
+                .expect("half the population is hostile"),
+        );
+        let always = AttackSpec::new(AttackKind::SignFlip, 0.5);
+        assert!((1..20).all(|r| always.active(9, attacker, r)));
+        let sleeper = AttackSpec::new(AttackKind::SignFlip, 0.5)
+            .with_schedule(AttackSchedule::Sleeper { from_round: 5 });
+        assert!((1..5).all(|r| !sleeper.active(9, attacker, r)));
+        assert!((5..20).all(|r| sleeper.active(9, attacker, r)));
+        let sometimes = AttackSpec::new(AttackKind::SignFlip, 0.5)
+            .with_schedule(AttackSchedule::Intermittent { prob: 0.5 });
+        let on = (1..400)
+            .filter(|&r| sometimes.active(9, attacker, r))
+            .count();
+        assert!(
+            on > 100 && on < 300,
+            "intermittent schedule fired {on}/399 rounds"
+        );
+        // Schedules never activate parties outside the attacker role.
+        let honest = PartyId(
+            (0..100usize)
+                .find(|&p| !always.is_attacker(9, PartyId(p)))
+                .expect("half the population is honest"),
+        );
+        assert!((1..20).all(|r| !always.active(9, honest, r)));
+    }
+
+    #[test]
+    fn sign_flip_reflects_the_upload_through_the_reference() {
+        let spec = ScenarioSpec::sync(3).with_attack(AttackSpec::new(AttackKind::SignFlip, 1.0));
+        let mut engine = ScenarioEngine::new(spec, &ids(1));
+        engine.begin_round();
+        assert!(engine.is_attacker(PartyId(0)));
+        assert!(engine.attack_active(PartyId(0)));
+        assert!(
+            !engine.poisons_labels(PartyId(0)),
+            "sign-flip is wire-level"
+        );
+        let reference = vec![1.0, -1.0, 0.5, 0.0];
+        let honest = ModelUpdate {
+            party: PartyId(0),
+            params: vec![2.0, -2.0, 1.0, 4.0],
+            num_samples: 10,
+            train_loss: 0.5,
+        };
+        let shipped = engine.transport_upload(0, honest, &CodecSpec::dense(), &reference);
+        // p ← 2·ref − p: the gradient step is exactly negated.
+        assert_eq!(shipped.params, vec![0.0, 0.0, 0.0, -4.0]);
+    }
+
+    #[test]
+    fn scaled_noise_inflates_the_step_away_from_the_reference() {
+        let spec = ScenarioSpec::sync(3).with_attack(AttackSpec::new(
+            AttackKind::ScaledNoise { factor: 10.0 },
+            1.0,
+        ));
+        let mut engine = ScenarioEngine::new(spec, &ids(1));
+        engine.begin_round();
+        let reference = vec![0.0; 8];
+        let honest = ModelUpdate {
+            party: PartyId(0),
+            params: vec![0.1; 8],
+            num_samples: 10,
+            train_loss: 0.5,
+        };
+        let honest_norm: f32 = honest.params.iter().map(|p| p * p).sum::<f32>().sqrt();
+        let shipped = engine.transport_upload(0, honest, &CodecSpec::dense(), &reference);
+        let norm: f32 = shipped.params.iter().map(|p| p * p).sum::<f32>().sqrt();
+        assert!(
+            norm > 5.0 * honest_norm,
+            "inflated step {norm} vs honest {honest_norm}"
+        );
+    }
+
+    #[test]
+    fn label_flip_leaves_the_wire_untouched_but_flags_training() {
+        let spec = ScenarioSpec::sync(3).with_attack(AttackSpec::new(AttackKind::LabelFlip, 1.0));
+        let mut engine = ScenarioEngine::new(spec, &ids(1));
+        engine.begin_round();
+        assert!(engine.poisons_labels(PartyId(0)));
+        let honest = ModelUpdate {
+            party: PartyId(0),
+            params: vec![2.0, -2.0],
+            num_samples: 10,
+            train_loss: 0.5,
+        };
+        let shipped = engine.transport_upload(0, honest.clone(), &CodecSpec::dense(), &[0.0; 2]);
+        assert_eq!(shipped.params, honest.params);
+    }
+
+    #[test]
+    fn attacks_compose_with_churn_and_stay_rerun_deterministic() {
+        let spec = ScenarioSpec::sync(11)
+            .with_churn(ChurnSpec::dropout_only(0.3))
+            .with_attack(
+                AttackSpec::new(AttackKind::ScaledNoise { factor: 5.0 }, 0.4)
+                    .with_schedule(AttackSchedule::Intermittent { prob: 0.7 }),
+            );
+        let run = |spec: ScenarioSpec| {
+            let mut engine = ScenarioEngine::new(spec, &ids(16));
+            let mut trace = Vec::new();
+            for _ in 0..5 {
+                engine.begin_round();
+                let live = engine.live_members(&ids(16));
+                let uploads: Vec<ModelUpdate> = live
+                    .iter()
+                    .map(|&p| {
+                        engine.transport_upload(0, update(p.0, 10), &CodecSpec::dense(), &[0.0; 4])
+                    })
+                    .collect();
+                let d = engine.collect(0, uploads, &CodecSpec::dense(), None);
+                for w in &d.ready {
+                    trace.push((w.update.party, w.update.params.clone()));
+                }
+            }
+            trace
+        };
+        let a = run(spec.clone());
+        let b = run(spec);
+        assert_eq!(a, b, "hostile runs must be rerun-deterministic");
+        assert!(!a.is_empty());
     }
 }

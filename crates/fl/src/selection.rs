@@ -34,6 +34,13 @@ pub trait ParticipantSelector {
     /// parties. Default: ignored.
     fn on_unavailable(&mut self, _party: PartyId) {}
 
+    /// Rejection feedback: `party` delivered its update on time but a
+    /// robust fold quarantined it. The party was *alive* and paid the
+    /// bytes, so availability cooldowns must not fire here — this hook is
+    /// the seam for a future reputation signal, kept deliberately separate
+    /// from [`on_unavailable`](Self::on_unavailable). Default: ignored.
+    fn on_rejected(&mut self, _party: PartyId) {}
+
     /// Human-readable policy name.
     fn name(&self) -> &str {
         "selector"

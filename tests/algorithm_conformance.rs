@@ -18,7 +18,9 @@ use shiftex::experiments::{
     build_algorithm, run_federation_scenario, FedRunOptions, FedRunResult, Scenario,
     ALGORITHM_NAMES,
 };
-use shiftex::fl::{ChurnSpec, CodecSpec, ScenarioSpec};
+use shiftex::fl::{
+    AttackKind, AttackSchedule, AttackSpec, ChurnSpec, CodecSpec, FoldPolicy, ScenarioSpec,
+};
 
 fn run_named(
     name: &str,
@@ -111,6 +113,64 @@ fn every_algorithm_is_deterministic_under_churn() {
         assert_eq!(a, b, "{name}: churned reruns must be bit-identical");
         assert_eq!(a.strategy, b.strategy);
     }
+}
+
+#[test]
+fn every_algorithm_is_deterministic_under_attack_and_churn() {
+    // The hostile axis composed with churn and a robust fold: assignment,
+    // activation, and corruption are all hash-derived from the scenario
+    // seed, so a full rerun must be bit-identical — including which
+    // updates each fold quarantined and the bytes metered as refused.
+    let scenario =
+        Scenario::build_with_population(DatasetKind::FashionMnist, SimScale::Smoke, 41, None, None);
+    let fed = ScenarioSpec::sync(11)
+        .with_churn(ChurnSpec {
+            join_fraction: 0.25,
+            join_ramp_rounds: 2,
+            leave_fraction: 0.0,
+            leave_after: 4,
+            horizon: 4,
+            dropout: 0.15,
+        })
+        .with_attack(
+            AttackSpec::new(AttackKind::ScaledNoise { factor: 10.0 }, 0.25)
+                .with_schedule(AttackSchedule::Intermittent { prob: 0.7 }),
+        );
+    for fold in [
+        FoldPolicy::Krum { f: 1 },
+        FoldPolicy::TrimmedMean { beta: 0.2 },
+    ] {
+        let opts = FedRunOptions::new(1, 2, 2).with_fold(fold);
+        for name in ALGORITHM_NAMES {
+            let a = run_named(name, &scenario, &fed, &opts);
+            let b = run_named(name, &scenario, &fed, &opts);
+            assert_eq!(a, b, "{name}/{fold}: hostile reruns must be bit-identical");
+            assert_eq!(
+                a.comm.quarantined_updates, b.comm.quarantined_updates,
+                "{name}/{fold}: quarantine metering must be deterministic"
+            );
+        }
+    }
+}
+
+#[test]
+fn mean_fold_with_inactive_attack_axis_matches_the_golden_capture() {
+    // An attack spec whose schedule never fires must leave the Mean fold's
+    // bit-identical golden path untouched: same accuracy bits, no
+    // quarantines, no refused bytes.
+    let (scenario, fed, opts) = golden_setup();
+    let fed = fed.with_attack(
+        AttackSpec::new(AttackKind::SignFlip, 0.5)
+            .with_schedule(AttackSchedule::Sleeper { from_round: 1000 }),
+    );
+    let result = run_named("fedavg", &scenario, &fed, &opts);
+    assert_eq!(
+        acc_bits(&result),
+        vec![1038090240, 1039138816, 1041235968, 1042808832],
+        "a dormant adversary must not perturb the golden run"
+    );
+    assert_eq!(result.comm.quarantined_updates, 0);
+    assert_eq!(result.comm.quarantined_up_bytes, 0);
 }
 
 #[test]

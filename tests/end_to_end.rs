@@ -6,7 +6,7 @@ use rand::{rngs::StdRng, SeedableRng};
 use shiftex::core::{ShiftEx, ShiftExConfig};
 use shiftex::data::{Corruption, DatasetKind, ImageShape, PrototypeGenerator, Regime, SimScale};
 use shiftex::experiments::{build_algorithm, run_scenario, Scenario, ALGORITHM_NAMES};
-use shiftex::fl::{FederatedAlgorithm, Party, PartyId};
+use shiftex::fl::{FederatedAlgorithm, FoldPolicy, Party, PartyId};
 use shiftex::nn::ArchSpec;
 
 #[test]
@@ -148,6 +148,7 @@ fn algorithms_are_interchangeable_as_trait_objects() {
             &mut engine,
             &CodecSpec::dense(),
             &mut UniformSelector,
+            &FoldPolicy::Mean,
             None,
             &mut rng,
         );
