@@ -18,9 +18,9 @@ use std::collections::BTreeMap;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use shiftex_cluster::choose_k;
-use shiftex_core::strategy::{build_model, evaluate_assigned_refs};
+use shiftex_core::strategy::{build_model, evaluate_assigned_view};
 use shiftex_fl::{
-    aggregate_robust, FederatedAlgorithm, FoldPolicy, ParticipantSelector, Party, PartyId,
+    aggregate_robust, FederatedAlgorithm, FoldPolicy, ParticipantSelector, PartyId, PopulationView,
     UpdateVerdict, WeightedUpdate,
 };
 use shiftex_nn::{ArchSpec, Sequential, TrainConfig};
@@ -83,26 +83,32 @@ impl FedDrift {
         self.assignment.get(&party).copied().unwrap_or(0)
     }
 
-    /// Per-party loss of its local data under every model.
-    fn loss_matrix(&self, parties: &[&Party]) -> Vec<Vec<f32>> {
+    /// Per-party loss of its local data under every model; parties stream
+    /// through the view one at a time (only the loss rows stay resident).
+    fn loss_matrix(&self, parties: &PopulationView<'_>) -> Vec<Vec<f32>> {
         let built: Vec<Sequential> = self
             .models
             .iter()
             .map(|m| build_model(&self.spec, m))
             .collect();
         parties
+            .ids()
             .iter()
-            .map(|p| {
-                built
-                    .iter()
-                    .map(|m| {
-                        if p.train().is_empty() {
-                            0.0
-                        } else {
-                            m.evaluate(p.train_features(), p.train_labels()).loss
-                        }
+            .map(|&id| {
+                parties
+                    .with_party(id, |p| {
+                        built
+                            .iter()
+                            .map(|m| {
+                                if p.train().is_empty() {
+                                    0.0
+                                } else {
+                                    m.evaluate(p.train_features(), p.train_labels()).loss
+                                }
+                            })
+                            .collect()
                     })
-                    .collect()
+                    .unwrap_or_else(|| vec![0.0; built.len()])
             })
             .collect()
     }
@@ -117,36 +123,36 @@ impl FederatedAlgorithm for FedDrift {
         &self.spec
     }
 
-    fn init(&mut self, parties: &[Party], rng: &mut StdRng) {
+    fn init(&mut self, parties: &PopulationView<'_>, rng: &mut StdRng) {
         self.models = vec![Sequential::build(&self.spec, rng).params_flat()];
         self.assignment.clear();
         self.prev_loss.clear();
-        let refs: Vec<&Party> = parties.iter().collect();
-        let losses = self.loss_matrix(&refs);
-        for (p, row) in refs.iter().zip(losses.iter()) {
-            self.assignment.insert(p.id(), 0);
-            self.prev_loss.insert(p.id(), row[0]);
+        let losses = self.loss_matrix(parties);
+        for (&id, row) in parties.ids().iter().zip(losses.iter()) {
+            self.assignment.insert(id, 0);
+            self.prev_loss.insert(id, row[0]);
         }
     }
 
-    fn begin_window(&mut self, _window: usize, members: &[&Party], rng: &mut StdRng) {
+    fn begin_window(&mut self, _window: usize, members: &PopulationView<'_>, rng: &mut StdRng) {
         let losses = self.loss_matrix(members);
+        let member_ids = members.ids();
         // Re-assign every party to its best existing model; flag drifted
         // parties whose best loss regressed beyond the tolerance.
         let mut drifted: Vec<usize> = Vec::new();
-        for (i, (p, row)) in members.iter().zip(losses.iter()).enumerate() {
+        for (i, (&id, row)) in member_ids.iter().zip(losses.iter()).enumerate() {
             let (best_model, best_loss) = row
                 .iter()
                 .enumerate()
                 .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
                 .map(|(k, &l)| (k, l))
                 .unwrap_or((0, 0.0));
-            self.assignment.insert(p.id(), best_model);
-            let prev = self.prev_loss.get(&p.id()).copied().unwrap_or(best_loss);
+            self.assignment.insert(id, best_model);
+            let prev = self.prev_loss.get(&id).copied().unwrap_or(best_loss);
             if best_loss > prev + self.cfg.loss_tolerance {
                 drifted.push(i);
             }
-            self.prev_loss.insert(p.id(), best_loss);
+            self.prev_loss.insert(id, best_loss);
         }
         if drifted.is_empty() {
             return;
@@ -162,14 +168,14 @@ impl FederatedAlgorithm for FedDrift {
             let model_idx = if self.models.len() < self.cfg.max_models {
                 // New model initialised from the group's current best model
                 // (FedDrift's cluster-split initialisation).
-                let seed_from = self.model_of(members[drifted[group[0]]].id());
+                let seed_from = self.model_of(member_ids[drifted[group[0]]]);
                 self.models.push(self.models[seed_from].clone());
                 self.models.len() - 1
             } else {
-                self.model_of(members[drifted[group[0]]].id())
+                self.model_of(member_ids[drifted[group[0]]])
             };
             for &gi in &group {
-                self.assignment.insert(members[drifted[gi]].id(), model_idx);
+                self.assignment.insert(member_ids[drifted[gi]], model_idx);
             }
         }
     }
@@ -189,24 +195,25 @@ impl FederatedAlgorithm for FedDrift {
     fn cohort(
         &mut self,
         key: usize,
-        live: &[&Party],
+        live: &PopulationView<'_>,
         selector: &mut dyn ParticipantSelector,
         rng: &mut StdRng,
     ) -> Vec<PartyId> {
-        let pool: Vec<&&Party> = live
-            .iter()
-            .filter(|p| self.model_of(p.id()) == key && !p.train().is_empty())
+        let infos: Vec<_> = live
+            .infos()
+            .into_iter()
+            .filter(|i| self.model_of(i.id) == key && i.num_samples > 0)
             .collect();
-        if pool.is_empty() {
+        if infos.is_empty() {
             return Vec::new();
         }
-        let infos: Vec<_> = pool.iter().map(|p| p.info()).collect();
         let chosen: std::collections::BTreeSet<PartyId> = selector
             .select(&infos, self.participants_per_round, rng)
             .into_iter()
             .collect();
-        pool.iter()
-            .map(|p| p.id())
+        infos
+            .iter()
+            .map(|i| i.id)
             .filter(|id| chosen.contains(id))
             .collect()
     }
@@ -238,8 +245,8 @@ impl FederatedAlgorithm for FedDrift {
         fold.verdicts
     }
 
-    fn eval(&self, parties: &[&Party]) -> f32 {
-        evaluate_assigned_refs(&self.spec, parties, |id| {
+    fn eval(&self, parties: &PopulationView<'_>) -> f32 {
+        evaluate_assigned_view(&self.spec, parties, |id| {
             self.models[self.model_of(id)].as_slice()
         })
     }
@@ -259,7 +266,8 @@ mod tests {
     use rand::SeedableRng;
     use shiftex_data::{Corruption, ImageShape, PrototypeGenerator, Regime};
     use shiftex_fl::{
-        run_algorithm_round, CodecSpec, ScenarioEngine, ScenarioSpec, UniformSelector,
+        run_algorithm_round, CodecSpec, Party, PopulationStore, ScenarioEngine, ScenarioSpec,
+        UniformSelector,
     };
 
     fn make(n: usize, rng: &mut StdRng) -> (PrototypeGenerator, Vec<Party>) {
@@ -277,12 +285,13 @@ mod tests {
     }
 
     fn rounds(alg: &mut FedDrift, parties: &[Party], n: usize, rng: &mut StdRng) {
-        let ids: Vec<PartyId> = parties.iter().map(Party::id).collect();
+        let store = PopulationStore::from_parties(parties.to_vec());
+        let ids = store.party_ids();
         let mut engine = ScenarioEngine::new(ScenarioSpec::sync(1), &ids);
         for _ in 0..n {
             run_algorithm_round(
                 alg,
-                parties,
+                &store,
                 &mut engine,
                 &CodecSpec::dense(),
                 &mut UniformSelector,
@@ -299,7 +308,8 @@ mod tests {
         let (gen, mut parties) = make(8, &mut rng);
         let spec = ArchSpec::mlp("t", 64, &[16], 3);
         let mut alg = FedDrift::new(spec, TrainConfig::default(), 8, FedDriftConfig::default());
-        alg.init(&parties, &mut rng);
+        let init_store = PopulationStore::from_parties(parties.clone());
+        alg.init(&init_store.view(init_store.party_ids()), &mut rng);
         rounds(&mut alg, &parties, 6, &mut rng);
         assert_eq!(alg.num_models(), 1);
 
@@ -319,8 +329,8 @@ mod tests {
             };
             p.advance_window(train, test);
         }
-        let refs: Vec<&Party> = parties.iter().collect();
-        alg.begin_window(1, &refs, &mut rng);
+        let store = PopulationStore::from_parties(parties.clone());
+        alg.begin_window(1, &store.view(store.party_ids()), &mut rng);
         assert!(
             alg.num_models() >= 2,
             "loss regression should spawn a model, got {}",
@@ -341,7 +351,8 @@ mod tests {
         let (gen, mut parties) = make(6, &mut rng);
         let spec = ArchSpec::mlp("t", 64, &[16], 3);
         let mut alg = FedDrift::new(spec, TrainConfig::default(), 6, FedDriftConfig::default());
-        alg.init(&parties, &mut rng);
+        let init_store = PopulationStore::from_parties(parties.clone());
+        alg.init(&init_store.view(init_store.party_ids()), &mut rng);
         for w in 1..3 {
             for p in parties.iter_mut() {
                 let train = gen.generate_uniform(40, &mut rng);
@@ -349,8 +360,8 @@ mod tests {
                 p.advance_window(train, test);
             }
             rounds(&mut alg, &parties, 3, &mut rng);
-            let refs: Vec<&Party> = parties.iter().collect();
-            alg.begin_window(w, &refs, &mut rng);
+            let store = PopulationStore::from_parties(parties.clone());
+            alg.begin_window(w, &store.view(store.party_ids()), &mut rng);
         }
         assert_eq!(alg.num_models(), 1, "no drift, no models");
     }
@@ -366,7 +377,8 @@ mod tests {
             ..Default::default()
         };
         let mut alg = FedDrift::new(spec, TrainConfig::default(), 6, cfg);
-        alg.init(&parties, &mut rng);
+        let init_store = PopulationStore::from_parties(parties.clone());
+        alg.init(&init_store.view(init_store.party_ids()), &mut rng);
         for w in 1..5 {
             let regime = Regime::corrupted(Corruption::GaussianNoise, (w as u8 % 5) + 1);
             for p in parties.iter_mut() {
@@ -375,8 +387,8 @@ mod tests {
                     gen.generate_with_regime(16, &regime, &mut rng),
                 );
             }
-            let refs: Vec<&Party> = parties.iter().collect();
-            alg.begin_window(w, &refs, &mut rng);
+            let store = PopulationStore::from_parties(parties.clone());
+            alg.begin_window(w, &store.view(store.party_ids()), &mut rng);
         }
         assert!(alg.num_models() <= 2);
     }

@@ -4,8 +4,8 @@
 
 use rand::rngs::StdRng;
 use shiftex_fl::{
-    aggregate_robust, evaluate_on_party_refs, FederatedAlgorithm, FoldPolicy, ParticipantSelector,
-    Party, PartyId, UpdateVerdict, WeightedUpdate,
+    aggregate_robust, evaluate_on_view, FederatedAlgorithm, FoldPolicy, ParticipantSelector,
+    PartyId, PopulationView, UpdateVerdict, WeightedUpdate,
 };
 use shiftex_nn::{ArchSpec, Sequential, TrainConfig};
 
@@ -54,11 +54,11 @@ impl FederatedAlgorithm for FedProx {
         &self.spec
     }
 
-    fn init(&mut self, _parties: &[Party], rng: &mut StdRng) {
+    fn init(&mut self, _parties: &PopulationView<'_>, rng: &mut StdRng) {
         self.params = Sequential::build(&self.spec, rng).params_flat();
     }
 
-    fn begin_window(&mut self, _window: usize, _members: &[&Party], _rng: &mut StdRng) {
+    fn begin_window(&mut self, _window: usize, _members: &PopulationView<'_>, _rng: &mut StdRng) {
         // Single global model: nothing to reorganise at window boundaries.
     }
 
@@ -77,20 +77,21 @@ impl FederatedAlgorithm for FedProx {
     fn cohort(
         &mut self,
         _key: usize,
-        live: &[&Party],
+        live: &PopulationView<'_>,
         selector: &mut dyn ParticipantSelector,
         rng: &mut StdRng,
     ) -> Vec<PartyId> {
         if live.is_empty() {
             return Vec::new();
         }
-        let infos: Vec<_> = live.iter().map(|p| p.info()).collect();
+        let infos = live.infos();
         let chosen: std::collections::BTreeSet<PartyId> = selector
             .select(&infos, self.participants_per_round, rng)
             .into_iter()
             .collect();
-        live.iter()
-            .map(|p| p.id())
+        live.ids()
+            .iter()
+            .copied()
             .filter(|id| chosen.contains(id))
             .collect()
     }
@@ -109,8 +110,8 @@ impl FederatedAlgorithm for FedProx {
         fold.verdicts
     }
 
-    fn eval(&self, parties: &[&Party]) -> f32 {
-        evaluate_on_party_refs(&self.spec, &self.params, parties)
+    fn eval(&self, parties: &PopulationView<'_>) -> f32 {
+        evaluate_on_view(&self.spec, &self.params, parties)
     }
 
     fn model_index(&self, _party: PartyId) -> usize {
@@ -128,7 +129,8 @@ mod tests {
     use rand::SeedableRng;
     use shiftex_data::{ImageShape, PrototypeGenerator};
     use shiftex_fl::{
-        run_algorithm_round, CodecSpec, ScenarioEngine, ScenarioSpec, UniformSelector,
+        run_algorithm_round, CodecSpec, Party, PopulationStore, ScenarioEngine, ScenarioSpec,
+        UniformSelector,
     };
 
     #[test]
@@ -148,14 +150,14 @@ mod tests {
         let spec = ArchSpec::mlp("t", 16, &[10], 3);
         let mut alg = FedProx::new(spec, TrainConfig::default(), 6, 0.01);
         assert_eq!(alg.train_config(0).prox_mu, Some(0.01));
-        alg.init(&parties, &mut rng);
-        let refs: Vec<&Party> = parties.iter().collect();
-        let before = alg.eval(&refs);
+        let store = PopulationStore::from_parties(parties);
+        alg.init(&store.view(store.party_ids()), &mut rng);
+        let before = alg.eval(&store.view(store.party_ids()));
         let mut engine = ScenarioEngine::new(ScenarioSpec::sync(1), &ids);
         for _ in 0..8 {
             run_algorithm_round(
                 &mut alg,
-                &parties,
+                &store,
                 &mut engine,
                 &CodecSpec::dense(),
                 &mut UniformSelector,
@@ -164,7 +166,7 @@ mod tests {
                 &mut rng,
             );
         }
-        let after = alg.eval(&refs);
+        let after = alg.eval(&store.view(store.party_ids()));
         assert!(after > before, "{before} -> {after}");
         assert_eq!(alg.num_models(), 1);
     }

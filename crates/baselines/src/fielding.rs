@@ -12,8 +12,8 @@
 
 use rand::rngs::StdRng;
 use shiftex_fl::{
-    aggregate_robust, evaluate_on_party_refs, FederatedAlgorithm, FoldPolicy, ParticipantSelector,
-    Party, PartyId, UpdateVerdict, WeightedUpdate,
+    aggregate_robust, evaluate_on_view, FederatedAlgorithm, FoldPolicy, ParticipantSelector,
+    PartyId, PartyInfo, PopulationView, UpdateVerdict, WeightedUpdate,
 };
 use shiftex_flips::FlipsSelector;
 use shiftex_nn::{ArchSpec, Sequential, TrainConfig};
@@ -51,14 +51,13 @@ impl Fielding {
             .map_or(0, |s| s.clusters().clusters.len())
     }
 
-    fn refit(&mut self, parties: &[&Party], rng: &mut StdRng) {
-        let infos: Vec<_> = parties.iter().map(|p| p.info()).collect();
+    fn refit(&mut self, infos: &[PartyInfo], rng: &mut StdRng) {
         if infos.is_empty() {
             return;
         }
         match self.selector.as_mut() {
-            Some(s) => s.refit(&infos, self.max_label_clusters, rng),
-            None => self.selector = Some(FlipsSelector::fit(&infos, self.max_label_clusters, rng)),
+            Some(s) => s.refit(infos, self.max_label_clusters, rng),
+            None => self.selector = Some(FlipsSelector::fit(infos, self.max_label_clusters, rng)),
         }
     }
 }
@@ -72,15 +71,14 @@ impl FederatedAlgorithm for Fielding {
         &self.spec
     }
 
-    fn init(&mut self, parties: &[Party], rng: &mut StdRng) {
+    fn init(&mut self, parties: &PopulationView<'_>, rng: &mut StdRng) {
         self.params = Sequential::build(&self.spec, rng).params_flat();
-        let refs: Vec<&Party> = parties.iter().collect();
-        self.refit(&refs, rng);
+        self.refit(&parties.infos(), rng);
     }
 
-    fn begin_window(&mut self, _window: usize, members: &[&Party], rng: &mut StdRng) {
+    fn begin_window(&mut self, _window: usize, members: &PopulationView<'_>, rng: &mut StdRng) {
         // Window boundary: re-cluster on the *new* label distributions.
-        self.refit(members, rng);
+        self.refit(&members.infos(), rng);
     }
 
     fn streams(&self) -> Vec<usize> {
@@ -98,7 +96,7 @@ impl FederatedAlgorithm for Fielding {
     fn cohort(
         &mut self,
         _key: usize,
-        live: &[&Party],
+        live: &PopulationView<'_>,
         _selector: &mut dyn ParticipantSelector,
         rng: &mut StdRng,
     ) -> Vec<PartyId> {
@@ -108,14 +106,15 @@ impl FederatedAlgorithm for Fielding {
         if live.is_empty() {
             return Vec::new();
         }
-        let infos: Vec<_> = live.iter().map(|p| p.info()).collect();
+        let infos = live.infos();
         let chosen: std::collections::BTreeSet<PartyId> = flips
             .select(&infos, self.participants_per_round, rng)
             .into_iter()
             .collect();
-        live.iter()
-            .filter(|p| chosen.contains(&p.id()) && !p.train().is_empty())
-            .map(|p| p.id())
+        infos
+            .iter()
+            .filter(|i| chosen.contains(&i.id) && i.num_samples > 0)
+            .map(|i| i.id)
             .collect()
     }
 
@@ -133,8 +132,8 @@ impl FederatedAlgorithm for Fielding {
         fold.verdicts
     }
 
-    fn eval(&self, parties: &[&Party]) -> f32 {
-        evaluate_on_party_refs(&self.spec, &self.params, parties)
+    fn eval(&self, parties: &PopulationView<'_>) -> f32 {
+        evaluate_on_view(&self.spec, &self.params, parties)
     }
 
     fn model_index(&self, _party: PartyId) -> usize {
@@ -152,7 +151,8 @@ mod tests {
     use rand::SeedableRng;
     use shiftex_data::{ImageShape, PrototypeGenerator};
     use shiftex_fl::{
-        run_algorithm_round, CodecSpec, ScenarioEngine, ScenarioSpec, UniformSelector,
+        run_algorithm_round, CodecSpec, Party, PopulationStore, ScenarioEngine, ScenarioSpec,
+        UniformSelector,
     };
 
     #[test]
@@ -177,13 +177,14 @@ mod tests {
         let ids: Vec<PartyId> = parties.iter().map(Party::id).collect();
         let spec = ArchSpec::mlp("t", 16, &[10], 4);
         let mut alg = Fielding::new(spec, TrainConfig::default(), 4);
-        alg.init(&parties, &mut rng);
+        let store = PopulationStore::from_parties(parties);
+        alg.init(&store.view(store.party_ids()), &mut rng);
         assert_eq!(alg.num_label_clusters(), 2);
         let mut engine = ScenarioEngine::new(ScenarioSpec::sync(1), &ids);
         for _ in 0..6 {
             run_algorithm_round(
                 &mut alg,
-                &parties,
+                &store,
                 &mut engine,
                 &CodecSpec::dense(),
                 &mut UniformSelector,
@@ -192,10 +193,9 @@ mod tests {
                 &mut rng,
             );
         }
-        let refs: Vec<&Party> = parties.iter().collect();
-        assert!(alg.eval(&refs) > 0.3);
+        assert!(alg.eval(&store.view(store.party_ids())) > 0.3);
         // A boundary refit still works over a member view.
-        alg.begin_window(1, &refs, &mut rng);
+        alg.begin_window(1, &store.view(store.party_ids()), &mut rng);
         assert!(alg.num_label_clusters() >= 1);
     }
 }

@@ -11,8 +11,8 @@
 
 use rand::rngs::StdRng;
 use shiftex_fl::{
-    aggregate_robust, evaluate_on_party_refs, FederatedAlgorithm, FoldPolicy, ParticipantSelector,
-    Party, PartyId, UpdateVerdict, WeightedUpdate,
+    aggregate_robust, evaluate_on_view, FederatedAlgorithm, FoldPolicy, ParticipantSelector,
+    PartyId, PopulationView, UpdateVerdict, WeightedUpdate,
 };
 use shiftex_flips::FlipsSelector;
 use shiftex_nn::{ArchSpec, Sequential, TrainConfig};
@@ -60,15 +60,15 @@ impl FederatedAlgorithm for Flips {
         &self.spec
     }
 
-    fn init(&mut self, parties: &[Party], rng: &mut StdRng) {
+    fn init(&mut self, parties: &PopulationView<'_>, rng: &mut StdRng) {
         self.params = Sequential::build(&self.spec, rng).params_flat();
-        let infos: Vec<_> = parties.iter().map(Party::info).collect();
+        let infos = parties.infos();
         if !infos.is_empty() {
             self.selector = Some(FlipsSelector::fit(&infos, self.max_label_clusters, rng));
         }
     }
 
-    fn begin_window(&mut self, _window: usize, _members: &[&Party], _rng: &mut StdRng) {
+    fn begin_window(&mut self, _window: usize, _members: &PopulationView<'_>, _rng: &mut StdRng) {
         // Static clusters by design: FLIPS "assumes stationary label
         // distributions" — no refit, which is its failure mode under shift.
     }
@@ -88,7 +88,7 @@ impl FederatedAlgorithm for Flips {
     fn cohort(
         &mut self,
         _key: usize,
-        live: &[&Party],
+        live: &PopulationView<'_>,
         _selector: &mut dyn ParticipantSelector,
         rng: &mut StdRng,
     ) -> Vec<PartyId> {
@@ -98,14 +98,15 @@ impl FederatedAlgorithm for Flips {
         if live.is_empty() {
             return Vec::new();
         }
-        let infos: Vec<_> = live.iter().map(|p| p.info()).collect();
+        let infos = live.infos();
         let chosen: std::collections::BTreeSet<PartyId> = flips
             .select(&infos, self.participants_per_round, rng)
             .into_iter()
             .collect();
-        live.iter()
-            .filter(|p| chosen.contains(&p.id()) && !p.train().is_empty())
-            .map(|p| p.id())
+        infos
+            .iter()
+            .filter(|i| chosen.contains(&i.id) && i.num_samples > 0)
+            .map(|i| i.id)
             .collect()
     }
 
@@ -123,8 +124,8 @@ impl FederatedAlgorithm for Flips {
         fold.verdicts
     }
 
-    fn eval(&self, parties: &[&Party]) -> f32 {
-        evaluate_on_party_refs(&self.spec, &self.params, parties)
+    fn eval(&self, parties: &PopulationView<'_>) -> f32 {
+        evaluate_on_view(&self.spec, &self.params, parties)
     }
 
     fn model_index(&self, _party: PartyId) -> usize {
@@ -142,7 +143,8 @@ mod tests {
     use rand::SeedableRng;
     use shiftex_data::{ImageShape, PrototypeGenerator};
     use shiftex_fl::{
-        run_algorithm_round, CodecSpec, ScenarioEngine, ScenarioSpec, UniformSelector,
+        run_algorithm_round, CodecSpec, Party, PopulationStore, ScenarioEngine, ScenarioSpec,
+        UniformSelector,
     };
 
     #[test]
@@ -166,14 +168,15 @@ mod tests {
         let ids: Vec<PartyId> = parties.iter().map(Party::id).collect();
         let spec = ArchSpec::mlp("t", 16, &[10], 4);
         let mut alg = Flips::new(spec, TrainConfig::default(), 4);
-        alg.init(&parties, &mut rng);
+        let store = PopulationStore::from_parties(parties);
+        alg.init(&store.view(store.party_ids()), &mut rng);
         let fitted = alg.num_label_clusters();
         assert_eq!(fitted, 2, "two label regimes");
         let mut engine = ScenarioEngine::new(ScenarioSpec::sync(1), &ids);
         for _ in 0..4 {
             run_algorithm_round(
                 &mut alg,
-                &parties,
+                &store,
                 &mut engine,
                 &CodecSpec::dense(),
                 &mut UniformSelector,
@@ -183,8 +186,7 @@ mod tests {
             );
         }
         // Window boundaries leave the clustering untouched.
-        let refs: Vec<&Party> = parties.iter().collect();
-        alg.begin_window(1, &refs, &mut rng);
+        alg.begin_window(1, &store.view(store.party_ids()), &mut rng);
         assert_eq!(alg.num_label_clusters(), fitted);
     }
 }

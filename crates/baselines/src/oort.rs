@@ -328,7 +328,7 @@ mod tests {
         use crate::FedAvg;
         use shiftex_fl::{
             run_algorithm_round, ChurnSpec, CodecSpec, FederatedAlgorithm, FoldPolicy,
-            ScenarioEngine, ScenarioSpec,
+            PopulationStore, ScenarioEngine, ScenarioSpec,
         };
         use shiftex_nn::{ArchSpec, TrainConfig};
         let mut rng = StdRng::seed_from_u64(3);
@@ -336,7 +336,8 @@ mod tests {
         let ids: Vec<PartyId> = parties.iter().map(Party::id).collect();
         let spec = ArchSpec::mlp("t", 16, &[8], 3);
         let mut alg = FedAvg::new(spec, TrainConfig::default(), 6);
-        alg.init(&parties, &mut rng);
+        let store = PopulationStore::from_parties(parties);
+        alg.init(&store.view(store.party_ids()), &mut rng);
         let scenario = ScenarioSpec::sync(4).with_churn(ChurnSpec::dropout_only(0.4));
         let mut engine = ScenarioEngine::new(scenario, &ids);
         let mut sel = OortSelector::new(OortSelectorConfig::default());
@@ -344,7 +345,7 @@ mod tests {
         for _ in 0..6 {
             lost += run_algorithm_round(
                 &mut alg,
-                &parties,
+                &store,
                 &mut engine,
                 &CodecSpec::dense(),
                 &mut sel,

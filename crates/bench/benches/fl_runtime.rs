@@ -278,8 +278,8 @@ fn bench_codecs(c: &mut Criterion) {
 fn bench_algorithms(c: &mut Criterion) {
     use shiftex_baselines::{FedAvg, FedDrift, FedDriftConfig, FedProx, Fielding, Flips};
     use shiftex_fl::{
-        run_algorithm_round, ChurnSpec, CodecSpec, FederatedAlgorithm, FoldPolicy, ScenarioEngine,
-        ScenarioSpec, UniformSelector,
+        run_algorithm_round, ChurnSpec, CodecSpec, FederatedAlgorithm, FoldPolicy, PopulationStore,
+        ScenarioEngine, ScenarioSpec, UniformSelector,
     };
     use shiftex_nn::TrainConfig;
 
@@ -337,11 +337,12 @@ fn bench_algorithms(c: &mut Criterion) {
         ),
     ];
 
+    let store = PopulationStore::from_parties(parties);
     let mut group = c.benchmark_group("fl_algorithms");
     group.sample_size(10);
     for (name, algorithm) in algorithms.iter_mut() {
         let mut init_rng = StdRng::seed_from_u64(10);
-        algorithm.init(&parties, &mut init_rng);
+        algorithm.init(&store.view(store.party_ids()), &mut init_rng);
         group.bench_function(format!("churned_round_{name}_100_parties"), |b| {
             b.iter_with_setup(
                 || {
@@ -351,7 +352,7 @@ fn bench_algorithms(c: &mut Criterion) {
                 |(mut engine, mut rng)| {
                     run_algorithm_round(
                         algorithm.as_mut(),
-                        &parties,
+                        &store,
                         &mut engine,
                         &codec,
                         &mut UniformSelector,
@@ -370,7 +371,7 @@ fn bench_robust(c: &mut Criterion) {
     use shiftex_baselines::FedAvg;
     use shiftex_fl::{
         run_algorithm_round, AttackKind, AttackSpec, CodecSpec, FederatedAlgorithm, FoldPolicy,
-        ScenarioEngine, ScenarioSpec, UniformSelector,
+        PopulationStore, ScenarioEngine, ScenarioSpec, UniformSelector,
     };
     use shiftex_nn::TrainConfig;
 
@@ -396,6 +397,7 @@ fn bench_robust(c: &mut Criterion) {
     let hostile = ScenarioSpec::sync(5).with_attack(AttackSpec::new(AttackKind::SignFlip, 0.2));
     let codec = CodecSpec::dense();
 
+    let store = PopulationStore::from_parties(parties);
     let mut group = c.benchmark_group("fl_robust");
     group.sample_size(10);
     for (label, fold) in [
@@ -404,7 +406,7 @@ fn bench_robust(c: &mut Criterion) {
     ] {
         let mut algorithm = FedAvg::new(spec.clone(), train, 100);
         let mut init_rng = StdRng::seed_from_u64(30);
-        algorithm.init(&parties, &mut init_rng);
+        algorithm.init(&store.view(store.party_ids()), &mut init_rng);
         group.bench_function(format!("signflip_round_{label}_100_parties"), |b| {
             b.iter_with_setup(
                 || {
@@ -414,7 +416,7 @@ fn bench_robust(c: &mut Criterion) {
                 |(mut engine, mut rng)| {
                     run_algorithm_round(
                         &mut algorithm,
-                        &parties,
+                        &store,
                         &mut engine,
                         &codec,
                         &mut UniformSelector,
@@ -429,6 +431,71 @@ fn bench_robust(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_population(c: &mut Criterion) {
+    use shiftex_baselines::FedAvg;
+    use shiftex_data::{DatasetKind, SimScale};
+    use shiftex_experiments::{LazyPopulation, Scenario};
+    use shiftex_fl::{
+        run_algorithm_round, ChurnSpec, CodecSpec, FederatedAlgorithm, FoldPolicy, ScenarioEngine,
+        ScenarioSpec, UniformSelector,
+    };
+    use shiftex_nn::TrainConfig;
+
+    // A churned, quantised 10_000-party round through the lazy population
+    // store: only the ~10-party sampled cohort is ever materialized, so the
+    // per-round cost must track the cohort, not the population. This is the
+    // scale regime (10k–100k parties) the resident `Vec<Party>` runtime
+    // could not enter.
+    let scenario = Scenario::build_with_population(
+        DatasetKind::FashionMnist,
+        SimScale::Smoke,
+        23,
+        Some(10_000),
+        Some(8),
+    );
+    let store = LazyPopulation::new(scenario.clone(), 23).into_store();
+    let ids = store.party_ids();
+    let churny = ScenarioSpec::sync(3).with_churn(ChurnSpec::dropout_only(0.15));
+    let codec = CodecSpec::quant8(256);
+    let mut algorithm = FedAvg::new(
+        scenario.spec.clone(),
+        TrainConfig::default(),
+        scenario.participants_per_round(),
+    );
+    let mut init_rng = StdRng::seed_from_u64(24);
+    algorithm.init(&store.view(ids.clone()), &mut init_rng);
+
+    let mut group = c.benchmark_group("fl_population");
+    group.sample_size(10);
+    group.bench_function("churned_round_fedavg_10k_parties_lazy", |b| {
+        b.iter_with_setup(
+            || {
+                let engine = ScenarioEngine::new(churny.clone(), &ids);
+                (engine, StdRng::seed_from_u64(25))
+            },
+            |(mut engine, mut rng)| {
+                run_algorithm_round(
+                    &mut algorithm,
+                    &store,
+                    &mut engine,
+                    &codec,
+                    &mut UniformSelector,
+                    &FoldPolicy::Mean,
+                    None,
+                    &mut rng,
+                )
+            },
+        )
+    });
+    // The raw materialization path the round driver sits on: rebuild a
+    // 10-party cohort from seeded specs (window-0 chains, no training).
+    let cohort_ids: Vec<PartyId> = (0..10).map(|i| PartyId(i * 997)).collect();
+    group.bench_function("materialize_cohort_10_of_10k", |b| {
+        b.iter(|| store.cohort(&cohort_ids))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_round,
@@ -438,6 +505,7 @@ criterion_group!(
     bench_scenarios,
     bench_codecs,
     bench_algorithms,
-    bench_robust
+    bench_robust,
+    bench_population
 );
 criterion_main!(benches);

@@ -15,7 +15,8 @@ use shiftex_cluster::choose_k;
 use shiftex_detect::{CalibratedThresholds, EmbeddingProfile, RbfKernel, ThresholdCalibrator};
 use shiftex_fl::{
     aggregate_robust, run_round, FederatedAlgorithm, FoldPolicy, ParticipantSelector, Party,
-    PartyId, PartyInfo, RoundConfig, UniformSelector, UpdateVerdict, WeightedUpdate,
+    PartyId, PartyInfo, PopulationView, RoundConfig, UniformSelector, UpdateVerdict,
+    WeightedUpdate,
 };
 use shiftex_flips::FlipsSelector;
 use shiftex_nn::{train_local_params, ArchSpec, Sequential, TrainConfig};
@@ -25,7 +26,77 @@ use crate::config::ShiftExConfig;
 use crate::consolidate::{consolidate_experts, MergeEvent};
 use crate::party::{compute_shift_stats, ShiftStats};
 use crate::registry::{ExpertId, ExpertRegistry};
-use crate::strategy::{build_model, evaluate_assigned_refs};
+use crate::strategy::{build_model, evaluate_assigned_refs, evaluate_assigned_view};
+
+/// Upper bound on the parties contributing embeddings to threshold
+/// calibration. The split-half null needs a representative sample, not the
+/// census: pooling every party's embeddings makes the median-heuristic
+/// kernel fit quadratic in population size (hopeless at 10k+ parties), so
+/// calibration strides evenly across the id space instead. Populations at
+/// or below the cap use every party — bit-identical to the uncapped code.
+const CALIBRATION_MAX_PARTIES: usize = 64;
+
+/// How the aggregator reaches enrolled members: by id, one at a time —
+/// either a liveness-filtered [`PopulationView`] (parties materialize
+/// lazily and are dropped after the closure) or a resident slice (the
+/// legacy representation the public slice APIs keep).
+trait MemberAccess {
+    /// Member ids in iteration order.
+    fn member_ids(&self) -> Vec<PartyId>;
+    /// Whether `id` is an enrolled member.
+    fn contains(&self, id: PartyId) -> bool;
+    /// Borrows `id`'s party for the duration of `f`.
+    fn with_member<R>(&self, id: PartyId, f: impl FnOnce(&Party) -> R) -> Option<R>;
+    /// `id`'s publishable metadata.
+    fn member_info(&self, id: PartyId) -> Option<PartyInfo>;
+}
+
+impl MemberAccess for PopulationView<'_> {
+    fn member_ids(&self) -> Vec<PartyId> {
+        self.ids().to_vec()
+    }
+    fn contains(&self, id: PartyId) -> bool {
+        PopulationView::contains(self, id)
+    }
+    fn with_member<R>(&self, id: PartyId, f: impl FnOnce(&Party) -> R) -> Option<R> {
+        self.with_party(id, f)
+    }
+    fn member_info(&self, id: PartyId) -> Option<PartyInfo> {
+        self.info(id)
+    }
+}
+
+/// Resident-slice access for the legacy `&[Party]` / `&[&Party]` APIs.
+struct SliceAccess<'a, P: Borrow<Party>> {
+    items: &'a [P],
+    index: BTreeMap<PartyId, usize>,
+}
+
+impl<'a, P: Borrow<Party>> SliceAccess<'a, P> {
+    fn new(items: &'a [P]) -> Self {
+        let index = items
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.borrow().id(), i))
+            .collect();
+        Self { items, index }
+    }
+}
+
+impl<P: Borrow<Party>> MemberAccess for SliceAccess<'_, P> {
+    fn member_ids(&self) -> Vec<PartyId> {
+        self.items.iter().map(|p| p.borrow().id()).collect()
+    }
+    fn contains(&self, id: PartyId) -> bool {
+        self.index.contains_key(&id)
+    }
+    fn with_member<R>(&self, id: PartyId, f: impl FnOnce(&Party) -> R) -> Option<R> {
+        self.index.get(&id).map(|&i| f(self.items[i].borrow()))
+    }
+    fn member_info(&self, id: PartyId) -> Option<PartyInfo> {
+        self.with_member(id, |p| p.info())
+    }
+}
 
 /// What happened in one window of aggregator-side processing.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -195,22 +266,32 @@ impl ShiftEx {
     ///
     /// Panics if `parties` is empty.
     pub fn bootstrap(&mut self, parties: &[Party], rounds: usize, rng: &mut StdRng) {
-        assert!(!parties.is_empty(), "bootstrap needs parties");
+        self.bootstrap_impl(&SliceAccess::new(parties), rounds, rng);
+    }
+
+    fn bootstrap_impl<M: MemberAccess>(&mut self, parties: &M, rounds: usize, rng: &mut StdRng) {
+        let ids = parties.member_ids();
+        assert!(!ids.is_empty(), "bootstrap needs parties");
         self.window = 0;
         // Provisional stats (for FLIPS label histograms during the burn-in
-        // rounds) under the untrained template.
+        // rounds) under the untrained template. Parties are visited one at a
+        // time so a lazy population only ever has one resident member here.
         let template = build_model(&self.spec, &self.bootstrap_params);
-        let provisional: Vec<ShiftStats> = parties
+        let provisional: Vec<ShiftStats> = ids
             .iter()
-            .map(|p| compute_shift_stats(p, &template, self.cfg.profile_rows, None, rng))
+            .filter_map(|&id| {
+                parties.with_member(id, |p| {
+                    compute_shift_stats(p, &template, self.cfg.profile_rows, None, rng)
+                })
+            })
             .collect();
         let profile_refs: Vec<&EmbeddingProfile> = provisional.iter().map(|s| &s.profile).collect();
         let pooled = EmbeddingProfile::pool(&profile_refs, self.cfg.profile_rows * 2, rng);
         let expert0 = self
             .registry
             .create(self.bootstrap_params.clone(), &pooled, 0);
-        for p in parties {
-            self.assignment.insert(p.id(), expert0);
+        for &id in &ids {
+            self.assignment.insert(id, expert0);
         }
         for s in provisional {
             self.stats.insert(s.party, s);
@@ -228,9 +309,13 @@ impl ShiftEx {
         // Recompute stats and the expert-0 latent signature under the frozen
         // encoder so every later comparison shares one embedding space.
         let encoder = build_model(&self.spec, &self.encoder_params);
-        let final_stats: Vec<ShiftStats> = parties
+        let final_stats: Vec<ShiftStats> = ids
             .iter()
-            .map(|p| compute_shift_stats(p, &encoder, self.cfg.profile_rows, None, rng))
+            .filter_map(|&id| {
+                parties.with_member(id, |p| {
+                    compute_shift_stats(p, &encoder, self.cfg.profile_rows, None, rng)
+                })
+            })
             .collect();
         let profile_refs: Vec<&EmbeddingProfile> = final_stats.iter().map(|s| &s.profile).collect();
         let pooled = EmbeddingProfile::pool(&profile_refs, self.cfg.profile_rows * 2, rng);
@@ -245,6 +330,14 @@ impl ShiftEx {
         parties: &[impl Borrow<Party>],
         rng: &mut StdRng,
     ) -> WindowReport {
+        self.process_window_impl(&SliceAccess::new(parties), rng)
+    }
+
+    fn process_window_impl<M: MemberAccess>(
+        &mut self,
+        parties: &M,
+        rng: &mut StdRng,
+    ) -> WindowReport {
         self.window += 1;
         if self.window == 1 {
             // End of the burn-in: W0 training (however it was driven — via
@@ -252,28 +345,33 @@ impl ShiftEx {
             // complete, so *now* freeze the encoder and the θ0 clone
             // template at the trained global model, and re-tag expert 0's
             // latent memory in the frozen embedding space.
-            self.freeze_encoder(parties, rng);
+            self.freeze_encoder_impl(parties, rng);
         }
         // --- Thresholds and kernel: calibrate lazily from the previous
         // (stable) window before any score is computed, so every MMD below
         // shares the calibrated bandwidth.
-        let thresholds = self.ensure_thresholds(parties, rng);
+        let thresholds = self.ensure_thresholds_impl(parties, rng);
 
         // --- Party side (Algorithm 1): compute and "transmit" statistics.
         // All embeddings come from the frozen encoder so windows, parties
-        // and the latent memory share one comparable embedding space.
+        // and the latent memory share one comparable embedding space. Each
+        // member is materialized, summarised, and dropped in turn — only
+        // the O(profile_rows) statistics stay resident.
         let encoder = build_model(&self.spec, &self.encoder_params);
         let kernel = self.kernel;
         let all_stats: Vec<ShiftStats> = parties
-            .iter()
-            .map(|party| {
-                compute_shift_stats(
-                    party.borrow(),
-                    &encoder,
-                    self.cfg.profile_rows,
-                    kernel.as_ref(),
-                    rng,
-                )
+            .member_ids()
+            .into_iter()
+            .filter_map(|id| {
+                parties.with_member(id, |party| {
+                    compute_shift_stats(
+                        party,
+                        &encoder,
+                        self.cfg.profile_rows,
+                        kernel.as_ref(),
+                        rng,
+                    )
+                })
             })
             .collect();
 
@@ -343,24 +441,24 @@ impl ShiftEx {
                         let base = self.personal.get(id).cloned().unwrap_or_else(|| {
                             self.registry.live(self.expert_of(*id)).params.clone()
                         });
-                        let party = parties
-                            .iter()
-                            .map(Borrow::borrow)
-                            .find(|p| p.id() == *id)
-                            // lint:allow(panic): members are drawn from `parties` lines above
-                            .expect("party exists");
                         let mut cfg = self.cfg.train;
                         cfg.epochs = self.cfg.finetune_epochs;
-                        let fit = train_local_params(
-                            &self.spec,
-                            &base,
-                            party.train_features(),
-                            party.train_labels(),
-                            &cfg,
-                            rng,
-                        );
-                        self.personal.insert(*id, fit.params);
-                        report.finetuned.push(*id);
+                        // Members are drawn from `parties`' own stats lines
+                        // above, so the lookup always lands.
+                        let fit = parties.with_member(*id, |party| {
+                            train_local_params(
+                                &self.spec,
+                                &base,
+                                party.train_features(),
+                                party.train_labels(),
+                                &cfg,
+                                rng,
+                            )
+                        });
+                        if let Some(fit) = fit {
+                            self.personal.insert(*id, fit.params);
+                            report.finetuned.push(*id);
+                        }
                     }
                 }
             }
@@ -438,26 +536,28 @@ impl ShiftEx {
     /// FLIPS (or uniform, per config) selection; personalised parties run a
     /// local step instead.
     pub fn train_round(&mut self, parties: &[Party], rng: &mut StdRng) {
-        self.train_round_impl(parties, rng);
+        self.train_round_impl(&SliceAccess::new(parties), rng);
     }
 
-    fn train_round_impl(&mut self, parties: &[Party], rng: &mut StdRng) {
-        let by_id: BTreeMap<PartyId, &Party> = parties.iter().map(|p| (p.id(), p)).collect();
+    fn train_round_impl<M: MemberAccess>(&mut self, parties: &M, rng: &mut StdRng) {
         let round_cfg = self.round_config();
         for expert_id in self.registry.ids() {
-            let cohort_ids = self.expert_cohort(expert_id, &by_id, rng);
-            let cohort: Vec<&Party> = cohort_ids
+            let cohort_ids = self.expert_cohort_impl(expert_id, parties, rng);
+            // Materialize only this expert's cohort; it is dropped again at
+            // the end of the iteration.
+            let cohort: Vec<Party> = cohort_ids
                 .iter()
-                .filter_map(|id| by_id.get(id).copied())
+                .filter_map(|&id| parties.with_member(id, Party::clone))
                 .collect();
             if cohort.is_empty() {
                 continue;
             }
+            let cohort_refs: Vec<&Party> = cohort.iter().collect();
             let params = self.registry.live(expert_id).params.clone();
-            let outcome = run_round(&self.spec, &params, &cohort, &round_cfg, None, rng);
+            let outcome = run_round(&self.spec, &params, &cohort_refs, &round_cfg, None, rng);
             self.registry.live_mut(expert_id).params = outcome.params;
         }
-        self.personal_steps(&by_id, rng);
+        self.personal_steps_impl(parties, rng);
     }
 
     /// Round configuration shared by every expert's federated round.
@@ -471,19 +571,20 @@ impl ShiftEx {
     }
 
     /// Selects this round's cohort for `expert_id` from the (already
-    /// liveness-filtered) `by_id` view of the population, in selection
-    /// order with empty-train parties dropped.
-    fn expert_cohort(
+    /// liveness-filtered) member view of the population, in selection
+    /// order with empty-train parties dropped. Only metadata
+    /// ([`PartyInfo`]) is consulted — no party materializes here.
+    fn expert_cohort_impl<M: MemberAccess>(
         &self,
         expert_id: ExpertId,
-        by_id: &BTreeMap<PartyId, &Party>,
+        parties: &M,
         rng: &mut StdRng,
     ) -> Vec<PartyId> {
         let cohort_ids: Vec<PartyId> = self
             .assignment
             .iter()
             .filter(|(pid, &eid)| {
-                eid == expert_id && !self.personal.contains_key(pid) && by_id.contains_key(pid)
+                eid == expert_id && !self.personal.contains_key(pid) && parties.contains(**pid)
             })
             .map(|(pid, _)| *pid)
             .collect();
@@ -492,13 +593,12 @@ impl ShiftEx {
         }
         let infos: Vec<PartyInfo> = cohort_ids
             .iter()
-            .map(|id| {
-                let p = by_id[id];
-                let mut info = p.info();
+            .filter_map(|id| {
+                let mut info = parties.member_info(*id)?;
                 if let Some(s) = self.stats.get(id) {
                     info.label_hist = s.label_hist.clone();
                 }
-                info
+                Some(info)
             })
             .collect();
         let chosen: Vec<PartyId> = if self.cfg.uniform_selection {
@@ -509,32 +609,39 @@ impl ShiftEx {
         };
         chosen
             .into_iter()
-            .filter(|id| by_id.get(id).is_some_and(|p| !p.train().is_empty()))
+            .filter(|id| {
+                parties
+                    .member_info(*id)
+                    .is_some_and(|info| info.num_samples > 0)
+            })
             .collect()
     }
 
     /// Personalised parties take one local continuation step.
-    fn personal_steps(&mut self, by_id: &BTreeMap<PartyId, &Party>, rng: &mut StdRng) {
+    fn personal_steps_impl<M: MemberAccess>(&mut self, parties: &M, rng: &mut StdRng) {
         let personal_ids: Vec<PartyId> = self.personal.keys().copied().collect();
         for id in personal_ids {
-            let Some(party) = by_id.get(&id) else {
-                continue;
-            };
-            if party.train().is_empty() {
-                continue;
-            }
             let base = self.personal[&id].clone();
             let mut cfg = self.cfg.train;
             cfg.epochs = 1;
-            let fit = train_local_params(
-                &self.spec,
-                &base,
-                party.train_features(),
-                party.train_labels(),
-                &cfg,
-                rng,
-            );
-            self.personal.insert(id, fit.params);
+            let fit = parties
+                .with_member(id, |party| {
+                    if party.train().is_empty() {
+                        return None;
+                    }
+                    Some(train_local_params(
+                        &self.spec,
+                        &base,
+                        party.train_features(),
+                        party.train_labels(),
+                        &cfg,
+                        rng,
+                    ))
+                })
+                .flatten();
+            if let Some(fit) = fit {
+                self.personal.insert(id, fit.params);
+            }
         }
     }
 
@@ -579,28 +686,34 @@ impl ShiftEx {
     /// Freezes the encoder / θ0 template at the current first expert's
     /// (bootstrap-trained) parameters and rebuilds that expert's latent
     /// memory from the previous window's data in the frozen embedding space.
-    fn freeze_encoder(&mut self, parties: &[impl Borrow<Party>], rng: &mut StdRng) {
+    fn freeze_encoder_impl<M: MemberAccess>(&mut self, parties: &M, rng: &mut StdRng) {
         let expert0 = self.registry.ids()[0];
         let trained = self.registry.live(expert0).params.clone();
         self.bootstrap_params = trained.clone();
         self.encoder_params = trained;
         let encoder = build_model(&self.spec, &self.encoder_params);
         let mut profiles = Vec::new();
-        for p in parties {
-            let p = p.borrow();
-            let data = match p.prev_train() {
-                Some(prev) if !prev.is_empty() => prev,
-                _ => p.train(),
-            };
-            if data.is_empty() {
-                continue;
+        for id in parties.member_ids() {
+            let profile = parties
+                .with_member(id, |p| {
+                    let data = match p.prev_train() {
+                        Some(prev) if !prev.is_empty() => prev,
+                        _ => p.train(),
+                    };
+                    if data.is_empty() {
+                        return None;
+                    }
+                    let emb = encoder.embed(data.features());
+                    Some(EmbeddingProfile::from_embeddings(
+                        &emb,
+                        self.cfg.profile_rows,
+                        rng,
+                    ))
+                })
+                .flatten();
+            if let Some(profile) = profile {
+                profiles.push(profile);
             }
-            let emb = encoder.embed(data.features());
-            profiles.push(EmbeddingProfile::from_embeddings(
-                &emb,
-                self.cfg.profile_rows,
-                rng,
-            ));
         }
         if !profiles.is_empty() {
             let refs: Vec<&EmbeddingProfile> = profiles.iter().collect();
@@ -612,9 +725,9 @@ impl ShiftEx {
 
     /// Calibrates thresholds from the previous (assumed stable) window's
     /// data if not yet fixed.
-    fn ensure_thresholds(
+    fn ensure_thresholds_impl<M: MemberAccess>(
         &mut self,
-        parties: &[impl Borrow<Party>],
+        parties: &M,
         rng: &mut StdRng,
     ) -> CalibratedThresholds {
         if let (Some(dc), Some(dl)) = (self.cfg.delta_cov, self.cfg.delta_label) {
@@ -634,23 +747,32 @@ impl ShiftEx {
         // halves and compared with the shared kernel. Pooling *across*
         // parties would confound the null with cross-party heterogeneity
         // (different label mixes), inflating δ_cov and masking real shifts.
+        //
+        // Calibration strides across the population so at most
+        // [`CALIBRATION_MAX_PARTIES`] parties contribute embeddings: the
+        // median-heuristic kernel fit below is quadratic in pooled rows.
+        // Populations at or below the cap take stride 1 — every party
+        // contributes, exactly as before the cap existed.
         let model = build_model(&self.spec, &self.encoder_params);
         let mut mats: Vec<Matrix> = Vec::new();
         let mut hists: Vec<Vec<f32>> = Vec::new();
         let mut count = 0usize;
-        for p in parties {
-            let p = p.borrow();
-            if let Some(prev) = p.prev_train() {
-                if prev.is_empty() {
-                    continue;
+        let ids = parties.member_ids();
+        let stride = ids.len().div_ceil(CALIBRATION_MAX_PARTIES).max(1);
+        for id in ids.into_iter().step_by(stride) {
+            parties.with_member(id, |p| {
+                if let Some(prev) = p.prev_train() {
+                    if prev.is_empty() {
+                        return;
+                    }
+                    let emb = model.embed(prev.features());
+                    let rows = emb.rows().min(self.cfg.profile_rows);
+                    let idx: Vec<usize> = (0..rows).collect();
+                    mats.push(emb.select_rows(&idx));
+                    hists.push(prev.label_histogram());
+                    count = count.max(prev.len());
                 }
-                let emb = model.embed(prev.features());
-                let rows = emb.rows().min(self.cfg.profile_rows);
-                let idx: Vec<usize> = (0..rows).collect();
-                mats.push(emb.select_rows(&idx));
-                hists.push(prev.label_histogram());
-                count = count.max(prev.len());
-            }
+            });
         }
         let calibrator = ThresholdCalibrator::new(self.cfg.calibration_p_value, 40, 32);
         let mut t = if mats.is_empty() {
@@ -717,21 +839,21 @@ impl FederatedAlgorithm for ShiftEx {
         &self.spec
     }
 
-    fn init(&mut self, parties: &[Party], rng: &mut StdRng) {
+    fn init(&mut self, parties: &PopulationView<'_>, rng: &mut StdRng) {
         // Rebuild the model template from *this run's* RNG stream (the
         // instance may have been constructed with a throwaway seed), then
         // enrol everyone on expert 0. Burn-in training is the driver's job.
         *self = ShiftEx::new(self.cfg.clone(), self.spec.clone(), rng);
-        self.bootstrap(parties, 0, rng);
+        self.bootstrap_impl(parties, 0, rng);
     }
 
-    fn begin_window(&mut self, _window: usize, members: &[&Party], rng: &mut StdRng) {
+    fn begin_window(&mut self, _window: usize, members: &PopulationView<'_>, rng: &mut StdRng) {
         // Only enrolled members publish shift statistics for the window; a
         // fully churned-out boundary processes nothing.
         if members.is_empty() {
             return;
         }
-        self.process_window(members, rng);
+        self.process_window_impl(members, rng);
     }
 
     fn streams(&self) -> Vec<usize> {
@@ -749,12 +871,11 @@ impl FederatedAlgorithm for ShiftEx {
     fn cohort(
         &mut self,
         key: usize,
-        live: &[&Party],
+        live: &PopulationView<'_>,
         _selector: &mut dyn ParticipantSelector,
         rng: &mut StdRng,
     ) -> Vec<PartyId> {
-        let by_id: BTreeMap<PartyId, &Party> = live.iter().map(|p| (p.id(), *p)).collect();
-        self.expert_cohort(ExpertId(key as u32), &by_id, rng)
+        self.expert_cohort_impl(ExpertId(key as u32), live, rng)
     }
 
     fn fold(
@@ -775,13 +896,18 @@ impl FederatedAlgorithm for ShiftEx {
         fold.verdicts
     }
 
-    fn end_round(&mut self, live: &[&Party], rng: &mut StdRng) {
-        let by_id: BTreeMap<PartyId, &Party> = live.iter().map(|p| (p.id(), *p)).collect();
-        self.personal_steps(&by_id, rng);
+    fn end_round(&mut self, live: &PopulationView<'_>, rng: &mut StdRng) {
+        self.personal_steps_impl(live, rng);
     }
 
-    fn eval(&self, parties: &[&Party]) -> f32 {
-        self.evaluate_refs(parties)
+    fn eval(&self, parties: &PopulationView<'_>) -> f32 {
+        evaluate_assigned_view(&self.spec, parties, |id| {
+            if let Some(p) = self.personal.get(&id) {
+                p.as_slice()
+            } else {
+                &self.registry.live(self.expert_of(id)).params
+            }
+        })
     }
 
     fn model_index(&self, party: PartyId) -> usize {
@@ -982,8 +1108,8 @@ mod tests {
     #[test]
     fn scenario_rounds_train_experts_under_churn() {
         use shiftex_fl::{
-            run_algorithm_round, AsyncSpec, ChurnSpec, CodecSpec, CommLedger, ScenarioSpec,
-            StragglerSpec,
+            run_algorithm_round, AsyncSpec, ChurnSpec, CodecSpec, CommLedger, PopulationStore,
+            ScenarioSpec, StragglerSpec,
         };
         let (gen, mut parties, mut shiftex, mut rng) = setup(8);
         shiftex.bootstrap(&parties, 3, &mut rng);
@@ -993,6 +1119,7 @@ mod tests {
         assert_eq!(shiftex.num_experts(), 2);
 
         let ids: Vec<PartyId> = parties.iter().map(|p| p.id()).collect();
+        let store = PopulationStore::from_parties(parties.clone());
         let spec = ScenarioSpec::sync(5)
             .with_churn(ChurnSpec::dropout_only(0.2))
             .with_stragglers(StragglerSpec::uniform(
@@ -1017,7 +1144,7 @@ mod tests {
         for _ in 0..6 {
             run_algorithm_round(
                 &mut shiftex,
-                &parties,
+                &store,
                 &mut engine,
                 &CodecSpec::dense(),
                 &mut UniformSelector,
@@ -1054,8 +1181,14 @@ mod tests {
 
     #[test]
     fn algorithm_interface_reports_models() {
+        use shiftex_fl::PopulationStore;
         let (gen, mut parties, mut shiftex, mut rng) = setup(6);
-        FederatedAlgorithm::init(&mut shiftex, &parties, &mut rng);
+        let init_store = PopulationStore::from_parties(parties.clone());
+        FederatedAlgorithm::init(
+            &mut shiftex,
+            &init_store.view(init_store.party_ids()),
+            &mut rng,
+        );
         assert_eq!(FederatedAlgorithm::name(&shiftex), "ShiftEx");
         assert_eq!(shiftex.num_models(), 1);
         assert_eq!(shiftex.streams(), vec![0]);
@@ -1067,8 +1200,8 @@ mod tests {
             48,
             &mut rng,
         );
-        let members: Vec<&Party> = parties.iter().collect();
-        FederatedAlgorithm::begin_window(&mut shiftex, 1, &members, &mut rng);
+        let store = PopulationStore::from_parties(parties.clone());
+        FederatedAlgorithm::begin_window(&mut shiftex, 1, &store.view(store.party_ids()), &mut rng);
         for p in &parties {
             let idx = shiftex.model_index(p.id());
             assert!(idx < shiftex.num_models());

@@ -10,7 +10,7 @@
 //! assignment.
 
 use rand::rngs::StdRng;
-use shiftex_fl::{Party, PartyId};
+use shiftex_fl::{Party, PartyId, PopulationView};
 use shiftex_nn::{ArchSpec, Sequential};
 
 /// Builds a model with the given flat parameters (helper shared by all
@@ -66,6 +66,49 @@ pub fn evaluate_assigned_refs<'a>(
         let report = model.evaluate(party.test_features(), party.test_labels());
         correct += report.accuracy as f64 * report.n as f64;
         total += report.n;
+    }
+    if total == 0 {
+        0.0
+    } else {
+        (correct / total as f64) as f32
+    }
+}
+
+/// Like [`evaluate_assigned_refs`] but streamed through a
+/// [`PopulationView`]: each party is materialized transiently in view
+/// order and dropped after scoring, so assigned evaluation is
+/// O(1)-resident at any population size. Accumulation order, arithmetic,
+/// and the parameter-identity model cache are identical to the slice
+/// version, so results are bit-identical.
+pub fn evaluate_assigned_view<'a>(
+    spec: &ArchSpec,
+    parties: &PopulationView<'_>,
+    mut params_of: impl FnMut(PartyId) -> &'a [f32],
+) -> f32 {
+    let mut correct = 0.0f64;
+    let mut total = 0usize;
+    let mut cache: Vec<(&[f32], Sequential)> = Vec::new();
+    for &id in parties.ids() {
+        parties.with_party(id, |party| {
+            if party.test().is_empty() {
+                return;
+            }
+            let params = params_of(id);
+            let slot = match cache
+                .iter()
+                .position(|(p, _)| std::ptr::eq(p.as_ptr(), params.as_ptr()))
+            {
+                Some(i) => i,
+                None => {
+                    cache.push((params, build_model(spec, params)));
+                    cache.len() - 1
+                }
+            };
+            let model = &cache[slot].1;
+            let report = model.evaluate(party.test_features(), party.test_labels());
+            correct += report.accuracy as f64 * report.n as f64;
+            total += report.n;
+        });
     }
     if total == 0 {
         0.0

@@ -11,7 +11,7 @@
 //!     [--dataset fashionmnist] [--scale smoke|small|paper] [--seed N] \
 //!     [--strategy shiftex|fedavg|fedprox|feddrift|fielding|flips] \
 //!     [--selector uniform|oort] \
-//!     [--parties N] [--samples N] \
+//!     [--parties N] [--samples N] [--population materialized|lazy|resident] \
 //!     [--windows N] [--rounds N] [--bootstrap N] \
 //!     [--codec dense|quant8|delta|delta-quant8|topk|delta-topk|ef-topk] \
 //!     [--quant-block N] [--topk-density D] [--sweep-codecs] \
@@ -45,13 +45,18 @@
 //! `--sweep-attacks` reruns it under {none, 20 % sign-flip, 20 %
 //! scaled-noise} × {mean, trimmed, median, krum} and prints the
 //! attack-vs-fold recovery table (plus `robust_sweep.csv` with `--csv`).
+//! `--population` picks the party store: `materialized` (legacy resident
+//! `Vec`, shared data stream), `lazy` (per-party seeded specs, O(cohort)
+//! residency — the default at ≥1024 parties, e.g. `--parties 10000`), or
+//! `resident` (lazy's bit-identical fully-resident reference arm).
 
 use shiftex_core::ShiftExConfig;
 use shiftex_data::{DatasetKind, SimScale};
 use shiftex_experiments::cli::Args;
 use shiftex_experiments::{
     build_algorithm, codec_spec_from_args, federation_spec_from_args, fold_policy_from_args,
-    report, run_federation_scenario, FedRunOptions, FedSelector, Scenario, ALGORITHM_NAMES,
+    report, run_federation_scenario, FedRunOptions, FedSelector, PopulationMode, Scenario,
+    ALGORITHM_NAMES,
 };
 use shiftex_fl::{AttackKind, AttackSpec, CodecSpec, FoldPolicy};
 
@@ -81,15 +86,25 @@ fn main() {
     let fed = federation_spec_from_args(&args, seed ^ 0x5ce7a510, horizon);
     let codec = codec_spec_from_args(&args);
     let fold = fold_policy_from_args(&args);
+    // Large federations default to the lazy store (O(cohort) residency);
+    // small ones keep the golden-pinned materialized path.
+    let population = match args.value("population") {
+        Some(name) => PopulationMode::parse(name).unwrap_or_else(|| {
+            panic!("unknown --population {name:?} (materialized|lazy|resident)")
+        }),
+        None if scenario.profile.num_parties >= 1024 => PopulationMode::Lazy,
+        None => PopulationMode::Materialized,
+    };
     let opts = FedRunOptions::new(windows, bootstrap, rounds)
         .with_codec(codec)
         .with_selector(selector)
-        .with_fold(fold);
+        .with_fold(fold)
+        .with_population(population);
 
     eprintln!(
-        "# {kind} @ {scale:?}: {} parties, {windows} window(s) × {rounds} rounds \
-         (+{bootstrap} bootstrap), strategy {strategy}, selector {selector:?}, codec {codec}, \
-         fold {fold}",
+        "# {kind} @ {scale:?}: {} parties ({population:?} store), {windows} window(s) × {rounds} \
+         rounds (+{bootstrap} bootstrap), strategy {strategy}, selector {selector:?}, \
+         codec {codec}, fold {fold}",
         scenario.profile.num_parties
     );
     eprintln!("# federation axes: {fed:?}");
@@ -125,7 +140,8 @@ fn main() {
                     &fed,
                     &FedRunOptions::new(windows, bootstrap, rounds)
                         .with_codec(codec)
-                        .with_selector(selector),
+                        .with_selector(selector)
+                        .with_population(population),
                 )
             })
             .collect();
@@ -180,7 +196,8 @@ fn main() {
                     &FedRunOptions::new(windows, bootstrap, rounds)
                         .with_codec(codec)
                         .with_selector(selector)
-                        .with_fold(fold),
+                        .with_fold(fold)
+                        .with_population(population),
                 );
                 rows.push((label.to_string(), result));
             }
@@ -206,6 +223,11 @@ fn main() {
         result.accuracy_series.last().copied().unwrap_or(0.0) * 100.0,
         result.accuracy_series.len(),
         result.final_models
+    );
+    let res = result.residency;
+    println!(
+        "population store: {} parties, peak cohort {}, {} pinned, {} materializations",
+        res.population, res.peak_cohort, res.pinned, res.materializations
     );
 
     if let Some(dir) = &csv_dir {

@@ -26,13 +26,17 @@
 pub mod algorithms;
 pub mod cli;
 pub mod metrics;
+pub mod population;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 
 pub use algorithms::{build_algorithm, ALGORITHMS, ALGORITHM_NAMES};
 pub use metrics::{aggregate_windows, WindowMetrics, WindowMetricsAgg};
-pub use runner::{run_federation_scenario, run_scenario, FedRunOptions, FedRunResult, FedSelector};
+pub use population::{party_stream_seed, LazyPopulation, ResidentPopulation};
+pub use runner::{
+    run_federation_scenario, run_scenario, FedRunOptions, FedRunResult, FedSelector, PopulationMode,
+};
 pub use scenario::{
     codec_spec_from_args, federation_spec_from_args, fold_policy_from_args, Scenario,
 };

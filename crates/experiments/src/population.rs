@@ -1,0 +1,240 @@
+//! Scenario-backed [`PartyProvider`]s: the population as seeded specs.
+//!
+//! A [`Scenario`] already is a complete recipe for any party's data at any
+//! window — generator, shift schedule, windowing mode. The providers here
+//! exploit that: instead of materializing `num_parties` [`Party`] values up
+//! front, they rebuild `(party, window)` on demand from a per-party seed
+//! stream, so a [`PopulationStore`] stays
+//! O(cohort) resident at 10k–100k parties.
+//!
+//! Two providers share one data stream:
+//!
+//! * [`LazyPopulation`] — rebuilds a party every time it is sampled into a
+//!   cohort and lets the store evict it after the round; resident memory is
+//!   independent of population size.
+//! * [`ResidentPopulation`] — materializes every party up front and mutates
+//!   them in place on window advances, drawing from the *same* per-party
+//!   streams. It is the reference arm for the conformance suite: a run over
+//!   `LazyPopulation` must be bit-identical to one over
+//!   [`ResidentPopulation`] built from the same scenario and stream seed.
+//!
+//! Per-party streams differ from the legacy shared-stream path
+//! ([`Scenario::initial_parties`] + [`Scenario::advance`], which thread one
+//! RNG through every party in order): a shared stream cannot rebuild party
+//! 9_999 without generating parties 0..9_999 first. The runner therefore
+//! keeps the legacy stream for its golden-pinned materialized mode and uses
+//! these providers for scale runs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shiftex_fl::{Party, PartyId, PartyProvider, PopulationStore};
+use std::collections::BTreeMap;
+
+use crate::scenario::Scenario;
+
+/// Mixes `(stream seed, party, window)` into an independent RNG seed
+/// (splitmix64 finalizer, the same avalanche used by `ScenarioEngine`'s
+/// per-round sub-streams).
+pub fn party_stream_seed(stream_seed: u64, id: PartyId, window: usize) -> u64 {
+    let mut z = stream_seed
+        ^ (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (window as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds `id`'s party at `window` by replaying its window chain: window 0
+/// from the `(id, 0)` stream, then [`Scenario::advance_party`] once per
+/// window with the `(id, w)` stream. The chain is what keeps sliding-window
+/// carry-over and `prev_train` (the shift detector's reference window)
+/// exactly as a resident party would hold them.
+fn build_chained(scenario: &Scenario, stream_seed: u64, id: PartyId, window: usize) -> Party {
+    let mut rng = StdRng::seed_from_u64(party_stream_seed(stream_seed, id, 0));
+    let mut party = scenario.build_party(id.0, &mut rng);
+    for w in 1..=window {
+        let mut rng = StdRng::seed_from_u64(party_stream_seed(stream_seed, id, w));
+        scenario.advance_party(&mut party, w, &mut rng);
+    }
+    party
+}
+
+/// Party provider that materializes nothing until asked.
+///
+/// Holds only the scenario recipe and a stream seed; every
+/// [`with_party`](PartyProvider::with_party) call rebuilds the requested
+/// party from its per-`(id, window)` seed chain and drops it when the
+/// callback returns. Re-instantiation is bit-identical by construction —
+/// the same seeds drive the same generator calls.
+#[derive(Debug, Clone)]
+pub struct LazyPopulation {
+    scenario: Scenario,
+    stream_seed: u64,
+}
+
+impl LazyPopulation {
+    /// Wraps `scenario` with a per-party stream seed (conventionally the
+    /// same base the runner would have used for the shared stream).
+    pub fn new(scenario: Scenario, stream_seed: u64) -> Self {
+        Self {
+            scenario,
+            stream_seed,
+        }
+    }
+
+    /// Boxes this provider into a [`PopulationStore`].
+    pub fn into_store(self) -> PopulationStore {
+        PopulationStore::new(Box::new(self))
+    }
+}
+
+impl PartyProvider for LazyPopulation {
+    fn party_ids(&self) -> Vec<PartyId> {
+        (0..self.scenario.profile.num_parties)
+            .map(PartyId)
+            .collect()
+    }
+
+    fn with_party(&self, id: PartyId, window: usize, f: &mut dyn FnMut(&Party)) {
+        if id.0 < self.scenario.profile.num_parties {
+            f(&build_chained(&self.scenario, self.stream_seed, id, window));
+        }
+    }
+}
+
+/// The resident twin of [`LazyPopulation`]: same per-party streams, but
+/// every party is materialized up front and mutated in place on window
+/// advances. Exists so the conformance suite can compare a lazy run
+/// against a fully-resident run over identical data.
+#[derive(Debug)]
+pub struct ResidentPopulation {
+    scenario: Scenario,
+    stream_seed: u64,
+    parties: Vec<Party>,
+    index: BTreeMap<PartyId, usize>,
+}
+
+impl ResidentPopulation {
+    /// Materializes the whole population at window 0 from the per-party
+    /// streams.
+    pub fn new(scenario: Scenario, stream_seed: u64) -> Self {
+        let parties: Vec<Party> = (0..scenario.profile.num_parties)
+            .map(|i| {
+                let id = PartyId(i);
+                let mut rng = StdRng::seed_from_u64(party_stream_seed(stream_seed, id, 0));
+                scenario.build_party(i, &mut rng)
+            })
+            .collect();
+        let index = parties
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.id(), i))
+            .collect();
+        Self {
+            scenario,
+            stream_seed,
+            parties,
+            index,
+        }
+    }
+
+    /// Boxes this provider into a [`PopulationStore`].
+    pub fn into_store(self) -> PopulationStore {
+        PopulationStore::new(Box::new(self))
+    }
+}
+
+impl PartyProvider for ResidentPopulation {
+    fn party_ids(&self) -> Vec<PartyId> {
+        self.parties.iter().map(|p| p.id()).collect()
+    }
+
+    fn with_party(&self, id: PartyId, _window: usize, f: &mut dyn FnMut(&Party)) {
+        if let Some(&i) = self.index.get(&id) {
+            f(&self.parties[i]);
+        }
+    }
+
+    fn with_party_mut(&mut self, id: PartyId, f: &mut dyn FnMut(&mut Party)) -> bool {
+        match self.index.get(&id) {
+            Some(&i) => {
+                f(&mut self.parties[i]);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn advance_window(&mut self, window: usize) {
+        for party in &mut self.parties {
+            let seed = party_stream_seed(self.stream_seed, party.id(), window);
+            let mut rng = StdRng::seed_from_u64(seed);
+            self.scenario.advance_party(party, window, &mut rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shiftex_data::{DatasetKind, SimScale};
+
+    fn scenario() -> Scenario {
+        Scenario::build_with_population(
+            DatasetKind::FashionMnist,
+            SimScale::Smoke,
+            3,
+            Some(40),
+            Some(12),
+        )
+    }
+
+    #[test]
+    fn lazy_and_resident_agree_at_every_window() {
+        let lazy = LazyPopulation::new(scenario(), 77).into_store();
+        let mut resident = ResidentPopulation::new(scenario(), 77).into_store();
+        let mut lazy = lazy;
+        for w in 0..3 {
+            if w > 0 {
+                lazy.set_window(w);
+                resident.set_window(w);
+            }
+            for id in [PartyId(0), PartyId(17), PartyId(39)] {
+                let a = lazy.party(id).expect("lazy id");
+                let b = resident.party(id).expect("resident id");
+                assert_eq!(a.train_labels(), b.train_labels(), "window {w}");
+                assert_eq!(
+                    a.train_features().as_slice(),
+                    b.train_features().as_slice(),
+                    "window {w} features"
+                );
+                assert_eq!(a.prev_train().is_some(), b.prev_train().is_some());
+                if let (Some(pa), Some(pb)) = (a.prev_train(), b.prev_train()) {
+                    assert_eq!(pa.features(), pb.features(), "window {w} prev_train");
+                }
+            }
+        }
+        assert_eq!(lazy.stats().pinned, 0, "lazy reads never pin");
+    }
+
+    #[test]
+    fn lazy_rebuild_is_stable_across_evictions() {
+        let store = LazyPopulation::new(scenario(), 5).into_store();
+        let a = store.party(PartyId(23)).expect("id");
+        drop(a);
+        let b = store.party(PartyId(23)).expect("id");
+        let a = store.party(PartyId(23)).expect("id");
+        assert_eq!(a.train_features().as_slice(), b.train_features().as_slice());
+        assert_eq!(a.test().features(), b.test().features());
+    }
+
+    #[test]
+    fn stream_seeds_are_pairwise_distinct_in_practice() {
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..200 {
+            for w in 0..4 {
+                assert!(seen.insert(party_stream_seed(9, PartyId(id), w)));
+            }
+        }
+    }
+}

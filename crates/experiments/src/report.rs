@@ -506,6 +506,13 @@ mod tests {
             codec: shiftex_fl::CodecSpec::quant8(256),
             fold: shiftex_fl::FoldPolicy::Krum { f: 2 },
             param_count: 1000,
+            residency: shiftex_fl::PopulationStats {
+                population: 9,
+                pinned: 0,
+                peak_cohort: 8,
+                materializations: 40,
+                window: 1,
+            },
         }
     }
 

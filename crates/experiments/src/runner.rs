@@ -10,20 +10,19 @@
 //! [`run_federation_scenario`]. The paper's clean synchronous protocol is
 //! the degenerate case ([`ScenarioSpec::sync`] with no axes).
 
-use std::collections::HashSet;
-
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use shiftex_baselines::OortSelector;
 use shiftex_fl::{
     run_algorithm_round, CodecSpec, CommLedger, CommTotals, FederatedAlgorithm, FoldPolicy,
-    ParticipantSelector, ParticipationStats, Party, RoundParticipation, ScenarioEngine,
+    ParticipantSelector, ParticipationStats, PopulationStore, RoundParticipation, ScenarioEngine,
     ScenarioSpec, UniformSelector,
 };
 
 use crate::algorithms::build_algorithm;
 use crate::metrics::{window_metrics, WindowMetrics};
+use crate::population::{LazyPopulation, ResidentPopulation};
 use crate::scenario::Scenario;
 
 /// Everything recorded from one algorithm × scenario × federation run.
@@ -58,6 +57,10 @@ pub struct FedRunResult {
     pub fold: FoldPolicy,
     /// Flattened model parameter count (sizes the compression ratio).
     pub param_count: usize,
+    /// Population residency counters at the end of the run (pinned copies,
+    /// peak materialized cohort, total materializations) — the memory
+    /// envelope the lazy store is held to.
+    pub residency: shiftex_fl::PopulationStats,
 }
 
 impl FedRunResult {
@@ -98,6 +101,40 @@ impl FedSelector {
     }
 }
 
+/// How the party population is stored and advanced between windows.
+///
+/// The mode changes memory behaviour (and, for the seeded modes, the data
+/// stream), never the protocol: every mode drives the same
+/// [`run_algorithm_round`] loop through the same [`PopulationStore`]
+/// interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PopulationMode {
+    /// Whole population materialized up front from one shared RNG stream —
+    /// the legacy representation, pinned by the golden conformance
+    /// fixtures. Window advances mutate every party in order.
+    Materialized,
+    /// Parties as per-`(id, window)` seeded specs
+    /// ([`LazyPopulation`]): materialized only when sampled into a cohort,
+    /// evicted when the round drops it. Resident memory is O(cohort).
+    Lazy,
+    /// The same per-party streams as [`PopulationMode::Lazy`] but fully
+    /// resident ([`ResidentPopulation`]) — the reference arm the
+    /// conformance suite compares a lazy run against, bit for bit.
+    Resident,
+}
+
+impl PopulationMode {
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<PopulationMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "materialized" => Some(PopulationMode::Materialized),
+            "lazy" => Some(PopulationMode::Lazy),
+            "resident" => Some(PopulationMode::Resident),
+            _ => None,
+        }
+    }
+}
+
 /// Round budget and communication regime of a federation-scenario run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FedRunOptions {
@@ -113,6 +150,8 @@ pub struct FedRunOptions {
     pub selector: FedSelector,
     /// Robust aggregation fold every stream's updates pass through.
     pub fold: FoldPolicy,
+    /// Population storage mode.
+    pub population: PopulationMode,
 }
 
 impl FedRunOptions {
@@ -125,6 +164,7 @@ impl FedRunOptions {
             codec: CodecSpec::dense(),
             selector: FedSelector::Uniform,
             fold: FoldPolicy::Mean,
+            population: PopulationMode::Materialized,
         }
     }
 
@@ -143,6 +183,12 @@ impl FedRunOptions {
     /// Swaps in a robust aggregation fold.
     pub fn with_fold(mut self, fold: FoldPolicy) -> Self {
         self.fold = fold;
+        self
+    }
+
+    /// Swaps in a population storage mode.
+    pub fn with_population(mut self, population: PopulationMode) -> Self {
+        self.population = population;
         self
     }
 }
@@ -202,13 +248,24 @@ pub fn run_federation_scenario<A: FederatedAlgorithm + ?Sized>(
         "scenario only has {} evaluation windows",
         scenario.eval_windows()
     );
-    let mut rng = StdRng::seed_from_u64(fed.seed ^ scenario.seed.rotate_left(17));
-    let mut parties = scenario.initial_parties(&mut rng);
-    let ids: Vec<shiftex_fl::PartyId> = parties.iter().map(Party::id).collect();
+    let stream_seed = fed.seed ^ scenario.seed.rotate_left(17);
+    let mut rng = StdRng::seed_from_u64(stream_seed);
+    // Materialized consumes the shared stream up front (the golden-pinned
+    // path); the seeded modes derive per-party streams from the same base.
+    let mut store = match opts.population {
+        PopulationMode::Materialized => {
+            PopulationStore::from_parties(scenario.initial_parties(&mut rng))
+        }
+        PopulationMode::Lazy => LazyPopulation::new(scenario.clone(), stream_seed).into_store(),
+        PopulationMode::Resident => {
+            ResidentPopulation::new(scenario.clone(), stream_seed).into_store()
+        }
+    };
+    let ids = store.party_ids();
     let mut engine = ScenarioEngine::new(fed.clone(), &ids);
     let ledger = CommLedger::new();
     let mut selector = opts.selector.build();
-    algorithm.init(&parties, &mut rng);
+    algorithm.init(&store.view(ids.clone()), &mut rng);
     let param_count = algorithm
         .streams()
         .first()
@@ -223,7 +280,7 @@ pub fn run_federation_scenario<A: FederatedAlgorithm + ?Sized>(
     // --- W0: burn-in rounds under the full scenario runtime.
     let per_round = run_round_block(
         algorithm,
-        &parties,
+        &store,
         opts.bootstrap_rounds,
         &mut engine,
         &opts.codec,
@@ -234,23 +291,32 @@ pub fn run_federation_scenario<A: FederatedAlgorithm + ?Sized>(
         &mut accuracy_series,
         &mut participation,
     );
-    expert_distribution.push(distribution(algorithm, &parties));
+    expert_distribution.push(distribution(algorithm, &store));
     let mut pre_shift = per_round.last().copied().unwrap_or_else(|| {
-        let members = live_view(&engine, &ids, &parties);
+        let members = store.view(engine.live_members(&ids));
         algorithm.eval(&members)
     });
 
     // --- W1..Wn: shifted windows.
     for w in 1..=opts.windows {
-        scenario.advance(&mut parties, w, &mut rng);
+        match opts.population {
+            // The legacy mutation path: stream `advance_party` over every
+            // resident party in canonical order, reproducing the shared-RNG
+            // sequence of the pre-store runtime bit for bit.
+            PopulationMode::Materialized => {
+                store.advance_window_with(w, |p| scenario.advance_party(p, w, &mut rng));
+            }
+            // Seeded modes re-derive party state from `(id, window)`.
+            PopulationMode::Lazy | PopulationMode::Resident => store.set_window(w),
+        }
         // Only enrolled members publish shift statistics for this window.
-        let members = live_view(&engine, &ids, &parties);
+        let members = store.view(engine.live_members(&ids));
         algorithm.begin_window(w, &members, &mut rng);
         let post_shift = algorithm.eval(&members);
         post_shift_accuracy.push(post_shift);
         let per_round = run_round_block(
             algorithm,
-            &parties,
+            &store,
             opts.rounds_per_window,
             &mut engine,
             &opts.codec,
@@ -262,7 +328,7 @@ pub fn run_federation_scenario<A: FederatedAlgorithm + ?Sized>(
             &mut participation,
         );
         windows.push(window_metrics(pre_shift, post_shift, &per_round));
-        expert_distribution.push(distribution(algorithm, &parties));
+        expert_distribution.push(distribution(algorithm, &store));
         pre_shift = per_round.last().copied().unwrap_or(post_shift);
     }
 
@@ -279,6 +345,7 @@ pub fn run_federation_scenario<A: FederatedAlgorithm + ?Sized>(
         codec: opts.codec,
         fold: opts.fold,
         param_count,
+        residency: store.stats(),
     }
 }
 
@@ -287,7 +354,7 @@ pub fn run_federation_scenario<A: FederatedAlgorithm + ?Sized>(
 #[allow(clippy::too_many_arguments)] // one driver call site, two phases
 fn run_round_block<A: FederatedAlgorithm + ?Sized>(
     algorithm: &mut A,
-    parties: &[Party],
+    population: &PopulationStore,
     rounds: usize,
     engine: &mut ScenarioEngine,
     codec: &CodecSpec,
@@ -304,7 +371,7 @@ fn run_round_block<A: FederatedAlgorithm + ?Sized>(
         let comm_before = ledger.totals();
         let outcome = run_algorithm_round(
             algorithm,
-            parties,
+            population,
             engine,
             codec,
             selector,
@@ -312,18 +379,17 @@ fn run_round_block<A: FederatedAlgorithm + ?Sized>(
             Some(ledger),
             rng,
         );
-        let live_set: HashSet<shiftex_fl::PartyId> = outcome.live.iter().copied().collect();
-        let live_refs: Vec<&Party> = parties
-            .iter()
-            .filter(|p| live_set.contains(&p.id()))
-            .collect();
-        let accuracy = algorithm.eval(&live_refs);
+        // `outcome.live` is already in population order (the engine filters
+        // the id universe in place), so the view evaluates the same member
+        // sequence the pre-store slice filter produced.
+        let live = population.view(outcome.live.clone());
+        let accuracy = algorithm.eval(&live);
         per_round.push(accuracy);
         accuracy_series.push(accuracy);
         let comm = ledger.totals();
         participation.push(RoundParticipation {
             round: outcome.round,
-            live: live_refs.len(),
+            live: live.len(),
             delta: engine.stats().minus(&before),
             accuracy,
             up_bytes: (comm.up_bytes + comm.aborted_up_bytes)
@@ -338,25 +404,14 @@ fn run_round_block<A: FederatedAlgorithm + ?Sized>(
     per_round
 }
 
-/// The enrolled-member view of the population at the engine's current
-/// round.
-fn live_view<'a>(
-    engine: &ScenarioEngine,
-    ids: &[shiftex_fl::PartyId],
-    parties: &'a [Party],
-) -> Vec<&'a Party> {
-    let members: HashSet<shiftex_fl::PartyId> = engine.live_members(ids).into_iter().collect();
-    parties
-        .iter()
-        .filter(|p| members.contains(&p.id()))
-        .collect()
-}
-
 /// Parties per model index, padded densely.
-fn distribution<A: FederatedAlgorithm + ?Sized>(algorithm: &A, parties: &[Party]) -> Vec<usize> {
+fn distribution<A: FederatedAlgorithm + ?Sized>(
+    algorithm: &A,
+    population: &PopulationStore,
+) -> Vec<usize> {
     let mut counts = vec![0usize; algorithm.num_models().max(1)];
-    for p in parties {
-        let idx = algorithm.model_index(p.id());
+    for id in population.party_ids() {
+        let idx = algorithm.model_index(id);
         if idx >= counts.len() {
             counts.resize(idx + 1, 0);
         }

@@ -16,7 +16,12 @@ use shiftex_stream::{ScheduleBuilder, ShiftSchedule};
 use crate::cli::Args;
 
 /// A fully-specified experiment scenario.
-#[derive(Debug)]
+///
+/// Cloning is cheap relative to party data (profile, generator prototypes
+/// and schedule tables only) and is how a
+/// [`LazyPopulation`](crate::population::LazyPopulation) captures the
+/// recipe for building parties on demand.
+#[derive(Debug, Clone)]
 pub struct Scenario {
     /// Dataset profile (parties, windows, windowing mode, shapes).
     pub profile: DatasetProfile,
@@ -94,21 +99,23 @@ impl Scenario {
     /// Initial (window 0, bootstrap) party population.
     pub fn initial_parties(&self, rng: &mut StdRng) -> Vec<Party> {
         (0..self.profile.num_parties)
-            .map(|i| {
-                let regime = self.schedule.regime(0, i);
-                let train = self.generator.generate_with_regime(
-                    self.profile.samples_per_party,
-                    regime,
-                    rng,
-                );
-                let test = self.generator.generate_with_regime(
-                    self.profile.test_samples_per_party,
-                    regime,
-                    rng,
-                );
-                Party::new(PartyId(i), train, test)
-            })
+            .map(|i| self.build_party(i, rng))
             .collect()
+    }
+
+    /// Builds party `i`'s window-0 state, drawing from `rng`.
+    ///
+    /// The materialized path calls this for every `i` against one shared
+    /// stream; a lazy provider calls it against a per-party stream.
+    pub fn build_party(&self, i: usize, rng: &mut StdRng) -> Party {
+        let regime = self.schedule.regime(0, i);
+        let train =
+            self.generator
+                .generate_with_regime(self.profile.samples_per_party, regime, rng);
+        let test =
+            self.generator
+                .generate_with_regime(self.profile.test_samples_per_party, regime, rng);
+        Party::new(PartyId(i), train, test)
     }
 
     /// Advances every party to `window` per the schedule.
@@ -125,31 +132,38 @@ impl Scenario {
             window > 0 && window < self.schedule.num_windows(),
             "window out of range"
         );
-        for (i, party) in parties.iter_mut().enumerate() {
-            let regime = self.schedule.regime(window, i);
-            let fresh_n = match self.profile.windowing {
-                WindowingMode::Tumbling => self.profile.samples_per_party,
-                WindowingMode::Sliding => self.profile.samples_per_party / 2,
-            };
-            let fresh = self.generator.generate_with_regime(fresh_n, regime, rng);
-            let train = match self.profile.windowing {
-                WindowingMode::Tumbling => fresh,
-                WindowingMode::Sliding => {
-                    // Keep the most recent half of the old window.
-                    let old = party.train();
-                    let keep = old.len().min(self.profile.samples_per_party - fresh_n);
-                    let idx: Vec<usize> = (old.len() - keep..old.len()).collect();
-                    let carried = old.subset(&idx);
-                    Dataset::concat(&[&carried, &fresh])
-                }
-            };
-            let test = self.generator.generate_with_regime(
-                self.profile.test_samples_per_party,
-                regime,
-                rng,
-            );
-            party.advance_window(train, test);
+        for party in parties.iter_mut() {
+            self.advance_party(party, window, rng);
         }
+    }
+
+    /// Advances a single party to `window`, keyed by its [`PartyId`] in the
+    /// shift schedule. Factored out of [`Scenario::advance`] so that a lazy
+    /// provider can replay one party's window chain without materializing
+    /// the rest of the population.
+    pub fn advance_party(&self, party: &mut Party, window: usize, rng: &mut StdRng) {
+        let i = party.id().0;
+        let regime = self.schedule.regime(window, i);
+        let fresh_n = match self.profile.windowing {
+            WindowingMode::Tumbling => self.profile.samples_per_party,
+            WindowingMode::Sliding => self.profile.samples_per_party / 2,
+        };
+        let fresh = self.generator.generate_with_regime(fresh_n, regime, rng);
+        let train = match self.profile.windowing {
+            WindowingMode::Tumbling => fresh,
+            WindowingMode::Sliding => {
+                // Keep the most recent half of the old window.
+                let old = party.train();
+                let keep = old.len().min(self.profile.samples_per_party - fresh_n);
+                let idx: Vec<usize> = (old.len() - keep..old.len()).collect();
+                let carried = old.subset(&idx);
+                Dataset::concat(&[&carried, &fresh])
+            }
+        };
+        let test =
+            self.generator
+                .generate_with_regime(self.profile.test_samples_per_party, regime, rng);
+        party.advance_window(train, test);
     }
 
     /// Number of evaluation windows (W1..Wn).

@@ -18,7 +18,7 @@
 //!    [`ParticipantSelector`] (uniform / OORT), mixture and cluster
 //!    algorithms bring their own policy;
 //! 3. **local work** — the party-side step ([`local_step`], defaulting to
-//!    SGD via [`local_update`](crate::local_update) under the algorithm's
+//!    SGD via [`local_update`] under the algorithm's
 //!    [`train_config`]);
 //! 4. **folding** — how decoded, staleness-weighted updates enter the
 //!    model ([`fold`]);
@@ -39,7 +39,7 @@
 //! [`fold`]: FederatedAlgorithm::fold
 //! [`begin_window`]: FederatedAlgorithm::begin_window
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -49,6 +49,7 @@ use shiftex_nn::{ArchSpec, TrainConfig};
 use crate::codec::CodecSpec;
 use crate::comm::CommLedger;
 use crate::party::{Party, PartyId};
+use crate::population::{PopulationStore, PopulationView};
 use crate::robust::{FoldPolicy, UpdateVerdict};
 use crate::round::local_update;
 use crate::scenario::{RoundMode, ScenarioEngine, WeightedUpdate};
@@ -69,13 +70,15 @@ pub trait FederatedAlgorithm {
     fn arch(&self) -> &ArchSpec;
 
     /// One-time W0 setup: build the initial model state from this run's RNG
-    /// stream and enrol `parties`. Called exactly once, before any round.
-    fn init(&mut self, parties: &[Party], rng: &mut StdRng);
+    /// stream and enrol the population behind `parties`. Called exactly
+    /// once, before any round. Algorithms must stream parties through the
+    /// view (one resident at a time) rather than collecting them.
+    fn init(&mut self, parties: &PopulationView<'_>, rng: &mut StdRng);
 
     /// Window-boundary hook: the enrolled members' data has just advanced
     /// to `window` (≥ 1). Shift detection, re-clustering, expert management
     /// — whatever the algorithm does between windows.
-    fn begin_window(&mut self, window: usize, members: &[&Party], rng: &mut StdRng);
+    fn begin_window(&mut self, window: usize, members: &PopulationView<'_>, rng: &mut StdRng);
 
     /// Keys of the update streams (one per concurrently trained model) in
     /// training order. Single-model algorithms return `vec![0]`; mixture
@@ -98,7 +101,7 @@ pub trait FederatedAlgorithm {
     fn cohort(
         &mut self,
         key: usize,
-        live: &[&Party],
+        live: &PopulationView<'_>,
         selector: &mut dyn ParticipantSelector,
         rng: &mut StdRng,
     ) -> Vec<PartyId>;
@@ -127,11 +130,11 @@ pub trait FederatedAlgorithm {
 
     /// Post-round hook after every stream folded (e.g. personalised local
     /// steps for fine-tuned parties). Default: nothing.
-    fn end_round(&mut self, _live: &[&Party], _rng: &mut StdRng) {}
+    fn end_round(&mut self, _live: &PopulationView<'_>, _rng: &mut StdRng) {}
 
     /// Sample-weighted population accuracy over `parties`, each evaluated
     /// under the model this algorithm currently assigns to it.
-    fn eval(&self, parties: &[&Party]) -> f32;
+    fn eval(&self, parties: &PopulationView<'_>) -> f32;
 
     /// Dense model index currently assigned to `party` (for the
     /// expert-distribution figures); single-model algorithms return 0.
@@ -216,7 +219,7 @@ pub struct AlgoRoundOutcome {
 #[allow(clippy::too_many_arguments)] // the round's full I/O surface: wire, fold, meter, seed
 pub fn run_algorithm_round<A: FederatedAlgorithm + ?Sized>(
     algorithm: &mut A,
-    parties: &[Party],
+    population: &PopulationStore,
     engine: &mut ScenarioEngine,
     codec: &CodecSpec,
     selector: &mut dyn ParticipantSelector,
@@ -226,14 +229,9 @@ pub fn run_algorithm_round<A: FederatedAlgorithm + ?Sized>(
 ) -> AlgoRoundOutcome {
     let round = engine.begin_round();
     selector.begin_round();
-    let all_ids: Vec<PartyId> = parties.iter().map(Party::id).collect();
+    let all_ids = population.party_ids();
     let live_ids = engine.live_members(&all_ids);
-    let live_set: BTreeSet<PartyId> = live_ids.iter().copied().collect();
-    let live: Vec<&Party> = parties
-        .iter()
-        .filter(|p| live_set.contains(&p.id()))
-        .collect();
-    let by_id: BTreeMap<PartyId, &Party> = live.iter().map(|p| (p.id(), *p)).collect();
+    let live = population.view(live_ids.clone());
     let server_lr = match engine.spec().mode {
         RoundMode::Sync => 1.0,
         RoundMode::Async(a) => a.server_lr,
@@ -244,10 +242,10 @@ pub fn run_algorithm_round<A: FederatedAlgorithm + ?Sized>(
     let mut robustness = RobustnessReport::default();
     for key in algorithm.streams() {
         let cohort_ids = algorithm.cohort(key, &live, selector, rng);
-        let cohort: Vec<&Party> = cohort_ids
-            .iter()
-            .filter_map(|id| by_id.get(id).copied())
-            .collect();
+        // The round's working set: only the sampled cohort is materialized,
+        // and dropping it at the end of this stream's scope is the eviction
+        // that keeps residency O(cohort) regardless of population size.
+        let cohort: Vec<Party> = live.parties(&cohort_ids);
         let globals = algorithm.broadcast_state(key);
         let bcast = engine.broadcast(key, &globals, codec, &cohort_ids, ledger);
         // One pre-drawn seed per member keeps results independent of
@@ -269,6 +267,7 @@ pub fn run_algorithm_round<A: FederatedAlgorithm + ?Sized>(
                 }
             })
             .collect();
+        drop(cohort);
         let updates: Vec<ModelUpdate> = updates
             .into_iter()
             .map(|u| engine.transport_upload(key, u, codec, &bcast.decoded))
@@ -337,10 +336,10 @@ mod tests {
         fn arch(&self) -> &ArchSpec {
             &self.spec
         }
-        fn init(&mut self, _parties: &[Party], rng: &mut StdRng) {
+        fn init(&mut self, _parties: &PopulationView<'_>, rng: &mut StdRng) {
             self.params = Sequential::build(&self.spec, rng).params_flat();
         }
-        fn begin_window(&mut self, _w: usize, _m: &[&Party], _rng: &mut StdRng) {}
+        fn begin_window(&mut self, _w: usize, _m: &PopulationView<'_>, _rng: &mut StdRng) {}
         fn streams(&self) -> Vec<usize> {
             vec![0]
         }
@@ -353,18 +352,19 @@ mod tests {
         fn cohort(
             &mut self,
             _key: usize,
-            live: &[&Party],
+            live: &PopulationView<'_>,
             selector: &mut dyn ParticipantSelector,
             rng: &mut StdRng,
         ) -> Vec<PartyId> {
             if live.is_empty() {
                 return Vec::new();
             }
-            let infos: Vec<_> = live.iter().map(|p| p.info()).collect();
+            let infos = live.infos();
             let chosen: BTreeSet<PartyId> =
                 selector.select(&infos, self.ppr, rng).into_iter().collect();
-            live.iter()
-                .map(|p| p.id())
+            live.ids()
+                .iter()
+                .copied()
                 .filter(|id| chosen.contains(id))
                 .collect()
         }
@@ -381,8 +381,8 @@ mod tests {
             }
             fold.verdicts
         }
-        fn eval(&self, parties: &[&Party]) -> f32 {
-            crate::evaluate_on_party_refs(&self.spec, &self.params, parties)
+        fn eval(&self, parties: &PopulationView<'_>) -> f32 {
+            crate::evaluate_on_view(&self.spec, &self.params, parties)
         }
         fn model_index(&self, _party: PartyId) -> usize {
             0
@@ -420,15 +420,16 @@ mod tests {
         // draw order, same aggregation.
         let (mut alg, parties) = setup(5, 0);
         let ids: Vec<PartyId> = parties.iter().map(Party::id).collect();
+        let store = PopulationStore::from_parties(parties.clone());
 
         let mut rng = StdRng::seed_from_u64(1);
-        alg.init(&parties, &mut rng);
+        alg.init(&store.view(store.party_ids()), &mut rng);
         let init = alg.params.clone();
         let mut engine = ScenarioEngine::new(ScenarioSpec::sync(3), &ids);
         for _ in 0..2 {
             run_algorithm_round(
                 &mut alg,
-                &parties,
+                &store,
                 &mut engine,
                 &CodecSpec::dense(),
                 &mut UniformSelector,
@@ -460,14 +461,15 @@ mod tests {
     fn driver_survives_a_fully_churned_round() {
         let (mut alg, parties) = setup(4, 7);
         let ids: Vec<PartyId> = parties.iter().map(Party::id).collect();
+        let store = PopulationStore::from_parties(parties);
         let mut rng = StdRng::seed_from_u64(8);
-        alg.init(&parties, &mut rng);
+        alg.init(&store.view(store.party_ids()), &mut rng);
         let before = alg.params.clone();
         let spec = ScenarioSpec::sync(1).with_churn(ChurnSpec::dropout_only(1.0));
         let mut engine = ScenarioEngine::new(spec, &ids);
         let out = run_algorithm_round(
             &mut alg,
-            &parties,
+            &store,
             &mut engine,
             &CodecSpec::dense(),
             &mut UniformSelector,
@@ -484,14 +486,15 @@ mod tests {
     fn driver_meters_first_contact_then_regular_frames() {
         let (mut alg, parties) = setup(3, 11);
         let ids: Vec<PartyId> = parties.iter().map(Party::id).collect();
+        let store = PopulationStore::from_parties(parties);
         let mut rng = StdRng::seed_from_u64(12);
-        alg.init(&parties, &mut rng);
+        alg.init(&store.view(store.party_ids()), &mut rng);
         let codec = CodecSpec::quant8(256).with_delta();
         let ledger = CommLedger::new();
         let mut engine = ScenarioEngine::new(ScenarioSpec::sync(2), &ids);
         run_algorithm_round(
             &mut alg,
-            &parties,
+            &store,
             &mut engine,
             &codec,
             &mut UniformSelector,
@@ -508,7 +511,7 @@ mod tests {
         );
         run_algorithm_round(
             &mut alg,
-            &parties,
+            &store,
             &mut engine,
             &codec,
             &mut UniformSelector,

@@ -6,6 +6,7 @@ use shiftex_nn::ArchSpec;
 
 use crate::comm::CommLedger;
 use crate::party::{Party, PartyId};
+use crate::population::PopulationStore;
 use crate::round::{run_round, run_round_scenario, RoundConfig};
 use crate::scenario::{ParticipationStats, ScenarioEngine};
 use crate::selection::ParticipantSelector;
@@ -71,17 +72,22 @@ pub struct ScenarioJobReport {
 #[derive(Debug)]
 pub struct FederatedJob {
     spec: ArchSpec,
-    parties: Vec<Party>,
+    population: PopulationStore,
     cfg: RoundConfig,
     ledger: CommLedger,
 }
 
 impl FederatedJob {
-    /// Creates a job.
+    /// Creates a job over a resident party population.
     pub fn new(spec: ArchSpec, parties: Vec<Party>, cfg: RoundConfig) -> Self {
+        Self::from_population(spec, PopulationStore::from_parties(parties), cfg)
+    }
+
+    /// Creates a job over an existing population store — resident or lazy.
+    pub fn from_population(spec: ArchSpec, population: PopulationStore, cfg: RoundConfig) -> Self {
         Self {
             spec,
-            parties,
+            population,
             cfg,
             ledger: CommLedger::new(),
         }
@@ -92,14 +98,21 @@ impl FederatedJob {
         &self.spec
     }
 
-    /// All parties.
-    pub fn parties(&self) -> &[Party] {
-        &self.parties
+    /// Enrolled party ids, in canonical population order.
+    pub fn party_ids(&self) -> Vec<PartyId> {
+        self.population.party_ids()
     }
 
-    /// Mutable access to parties (window advancement).
-    pub fn parties_mut(&mut self) -> &mut Vec<Party> {
-        &mut self.parties
+    /// The population store backing this job.
+    pub fn population(&self) -> &PopulationStore {
+        &self.population
+    }
+
+    /// Mutates one party in place (data injection, targeted poisoning).
+    /// Returns `None` if `id` is not enrolled. Window advancement goes
+    /// through [`PopulationStore`]-level APIs instead.
+    pub fn with_party_mut<R>(&mut self, id: PartyId, f: impl FnOnce(&mut Party) -> R) -> Option<R> {
+        self.population.with_party_mut(id, f)
     }
 
     /// Round configuration.
@@ -142,55 +155,57 @@ impl FederatedJob {
         eligible: Option<&[PartyId]>,
         rng: &mut StdRng,
     ) -> JobReport {
-        let eligible: Vec<usize> = match eligible {
+        let eligible: Vec<PartyId> = match eligible {
             Some(ids) => {
                 let wanted: std::collections::BTreeSet<PartyId> = ids.iter().copied().collect();
-                (0..self.parties.len())
-                    .filter(|&i| wanted.contains(&self.parties[i].id()))
+                self.population
+                    .party_ids()
+                    .into_iter()
+                    .filter(|id| wanted.contains(id))
                     .collect()
             }
-            None => (0..self.parties.len()).collect(),
+            None => self.population.party_ids(),
         };
         assert!(!eligible.is_empty(), "no eligible parties");
 
         let mut params = init_params;
         let mut accuracy_per_round = Vec::with_capacity(rounds);
         let mut loss_per_round = Vec::with_capacity(rounds);
+        let view = self.population.view(eligible.clone());
         for _ in 0..rounds {
             selector.begin_round();
-            let infos: Vec<_> = eligible.iter().map(|&i| self.parties[i].info()).collect();
+            let infos = view.infos();
             let chosen = selector.select(&infos, self.cfg.participants_per_round, rng);
             let chosen_set: std::collections::BTreeSet<PartyId> = chosen.into_iter().collect();
-            let cohort: Vec<&Party> = eligible
+            let cohort_ids: Vec<PartyId> = eligible
                 .iter()
-                .map(|&i| &self.parties[i])
-                .filter(|p| chosen_set.contains(&p.id()))
+                .copied()
+                .filter(|id| chosen_set.contains(id))
                 .collect();
-            let cohort = if cohort.is_empty() {
-                eligible.iter().map(|&i| &self.parties[i]).collect()
+            // Materialize the cohort for the round, everyone if selection
+            // came back empty; it is evicted again when `cohort` drops.
+            let cohort: Vec<Party> = if cohort_ids.is_empty() {
+                view.parties(&eligible)
             } else {
-                cohort
+                view.parties(&cohort_ids)
             };
+            let cohort_refs: Vec<&Party> = cohort.iter().collect();
             let outcome = run_round(
                 &self.spec,
                 &params,
-                &cohort,
+                &cohort_refs,
                 &self.cfg,
                 Some(&self.ledger),
                 rng,
             );
+            drop(cohort_refs);
+            drop(cohort);
             for u in &outcome.updates {
                 selector.observe(u.party, u.train_loss);
             }
             params = outcome.params;
             loss_per_round.push(outcome.mean_loss);
-            let eval_parties: Vec<Party> =
-                eligible.iter().map(|&i| self.parties[i].clone()).collect();
-            accuracy_per_round.push(crate::evaluate_on_parties(
-                &self.spec,
-                &params,
-                &eval_parties,
-            ));
+            accuracy_per_round.push(crate::evaluate_on_view(&self.spec, &params, &view));
         }
         JobReport {
             params,
@@ -215,7 +230,7 @@ impl FederatedJob {
         engine: &mut ScenarioEngine,
         rng: &mut StdRng,
     ) -> ScenarioJobReport {
-        let all_ids: Vec<PartyId> = self.parties.iter().map(|p| p.id()).collect();
+        let all_ids = self.population.party_ids();
         let mut params = init_params;
         let mut accuracy_per_round = Vec::with_capacity(rounds);
         let mut loss_per_round = Vec::with_capacity(rounds);
@@ -226,37 +241,38 @@ impl FederatedJob {
             let before = engine.stats();
             let comm_before = self.ledger.totals();
             let live = engine.live_members(&all_ids);
-            let live_set: std::collections::BTreeSet<PartyId> = live.iter().copied().collect();
-            let live_parties: Vec<&Party> = self
-                .parties
-                .iter()
-                .filter(|p| live_set.contains(&p.id()))
-                .collect();
+            let view = self.population.view(live);
             // Selection only happens over a non-empty live pool, but the
             // round runs regardless: even with nobody live, previously
             // deferred updates can mature out of the staleness buffer.
-            let cohort: Vec<&Party> = if live_parties.is_empty() {
+            let cohort: Vec<Party> = if view.is_empty() {
                 Vec::new()
             } else {
-                let infos: Vec<_> = live_parties.iter().map(|p| p.info()).collect();
+                let infos = view.infos();
                 let chosen = selector.select(&infos, self.cfg.participants_per_round, rng);
                 let chosen_set: std::collections::BTreeSet<PartyId> = chosen.into_iter().collect();
-                live_parties
+                let cohort_ids: Vec<PartyId> = view
+                    .ids()
                     .iter()
                     .copied()
-                    .filter(|p| chosen_set.contains(&p.id()))
-                    .collect()
+                    .filter(|id| chosen_set.contains(id))
+                    .collect();
+                view.parties(&cohort_ids)
             };
+            let cohort_refs: Vec<&Party> = cohort.iter().collect();
             let outcome = run_round_scenario(
                 &self.spec,
                 &params,
-                &cohort,
+                &cohort_refs,
                 &self.cfg,
                 engine,
                 0,
                 Some(&self.ledger),
                 rng,
             );
+            // Evict the cohort: only O(cohort) parties were ever resident.
+            drop(cohort_refs);
+            drop(cohort);
             for &(party, loss, _) in &outcome.folded {
                 selector.observe(party, loss);
             }
@@ -265,13 +281,13 @@ impl FederatedJob {
             }
             let mean_loss = outcome.mean_loss;
             params = outcome.params;
-            let accuracy = crate::evaluate_on_party_refs(&self.spec, &params, &live_parties);
+            let accuracy = crate::evaluate_on_view(&self.spec, &params, &view);
             accuracy_per_round.push(accuracy);
             loss_per_round.push(mean_loss);
             let comm = self.ledger.totals();
             participation.push(RoundParticipation {
                 round,
-                live: live_parties.len(),
+                live: view.len(),
                 delta: engine.stats().minus(&before),
                 accuracy,
                 up_bytes: (comm.up_bytes + comm.aborted_up_bytes)
@@ -358,7 +374,7 @@ mod tests {
     fn scenario_job_survives_churn_and_reports_every_round() {
         use crate::scenario::{ChurnSpec, ScenarioEngine, ScenarioSpec};
         let (mut job, init) = job(8, 8);
-        let ids: Vec<PartyId> = job.parties().iter().map(|p| p.id()).collect();
+        let ids: Vec<PartyId> = job.party_ids();
         let spec = ScenarioSpec::sync(3).with_churn(ChurnSpec {
             join_fraction: 0.25,
             join_ramp_rounds: 3,
@@ -395,7 +411,7 @@ mod tests {
             ChurnSchedule, DelayDist, LatePolicy, ScenarioEngine, ScenarioSpec, StragglerSpec,
         };
         let (mut job, init) = job(3, 14);
-        let ids: Vec<PartyId> = job.parties().iter().map(|p| p.id()).collect();
+        let ids: Vec<PartyId> = job.party_ids();
         // Every update is 1 round late; every party leaves after round 1.
         let spec = ScenarioSpec::sync(2).with_stragglers(StragglerSpec {
             dist: DelayDist::Constant(1.5),
@@ -425,7 +441,7 @@ mod tests {
     fn scenario_job_with_everyone_left_keeps_initial_params() {
         use crate::scenario::{ChurnSchedule, ScenarioEngine, ScenarioSpec};
         let (mut job, init) = job(3, 10);
-        let ids: Vec<PartyId> = job.parties().iter().map(|p| p.id()).collect();
+        let ids: Vec<PartyId> = job.party_ids();
         let mut engine = ScenarioEngine::new(ScenarioSpec::sync(0), &ids);
         // Everyone leaves before round 1, so every round is empty.
         let mut churn = ChurnSchedule::always_on(0.0, 0);

@@ -1,19 +1,25 @@
 //! In-process federated-learning runtime.
 //!
 //! Models the middleware dataflow the paper assumes from frameworks like
-//! PySyft or Flower: parties hold private windowed datasets, a round selects
-//! a cohort, each cohort member trains locally from the current global
-//! parameters, updates are shipped (and metered) as binary wire payloads
-//! under a pluggable [`codec`] (dense / int8-quantised / top-k sparse /
-//! delta), and the aggregator folds what it decodes with federated
-//! averaging. Everything is
+//! PySyft or Flower: a [`PopulationStore`] lends parties (private windowed
+//! datasets) to each round on demand, a round selects a cohort, each cohort
+//! member trains locally from the current global parameters, updates are
+//! shipped (and metered) as binary wire payloads under a pluggable
+//! [`codec`] (dense / int8-quantised / top-k sparse / delta), and the
+//! aggregator folds what it decodes with federated averaging. Everything is
 //! deterministic given a seed; local training fans out across threads with
 //! `crossbeam` when enabled.
+//!
+//! The store is the scale lever: with a lazy [`PartyProvider`] only the
+//! sampled cohort is ever resident, so a 100k-party federation runs in
+//! O(cohort) memory (see [`population`]).
 //!
 //! # Example
 //!
 //! ```
-//! use shiftex_fl::{FederatedJob, Party, PartyId, RoundConfig, UniformSelector};
+//! use shiftex_fl::{
+//!     FederatedJob, Party, PartyId, PopulationStore, RoundConfig, UniformSelector,
+//! };
 //! use shiftex_data::{ImageShape, PrototypeGenerator};
 //! use shiftex_nn::{ArchSpec, Sequential};
 //! use rand::{rngs::StdRng, SeedableRng};
@@ -27,9 +33,12 @@
 //!         Party::new(PartyId(i), train, test)
 //!     })
 //!     .collect();
+//! // Back the job with a population store; `from_parties` materializes,
+//! // a custom `PartyProvider` makes the same job lazy.
+//! let population = PopulationStore::from_parties(parties);
 //! let spec = ArchSpec::mlp("demo", 16, &[8], 3);
 //! let init = Sequential::build(&spec, &mut rng).params_flat();
-//! let mut job = FederatedJob::new(spec, parties, RoundConfig::default());
+//! let mut job = FederatedJob::from_population(spec, population, RoundConfig::default());
 //! let report = job.run_rounds(init, 3, &mut UniformSelector, &mut rng);
 //! assert_eq!(report.accuracy_per_round.len(), 3);
 //! ```
@@ -42,10 +51,11 @@ pub mod codec;
 mod comm;
 mod job;
 mod party;
+pub mod population;
 pub mod robust;
 mod round;
 pub mod scenario;
-mod selection;
+pub mod selection;
 mod update;
 
 pub use algo::{run_algorithm_round, AlgoRoundOutcome, FederatedAlgorithm, RobustnessReport};
@@ -53,6 +63,7 @@ pub use codec::{CodecError, CodecKind, CodecSpec, UpdateCodec};
 pub use comm::{CommLedger, CommTotals};
 pub use job::{FederatedJob, JobReport, RoundParticipation, ScenarioJobReport};
 pub use party::{Party, PartyId, PartyInfo};
+pub use population::{PartyProvider, PopulationStats, PopulationStore, PopulationView};
 pub use robust::{aggregate_robust, FoldPolicy, RobustFold, UpdateVerdict};
 pub use round::{
     local_update, run_round, run_round_scenario, train_cohort, RoundConfig, RoundOutcome,
@@ -92,6 +103,34 @@ pub fn evaluate_on_party_refs(spec: &ArchSpec, params: &[f32], parties: &[&Party
         &model,
         parties.iter().map(|p| (p.test_features(), p.test_labels())),
     )
+}
+
+/// Like [`evaluate_on_party_refs`] but streamed through a
+/// [`PopulationView`]: parties are materialized one at a time in view
+/// order and dropped after scoring, so evaluation stays O(1)-resident at
+/// any population size. The accumulation order and arithmetic are
+/// identical to the slice evaluators, so the result is bit-identical.
+pub fn evaluate_on_view(spec: &ArchSpec, params: &[f32], view: &PopulationView<'_>) -> f32 {
+    let mut model = Sequential::build(spec, &mut deterministic_rng());
+    model.set_params_flat(params);
+    let mut correct = 0.0f64;
+    let mut total = 0usize;
+    for &id in view.ids() {
+        view.with_party(id, |p| {
+            let y = p.test_labels();
+            if y.is_empty() {
+                return;
+            }
+            let report = model.evaluate(p.test_features(), y);
+            correct += (report.accuracy as f64) * y.len() as f64;
+            total += y.len();
+        });
+    }
+    if total == 0 {
+        0.0
+    } else {
+        (correct / total as f64) as f32
+    }
 }
 
 /// Weighted accuracy over `(features, labels)` pairs.

@@ -462,7 +462,25 @@ impl AttackSpec {
 // ---------------------------------------------------------------------------
 // The composed scenario.
 
-/// A federation scenario: churn × stragglers × round mode, all seeded.
+/// A federation scenario: churn × stragglers × round mode × attacks, all
+/// seeded — the four orthogonal axes compose over any algorithm.
+///
+/// ```
+/// use shiftex_fl::{
+///     AttackKind, AttackSpec, ChurnSpec, LatePolicy, ScenarioSpec, StragglerSpec,
+/// };
+///
+/// let spec = ScenarioSpec::sync(7)
+///     .with_churn(ChurnSpec::dropout_only(0.2))
+///     .with_stragglers(StragglerSpec::uniform(0.8, 1.0, LatePolicy::Defer))
+///     .with_attack(AttackSpec::new(AttackKind::SignFlip, 0.1));
+/// // Sync rounds fold deferred updates at harmonic staleness discount...
+/// assert_eq!(spec.staleness_weight(0), 1.0);
+/// assert_eq!(spec.staleness_weight(3), 0.25);
+/// // ...and every per-party fate is a pure function of the seed.
+/// let rerun = ScenarioSpec::sync(7).with_churn(ChurnSpec::dropout_only(0.2));
+/// assert_eq!(spec.churn, rerun.churn);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSpec {
     /// Churn process, if any.
@@ -994,8 +1012,8 @@ impl ScenarioEngine {
     /// paid and metered, but the change it carried never entered the
     /// globals — refund it into the party's error-feedback accumulator so
     /// lossy-codec parties re-ship the rejected mass rather than silently
-    /// losing it (same refund as a lost upload; see
-    /// [`refund_feedback`](Self::refund_feedback)'s rationale).
+    /// losing it (same refund as a lost upload; see the private
+    /// `refund_feedback`'s rationale).
     pub fn refund_quarantined(&mut self, key: usize, codec: &CodecSpec, update: &ModelUpdate) {
         self.refund_feedback(key, codec, update);
     }

@@ -1,0 +1,286 @@
+//! `doclinks` — offline Markdown link checker for the repo's prose docs.
+//!
+//! Walks the Markdown files/directories given on the command line and
+//! verifies every relative link target resolves on disk, and every
+//! fragment (`#section` or `file.md#section`) matches a heading in the
+//! target file (GitHub-style slugs). External `http(s)://` and `mailto:`
+//! links are skipped — CI has no network, and the architecture doc's
+//! job is to keep *source* links honest, not the web.
+//!
+//! USAGE: `cargo run -p shiftex-lint --bin doclinks -- README.md docs`
+//!
+//! Exit codes: 0 all links resolve, 1 broken links (each printed as
+//! `file:line: broken link ...`), 2 usage/I-O error.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Collect the `.md` files named by `arg` (a file, or a directory walked
+/// recursively in sorted order so output is deterministic).
+fn collect_markdown(arg: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if arg.is_file() {
+        out.push(arg.to_path_buf());
+        return Ok(());
+    }
+    if !arg.is_dir() {
+        return Err(format!("{}: no such file or directory", arg.display()));
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(arg)
+        .map_err(|e| format!("{}: {e}", arg.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            collect_markdown(&entry, out)?;
+        } else if entry.extension().is_some_and(|x| x == "md") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// GitHub-style heading slug: lowercase, alphanumerics kept, spaces and
+/// dashes become dashes, everything else dropped.
+fn slugify(heading: &str) -> String {
+    let mut slug = String::with_capacity(heading.len());
+    for ch in heading.trim().chars() {
+        if ch.is_alphanumeric() || ch == '_' {
+            for lower in ch.to_lowercase() {
+                slug.push(lower);
+            }
+        } else if ch == ' ' || ch == '-' {
+            slug.push('-');
+        }
+    }
+    slug
+}
+
+/// Heading anchors of a Markdown document, with GitHub's `-1`, `-2`
+/// suffixing for duplicates. Fenced code blocks are ignored.
+fn anchors(text: &str) -> Vec<String> {
+    let mut seen: Vec<(String, usize)> = Vec::new();
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence || !trimmed.starts_with('#') {
+            continue;
+        }
+        let heading = trimmed.trim_start_matches('#');
+        if !heading.starts_with(' ') && !heading.is_empty() {
+            continue; // `#foo` is not a heading
+        }
+        // Strip inline code spans and link syntax before slugging:
+        // GitHub slugs the rendered text, not the raw Markdown.
+        let mut rendered = String::new();
+        let mut chars = heading.trim().chars().peekable();
+        while let Some(ch) = chars.next() {
+            match ch {
+                '`' => {}
+                '[' => {}
+                ']' => {
+                    // Drop a trailing `(target)` of a Markdown link.
+                    if chars.peek() == Some(&'(') {
+                        for inner in chars.by_ref() {
+                            if inner == ')' {
+                                break;
+                            }
+                        }
+                    }
+                }
+                _ => rendered.push(ch),
+            }
+        }
+        let base = slugify(&rendered);
+        let n = seen
+            .iter_mut()
+            .find_map(|(s, n)| (*s == base).then(|| std::mem::replace(n, *n + 1)));
+        match n {
+            None => {
+                seen.push((base.clone(), 1));
+                out.push(base);
+            }
+            Some(count) => {
+                let mut suffixed = base;
+                let _ = write!(suffixed, "-{count}");
+                out.push(suffixed);
+            }
+        }
+    }
+    out
+}
+
+/// Extract `(line_number, target)` for every inline Markdown link in
+/// `text`, skipping fenced code blocks and inline code spans.
+fn link_targets(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut in_code_span = false;
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'`' => in_code_span = !in_code_span,
+                b']' if !in_code_span && i + 1 < bytes.len() && bytes[i + 1] == b'(' => {
+                    let start = i + 2;
+                    if let Some(len) = line[start..].find(')') {
+                        let target = line[start..start + len].trim();
+                        // `[text](url "title")` — keep the URL part only.
+                        let target = target.split_whitespace().next().unwrap_or("");
+                        if !target.is_empty() {
+                            out.push((idx + 1, target.to_string()));
+                        }
+                        i = start + len;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+fn check_file(path: &Path, broken: &mut Vec<String>) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let own_anchors = anchors(&text);
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    for (line, target) in link_targets(&text) {
+        if target.starts_with("http://")
+            || target.starts_with("https://")
+            || target.starts_with("mailto:")
+        {
+            continue;
+        }
+        let (file_part, frag) = match target.split_once('#') {
+            Some((f, a)) => (f, Some(a)),
+            None => (target.as_str(), None),
+        };
+        if file_part.is_empty() {
+            // Pure fragment: must match a heading in this file.
+            if let Some(anchor) = frag {
+                if !own_anchors.iter().any(|a| a == anchor) {
+                    broken.push(format!(
+                        "{}:{line}: broken anchor `#{anchor}` (no such heading)",
+                        path.display()
+                    ));
+                }
+            }
+            continue;
+        }
+        let resolved = dir.join(file_part);
+        if !resolved.exists() {
+            broken.push(format!(
+                "{}:{line}: broken link `{target}` ({} does not exist)",
+                path.display(),
+                resolved.display()
+            ));
+            continue;
+        }
+        if let Some(anchor) = frag {
+            if resolved.extension().is_some_and(|x| x == "md") {
+                let dest = std::fs::read_to_string(&resolved)
+                    .map_err(|e| format!("{}: {e}", resolved.display()))?;
+                if !anchors(&dest).iter().any(|a| a == anchor) {
+                    broken.push(format!(
+                        "{}:{line}: broken anchor `{target}` (no heading `#{anchor}` in {})",
+                        path.display(),
+                        resolved.display()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!("usage: doclinks <file.md | dir>...");
+        return ExitCode::from(2);
+    }
+    let mut files = Vec::new();
+    for arg in &args {
+        if let Err(e) = collect_markdown(Path::new(arg), &mut files) {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let mut broken = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        match check_file(file, &mut broken) {
+            Ok(()) => checked += 1,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for b in &broken {
+        println!("{b}");
+    }
+    println!(
+        "doclinks: {checked} file(s) checked, {} broken link(s)",
+        broken.len()
+    );
+    if broken.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_match_github_conventions() {
+        assert_eq!(slugify("Round lifecycle"), "round-lifecycle");
+        assert_eq!(slugify("The `PopulationStore`"), "the-populationstore");
+        assert_eq!(
+            slugify("O(cohort), not O(population)"),
+            "ocohort-not-opopulation"
+        );
+    }
+
+    #[test]
+    fn duplicate_headings_get_suffixes() {
+        let text = "# Setup\n\n# Setup\n\n## Setup\n";
+        assert_eq!(anchors(text), ["setup", "setup-1", "setup-2"]);
+    }
+
+    #[test]
+    fn code_blocks_are_ignored() {
+        let text = "```rust\n# not a heading\nlet x = a[1](2);\n```\n# Real\n[ok](#real)\n";
+        assert_eq!(anchors(text), ["real"]);
+        assert_eq!(link_targets(text), [(6, "#real".to_string())]);
+    }
+
+    #[test]
+    fn inline_links_are_extracted_with_lines() {
+        let text = "see [a](x.md) and [b](y.md#frag \"title\")\n`[not](a-link.md)`\n";
+        let targets = link_targets(text);
+        assert_eq!(
+            targets,
+            [(1, "x.md".to_string()), (1, "y.md#frag".to_string())]
+        );
+    }
+}

@@ -79,7 +79,8 @@ pub fn classify(rel: &str) -> FileClass {
 }
 
 /// Recursively collects every `.rs` file under `root` (sorted, so report
-/// order and CI logs are stable), skipping [`SKIP_DIRS`].
+/// order and CI logs are stable), skipping `SKIP_DIRS` (VCS internals,
+/// build output).
 pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     let mut stack = vec![root.to_path_buf()];

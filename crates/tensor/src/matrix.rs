@@ -252,8 +252,8 @@ impl Matrix {
 
     /// Matrix product `self · rhs`.
     ///
-    /// Blocked over depth ([`KC`]) and output columns ([`NC`]) with an
-    /// [`MR`]-row register tile, and parallelised over output-row chunks for
+    /// Blocked over depth (`KC`) and output columns (`NC`) with an
+    /// `MR`-row register tile, and parallelised over output-row chunks for
     /// large shapes (see [`crate::par`]). Per-element accumulation over the
     /// shared dimension stays ascending, so results are bit-identical to
     /// [`naive::matmul`].
@@ -406,7 +406,7 @@ impl Matrix {
         out
     }
 
-    /// Returns the transpose as a new matrix, copying [`TB`]`×`[`TB`] tiles
+    /// Returns the transpose as a new matrix, copying `TB`×`TB` tiles
     /// so both the source and destination access patterns stay
     /// cache-resident.
     pub fn transpose(&self) -> Matrix {

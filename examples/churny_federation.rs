@@ -41,7 +41,7 @@ fn main() {
 
     // 1. The paper's protocol: synchronous, everyone always available.
     let mut job = FederatedJob::new(spec.clone(), population(&mut rng), cfg);
-    let ids: Vec<PartyId> = job.parties().iter().map(|p| p.id()).collect();
+    let ids: Vec<PartyId> = job.party_ids();
     let mut engine = ScenarioEngine::new(ScenarioSpec::sync(1), &ids);
     let mut rng_run = StdRng::seed_from_u64(2);
     let clean = job.run_rounds_scenario(

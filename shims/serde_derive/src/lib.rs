@@ -1,7 +1,7 @@
 //! Offline stand-in for `serde_derive`.
 //!
 //! Emits `Serialize` / `Deserialize` impls over the vendored `serde` crate's
-//! [`Value`] data model. The parser is hand-rolled over `proc_macro` token
+//! `Value` data model. The parser is hand-rolled over `proc_macro` token
 //! trees (no `syn`/`quote` in the offline environment) and supports exactly
 //! the shapes this workspace derives on: non-generic structs with named
 //! fields, tuple structs, and enums with unit / tuple / struct variants —

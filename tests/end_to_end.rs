@@ -127,7 +127,8 @@ fn expert_lifecycle_create_reuse_and_bounded_pool() {
 #[test]
 fn algorithms_are_interchangeable_as_trait_objects() {
     use shiftex::fl::{
-        run_algorithm_round, CodecSpec, ScenarioEngine, ScenarioSpec, UniformSelector,
+        run_algorithm_round, CodecSpec, PopulationStore, ScenarioEngine, ScenarioSpec,
+        UniformSelector,
     };
     let scenario = Scenario::build(DatasetKind::Cifar10C, SimScale::Smoke, 8);
     let mut rng = StdRng::seed_from_u64(9);
@@ -139,12 +140,13 @@ fn algorithms_are_interchangeable_as_trait_objects() {
         .collect();
     let parties = scenario.initial_parties(&mut rng);
     let ids: Vec<PartyId> = parties.iter().map(Party::id).collect();
+    let store = PopulationStore::from_parties(parties);
     for alg in algorithms.iter_mut() {
-        alg.init(&parties, &mut rng);
+        alg.init(&store.view(store.party_ids()), &mut rng);
         let mut engine = ScenarioEngine::new(ScenarioSpec::sync(1), &ids);
         let out = run_algorithm_round(
             alg.as_mut(),
-            &parties,
+            &store,
             &mut engine,
             &CodecSpec::dense(),
             &mut UniformSelector,
@@ -153,8 +155,7 @@ fn algorithms_are_interchangeable_as_trait_objects() {
             &mut rng,
         );
         assert!(out.folded > 0, "{}: a sync round must fold", alg.name());
-        let refs: Vec<&Party> = parties.iter().collect();
-        let acc = alg.eval(&refs);
+        let acc = alg.eval(&store.view(store.party_ids()));
         assert!((0.0..=1.0).contains(&acc), "{}: accuracy {acc}", alg.name());
         assert!(alg.num_models() >= 1);
         assert_eq!(alg.streams().len(), alg.num_models());
