@@ -496,6 +496,93 @@ fn bench_population(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_join(c: &mut Criterion) {
+    use shiftex_baselines::FedAvg;
+    use shiftex_fl::{
+        run_algorithm_round, run_algorithm_round_with, BudgetSpec, ChurnSpec, CodecController,
+        CodecSpec, FederatedAlgorithm, FoldPolicy, JoinConfig, PopulationStore, RoundCodec,
+        ScenarioEngine, ScenarioSpec, UniformSelector,
+    };
+    use shiftex_nn::TrainConfig;
+
+    // First-contact sync cost under churn: a 100-party round where the
+    // engine is fresh, so the whole 30-party cohort (30 % of the
+    // population) needs expert-state sync, under 20 % dropout. The dense
+    // arm ships monolithic full-state frames; the adaptive arm runs the
+    // byte-budget controller with chunked, resumable quantized join sync —
+    // the regime the codec controller is built for.
+    let mut rng = StdRng::seed_from_u64(47);
+    let gen = PrototypeGenerator::new(ImageShape::new(1, 6, 6), 4, &mut rng);
+    let parties: Vec<Party> = (0..100)
+        .map(|i| {
+            Party::new(
+                PartyId(i),
+                gen.generate_uniform(12, &mut rng),
+                gen.generate_uniform(6, &mut rng),
+            )
+        })
+        .collect();
+    let ids: Vec<PartyId> = parties.iter().map(|p| p.id()).collect();
+    let spec = ArchSpec::mlp("join", 36, &[16], 4);
+    let churny = ScenarioSpec::sync(48).with_churn(ChurnSpec {
+        join_fraction: 0.3,
+        join_ramp_rounds: 2,
+        ..ChurnSpec::dropout_only(0.2)
+    });
+    let dense = CodecSpec::dense();
+    let controller = CodecController::new(48, BudgetSpec::per_round(98_304));
+
+    let store = PopulationStore::from_parties(parties);
+    let mut algorithm = FedAvg::new(spec, TrainConfig::default(), 30);
+    let mut init_rng = StdRng::seed_from_u64(49);
+    algorithm.init(&store.view(store.party_ids()), &mut init_rng);
+
+    let mut group = c.benchmark_group("fl_join");
+    group.sample_size(10);
+    group.bench_function("churned_join_round_dense_monolithic_100_parties", |b| {
+        b.iter_with_setup(
+            || {
+                let engine = ScenarioEngine::new(churny.clone(), &ids);
+                (engine, StdRng::seed_from_u64(50))
+            },
+            |(mut engine, mut rng)| {
+                run_algorithm_round(
+                    &mut algorithm,
+                    &store,
+                    &mut engine,
+                    &dense,
+                    &mut UniformSelector,
+                    &FoldPolicy::Mean,
+                    None,
+                    &mut rng,
+                )
+            },
+        )
+    });
+    group.bench_function("churned_join_round_adaptive_chunked_100_parties", |b| {
+        b.iter_with_setup(
+            || {
+                let mut engine = ScenarioEngine::new(churny.clone(), &ids);
+                engine.enable_join_chunking(JoinConfig::quantized(1024));
+                (engine, StdRng::seed_from_u64(50))
+            },
+            |(mut engine, mut rng)| {
+                run_algorithm_round_with(
+                    &mut algorithm,
+                    &store,
+                    &mut engine,
+                    RoundCodec::Adaptive(&controller),
+                    &mut UniformSelector,
+                    &FoldPolicy::Mean,
+                    None,
+                    &mut rng,
+                )
+            },
+        )
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_round,
@@ -506,6 +593,7 @@ criterion_group!(
     bench_codecs,
     bench_algorithms,
     bench_robust,
-    bench_population
+    bench_population,
+    bench_join
 );
 criterion_main!(benches);

@@ -13,8 +13,10 @@
 //!     [--selector uniform|oort] \
 //!     [--parties N] [--samples N] [--population materialized|lazy|resident] \
 //!     [--windows N] [--rounds N] [--bootstrap N] \
-//!     [--codec dense|quant8|delta|delta-quant8|topk|delta-topk|ef-topk] \
+//!     [--codec dense|quant8|delta|delta-quant8|topk|delta-topk|ef-topk|adaptive] \
 //!     [--quant-block N] [--topk-density D] [--sweep-codecs] \
+//!     [--budget-bytes N] [--budget-party-bytes N] [--join-chunk-bytes N] \
+//!     [--cohort-frac F] \
 //!     [--dropout P] [--join-frac F --join-ramp R] \
 //!     [--leave-frac F --leave-after R] \
 //!     [--straggle-mean M] [--slow-frac F --slow-factor X] \
@@ -40,8 +42,14 @@
 //! `--selector` feeds algorithms that consume the driver's pluggable
 //! policy (FedAvg, FedProx, FedDrift); ShiftEx, Fielding and FLIPS select
 //! internally (per-expert / label-cluster cohorts) and ignore it.
-//! `--sweep-codecs` reruns the identical scenario under every codec and
-//! prints the bytes-vs-accuracy table (plus `codec_sweep.csv` with `--csv`).
+//! `--sweep-codecs` reruns the identical scenario under every static codec
+//! plus the adaptive byte-budget controller and prints the bytes-vs-accuracy
+//! table (plus `codec_sweep.csv` and `codec_frontier.csv` with `--csv`).
+//! `--codec adaptive` replaces the static codec with a per-round
+//! [`shiftex_fl::CodecController`] steering against `--budget-bytes` /
+//! `--budget-party-bytes` caps, and switches first-contact joins to
+//! chunked, resumable quantized sync (`--join-chunk-bytes`, default 1024).
+//! `--cohort-frac 0.3` overrides the cohort size to `ceil(0.3 · parties)`.
 //! `--sweep-attacks` reruns it under {none, 20 % sign-flip, 20 %
 //! scaled-noise} × {mean, trimmed, median, krum} and prints the
 //! attack-vs-fold recovery table (plus `robust_sweep.csv` with `--csv`).
@@ -54,11 +62,11 @@ use shiftex_core::ShiftExConfig;
 use shiftex_data::{DatasetKind, SimScale};
 use shiftex_experiments::cli::Args;
 use shiftex_experiments::{
-    build_algorithm, codec_spec_from_args, federation_spec_from_args, fold_policy_from_args,
-    report, run_federation_scenario, FedRunOptions, FedSelector, PopulationMode, Scenario,
-    ALGORITHM_NAMES,
+    budget_spec_from_args, build_algorithm, codec_spec_from_args, federation_spec_from_args,
+    fold_policy_from_args, report, run_federation_scenario, FedRunOptions, FedSelector,
+    PopulationMode, Scenario, ALGORITHM_NAMES,
 };
-use shiftex_fl::{AttackKind, AttackSpec, CodecSpec, FoldPolicy};
+use shiftex_fl::{AttackKind, AttackSpec, BudgetSpec, CodecSpec, FoldPolicy, JoinConfig};
 
 fn main() {
     let args = Args::from_env();
@@ -73,6 +81,10 @@ fn main() {
     let parties: Option<usize> = args.value("parties").map(|v| v.parse().expect("--parties"));
     let samples: Option<usize> = args.value("samples").map(|v| v.parse().expect("--samples"));
     let scenario = Scenario::build_with_population(kind, scale, seed, parties, samples);
+    let scenario = match args.value("cohort-frac") {
+        Some(_) => scenario.with_cohort_frac(args.value_or("cohort-frac", 0.0f32)),
+        None => scenario,
+    };
     let shiftex_cfg = ShiftExConfig::default();
     assert!(
         ALGORITHM_NAMES.contains(&strategy.to_ascii_lowercase().as_str()),
@@ -84,7 +96,29 @@ fn main() {
     let bootstrap: usize = args.value_or("bootstrap", rounds);
     let horizon = bootstrap + windows * rounds;
     let fed = federation_spec_from_args(&args, seed ^ 0x5ce7a510, horizon);
-    let codec = codec_spec_from_args(&args);
+    let sweeping_codecs = args.switch("sweep-codecs");
+    // `--codec adaptive` swaps the static spec for the byte-budget
+    // controller; the sweep supplies per-arm codecs (including an adaptive
+    // arm) and reads the budget flags itself, so it skips both parsers.
+    let budget = if sweeping_codecs {
+        None
+    } else {
+        budget_spec_from_args(&args)
+    };
+    let codec = if budget.is_some() || sweeping_codecs {
+        CodecSpec::dense()
+    } else {
+        codec_spec_from_args(&args)
+    };
+    // Chunked, resumable first-contact sync: implied by adaptive mode,
+    // or opted into for static codecs via an explicit chunk size.
+    let join = match (budget.is_some(), args.value("join-chunk-bytes")) {
+        (_, Some(_)) => Some(JoinConfig::quantized(
+            args.value_or("join-chunk-bytes", 1024),
+        )),
+        (true, None) => Some(JoinConfig::quantized(1024)),
+        (false, None) => None,
+    };
     let fold = fold_policy_from_args(&args);
     // Large federations default to the lazy store (O(cohort) residency);
     // small ones keep the golden-pinned materialized path.
@@ -95,16 +129,26 @@ fn main() {
         None if scenario.profile.num_parties >= 1024 => PopulationMode::Lazy,
         None => PopulationMode::Materialized,
     };
-    let opts = FedRunOptions::new(windows, bootstrap, rounds)
+    let mut opts = FedRunOptions::new(windows, bootstrap, rounds)
         .with_codec(codec)
         .with_selector(selector)
         .with_fold(fold)
         .with_population(population);
+    if let Some(budget) = budget {
+        opts = opts.with_budget(budget);
+    }
+    if let Some(join) = join {
+        opts = opts.with_join_chunking(join);
+    }
 
+    let codec_label = match budget {
+        Some(_) => "adaptive".to_string(),
+        None => codec.to_string(),
+    };
     eprintln!(
         "# {kind} @ {scale:?}: {} parties ({population:?} store), {windows} window(s) × {rounds} \
          rounds (+{bootstrap} bootstrap), strategy {strategy}, selector {selector:?}, \
-         codec {codec}, fold {fold}",
+         codec {codec_label}, fold {fold}",
         scenario.profile.num_parties
     );
     eprintln!("# federation axes: {fed:?}");
@@ -115,9 +159,11 @@ fn main() {
         dir
     });
 
-    if args.switch("sweep-codecs") {
-        // The sweep reruns the same scenario + axes under every codec; the
-        // quantised/sparse knobs come from the same flags as a single run.
+    if sweeping_codecs {
+        // The sweep reruns the same scenario + axes under every static codec
+        // plus one adaptive arm; the quantised/sparse knobs come from the
+        // same flags as a single run, and the adaptive arm steers against
+        // `--budget-bytes` (default 98304 B/round) with chunked joins.
         let block: usize = args.value_or("quant-block", 256);
         let density: f32 = args.value_or("topk-density", 0.05);
         let sweep = [
@@ -128,7 +174,7 @@ fn main() {
             CodecSpec::topk(density).with_delta(),
             CodecSpec::topk(density).with_delta().with_error_feedback(),
         ];
-        let results: Vec<_> = sweep
+        let mut results: Vec<_> = sweep
             .iter()
             .map(|&codec| {
                 eprintln!("# sweeping codec {codec}");
@@ -145,11 +191,33 @@ fn main() {
                 )
             })
             .collect();
+        let adaptive_budget = BudgetSpec::per_round(args.value_or("budget-bytes", 98_304));
+        eprintln!(
+            "# sweeping codec adaptive (budget {} B/round)",
+            adaptive_budget.round_bytes.unwrap_or(0)
+        );
+        let mut algorithm =
+            build_algorithm(&strategy, &scenario, &shiftex_cfg).expect("validated above");
+        results.push(run_federation_scenario(
+            algorithm.as_mut(),
+            &scenario,
+            &fed,
+            &FedRunOptions::new(windows, bootstrap, rounds)
+                .with_budget(adaptive_budget)
+                .with_join_chunking(JoinConfig::quantized(
+                    args.value_or("join-chunk-bytes", 1024),
+                ))
+                .with_selector(selector)
+                .with_population(population),
+        ));
         let title = format!("{kind} {scale:?}");
         println!("{}", report::render_codec_sweep(&title, &results));
         if let Some(dir) = &csv_dir {
             let path = dir.join("codec_sweep.csv");
             report::write_codec_sweep_csv(&path, &results).expect("write codec sweep csv");
+            eprintln!("# CSV written to {}", path.display());
+            let path = dir.join("codec_frontier.csv");
+            report::write_codec_frontier_csv(&path, &results).expect("write codec frontier csv");
             eprintln!("# CSV written to {}", path.display());
         }
         return;

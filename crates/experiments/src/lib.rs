@@ -38,5 +38,6 @@ pub use runner::{
     run_federation_scenario, run_scenario, FedRunOptions, FedRunResult, FedSelector, PopulationMode,
 };
 pub use scenario::{
-    codec_spec_from_args, federation_spec_from_args, fold_policy_from_args, Scenario,
+    budget_spec_from_args, codec_spec_from_args, federation_spec_from_args, fold_policy_from_args,
+    Scenario,
 };

@@ -209,8 +209,15 @@ pub fn render_participation(title: &str, result: &FedRunResult) -> String {
         result.comm.quarantined_up_bytes,
     ));
     out.push_str(&format!(
+        "join sync: {} B over {} chunks | lost to churn {} B over {} frames\n",
+        result.comm.join_chunk_down_bytes,
+        result.comm.join_chunk_messages,
+        result.comm.join_lost_down_bytes,
+        result.comm.join_lost_messages,
+    ));
+    out.push_str(&format!(
         "codec: {} | {} params/update | upload compression {:.2}x vs dense | fold: {}\n",
-        result.codec,
+        result.codec_label,
         result.param_count,
         result.compression_ratio(),
         result.fold,
@@ -231,10 +238,10 @@ pub fn render_codec_sweep(title: &str, results: &[FedRunResult]) -> String {
     for r in results {
         out.push_str(&format!(
             "{:<28} {:>12} {:>12} {:>10} {:>7.2}x {:>8.2}%\n",
-            r.codec.to_string(),
+            r.codec_label,
             r.comm.up_bytes + r.comm.aborted_up_bytes,
             r.comm.down_bytes,
-            r.comm.first_contact_down_bytes,
+            r.comm.first_contact_down_bytes + r.comm.join_chunk_down_bytes,
             r.compression_ratio(),
             r.accuracy_series.last().copied().unwrap_or(0.0) * 100.0,
         ));
@@ -251,19 +258,54 @@ pub fn write_codec_sweep_csv(path: &Path, results: &[FedRunResult]) -> std::io::
     let mut f = std::fs::File::create(path)?;
     writeln!(
         f,
-        "codec,up_bytes,aborted_up_bytes,down_bytes,first_contact_down_bytes,compression_ratio,final_accuracy_pct"
+        "codec,up_bytes,aborted_up_bytes,down_bytes,first_contact_down_bytes,join_chunk_down_bytes,join_lost_down_bytes,compression_ratio,final_accuracy_pct"
     )?;
     for r in results {
         writeln!(
             f,
-            "{},{},{},{},{},{:.4},{:.4}",
-            r.codec,
+            "{},{},{},{},{},{},{},{:.4},{:.4}",
+            r.codec_label,
             r.comm.up_bytes,
             r.comm.aborted_up_bytes,
             r.comm.down_bytes,
             r.comm.first_contact_down_bytes,
+            r.comm.join_chunk_down_bytes,
+            r.comm.join_lost_down_bytes,
             r.compression_ratio(),
             r.accuracy_series.last().copied().unwrap_or(0.0) * 100.0
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes the bytes-per-accuracy frontier as CSV: one row per codec arm
+/// with the total wire bytes (uploads, aborted uploads, broadcasts, and
+/// both monolithic and chunked first-contact sync — churn-lost chunk bytes
+/// are already counted when shipped), the join share split out, and the
+/// cost of each accuracy point.
+///
+/// # Errors
+///
+/// Returns any I/O error from file creation or writing.
+pub fn write_codec_frontier_csv(path: &Path, results: &[FedRunResult]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "codec,total_bytes,down_bytes,join_bytes,final_accuracy_pct,bytes_per_acc_point"
+    )?;
+    for r in results {
+        let join = r.comm.first_contact_down_bytes + r.comm.join_chunk_down_bytes;
+        let total = r.comm.up_bytes + r.comm.aborted_up_bytes + r.comm.down_bytes + join;
+        let acc = r.accuracy_series.last().copied().unwrap_or(0.0) * 100.0;
+        let per_point = if acc > 0.0 {
+            total as f64 / f64::from(acc)
+        } else {
+            f64::from(u32::MAX)
+        };
+        writeln!(
+            f,
+            "{},{},{},{},{:.4},{:.1}",
+            r.codec_label, total, r.comm.down_bytes, join, acc, per_point
         )?;
     }
     Ok(())
@@ -502,8 +544,13 @@ mod tests {
                 first_contact_messages: 1,
                 quarantined_up_bytes: 80,
                 quarantined_updates: 2,
+                join_chunk_down_bytes: 12,
+                join_chunk_messages: 3,
+                join_lost_down_bytes: 4,
+                join_lost_messages: 1,
             },
             codec: shiftex_fl::CodecSpec::quant8(256),
+            codec_label: "quant8(block=256)".into(),
             fold: shiftex_fl::FoldPolicy::Krum { f: 2 },
             param_count: 1000,
             residency: shiftex_fl::PopulationStats {
@@ -535,6 +582,8 @@ mod tests {
         assert!(s.contains("aborted uploads 3"));
         assert!(s.contains("first-contact 48 B over 1 joins"));
         assert!(s.contains("quarantined 2 (80 B refused)"));
+        assert!(s.contains("join sync: 12 B over 3 chunks"));
+        assert!(s.contains("lost to churn 4 B over 1 frames"));
         assert!(s.contains("fold: krum(f=2)"));
         assert!(s.contains("codec: quant8(block=256)"));
         let dir = std::env::temp_dir().join("shiftex_participation_test");
@@ -553,7 +602,14 @@ mod tests {
         write_codec_sweep_csv(&sp, std::slice::from_ref(&result)).unwrap();
         let sweep_csv = std::fs::read_to_string(&sp).unwrap();
         assert!(sweep_csv.starts_with("codec,up_bytes"));
-        assert!(sweep_csv.contains("quant8(block=256),100,60,200,48"));
+        assert!(sweep_csv.contains("quant8(block=256),100,60,200,48,12,4"));
+
+        // The frontier CSV folds every wire byte into a per-accuracy cost.
+        let fp = dir.join("codec_frontier.csv");
+        write_codec_frontier_csv(&fp, std::slice::from_ref(&result)).unwrap();
+        let frontier_csv = std::fs::read_to_string(&fp).unwrap();
+        assert!(frontier_csv.starts_with("codec,total_bytes"));
+        assert!(frontier_csv.contains("quant8(block=256),420,200,60,50.0000,8.4"));
 
         // The robustness sweep reports what each fold refused.
         let rows = vec![("sign-flip(20%)".to_string(), sample_result())];

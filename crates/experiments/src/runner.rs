@@ -15,9 +15,9 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use shiftex_baselines::OortSelector;
 use shiftex_fl::{
-    run_algorithm_round, CodecSpec, CommLedger, CommTotals, FederatedAlgorithm, FoldPolicy,
-    ParticipantSelector, ParticipationStats, PopulationStore, RoundParticipation, ScenarioEngine,
-    ScenarioSpec, UniformSelector,
+    run_algorithm_round_with, BudgetSpec, CodecController, CodecSpec, CommLedger, CommTotals,
+    FederatedAlgorithm, FoldPolicy, JoinConfig, ParticipantSelector, ParticipationStats,
+    PopulationStore, RoundCodec, RoundParticipation, ScenarioEngine, ScenarioSpec, UniformSelector,
 };
 
 use crate::algorithms::build_algorithm;
@@ -51,8 +51,14 @@ pub struct FedRunResult {
     /// Communication totals, including aborted uploads and first-contact
     /// downlinks.
     pub comm: CommTotals,
-    /// Wire codec the run was metered under.
+    /// Wire codec the run was metered under. For adaptive runs this is the
+    /// controller's configuration baseline (the static spec the run was
+    /// launched with); [`FedRunResult::codec_label`] names the regime.
     pub codec: CodecSpec,
+    /// Reporting label for the comm regime: the static codec's display
+    /// name, or `"adaptive"` when a byte-budget controller picked the spec
+    /// per round.
+    pub codec_label: String,
     /// Aggregation fold policy the run folded under.
     pub fold: FoldPolicy,
     /// Flattened model parameter count (sizes the compression ratio).
@@ -64,9 +70,22 @@ pub struct FedRunResult {
 }
 
 impl FedRunResult {
-    /// Upload compression ratio of the run's codec versus dense framing.
+    /// Upload compression ratio versus dense framing. Static codecs report
+    /// their analytic ratio; adaptive runs (where the per-round spec varies)
+    /// report the *measured* ratio — what the same update frames would have
+    /// cost dense, over what the ledger actually metered.
     pub fn compression_ratio(&self) -> f64 {
-        self.codec.compression_ratio(self.param_count)
+        if self.codec_label == "adaptive" {
+            let frames = self.totals.delivered + self.comm.aborted_messages;
+            let actual = self.comm.up_bytes + self.comm.aborted_up_bytes;
+            if actual == 0 {
+                return 1.0;
+            }
+            let dense = frames * CodecSpec::dense().update_len(self.param_count) as u64;
+            dense as f64 / actual as f64
+        } else {
+            self.codec.compression_ratio(self.param_count)
+        }
     }
 }
 
@@ -105,7 +124,8 @@ impl FedSelector {
 ///
 /// The mode changes memory behaviour (and, for the seeded modes, the data
 /// stream), never the protocol: every mode drives the same
-/// [`run_algorithm_round`] loop through the same [`PopulationStore`]
+/// [`shiftex_fl::run_algorithm_round`] loop through the same
+/// [`PopulationStore`]
 /// interface.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PopulationMode {
@@ -152,6 +172,15 @@ pub struct FedRunOptions {
     pub fold: FoldPolicy,
     /// Population storage mode.
     pub population: PopulationMode,
+    /// Byte budget for the adaptive codec controller. `None` runs the
+    /// static `codec` for every exchange (the byte-pinned legacy path);
+    /// `Some` hands each round's spec choice to a
+    /// [`CodecController`] seeded from the federation spec.
+    pub budget: Option<BudgetSpec>,
+    /// Chunked, resumable first-contact sync
+    /// ([`shiftex_fl::JoinSync`]). `None` keeps monolithic
+    /// first-contact frames.
+    pub join: Option<JoinConfig>,
 }
 
 impl FedRunOptions {
@@ -165,6 +194,8 @@ impl FedRunOptions {
             selector: FedSelector::Uniform,
             fold: FoldPolicy::Mean,
             population: PopulationMode::Materialized,
+            budget: None,
+            join: None,
         }
     }
 
@@ -189,6 +220,18 @@ impl FedRunOptions {
     /// Swaps in a population storage mode.
     pub fn with_population(mut self, population: PopulationMode) -> Self {
         self.population = population;
+        self
+    }
+
+    /// Switches the run onto the adaptive codec controller under `budget`.
+    pub fn with_budget(mut self, budget: BudgetSpec) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Switches first-contact sync onto the chunked, resumable join path.
+    pub fn with_join_chunking(mut self, join: JoinConfig) -> Self {
+        self.join = Some(join);
         self
     }
 }
@@ -263,6 +306,16 @@ pub fn run_federation_scenario<A: FederatedAlgorithm + ?Sized>(
     };
     let ids = store.party_ids();
     let mut engine = ScenarioEngine::new(fed.clone(), &ids);
+    if let Some(join) = opts.join {
+        engine.enable_join_chunking(join);
+    }
+    // The controller is seeded from the federation spec, so adaptive runs
+    // rerun bit-identically under the same scenario.
+    let controller = opts.budget.map(|b| CodecController::new(fed.seed, b));
+    let round_codec = match &controller {
+        Some(c) => RoundCodec::Adaptive(c),
+        None => RoundCodec::Static(&opts.codec),
+    };
     let ledger = CommLedger::new();
     let mut selector = opts.selector.build();
     algorithm.init(&store.view(ids.clone()), &mut rng);
@@ -283,7 +336,7 @@ pub fn run_federation_scenario<A: FederatedAlgorithm + ?Sized>(
         &store,
         opts.bootstrap_rounds,
         &mut engine,
-        &opts.codec,
+        round_codec,
         selector.as_mut(),
         &opts.fold,
         &ledger,
@@ -319,7 +372,7 @@ pub fn run_federation_scenario<A: FederatedAlgorithm + ?Sized>(
             &store,
             opts.rounds_per_window,
             &mut engine,
-            &opts.codec,
+            round_codec,
             selector.as_mut(),
             &opts.fold,
             &ledger,
@@ -343,6 +396,10 @@ pub fn run_federation_scenario<A: FederatedAlgorithm + ?Sized>(
         totals: engine.stats(),
         comm: ledger.totals(),
         codec: opts.codec,
+        codec_label: match opts.budget {
+            Some(_) => "adaptive".to_string(),
+            None => opts.codec.to_string(),
+        },
         fold: opts.fold,
         param_count,
         residency: store.stats(),
@@ -357,7 +414,7 @@ fn run_round_block<A: FederatedAlgorithm + ?Sized>(
     population: &PopulationStore,
     rounds: usize,
     engine: &mut ScenarioEngine,
-    codec: &CodecSpec,
+    codec: RoundCodec<'_>,
     selector: &mut dyn ParticipantSelector,
     fold: &FoldPolicy,
     ledger: &CommLedger,
@@ -369,7 +426,7 @@ fn run_round_block<A: FederatedAlgorithm + ?Sized>(
     for _ in 0..rounds {
         let before = engine.stats();
         let comm_before = ledger.totals();
-        let outcome = run_algorithm_round(
+        let outcome = run_algorithm_round_with(
             algorithm,
             population,
             engine,
@@ -395,8 +452,11 @@ fn run_round_block<A: FederatedAlgorithm + ?Sized>(
             up_bytes: (comm.up_bytes + comm.aborted_up_bytes)
                 - (comm_before.up_bytes + comm_before.aborted_up_bytes),
             down_bytes: comm.down_bytes - comm_before.down_bytes,
-            first_contact_down_bytes: comm.first_contact_down_bytes
-                - comm_before.first_contact_down_bytes,
+            // Chunked join shipments are the first-contact sync in another
+            // framing, so they land in the same join column (0 when
+            // chunking is off, keeping the monolithic column byte-pinned).
+            first_contact_down_bytes: (comm.first_contact_down_bytes + comm.join_chunk_down_bytes)
+                - (comm_before.first_contact_down_bytes + comm_before.join_chunk_down_bytes),
             quarantined: outcome.robustness.quarantined as u64,
             fold_score: outcome.robustness.max_score,
         });

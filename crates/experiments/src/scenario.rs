@@ -7,8 +7,8 @@ use shiftex_data::{
     profile, Dataset, DatasetKind, DatasetProfile, PrototypeGenerator, SimScale, WindowingMode,
 };
 use shiftex_fl::{
-    AsyncSpec, AttackKind, AttackSchedule, AttackSpec, ChurnSpec, CodecSpec, DelayDist, FoldPolicy,
-    LatePolicy, Party, PartyId, ScenarioSpec, StragglerSpec,
+    AsyncSpec, AttackKind, AttackSchedule, AttackSpec, BudgetSpec, ChurnSpec, CodecSpec, DelayDist,
+    FoldPolicy, LatePolicy, Party, PartyId, ScenarioSpec, StragglerSpec,
 };
 use shiftex_nn::{ArchSpec, InputShape};
 use shiftex_stream::{ScheduleBuilder, ShiftSchedule};
@@ -35,6 +35,10 @@ pub struct Scenario {
     pub rounds_per_window: usize,
     /// Base seed for reproducibility.
     pub seed: u64,
+    /// Cohort size as a fraction of the population
+    /// (`--cohort-frac`): `participants_per_round = ceil(f · parties)`.
+    /// `None` keeps the legacy profile-derived cohort.
+    pub cohort_frac: Option<f32>,
 }
 
 impl Scenario {
@@ -82,12 +86,39 @@ impl Scenario {
             spec,
             rounds_per_window,
             seed,
+            cohort_frac: None,
         }
     }
 
-    /// Cohort size per round, scaled to the population.
+    /// Overrides the cohort size as a fraction of the population.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < frac ≤ 1`.
+    pub fn with_cohort_frac(mut self, frac: f32) -> Scenario {
+        assert!(
+            frac > 0.0 && frac <= 1.0,
+            "--cohort-frac must be in (0, 1], got {frac}"
+        );
+        self.cohort_frac = Some(frac);
+        self
+    }
+
+    /// Cohort size per round: `ceil(cohort_frac · parties)` when a fraction
+    /// is configured, otherwise scaled to the population with the legacy
+    /// profile clamp.
     pub fn participants_per_round(&self) -> usize {
-        (self.profile.num_parties / 2).clamp(4, 10)
+        match self.cohort_frac {
+            Some(f) => {
+                let n = self.profile.num_parties;
+                // Shave a relative epsilon just above f32 rounding error so
+                // fractions that overshoot their decimal (0.3 →
+                // 0.30000001) don't ceil one party too far.
+                let target = (f as f64 * n as f64) * (1.0 - 1e-6);
+                (target.ceil() as usize).clamp(1, n)
+            }
+            None => (self.profile.num_parties / 2).clamp(4, 10),
+        }
     }
 
     /// Round budget for the W0 burn-in: long enough that every technique
@@ -368,6 +399,41 @@ pub fn codec_spec_from_args(args: &Args) -> CodecSpec {
     spec
 }
 
+/// Builds the adaptive codec controller's [`BudgetSpec`] from experiment
+/// CLI flags, or `None` when the run is on a static codec.
+///
+/// Recognised flags (all require `--codec adaptive`):
+///
+/// * `--budget-bytes N` — cap on estimated bytes per round per stream;
+/// * `--budget-party-bytes N` — cap on estimated bytes per party per round.
+///
+/// `--codec adaptive` with neither cap runs the controller on an unlimited
+/// budget (it degrades to its densest rung). Budget flags without
+/// `--codec adaptive` are rejected, so a run is never silently attributed
+/// to a controller that never ran.
+pub fn budget_spec_from_args(args: &Args) -> Option<BudgetSpec> {
+    let adaptive = args.value("codec") == Some("adaptive");
+    if !adaptive {
+        for key in ["budget-bytes", "budget-party-bytes"] {
+            assert!(
+                args.value(key).is_none(),
+                "--{key} has no effect without --codec adaptive"
+            );
+        }
+        return None;
+    }
+    let round_bytes = args
+        .value("budget-bytes")
+        .map(|_| args.value_or("budget-bytes", 0u64));
+    let party_bytes = args
+        .value("budget-party-bytes")
+        .map(|_| args.value_or("budget-party-bytes", 0u64));
+    Some(BudgetSpec {
+        round_bytes,
+        party_bytes,
+    })
+}
+
 /// The paper's architecture pairing (§6 "Models"), in Lite form.
 fn arch_for(kind: DatasetKind, profile: &DatasetProfile) -> ArchSpec {
     let input = InputShape {
@@ -636,6 +702,70 @@ mod tests {
     fn unknown_codec_name_is_rejected() {
         let args = Args::parse("--codec gzip".split_whitespace().map(String::from));
         let _ = codec_spec_from_args(&args);
+    }
+
+    #[test]
+    fn cohort_frac_scales_the_cohort_with_the_population() {
+        let s = Scenario::build_with_population(
+            DatasetKind::FashionMnist,
+            SimScale::Smoke,
+            3,
+            Some(100),
+            Some(12),
+        );
+        assert_eq!(s.participants_per_round(), 10, "legacy clamp");
+        assert_eq!(s.clone().with_cohort_frac(0.3).participants_per_round(), 30);
+        // Ceiling, not truncation: 0.25 · 9 = 2.25 → 3.
+        let nine = Scenario::build_with_population(
+            DatasetKind::Femnist,
+            SimScale::Smoke,
+            3,
+            Some(9),
+            None,
+        );
+        assert_eq!(nine.with_cohort_frac(0.25).participants_per_round(), 3);
+        // Full participation is representable.
+        assert_eq!(s.with_cohort_frac(1.0).participants_per_round(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "--cohort-frac must be in (0, 1]")]
+    fn cohort_frac_out_of_range_is_rejected() {
+        let s = Scenario::build(DatasetKind::Femnist, SimScale::Smoke, 3);
+        let _ = s.with_cohort_frac(1.5);
+    }
+
+    #[test]
+    fn budget_spec_parses_caps_under_adaptive() {
+        assert_eq!(budget_spec_from_args(&Args::default()), None);
+        let args = Args::parse(
+            "--codec adaptive --budget-bytes 98304"
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert_eq!(
+            budget_spec_from_args(&args),
+            Some(BudgetSpec::per_round(98304))
+        );
+        let args = Args::parse(
+            "--codec adaptive --budget-party-bytes 4096"
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert_eq!(
+            budget_spec_from_args(&args),
+            Some(BudgetSpec::per_party(4096))
+        );
+        // Adaptive with no caps: controller on an unlimited budget.
+        let args = Args::parse("--codec adaptive".split_whitespace().map(String::from));
+        assert_eq!(budget_spec_from_args(&args), Some(BudgetSpec::unlimited()));
+    }
+
+    #[test]
+    #[should_panic(expected = "--budget-bytes has no effect without --codec adaptive")]
+    fn budget_subflag_without_adaptive_is_rejected() {
+        let args = Args::parse("--budget-bytes 1000".split_whitespace().map(String::from));
+        let _ = budget_spec_from_args(&args);
     }
 
     #[test]

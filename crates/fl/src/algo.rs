@@ -48,6 +48,7 @@ use shiftex_nn::{ArchSpec, TrainConfig};
 
 use crate::codec::CodecSpec;
 use crate::comm::CommLedger;
+use crate::control::CodecController;
 use crate::party::{Party, PartyId};
 use crate::population::{PopulationStore, PopulationView};
 use crate::robust::{FoldPolicy, UpdateVerdict};
@@ -202,6 +203,19 @@ pub struct AlgoRoundOutcome {
     pub robustness: RobustnessReport,
 }
 
+/// The codec policy a round runs under: one static spec for every stream,
+/// or an adaptive [`CodecController`] consulted per stream against the
+/// observed byte ledger and the stream's error-feedback magnitude.
+#[derive(Debug, Clone, Copy)]
+pub enum RoundCodec<'a> {
+    /// The same spec on every stream — the pre-controller behaviour, with
+    /// byte accounting pinned by the conformance goldens.
+    Static(&'a CodecSpec),
+    /// Per-`(round, stream)` choice within a byte budget. The controller
+    /// is pure, so adaptive rounds stay rerun-identical.
+    Adaptive(&'a CodecController),
+}
+
 /// Runs one scenario-mediated round of `algorithm`: advances the engine's
 /// round clock, gates the pool by churn, and — per stream — selects a
 /// cohort, broadcasts the encoded globals (first-contact recipients get
@@ -227,6 +241,34 @@ pub fn run_algorithm_round<A: FederatedAlgorithm + ?Sized>(
     ledger: Option<&CommLedger>,
     rng: &mut StdRng,
 ) -> AlgoRoundOutcome {
+    run_algorithm_round_with(
+        algorithm,
+        population,
+        engine,
+        RoundCodec::Static(codec),
+        selector,
+        policy,
+        ledger,
+        rng,
+    )
+}
+
+/// Like [`run_algorithm_round`] but with the codec policy generalised to
+/// [`RoundCodec`]: an adaptive controller picks each stream's spec from
+/// the observed ledger snapshot and the stream's error-feedback magnitude
+/// before the stream broadcasts. The static arm is byte-for-byte the old
+/// driver.
+#[allow(clippy::too_many_arguments)] // the round's full I/O surface: wire, fold, meter, seed
+pub fn run_algorithm_round_with<A: FederatedAlgorithm + ?Sized>(
+    algorithm: &mut A,
+    population: &PopulationStore,
+    engine: &mut ScenarioEngine,
+    codec: RoundCodec<'_>,
+    selector: &mut dyn ParticipantSelector,
+    policy: &FoldPolicy,
+    ledger: Option<&CommLedger>,
+    rng: &mut StdRng,
+) -> AlgoRoundOutcome {
     let round = engine.begin_round();
     selector.begin_round();
     let all_ids = population.party_ids();
@@ -247,6 +289,25 @@ pub fn run_algorithm_round<A: FederatedAlgorithm + ?Sized>(
         // that keeps residency O(cohort) regardless of population size.
         let cohort: Vec<Party> = live.parties(&cohort_ids);
         let globals = algorithm.broadcast_state(key);
+        // Resolve the stream's codec: static specs pass through untouched;
+        // an adaptive controller decides from (round, stream, cohort size,
+        // model size, observed ledger, EF magnitude) — all deterministic.
+        let adaptive_spec;
+        let codec: &CodecSpec = match codec {
+            RoundCodec::Static(spec) => spec,
+            RoundCodec::Adaptive(controller) => {
+                let totals = ledger.map(|l| l.totals()).unwrap_or_default();
+                adaptive_spec = controller.spec_for(
+                    round,
+                    key,
+                    cohort_ids.len(),
+                    globals.len(),
+                    &totals,
+                    engine.ef_magnitude(key),
+                );
+                &adaptive_spec
+            }
+        };
         let bcast = engine.broadcast(key, &globals, codec, &cohort_ids, ledger);
         // One pre-drawn seed per member keeps results independent of
         // training order (and identical to the parallel fan-out).

@@ -32,6 +32,21 @@ pub struct CommTotals {
     pub quarantined_up_bytes: u64,
     /// Count of quarantined uploads.
     pub quarantined_updates: u64,
+    /// Bytes of chunked join-sync downlinks: bounded-size slices of a
+    /// first-contact full-state frame shipped by a
+    /// [`JoinSync`](crate::JoinSync) state machine, re-shipped slices
+    /// included. Kept off `first_contact_down_bytes` so the monolithic and
+    /// chunked join paths stay separately auditable.
+    pub join_chunk_down_bytes: u64,
+    /// Count of join-sync chunks shipped.
+    pub join_chunk_messages: u64,
+    /// Overlay: join-path bytes (monolithic first-contact frames or
+    /// individual chunks) whose delivery was lost to mid-round churn. The
+    /// spend stays in its primary counter; this records what of it bought
+    /// no state, mirroring the lost-upload refund rules on the uplink.
+    pub join_lost_down_bytes: u64,
+    /// Count of lost join frames/chunks.
+    pub join_lost_messages: u64,
 }
 
 /// Thread-safe communication ledger.
@@ -92,6 +107,27 @@ impl CommLedger {
         let mut t = self.totals.lock();
         t.quarantined_up_bytes += bytes as u64;
         t.quarantined_updates += 1;
+    }
+
+    /// Records `chunks` join-sync chunk downlinks totalling `bytes` (each
+    /// chunk is a real message). Chunked joins are metered here instead of
+    /// [`CommLedger::record_first_contact_download`] so the two join paths
+    /// never double-count.
+    pub fn record_join_chunks(&self, bytes: usize, chunks: usize) {
+        let mut t = self.totals.lock();
+        t.join_chunk_down_bytes += bytes as u64;
+        t.join_chunk_messages += chunks as u64;
+        t.messages += chunks as u64;
+    }
+
+    /// Records `frames` join-path downlinks totalling `bytes` that were
+    /// lost to mid-round churn before the recipient could use them. Overlay
+    /// only: the spend already hit its primary counter when it shipped, so
+    /// neither bytes nor messages are re-counted here.
+    pub fn record_join_loss(&self, bytes: usize, frames: usize) {
+        let mut t = self.totals.lock();
+        t.join_lost_down_bytes += bytes as u64;
+        t.join_lost_messages += frames as u64;
     }
 
     /// Snapshot of the counters.
@@ -157,6 +193,24 @@ mod tests {
         assert_eq!(t.quarantined_up_bytes, 100);
         assert_eq!(t.quarantined_updates, 1);
         assert_eq!(t.messages, 2, "a quarantined upload is not a new message");
+    }
+
+    #[test]
+    fn join_chunks_are_messages_but_losses_are_overlay() {
+        let ledger = CommLedger::new();
+        ledger.record_join_chunks(300, 3);
+        ledger.record_join_loss(100, 1);
+        let t = ledger.totals();
+        assert_eq!(t.join_chunk_down_bytes, 300);
+        assert_eq!(t.join_chunk_messages, 3);
+        assert_eq!(t.messages, 3, "every shipped chunk is a real message");
+        assert_eq!(t.join_lost_down_bytes, 100);
+        assert_eq!(t.join_lost_messages, 1);
+        assert_eq!(
+            t.down_bytes, 0,
+            "chunked joins never touch the regular downlink counter"
+        );
+        assert_eq!(t.first_contact_down_bytes, 0);
     }
 
     #[test]

@@ -49,7 +49,9 @@
 pub mod algo;
 pub mod codec;
 mod comm;
+pub mod control;
 mod job;
+pub mod join;
 mod party;
 pub mod population;
 pub mod robust;
@@ -58,10 +60,15 @@ pub mod scenario;
 pub mod selection;
 mod update;
 
-pub use algo::{run_algorithm_round, AlgoRoundOutcome, FederatedAlgorithm, RobustnessReport};
+pub use algo::{
+    run_algorithm_round, run_algorithm_round_with, AlgoRoundOutcome, FederatedAlgorithm,
+    RobustnessReport, RoundCodec,
+};
 pub use codec::{CodecError, CodecKind, CodecSpec, UpdateCodec};
 pub use comm::{CommLedger, CommTotals};
+pub use control::{BudgetSpec, CodecController};
 pub use job::{FederatedJob, JobReport, RoundParticipation, ScenarioJobReport};
+pub use join::{JoinConfig, JoinSync, JOIN_CHUNK_HEADER_LEN};
 pub use party::{Party, PartyId, PartyInfo};
 pub use population::{PartyProvider, PopulationStats, PopulationStore, PopulationView};
 pub use robust::{aggregate_robust, FoldPolicy, RobustFold, UpdateVerdict};

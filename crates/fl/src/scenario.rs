@@ -32,6 +32,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::codec::CodecSpec;
 use crate::comm::CommLedger;
+use crate::join::{JoinConfig, JoinSync};
 use crate::party::PartyId;
 use crate::update::ModelUpdate;
 
@@ -51,8 +52,10 @@ fn draw(seed: u64, salt: u64, a: u64, b: u64) -> u64 {
     splitmix(splitmix(splitmix(seed ^ salt).wrapping_add(a)).wrapping_add(b))
 }
 
-/// Uniform `[0, 1)` draw keyed by `(seed, salt, a, b)`.
-fn draw_unit(seed: u64, salt: u64, a: u64, b: u64) -> f32 {
+/// Uniform `[0, 1)` draw keyed by `(seed, salt, a, b)`. Shared with the
+/// adaptive codec controller so every seeded decision in the runtime uses
+/// the same hash-draw discipline.
+pub(crate) fn draw_unit(seed: u64, salt: u64, a: u64, b: u64) -> f32 {
     // 24 high-quality bits are plenty for an f32 in [0, 1).
     (draw(seed, salt, a, b) >> 40) as f32 / (1u64 << 24) as f32
 }
@@ -631,11 +634,19 @@ pub struct BroadcastDelivery {
     pub first_contact: Option<Vec<f32>>,
     /// Recipients that received the first-contact frame this round.
     pub fresh: BTreeSet<PartyId>,
+    /// Per-party decodes on the chunked join path
+    /// ([`ScenarioEngine::enable_join_chunking`]): a resuming party trains
+    /// from the snapshot taken when *its* sync began, which can differ per
+    /// party. Empty when join chunking is off.
+    pub join_states: BTreeMap<PartyId, Vec<f32>>,
 }
 
 impl BroadcastDelivery {
     /// The decoded global state `party` trains from this round.
     pub fn state_for(&self, party: PartyId) -> &[f32] {
+        if let Some(state) = self.join_states.get(&party) {
+            return state;
+        }
         match &self.first_contact {
             Some(fc) if self.fresh.contains(&party) => fc,
             _ => &self.decoded,
@@ -671,6 +682,18 @@ pub struct ScenarioEngine {
     /// Per-(stream, party) error-feedback accumulators for codecs with
     /// [`CodecSpec::error_feedback`] set.
     ef_residuals: BTreeMap<(usize, PartyId), Vec<f32>>,
+    /// Chunked-join configuration; `None` keeps the monolithic
+    /// first-contact frame (the byte-pinned legacy path).
+    join: Option<JoinConfig>,
+    /// In-progress chunked first-contact syncs per `(stream, party)`.
+    /// Entries are dropped once the sync completes and survives its round.
+    join_syncs: BTreeMap<(usize, PartyId), JoinSync>,
+    /// Join deliveries awaiting their round's churn verdict, per stream:
+    /// `(monolithic frame bytes billed, round shipped)` — bytes are 0 on
+    /// the chunked path, where the `JoinSync` itself tracks the in-flight
+    /// chunks. Resolved — acked or refunded as lost — when the stream's
+    /// `collect` runs.
+    pending_joins: BTreeMap<usize, BTreeMap<PartyId, (u64, usize)>>,
     round: usize,
     stats: ParticipationStats,
 }
@@ -689,8 +712,54 @@ impl ScenarioEngine {
             last_broadcast: BTreeMap::new(),
             contacted: BTreeMap::new(),
             ef_residuals: BTreeMap::new(),
+            join: None,
+            join_syncs: BTreeMap::new(),
+            pending_joins: BTreeMap::new(),
             round: 0,
             stats: ParticipationStats::default(),
+        }
+    }
+
+    /// Switches first-contact sync onto the chunked, resumable
+    /// [`JoinSync`] path: joiners receive the full-state frame encoded
+    /// under `config.codec` in bounded-size chunks, metered on the
+    /// ledger's `join_chunk_*` counters; a sync interrupted by mid-round
+    /// churn resumes at the next contact, re-shipping only the lost
+    /// chunks. Off by default — the monolithic path stays byte-identical.
+    pub fn enable_join_chunking(&mut self, config: JoinConfig) {
+        self.join = Some(config);
+    }
+
+    /// The chunked-join configuration, if enabled.
+    pub fn join_config(&self) -> Option<&JoinConfig> {
+        self.join.as_ref()
+    }
+
+    /// Progress of `party`'s chunked first-contact sync on stream `key`:
+    /// `(delivered, total)` chunks, or `None` when no sync is in flight.
+    pub fn join_progress(&self, key: usize, party: PartyId) -> Option<(usize, usize)> {
+        self.join_syncs
+            .get(&(key, party))
+            .map(|s| (s.delivered_chunks(), s.num_chunks()))
+    }
+
+    /// Mean absolute error-feedback residual accumulated on stream `key`
+    /// across all parties — the adaptive codec controller's signal for how
+    /// much mass lossy uploads are still withholding. 0 when no EF codec
+    /// has run on the stream.
+    pub fn ef_magnitude(&self, key: usize) -> f32 {
+        let mut sum = 0.0f64;
+        let mut n = 0usize;
+        for ((k, _), acc) in &self.ef_residuals {
+            if *k == key {
+                sum += acc.iter().map(|v| v.abs() as f64).sum::<f64>();
+                n += acc.len();
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            (sum / n as f64) as f32
         }
     }
 
@@ -764,6 +833,7 @@ impl ScenarioEngine {
                 decoded: global.to_vec(),
                 first_contact: None,
                 fresh: BTreeSet::new(),
+                join_states: BTreeMap::new(),
             };
         }
         let reference = self.last_broadcast.get(&key).map_or(&[][..], Vec::as_slice);
@@ -778,6 +848,46 @@ impl ScenarioEngine {
             .copied()
             .filter(|p| !contacted.contains(p))
             .collect();
+        let mut join_states = BTreeMap::new();
+        if let Some(join) = self.join {
+            // Chunked path: each fresh recipient has (or starts) a
+            // per-party sync; every chunk it is still owed ships now,
+            // metered exactly. The party trains from its own snapshot
+            // decode; it is only marked contacted once the sync completes
+            // *and* survives the round (see `collect`).
+            for &p in &fresh {
+                let sync = self
+                    .join_syncs
+                    .entry((key, p))
+                    .or_insert_with(|| JoinSync::begin(global, &join));
+                let (bytes, chunks) = sync.ship_missing();
+                if let Some(l) = ledger {
+                    l.record_join_chunks(bytes, chunks);
+                }
+                if let Some(state) = sync.decoded() {
+                    join_states.insert(p, state);
+                }
+                self.pending_joins
+                    .entry(key)
+                    .or_default()
+                    .insert(p, (0, self.round));
+            }
+            if let Some(l) = ledger {
+                let frame = bspec.broadcast_len(global.len());
+                for p in recipients {
+                    if !fresh.contains(p) {
+                        l.record_download(frame);
+                    }
+                }
+            }
+            self.last_broadcast.insert(key, decoded.clone());
+            return BroadcastDelivery {
+                decoded,
+                first_contact: None,
+                fresh,
+                join_states,
+            };
+        }
         let fc_spec = codec.first_contact_spec();
         // When the specs coincide neither stage is delta-coded, so both
         // frames decode identically — no separate first-contact state.
@@ -786,9 +896,9 @@ impl ScenarioEngine {
         } else {
             Some(fc_spec.transport(global.to_vec(), &[]))
         };
+        let first_frame = fc_spec.broadcast_len(global.len());
         if let Some(l) = ledger {
             let frame = bspec.broadcast_len(global.len());
-            let first_frame = fc_spec.broadcast_len(global.len());
             for p in recipients {
                 if fresh.contains(p) {
                     l.record_first_contact_download(first_frame);
@@ -797,12 +907,23 @@ impl ScenarioEngine {
                 }
             }
         }
+        // A fresh recipient's monolithic frame is provisional until the
+        // round's churn verdict: if the party crashes mid-round the frame
+        // is lost with it, the spend is overlaid as lost, and the party is
+        // un-marked so the sync restarts honestly on its next contact.
+        for &p in &fresh {
+            self.pending_joins
+                .entry(key)
+                .or_default()
+                .insert(p, (first_frame as u64, self.round));
+        }
         contacted.extend(recipients.iter().copied());
         self.last_broadcast.insert(key, decoded.clone());
         BroadcastDelivery {
             decoded,
             first_contact,
             fresh,
+            join_states,
         }
     }
 
@@ -885,6 +1006,7 @@ impl ScenarioEngine {
         let mut delivery = RoundDelivery::default();
         let round = self.round;
         let seed = self.spec.seed;
+        self.resolve_pending_joins(key, ledger);
         self.stats.selected += updates.len() as u64;
         // Owned for the duration of the round so lost uploads can refund
         // the error-feedback accumulators without aliasing `self`.
@@ -981,6 +1103,47 @@ impl ScenarioEngine {
             self.stats.aggregations += 1;
         }
         delivery
+    }
+
+    /// Resolves stream `key`'s join deliveries against their round's churn
+    /// verdict — the downlink mirror of the lost-upload refund rules. A
+    /// joiner that crashed mid-round never banked the frame it was billed
+    /// for: on the monolithic path the spend is overlaid as lost
+    /// (`join_lost_*`) and the party un-marked from `contacted`, so its
+    /// next contact re-ships honestly instead of pretending it holds a
+    /// reference; on the chunked path only the in-flight chunks are lost
+    /// and the sync resumes where it left off. Survivors bank their
+    /// chunks, and a completed chunked sync promotes the party to
+    /// contacted.
+    fn resolve_pending_joins(&mut self, key: usize, ledger: Option<&CommLedger>) {
+        let Some(pending) = self.pending_joins.remove(&key) else {
+            return;
+        };
+        for (party, (bytes, born)) in pending {
+            let dropped = self.churn.drops_out(party, born);
+            if self.join.is_some() {
+                let Some(sync) = self.join_syncs.get_mut(&(key, party)) else {
+                    continue;
+                };
+                if dropped {
+                    let (lost, chunks) = sync.lose_in_flight();
+                    if let Some(l) = ledger {
+                        l.record_join_loss(lost, chunks);
+                    }
+                } else {
+                    sync.ack_in_flight();
+                    if sync.is_complete() {
+                        self.contacted.entry(key).or_default().insert(party);
+                        self.join_syncs.remove(&(key, party));
+                    }
+                }
+            } else if dropped {
+                if let Some(l) = ledger {
+                    l.record_join_loss(bytes as usize, 1);
+                }
+                self.contacted.entry(key).or_default().remove(&party);
+            }
+        }
     }
 
     /// A lossy upload left the party but never reached an aggregation
@@ -1554,5 +1717,148 @@ mod tests {
         let b = run(spec);
         assert_eq!(a, b, "hostile runs must be rerun-deterministic");
         assert!(!a.is_empty());
+    }
+
+    /// Seed 6 under 50 % dropout makes party 0 crash mid-round in round 1
+    /// and survive round 2 — the drop-then-resume shape the join refund
+    /// tests need (seeded draws, so this is stable across reruns).
+    fn drop_then_survive_engine(spec: ScenarioSpec) -> ScenarioEngine {
+        let engine = ScenarioEngine::new(spec, &ids(1));
+        assert!(engine.churn().drops_out(PartyId(0), 1));
+        assert!(!engine.churn().drops_out(PartyId(0), 2));
+        engine
+    }
+
+    #[test]
+    fn churned_first_contact_refunds_and_rebills_on_rejoin() {
+        // Monolithic path: the fresh party crashes mid-round, so the
+        // first-contact frame it was billed for never landed. The spend is
+        // overlaid as lost (never subtracted) and the party un-marked, so
+        // its next contact re-bills a full first contact instead of
+        // pretending it holds a reference.
+        let codec = CodecSpec::dense();
+        let spec = ScenarioSpec::sync(6).with_churn(ChurnSpec::dropout_only(0.5));
+        let mut engine = drop_then_survive_engine(spec);
+        let ledger = CommLedger::new();
+        let g = vec![1.0, 2.0, 3.0, 4.0];
+        let fc_frame = codec.first_contact_spec().broadcast_len(g.len()) as u64;
+
+        engine.begin_round();
+        let b1 = engine.broadcast(0, &g, &codec, &ids(1), Some(&ledger));
+        assert!(b1.fresh.contains(&PartyId(0)));
+        engine.collect(0, Vec::new(), &codec, Some(&ledger));
+        let t = ledger.totals();
+        assert_eq!(
+            t.first_contact_down_bytes, fc_frame,
+            "billed, not clawed back"
+        );
+        assert_eq!(t.join_lost_down_bytes, fc_frame, "overlaid as lost");
+        assert_eq!(t.join_lost_messages, 1);
+
+        engine.begin_round();
+        let b2 = engine.broadcast(0, &g, &codec, &ids(1), Some(&ledger));
+        assert!(b2.fresh.contains(&PartyId(0)), "rejoiner is fresh again");
+        engine.collect(0, Vec::new(), &codec, Some(&ledger));
+        let t = ledger.totals();
+        assert_eq!(t.first_contact_down_bytes, 2 * fc_frame, "honest re-bill");
+        assert_eq!(t.join_lost_down_bytes, fc_frame, "survivor loses nothing");
+
+        engine.begin_round();
+        let b3 = engine.broadcast(0, &g, &codec, &ids(1), Some(&ledger));
+        assert!(b3.fresh.is_empty(), "now a veteran");
+    }
+
+    #[test]
+    fn chunked_join_resumes_after_churn_without_restarting() {
+        // Chunked path, same drop-then-survive schedule: the lost flight is
+        // overlaid and re-shipped, the sync completes on the second
+        // contact, and the party trains from the snapshot its sync began
+        // with — not the round-2 globals.
+        let codec = CodecSpec::dense();
+        let spec = ScenarioSpec::sync(6).with_churn(ChurnSpec::dropout_only(0.5));
+        let mut engine = drop_then_survive_engine(spec);
+        engine.enable_join_chunking(JoinConfig::dense(8));
+        let ledger = CommLedger::new();
+        let g1 = vec![1.0, 2.0, 3.0, 4.0];
+        let frame = CodecSpec::dense().broadcast_len(g1.len());
+        let chunks = frame.div_ceil(8);
+        let wire = (frame + chunks * crate::join::JOIN_CHUNK_HEADER_LEN) as u64;
+
+        engine.begin_round();
+        let b1 = engine.broadcast(0, &g1, &codec, &ids(1), Some(&ledger));
+        assert_eq!(b1.state_for(PartyId(0)), &g1[..]);
+        engine.collect(0, Vec::new(), &codec, Some(&ledger));
+        let t = ledger.totals();
+        assert_eq!(t.join_chunk_down_bytes, wire);
+        assert_eq!(t.join_chunk_messages, chunks as u64);
+        assert_eq!(t.join_lost_down_bytes, wire, "whole flight churned away");
+        assert_eq!(t.join_lost_messages, chunks as u64);
+        assert_eq!(engine.join_progress(0, PartyId(0)), Some((0, chunks)));
+
+        engine.begin_round();
+        let g2 = vec![9.0, 9.0, 9.0, 9.0];
+        let b2 = engine.broadcast(0, &g2, &codec, &ids(1), Some(&ledger));
+        assert!(b2.fresh.contains(&PartyId(0)), "sync still open: fresh");
+        assert_eq!(
+            b2.state_for(PartyId(0)),
+            &g1[..],
+            "resumer trains from its sync's snapshot, not round-2 globals"
+        );
+        engine.collect(0, Vec::new(), &codec, Some(&ledger));
+        let t = ledger.totals();
+        assert_eq!(t.join_chunk_down_bytes, 2 * wire, "full re-ship, metered");
+        assert_eq!(t.join_lost_down_bytes, wire, "no further loss");
+        assert_eq!(engine.join_progress(0, PartyId(0)), None, "sync complete");
+
+        engine.begin_round();
+        let before = ledger.totals();
+        let b3 = engine.broadcast(0, &g2, &codec, &ids(1), Some(&ledger));
+        assert!(b3.fresh.is_empty(), "promoted to veteran");
+        let t = ledger.totals();
+        assert_eq!(
+            t.down_bytes - before.down_bytes,
+            codec.broadcast_spec(true).broadcast_len(4) as u64,
+            "veterans ride the regular downlink"
+        );
+    }
+
+    #[test]
+    fn chunked_path_meters_joiners_and_veterans_separately() {
+        // No churn: one veteran on the regular downlink, one joiner on the
+        // chunk counters, and the monolithic first-contact counter stays
+        // untouched the whole time.
+        let codec = CodecSpec::quant8(256).with_delta();
+        let mut engine = ScenarioEngine::new(ScenarioSpec::sync(3), &ids(2));
+        engine.enable_join_chunking(JoinConfig::quantized(16));
+        let ledger = CommLedger::new();
+        let g = vec![0.5, -0.5, 0.25, -0.25];
+
+        engine.begin_round();
+        engine.broadcast(0, &g, &codec, &[PartyId(0)], Some(&ledger));
+        engine.collect(0, Vec::new(), &codec, Some(&ledger));
+        assert_eq!(engine.join_progress(0, PartyId(0)), None);
+
+        engine.begin_round();
+        let b = engine.broadcast(0, &g, &codec, &ids(2), Some(&ledger));
+        assert_eq!(b.fresh, [PartyId(1)].into_iter().collect());
+        assert!(b.join_states.contains_key(&PartyId(1)));
+        engine.collect(0, Vec::new(), &codec, Some(&ledger));
+
+        let frame = CodecSpec::quant8(256).broadcast_len(g.len());
+        let chunks = frame.div_ceil(16);
+        let t = ledger.totals();
+        assert_eq!(t.first_contact_down_bytes, 0, "monolithic path never ran");
+        assert_eq!(t.first_contact_messages, 0);
+        assert_eq!(
+            t.join_chunk_down_bytes,
+            2 * (frame + chunks * crate::join::JOIN_CHUNK_HEADER_LEN) as u64,
+            "both joiners shipped one full chunked frame each"
+        );
+        assert_eq!(
+            t.down_bytes,
+            codec.broadcast_spec(true).broadcast_len(g.len()) as u64,
+            "exactly one veteran downlink (round 2, party 0)"
+        );
+        assert_eq!(t.join_lost_down_bytes, 0);
     }
 }

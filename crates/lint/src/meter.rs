@@ -9,6 +9,12 @@
 //! (crates/experiments/src/report.rs). Field list, accumulation, and
 //! rendering are extracted from the token streams, so comments and strings
 //! cannot satisfy the rule.
+//!
+//! PR 9 added the dual hole: a `record_*` hook that compiles, accumulates
+//! its field, and is never called — the counter still reads zero because no
+//! driver invokes the hook. So the rule also requires every `record_*`
+//! method of `impl CommLedger` to be invoked from non-test `fl`-crate code
+//! outside comm.rs (the engine/round path that actually moves bytes).
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -16,12 +22,15 @@ use std::path::Path;
 
 use crate::diag::{rule_by_name, Diagnostic, RuleInfo};
 use crate::lexer::{lex, LexFile, TokKind};
+use crate::walk;
 
 /// Struct whose fields are audited, and where the two sides live.
 const TOTALS_STRUCT: &str = "CommTotals";
 const LEDGER_IMPL: &str = "CommLedger";
 const LEDGER_PATH: &str = "crates/fl/src/comm.rs";
 const RENDERER_PATH: &str = "crates/experiments/src/report.rs";
+/// Where `record_*` hooks must be exercised from (minus comm.rs itself).
+const CALLER_DIR: &str = "crates/fl/src";
 
 /// Runs the metering rule against the workspace at `root`.
 pub fn check_metering(root: &Path) -> Vec<Diagnostic> {
@@ -83,7 +92,85 @@ pub fn check_metering(root: &Path) -> Vec<Diagnostic> {
             });
         }
     }
+
+    let callers = match fl_caller_idents(root) {
+        Ok(idents) => idents,
+        Err(e) => {
+            out.push(missing(
+                rule,
+                CALLER_DIR,
+                &format!("cannot walk the fl crate sources: {e}"),
+            ));
+            return out;
+        }
+    };
+    for (name, line) in record_methods(&ledger, LEDGER_IMPL) {
+        if !callers.contains(&name) {
+            out.push(Diagnostic {
+                path: LEDGER_PATH.to_string(),
+                line,
+                rule,
+                severity: rule.default_severity,
+                message: format!(
+                    "`CommLedger::{name}` is never invoked from non-test {CALLER_DIR} code \
+                     outside comm.rs: a recording hook no engine path calls meters nothing — \
+                     wire it into the round/broadcast path or remove it"
+                ),
+            });
+        }
+    }
     out
+}
+
+/// `(method_name, line)` of every `fn record_*` declared (outside test
+/// regions) inside `impl name { ... }`.
+fn record_methods(file: &LexFile, name: &str) -> Vec<(String, usize)> {
+    let toks = &file.tokens;
+    let mut methods = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("impl") && toks.get(i + 1).is_some_and(|t| t.is_ident(name))) {
+            continue;
+        }
+        let Some(open) = (i..toks.len()).find(|&j| toks[j].is_punct('{')) else {
+            continue;
+        };
+        let mut depth = 0usize;
+        for (j, tok) in toks.iter().enumerate().skip(open) {
+            match &tok.kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Ident(id) if id == "fn" && !file.in_test[j] => {
+                    if let Some(m) = toks.get(j + 1).and_then(|t| t.ident()) {
+                        if m.starts_with("record_") {
+                            methods.push((m.to_string(), toks[j + 1].line));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    methods
+}
+
+/// Union of non-test identifiers across every `.rs` file under
+/// [`CALLER_DIR`], excluding the ledger module itself.
+fn fl_caller_idents(root: &Path) -> std::io::Result<BTreeSet<String>> {
+    let mut idents = BTreeSet::new();
+    for path in walk::collect_rs_files(&root.join(CALLER_DIR))? {
+        if walk::rel_path(root, &path) == LEDGER_PATH {
+            continue;
+        }
+        if let Ok(src) = fs::read_to_string(&path) {
+            idents.extend(non_test_idents(&lex(&src)));
+        }
+    }
+    Ok(idents)
 }
 
 fn read(root: &Path, rel: &str) -> Option<LexFile> {
@@ -203,6 +290,16 @@ mod tests {
         let ids = impl_block_idents(&lex(src), "CommLedger");
         assert!(ids.contains("up_bytes"));
         assert!(!ids.contains("only_in_test"));
+    }
+
+    #[test]
+    fn record_methods_found_outside_test_regions_only() {
+        let src = "impl CommLedger {\n    pub fn record_upload(&self) {}\n    fn helper() {}\n}\n\
+                   #[cfg(test)]\nmod tests { impl CommLedger { fn record_fake(&self) {} } }\n";
+        let methods = record_methods(&lex(src), "CommLedger");
+        let names: Vec<&str> = methods.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["record_upload"]);
+        assert_eq!(methods[0].1, 2);
     }
 
     #[test]

@@ -80,6 +80,50 @@ impl<T: SampleUniform> Strategy for RangeInclusive<T> {
     }
 }
 
+/// Strategy over a type's full value domain (shim: `bool` only, which is
+/// all this workspace draws through `any`).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Generates arbitrary values of `T`, mirroring `proptest::prelude::any`.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.inner.random_range(0u8..2) == 1
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy yielding `None` or `Some(inner)` (50/50 in the shim).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Wraps `inner`'s values in `Option`, mirroring `proptest::option::of`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.inner.random_range(0u8..2) == 1 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
 pub mod collection {
     //! Collection strategies.
 
@@ -152,7 +196,7 @@ pub mod collection {
 pub mod prelude {
     //! One-stop import mirroring `proptest::prelude`.
 
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
     pub use crate::{ProptestConfig, Strategy};
 }
 

@@ -1,0 +1,139 @@
+//! Communication-efficiency frontier: the PR-9 acceptance pins.
+//!
+//! * **Adaptive dominance** — in the 100-party churned sweep, the
+//!   byte-budget [`shiftex::fl::CodecController`] (with chunked quantized
+//!   join sync) buys each accuracy point for fewer wire bytes than *every*
+//!   static codec arm.
+//! * **Join compression** — switching first-contact sync from monolithic
+//!   dense frames to chunked quantized frames cuts join downlink bytes at
+//!   least 3× while costing at most 1 accuracy point.
+//!
+//! Both properties are measured, not assumed: each test reruns the full
+//! scenario per arm through the same driver the `scenarios` bin uses.
+
+use shiftex::core::ShiftExConfig;
+use shiftex::data::{DatasetKind, SimScale};
+use shiftex::experiments::{
+    build_algorithm, run_federation_scenario, FedRunOptions, FedRunResult, Scenario,
+};
+use shiftex::fl::{BudgetSpec, ChurnSpec, CodecSpec, JoinConfig, ScenarioSpec};
+
+/// The churned 100-party federation the sweep and the joins are measured
+/// on: 30 % of the population joins over the first three rounds, 20 %
+/// transient dropout, 3 bootstrap rounds + 1 window × 4 rounds.
+fn churned_setup() -> (Scenario, ScenarioSpec) {
+    let scenario = Scenario::build_with_population(
+        DatasetKind::FashionMnist,
+        SimScale::Smoke,
+        42,
+        Some(100),
+        None,
+    );
+    let churn = ChurnSpec {
+        join_fraction: 0.3,
+        join_ramp_rounds: 3,
+        horizon: 7,
+        ..ChurnSpec::dropout_only(0.2)
+    };
+    let fed = ScenarioSpec::sync(42 ^ 0x5ce7a510).with_churn(churn);
+    (scenario, fed)
+}
+
+fn run_fedavg(scenario: &Scenario, fed: &ScenarioSpec, opts: &FedRunOptions) -> FedRunResult {
+    let mut algorithm =
+        build_algorithm("fedavg", scenario, &ShiftExConfig::default()).expect("known algorithm");
+    run_federation_scenario(algorithm.as_mut(), scenario, fed, opts)
+}
+
+/// Every wire byte the run paid: uploads (delivered and aborted),
+/// veteran broadcasts, and first-contact sync in both framings.
+fn total_bytes(r: &FedRunResult) -> u64 {
+    r.comm.up_bytes
+        + r.comm.aborted_up_bytes
+        + r.comm.down_bytes
+        + r.comm.first_contact_down_bytes
+        + r.comm.join_chunk_down_bytes
+}
+
+fn final_acc(r: &FedRunResult) -> f64 {
+    f64::from(r.accuracy_series.last().copied().expect("rounds ran")) * 100.0
+}
+
+#[test]
+fn adaptive_dominates_every_static_codec_on_the_frontier() {
+    let (scenario, fed) = churned_setup();
+    let statics = [
+        CodecSpec::dense(),
+        CodecSpec::dense().with_delta(),
+        CodecSpec::quant8(256),
+        CodecSpec::quant8(256).with_delta(),
+        CodecSpec::topk(0.05).with_delta(),
+        CodecSpec::topk(0.05).with_delta().with_error_feedback(),
+    ];
+    let adaptive = run_fedavg(
+        &scenario,
+        &fed,
+        &FedRunOptions::new(1, 3, 4)
+            .with_budget(BudgetSpec::per_round(98_304))
+            .with_join_chunking(JoinConfig::quantized(1024)),
+    );
+    let adaptive_cost = total_bytes(&adaptive) as f64 / final_acc(&adaptive);
+    assert!(final_acc(&adaptive) > 0.0, "adaptive run must learn");
+
+    for codec in statics {
+        let arm = run_fedavg(
+            &scenario,
+            &fed,
+            &FedRunOptions::new(1, 3, 4).with_codec(codec),
+        );
+        let arm_cost = total_bytes(&arm) as f64 / final_acc(&arm);
+        assert!(
+            adaptive_cost < arm_cost,
+            "adaptive must dominate {codec} on bytes per accuracy point: \
+             adaptive {adaptive_cost:.0} B/pt ({} B at {:.2}%) vs {arm_cost:.0} B/pt \
+             ({} B at {:.2}%)",
+            total_bytes(&adaptive),
+            final_acc(&adaptive),
+            total_bytes(&arm),
+            final_acc(&arm),
+        );
+    }
+}
+
+#[test]
+fn chunked_quantized_joins_cut_first_contact_bytes_3x_within_1pct_accuracy() {
+    let (scenario, fed) = churned_setup();
+    let monolithic = run_fedavg(
+        &scenario,
+        &fed,
+        &FedRunOptions::new(1, 3, 4).with_codec(CodecSpec::dense()),
+    );
+    let chunked = run_fedavg(
+        &scenario,
+        &fed,
+        &FedRunOptions::new(1, 3, 4)
+            .with_codec(CodecSpec::dense())
+            .with_join_chunking(JoinConfig::quantized(1024)),
+    );
+
+    let mono_join = monolithic.comm.first_contact_down_bytes;
+    let chunk_join = chunked.comm.first_contact_down_bytes + chunked.comm.join_chunk_down_bytes;
+    assert!(
+        monolithic.comm.join_chunk_down_bytes == 0 && chunked.comm.first_contact_down_bytes == 0,
+        "each arm must sync joins through exactly one framing"
+    );
+    assert!(
+        mono_join as f64 >= 3.0 * chunk_join as f64,
+        "chunked quantized join sync must cut first-contact downlink ≥3×: \
+         monolithic {mono_join} B vs chunked {chunk_join} B"
+    );
+    // Everything outside the join path is identical: same codec, same
+    // schedules, same uploads.
+    assert_eq!(monolithic.comm.up_bytes, chunked.comm.up_bytes);
+    assert_eq!(monolithic.comm.down_bytes, chunked.comm.down_bytes);
+    let acc_gap = (final_acc(&monolithic) - final_acc(&chunked)).abs();
+    assert!(
+        acc_gap <= 1.0,
+        "quantized join snapshots must cost ≤1 accuracy point, lost {acc_gap:.2}"
+    );
+}
