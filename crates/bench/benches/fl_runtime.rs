@@ -583,6 +583,97 @@ fn bench_join(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_net(c: &mut Criterion) {
+    use std::net::{TcpListener, TcpStream};
+    use std::thread;
+    use std::time::Duration;
+
+    use shiftex_data::{DatasetKind, SimScale};
+    use shiftex_experiments::{
+        build_algorithm, netfed_fed_seed, netfed_stream_seed, run_worker, worker_partition,
+        FedSelector, LazyPopulation, NetFedConfig, Scenario,
+    };
+    use shiftex_fl::{
+        run_algorithm_round_transported, CodecSpec, CommLedger, FoldPolicy, RoundCodec,
+        ScenarioEngine, ScenarioSpec, UniformSelector,
+    };
+    use shiftex_net::Coordinator;
+
+    // A real 4-worker federation on loopback: each iteration is one full
+    // synchronous round over TCP — broadcast frames out, local training in
+    // the worker threads, encoded uploads back, RoundEnd — through exactly
+    // the coordinator transport the netfed binaries run. The delta over
+    // `fl_algorithms`' in-process rounds is the true wire cost (framing,
+    // syscalls, cross-thread scheduling).
+    const WORKERS: usize = 4;
+    let scenario = Scenario::build_with_population(
+        DatasetKind::FashionMnist,
+        SimScale::Smoke,
+        31,
+        Some(8),
+        Some(16),
+    );
+    let cfg = NetFedConfig {
+        strategy: "fedavg".to_string(),
+        codec: CodecSpec::dense(),
+        selector: FedSelector::Uniform,
+        rounds: 1,
+        join_chunk_bytes: None,
+    };
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+    let addr = listener.local_addr().expect("listener addr");
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|i| {
+            let scenario = scenario.clone();
+            let cfg = cfg.clone();
+            let parties = worker_partition(scenario.profile.num_parties, WORKERS, i);
+            thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).expect("set_nodelay");
+                run_worker(&mut stream, &scenario, &cfg, parties, None, None).expect("worker")
+            })
+        })
+        .collect();
+    let mut coordinator =
+        Coordinator::accept(&listener, WORKERS, cfg.codec, Duration::from_secs(60))
+            .expect("register workers");
+
+    let fed = ScenarioSpec::sync(netfed_fed_seed(scenario.seed));
+    let stream_seed = netfed_stream_seed(scenario.seed);
+    let store = LazyPopulation::new(scenario.clone(), stream_seed).into_store();
+    let ids = store.party_ids();
+    let mut engine = ScenarioEngine::new(fed, &ids);
+    let ledger = CommLedger::new();
+    let mut rng = StdRng::seed_from_u64(stream_seed);
+    let mut algorithm =
+        build_algorithm("fedavg", &scenario, &ShiftExConfig::default()).expect("fedavg");
+    algorithm.init(&store.view(ids.clone()), &mut rng);
+
+    let mut group = c.benchmark_group("fl_net");
+    group.sample_size(10);
+    group.bench_function("loopback_round_trip_dense_4_workers", |b| {
+        b.iter(|| {
+            run_algorithm_round_transported(
+                algorithm.as_mut(),
+                &store,
+                &mut engine,
+                RoundCodec::Static(&cfg.codec),
+                &mut UniformSelector,
+                &FoldPolicy::Mean,
+                Some(&ledger),
+                &mut rng,
+                &mut coordinator,
+            )
+        })
+    });
+    group.finish();
+    coordinator.shutdown();
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+}
+
 criterion_group!(
     benches,
     bench_round,
@@ -594,6 +685,7 @@ criterion_group!(
     bench_algorithms,
     bench_robust,
     bench_population,
-    bench_join
+    bench_join,
+    bench_net
 );
 criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Networked-federation coordinator: binds a TCP listener, registers a
+//! fixed number of party-worker processes, then drives federation rounds
+//! over their sockets through the same round driver every in-process
+//! experiment uses.
+//!
+//! ```text
+//! coordinator --bind 127.0.0.1:7070 --workers 4 \
+//!     --dataset fashionmnist --scale smoke --seed 42 \
+//!     --strategy shiftex --codec dense --selector uniform \
+//!     --rounds 3 --deadline-ms 30000
+//! ```
+//!
+//! Every flag shared with `party-worker` (dataset/scale/seed/parties/
+//! samples/strategy/codec/selector/rounds/join-chunk-bytes) must be passed
+//! identically to all processes: both sides derive their seeds and party
+//! streams from those values. Prints final-parameter hashes, ledger
+//! totals, wire-level socket stats and round throughput.
+
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use shiftex_experiments::cli::Args;
+use shiftex_experiments::{netfed_config_from_args, run_netfed_rounds, FedSelector};
+use shiftex_net::Coordinator;
+
+/// FNV-1a over the raw parameter bits: a compact fingerprint two runs can
+/// compare for bit-identity without shipping whole models around.
+fn fnv1a(state: &[f32]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for x in state {
+        for byte in x.to_bits().to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+fn main() {
+    let args = Args::from_env();
+    let (scenario, cfg) = netfed_config_from_args(&args);
+    let bind = args.value("bind").unwrap_or("127.0.0.1:7070");
+    let workers: usize = args.value_or("workers", 4);
+    let deadline = Duration::from_millis(args.value_or("deadline-ms", 30_000));
+
+    let listener = TcpListener::bind(bind).expect("bind coordinator listener");
+    eprintln!(
+        "coordinator: listening on {}, waiting for {workers} workers",
+        listener.local_addr().expect("listener addr")
+    );
+    let mut coordinator =
+        Coordinator::accept(&listener, workers, cfg.codec, deadline).expect("register workers");
+    eprintln!(
+        "coordinator: {} workers registered hosting {} parties; running {} rounds of {} ({:?})",
+        coordinator.live_workers(),
+        coordinator.registered_parties(),
+        cfg.rounds,
+        cfg.strategy,
+        cfg.codec.kind,
+    );
+
+    let started = Instant::now();
+    let run = run_netfed_rounds(&scenario, &cfg, &mut coordinator);
+    let elapsed = started.elapsed();
+
+    for (key, params) in &run.params {
+        println!(
+            "params[{key}] fnv1a {:#018x} len {}",
+            fnv1a(params),
+            params.len()
+        );
+    }
+    println!("comm {:?}", run.comm);
+    if !run.lost.is_empty() {
+        println!("lost {:?}", run.lost);
+    }
+    if let FedSelector::Oort = cfg.selector {
+        println!(
+            "oort cooldown_marks {}",
+            run.cooldown_marks.unwrap_or_default()
+        );
+    }
+
+    let stats = coordinator.stats();
+    let wire_out = coordinator.wire_written();
+    let wire_in = coordinator.wire_read();
+    let ledger_down = run.comm.down_bytes + run.comm.first_contact_down_bytes;
+    println!(
+        "net rounds {} deadline_misses {} dead_conns {} leaves {} lost_uploads {}",
+        stats.rounds, stats.deadline_misses, stats.dead_conns, stats.leaves, stats.lost_uploads
+    );
+    println!(
+        "wire out {wire_out} B (ledger down {ledger_down} B + join chunks {} B), in {wire_in} B (ledger up {} B)",
+        run.comm.join_chunk_down_bytes, run.comm.up_bytes
+    );
+    let secs = elapsed.as_secs_f64();
+    println!(
+        "throughput {:.2} rounds/s ({} rounds in {:.3} s)",
+        if secs > 0.0 {
+            cfg.rounds as f64 / secs
+        } else {
+            f64::INFINITY
+        },
+        cfg.rounds,
+        secs
+    );
+    coordinator.shutdown();
+}

@@ -26,6 +26,7 @@
 pub mod algorithms;
 pub mod cli;
 pub mod metrics;
+pub mod netfed;
 pub mod population;
 pub mod report;
 pub mod runner;
@@ -33,6 +34,10 @@ pub mod scenario;
 
 pub use algorithms::{build_algorithm, ALGORITHMS, ALGORITHM_NAMES};
 pub use metrics::{aggregate_windows, WindowMetrics, WindowMetricsAgg};
+pub use netfed::{
+    netfed_config_from_args, netfed_fed_seed, netfed_stream_seed, run_netfed_rounds, run_worker,
+    worker_partition, NetFedConfig, NetFedRun,
+};
 pub use population::{party_stream_seed, LazyPopulation, ResidentPopulation};
 pub use runner::{
     run_federation_scenario, run_scenario, FedRunOptions, FedRunResult, FedSelector, PopulationMode,

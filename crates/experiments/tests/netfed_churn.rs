@@ -1,0 +1,136 @@
+//! Real-churn smoke: a coordinator and four party-worker *processes* on
+//! loopback, one worker SIGKILLed mid-round. The round must still
+//! complete, the dead worker's party must surface as a real loss (aborted
+//! upload metering + OORT cooldown), and the remaining workers must
+//! finish the session cleanly.
+//!
+//! Determinism: the population is sized so every party is in every
+//! round's cohort (4 parties, full participation), and the doomed worker
+//! is launched with `--stall-after-uploads 0` — it parks *before its
+//! first upload*, so no round can complete until its socket dies. The
+//! SIGKILL therefore always lands while the coordinator is waiting on
+//! that exact socket, whatever the wall-clock interleaving.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+const SHARED_FLAGS: [&str; 16] = [
+    "--dataset",
+    "fashionmnist",
+    "--scale",
+    "smoke",
+    "--seed",
+    "7",
+    "--parties",
+    "4",
+    "--samples",
+    "16",
+    "--strategy",
+    "fedavg",
+    "--codec",
+    "dense",
+    "--rounds",
+    "3",
+];
+
+fn spawn_worker(addr: &str, index: usize, stalled: bool) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_party-worker"));
+    cmd.args(SHARED_FLAGS)
+        .args(["--connect", addr, "--workers", "4"])
+        .args(["--worker-index", &index.to_string()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if stalled {
+        cmd.args(["--stall-after-uploads", "0"]);
+    }
+    cmd.spawn().expect("spawn party-worker")
+}
+
+/// Extracts the integer following `key` in a Debug-formatted line.
+fn field(haystack: &str, key: &str) -> u64 {
+    let rest = haystack
+        .split_once(key)
+        .unwrap_or_else(|| panic!("{key:?} not found in {haystack:?}"))
+        .1;
+    let digits: String = rest
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits
+        .parse()
+        .unwrap_or_else(|_| panic!("no integer after {key:?} in {haystack:?}"))
+}
+
+#[test]
+fn sigkilled_worker_is_metered_as_real_churn() {
+    let mut coordinator = Command::new(env!("CARGO_BIN_EXE_coordinator"))
+        .args(SHARED_FLAGS)
+        .args(["--bind", "127.0.0.1:0", "--workers", "4"])
+        .args(["--deadline-ms", "30000", "--selector", "oort"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn coordinator");
+
+    // The coordinator reports its ephemeral listen address, then (once all
+    // four workers complete the handshake) the registration summary.
+    let mut stderr = BufReader::new(coordinator.stderr.take().expect("coordinator stderr"));
+    let mut listen_line = String::new();
+    stderr.read_line(&mut listen_line).expect("listen line");
+    let addr = listen_line
+        .split_once("listening on ")
+        .expect("listen address line")
+        .1
+        .split(',')
+        .next()
+        .expect("address before comma")
+        .trim()
+        .to_string();
+
+    let mut healthy: Vec<Child> = (0..3).map(|i| spawn_worker(&addr, i, false)).collect();
+    // Worker 3 (hosting party 3) parks before its first upload: the
+    // deterministic SIGKILL target.
+    let mut doomed = spawn_worker(&addr, 3, true);
+
+    let mut registered_line = String::new();
+    stderr
+        .read_line(&mut registered_line)
+        .expect("registered line");
+    assert!(
+        registered_line.contains("4 workers registered"),
+        "unexpected registration line: {registered_line:?}"
+    );
+
+    // Mid-round by construction: the active round is blocked on worker 3's
+    // upload, which will never come. Kill it for real.
+    doomed.kill().expect("SIGKILL worker 3");
+    doomed.wait().expect("reap worker 3");
+
+    let out = coordinator.wait_with_output().expect("coordinator exit");
+    assert!(out.status.success(), "coordinator must finish its rounds");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+
+    // The dead socket surfaced as real churn: exactly one dead connection,
+    // party 3 lost once (then gone from the population), loss metered as
+    // an aborted upload, and the OORT selector put the party in cooldown.
+    assert_eq!(field(&stdout, "dead_conns"), 1, "stdout: {stdout}");
+    assert!(
+        stdout.contains("lost [PartyId(3)]"),
+        "party 3 must be lost exactly once: {stdout}"
+    );
+    assert_eq!(field(&stdout, "lost_uploads"), 1, "stdout: {stdout}");
+    assert!(field(&stdout, "aborted_messages:") >= 1, "stdout: {stdout}");
+    assert!(field(&stdout, "aborted_up_bytes:") > 0, "stdout: {stdout}");
+    assert!(
+        field(&stdout, "oort cooldown_marks") >= 1,
+        "stdout: {stdout}"
+    );
+    // All three healthy workers ran every round and exited cleanly on the
+    // coordinator's shutdown.
+    assert_eq!(field(&stdout, "net rounds"), 3, "stdout: {stdout}");
+    for worker in &mut healthy {
+        let status = worker.wait().expect("reap healthy worker");
+        assert!(status.success(), "healthy workers must exit cleanly");
+    }
+}

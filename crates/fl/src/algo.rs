@@ -55,6 +55,7 @@ use crate::robust::{FoldPolicy, UpdateVerdict};
 use crate::round::local_update;
 use crate::scenario::{RoundMode, ScenarioEngine, WeightedUpdate};
 use crate::selection::ParticipantSelector;
+use crate::transport::{CohortExchange, CohortTransport, LocalTransport, UploadOutcome};
 use crate::update::ModelUpdate;
 
 /// One federated algorithm's lifecycle under the scenario runtime.
@@ -269,6 +270,40 @@ pub fn run_algorithm_round_with<A: FederatedAlgorithm + ?Sized>(
     ledger: Option<&CommLedger>,
     rng: &mut StdRng,
 ) -> AlgoRoundOutcome {
+    run_algorithm_round_transported(
+        algorithm,
+        population,
+        engine,
+        codec,
+        selector,
+        policy,
+        ledger,
+        rng,
+        &mut LocalTransport,
+    )
+}
+
+/// Like [`run_algorithm_round_with`] but with the broadcast → local-step →
+/// upload leg of each stream delegated to an explicit [`CohortTransport`]:
+/// [`LocalTransport`] reproduces the in-process exchange bit-for-bit, a
+/// networked transport ships the same encoded frames to worker processes
+/// over real sockets. Parties the transport reports as
+/// [`UploadOutcome::Lost`] (real disconnects, sockets stalled past the
+/// round deadline) are metered as aborted uploads at the exact frame size
+/// and fed to the selector's availability hook — the same paths the
+/// engine's simulated churn and straggler axes use.
+#[allow(clippy::too_many_arguments)] // the round's full I/O surface: wire, fold, meter, seed
+pub fn run_algorithm_round_transported<A: FederatedAlgorithm + ?Sized>(
+    algorithm: &mut A,
+    population: &PopulationStore,
+    engine: &mut ScenarioEngine,
+    codec: RoundCodec<'_>,
+    selector: &mut dyn ParticipantSelector,
+    policy: &FoldPolicy,
+    ledger: Option<&CommLedger>,
+    rng: &mut StdRng,
+    transport: &mut dyn CohortTransport,
+) -> AlgoRoundOutcome {
     let round = engine.begin_round();
     selector.begin_round();
     let all_ids = population.party_ids();
@@ -284,10 +319,6 @@ pub fn run_algorithm_round_with<A: FederatedAlgorithm + ?Sized>(
     let mut robustness = RobustnessReport::default();
     for key in algorithm.streams() {
         let cohort_ids = algorithm.cohort(key, &live, selector, rng);
-        // The round's working set: only the sampled cohort is materialized,
-        // and dropping it at the end of this stream's scope is the eviction
-        // that keeps residency O(cohort) regardless of population size.
-        let cohort: Vec<Party> = live.parties(&cohort_ids);
         let globals = algorithm.broadcast_state(key);
         // Resolve the stream's codec: static specs pass through untouched;
         // an adaptive controller decides from (round, stream, cohort size,
@@ -308,32 +339,43 @@ pub fn run_algorithm_round_with<A: FederatedAlgorithm + ?Sized>(
                 &adaptive_spec
             }
         };
-        let bcast = engine.broadcast(key, &globals, codec, &cohort_ids, ledger);
         // One pre-drawn seed per member keeps results independent of
-        // training order (and identical to the parallel fan-out).
-        let seeds: Vec<u64> = cohort.iter().map(|_| rng.random::<u64>()).collect();
-        let updates: Vec<ModelUpdate> = cohort
-            .iter()
-            .zip(seeds.iter())
-            .map(|(party, &seed)| {
-                // Each party trains from the frame it actually received:
-                // veterans the regular (possibly delta-coded) decode,
-                // first contacts their self-contained full-state decode.
-                // Label-flip adversaries train honestly — on poisoned data.
-                if engine.poisons_labels(party.id()) {
-                    let poisoned = party.label_flipped();
-                    algorithm.local_step(key, &poisoned, bcast.state_for(party.id()), seed)
-                } else {
-                    algorithm.local_step(key, party, bcast.state_for(party.id()), seed)
+        // training order (and identical to the parallel fan-out and to a
+        // networked coordinator, which draws these exact seeds here before
+        // any socket I/O).
+        let seeds: Vec<u64> = cohort_ids.iter().map(|_| rng.random::<u64>()).collect();
+        let outcomes = transport.exchange(
+            &CohortExchange {
+                key,
+                globals: &globals,
+                codec,
+                cohort: &cohort_ids,
+                seeds: &seeds,
+            },
+            &live,
+            engine,
+            ledger,
+            &mut |party, decoded, seed| algorithm.local_step(key, party, decoded, seed),
+        );
+        let mut arrived: Vec<ModelUpdate> = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            match outcome {
+                UploadOutcome::Delivered(update) => arrived.push(update),
+                UploadOutcome::Lost(party) => {
+                    // A real loss (socket died or stalled past the round
+                    // deadline): the party paid for the upload it never
+                    // landed — meter the exact frame size as aborted and
+                    // let availability-aware selectors cool the party
+                    // down, exactly as the simulated axes do.
+                    if let Some(l) = ledger {
+                        l.record_aborted_upload(codec.update_len(globals.len()));
+                    }
+                    selector.on_unavailable(party);
+                    lost.push(party);
                 }
-            })
-            .collect();
-        drop(cohort);
-        let updates: Vec<ModelUpdate> = updates
-            .into_iter()
-            .map(|u| engine.transport_upload(key, u, codec, &bcast.decoded))
-            .collect();
-        let delivery = engine.collect(key, updates, codec, ledger);
+            }
+        }
+        let delivery = engine.collect(key, arrived, codec, ledger);
         for &party in &delivery.lost {
             selector.on_unavailable(party);
         }
@@ -363,6 +405,9 @@ pub fn run_algorithm_round_with<A: FederatedAlgorithm + ?Sized>(
         robustness.absorb(&verdicts);
     }
     algorithm.end_round(&live, rng);
+    // Close the round on the transport (a networked coordinator tells its
+    // workers; the local transport is a no-op).
+    transport.round_complete(engine);
 
     AlgoRoundOutcome {
         round,

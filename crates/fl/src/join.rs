@@ -144,6 +144,23 @@ impl JoinSync {
         JOIN_CHUNK_HEADER_LEN + self.chunk_range(i).len()
     }
 
+    /// Indices of the chunks currently in flight — shipped by
+    /// [`ship_missing`](Self::ship_missing) but not yet resolved by the
+    /// round's churn verdict. A networked coordinator writes exactly these
+    /// chunks to the joiner's socket after the engine's broadcast metered
+    /// them.
+    pub fn in_flight_chunks(&self) -> Vec<usize> {
+        (0..self.state.len())
+            .filter(|&i| self.state[i] == ChunkState::InFlight)
+            .collect()
+    }
+
+    /// Payload slice of chunk `i` (the [`JOIN_CHUNK_HEADER_LEN`]-byte
+    /// header excluded). `i` must be below [`num_chunks`](Self::num_chunks).
+    pub fn chunk_payload(&self, i: usize) -> &[u8] {
+        &self.frame[self.chunk_range(i)]
+    }
+
     /// Puts every not-yet-delivered chunk in flight, returning the
     /// `(bytes, chunks)` shipped this call — exactly what the caller must
     /// meter. Chunks already in flight are not double-shipped.

@@ -58,11 +58,12 @@ pub mod robust;
 mod round;
 pub mod scenario;
 pub mod selection;
+pub mod transport;
 mod update;
 
 pub use algo::{
-    run_algorithm_round, run_algorithm_round_with, AlgoRoundOutcome, FederatedAlgorithm,
-    RobustnessReport, RoundCodec,
+    run_algorithm_round, run_algorithm_round_transported, run_algorithm_round_with,
+    AlgoRoundOutcome, FederatedAlgorithm, RobustnessReport, RoundCodec,
 };
 pub use codec::{CodecError, CodecKind, CodecSpec, UpdateCodec};
 pub use comm::{CommLedger, CommTotals};
@@ -82,6 +83,7 @@ pub use scenario::{
     ScenarioEngine, ScenarioSpec, StragglerSpec, WeightedUpdate,
 };
 pub use selection::{ParticipantSelector, UniformSelector};
+pub use transport::{CohortExchange, CohortTransport, LocalStepFn, LocalTransport, UploadOutcome};
 pub use update::ModelUpdate;
 
 use shiftex_nn::{ArchSpec, Sequential};

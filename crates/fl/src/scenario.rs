@@ -123,6 +123,11 @@ pub struct ChurnSchedule {
     leaves: BTreeMap<PartyId, usize>,
     dropout: f32,
     seed: u64,
+    /// Mid-round dropouts pinned by an external observer — a networked
+    /// coordinator records a worker's *real* mid-round death here so the
+    /// engine's loss accounting (aborted uploads, join-sync chunk losses)
+    /// resolves real churn exactly as it resolves simulated churn.
+    pinned_dropouts: BTreeSet<(PartyId, usize)>,
 }
 
 impl ChurnSchedule {
@@ -133,6 +138,7 @@ impl ChurnSchedule {
             leaves: BTreeMap::new(),
             dropout,
             seed,
+            pinned_dropouts: BTreeSet::new(),
         }
     }
 
@@ -164,6 +170,7 @@ impl ChurnSchedule {
             leaves,
             dropout: spec.dropout,
             seed,
+            pinned_dropouts: BTreeSet::new(),
         }
     }
 
@@ -179,6 +186,23 @@ impl ChurnSchedule {
         self
     }
 
+    /// Pins a leave round in place (no rebuild): a networked coordinator
+    /// observed `party`'s worker disconnect, so the party is no longer
+    /// enrolled from `round` on. Real churn entering the same membership
+    /// gate as the spec-drawn schedule.
+    pub fn pin_leave(&mut self, party: PartyId, round: usize) {
+        self.leaves.insert(party, round);
+    }
+
+    /// Pins a mid-round dropout in place: `party`'s upload (and any join
+    /// frames in flight to it) at `round` was really lost — its socket
+    /// died or stalled past the round deadline. [`Self::drops_out`]
+    /// reports pinned losses exactly like seeded Bernoulli ones, so the
+    /// engine's abort metering and join-loss refunds apply unchanged.
+    pub fn pin_dropout(&mut self, party: PartyId, round: usize) {
+        self.pinned_dropouts.insert((party, round));
+    }
+
     /// Is `party` enrolled at `round` (joined and not yet left)?
     pub fn is_member(&self, party: PartyId, round: usize) -> bool {
         let joined = self.joins.get(&party).is_none_or(|&j| round >= j);
@@ -186,10 +210,13 @@ impl ChurnSchedule {
         joined && !left
     }
 
-    /// Seeded Bernoulli: does `party` drop out mid-round at `round`?
+    /// Does `party` drop out mid-round at `round` — either by the seeded
+    /// Bernoulli draw or because real churn was pinned
+    /// ([`Self::pin_dropout`])?
     pub fn drops_out(&self, party: PartyId, round: usize) -> bool {
-        self.dropout > 0.0
-            && draw_unit(self.seed, SALT_DROPOUT, party.0 as u64, round as u64) < self.dropout
+        self.pinned_dropouts.contains(&(party, round))
+            || (self.dropout > 0.0
+                && draw_unit(self.seed, SALT_DROPOUT, party.0 as u64, round as u64) < self.dropout)
     }
 
     /// A member that does not drop out this round.
@@ -733,6 +760,14 @@ impl ScenarioEngine {
     /// The chunked-join configuration, if enabled.
     pub fn join_config(&self) -> Option<&JoinConfig> {
         self.join.as_ref()
+    }
+
+    /// The in-progress chunked join sync for `(key, party)`, if any. A
+    /// networked coordinator reads the in-flight chunk payloads from here
+    /// right after [`ScenarioEngine::broadcast`] put them in flight — the
+    /// bytes it must actually write to the party's socket.
+    pub fn join_sync(&self, key: usize, party: PartyId) -> Option<&JoinSync> {
+        self.join_syncs.get(&(key, party))
     }
 
     /// Progress of `party`'s chunked first-contact sync on stream `key`:

@@ -25,6 +25,16 @@ pub const PANIC_FREE_CRATES: &[&str] = &["fl", "core"];
 /// Growing this list is a deliberate, reviewed act.
 pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/tensor/src/simd.rs"];
 
+/// Timing carve-out for the networked-federation crate (D002/D003): the
+/// per-round deadline module is `shiftex-net`'s *single* sanctioned
+/// wall-clock site — a real socket deadline is a feature, not a
+/// determinism bug, and everything it decides flows back into
+/// deterministic accounting. Deliberately a file list, not a blanket
+/// crate exemption: the rest of `crates/net/src/` (framing, coordinator,
+/// worker) stays under the clock rules so stray `Instant::now` calls in
+/// protocol logic are still caught.
+pub const NET_TIMING_ALLOWLIST: &[&str] = &["crates/net/src/deadline.rs"];
+
 /// Directory names never descended into: build output, VCS metadata, and
 /// the lint crate's own violation fixtures (which exist to be dirty).
 const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];
@@ -71,6 +81,9 @@ pub fn classify(rel: &str) -> FileClass {
         if in_src && !is_bin {
             class.deterministic = DETERMINISTIC_CRATES.contains(&krate);
             class.panic_scope = PANIC_FREE_CRATES.contains(&krate);
+        }
+        if NET_TIMING_ALLOWLIST.contains(&rel) {
+            class.timing_exempt = true;
         }
     }
 
@@ -149,6 +162,21 @@ mod tests {
         assert!(classify("crates/bench/src/lib.rs").timing_exempt);
         assert!(classify("shims/criterion/src/lib.rs").timing_exempt);
         assert!(!classify("crates/tee/src/lib.rs").timing_exempt);
+    }
+
+    #[test]
+    fn net_timing_carve_out_is_exactly_the_deadline_module() {
+        // The sanctioned wall-clock site is exempt…
+        assert!(classify("crates/net/src/deadline.rs").timing_exempt);
+        // …and nothing else in the net crate's library is: protocol logic
+        // stays under the clock rules.
+        assert!(!classify("crates/net/src/lib.rs").timing_exempt);
+        assert!(!classify("crates/net/src/coordinator.rs").timing_exempt);
+        assert!(!classify("crates/net/src/worker.rs").timing_exempt);
+        assert!(!classify("crates/net/src/frame.rs").timing_exempt);
+        // The carve-out is timing only — no determinism/panic scope change.
+        assert!(!classify("crates/net/src/deadline.rs").deterministic);
+        assert!(!classify("crates/net/src/deadline.rs").panic_scope);
     }
 
     #[test]

@@ -54,6 +54,19 @@ fn det_fixture_is_silent_outside_deterministic_scope() {
 }
 
 #[test]
+fn net_clock_carve_out_spares_deadline_module_only() {
+    // Pin the D002 carve-out end-to-end: the same clock-reading source is
+    // linted under the *real* classifier's scopes for the net crate. Only
+    // the sanctioned deadline module is spared; the same code anywhere
+    // else in the net library still fires.
+    let src = "fn f() -> std::time::Instant {\n    Instant::now()\n}\n";
+    let spared = shiftex_lint::walk::classify("crates/net/src/deadline.rs");
+    assert_eq!(report(src, &spared), vec![]);
+    let caught = shiftex_lint::walk::classify("crates/net/src/coordinator.rs");
+    assert_eq!(report(src, &caught), vec![("D002", 2)]);
+}
+
+#[test]
 fn unsafe_fixture_outside_allowlist_trips_scope_rule() {
     let src = include_str!("fixtures/unsafe_violations.rs");
     let class = FileClass {

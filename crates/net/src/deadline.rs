@@ -1,0 +1,62 @@
+//! The round deadline — the net crate's **only** wall-clock site.
+//!
+//! The simulator never reads a clock: stragglers and churn are seeded
+//! draws, which is what makes every run bit-reproducible (shiftex-lint
+//! rule D002 bans `Instant::now` / `SystemTime::now` in deterministic
+//! library code). Real sockets are different: a worker that stops talking
+//! can only be detected by time passing. [`RoundDeadline`] confines that
+//! non-determinism to one audited module — the coordinator asks it how
+//! much of the round's budget remains and uses the answer only to bound
+//! socket read timeouts. Everything the deadline *decides* (a party whose
+//! upload missed the budget) is reported through the same deterministic
+//! accounting as the simulated axes: an aborted-upload ledger entry and a
+//! selector availability signal.
+//!
+//! D002 carve-out: `crates/net/src/deadline.rs` is explicitly allowlisted
+//! in `shiftex-lint` (`NET_TIMING_ALLOWLIST`); the rest of the net crate
+//! stays under the ban.
+
+use std::time::{Duration, Instant};
+
+/// A per-round wall-clock budget for collecting real uploads.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundDeadline {
+    start: Instant,
+    budget: Duration,
+}
+
+impl RoundDeadline {
+    /// Starts the clock on a round with `budget` to collect uploads.
+    pub fn start(budget: Duration) -> Self {
+        Self {
+            start: Instant::now(),
+            budget,
+        }
+    }
+
+    /// Time left in the budget; `None` once the deadline has passed.
+    /// Suitable for a socket read timeout: always non-zero when `Some`.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.budget
+            .checked_sub(self.start.elapsed())
+            .filter(|d| !d.is_zero())
+    }
+
+    /// Time elapsed since the round started collecting.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_deadline_has_budget_and_zero_budget_is_expired() {
+        let d = RoundDeadline::start(Duration::from_secs(3600));
+        assert!(d.remaining().is_some());
+        let d = RoundDeadline::start(Duration::ZERO);
+        assert!(d.remaining().is_none());
+    }
+}
